@@ -1,0 +1,53 @@
+// Ablation: the range-filter summary ratio (design decision #3).
+//
+// The paper picks 4096 big-bitmap bits per summary bit so the summary
+// fits L1 / GPU shared memory. Small scales make the summary precise but
+// large (cache pressure); large scales make it cheap but useless (every
+// range non-empty). The filtered-probe fraction printed per scale shows
+// that trade-off directly.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Ablation: range-filter summary ratio",
+                      "paper uses 4096 (summary fits L1); replicas need a "
+                      "proportionally smaller ratio (see DESIGN.md)",
+                      options);
+
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    util::TablePrinter table({"range scale", "native seq", "summary bytes",
+                              "probes avoided", "KNL@256 model"});
+    for (const std::uint64_t scale : {8u, 32u, 64u, 256u, 1024u, 4096u}) {
+      core::Options o = bench::opt_bmp_seq(true);
+      o.rf_range_scale = scale;
+      const double native = perf::time_native(g.csr, o, 2);
+      const auto profile = bench::paper_scale_profile(g, o);
+      const auto& w = profile.work;
+      const double knl =
+          perf::model_cpu_like(perf::knl_7210_spec(), profile, 256).seconds;
+      const std::uint64_t summary_bytes =
+          ((g.csr.num_vertices() + scale - 1) / scale + 63) / 64 * 8;
+      table.add_row(
+          {std::to_string(scale), util::format_seconds(native),
+           util::format_bytes(static_cast<double>(summary_bytes)),
+           util::format_fixed(w.rf_probes == 0
+                                  ? 0.0
+                                  : 100.0 * static_cast<double>(w.rf_skips) /
+                                        static_cast<double>(w.rf_probes),
+                              1) + "%",
+           util::format_seconds(knl)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

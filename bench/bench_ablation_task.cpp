@@ -1,0 +1,56 @@
+// Ablation: task size |T| and task granularity (design decisions #4 and
+// §4's two task types).
+//
+// Fine-grained tasks of |T| edges trade scheduling overhead (small |T|)
+// against load balance (large |T|); coarse-grained per-vertex tasks are
+// the GPU's choice, available on the CPU skeleton for comparison. On
+// skewed graphs a huge |T| or per-vertex tasks strand one worker on a
+// hub while others idle — invisible with 1 host core, so the native
+// column mainly shows the scheduling overhead side, and the paper's load
+// balance argument is noted per row.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Ablation: task size |T| and granularity",
+                      "fixed fine-grained |T| balances overhead vs load "
+                      "balance (paper §4); coarse tasks use |T| = 1 vertex",
+                      options);
+
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    util::TablePrinter table({"tasking", "native (parallel skeleton)"});
+    for (const std::uint32_t task : {1u, 16u, 256u, 1024u, 16384u, 1u << 20}) {
+      core::Options o;
+      o.algorithm = core::Algorithm::kMps;
+      o.mps.kind = intersect::best_merge_kind();
+      o.task_size = task;
+      const double t = perf::time_native(g.csr, o, 2);
+      table.add_row({"fine |T|=" + std::to_string(task),
+                     util::format_seconds(t)});
+    }
+    core::Options coarse;
+    coarse.algorithm = core::Algorithm::kMps;
+    coarse.mps.kind = intersect::best_merge_kind();
+    coarse.granularity = core::TaskGranularity::kCoarseGrained;
+    table.add_row({"coarse (1 vertex/task)",
+                   util::format_seconds(perf::time_native(g.csr, coarse, 2))});
+    core::Options pool;
+    pool.algorithm = core::Algorithm::kMps;
+    pool.mps.kind = intersect::best_merge_kind();
+    pool.scheduler = core::Scheduler::kTaskPool;
+    table.add_row({"fine |T|=1024 (task-pool)",
+                   util::format_seconds(perf::time_native(g.csr, pool, 2))});
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

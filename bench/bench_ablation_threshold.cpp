@@ -1,0 +1,48 @@
+// Ablation: MPS's degree-skew threshold t (design decision #2).
+//
+// The paper fixes t = 50 empirically (§5.1 footnote 1). Sweeping t shows
+// the crossover: small t sends balanced pairs down the pivot-skip path
+// (search overhead dominates), huge t degrades MPS to pure VB on skewed
+// pairs (hub merges dominate). The sweet spot should sit near 50 on the
+// skewed graphs, and the curve should be flat on FR (no skew to route).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Ablation: MPS skew threshold t",
+                      "paper fixes t = 50; crossover should sit nearby",
+                      options);
+
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    util::TablePrinter table({"t", "native", "PS-path edges", "CPU model"});
+    for (const double t : {2.0, 10.0, 25.0, 50.0, 100.0, 400.0, 1e18}) {
+      core::Options o = bench::opt_mps_seq(intersect::best_merge_kind());
+      o.mps.skew_threshold = t;
+      const double native = perf::time_native(g.csr, o, 2);
+      const auto profile = bench::paper_scale_profile(g, o);
+      const double cpu =
+          perf::model_cpu_like(perf::xeon_e5_2680_spec(), profile, 1).seconds;
+      // PS-path edges show up as intersections with search steps.
+      const auto& w = profile.work;
+      const std::string ps_share =
+          w.intersections == 0
+              ? "-"
+              : util::format_count(w.gallop_steps + w.binary_steps);
+      table.add_row({t > 1e17 ? "inf" : util::format_fixed(t, 0),
+                     util::format_seconds(native), ps_share,
+                     util::format_seconds(cpu)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

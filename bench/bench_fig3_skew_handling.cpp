@@ -1,0 +1,61 @@
+// Figure 3 — Effect of degree skew handling (single threaded).
+//
+// Compares the baseline merge M against MPS (pivot-skip dispatch) and BMP
+// (dynamic bitmap), sequentially, three ways:
+//   (1) native wall-clock on this machine (real execution),
+//   (2) modeled time on the paper's CPU (Xeon E5-2680 v4),
+//   (3) modeled time on the paper's KNL (Xeon Phi 7210).
+// Paper: on TW, MPS is 3.6x/7.1x and BMP 20.1x/29.3x faster than M on
+// CPU/KNL; on FR, MPS ~ M and BMP 2.5x/1.1x. The replica's hubs are
+// ~1000x smaller than twitter's, so the magnitudes compress while the
+// ordering (BMP < MPS < M on skewed graphs; MPS ~ M on FR) holds.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Figure 3: effect of degree skew handling",
+                      "TW: M/MPS=3.6x(CPU) 7.1x(KNL), M/BMP=20.1x 29.3x; "
+                      "FR: M/MPS~1x, M/BMP=2.5x 1.1x",
+                      options);
+
+  util::TablePrinter table({"Dataset", "Algo", "native (this host)",
+                            "CPU model", "KNL model", "CPU M/x", "KNL M/x"});
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+
+    struct Algo {
+      const char* name;
+      core::Options opt;
+    };
+    const Algo algos[] = {
+        {"M", bench::opt_m_seq()},
+        {"MPS", bench::opt_mps_seq(intersect::best_merge_kind())},
+        {"BMP", bench::opt_bmp_seq(false)},
+    };
+
+    double cpu_m = 0, knl_m = 0;
+    for (const Algo& a : algos) {
+      const double native = perf::time_native(g.csr, a.opt, 2);
+      const auto profile = bench::paper_scale_profile(g, a.opt);
+      const double cpu =
+          perf::model_cpu_like(perf::xeon_e5_2680_spec(), profile, 1).seconds;
+      const double knl =
+          perf::model_cpu_like(perf::knl_7210_spec(), profile, 1).seconds;
+      if (a.opt.algorithm == core::Algorithm::kMergeBaseline) {
+        cpu_m = cpu;
+        knl_m = knl;
+      }
+      table.add_row({std::string(graph::dataset_name(id)), a.name,
+                     util::format_seconds(native), util::format_seconds(cpu),
+                     util::format_seconds(knl), util::format_speedup(cpu_m / cpu),
+                     util::format_speedup(knl_m / knl)});
+    }
+  }
+  table.print();
+  return 0;
+}

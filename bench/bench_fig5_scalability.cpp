@@ -1,0 +1,73 @@
+// Figure 5 — Scalability to the number of threads.
+//
+// Thread counts 1..64 on the modeled CPU and 1..256 on the modeled KNL,
+// for vectorized MPS and BMP, reported as speedup over 1 thread.
+// Paper: MPS reaches 41.1x/36.1x on the CPU (hyper-threading beats the
+// 28 cores) and up to 67-72x on the KNL (bandwidth saturation past 64
+// threads); BMP reaches only 24x/15x on the CPU and declines at 128/256
+// threads on the KNL.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/chart.hpp"
+
+using namespace aecnc;
+
+namespace {
+
+void print_series(const char* processor, const perf::CpuLikeSpec& spec,
+                  const std::vector<int>& threads,
+                  const perf::WorkProfile& mps,
+                  const perf::WorkProfile& bmp) {
+  util::TablePrinter table({"threads", "MPS time", "MPS speedup", "BMP time",
+                            "BMP speedup"});
+  const double mps1 = perf::model_cpu_like(spec, mps, 1).seconds;
+  const double bmp1 = perf::model_cpu_like(spec, bmp, 1).seconds;
+  for (const int t : threads) {
+    const double tm = perf::model_cpu_like(spec, mps, t).seconds;
+    const double tb = perf::model_cpu_like(spec, bmp, t).seconds;
+    table.add_row({std::to_string(t), util::format_seconds(tm),
+                   util::format_speedup(mps1 / tm), util::format_seconds(tb),
+                   util::format_speedup(bmp1 / tb)});
+  }
+  std::printf("-- %s --\n", processor);
+  table.print();
+  std::vector<double> mps_speedups, bmp_speedups;
+  for (const int t : threads) {
+    mps_speedups.push_back(mps1 / perf::model_cpu_like(spec, mps, t).seconds);
+    bmp_speedups.push_back(bmp1 / perf::model_cpu_like(spec, bmp, t).seconds);
+  }
+  std::printf("%s\n",
+              util::sparklines({{"MPS speedup", mps_speedups},
+                                {"BMP speedup", bmp_speedups}})
+                  .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Figure 5: thread scalability",
+                      "CPU: MPS 41.1x/36.1x vs BMP 24x/15x at 64 threads; "
+                      "KNL: MPS up to 67-72x, BMP saturates and declines",
+                      options);
+
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+    const auto mps = bench::paper_scale_profile(
+        g, bench::opt_mps_seq(intersect::MergeKind::kAvx2));
+    const auto mps512 = bench::paper_scale_profile(
+        g, bench::opt_mps_seq(intersect::MergeKind::kAvx512));
+    const auto bmp = bench::paper_scale_profile(g, bench::opt_bmp_seq(false));
+
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    print_series("CPU (2x14-core Xeon, AVX2)", perf::xeon_e5_2680_spec(),
+                 {1, 2, 4, 8, 16, 28, 32, 56, 64}, mps, bmp);
+    print_series("KNL (64-core Xeon Phi, AVX-512)", perf::knl_7210_spec(),
+                 {1, 4, 16, 32, 64, 128, 256}, mps512, bmp);
+  }
+  return 0;
+}

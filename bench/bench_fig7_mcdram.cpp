@@ -1,0 +1,53 @@
+// Figure 7 — Effectiveness of MCDRAM utilization on the KNL.
+//
+// Modeled elapsed time at 256 threads under the three memory
+// configurations: DDR only, MCDRAM flat mode (hot arrays via memkind),
+// and MCDRAM cache mode. Paper: MPS-Flat 1.6x/1.8x over MPS (bandwidth
+// bound), BMP-Flat only 1.2x/1.3x (latency bound), and cache mode
+// slightly slower than flat (data movement overhead).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Figure 7: MCDRAM utilization (KNL, 256 threads)",
+                      "MPS-Flat 1.6-1.8x over DDR; BMP-Flat 1.2-1.3x; "
+                      "cache mode slightly slower than flat",
+                      options);
+
+  const auto& knl = perf::knl_7210_spec();
+  util::TablePrinter table({"Dataset", "Algo", "DDR", "MCDRAM-flat",
+                            "MCDRAM-cache", "flat gain"});
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+    struct Algo {
+      const char* name;
+      core::Options opt;
+    };
+    const Algo algos[] = {
+        {"MPS", bench::opt_mps_seq(intersect::MergeKind::kAvx512)},
+        {"BMP-RF", bench::opt_bmp_seq(true)},
+    };
+    for (const Algo& a : algos) {
+      const auto profile = bench::paper_scale_profile(g, a.opt);
+      const double ddr =
+          perf::model_cpu_like(knl, profile, 256, perf::MemMode::kDram).seconds;
+      const double flat =
+          perf::model_cpu_like(knl, profile, 256, perf::MemMode::kHbmFlat)
+              .seconds;
+      const double cache =
+          perf::model_cpu_like(knl, profile, 256, perf::MemMode::kHbmCache)
+              .seconds;
+      table.add_row({std::string(graph::dataset_name(id)), a.name,
+                     util::format_seconds(ddr), util::format_seconds(flat),
+                     util::format_seconds(cache),
+                     util::format_speedup(ddr / flat)});
+    }
+  }
+  table.print();
+  return 0;
+}

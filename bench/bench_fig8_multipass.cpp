@@ -1,0 +1,51 @@
+// Figure 8 — Effect of the number of passes (GPU, unified memory).
+//
+// Sweeps the pass count for MPS and BMP through the GPU simulator's
+// unified-memory pager. Paper: on TW both curves ascend slightly with
+// more passes (extra loads); on FR, BMP *fails* (thrashing page swaps,
+// >1 hour) below the estimated pass count and completes at/above it.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "gpusim/runner.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Figure 8: multi-pass processing on the GPU",
+                      "TW: slight ascent with passes; FR: BMP thrashes "
+                      "below the estimated pass count",
+                      options);
+
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    for (const auto algo : {core::Algorithm::kMps, core::Algorithm::kBmp}) {
+      util::TablePrinter table({"passes", "modeled total", "page faults",
+                                "refaults", "thrashed"});
+      for (const int passes : {1, 2, 3, 4, 6, 8, 0}) {
+        gpusim::GpuRunConfig cfg;
+        cfg.algorithm = algo;
+        cfg.device_mem_scale = options.scale;
+        cfg.num_passes = passes;  // 0 = estimator
+        const auto r = gpusim::run_gpu(g.csr, cfg);
+        table.add_row({passes == 0
+                           ? std::to_string(r.passes_used) + " (estimated)"
+                           : std::to_string(passes),
+                       util::format_seconds(r.total_seconds),
+                       util::format_count(r.um.faults),
+                       util::format_count(r.um.refaults),
+                       r.thrashed ? "YES" : "no"});
+      }
+      std::printf("-- %s --\n",
+                  algo == core::Algorithm::kMps ? "MPS" : "BMP");
+      table.print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmark of the set-intersection kernels (google-benchmark).
+//
+// Measures native throughput of every kernel across set sizes and skews,
+// the raw numbers behind MPS's dispatch threshold: the pivot-skip path
+// must overtake the merge paths around a size ratio of ~50 (the paper's
+// empirical t).
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "bitmap/range_filter.hpp"
+#include "intersect/block_merge.hpp"
+#include "intersect/dispatch.hpp"
+#include "intersect/merge.hpp"
+#include "intersect/pivot_skip.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace aecnc;
+
+std::vector<VertexId> random_sorted_set(std::size_t size, VertexId universe,
+                                        std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::set<VertexId> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+/// Balanced intersection: both sets the same size from a shared universe.
+template <typename Fn>
+void bench_balanced(benchmark::State& state, Fn&& fn) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto universe = static_cast<VertexId>(4 * n);
+  const auto a = random_sorted_set(n, universe, 1);
+  const auto b = random_sorted_set(n, universe, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+
+/// Skewed intersection: |b| = ratio * |a|.
+template <typename Fn>
+void bench_skewed(benchmark::State& state, Fn&& fn) {
+  const std::size_t small = 32;
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const auto universe = static_cast<VertexId>(8 * small * ratio);
+  const auto a = random_sorted_set(small, universe, 3);
+  const auto b = random_sorted_set(small * ratio, universe, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(small + small * ratio));
+}
+
+void BM_MergeScalar(benchmark::State& state) {
+  bench_balanced(state, [](auto a, auto b) { return intersect::merge_count(a, b); });
+}
+void BM_MergeBranchless(benchmark::State& state) {
+  bench_balanced(state, [](auto a, auto b) {
+    return intersect::merge_count_branchless(a, b);
+  });
+}
+void BM_BlockScalar8(benchmark::State& state) {
+  bench_balanced(state, [](auto a, auto b) {
+    return intersect::block_merge_count8(a, b);
+  });
+}
+#if AECNC_HAVE_SIMD_KERNELS
+void BM_VbAvx2(benchmark::State& state) {
+  if (!intersect::cpu_has_avx2()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  bench_balanced(state, [](auto a, auto b) { return intersect::vb_count_avx2(a, b); });
+}
+void BM_VbAvx512(benchmark::State& state) {
+  if (!intersect::cpu_has_avx512()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return;
+  }
+  bench_balanced(state,
+                 [](auto a, auto b) { return intersect::vb_count_avx512(a, b); });
+}
+BENCHMARK(BM_VbAvx2)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_VbAvx512)->Arg(64)->Arg(512)->Arg(4096);
+#endif
+
+void BM_MergeSkewed(benchmark::State& state) {
+  bench_skewed(state, [](auto a, auto b) { return intersect::merge_count(a, b); });
+}
+void BM_PivotSkipSkewed(benchmark::State& state) {
+  bench_skewed(state,
+               [](auto a, auto b) { return intersect::pivot_skip_count(a, b); });
+}
+void BM_MpsDispatchSkewed(benchmark::State& state) {
+  bench_skewed(state, [](auto a, auto b) {
+    return intersect::mps_count(a, b, intersect::MpsConfig{});
+  });
+}
+
+void BM_BitmapIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const VertexId universe = 1 << 20;
+  const auto nu = random_sorted_set(n, universe, 5);
+  const auto nv = random_sorted_set(n, universe, 6);
+  bitmap::Bitmap b(universe);
+  b.set_all(nu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap::bitmap_intersect_count(b, nv));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_RangeFilteredIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const VertexId universe = 1 << 20;
+  const auto nu = random_sorted_set(n, universe, 7);
+  const auto nv = random_sorted_set(n, universe, 8);
+  bitmap::RangeFilteredBitmap b(universe, 4096);
+  b.set_all(nu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap::rf_intersect_count(b, nv));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(BM_MergeScalar)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_MergeBranchless)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_BlockScalar8)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_MergeSkewed)->Arg(8)->Arg(50)->Arg(400);
+BENCHMARK(BM_PivotSkipSkewed)->Arg(8)->Arg(50)->Arg(400);
+BENCHMARK(BM_MpsDispatchSkewed)->Arg(8)->Arg(50)->Arg(400);
+BENCHMARK(BM_BitmapIntersect)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_RangeFilteredIntersect)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

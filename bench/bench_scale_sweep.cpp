@@ -1,0 +1,46 @@
+// Validation: native time vs replica scale.
+//
+// The whole reproduction rests on per-edge behaviour being roughly
+// scale-invariant (profiles are scaled linearly to the paper's regime).
+// This bench measures native sequential MPS and BMP across replica
+// scales: time per directed edge should stay within a small band as the
+// graph grows 16x, and any super-linear drift (cache fall-off) is
+// visible directly.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args, {graph::DatasetId::kTwitter});
+  bench::print_banner("Validation: native time vs replica scale",
+                      "per-edge cost should stay near-flat across scales "
+                      "(supports the linear profile scaling)",
+                      options);
+
+  for (const auto id : options.datasets) {
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    util::TablePrinter table({"scale", "|E|", "MPS total", "MPS ns/edge",
+                              "BMP total", "BMP ns/edge"});
+    for (const double scale : {5e-5, 1e-4, 2e-4, 4e-4, 8e-4}) {
+      const auto g = bench::make_bench_graph(id, scale);
+      const double edges = static_cast<double>(g.csr.num_undirected_edges());
+      const double mps = perf::time_native(
+          g.csr, bench::opt_mps_seq(intersect::best_merge_kind()), 2);
+      const double bmp = perf::time_native(g.csr, bench::opt_bmp_seq(false), 2);
+      table.add_row({util::format_fixed(scale * 1e4, 1) + "e-4",
+                     util::format_count(g.csr.num_undirected_edges()),
+                     util::format_seconds(mps),
+                     util::format_fixed(mps / edges * 1e9, 0),
+                     util::format_seconds(bmp),
+                     util::format_fixed(bmp / edges * 1e9, 0)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

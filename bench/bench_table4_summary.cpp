@@ -1,0 +1,92 @@
+// Table 4 — Comparison with the baseline M: the cumulative effect of the
+// techniques (DSH -> V -> P -> RF -> HBW) on TW and FR for both
+// processors, reproducing the paper's technique-stack rows.
+//
+// Paper rows (TW/FR, seconds): T_M 20065/4529 (CPU), 108419/11200 (KNL);
+// best MPS speedup over M 286x/66x (CPU), 2057x/330x (KNL); best BMP
+// speedup 497x/71x (CPU), 1583x/121x (KNL).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace aecnc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(args);
+  bench::print_banner("Table 4: cumulative technique speedups vs baseline M",
+                      "CPU best: MPS 286x/66x, BMP 497x/71x over M; "
+                      "KNL best: MPS 2057x/330x, BMP 1583x/121x",
+                      options);
+
+  const auto& cpu = perf::xeon_e5_2680_spec();
+  const auto& knl = perf::knl_7210_spec();
+
+  for (const auto id : options.datasets) {
+    const auto g = bench::make_bench_graph(id, options.scale);
+
+    const auto prof_m = bench::paper_scale_profile(g, bench::opt_m_seq());
+    const auto prof_mps_scalar = bench::paper_scale_profile(
+        g, bench::opt_mps_seq(intersect::MergeKind::kScalar));
+    const auto prof_mps_avx2 = bench::paper_scale_profile(
+        g, bench::opt_mps_seq(intersect::MergeKind::kAvx2));
+    const auto prof_mps_avx512 = bench::paper_scale_profile(
+        g, bench::opt_mps_seq(intersect::MergeKind::kAvx512));
+    const auto prof_bmp = bench::paper_scale_profile(g, bench::opt_bmp_seq(false));
+    const auto prof_bmp_rf = bench::paper_scale_profile(g, bench::opt_bmp_seq(true));
+
+    auto cpu_t = [&](const perf::WorkProfile& p, int t,
+                     perf::MemMode m = perf::MemMode::kDram) {
+      return perf::model_cpu_like(cpu, p, t, m).seconds;
+    };
+    auto knl_t = [&](const perf::WorkProfile& p, int t,
+                     perf::MemMode m = perf::MemMode::kDram) {
+      return perf::model_cpu_like(knl, p, t, m).seconds;
+    };
+
+    util::TablePrinter table({"Configuration", "CPU model", "KNL model"});
+    const double m_cpu = cpu_t(prof_m, 1);
+    const double m_knl = knl_t(prof_m, 1);
+    table.add_row({"T_M (seq merge baseline)", util::format_seconds(m_cpu),
+                   util::format_seconds(m_knl)});
+    table.add_row({"T_MPS (+DSH)", util::format_seconds(cpu_t(prof_mps_scalar, 1)),
+                   util::format_seconds(knl_t(prof_mps_scalar, 1))});
+    table.add_row({"T_MPS+V (AVX2 / AVX-512)",
+                   util::format_seconds(cpu_t(prof_mps_avx2, 1)),
+                   util::format_seconds(knl_t(prof_mps_avx512, 1))});
+    const double mps_p_cpu = cpu_t(prof_mps_avx2, 64);
+    const double mps_p_knl = knl_t(prof_mps_avx512, 256);
+    table.add_row({"T_MPS+V+P (64 / 256 threads)",
+                   util::format_seconds(mps_p_cpu),
+                   util::format_seconds(mps_p_knl)});
+    const double mps_hbw_knl =
+        knl_t(prof_mps_avx512, 256, perf::MemMode::kHbmFlat);
+    table.add_row({"T_MPS+V+P+HBW", "N/A", util::format_seconds(mps_hbw_knl)});
+    table.add_row({"T_BMP (seq)", util::format_seconds(cpu_t(prof_bmp, 1)),
+                   util::format_seconds(knl_t(prof_bmp, 1))});
+    const double bmp_p_cpu = cpu_t(prof_bmp, 64);
+    const double bmp_p_knl = knl_t(prof_bmp, 256);
+    table.add_row({"T_BMP+P", util::format_seconds(bmp_p_cpu),
+                   util::format_seconds(bmp_p_knl)});
+    const double bmp_rf_cpu = cpu_t(prof_bmp_rf, 64);
+    const double bmp_rf_knl = knl_t(prof_bmp_rf, 256);
+    table.add_row({"T_BMP+P+RF", util::format_seconds(bmp_rf_cpu),
+                   util::format_seconds(bmp_rf_knl)});
+    const double bmp_hbw_knl =
+        knl_t(prof_bmp_rf, 256, perf::MemMode::kHbmFlat);
+    table.add_row({"T_BMP+P+RF+HBW", "N/A", util::format_seconds(bmp_hbw_knl)});
+    table.add_row({"Best MPS speedup over M",
+                   util::format_speedup(m_cpu / mps_p_cpu),
+                   util::format_speedup(m_knl / mps_hbw_knl)});
+    table.add_row({"Best BMP speedup over M",
+                   util::format_speedup(m_cpu / std::min(bmp_rf_cpu, bmp_p_cpu)),
+                   util::format_speedup(m_knl / bmp_hbw_knl)});
+
+    std::printf("== dataset %.*s ==\n",
+                static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/reorder.hpp"
+
+namespace aecnc::bench {
+
+BenchGraph make_bench_graph(graph::DatasetId id, double scale) {
+  BenchGraph g{id, scale,
+               graph::reorder_degree_descending(graph::make_dataset(id, scale))};
+  return g;
+}
+
+BenchOptions parse_bench_options(
+    const util::CliArgs& args,
+    std::initializer_list<graph::DatasetId> default_datasets) {
+  BenchOptions options;
+  options.scale = args.get_double("scale", kDefaultScale);
+  if (args.has("datasets")) {
+    std::istringstream list(args.get("datasets", ""));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      options.datasets.push_back(graph::dataset_from_name(name));
+    }
+  } else {
+    options.datasets.assign(default_datasets);
+  }
+  return options;
+}
+
+void print_banner(std::string_view experiment, std::string_view paper_claim,
+                  const BenchOptions& options) {
+  std::printf("=== %.*s ===\n", static_cast<int>(experiment.size()),
+              experiment.data());
+  std::printf("paper: %.*s\n", static_cast<int>(paper_claim.size()),
+              paper_claim.data());
+  std::printf("setup: replica scale %.0e, datasets", options.scale);
+  for (const auto id : options.datasets) {
+    std::printf(" %.*s", static_cast<int>(graph::dataset_name(id).size()),
+                graph::dataset_name(id).data());
+  }
+  std::printf("\n\n");
+}
+
+core::Options opt_m_seq() {
+  core::Options o;
+  o.algorithm = core::Algorithm::kMergeBaseline;
+  o.parallel = false;
+  return o;
+}
+
+core::Options opt_mps_seq(intersect::MergeKind kind) {
+  core::Options o;
+  o.algorithm = core::Algorithm::kMps;
+  o.mps.kind = kind;
+  o.parallel = false;
+  return o;
+}
+
+core::Options opt_bmp_seq(bool range_filter) {
+  core::Options o;
+  o.algorithm = core::Algorithm::kBmp;
+  o.bmp_range_filter = range_filter;
+  o.rf_range_scale = kReplicaRfScale;
+  o.parallel = false;
+  return o;
+}
+
+perf::WorkProfile paper_scale_profile(const BenchGraph& g,
+                                      const core::Options& o) {
+  return perf::scale_profile(perf::collect_profile(g.csr, o).profile,
+                             1.0 / g.scale);
+}
+
+}  // namespace aecnc::bench

@@ -1,0 +1,70 @@
+// Shared infrastructure for the per-table/figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic dataset replicas: it prints the same rows/series the paper
+// reports, next to the paper's own numbers where it states them, so the
+// *shape* comparison (who wins, by roughly what factor, where crossovers
+// fall) is immediate. Absolute values are not expected to match — the
+// replicas are ~1000x smaller and two of the three processors are
+// modeled (see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/api.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "perf/collect.hpp"
+#include "perf/models.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace aecnc::bench {
+
+/// Default replica scale for the harnesses: keeps even the unoptimized
+/// baseline M in the seconds range on one core.
+inline constexpr double kDefaultScale = 5e-4;
+
+/// Scale-adjusted range-filter ratio (see DESIGN.md §5): the paper's
+/// 4096 is tuned for ~10^8-vertex graphs; at replica scale the same
+/// summary sparsity needs a proportionally smaller range.
+inline constexpr std::uint64_t kReplicaRfScale = 64;
+
+/// A dataset replica plus its provenance, reordered degree-descending
+/// (the preprocessing the paper applies for BMP, §2.1).
+struct BenchGraph {
+  graph::DatasetId id;
+  double scale;
+  graph::Csr csr;
+};
+
+/// Build (deterministically) the replica of `id` at `scale`, reordered.
+[[nodiscard]] BenchGraph make_bench_graph(graph::DatasetId id, double scale);
+
+/// Parse --datasets=TW,FR (default both, the paper's §5.2 choice) and
+/// --scale=<double>.
+struct BenchOptions {
+  std::vector<graph::DatasetId> datasets;
+  double scale = kDefaultScale;
+};
+[[nodiscard]] BenchOptions parse_bench_options(
+    const util::CliArgs& args,
+    std::initializer_list<graph::DatasetId> default_datasets = {
+        graph::DatasetId::kTwitter, graph::DatasetId::kFriendster});
+
+/// Print the standard bench banner: experiment id, paper finding, setup.
+void print_banner(std::string_view experiment, std::string_view paper_claim,
+                  const BenchOptions& options);
+
+/// Canonical option sets used across benches.
+[[nodiscard]] core::Options opt_m_seq();
+[[nodiscard]] core::Options opt_mps_seq(intersect::MergeKind kind);
+[[nodiscard]] core::Options opt_bmp_seq(bool range_filter);
+
+/// Instrumented profile scaled to the full dataset's regime (1/scale).
+[[nodiscard]] perf::WorkProfile paper_scale_profile(const BenchGraph& g,
+                                                    const core::Options& o);
+
+}  // namespace aecnc::bench

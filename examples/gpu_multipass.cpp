@@ -1,0 +1,57 @@
+// Out-of-core GPU processing demo: running a graph whose CSR does not
+// fit in device memory through the unified-memory multi-pass pipeline
+// (§4.2.2), showing the pass estimator, the pager statistics, and the
+// thrashing cliff when the estimate is ignored.
+//
+// Run: ./gpu_multipass [--scale=2e-4] [--dataset=FR]
+#include <cstdio>
+
+#include "core/verify.hpp"
+#include "gpusim/runner.hpp"
+#include "graph/datasets.hpp"
+#include "graph/reorder.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aecnc;
+  const util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 2e-4);
+  const auto id = graph::dataset_from_name(args.get("dataset", "FR"));
+
+  const graph::Csr g =
+      graph::reorder_degree_descending(graph::make_dataset(id, scale));
+  const double paged_mb =
+      (static_cast<double>(g.memory_bytes()) +
+       static_cast<double>(g.num_directed_edges() * sizeof(CnCount))) /
+      (1024.0 * 1024.0);
+  std::printf("dataset %s at scale %.0e: %.1f MB to page through a %.1f MB "
+              "device budget\n\n",
+              std::string(graph::dataset_name(id)).c_str(), scale, paged_mb,
+              12.0 * 1024 * scale);
+
+  util::TablePrinter table({"passes", "total", "kernel", "page faults",
+                            "migrated", "thrashed", "counts ok"});
+  const auto reference = core::count_reference(g);
+  for (const int passes : {0, 1, 2, 4, 8}) {
+    gpusim::GpuRunConfig cfg;
+    cfg.algorithm = core::Algorithm::kBmp;
+    cfg.range_filter = true;
+    cfg.rf_range_scale = 64;
+    cfg.device_mem_scale = scale;
+    cfg.num_passes = passes;
+    const auto r = gpusim::run_gpu(g, cfg);
+    const bool ok = !core::diff_counts(g, r.counts, reference).has_value();
+    table.add_row({passes == 0 ? std::to_string(r.passes_used) + " (auto)"
+                               : std::to_string(passes),
+                   util::format_seconds(r.total_seconds),
+                   util::format_seconds(r.kernel_seconds),
+                   util::format_count(r.um.faults),
+                   util::format_bytes(static_cast<double>(r.um.migrated_bytes)),
+                   r.thrashed ? "YES" : "no", ok ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\ncorrectness is pass-count independent; only locality (and "
+              "therefore time) changes.\n");
+  return 0;
+}

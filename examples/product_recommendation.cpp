@@ -1,0 +1,81 @@
+// Product recommendation on a co-purchasing graph — the paper's §1
+// motivating application ("online platforms maintain graphs of user
+// co-purchasing relations and analyze the data on the fly to recommend
+// products of potential interest").
+//
+// The common neighbor count of a co-purchased pair (a, b) measures how
+// strongly the two products travel together: many shared co-purchase
+// partners = a robust association, a single noisy co-purchase = weak.
+// For each product we rank its co-purchased neighbors by count and emit
+// the top "customers who bought X also bought ..." list.
+//
+// Run: ./product_recommendation [--products=200000] [--top=3]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aecnc;
+  const util::CliArgs args(argc, argv);
+  const auto num_products =
+      static_cast<VertexId>(args.get_int("products", 200000));
+  const auto top_k = static_cast<std::size_t>(args.get_int("top", 3));
+
+  // Synthetic co-purchasing graph: product popularity is heavy-tailed
+  // (a few bestsellers, a long tail), which is exactly the degree-skew
+  // regime MPS's pivot-skip path handles.
+  const graph::Csr g = graph::Csr::from_edge_list(graph::chung_lu_power_law(
+      num_products, static_cast<std::uint64_t>(num_products) * 8,
+      /*exponent=*/2.1, /*seed=*/7));
+  std::printf("catalog: %u products, %llu co-purchase pairs\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_undirected_edges()));
+
+  // The online-analytics step the paper accelerates: all-edge common
+  // neighbor counting over the whole catalog.
+  util::WallTimer timer;
+  core::Options options;  // parallel MPS, t = 50
+  options.mps.kind = intersect::best_merge_kind();
+  const auto counts = core::count_common_neighbors(g, options);
+  std::printf("all-edge counting: %s (in-memory processing time)\n\n",
+              util::format_seconds(timer.seconds()).c_str());
+
+  // Recommendations for a few mid-popularity products.
+  std::printf("sample recommendations (top-%zu by association strength):\n",
+              top_k);
+  int shown = 0;
+  for (VertexId product = 0; product < g.num_vertices() && shown < 5;
+       ++product) {
+    if (g.degree(product) < 8 || g.degree(product) > 24) continue;
+    ++shown;
+
+    struct Scored {
+      VertexId other;
+      CnCount strength;
+    };
+    std::vector<Scored> scored;
+    const auto nbrs = g.neighbors(product);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      scored.push_back({nbrs[k], counts[g.offset_begin(product) + k]});
+    }
+    std::partial_sort(scored.begin(),
+                      scored.begin() + std::min(top_k, scored.size()),
+                      scored.end(), [](const Scored& a, const Scored& b) {
+                        return a.strength > b.strength;
+                      });
+
+    std::printf("  product #%u (bought with %u others):", product,
+                g.degree(product));
+    for (std::size_t k = 0; k < std::min(top_k, scored.size()); ++k) {
+      std::printf(" #%u(%u shared)", scored[k].other, scored[k].strength);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

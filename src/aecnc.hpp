@@ -1,0 +1,25 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "aecnc.hpp"
+//
+// For finer-grained dependencies include the per-module headers
+// directly (core/api.hpp is enough for counting).
+#pragma once
+
+#include "bitmap/bitmap.hpp"          // IWYU pragma: export
+#include "bitmap/range_filter.hpp"    // IWYU pragma: export
+#include "core/api.hpp"               // IWYU pragma: export
+#include "core/comparators.hpp"       // IWYU pragma: export
+#include "core/triangle.hpp"          // IWYU pragma: export
+#include "core/verify.hpp"            // IWYU pragma: export
+#include "gpusim/runner.hpp"          // IWYU pragma: export
+#include "graph/csr.hpp"              // IWYU pragma: export
+#include "graph/datasets.hpp"         // IWYU pragma: export
+#include "graph/generators.hpp"       // IWYU pragma: export
+#include "graph/io.hpp"               // IWYU pragma: export
+#include "graph/reorder.hpp"          // IWYU pragma: export
+#include "graph/stats.hpp"            // IWYU pragma: export
+#include "intersect/dispatch.hpp"     // IWYU pragma: export
+#include "perf/collect.hpp"           // IWYU pragma: export
+#include "perf/models.hpp"            // IWYU pragma: export
+#include "scan/scan.hpp"              // IWYU pragma: export

@@ -1,0 +1,28 @@
+#include "bitmap/bitmap.hpp"
+
+#include <bit>
+
+namespace aecnc::bitmap {
+
+bool Bitmap::all_zero() const noexcept {
+  for (const std::uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t Bitmap::popcount() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t word : words_) {
+    total += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return total;
+}
+
+CnCount bitmap_intersect_count(const Bitmap& index,
+                               std::span<const VertexId> a) {
+  intersect::NullCounter null;
+  return bitmap_intersect_count(index, a, null);
+}
+
+}  // namespace aecnc::bitmap

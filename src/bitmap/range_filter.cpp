@@ -1,0 +1,11 @@
+#include "bitmap/range_filter.hpp"
+
+namespace aecnc::bitmap {
+
+CnCount rf_intersect_count(const RangeFilteredBitmap& index,
+                           std::span<const VertexId> a) {
+  intersect::NullCounter null;
+  return rf_intersect_count(index, a, null);
+}
+
+}  // namespace aecnc::bitmap

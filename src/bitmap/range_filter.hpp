@@ -1,0 +1,106 @@
+// Bitmap range filtering (paper §4.3).
+//
+// Matches in a set intersection are sparse: most probes of the |V|-bit
+// bitmap miss. RF adds a small summary bitmap, one bit per `range_scale`
+// bits of the big bitmap (the paper uses 4096 so the summary fits in L1 /
+// GPU shared memory). A zero summary bit proves the whole range is zero,
+// so the big-bitmap access — a random DRAM load — is skipped.
+#pragma once
+
+#include <span>
+
+#include "bitmap/bitmap.hpp"
+#include "intersect/counters.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::bitmap {
+
+class RangeFilteredBitmap {
+ public:
+  /// The paper's summary ratio: 4096 big-bitmap bits per summary bit.
+  static constexpr std::uint64_t kDefaultRangeScale = 4096;
+
+  RangeFilteredBitmap() = default;
+  explicit RangeFilteredBitmap(std::uint64_t cardinality,
+                               std::uint64_t range_scale = kDefaultRangeScale)
+      : big_(cardinality),
+        summary_((cardinality + range_scale - 1) / range_scale),
+        range_scale_(range_scale) {}
+
+  [[nodiscard]] std::uint64_t cardinality() const noexcept {
+    return big_.cardinality();
+  }
+  [[nodiscard]] std::uint64_t range_scale() const noexcept {
+    return range_scale_;
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return big_.memory_bytes() + summary_.memory_bytes();
+  }
+  [[nodiscard]] std::uint64_t summary_bytes() const noexcept {
+    return summary_.memory_bytes();
+  }
+
+  void set(VertexId v) noexcept {
+    big_.set(v);
+    summary_.set(static_cast<VertexId>(v / range_scale_));
+  }
+
+  [[nodiscard]] bool test(VertexId v) const noexcept {
+    if (!summary_.test(static_cast<VertexId>(v / range_scale_))) return false;
+    return big_.test(v);
+  }
+
+  void set_all(std::span<const VertexId> elements) noexcept {
+    for (const VertexId v : elements) set(v);
+  }
+
+  /// Clear after a vertex computation. Only this vertex's neighbors are
+  /// set, so flipping each neighbor's bit and zeroing its (possibly
+  /// shared) summary bit restores the all-zero state in one O(d) pass.
+  void clear_all(std::span<const VertexId> elements) noexcept {
+    for (const VertexId v : elements) {
+      big_.flip(v);
+      summary_.clear(static_cast<VertexId>(v / range_scale_));
+    }
+  }
+
+  [[nodiscard]] bool all_zero() const noexcept {
+    return big_.all_zero() && summary_.all_zero();
+  }
+
+  [[nodiscard]] const Bitmap& big() const noexcept { return big_; }
+  [[nodiscard]] const Bitmap& summary() const noexcept { return summary_; }
+
+ private:
+  Bitmap big_;
+  Bitmap summary_;
+  std::uint64_t range_scale_ = kDefaultRangeScale;
+};
+
+/// IntersectBMP with range filtering: probe the summary first; only on a
+/// summary hit touch the big bitmap.
+template <typename Counter = intersect::NullCounter>
+[[nodiscard]] CnCount rf_intersect_count(const RangeFilteredBitmap& index,
+                                         std::span<const VertexId> a,
+                                         Counter& counter) {
+  CnCount c = 0;
+  const std::uint64_t scale = index.range_scale();
+  for (const VertexId w : a) {
+    counter.rf_probe();
+    if (!index.summary().test(static_cast<VertexId>(w / scale))) {
+      counter.rf_skip();
+      continue;
+    }
+    counter.bitmap_probe();
+    if (index.big().test(w)) {
+      ++c;
+      counter.match();
+    }
+  }
+  return c;
+}
+
+[[nodiscard]] CnCount rf_intersect_count(const RangeFilteredBitmap& index,
+                                         std::span<const VertexId> a);
+
+}  // namespace aecnc::bitmap

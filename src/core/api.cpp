@@ -1,0 +1,60 @@
+#include "core/api.hpp"
+
+#include "core/parallel.hpp"
+#include "core/sequential.hpp"
+#include "core/verify.hpp"
+#include "graph/reorder.hpp"
+
+namespace aecnc::core {
+
+CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
+  if (options.parallel) return count_parallel(g, options);
+  switch (options.algorithm) {
+    case Algorithm::kMergeBaseline:
+      return count_sequential_m(g);
+    case Algorithm::kMps:
+      return count_sequential_mps(g, options.mps);
+    case Algorithm::kBmp:
+      return count_sequential_bmp(g, options.bmp_range_filter,
+                                  options.rf_range_scale);
+  }
+  return count_sequential_m(g);
+}
+
+CountArray count_with_reorder(const graph::Csr& g, const Options& options) {
+  const auto perm = graph::degree_descending_permutation(g);
+  const graph::Csr reordered = graph::apply_permutation(g, perm);
+  const CountArray reordered_cnt = count_common_neighbors(reordered, options);
+
+  // Translate back: slot e(u,v) of g corresponds to slot
+  // e(perm[u], perm[v]) of the reordered graph.
+  CountArray cnt(g.num_directed_edges(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId begin = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      cnt[begin + k] = reordered_cnt[reordered.find_edge(perm[u], perm[nbrs[k]])];
+    }
+  }
+  return cnt;
+}
+
+CountArray count_instrumented(const graph::Csr& g, const Options& options,
+                              intersect::StatsCounter& stats) {
+  switch (options.algorithm) {
+    case Algorithm::kMergeBaseline:
+      return count_sequential_m_instrumented(g, stats);
+    case Algorithm::kMps:
+      return count_sequential_mps_instrumented(g, options.mps, stats);
+    case Algorithm::kBmp:
+      return count_sequential_bmp_instrumented(
+          g, options.bmp_range_filter, options.rf_range_scale, stats);
+  }
+  return count_sequential_m_instrumented(g, stats);
+}
+
+std::uint64_t triangle_count(const graph::Csr& g, const Options& options) {
+  return triangle_count_from(count_common_neighbors(g, options));
+}
+
+}  // namespace aecnc::core

@@ -1,0 +1,45 @@
+// aecnc public API.
+//
+// Typical use:
+//
+//   #include "core/api.hpp"
+//
+//   aecnc::graph::Csr g = aecnc::graph::Csr::from_edge_list(edges);
+//   aecnc::core::Options opt;             // MPS, parallel, t = 50
+//   auto counts = aecnc::core::count_common_neighbors(g, opt);
+//   // counts[e] == |N(u) ∩ N(v)| for the directed CSR slot e = e(u,v)
+//
+// For BMP at its stated O(min(d_u, d_v)) complexity, run on a
+// degree-descending-reordered graph or use count_with_reorder(), which
+// reorders internally and maps the counts back to the caller's CSR slots.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "intersect/counters.hpp"
+
+namespace aecnc::core {
+
+/// All-edge common neighbor counting on `g` as configured by `options`.
+/// Returns one count per directed CSR slot of `g`.
+[[nodiscard]] CountArray count_common_neighbors(const graph::Csr& g,
+                                                const Options& options = {});
+
+/// Reorder by descending degree, count on the reordered graph, and
+/// translate the counts back into `g`'s slot order. This is the paper's
+/// full BMP pipeline (reorder cost is O(|V| log |V| + |E|), §2.1).
+[[nodiscard]] CountArray count_with_reorder(const graph::Csr& g,
+                                            const Options& options = {});
+
+/// Sequential instrumented run collecting the work profile used by the
+/// perf models (src/perf). Counts are identical to the uninstrumented
+/// run; `stats` receives the kernel-operation totals.
+[[nodiscard]] CountArray count_instrumented(const graph::Csr& g,
+                                            const Options& options,
+                                            intersect::StatsCounter& stats);
+
+/// Number of triangles in g (via Σ cnt / 6).
+[[nodiscard]] std::uint64_t triangle_count(const graph::Csr& g,
+                                           const Options& options = {});
+
+}  // namespace aecnc::core

@@ -1,0 +1,54 @@
+#include "core/comparators.hpp"
+
+#include "intersect/hash_index.hpp"
+#include "intersect/sparse_bitmap.hpp"
+
+namespace aecnc::core {
+namespace {
+
+inline void assign_symmetric(const graph::Csr& g, CountArray& cnt, VertexId u,
+                             VertexId v, EdgeId euv) {
+  cnt[g.find_edge(v, u)] = cnt[euv];
+}
+
+}  // namespace
+
+CountArray count_sparse_bitmap(const graph::Csr& g) {
+  const intersect::SparseBitmapIndex index(g);
+  CountArray cnt(g.num_directed_edges(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      cnt[base + k] =
+          intersect::sparse_bitmap_intersect_count(index.of(u), index.of(v));
+      assign_symmetric(g, cnt, u, v, base + k);
+    }
+  }
+  return cnt;
+}
+
+CountArray count_hash_index(const graph::Csr& g) {
+  CountArray cnt(g.num_directed_edges(), 0);
+  intersect::HashIndex index;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    bool built = false;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      if (!built) {
+        index.rebuild(nbrs);
+        built = true;
+      }
+      cnt[base + k] = intersect::hash_intersect_count(index, g.neighbors(v));
+      assign_symmetric(g, cnt, u, v, base + k);
+    }
+  }
+  return cnt;
+}
+
+}  // namespace aecnc::core

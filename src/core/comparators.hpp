@@ -1,0 +1,22 @@
+// Related-work all-edge counters used as comparators in the ablation
+// benches: the sparse-bitmap family ([1,13,16], precomputed offline) and
+// the hash-index family ([5,12,20,23]). Both produce the same count
+// array as MPS/BMP; they differ in the index they build and when.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace aecnc::core {
+
+/// All-edge counting over a precomputed per-vertex sparse-bitmap index
+/// (offsets + bit-states merged per §2.2.1). Index construction time is
+/// included — that is the family's offline cost the paper contrasts with
+/// BMP's amortized dynamic construction.
+[[nodiscard]] CountArray count_sparse_bitmap(const graph::Csr& g);
+
+/// All-edge counting with a per-source-vertex hash index rebuilt
+/// dynamically (the hash analogue of BMP).
+[[nodiscard]] CountArray count_hash_index(const graph::Csr& g);
+
+}  // namespace aecnc::core

@@ -1,0 +1,122 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aecnc::core {
+
+IncrementalCounter::IncrementalCounter(const graph::Csr& g) {
+  adjacency_.resize(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    adjacency_[u].assign(nbrs.begin(), nbrs.end());
+  }
+  edges_ = g.num_undirected_edges();
+  // Count each forward edge once.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : adjacency_[u]) {
+      if (u >= v) continue;
+      const auto common = common_neighbors(u, v);
+      const auto c = static_cast<CnCount>(common.size());
+      counts_.emplace(key(u, v), c);
+      triangles_ += c;
+    }
+  }
+  triangles_ /= 3;  // each triangle was seen from all 3 of its edges
+}
+
+void IncrementalCounter::ensure_vertex(VertexId v) {
+  if (v >= adjacency_.size()) adjacency_.resize(static_cast<std::size_t>(v) + 1);
+}
+
+std::span<const VertexId> IncrementalCounter::neighbors(VertexId u) const {
+  if (u >= adjacency_.size()) return {};
+  return adjacency_[u];
+}
+
+bool IncrementalCounter::has_edge(VertexId u, VertexId v) const {
+  if (u >= adjacency_.size()) return false;
+  const auto& nbrs = adjacency_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::optional<CnCount> IncrementalCounter::count(VertexId u, VertexId v) const {
+  const auto it = counts_.find(key(u, v));
+  if (it == counts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<VertexId> IncrementalCounter::common_neighbors(VertexId u,
+                                                           VertexId v) const {
+  std::vector<VertexId> out;
+  const auto& a = adjacency_[u];
+  const auto& b = adjacency_[v];
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void IncrementalCounter::bump(VertexId a, VertexId b, int delta) {
+  const auto it = counts_.find(key(a, b));
+  assert(it != counts_.end() && "adjusted pair must be an edge");
+  it->second = static_cast<CnCount>(static_cast<std::int64_t>(it->second) +
+                                    delta);
+}
+
+bool IncrementalCounter::add_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  ensure_vertex(std::max(u, v));
+  if (has_edge(u, v)) return false;
+
+  auto insert_sorted = [](std::vector<VertexId>& nbrs, VertexId x) {
+    nbrs.insert(std::lower_bound(nbrs.begin(), nbrs.end(), x), x);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  ++edges_;
+
+  // The new pair's own count, and +1 on both incident edges of every
+  // common neighbor (each common neighbor closes one new triangle).
+  const auto common = common_neighbors(u, v);
+  counts_.emplace(key(u, v), static_cast<CnCount>(common.size()));
+  for (const VertexId w : common) {
+    bump(u, w, +1);
+    bump(v, w, +1);
+  }
+  triangles_ += common.size();
+  return true;
+}
+
+bool IncrementalCounter::remove_edge(VertexId u, VertexId v) {
+  if (u == v || !has_edge(u, v)) return false;
+
+  // Inverse of add_edge: adjust the incident edges of every common
+  // neighbor while (u, v) is still present, then drop it.
+  const auto common = common_neighbors(u, v);
+  for (const VertexId w : common) {
+    bump(u, w, -1);
+    bump(v, w, -1);
+  }
+  triangles_ -= common.size();
+  counts_.erase(key(u, v));
+
+  auto erase_sorted = [](std::vector<VertexId>& nbrs, VertexId x) {
+    nbrs.erase(std::lower_bound(nbrs.begin(), nbrs.end(), x));
+  };
+  erase_sorted(adjacency_[u], v);
+  erase_sorted(adjacency_[v], u);
+  --edges_;
+  return true;
+}
+
+graph::Csr IncrementalCounter::to_csr() const {
+  graph::EdgeList edges(num_vertices());
+  for (VertexId u = 0; u < adjacency_.size(); ++u) {
+    for (const VertexId v : adjacency_[u]) {
+      if (u < v) edges.add(u, v);
+    }
+  }
+  return graph::Csr::from_edge_list(std::move(edges));
+}
+
+}  // namespace aecnc::core

@@ -1,0 +1,80 @@
+// Incremental all-edge common neighbor counting.
+//
+// The paper's motivating scenario is *online* analytics: platforms
+// "analyze the data on the fly to recommend products ... while the user
+// is shopping" (§1). Rather than recount the whole graph per update,
+// IncrementalCounter maintains the count array under single-edge
+// insertions and deletions:
+//
+//   adding (a, b) creates one new pair to count (|N(a) ∩ N(b)|, one
+//   intersection) and increments cnt[(a,w)] and cnt[(b,w)] for every
+//   common neighbor w — because b just became a common neighbor of a and
+//   w, and symmetrically. Deletion is the exact inverse.
+//
+// Cost per update: one intersection O(min(d_a, d_b)) plus O(#common)
+// count adjustments plus two sorted inserts — versus the full recount's
+// O(Σ intersections). The running triangle count comes for free
+// (every update moves it by exactly the pair's common-neighbor count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::core {
+
+class IncrementalCounter {
+ public:
+  /// Empty graph over a growable vertex universe.
+  IncrementalCounter() = default;
+
+  /// Bootstrap from an existing graph (counts computed per edge).
+  explicit IncrementalCounter(const graph::Csr& g);
+
+  /// Insert undirected edge (u, v). No-ops on self loops and duplicates.
+  /// Returns true if the edge was new.
+  bool add_edge(VertexId u, VertexId v);
+
+  /// Remove undirected edge (u, v). Returns true if it existed.
+  bool remove_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Common neighbor count of an existing edge; nullopt for non-edges.
+  [[nodiscard]] std::optional<CnCount> count(VertexId u, VertexId v) const;
+
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return edges_; }
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  [[nodiscard]] std::uint64_t triangles() const noexcept { return triangles_; }
+
+  /// Sorted adjacency of u (empty for out-of-universe ids).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const;
+
+  /// Snapshot into a CSR (e.g. to run the batch algorithms or verify).
+  [[nodiscard]] graph::Csr to_csr() const;
+
+ private:
+  static constexpr std::uint64_t key(VertexId u, VertexId v) noexcept {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  void ensure_vertex(VertexId v);
+  /// Common neighbors of u and v under the current adjacency.
+  [[nodiscard]] std::vector<VertexId> common_neighbors(VertexId u,
+                                                       VertexId v) const;
+  void bump(VertexId a, VertexId b, int delta);
+
+  std::vector<std::vector<VertexId>> adjacency_;  // sorted per vertex
+  std::unordered_map<std::uint64_t, CnCount> counts_;  // per undirected edge
+  std::uint64_t edges_ = 0;
+  std::uint64_t triangles_ = 0;
+};
+
+}  // namespace aecnc::core

@@ -1,0 +1,71 @@
+// Public configuration for the all-edge common neighbor counting API.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "intersect/dispatch.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::core {
+
+/// The algorithm families studied in the paper.
+enum class Algorithm {
+  kMergeBaseline,  // "M": plain two-pointer merge, no skew handling (§5.2)
+  kMps,            // merge-based pivot-skip hybrid (Algorithm 1)
+  kBmp,            // dynamic bitmap index (Algorithm 2)
+};
+
+[[nodiscard]] constexpr std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMergeBaseline: return "M";
+    case Algorithm::kMps: return "MPS";
+    case Algorithm::kBmp: return "BMP";
+  }
+  return "?";
+}
+
+/// Task granularity for the parallel skeleton (§4): fine-grained tasks
+/// group |T| single-edge intersections (the CPU/KNL choice); coarse-
+/// grained tasks take one vertex's d_u intersections as the unit (the
+/// GPU choice, also available on the CPU for the ablation bench).
+enum class TaskGranularity {
+  kFineGrained,
+  kCoarseGrained,
+};
+
+/// Which dynamic scheduler executes the fine-grained tasks: OpenMP's
+/// schedule(dynamic, |T|) or the library's own atomic-cursor pool
+/// (src/parallel/task_pool.hpp). Results are identical; the ablation
+/// bench compares their queue overheads.
+enum class Scheduler {
+  kOpenMp,
+  kTaskPool,
+};
+
+struct Options {
+  Algorithm algorithm = Algorithm::kMps;
+
+  /// MPS knobs: skew threshold t (paper: 50) and the VB kernel.
+  intersect::MpsConfig mps{};
+
+  /// BMP knobs: range filtering (paper §4.3) and its summary ratio.
+  bool bmp_range_filter = false;
+  std::uint64_t rf_range_scale = 4096;
+
+  /// Parallelization (Algorithm 3): OpenMP dynamic scheduling with
+  /// |T| = task_size edges per task. num_threads == 0 uses the OpenMP
+  /// default. parallel == false runs the sequential reference loops.
+  bool parallel = true;
+  int num_threads = 0;
+  std::uint32_t task_size = 1024;
+  TaskGranularity granularity = TaskGranularity::kFineGrained;
+  Scheduler scheduler = Scheduler::kOpenMp;
+};
+
+/// The output: one count per directed CSR slot (cnt[e(u,v)] for all 2|E|
+/// slots, symmetric in (u, v)).
+using CountArray = std::vector<CnCount>;
+
+}  // namespace aecnc::core

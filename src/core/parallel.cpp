@@ -1,0 +1,271 @@
+#include "core/parallel.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "bitmap/range_filter.hpp"
+#include "intersect/merge.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace aecnc::core {
+namespace {
+
+/// Per-thread state, cache-line aligned to avoid false sharing between
+/// adjacent threads' FindSrc caches.
+struct alignas(64) ThreadState {
+  VertexId cached_src = 0;
+  VertexId prev_u = kInvalidVertex;  // pu_tls of Algorithm 3 line 19
+  bitmap::Bitmap bitmap;
+  bitmap::RangeFilteredBitmap rf;
+};
+
+}  // namespace
+
+namespace {
+
+/// Coarse-grained skeleton (§4, task = one vertex computation): each
+/// dynamically scheduled task owns all of one source vertex's forward
+/// intersections, so BMP's bitmap is built exactly once per vertex and
+/// load balance comes from |T| = 1 vertex per task.
+CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
+                                 int threads) {
+  CountArray cnt(g.num_directed_edges(), 0);
+  const bool is_bmp = options.algorithm == Algorithm::kBmp;
+  const bool rf = is_bmp && options.bmp_range_filter;
+  const intersect::MpsConfig mps_cfg = options.mps;
+  const Algorithm algo = options.algorithm;
+
+  std::vector<ThreadState> states(static_cast<std::size_t>(threads));
+  if (is_bmp) {
+    for (ThreadState& ts : states) {
+      if (rf) {
+        ts.rf = bitmap::RangeFilteredBitmap(g.num_vertices(),
+                                            options.rf_range_scale);
+      } else {
+        ts.bitmap = bitmap::Bitmap(g.num_vertices());
+      }
+    }
+  }
+
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadState& ts = states[static_cast<std::size_t>(omp_get_thread_num())];
+
+#pragma omp for schedule(dynamic, 1)
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      const EdgeId base = g.offset_begin(u);
+      bool built = false;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const VertexId v = nbrs[k];
+        if (u >= v) continue;
+
+        CnCount c = 0;
+        switch (algo) {
+          case Algorithm::kMergeBaseline:
+            c = intersect::merge_count(nbrs, g.neighbors(v));
+            break;
+          case Algorithm::kMps:
+            c = intersect::mps_count(nbrs, g.neighbors(v), mps_cfg);
+            break;
+          case Algorithm::kBmp:
+            if (!built) {
+              if (rf) {
+                ts.rf.set_all(nbrs);
+              } else {
+                ts.bitmap.set_all(nbrs);
+              }
+              built = true;
+            }
+            c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v))
+                   : bitmap::bitmap_intersect_count(ts.bitmap, g.neighbors(v));
+            break;
+        }
+        cnt[base + k] = c;
+        cnt[g.find_edge(v, u)] = c;
+      }
+      if (built) {
+        if (rf) {
+          ts.rf.clear_all(nbrs);
+        } else {
+          ts.bitmap.clear_all(nbrs);
+        }
+      }
+    }
+  }
+  return cnt;
+}
+
+/// Algorithm 3 on the library's own task pool: identical per-task body,
+/// scheduler swapped for the atomic-cursor queue.
+CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
+                               int threads) {
+  CountArray cnt(g.num_directed_edges(), 0);
+  const bool is_bmp = options.algorithm == Algorithm::kBmp;
+  const bool rf = is_bmp && options.bmp_range_filter;
+  const intersect::MpsConfig mps_cfg = options.mps;
+  const Algorithm algo = options.algorithm;
+
+  std::vector<ThreadState> states(static_cast<std::size_t>(threads));
+  if (is_bmp) {
+    for (ThreadState& ts : states) {
+      if (rf) {
+        ts.rf = bitmap::RangeFilteredBitmap(g.num_vertices(),
+                                            options.rf_range_scale);
+      } else {
+        ts.bitmap = bitmap::Bitmap(g.num_vertices());
+      }
+    }
+  }
+
+  parallel::parallel_for_dynamic(
+      g.num_directed_edges(), std::max<std::uint32_t>(1, options.task_size),
+      threads,
+      [&](std::uint64_t begin, std::uint64_t end, int worker) {
+        ThreadState& ts = states[static_cast<std::size_t>(worker)];
+        for (EdgeId e = begin; e < end; ++e) {
+          const VertexId v = g.dst_of(e);
+          const VertexId u = find_src(g, e, ts.cached_src);
+          if (u >= v) continue;
+
+          CnCount c = 0;
+          switch (algo) {
+            case Algorithm::kMergeBaseline:
+              c = intersect::merge_count(g.neighbors(u), g.neighbors(v));
+              break;
+            case Algorithm::kMps:
+              c = intersect::mps_count(g.neighbors(u), g.neighbors(v),
+                                       mps_cfg);
+              break;
+            case Algorithm::kBmp:
+              if (ts.prev_u != u) {
+                if (rf) {
+                  if (ts.prev_u != kInvalidVertex) {
+                    ts.rf.clear_all(g.neighbors(ts.prev_u));
+                  }
+                  ts.rf.set_all(g.neighbors(u));
+                } else {
+                  if (ts.prev_u != kInvalidVertex) {
+                    ts.bitmap.clear_all(g.neighbors(ts.prev_u));
+                  }
+                  ts.bitmap.set_all(g.neighbors(u));
+                }
+                ts.prev_u = u;
+              }
+              c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v))
+                     : bitmap::bitmap_intersect_count(ts.bitmap,
+                                                      g.neighbors(v));
+              break;
+          }
+          cnt[e] = c;
+          cnt[g.find_edge(v, u)] = c;
+        }
+      });
+  return cnt;
+}
+
+}  // namespace
+
+VertexId find_src(const graph::Csr& g, EdgeId e, VertexId& cached) {
+  const auto& off = g.offsets();
+  // Fast path: e still inside the stashed vertex's offset range.
+  if (e >= off[cached] && e < off[cached + 1]) return cached;
+  // Slow path: first offset greater than e belongs to src+1. Zero-degree
+  // vertices share offsets; upper_bound lands past all of them, on the
+  // unique u with off[u] <= e < off[u+1].
+  const auto it = std::upper_bound(off.begin(), off.end(), e);
+  cached = static_cast<VertexId>((it - off.begin()) - 1);
+  return cached;
+}
+
+CountArray count_parallel(const graph::Csr& g, const Options& options) {
+  const EdgeId slots = g.num_directed_edges();
+  CountArray cnt(slots, 0);
+  if (slots == 0) return cnt;
+
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : omp_get_max_threads();
+  if (options.granularity == TaskGranularity::kCoarseGrained) {
+    return count_parallel_coarse(g, options, threads);
+  }
+  if (options.scheduler == Scheduler::kTaskPool) {
+    return count_parallel_pool(g, options, threads);
+  }
+  const int chunk = std::max<std::uint32_t>(1, options.task_size);
+  const bool is_bmp = options.algorithm == Algorithm::kBmp;
+  const bool rf = is_bmp && options.bmp_range_filter;
+
+  std::vector<ThreadState> states(static_cast<std::size_t>(threads));
+  if (is_bmp) {
+    // The paper allocates one |V|-bit bitmap per execution context up
+    // front; lazy per-thread allocation would serialize on the first
+    // touched pages instead.
+    for (ThreadState& ts : states) {
+      if (rf) {
+        ts.rf = bitmap::RangeFilteredBitmap(g.num_vertices(),
+                                            options.rf_range_scale);
+      } else {
+        ts.bitmap = bitmap::Bitmap(g.num_vertices());
+      }
+    }
+  }
+
+  const intersect::MpsConfig mps_cfg = options.mps;
+  const Algorithm algo = options.algorithm;
+
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadState& ts = states[static_cast<std::size_t>(omp_get_thread_num())];
+
+#pragma omp for schedule(dynamic, chunk)
+    for (EdgeId e = 0; e < slots; ++e) {
+      const VertexId v = g.dst_of(e);
+      const VertexId u = find_src(g, e, ts.cached_src);
+      if (u >= v) continue;
+
+      CnCount c = 0;
+      switch (algo) {
+        case Algorithm::kMergeBaseline:
+          c = intersect::merge_count(g.neighbors(u), g.neighbors(v));
+          break;
+        case Algorithm::kMps:
+          c = intersect::mps_count(g.neighbors(u), g.neighbors(v), mps_cfg);
+          break;
+        case Algorithm::kBmp: {
+          if (ts.prev_u != u) {
+            // Rebuild the thread-local index for the new source vertex
+            // (each thread builds an index for a vertex at most once per
+            // contiguous run of its edges, amortizing the cost).
+            if (rf) {
+              if (ts.prev_u != kInvalidVertex) {
+                ts.rf.clear_all(g.neighbors(ts.prev_u));
+              }
+              ts.rf.set_all(g.neighbors(u));
+            } else {
+              if (ts.prev_u != kInvalidVertex) {
+                ts.bitmap.clear_all(g.neighbors(ts.prev_u));
+              }
+              ts.bitmap.set_all(g.neighbors(u));
+            }
+            ts.prev_u = u;
+          }
+          c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v))
+                 : bitmap::bitmap_intersect_count(ts.bitmap, g.neighbors(v));
+          break;
+        }
+      }
+
+      cnt[e] = c;
+      // Symmetric assignment: each (u,v) with u<v is owned by exactly one
+      // task, so the write to the reverse slot is race-free.
+      cnt[g.find_edge(v, u)] = c;
+    }
+  }
+  return cnt;
+}
+
+}  // namespace aecnc::core

@@ -1,0 +1,26 @@
+// Parallel MPS and BMP with the OpenMP skeleton of Algorithm 3.
+//
+// The |E| directed slots are split into |E|/|T| fine-grained tasks and
+// dynamically scheduled. Each thread keeps:
+//  - a cached source vertex (FindSrc, lines 7-15) so the per-edge source
+//    lookup amortizes to O(1) within a task, and
+//  - for BMP, a thread-local bitmap rebuilt only when the source vertex
+//    changes (ComputeCntBMP, lines 18-25).
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace aecnc::core {
+
+/// Parallel all-edge counting. Honors options.algorithm, .task_size,
+/// .num_threads, .mps, and .bmp_range_filter.
+[[nodiscard]] CountArray count_parallel(const graph::Csr& g,
+                                        const Options& options);
+
+/// FindSrc (Algorithm 3 lines 7-15), exposed for unit testing: source
+/// vertex of slot e, using `cached` as the thread-local stash.
+[[nodiscard]] VertexId find_src(const graph::Csr& g, EdgeId e,
+                                VertexId& cached);
+
+}  // namespace aecnc::core

@@ -1,0 +1,138 @@
+#include "core/sequential.hpp"
+
+#include "bitmap/bitmap.hpp"
+#include "bitmap/range_filter.hpp"
+#include "intersect/merge.hpp"
+
+namespace aecnc::core {
+namespace {
+
+/// Symmetric assignment: cnt[e(v,u)] <- cnt[e(u,v)] (e(v,u) by binary
+/// search of u in N(v), §3).
+inline void assign_symmetric(const graph::Csr& g, CountArray& cnt, VertexId u,
+                             VertexId v, EdgeId euv) {
+  const EdgeId evu = g.find_edge(v, u);
+  cnt[evu] = cnt[euv];
+}
+
+/// Shared driver: applies `intersect(u, v)` to every u < v edge and
+/// mirrors the result.
+template <typename IntersectFn>
+CountArray for_each_forward_edge(const graph::Csr& g, IntersectFn&& intersect) {
+  CountArray cnt(g.num_directed_edges(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId begin = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      const EdgeId euv = begin + k;
+      cnt[euv] = intersect(u, v);
+      assign_symmetric(g, cnt, u, v, euv);
+    }
+  }
+  return cnt;
+}
+
+template <typename Counter>
+CountArray run_m(const graph::Csr& g, Counter& counter) {
+  return for_each_forward_edge(g, [&](VertexId u, VertexId v) {
+    counter.intersection();
+    counter.bytes_streamed(
+        (g.neighbors(u).size() + g.neighbors(v).size()) * sizeof(VertexId));
+    return intersect::merge_count(g.neighbors(u), g.neighbors(v), counter);
+  });
+}
+
+template <typename Counter>
+CountArray run_bmp(const graph::Csr& g, bool range_filter, std::uint64_t scale,
+                   Counter& counter) {
+  CountArray cnt(g.num_directed_edges(), 0);
+  const std::uint64_t n = g.num_vertices();
+
+  // One bitmap for the whole sequential run; constructed and cleared per
+  // vertex computation (Algorithm 2 lines 2-9).
+  bitmap::Bitmap plain(range_filter ? 0 : n);
+  bitmap::RangeFilteredBitmap filtered(range_filter ? n : 0, scale);
+
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    bool built = false;
+    const EdgeId begin = g.offset_begin(u);
+    for (std::size_t k = 0; k < nu.size(); ++k) {
+      const VertexId v = nu[k];
+      if (u >= v) continue;
+      if (!built) {
+        // Lazy build: vertices with no forward edge skip construction.
+        if (range_filter) {
+          filtered.set_all(nu);
+        } else {
+          plain.set_all(nu);
+        }
+        counter.bitmap_set(nu.size());
+        counter.bytes_streamed(nu.size() * sizeof(VertexId));
+        built = true;
+      }
+      counter.intersection();
+      const auto nv = g.neighbors(v);
+      counter.bytes_streamed(nv.size() * sizeof(VertexId));
+      const EdgeId euv = begin + k;
+      cnt[euv] = range_filter
+                     ? bitmap::rf_intersect_count(filtered, nv, counter)
+                     : bitmap::bitmap_intersect_count(plain, nv, counter);
+      assign_symmetric(g, cnt, u, v, euv);
+    }
+    if (built) {
+      if (range_filter) {
+        filtered.clear_all(nu);
+      } else {
+        plain.clear_all(nu);
+      }
+      counter.bitmap_set(nu.size());
+    }
+  }
+  return cnt;
+}
+
+}  // namespace
+
+CountArray count_sequential_m(const graph::Csr& g) {
+  intersect::NullCounter null;
+  return run_m(g, null);
+}
+
+CountArray count_sequential_mps(const graph::Csr& g,
+                                const intersect::MpsConfig& cfg) {
+  return for_each_forward_edge(g, [&](VertexId u, VertexId v) {
+    return intersect::mps_count(g.neighbors(u), g.neighbors(v), cfg);
+  });
+}
+
+CountArray count_sequential_bmp(const graph::Csr& g, bool range_filter,
+                                std::uint64_t rf_scale) {
+  intersect::NullCounter null;
+  return run_bmp(g, range_filter, rf_scale, null);
+}
+
+CountArray count_sequential_m_instrumented(const graph::Csr& g,
+                                           intersect::StatsCounter& stats) {
+  return run_m(g, stats);
+}
+
+CountArray count_sequential_mps_instrumented(const graph::Csr& g,
+                                             const intersect::MpsConfig& cfg,
+                                             intersect::StatsCounter& stats) {
+  return for_each_forward_edge(g, [&](VertexId u, VertexId v) {
+    return intersect::mps_count_instrumented(g.neighbors(u), g.neighbors(v),
+                                             cfg, stats);
+  });
+}
+
+CountArray count_sequential_bmp_instrumented(const graph::Csr& g,
+                                             bool range_filter,
+                                             std::uint64_t rf_scale,
+                                             intersect::StatsCounter& stats) {
+  return run_bmp(g, range_filter, rf_scale, stats);
+}
+
+}  // namespace aecnc::core

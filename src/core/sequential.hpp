@@ -1,0 +1,37 @@
+// Sequential reference implementations of M, MPS (Algorithm 1) and BMP
+// (Algorithm 2), including the symmetric assignment technique (§3): only
+// pairs with u < v are intersected; cnt[e(v,u)] receives a copy, with the
+// reverse slot located by binary search on N(v).
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "intersect/counters.hpp"
+
+namespace aecnc::core {
+
+/// Plain merge baseline "M": every u<v edge via two-pointer merge.
+[[nodiscard]] CountArray count_sequential_m(const graph::Csr& g);
+
+/// Algorithm 1: hybrid pivot-skip / block merge with threshold t.
+[[nodiscard]] CountArray count_sequential_mps(const graph::Csr& g,
+                                              const intersect::MpsConfig& cfg);
+
+/// Algorithm 2: dynamic bitmap index, optionally range-filtered.
+[[nodiscard]] CountArray count_sequential_bmp(const graph::Csr& g,
+                                              bool range_filter,
+                                              std::uint64_t rf_scale = 4096);
+
+/// Instrumented sequential runs feeding the perf models: identical work
+/// schedule, counting into `stats`.
+CountArray count_sequential_m_instrumented(const graph::Csr& g,
+                                           intersect::StatsCounter& stats);
+CountArray count_sequential_mps_instrumented(const graph::Csr& g,
+                                             const intersect::MpsConfig& cfg,
+                                             intersect::StatsCounter& stats);
+CountArray count_sequential_bmp_instrumented(const graph::Csr& g,
+                                             bool range_filter,
+                                             std::uint64_t rf_scale,
+                                             intersect::StatsCounter& stats);
+
+}  // namespace aecnc::core

@@ -1,0 +1,60 @@
+#include "core/verify.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "intersect/merge.hpp"
+
+namespace aecnc::core {
+
+CountArray count_reference(const graph::Csr& g) {
+  CountArray cnt(g.num_directed_edges(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId begin = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      cnt[begin + k] =
+          intersect::reference_count(g.neighbors(u), g.neighbors(nbrs[k]));
+    }
+  }
+  return cnt;
+}
+
+std::optional<std::string> diff_counts(const graph::Csr& g,
+                                       const CountArray& actual,
+                                       const CountArray& expected) {
+  if (actual.size() != expected.size()) {
+    return "size mismatch: " + std::to_string(actual.size()) + " vs " +
+           std::to_string(expected.size());
+  }
+  for (EdgeId e = 0; e < actual.size(); ++e) {
+    if (actual[e] != expected[e]) {
+      const VertexId u = g.src_of(e);
+      const VertexId v = g.dst_of(e);
+      std::ostringstream msg;
+      msg << "cnt[e(" << u << "," << v << ") = " << e << "] = " << actual[e]
+          << ", expected " << expected[e];
+      return msg.str();
+    }
+  }
+  return std::nullopt;
+}
+
+bool counts_symmetric(const graph::Csr& g, const CountArray& cnt) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId begin = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (cnt[begin + k] != cnt[g.find_edge(nbrs[k], u)]) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t triangle_count_from(const CountArray& cnt) {
+  const std::uint64_t sum =
+      std::accumulate(cnt.begin(), cnt.end(), std::uint64_t{0});
+  return sum / 6;
+}
+
+}  // namespace aecnc::core

@@ -1,0 +1,31 @@
+// Result verification utilities: ground-truth computation via
+// std::set_intersection and count-array comparison. Used by tests and by
+// the examples' self-checks.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace aecnc::core {
+
+/// Brute-force ground truth: every directed slot via std::set_intersection.
+[[nodiscard]] CountArray count_reference(const graph::Csr& g);
+
+/// First differing slot between two count arrays, with a human-readable
+/// description; std::nullopt when identical.
+[[nodiscard]] std::optional<std::string> diff_counts(const graph::Csr& g,
+                                                     const CountArray& actual,
+                                                     const CountArray& expected);
+
+/// The symmetry invariant: cnt[e(u,v)] == cnt[e(v,u)] for every edge.
+[[nodiscard]] bool counts_symmetric(const graph::Csr& g, const CountArray& cnt);
+
+/// Σ cnt / 6 = number of triangles (paper §2.2.2): each triangle
+/// contributes one common neighbor to each of its 3 edges in each of the
+/// 2 directions.
+[[nodiscard]] std::uint64_t triangle_count_from(const CountArray& cnt);
+
+}  // namespace aecnc::core

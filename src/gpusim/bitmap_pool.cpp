@@ -1,0 +1,47 @@
+#include "gpusim/bitmap_pool.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aecnc::gpusim {
+
+BitmapPool::BitmapPool(int num_sms, int blocks_per_sm,
+                       std::uint64_t cardinality)
+    : blocks_per_sm_(blocks_per_sm) {
+  assert(num_sms > 0 && blocks_per_sm > 0);
+  const std::size_t total =
+      static_cast<std::size_t>(num_sms) * static_cast<std::size_t>(blocks_per_sm);
+  bitmaps_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) bitmaps_.emplace_back(cardinality);
+  status_.assign(total, 0);
+}
+
+int BitmapPool::acquire(int sm_id) {
+  const int base = sm_id * blocks_per_sm_;
+  for (int i = 0; i < blocks_per_sm_; ++i) {
+    ++cas_probes_;
+    // atomicCAS(&BS_A[sm_id * n_C + i], 0, 1)
+    if (status_[static_cast<std::size_t>(base + i)] == 0) {
+      status_[static_cast<std::size_t>(base + i)] = 1;
+      ++acquisitions_;
+      return base + i;
+    }
+  }
+  throw std::logic_error(
+      "BitmapPool: SM segment exhausted (more concurrent blocks than n_C)");
+}
+
+void BitmapPool::release(int slot) {
+  assert(status_[static_cast<std::size_t>(slot)] == 1);
+  assert(bitmaps_[static_cast<std::size_t>(slot)].all_zero() &&
+         "kernel must clear the bitmap before releasing it");
+  status_[static_cast<std::size_t>(slot)] = 0;
+}
+
+std::uint64_t BitmapPool::memory_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : bitmaps_) total += b.memory_bytes();
+  return total;
+}
+
+}  // namespace aecnc::gpusim

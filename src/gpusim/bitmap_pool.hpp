@@ -1,0 +1,53 @@
+// The GPU bitmap pool of Algorithm 6: an array of |V|-bit bitmaps (B_A)
+// plus an occupation-status array (BS_A), sized
+// num_SMs x max-concurrent-blocks-per-SM. A block acquires a bitmap from
+// its SM's segment by an atomicCAS scan (lines 22-26) and releases it
+// after clearing. The simulator executes block batches, so acquisition
+// order and the per-SM segmentation are exercised exactly; the atomics
+// are plain operations under the simulator's sequential execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::gpusim {
+
+class BitmapPool {
+ public:
+  /// `num_sms` segments of `blocks_per_sm` bitmaps, each over
+  /// [0, cardinality) bits.
+  BitmapPool(int num_sms, int blocks_per_sm, std::uint64_t cardinality);
+
+  /// AcquireBitmap(B_A, BS_A, n_C): first free slot in this SM's segment.
+  /// Returns the pool index; asserts if the segment is exhausted (cannot
+  /// happen when at most n_C blocks run concurrently per SM).
+  [[nodiscard]] int acquire(int sm_id);
+
+  /// ReleaseBitmap: mark the slot free. The caller must have cleared the
+  /// bitmap (checked in debug builds, mirroring the kernel's contract).
+  void release(int slot);
+
+  [[nodiscard]] bitmap::Bitmap& at(int slot) { return bitmaps_[static_cast<std::size_t>(slot)]; }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(bitmaps_.size());
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t acquisitions() const noexcept {
+    return acquisitions_;
+  }
+  /// atomicCAS probes performed across all acquisitions (the scan cost).
+  [[nodiscard]] std::uint64_t cas_probes() const noexcept { return cas_probes_; }
+
+ private:
+  int blocks_per_sm_;
+  std::vector<bitmap::Bitmap> bitmaps_;
+  std::vector<std::uint8_t> status_;  // BS_A: 0 free, 1 taken
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t cas_probes_ = 0;
+};
+
+}  // namespace aecnc::gpusim

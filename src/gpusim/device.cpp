@@ -1,0 +1,23 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+namespace aecnc::gpusim {
+
+Occupancy compute_occupancy(const perf::GpuSpec& spec,
+                            const LaunchConfig& config) {
+  Occupancy occ;
+  const int warps = std::clamp(config.warps_per_block, 1, 32);
+  occ.threads_per_block = warps * spec.warp_size;
+  occ.blocks_per_sm = std::min(spec.max_blocks_per_sm,
+                               spec.max_threads_per_sm / occ.threads_per_block);
+  occ.blocks_per_sm = std::max(occ.blocks_per_sm, 1);
+  occ.concurrent_blocks = occ.blocks_per_sm * spec.num_sms;
+  occ.active_warps_per_sm = occ.blocks_per_sm * warps;
+  occ.occupancy_fraction =
+      static_cast<double>(occ.active_warps_per_sm * spec.warp_size) /
+      static_cast<double>(spec.max_threads_per_sm);
+  return occ;
+}
+
+}  // namespace aecnc::gpusim

@@ -1,0 +1,31 @@
+// GPU execution-model parameters: launch configuration and occupancy,
+// following the CUDA rules the paper tunes against (§4.2, §5.2.2):
+// 2048 threads/SM, at most 16 simultaneously scheduled blocks per SM on
+// the TITAN Xp, blockDim = 32 x warps_per_block.
+#pragma once
+
+#include <cstdint>
+
+#include "perf/specs.hpp"
+
+namespace aecnc::gpusim {
+
+struct LaunchConfig {
+  /// blockDim.y in Algorithms 5-6; the paper's default is 4 (=> 128
+  /// threads per block => 16 concurrent blocks/SM => 100% occupancy).
+  int warps_per_block = 4;
+};
+
+/// Derived occupancy facts for a launch on a given device.
+struct Occupancy {
+  int threads_per_block = 0;
+  int blocks_per_sm = 0;       // n_C in Algorithm 6
+  int concurrent_blocks = 0;   // across the whole device
+  int active_warps_per_sm = 0;
+  double occupancy_fraction = 0.0;  // active threads / max threads
+};
+
+[[nodiscard]] Occupancy compute_occupancy(const perf::GpuSpec& spec,
+                                          const LaunchConfig& config);
+
+}  // namespace aecnc::gpusim

@@ -1,0 +1,273 @@
+#include "gpusim/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "intersect/merge.hpp"
+#include "intersect/pivot_skip.hpp"
+
+namespace aecnc::gpusim {
+namespace {
+
+constexpr std::uint64_t kTransactionBytes = 32;
+
+std::uint64_t to_transactions(std::uint64_t bytes) {
+  return (bytes + kTransactionBytes - 1) / kTransactionBytes;
+}
+
+/// Warp-wise block merge with block sizes 8 (for a) x 4 (for b): their
+/// product is the warp size 32, so one warp evaluates all pairs of the
+/// resident blocks in a single lockstep step. Returns the match count and
+/// reports how many elements of each array were streamed in.
+struct BlockMergeResult {
+  CnCount count = 0;
+  std::uint64_t loaded_a = 0;
+  std::uint64_t loaded_b = 0;
+  std::uint64_t steps = 0;
+};
+
+BlockMergeResult warp_block_merge(std::span<const VertexId> a,
+                                  std::span<const VertexId> b) {
+  constexpr std::size_t kWa = 8, kWb = 4;
+  BlockMergeResult r;
+  std::size_t i = 0, j = 0;
+  std::uint64_t max_i = 0, max_j = 0;
+  while (i + kWa <= a.size() && j + kWb <= b.size()) {
+    ++r.steps;
+    for (std::size_t x = 0; x < kWa; ++x) {
+      for (std::size_t y = 0; y < kWb; ++y) {
+        r.count += static_cast<CnCount>(a[i + x] == b[j + y]);
+      }
+    }
+    const VertexId a_last = a[i + kWa - 1];
+    const VertexId b_last = b[j + kWb - 1];
+    if (a_last <= b_last) i += kWa;
+    if (b_last <= a_last) j += kWb;
+    max_i = std::max<std::uint64_t>(max_i, i);
+    max_j = std::max<std::uint64_t>(max_j, j);
+  }
+  // Scalar tail handled by lane 0 of the warp.
+  std::size_t ti = i, tj = j;
+  while (ti < a.size() && tj < b.size()) {
+    ++r.steps;
+    if (a[ti] < b[tj]) {
+      ++ti;
+    } else if (a[ti] > b[tj]) {
+      ++tj;
+    } else {
+      ++ti;
+      ++tj;
+      ++r.count;
+    }
+  }
+  r.loaded_a = std::max<std::uint64_t>(max_i, ti);
+  r.loaded_b = std::max<std::uint64_t>(max_j, tj);
+  return r;
+}
+
+/// Neighbors of u restricted to destination range [v_lo, v_hi):
+/// [begin, end) slot positions within u's adjacency.
+struct SlotRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+SlotRange slots_in_range(std::span<const VertexId> nbrs, VertexId v_lo,
+                         VertexId v_hi) {
+  const auto lo =
+      std::lower_bound(nbrs.begin(), nbrs.end(), v_lo) - nbrs.begin();
+  const auto hi =
+      std::lower_bound(nbrs.begin(), nbrs.end(), v_hi) - nbrs.begin();
+  return {static_cast<std::size_t>(lo), static_cast<std::size_t>(hi)};
+}
+
+bool is_skewed(double du, double dv, double t) {
+  return du > t * dv || dv > t * du;
+}
+
+}  // namespace
+
+DeviceArrays allocate_graph(UnifiedMemory& um, const graph::Csr& g) {
+  DeviceArrays arrays;
+  arrays.off_base =
+      um.allocate("off", (static_cast<std::uint64_t>(g.num_vertices()) + 1) *
+                             sizeof(EdgeId));
+  arrays.dst_base = um.allocate("dst", g.num_directed_edges() * sizeof(VertexId));
+  arrays.cnt_base = um.allocate("cnt", g.num_directed_edges() * sizeof(CnCount));
+  return arrays;
+}
+
+void run_m_kernel(const graph::Csr& g, std::vector<CnCount>& cnt,
+                  double skew_threshold, VertexId v_lo, VertexId v_hi,
+                  const DeviceArrays& arrays, UnifiedMemory& um,
+                  KernelStats& stats) {
+  // |V| thread blocks: blockIdx.x = u; warps stride u's edge slots.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    if (nu.empty()) continue;
+    um.touch(arrays.off_base + u * sizeof(EdgeId), 2 * sizeof(EdgeId));
+    const auto range = slots_in_range(nu, std::max(v_lo, u + 1), v_hi);
+    if (range.begin >= range.end) continue;
+
+    const EdgeId base = g.offset_begin(u);
+    // The warp reads dst[] coalesced across the processed slots.
+    um.touch(arrays.dst_base + (base + range.begin) * sizeof(VertexId),
+             (range.end - range.begin) * sizeof(VertexId));
+    stats.load_transactions +=
+        to_transactions((range.end - range.begin) * sizeof(VertexId));
+
+    for (std::size_t k = range.begin; k < range.end; ++k) {
+      const VertexId v = nu[k];
+      const auto nv = g.neighbors(v);
+      if (is_skewed(nu.size(), nv.size(), skew_threshold)) continue;
+
+      const BlockMergeResult r = warp_block_merge(nu, nv);
+      // 32-element chunks staged through the warp's shared-memory region.
+      um.touch(arrays.dst_base + base * sizeof(VertexId),
+               r.loaded_a * sizeof(VertexId));
+      um.touch(arrays.dst_base + g.offset_begin(v) * sizeof(VertexId),
+               r.loaded_b * sizeof(VertexId));
+      stats.load_transactions +=
+          to_transactions(r.loaded_a * sizeof(VertexId)) +
+          to_transactions(r.loaded_b * sizeof(VertexId));
+      stats.shared_load_ops += r.steps;
+      stats.warp_steps += r.steps;
+      stats.shuffle_ops += 5;  // __shfl_down over {16,8,4,2,1}
+
+      cnt[base + k] = r.count;
+      um.touch(arrays.cnt_base + (base + k) * sizeof(CnCount), sizeof(CnCount));
+      ++stats.store_transactions;
+      ++stats.edges_processed;
+    }
+  }
+}
+
+void run_ps_kernel(const graph::Csr& g, std::vector<CnCount>& cnt,
+                   double skew_threshold, VertexId v_lo, VertexId v_hi,
+                   const DeviceArrays& arrays, UnifiedMemory& um,
+                   KernelStats& stats) {
+  // |V| thread blocks, 1D threads: each thread owns one edge slot.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    if (nu.empty()) continue;
+    const auto range = slots_in_range(nu, std::max(v_lo, u + 1), v_hi);
+    if (range.begin >= range.end) continue;
+    const EdgeId base = g.offset_begin(u);
+
+    for (std::size_t k = range.begin; k < range.end; ++k) {
+      const VertexId v = nu[k];
+      const auto nv = g.neighbors(v);
+      if (!is_skewed(nu.size(), nv.size(), skew_threshold)) continue;
+
+      // Pivot-skip merge, instrumented: each search probe is an
+      // irregular gather -> one uncoalesced transaction.
+      intersect::StatsCounter probes;
+      const CnCount c = intersect::pivot_skip_count(nu, nv, probes);
+      const std::uint64_t gathers =
+          probes.gallop_steps + probes.binary_steps +
+          (probes.linear_probes + 7) / 8;  // linear window is contiguous
+      stats.load_transactions += gathers;
+      stats.serial_steps +=
+          probes.gallop_steps + probes.binary_steps + probes.linear_probes;
+      // The searched spans migrate on demand; both sets are touched up to
+      // their full extent in the worst case.
+      um.touch(arrays.dst_base + base * sizeof(VertexId),
+               nu.size() * sizeof(VertexId));
+      um.touch(arrays.dst_base + g.offset_begin(v) * sizeof(VertexId),
+               nv.size() * sizeof(VertexId));
+
+      cnt[base + k] = c;
+      um.touch(arrays.cnt_base + (base + k) * sizeof(CnCount), sizeof(CnCount));
+      ++stats.store_transactions;
+      ++stats.edges_processed;
+    }
+  }
+}
+
+void run_bmp_kernel(const graph::Csr& g, std::vector<CnCount>& cnt,
+                    bool range_filter, std::uint64_t rf_scale, VertexId v_lo,
+                    VertexId v_hi, const DeviceArrays& arrays,
+                    UnifiedMemory& um, BitmapPool& pool, const Occupancy& occ,
+                    KernelStats& stats) {
+  const int concurrent = std::max(1, occ.concurrent_blocks);
+  const std::uint64_t summary_bits =
+      range_filter ? (g.num_vertices() + rf_scale - 1) / rf_scale : 0;
+
+  // Blocks are dispatched in batches of `concurrent`; each resident block
+  // acquires a bitmap from its SM's pool segment (Algorithm 6 lines 5-8).
+  std::vector<int> slots(static_cast<std::size_t>(concurrent), -1);
+  for (VertexId batch_start = 0; batch_start < g.num_vertices();
+       batch_start += static_cast<VertexId>(concurrent)) {
+    const VertexId batch_end = std::min<std::uint64_t>(
+        g.num_vertices(), static_cast<std::uint64_t>(batch_start) +
+                              static_cast<std::uint64_t>(concurrent));
+
+    for (VertexId u = batch_start; u < batch_end; ++u) {
+      const int block_index = static_cast<int>(u - batch_start);
+      const int sm_id = block_index / occ.blocks_per_sm;
+
+      const auto nu = g.neighbors(u);
+      if (nu.empty()) continue;
+      const auto range = slots_in_range(nu, std::max(v_lo, u + 1), v_hi);
+      if (range.begin >= range.end) continue;
+
+      // AcquireBitmap + atomic-or construction.
+      const int slot = pool.acquire(sm_id);
+      slots[static_cast<std::size_t>(block_index)] = slot;
+      bitmap::Bitmap& b = pool.at(slot);
+      bitmap::Bitmap summary(range_filter ? summary_bits : 0);
+      const EdgeId base = g.offset_begin(u);
+      um.touch(arrays.dst_base + base * sizeof(VertexId),
+               nu.size() * sizeof(VertexId));
+      stats.load_transactions += to_transactions(nu.size() * sizeof(VertexId));
+      for (const VertexId w : nu) {
+        b.set(w);
+        ++stats.atomic_ops;  // atomicOr on the bitmap word
+        if (range_filter) {
+          summary.set(static_cast<VertexId>(w / rf_scale));
+          ++stats.shared_load_ops;  // summary lives in shared memory
+        }
+      }
+
+      // Warp-wise bitmap-array intersections over the pass's slots.
+      for (std::size_t k = range.begin; k < range.end; ++k) {
+        const VertexId v = nu[k];
+        const auto nv = g.neighbors(v);
+        um.touch(arrays.dst_base + g.offset_begin(v) * sizeof(VertexId),
+                 nv.size() * sizeof(VertexId));
+        stats.load_transactions +=
+            to_transactions(nv.size() * sizeof(VertexId));
+
+        CnCount c = 0;
+        for (const VertexId w : nv) {
+          if (range_filter) {
+            ++stats.shared_load_ops;  // summary probe (shared memory)
+            if (!summary.test(static_cast<VertexId>(w / rf_scale))) continue;
+          }
+          // Scattered single-word bitmap probe: one 32 B transaction.
+          ++stats.load_transactions;
+          if (b.test(w)) ++c;
+        }
+        stats.warp_steps += (nv.size() + 31) / 32;
+        stats.shuffle_ops += 5;
+
+        cnt[base + k] = c;
+        um.touch(arrays.cnt_base + (base + k) * sizeof(CnCount),
+                 sizeof(CnCount));
+        ++stats.store_transactions;
+        ++stats.edges_processed;
+      }
+
+      // ClearBitmap + ReleaseBitmap.
+      for (const VertexId w : nu) {
+        b.flip(w);
+        ++stats.store_transactions;
+      }
+      pool.release(slot);
+      slots[static_cast<std::size_t>(block_index)] = -1;
+    }
+  }
+  (void)slots;
+}
+
+}  // namespace aecnc::gpusim

@@ -1,0 +1,92 @@
+// Functional simulation of the paper's CUDA kernels (Algorithms 5 and 6).
+//
+// The kernels are executed lane-faithfully enough to account every
+// memory transaction class the real kernels generate, while producing
+// bit-exact counts:
+//
+//  - MKernel: one warp per edge, warp-wise block merge with block sizes
+//    8 x 4 (their product is the warp size 32, as in §4.2.1), shared-
+//    memory staging of 32-element chunks, __shfl_down reduction.
+//  - PSKernel: one thread per (degree-skewed) edge, pivot-skip merge with
+//    irregular gather loads.
+//  - BMPKernel: one block per vertex; bitmap acquired from the per-SM
+//    pool via atomicCAS, built with atomic-or, probed warp-wise, cleared
+//    and released; optional range filter held in shared memory.
+//
+// Every kernel takes a destination-vertex range [v_lo, v_hi) so the
+// multi-pass driver (§4.2.2) can restrict a pass's working set.
+#pragma once
+
+#include <cstdint>
+
+#include "bitmap/bitmap.hpp"
+#include "gpusim/bitmap_pool.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/unified_memory.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::gpusim {
+
+/// Transaction/operation accounting for one kernel execution.
+struct KernelStats {
+  std::uint64_t load_transactions = 0;    // 32-byte global load segments
+  std::uint64_t store_transactions = 0;   // 32-byte global store segments
+  std::uint64_t shared_load_ops = 0;      // shared-memory accesses
+  std::uint64_t atomic_ops = 0;           // atomicOr/atomicCAS
+  std::uint64_t shuffle_ops = 0;          // __shfl_down reduction steps
+  std::uint64_t warp_steps = 0;           // lockstep merge/probe steps
+  std::uint64_t serial_steps = 0;         // dependent per-thread steps (PS)
+  std::uint64_t edges_processed = 0;      // forward edges counted
+
+  KernelStats& operator+=(const KernelStats& o) noexcept {
+    load_transactions += o.load_transactions;
+    store_transactions += o.store_transactions;
+    shared_load_ops += o.shared_load_ops;
+    atomic_ops += o.atomic_ops;
+    shuffle_ops += o.shuffle_ops;
+    warp_steps += o.warp_steps;
+    serial_steps += o.serial_steps;
+    edges_processed += o.edges_processed;
+    return *this;
+  }
+};
+
+/// Simulated device pointers of the CSR + count arrays inside the
+/// unified-memory address space.
+struct DeviceArrays {
+  std::uint64_t off_base = 0;  // (|V|+1) x 8 bytes
+  std::uint64_t dst_base = 0;  // slots x 4 bytes
+  std::uint64_t cnt_base = 0;  // slots x 4 bytes
+};
+
+/// Allocate the CSR and count array in unified memory (§4.2 "Memory
+/// Allocation": CSR + cnt on unified memory for both MPS and BMP).
+[[nodiscard]] DeviceArrays allocate_graph(UnifiedMemory& um,
+                                          const graph::Csr& g);
+
+/// MKernel(off, dst, cnt, t): warp-per-edge block merge for non-skewed
+/// pairs with u < v and dst in [v_lo, v_hi).
+void run_m_kernel(const graph::Csr& g, std::vector<CnCount>& cnt,
+                  double skew_threshold, VertexId v_lo, VertexId v_hi,
+                  const DeviceArrays& arrays, UnifiedMemory& um,
+                  KernelStats& stats);
+
+/// PSKernel(off, dst, cnt, t): thread-per-edge pivot-skip merge for
+/// skewed pairs with u < v and dst in [v_lo, v_hi).
+void run_ps_kernel(const graph::Csr& g, std::vector<CnCount>& cnt,
+                   double skew_threshold, VertexId v_lo, VertexId v_hi,
+                   const DeviceArrays& arrays, UnifiedMemory& um,
+                   KernelStats& stats);
+
+/// BMPKernel(off, dst, cnt, B_A, BS_A, n_C): block-per-vertex bitmap
+/// intersections for pairs with u < v and dst in [v_lo, v_hi).
+/// `range_filter` keeps the summary bitmap in shared memory; its bytes
+/// are recorded in stats.shared_load_ops usage accounting.
+void run_bmp_kernel(const graph::Csr& g, std::vector<CnCount>& cnt,
+                    bool range_filter, std::uint64_t rf_scale, VertexId v_lo,
+                    VertexId v_hi, const DeviceArrays& arrays,
+                    UnifiedMemory& um, BitmapPool& pool, const Occupancy& occ,
+                    KernelStats& stats);
+
+}  // namespace aecnc::gpusim

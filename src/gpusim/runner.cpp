@@ -1,0 +1,239 @@
+#include "gpusim/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace aecnc::gpusim {
+namespace {
+
+/// Host side of Algorithm 4 without co-processing: locate every reverse
+/// slot by binary search and copy the count. Returns elapsed seconds.
+double post_process_no_cp(const graph::Csr& g, core::CountArray& cnt) {
+  util::WallTimer timer;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u > v) cnt[base + k] = cnt[g.find_edge(v, u)];
+    }
+  }
+  return timer.seconds();
+}
+
+/// AssignOffsetsOnCPU (Algorithm 4 lines 5-7): store the forward slot
+/// index into each reverse slot. Runs concurrently with the kernels on
+/// the real hardware; here it executes between kernels and its time is
+/// reported as overlap_seconds.
+double assign_offsets(const graph::Csr& g, core::CountArray& cnt) {
+  util::WallTimer timer;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u < v) {
+        const EdgeId reverse = g.find_edge(v, u);
+        assert(base + k <= ~CnCount{0});
+        cnt[reverse] = static_cast<CnCount>(base + k);
+      }
+    }
+  }
+  return timer.seconds();
+}
+
+/// Final symmetric assignment with co-processing (Algorithm 4 line 4):
+/// cnt[e(u,v)] <- cnt[cnt[e(u,v)]] for u > v — a straight dependent copy,
+/// no searches. Returns elapsed seconds.
+double post_process_cp(const graph::Csr& g, core::CountArray& cnt) {
+  util::WallTimer timer;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (u > nbrs[k]) cnt[base + k] = cnt[cnt[base + k]];
+    }
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int estimate_passes(std::uint64_t csr_bytes, std::uint64_t global_bytes,
+                    std::uint64_t reserved_bytes,
+                    std::uint64_t bitmap_pool_bytes) {
+  const std::uint64_t spent = reserved_bytes + bitmap_pool_bytes;
+  if (spent >= global_bytes) {
+    throw std::invalid_argument(
+        "gpusim: reserved + bitmap pool exceed device memory");
+  }
+  const std::uint64_t usable = global_bytes - spent;
+  return static_cast<int>((csr_bytes + usable - 1) / usable);
+}
+
+double model_kernel_seconds(const perf::GpuSpec& spec, const Occupancy& occ,
+                            const KernelStats& stats) {
+  const double bw = spec.global_bw_gbs * 1e9;
+
+  // Bandwidth term over all global transactions.
+  const double bytes =
+      32.0 * static_cast<double>(stats.load_transactions +
+                                 stats.store_transactions);
+  double mem_seconds = bytes / bw;
+
+  // Latency hiding: the device needs enough in-flight transactions per SM
+  // to cover global latency. At full occupancy a TITAN Xp-class chip
+  // sustains its bandwidth; below that, effective bandwidth degrades
+  // linearly with active warps.
+  const double needed_inflight_per_sm =
+      (bw / spec.num_sms) * (spec.global_latency_ns * 1e-9) / 32.0;
+  constexpr double kInflightPerWarp = 8.0;  // outstanding loads per warp
+  const double have_inflight =
+      static_cast<double>(occ.active_warps_per_sm) * kInflightPerWarp;
+  const double bw_fraction =
+      std::min(1.0, have_inflight / needed_inflight_per_sm);
+  mem_seconds /= std::max(bw_fraction, 1e-3);
+
+  // PS kernel's dependent gather chains: each serial step pays full
+  // latency, and the irregular control flow diverges the warp, so only
+  // about one lane per warp makes progress at a time (§4.2.1: "the
+  // warp-level parallelism cannot be exploited").
+  const double active_threads = static_cast<double>(occ.active_warps_per_sm) *
+                                spec.warp_size * spec.num_sms;
+  const double serial_seconds = static_cast<double>(stats.serial_steps) *
+                                (spec.global_latency_ns * 1e-9) /
+                                std::max(1.0, active_threads / 32.0);
+
+  // Lockstep compute (merge steps, probes, reductions, atomics): one
+  // warp instruction each, across all SMs' schedulers.
+  const double issue_rate =
+      spec.freq_ghz * 1e9 * spec.num_sms * 2.0;  // 2 warp instr/cycle/SM
+  const double compute_seconds =
+      static_cast<double>(stats.warp_steps + stats.shuffle_ops +
+                          stats.atomic_ops + stats.shared_load_ops) /
+      issue_rate;
+
+  return std::max(mem_seconds + serial_seconds, compute_seconds);
+}
+
+GpuRunResult run_gpu(const graph::Csr& g, const GpuRunConfig& config) {
+  GpuRunResult result;
+  result.occupancy = compute_occupancy(config.spec, config.launch);
+
+  const bool is_bmp = config.algorithm == core::Algorithm::kBmp;
+  if (!is_bmp && config.algorithm != core::Algorithm::kMps) {
+    throw std::invalid_argument("gpusim: algorithm must be MPS or BMP");
+  }
+
+  // Bitmap pool (BMP only): one bitmap per concurrently resident block,
+  // allocated with cudaMalloc outside unified memory (§4.2).
+  const std::uint64_t bitmap_bytes = (g.num_vertices() + 63) / 64 * 8;
+  result.num_bitmaps = is_bmp ? result.occupancy.concurrent_blocks : 0;
+  result.bitmap_pool_bytes =
+      static_cast<std::uint64_t>(result.num_bitmaps) * bitmap_bytes;
+
+  // Device memory budget, scaled to the replica.
+  const auto global_bytes = static_cast<std::uint64_t>(
+      config.spec.global_mem_bytes * config.device_mem_scale);
+  const auto reserved_bytes = static_cast<std::uint64_t>(
+      config.reserved_bytes * config.device_mem_scale);
+  // Everything that pages through unified memory counts against the
+  // budget: the CSR arrays and the count array (both are placed in
+  // unified memory per §4.2 "Memory Allocation").
+  const std::uint64_t paged_bytes =
+      g.memory_bytes() + g.num_directed_edges() * sizeof(CnCount);
+
+  result.estimated_passes = estimate_passes(paged_bytes, global_bytes,
+                                            reserved_bytes,
+                                            result.bitmap_pool_bytes);
+  result.passes_used =
+      config.num_passes > 0 ? config.num_passes : result.estimated_passes;
+
+  // Pageable capacity for the unified-memory pager: device memory minus
+  // the pinned bitmap pool (the reserve stays available to the runtime's
+  // own sequential window, so the pager may still use it).
+  const std::uint64_t pageable =
+      global_bytes > result.bitmap_pool_bytes
+          ? global_bytes - result.bitmap_pool_bytes
+          : 1;
+  UnifiedMemory um(pageable, static_cast<std::uint64_t>(config.spec.page_bytes));
+  const DeviceArrays arrays = allocate_graph(um, g);
+
+  result.counts.assign(g.num_directed_edges(), 0);
+
+  BitmapPool pool(is_bmp ? config.spec.num_sms : 1,
+                  is_bmp ? result.occupancy.blocks_per_sm : 1,
+                  is_bmp ? g.num_vertices() : 1);
+
+  // Host offset phase (overlapped with the kernels when CP is on).
+  if (config.co_processing) {
+    result.overlap_seconds = assign_offsets(g, result.counts);
+  }
+
+  // Multi-pass kernel execution over destination-vertex ranges. Ranges
+  // are balanced by adjacency volume, not vertex count: under the
+  // degree-descending order a uniform vertex split would put almost all
+  // bytes into the first pass.
+  const VertexId n = g.num_vertices();
+  const int passes = std::max(1, result.passes_used);
+  const auto& offsets = g.offsets();
+  auto range_boundary = [&](int p) {
+    const EdgeId target = g.num_directed_edges() *
+                          static_cast<EdgeId>(p) /
+                          static_cast<EdgeId>(passes);
+    const auto it = std::lower_bound(offsets.begin(), offsets.end(), target);
+    return static_cast<VertexId>(
+        std::min<std::ptrdiff_t>(it - offsets.begin(), n));
+  };
+  for (int p = 0; p < passes; ++p) {
+    const VertexId v_lo = p == 0 ? 0 : range_boundary(p);
+    const VertexId v_hi = p + 1 == passes ? n : range_boundary(p + 1);
+    um.begin_epoch();
+    const std::uint64_t faults_before = um.stats().faults;
+    const std::uint64_t refaults_before = um.stats().refaults;
+
+    if (is_bmp) {
+      run_bmp_kernel(g, result.counts, config.range_filter,
+                     config.rf_range_scale, v_lo, v_hi, arrays, um, pool,
+                     result.occupancy, result.kernel);
+    } else {
+      run_m_kernel(g, result.counts, config.skew_threshold, v_lo, v_hi,
+                   arrays, um, result.kernel);
+      run_ps_kernel(g, result.counts, config.skew_threshold, v_lo, v_hi,
+                    arrays, um, result.kernel);
+    }
+
+    // Thrash detection: a pass is thrashing when re-migrations (pages
+    // faulted twice within the pass) outnumber first-touch migrations —
+    // the pass spent more bus time reloading its working set than
+    // loading it.
+    const std::uint64_t pass_faults = um.stats().faults - faults_before;
+    const std::uint64_t pass_refaults = um.stats().refaults - refaults_before;
+    if (pass_refaults > pass_faults - pass_refaults) result.thrashed = true;
+  }
+  result.um = um.stats();
+
+  // Host-side symmetric assignment.
+  if (config.co_processing) {
+    result.post_seconds = post_process_cp(g, result.counts);
+  } else {
+    result.post_seconds = post_process_no_cp(g, result.counts);
+  }
+
+  // Modeled device time.
+  result.kernel_seconds =
+      model_kernel_seconds(config.spec, result.occupancy, result.kernel);
+  result.fault_seconds =
+      static_cast<double>(result.um.faults) * config.spec.page_fault_us * 1e-6 +
+      static_cast<double>(result.um.migrated_bytes) /
+          (config.spec.pcie_bw_gbs * 1e9);
+  result.total_seconds =
+      result.kernel_seconds + result.fault_seconds + result.post_seconds;
+  return result;
+}
+
+}  // namespace aecnc::gpusim

@@ -1,0 +1,85 @@
+// End-to-end GPU execution driver (Algorithm 4 + §4.2.2 multi-pass).
+//
+// A run launches the MPS kernels (MKernel + PSKernel) or the BMPKernel
+// over one or more destination-vertex passes, pages the CSR/count arrays
+// through the unified-memory simulator, post-processes the symmetric
+// assignment on the (real) host CPU, and converts the collected
+// transaction counts into modeled elapsed time with the GPU spec.
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/kernels.hpp"
+#include "gpusim/unified_memory.hpp"
+#include "graph/csr.hpp"
+#include "perf/specs.hpp"
+
+namespace aecnc::gpusim {
+
+struct GpuRunConfig {
+  core::Algorithm algorithm = core::Algorithm::kBmp;  // kMps or kBmp
+  double skew_threshold = 50.0;
+  bool range_filter = false;
+  std::uint64_t rf_range_scale = 4096;
+  LaunchConfig launch{};
+
+  /// 0 = use the paper's estimator
+  /// ceil(Mem_CSR / (Mem_global - Mem_reserved - Mem_BA)).
+  int num_passes = 0;
+
+  /// Overlap the reverse-offset computation with the kernels (Table 5).
+  bool co_processing = true;
+
+  perf::GpuSpec spec = perf::titan_xp_spec();
+
+  /// Scales spec.global_mem_bytes and the reserve, so replica-scale
+  /// graphs face the same relative memory pressure the full datasets put
+  /// on the 12 GB card. Set this to the dataset scale.
+  double device_mem_scale = 1.0;
+
+  /// Mem_reserved of the pass estimator (paper: 500 MB), before scaling.
+  double reserved_bytes = 500.0 * 1024 * 1024;
+};
+
+struct GpuRunResult {
+  core::CountArray counts;       // full symmetric count array
+  KernelStats kernel;            // summed across passes
+  UmStats um;                    // pager statistics
+  Occupancy occupancy;
+  int passes_used = 0;
+  int estimated_passes = 0;
+  std::uint64_t bitmap_pool_bytes = 0;
+  int num_bitmaps = 0;
+  bool thrashed = false;         // pager refaulted within a pass
+
+  // Modeled device-side time and measured host-side time (seconds).
+  double kernel_seconds = 0.0;   // modeled from transactions/occupancy
+  double fault_seconds = 0.0;    // modeled page migration cost
+  double post_seconds = 0.0;     // measured host post-processing
+  double overlap_seconds = 0.0;  // host offset phase (hidden if CP on)
+  double total_seconds = 0.0;
+};
+
+/// The paper's pass estimator (§4.2.2):
+/// ceil(Mem_CSR / (Mem_global - Mem_reserved - Mem_BA)).
+[[nodiscard]] int estimate_passes(std::uint64_t csr_bytes,
+                                  std::uint64_t global_bytes,
+                                  std::uint64_t reserved_bytes,
+                                  std::uint64_t bitmap_pool_bytes);
+
+/// Execute one full GPU run. Counts are bit-exact (verified against the
+/// CPU reference in tests); times are modeled as documented in DESIGN.md.
+[[nodiscard]] GpuRunResult run_gpu(const graph::Csr& g,
+                                   const GpuRunConfig& config);
+
+/// Convert kernel statistics into modeled kernel time: the bandwidth
+/// term (32 B x transactions / BW) inflated when occupancy is too low to
+/// hide the global-memory latency, plus the serial gather chains of the
+/// PS kernel.
+[[nodiscard]] double model_kernel_seconds(const perf::GpuSpec& spec,
+                                          const Occupancy& occ,
+                                          const KernelStats& stats);
+
+}  // namespace aecnc::gpusim

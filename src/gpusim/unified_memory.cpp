@@ -1,0 +1,74 @@
+#include "gpusim/unified_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aecnc::gpusim {
+
+UnifiedMemory::UnifiedMemory(std::uint64_t device_bytes,
+                             std::uint64_t page_bytes)
+    : page_bytes_(page_bytes),
+      capacity_pages_(std::max<std::uint64_t>(1, device_bytes / page_bytes)) {}
+
+std::uint64_t UnifiedMemory::allocate(std::string name, std::uint64_t bytes) {
+  // Page-align every region so touches of one region never fault a
+  // neighbor's pages.
+  const std::uint64_t base = next_addr_;
+  const std::uint64_t aligned =
+      (bytes + page_bytes_ - 1) / page_bytes_ * page_bytes_;
+  next_addr_ += aligned;
+  resident_.resize(next_addr_ / page_bytes_, 0);
+  last_fault_epoch_.resize(next_addr_ / page_bytes_, 0);
+  regions_.push_back({std::move(name), base, bytes});
+  return base;
+}
+
+void UnifiedMemory::touch(std::uint64_t addr, std::uint64_t bytes) {
+  ++stats_.touches;
+  if (bytes == 0) return;
+  assert(addr + bytes <= next_addr_);
+  const std::uint64_t first = addr / page_bytes_;
+  const std::uint64_t last = (addr + bytes - 1) / page_bytes_;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    if (resident_[page] == 0) {
+      fault_in(page);
+    } else {
+      resident_[page] = 2;  // referenced: second chance on eviction
+    }
+  }
+}
+
+void UnifiedMemory::fault_in(std::uint64_t page) {
+  while (resident_count_ >= capacity_pages_) {
+    // Second-chance victim selection: referenced pages get requeued once,
+    // so streamed-once data is evicted before the pass's working set.
+    assert(!clock_.empty());
+    const std::uint64_t victim = clock_.front();
+    clock_.pop_front();
+    if (resident_[victim] == 2) {
+      resident_[victim] = 1;
+      clock_.push_back(victim);
+    } else if (resident_[victim] == 1) {
+      resident_[victim] = 0;
+      --resident_count_;
+      ++stats_.evictions;
+    }
+    // Stale entries (already evicted) are skipped.
+  }
+  resident_[page] = 1;
+  ++resident_count_;
+  clock_.push_back(page);
+  ++stats_.faults;
+  stats_.migrated_bytes += page_bytes_;
+  stats_.resident_peak = std::max(stats_.resident_peak, resident_count_);
+  if (last_fault_epoch_[page] == epoch_) ++stats_.refaults;
+  last_fault_epoch_[page] = epoch_;
+}
+
+void UnifiedMemory::evict_all() {
+  std::fill(resident_.begin(), resident_.end(), std::uint8_t{0});
+  clock_.clear();
+  resident_count_ = 0;
+}
+
+}  // namespace aecnc::gpusim

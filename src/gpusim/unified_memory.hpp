@@ -1,0 +1,94 @@
+// Unified-memory pager simulation (paper §4.2).
+//
+// On Pascal, unified-memory allocations are migrated to the device on
+// demand in driver pages; when the working set exceeds free device
+// memory, pages are evicted and re-faulted — the thrashing that makes
+// BMP "fail" below the estimated pass count on friendster (Fig 8).
+//
+// The simulator models a flat device address space carved into fixed
+// pages. Regions are allocated contiguously; every kernel access calls
+// touch(), which faults non-resident pages in (evicting second-chance
+// victims when over capacity, so streamed-once pages go first and the
+// pass's re-touched working set is protected) and accumulates
+// fault/migration statistics.
+// Regions can also be pinned (the paper allocates the bitmap pool with
+// cudaMalloc, outside unified memory, so it never swaps).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace aecnc::gpusim {
+
+struct UmStats {
+  std::uint64_t faults = 0;           // pages migrated host->device
+  std::uint64_t evictions = 0;        // pages dropped for capacity
+  std::uint64_t migrated_bytes = 0;   // faults * page size
+  std::uint64_t touches = 0;          // touch() calls
+  std::uint64_t resident_peak = 0;    // max resident pages seen
+  std::uint64_t refaults = 0;         // faults of pages already faulted in
+                                      // the current epoch (= thrashing)
+};
+
+class UnifiedMemory {
+ public:
+  /// `device_bytes`: usable device memory for pageable data (global
+  /// memory minus pinned allocations and reserve). `page_bytes` is the
+  /// migration granularity.
+  UnifiedMemory(std::uint64_t device_bytes, std::uint64_t page_bytes = 4096);
+
+  /// Reserve a contiguous region; returns its base address.
+  [[nodiscard]] std::uint64_t allocate(std::string name, std::uint64_t bytes);
+
+  /// Record an access to [addr, addr+bytes): faults in missing pages.
+  void touch(std::uint64_t addr, std::uint64_t bytes);
+
+  /// Drop all residency (e.g. between experiments) but keep allocations.
+  void evict_all();
+
+  /// Start a new accounting epoch (one per multi-pass pass). A page that
+  /// faults twice within one epoch was evicted and reloaded while still
+  /// needed — the thrashing signature of Fig 8.
+  void begin_epoch() { ++epoch_; }
+
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] const UmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t capacity_pages() const noexcept {
+    return capacity_pages_;
+  }
+  [[nodiscard]] std::uint64_t resident_pages() const noexcept {
+    return resident_count_;
+  }
+  [[nodiscard]] std::uint64_t page_bytes() const noexcept { return page_bytes_; }
+  [[nodiscard]] std::uint64_t allocated_bytes() const noexcept {
+    return next_addr_;
+  }
+
+ private:
+  void fault_in(std::uint64_t page);
+
+  std::uint64_t page_bytes_;
+  std::uint64_t capacity_pages_;
+  std::uint64_t next_addr_ = 0;
+
+  // Page states: 0 = absent, 1 = resident, 2 = resident and referenced
+  // since last considered for eviction (second-chance bit).
+  std::vector<std::uint8_t> resident_;
+  std::vector<std::uint32_t> last_fault_epoch_;  // page -> epoch of fault
+  std::deque<std::uint64_t> clock_;      // second-chance queue
+  std::uint64_t resident_count_ = 0;
+  std::uint32_t epoch_ = 1;
+  UmStats stats_;
+
+  struct Region {
+    std::string name;
+    std::uint64_t base;
+    std::uint64_t bytes;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace aecnc::gpusim

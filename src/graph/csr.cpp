@@ -1,0 +1,92 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace aecnc::graph {
+
+Csr Csr::from_edge_list(EdgeList edges) {
+  edges.normalize();
+  const VertexId n = edges.num_vertices();
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  util::AlignedVector<VertexId> dst(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    dst[cursor[e.u]++] = e.v;
+    dst[cursor[e.v]++] = e.u;
+  }
+  // Normalized edge lists are sorted by (u, v), so each u's neighbors with
+  // id > u are appended in order, but neighbors with id < u arrive out of
+  // order relative to them; sort each adjacency list.
+  for (VertexId u = 0; u < n; ++u) {
+    std::sort(dst.begin() + static_cast<std::ptrdiff_t>(offsets[u]),
+              dst.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]));
+  }
+
+  return from_raw(std::move(offsets), std::move(dst));
+}
+
+Csr Csr::from_raw(std::vector<EdgeId> offsets,
+                  util::AlignedVector<VertexId> dst) {
+  assert(!offsets.empty());
+  assert(offsets.back() == dst.size());
+  Csr g;
+  g.offsets_ = std::move(offsets);
+  g.dst_ = std::move(dst);
+  return g;
+}
+
+EdgeId Csr::find_edge(VertexId u, VertexId v) const noexcept {
+  const auto begin = dst_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = dst_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  const auto it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return num_directed_edges();
+  return static_cast<EdgeId>(it - dst_.begin());
+}
+
+VertexId Csr::src_of(EdgeId e) const noexcept {
+  // First offset strictly greater than e belongs to src + 1.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), e);
+  return static_cast<VertexId>((it - offsets_.begin()) - 1);
+}
+
+Degree Csr::max_degree() const noexcept {
+  Degree best = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+std::string Csr::validate() const {
+  if (offsets_.empty()) return "empty offset array";
+  if (offsets_.front() != 0) return "offsets[0] != 0";
+  if (offsets_.back() != dst_.size()) return "offsets.back() != dst.size()";
+  const VertexId n = num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    if (offsets_[u] > offsets_[u + 1]) {
+      return "offsets not monotone at vertex " + std::to_string(u);
+    }
+    const auto nbrs = neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) return "neighbor id out of range at " + std::to_string(u);
+      if (nbrs[i] == u) return "self loop at vertex " + std::to_string(u);
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) {
+        return "adjacency not sorted/unique at vertex " + std::to_string(u);
+      }
+      if (find_edge(nbrs[i], u) == num_directed_edges()) {
+        return "asymmetric edge (" + std::to_string(u) + "," +
+               std::to_string(nbrs[i]) + ")";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace aecnc::graph

@@ -1,0 +1,105 @@
+// Compressed Sparse Row (CSR) graph storage (paper §2.1).
+//
+// A CSR is an offset array `off` (|V|+1 entries) and a neighbor array `dst`
+// (2|E| entries for an undirected graph: each edge appears in both
+// endpoints' adjacency lists). Each adjacency list dst[off[u] : off[u+1])
+// is sorted ascending — a precondition for every intersection kernel.
+//
+// The directed slot index e(u, v) — the paper's "edge offset" — is the
+// position of v within u's adjacency range and doubles as the index into
+// the output count array.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from an undirected edge list. The list does not need to be
+  /// normalized; duplicates and self loops are removed.
+  static Csr from_edge_list(EdgeList edges);
+
+  /// Build directly from raw arrays (used by tests and the reorderer).
+  /// Requires offsets.size() == num_vertices + 1 and sorted adjacency.
+  static Csr from_raw(std::vector<EdgeId> offsets,
+                      util::AlignedVector<VertexId> dst);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of *directed* slots = 2|E| for an undirected graph. This is
+  /// the size of the count array the library produces.
+  [[nodiscard]] EdgeId num_directed_edges() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  /// Number of undirected edges |E|.
+  [[nodiscard]] EdgeId num_undirected_edges() const noexcept {
+    return num_directed_edges() / 2;
+  }
+
+  [[nodiscard]] Degree degree(VertexId u) const noexcept {
+    return static_cast<Degree>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted neighbor list of u.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const noexcept {
+    return {dst_.data() + offsets_[u], dst_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] EdgeId offset_begin(VertexId u) const noexcept {
+    return offsets_[u];
+  }
+  [[nodiscard]] EdgeId offset_end(VertexId u) const noexcept {
+    return offsets_[u + 1];
+  }
+
+  /// The directed slot e(u, v), found by binary search on N(u).
+  /// Returns num_directed_edges() when (u, v) is not an edge.
+  [[nodiscard]] EdgeId find_edge(VertexId u, VertexId v) const noexcept;
+
+  /// Destination vertex of a directed slot.
+  [[nodiscard]] VertexId dst_of(EdgeId e) const noexcept { return dst_[e]; }
+
+  /// Source vertex of a directed slot, by binary search over offsets.
+  /// (Algorithm 3 avoids this per-edge cost with a thread-local cache;
+  /// this method is the reference implementation.)
+  [[nodiscard]] VertexId src_of(EdgeId e) const noexcept;
+
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const util::AlignedVector<VertexId>& dst() const noexcept {
+    return dst_;
+  }
+
+  /// Maximum degree over all vertices.
+  [[nodiscard]] Degree max_degree() const noexcept;
+
+  /// Bytes consumed by the CSR arrays (offset + dst), as counted by the
+  /// paper's multi-pass estimator (Table 6).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(EdgeId) + dst_.size() * sizeof(VertexId);
+  }
+
+  /// Invariant checks: sorted unique adjacency, symmetric edges, no self
+  /// loops, consistent offsets. Returns an empty string when valid, else
+  /// a description of the first violation.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<EdgeId> offsets_;           // |V| + 1
+  util::AlignedVector<VertexId> dst_;     // 2|E|, 64-byte aligned for SIMD
+};
+
+}  // namespace aecnc::graph

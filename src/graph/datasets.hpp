@@ -1,0 +1,61 @@
+// Synthetic replicas of the paper's five evaluation datasets (Table 1).
+//
+// The originals (SNAP livejournal/orkut/friendster, WebGraph web-it,
+// twitter) total ~3 billion undirected edges and are not available
+// offline, so each replica is generated to match the *signature* that
+// drives the paper's findings:
+//   - the average degree (Table 1),
+//   - the presence/absence of very-high-degree hubs (max degree),
+//   - the fraction of highly degree-skewed intersections (Table 2:
+//     LJ 11%, OR 2%, WI 39%, TW 31%, FR 0%).
+// A replica at scale s has roughly |E|_paper * s undirected edges; the
+// default bench scale keeps each run in the seconds range on one core.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "graph/csr.hpp"
+
+namespace aecnc::graph {
+
+enum class DatasetId {
+  kLiveJournal,  // LJ: social, moderate skew (11%)
+  kOrkut,        // OR: social, dense, low skew (2%)
+  kWebIt,        // WI: web, extreme hubs, heavy skew (39%)
+  kTwitter,      // TW: social, celebrity hubs, heavy skew (31%)
+  kFriendster,   // FR: social, near-uniform degrees, no skew (0%)
+};
+
+inline constexpr std::array<DatasetId, 5> kAllDatasets = {
+    DatasetId::kLiveJournal, DatasetId::kOrkut, DatasetId::kWebIt,
+    DatasetId::kTwitter, DatasetId::kFriendster};
+
+/// Short name as used in the paper ("LJ", "OR", "WI", "TW", "FR").
+[[nodiscard]] std::string_view dataset_name(DatasetId id);
+
+/// Parse a short name; throws std::invalid_argument on unknown names.
+[[nodiscard]] DatasetId dataset_from_name(std::string_view name);
+
+/// Paper-reported statistics of the original dataset, used by benches to
+/// print the paper-vs-replica comparison.
+struct PaperDatasetStats {
+  std::uint64_t num_vertices;
+  std::uint64_t num_undirected_edges;
+  double avg_degree;
+  Degree max_degree;
+  double skew_percentage;  // Table 2, threshold 50
+};
+[[nodiscard]] const PaperDatasetStats& paper_stats(DatasetId id);
+
+/// Generate the replica. `scale` is the fraction of the original edge
+/// count (e.g. 1e-3 produces a ~35k-edge LJ replica). Deterministic in
+/// (id, scale).
+[[nodiscard]] Csr make_dataset(DatasetId id, double scale);
+
+/// Default scale used by the bench harnesses (seconds-level runtimes on a
+/// single core, including the unoptimized baseline M).
+inline constexpr double kDefaultBenchScale = 1e-3;
+
+}  // namespace aecnc::graph

@@ -1,0 +1,25 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace aecnc::graph {
+
+void EdgeList::normalize() {
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  ensure_vertices();
+}
+
+void EdgeList::ensure_vertices(VertexId min_vertices) {
+  VertexId max_plus_one = min_vertices;
+  for (const auto& e : edges_) {
+    max_plus_one = std::max({max_plus_one, e.u + 1, e.v + 1});
+  }
+  num_vertices_ = std::max(num_vertices_, max_plus_one);
+}
+
+}  // namespace aecnc::graph

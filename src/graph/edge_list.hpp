@@ -1,0 +1,51 @@
+// Edge-list representation: the "original storage format" in the paper
+// (§2.1), from which graphs are preprocessed into CSR.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aecnc::graph {
+
+/// An undirected edge as an (unordered) vertex pair. Stored with u, v in
+/// arbitrary order; normalization canonicalizes to u < v.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A mutable list of undirected edges plus the vertex-universe size.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  void add(VertexId u, VertexId v) { edges_.push_back({u, v}); }
+
+  /// Canonicalize: drop self loops, order endpoints u < v, sort, dedupe.
+  /// After normalization every undirected edge appears exactly once.
+  void normalize();
+
+  /// Grow the vertex universe to cover every endpoint (and at least
+  /// `min_vertices`).
+  void ensure_vertices(VertexId min_vertices = 0);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::vector<Edge>& edges() noexcept { return edges_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace aecnc::graph

@@ -1,0 +1,219 @@
+#include "graph/generators.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/alias.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc::graph {
+namespace {
+
+/// Pack an edge into one 64-bit key for dedup during generation.
+constexpr std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+EdgeList erdos_renyi(VertexId num_vertices, std::uint64_t num_edges,
+                     std::uint64_t seed) {
+  assert(num_vertices >= 2);
+  util::Xoshiro256 rng(seed);
+  EdgeList out(num_vertices);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (out.num_edges() < num_edges) {
+    const VertexId u = rng.below(num_vertices);
+    const VertexId v = rng.below(num_vertices);
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) out.add(u, v);
+  }
+  out.normalize();
+  return out;
+}
+
+EdgeList chung_lu_power_law(VertexId num_vertices, std::uint64_t num_edges,
+                            double exponent, std::uint64_t seed) {
+  assert(num_vertices >= 2);
+  assert(exponent > 1.0);
+  util::Xoshiro256 rng(seed);
+
+  // Zipf-like weights w_i = (i + i0)^(-1/(exponent-1)). The offset i0
+  // bounds the maximum expected degree so tiny graphs stay connected-ish
+  // rather than collapsing onto vertex 0.
+  const double alpha = 1.0 / (exponent - 1.0);
+  const double i0 = std::max(1.0, num_vertices * 1e-4);
+  std::vector<double> weights(num_vertices);
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + i0, -alpha);
+  }
+  const util::DiscreteSampler sampler(weights);
+
+  EdgeList out(num_vertices);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  // Give up gracefully if the weight distribution cannot support the
+  // requested edge count (dense head saturates); bail after too many
+  // consecutive duplicate draws.
+  std::uint64_t stall = 0;
+  const std::uint64_t max_stall = 64 * num_edges + 1024;
+  while (out.num_edges() < num_edges && stall < max_stall) {
+    const VertexId u = sampler.sample(rng);
+    const VertexId v = sampler.sample(rng);
+    if (u == v || !seen.insert(edge_key(u, v)).second) {
+      ++stall;
+      continue;
+    }
+    out.add(u, v);
+  }
+  out.normalize();
+  return out;
+}
+
+EdgeList rmat(int scale, std::uint64_t num_edges, const RmatParams& params,
+              std::uint64_t seed) {
+  assert(scale >= 1 && scale < 32);
+  const double d = 1.0 - params.a - params.b - params.c;
+  assert(d >= 0.0);
+  util::Xoshiro256 rng(seed);
+  const VertexId n = VertexId{1} << scale;
+
+  EdgeList out(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::uint64_t stall = 0;
+  const std::uint64_t max_stall = 64 * num_edges + 1024;
+  while (out.num_edges() < num_edges && stall < max_stall) {
+    VertexId u = 0, v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      // Add +-5% noise per level as recommended to avoid degree staircases.
+      const double noise = 0.95 + 0.1 * rng.uniform();
+      const double p = rng.uniform();
+      const double a = params.a * noise;
+      const double ab = a + params.b * noise;
+      const double abc = ab + params.c * noise;
+      const double total = abc + d * noise;
+      if (p * total < a) {
+        // top-left quadrant: no bits set
+      } else if (p * total < ab) {
+        v |= VertexId{1} << bit;
+      } else if (p * total < abc) {
+        u |= VertexId{1} << bit;
+      } else {
+        u |= VertexId{1} << bit;
+        v |= VertexId{1} << bit;
+      }
+    }
+    if (u == v || !seen.insert(edge_key(u, v)).second) {
+      ++stall;
+      continue;
+    }
+    out.add(u, v);
+  }
+  out.normalize();
+  return out;
+}
+
+void add_hubs(EdgeList& edges, VertexId num_hubs, Degree hub_degree,
+              std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const VertexId base = edges.num_vertices();
+  assert(base >= 2);
+  const Degree deg = std::min<Degree>(hub_degree, base);
+  for (VertexId h = 0; h < num_hubs; ++h) {
+    const VertexId hub = base + h;
+    std::unordered_set<VertexId> targets;
+    targets.reserve(deg * 2);
+    while (targets.size() < deg) targets.insert(rng.below(base));
+    for (const VertexId t : targets) edges.add(hub, t);
+  }
+  edges.ensure_vertices(base + num_hubs);
+  edges.normalize();
+}
+
+EdgeList barabasi_albert(VertexId num_vertices, Degree attach,
+                         std::uint64_t seed) {
+  assert(num_vertices > attach && attach >= 1);
+  util::Xoshiro256 rng(seed);
+  EdgeList out(num_vertices);
+
+  // `targets` holds one entry per edge endpoint, so uniform sampling
+  // from it is degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ull * num_vertices * attach);
+
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      out.add(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<VertexId> picked;
+  for (VertexId u = attach + 1; u < num_vertices; ++u) {
+    picked.clear();
+    while (picked.size() < attach) {
+      picked.insert(
+          endpoints[rng.below(static_cast<std::uint32_t>(endpoints.size()))]);
+    }
+    for (const VertexId v : picked) {
+      out.add(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+EdgeList watts_strogatz(VertexId num_vertices, Degree k, double beta,
+                        std::uint64_t seed) {
+  assert(num_vertices > 2 * k && k >= 1);
+  assert(beta >= 0.0 && beta <= 1.0);
+  util::Xoshiro256 rng(seed);
+  EdgeList out(num_vertices);
+  std::unordered_set<std::uint64_t> seen;
+
+  auto try_add = [&](VertexId a, VertexId b) {
+    if (a == b) return false;
+    if (!seen.insert(edge_key(a, b)).second) return false;
+    out.add(a, b);
+    return true;
+  };
+
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (Degree j = 1; j <= k; ++j) {
+      const VertexId ring_target =
+          static_cast<VertexId>((u + j) % num_vertices);
+      if (rng.uniform() < beta) {
+        // Rewire: keep u, pick a uniform random other endpoint. Retry a
+        // few times on collisions, falling back to the lattice edge.
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          placed = try_add(u, rng.below(num_vertices));
+        }
+        if (!placed) (void)try_add(u, ring_target);
+      } else {
+        (void)try_add(u, ring_target);
+      }
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+EdgeList clique(VertexId size) {
+  EdgeList out(size);
+  for (VertexId u = 0; u < size; ++u) {
+    for (VertexId v = u + 1; v < size; ++v) out.add(u, v);
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace aecnc::graph

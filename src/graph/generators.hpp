@@ -1,0 +1,62 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on five public SNAP/WebGraph datasets; this
+// reproduction regenerates statistically faithful *replicas* (see
+// graph/datasets.hpp) from these primitives. All generators are
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace aecnc::graph {
+
+/// G(n, m)-style Erdős–Rényi: `num_edges` distinct uniform edges.
+[[nodiscard]] EdgeList erdos_renyi(VertexId num_vertices,
+                                   std::uint64_t num_edges,
+                                   std::uint64_t seed);
+
+/// Chung–Lu power-law graph: endpoint of every edge sampled proportional
+/// to weight w_i = (i + i0)^(-1/(exponent-1)), giving a degree distribution
+/// with tail exponent `exponent` (typ. 2.0–3.0; larger = more uniform).
+[[nodiscard]] EdgeList chung_lu_power_law(VertexId num_vertices,
+                                          std::uint64_t num_edges,
+                                          double exponent,
+                                          std::uint64_t seed);
+
+/// R-MAT recursive matrix generator (Chakrabarti et al.), the standard
+/// scale-free generator in graph benchmarks (Graph500 uses a=0.57, b=c=0.19).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+[[nodiscard]] EdgeList rmat(int scale, std::uint64_t num_edges,
+                            const RmatParams& params, std::uint64_t seed);
+
+/// Attach `num_hubs` additional high-degree vertices, each adjacent to a
+/// uniform random `hub_degree`-subset of the existing vertices. Models the
+/// celebrity/portal vertices that cause degree-skewed intersections on the
+/// twitter and web-it graphs.
+void add_hubs(EdgeList& edges, VertexId num_hubs, Degree hub_degree,
+              std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportional to their degree.
+/// Produces a power-law tail with exponent ~3.
+[[nodiscard]] EdgeList barabasi_albert(VertexId num_vertices, Degree attach,
+                                       std::uint64_t seed);
+
+/// Watts–Strogatz small world: a ring lattice of `num_vertices` vertices
+/// with `k` neighbors each side, each edge rewired with probability
+/// `beta`. High clustering coefficient — dense in triangles, the
+/// workload the counting kernels actually chew on.
+[[nodiscard]] EdgeList watts_strogatz(VertexId num_vertices, Degree k,
+                                      double beta, std::uint64_t seed);
+
+/// A small deterministic clique-plus-path graph used by unit tests.
+[[nodiscard]] EdgeList clique(VertexId size);
+
+}  // namespace aecnc::graph

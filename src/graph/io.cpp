@@ -1,0 +1,118 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aecnc::graph {
+namespace {
+
+constexpr std::array<char, 8> kCsrMagic = {'A', 'E', 'C', 'N',
+                                           'C', 'S', 'R', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("aecnc: truncated CSR binary stream");
+  return value;
+}
+
+[[noreturn]] void fail_open(const std::string& path) {
+  throw std::runtime_error("aecnc: cannot open '" + path + "'");
+}
+
+}  // namespace
+
+EdgeList read_edge_list_text(std::istream& in) {
+  EdgeList out;
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(fields >> u >> v) || u > 0xffffffffULL || v > 0xffffffffULL) {
+      throw std::runtime_error("aecnc: malformed edge at line " +
+                               std::to_string(lineno));
+    }
+    out.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  out.normalize();
+  return out;
+}
+
+EdgeList load_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail_open(path);
+  return read_edge_list_text(in);
+}
+
+void write_edge_list_text(const EdgeList& edges, std::ostream& out) {
+  out << "# aecnc edge list: " << edges.num_vertices() << " vertices, "
+      << edges.num_edges() << " edges\n";
+  for (const Edge& e : edges.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void save_edge_list_text(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail_open(path);
+  write_edge_list_text(edges, out);
+}
+
+void write_csr_binary(const Csr& g, std::ostream& out) {
+  out.write(kCsrMagic.data(), kCsrMagic.size());
+  write_pod<std::uint64_t>(out, g.num_vertices());
+  write_pod<std::uint64_t>(out, g.num_directed_edges());
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(g.dst().data()),
+            static_cast<std::streamsize>(g.dst().size() * sizeof(VertexId)));
+  if (!out) throw std::runtime_error("aecnc: CSR binary write failed");
+}
+
+void save_csr_binary(const Csr& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail_open(path);
+  write_csr_binary(g, out);
+}
+
+Csr read_csr_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kCsrMagic) {
+    throw std::runtime_error("aecnc: not an AECNC CSR binary (bad magic)");
+  }
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto slots = read_pod<std::uint64_t>(in);
+
+  std::vector<EdgeId> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+  util::AlignedVector<VertexId> dst(slots);
+  in.read(reinterpret_cast<char*>(dst.data()),
+          static_cast<std::streamsize>(dst.size() * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("aecnc: truncated CSR binary stream");
+  if (offsets.back() != slots) {
+    throw std::runtime_error("aecnc: corrupt CSR binary (offset mismatch)");
+  }
+  return Csr::from_raw(std::move(offsets), std::move(dst));
+}
+
+Csr load_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail_open(path);
+  return read_csr_binary(in);
+}
+
+}  // namespace aecnc::graph

@@ -1,0 +1,34 @@
+// Graph serialization.
+//
+// Two formats:
+//  - Text edge list ("u v" per line, '#' comments), the format SNAP
+//    distributes its datasets in, so users can run the library on the
+//    paper's original graphs when available.
+//  - A binary CSR dump (magic + offsets + dst) for fast reloads, mirroring
+//    the paper's preprocessing step that converts edge lists to CSR once.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace aecnc::graph {
+
+/// Parse a SNAP-style text edge list. Throws std::runtime_error on
+/// malformed input or I/O failure.
+[[nodiscard]] EdgeList read_edge_list_text(std::istream& in);
+[[nodiscard]] EdgeList load_edge_list_text(const std::string& path);
+
+void write_edge_list_text(const EdgeList& edges, std::ostream& out);
+void save_edge_list_text(const EdgeList& edges, const std::string& path);
+
+/// Binary CSR round-trip. The format is versioned; readers reject
+/// mismatched magic/version/endianness.
+void write_csr_binary(const Csr& g, std::ostream& out);
+void save_csr_binary(const Csr& g, const std::string& path);
+[[nodiscard]] Csr read_csr_binary(std::istream& in);
+[[nodiscard]] Csr load_csr_binary(const std::string& path);
+
+}  // namespace aecnc::graph

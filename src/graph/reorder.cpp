@@ -1,0 +1,58 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aecnc::graph {
+
+std::vector<VertexId> degree_descending_permutation(const Csr& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> by_rank(n);
+  std::iota(by_rank.begin(), by_rank.end(), VertexId{0});
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&g](VertexId a, VertexId b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  std::vector<VertexId> perm(n);
+  for (VertexId rank = 0; rank < n; ++rank) perm[by_rank[rank]] = rank;
+  return perm;
+}
+
+Csr apply_permutation(const Csr& g, const std::vector<VertexId>& perm) {
+  const VertexId n = g.num_vertices();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    offsets[perm[u] + 1] = g.degree(u);
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  util::AlignedVector<VertexId> dst(g.num_directed_edges());
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId nu = perm[u];
+    EdgeId out = offsets[nu];
+    for (const VertexId v : g.neighbors(u)) dst[out++] = perm[v];
+    std::sort(dst.begin() + static_cast<std::ptrdiff_t>(offsets[nu]),
+              dst.begin() + static_cast<std::ptrdiff_t>(out));
+  }
+  return Csr::from_raw(std::move(offsets), std::move(dst));
+}
+
+Csr reorder_degree_descending(const Csr& g, std::vector<VertexId>* inverse) {
+  const auto perm = degree_descending_permutation(g);
+  if (inverse != nullptr) {
+    inverse->assign(g.num_vertices(), 0);
+    for (VertexId old_id = 0; old_id < g.num_vertices(); ++old_id) {
+      (*inverse)[perm[old_id]] = old_id;
+    }
+  }
+  return apply_permutation(g, perm);
+}
+
+bool is_degree_descending(const Csr& g) {
+  for (VertexId u = 1; u < g.num_vertices(); ++u) {
+    if (g.degree(u) > g.degree(u - 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace aecnc::graph

@@ -1,0 +1,35 @@
+// Degree-descending graph reordering (paper §2.1).
+//
+// BMP requires ∀ u,v: u < v → d_u ≥ d_v so that each bitmap is built on
+// the *larger* neighbor set and the loop runs over the smaller one, making
+// every bitmap-array intersection O(min(d_u, d_v)). The reordering remaps
+// vertex IDs so IDs ascend as degrees descend; complexity
+// O(|V| log |V| + |E|) as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::graph {
+
+/// Permutation mapping old vertex id -> new vertex id such that new ids
+/// ascend by (degree descending, old id ascending as tie-break).
+[[nodiscard]] std::vector<VertexId> degree_descending_permutation(const Csr& g);
+
+/// Rebuild a CSR under a relabeling `new_id = perm[old_id]`. Adjacency
+/// lists of the result are sorted by new ids.
+[[nodiscard]] Csr apply_permutation(const Csr& g,
+                                    const std::vector<VertexId>& perm);
+
+/// Convenience: reorder by descending degree. `inverse` (optional out)
+/// receives the new-id -> old-id map for translating results back.
+[[nodiscard]] Csr reorder_degree_descending(
+    const Csr& g, std::vector<VertexId>* inverse = nullptr);
+
+/// True iff u < v implies degree(u) >= degree(v) for all vertices — the
+/// property BMP's complexity bound relies on.
+[[nodiscard]] bool is_degree_descending(const Csr& g);
+
+}  // namespace aecnc::graph

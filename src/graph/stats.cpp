@@ -1,0 +1,47 @@
+#include "graph/stats.hpp"
+
+namespace aecnc::graph {
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_undirected_edges = g.num_undirected_edges();
+  s.avg_degree = s.num_vertices == 0
+                     ? 0.0
+                     : static_cast<double>(g.num_directed_edges()) /
+                           static_cast<double>(s.num_vertices);
+  s.max_degree = g.max_degree();
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Csr& g) {
+  std::vector<std::uint64_t> buckets;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const Degree d = g.degree(u);
+    std::size_t bucket = 0;
+    while ((Degree{2} << bucket) <= d) ++bucket;  // d < 2^(bucket+1)
+    if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+double skewed_intersection_percentage(const Csr& g, double ratio_threshold) {
+  std::uint64_t skewed = 0;
+  std::uint64_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const double du = g.degree(u);
+    for (const VertexId v : g.neighbors(u)) {
+      if (v <= u) continue;  // each undirected edge once
+      const double dv = g.degree(v);
+      ++total;
+      const double hi = du > dv ? du : dv;
+      const double lo = du > dv ? dv : du;
+      if (lo > 0 && hi / lo > ratio_threshold) ++skewed;
+    }
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(skewed) /
+                                static_cast<double>(total);
+}
+
+}  // namespace aecnc::graph

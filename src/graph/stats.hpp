@@ -1,0 +1,33 @@
+// Graph statistics reported in the paper's Tables 1 and 2.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace aecnc::graph {
+
+/// The columns of the paper's Table 1.
+struct GraphStats {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_undirected_edges = 0;
+  double avg_degree = 0.0;   // 2|E| / |V|
+  Degree max_degree = 0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const Csr& g);
+
+/// Log2-bucketed degree histogram: bucket i counts vertices with degree
+/// in [2^i, 2^(i+1)) (bucket 0 additionally holds degree-0 and 1).
+/// The shape of this histogram is what distinguishes the five datasets
+/// (and what the replica generators are tuned to).
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const Csr& g);
+
+/// Percentage (0–100) of undirected edges (u, v) whose endpoint degrees
+/// are "highly skewed": max(d_u, d_v) / min(d_u, d_v) > ratio_threshold.
+/// This is the paper's Table 2 metric (threshold 50), the quantity MPS's
+/// merge-selection dispatches on.
+[[nodiscard]] double skewed_intersection_percentage(const Csr& g,
+                                                    double ratio_threshold);
+
+}  // namespace aecnc::graph

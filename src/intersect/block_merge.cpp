@@ -1,0 +1,11 @@
+#include "intersect/block_merge.hpp"
+
+namespace aecnc::intersect {
+
+CnCount block_merge_count8(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  NullCounter null;
+  return block_merge_count<8>(a, b, null);
+}
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,82 @@
+// Vectorized block-wise merge (VB) — paper §3.1, Figure 1, after Inoue et
+// al. [14]. Both arrays advance a block at a time; each step performs an
+// all-pair comparison between the resident blocks (one vector compare per
+// rotation), accumulates match counts, then advances the block whose last
+// element is smaller.
+//
+// Correctness relies on adjacency lists being strictly ascending (no
+// duplicates): any value lives in exactly one block per array, and a given
+// block pair is resident together at most once, so no match is counted
+// twice.
+//
+// This header provides the portable reference with a compile-time block
+// width (used for tests and for instrumented runs where the width models
+// AVX2=8 or AVX-512=16); the intrinsics kernels live in vb_avx2.cpp /
+// vb_avx512.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "intersect/counters.hpp"
+#include "intersect/merge.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::intersect {
+
+/// Portable block-wise merge with block width W.
+template <std::size_t W, typename Counter = NullCounter>
+[[nodiscard]] CnCount block_merge_count(std::span<const VertexId> a,
+                                        std::span<const VertexId> b,
+                                        Counter& counter) {
+  static_assert(W >= 2 && (W & (W - 1)) == 0, "width must be a power of 2");
+  std::size_t i = 0, j = 0;
+  CnCount c = 0;
+  const std::size_t na = a.size(), nb = b.size();
+
+  while (i + W <= na && j + W <= nb) {
+    counter.block_step();
+    // All-pair comparison of the two resident blocks. A real vector unit
+    // does this as W rotate+compare steps; the scalar loop is the exact
+    // same comparison set.
+    for (std::size_t x = 0; x < W; ++x) {
+      const VertexId ax = a[i + x];
+      for (std::size_t y = 0; y < W; ++y) {
+        c += static_cast<CnCount>(ax == b[j + y]);
+      }
+    }
+    const VertexId a_last = a[i + W - 1];
+    const VertexId b_last = b[j + W - 1];
+    // Advance the block(s) with the smaller last element.
+    if (a_last <= b_last) i += W;
+    if (b_last <= a_last) j += W;
+  }
+
+  // Scalar tail.
+  c += merge_count(a.subspan(i), b.subspan(j), counter);
+  return c;
+}
+
+/// Convenience: width-8 (AVX2-shaped) portable block merge.
+[[nodiscard]] CnCount block_merge_count8(std::span<const VertexId> a,
+                                         std::span<const VertexId> b);
+
+/// SSE2 kernel: 4-lane blocks, pshufd rotations + pcmpeqd. Baseline
+/// x86-64 — always available, no runtime dispatch needed.
+[[nodiscard]] CnCount vb_count_sse(std::span<const VertexId> a,
+                                   std::span<const VertexId> b);
+
+#if AECNC_HAVE_SIMD_KERNELS
+/// AVX2 kernel: 8-lane blocks, vpermd rotations + vpcmpeqd, counts
+/// accumulated in a vector register (Figure 1's layout).
+[[nodiscard]] CnCount vb_count_avx2(std::span<const VertexId> a,
+                                    std::span<const VertexId> b);
+
+/// AVX-512F kernel: 16-lane blocks, vpermd rotations + mask compare with
+/// mask popcount accumulation.
+[[nodiscard]] CnCount vb_count_avx512(std::span<const VertexId> a,
+                                      std::span<const VertexId> b);
+#endif
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,79 @@
+// Instrumentation policy for the intersection kernels.
+//
+// Every kernel is templated on a Counter. NullCounter compiles to nothing
+// (native timing runs pay zero cost); StatsCounter accumulates the work
+// profile that the perf models (src/perf) convert into modeled time for
+// the processors this machine does not have (KNL thread counts, GPU).
+#pragma once
+
+#include <cstdint>
+
+namespace aecnc::intersect {
+
+/// No-op counter: the default for production runs. All methods are
+/// trivially inlined away.
+struct NullCounter {
+  static constexpr bool kEnabled = false;
+
+  void scalar_cmp(std::uint64_t = 1) noexcept {}
+  void block_step() noexcept {}
+  void gallop_step() noexcept {}
+  void binary_step() noexcept {}
+  void linear_probe() noexcept {}
+  void match(std::uint64_t = 1) noexcept {}
+  void bitmap_set(std::uint64_t = 1) noexcept {}
+  void bitmap_probe(std::uint64_t = 1) noexcept {}
+  void rf_probe(std::uint64_t = 1) noexcept {}
+  void rf_skip(std::uint64_t = 1) noexcept {}
+  void bytes_streamed(std::uint64_t) noexcept {}
+  void intersection() noexcept {}
+};
+
+/// Accumulating counter: one per instrumented thread/run; merged with +=.
+struct StatsCounter {
+  static constexpr bool kEnabled = true;
+
+  std::uint64_t scalar_cmps = 0;     // element comparisons in merge loops
+  std::uint64_t block_steps = 0;     // VB all-pair block advances
+  std::uint64_t gallop_steps = 0;    // exponential-skip probes
+  std::uint64_t binary_steps = 0;    // binary-search probes
+  std::uint64_t linear_probes = 0;   // vectorized-linear-search blocks
+  std::uint64_t matches = 0;         // common neighbors found
+  std::uint64_t bitmap_sets = 0;     // bitmap set/flip operations
+  std::uint64_t bitmap_probes = 0;   // random reads of the |V|-bit bitmap
+  std::uint64_t rf_probes = 0;       // summary (range-filter) bitmap reads
+  std::uint64_t rf_skips = 0;        // big-bitmap reads avoided by RF
+  std::uint64_t streamed_bytes = 0;  // sequential bytes through the kernels
+  std::uint64_t intersections = 0;   // set intersections performed
+
+  void scalar_cmp(std::uint64_t n = 1) noexcept { scalar_cmps += n; }
+  void block_step() noexcept { ++block_steps; }
+  void gallop_step() noexcept { ++gallop_steps; }
+  void binary_step() noexcept { ++binary_steps; }
+  void linear_probe() noexcept { ++linear_probes; }
+  void match(std::uint64_t n = 1) noexcept { matches += n; }
+  void bitmap_set(std::uint64_t n = 1) noexcept { bitmap_sets += n; }
+  void bitmap_probe(std::uint64_t n = 1) noexcept { bitmap_probes += n; }
+  void rf_probe(std::uint64_t n = 1) noexcept { rf_probes += n; }
+  void rf_skip(std::uint64_t n = 1) noexcept { rf_skips += n; }
+  void bytes_streamed(std::uint64_t n) noexcept { streamed_bytes += n; }
+  void intersection() noexcept { ++intersections; }
+
+  StatsCounter& operator+=(const StatsCounter& other) noexcept {
+    scalar_cmps += other.scalar_cmps;
+    block_steps += other.block_steps;
+    gallop_steps += other.gallop_steps;
+    binary_steps += other.binary_steps;
+    linear_probes += other.linear_probes;
+    matches += other.matches;
+    bitmap_sets += other.bitmap_sets;
+    bitmap_probes += other.bitmap_probes;
+    rf_probes += other.rf_probes;
+    rf_skips += other.rf_skips;
+    streamed_bytes += other.streamed_bytes;
+    intersections += other.intersections;
+    return *this;
+  }
+};
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,110 @@
+#include "intersect/dispatch.hpp"
+
+#include "intersect/lower_bound.hpp"
+#include "intersect/merge.hpp"
+
+namespace aecnc::intersect {
+
+std::string_view merge_kind_name(MergeKind kind) {
+  switch (kind) {
+    case MergeKind::kScalar: return "scalar";
+    case MergeKind::kBranchless: return "branchless";
+    case MergeKind::kBlockScalar: return "block-scalar";
+    case MergeKind::kSse: return "sse";
+    case MergeKind::kAvx2: return "avx2";
+    case MergeKind::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool cpu_has_avx2() {
+#if AECNC_HAVE_SIMD_KERNELS
+  static const bool value = __builtin_cpu_supports("avx2");
+  return value;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if AECNC_HAVE_SIMD_KERNELS
+  static const bool value = __builtin_cpu_supports("avx512f") &&
+                            __builtin_cpu_supports("avx512bw");
+  return value;
+#else
+  return false;
+#endif
+}
+
+MergeKind best_merge_kind() {
+  if (cpu_has_avx512()) return MergeKind::kAvx512;
+  if (cpu_has_avx2()) return MergeKind::kAvx2;
+  return MergeKind::kBlockScalar;
+}
+
+bool merge_kind_supported(MergeKind kind) {
+  switch (kind) {
+    case MergeKind::kAvx2: return cpu_has_avx2();
+    case MergeKind::kAvx512: return cpu_has_avx512();
+    default: return true;
+  }
+}
+
+CnCount vb_count(std::span<const VertexId> a, std::span<const VertexId> b,
+                 MergeKind kind) {
+  switch (kind) {
+    case MergeKind::kScalar: return merge_count(a, b);
+    case MergeKind::kBranchless: return merge_count_branchless(a, b);
+    case MergeKind::kBlockScalar: return block_merge_count8(a, b);
+    case MergeKind::kSse: return vb_count_sse(a, b);
+#if AECNC_HAVE_SIMD_KERNELS
+    case MergeKind::kAvx2: return vb_count_avx2(a, b);
+    case MergeKind::kAvx512: return vb_count_avx512(a, b);
+#else
+    case MergeKind::kAvx2:
+    case MergeKind::kAvx512: return block_merge_count8(a, b);
+#endif
+  }
+  return merge_count(a, b);
+}
+
+#if AECNC_HAVE_SIMD_KERNELS
+CnCount pivot_skip_count_avx2(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  std::size_t i = 0, j = 0;
+  CnCount c = 0;
+  const std::size_t na = a.size(), nb = b.size();
+  if (na == 0 || nb == 0) return 0;
+  while (true) {
+    i = gallop_lower_bound_avx2(a, i, b[j]);
+    if (i >= na) return c;
+    j = gallop_lower_bound_avx2(b, j, a[i]);
+    if (j >= nb) return c;
+    if (a[i] == b[j]) {
+      ++c;
+      ++i;
+      ++j;
+      if (i >= na || j >= nb) return c;
+    }
+  }
+}
+#endif
+
+CnCount mps_count(std::span<const VertexId> a, std::span<const VertexId> b,
+                  const MpsConfig& config) {
+  const double da = static_cast<double>(a.size());
+  const double db = static_cast<double>(b.size());
+  const bool skewed = da > config.skew_threshold * db ||
+                      db > config.skew_threshold * da;
+  if (skewed) {
+#if AECNC_HAVE_SIMD_KERNELS
+    if (config.vectorized_search && cpu_has_avx2()) {
+      return pivot_skip_count_avx2(a, b);
+    }
+#endif
+    return pivot_skip_count(a, b);
+  }
+  return vb_count(a, b, config.kind);
+}
+
+}  // namespace aecnc::intersect

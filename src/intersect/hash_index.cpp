@@ -1,0 +1,34 @@
+#include "intersect/hash_index.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace aecnc::intersect {
+
+void HashIndex::rebuild(std::span<const VertexId> elements) {
+  // Load factor <= 0.5 keeps probe chains short.
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(8, elements.size() * 2));
+  slots_.assign(capacity, kInvalidVertex);
+  mask_ = capacity - 1;
+  for (const VertexId v : elements) {
+    assert(v != kInvalidVertex);
+    std::size_t i = probe_start(v);
+    while (slots_[i] != kInvalidVertex) i = (i + 1) & mask_;
+    slots_[i] = v;
+  }
+}
+
+CnCount hash_intersect_count(const HashIndex& index,
+                             std::span<const VertexId> a) {
+  NullCounter null;
+  return hash_intersect_count(index, a, null);
+}
+
+CnCount hash_count(std::span<const VertexId> a, std::span<const VertexId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const HashIndex index(b);
+  return hash_intersect_count(index, a);
+}
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,17 @@
+#include "intersect/lower_bound.hpp"
+
+namespace aecnc::intersect {
+
+std::size_t binary_lower_bound(std::span<const VertexId> a, std::size_t from,
+                               VertexId key) {
+  NullCounter null;
+  return binary_lower_bound(a, from, key, null);
+}
+
+std::size_t gallop_lower_bound(std::span<const VertexId> a, std::size_t from,
+                               VertexId key) {
+  NullCounter null;
+  return gallop_lower_bound(a, from, key, null);
+}
+
+}  // namespace aecnc::intersect

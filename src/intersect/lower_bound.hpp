@@ -1,0 +1,93 @@
+// Lower-bound search kernels for the pivot-skip merge (paper §3.1).
+//
+// PS fixes a pivot in one array and skips in the other to the lower bound
+// of elements >= pivot. The paper composes three searches:
+//   1. a short *vectorized linear search* near the current offset (the
+//     common case: the lower bound is close),
+//   2. a *galloping search* skipping at 2^4, 2^5, ... if the linear probe
+//     fails, and
+//   3. a *binary search* inside the final gallop window [2^i, 2^{i+1}).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "intersect/counters.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::intersect {
+
+/// How many elements the linear-probe stage scans before falling back to
+/// galloping. One AVX2 register holds 8 x u32; the paper probes a few
+/// registers worth.
+inline constexpr std::size_t kLinearProbeWindow = 16;
+
+/// First exponent of the galloping schedule (the paper starts at 2^4).
+inline constexpr std::uint32_t kGallopFirstShift = 4;
+
+/// Scalar binary search: first index in [from, a.size()) with a[i] >= key.
+template <typename Counter = NullCounter>
+[[nodiscard]] std::size_t binary_lower_bound(std::span<const VertexId> a,
+                                             std::size_t from, VertexId key,
+                                             Counter& counter) {
+  std::size_t lo = from, hi = a.size();
+  while (lo < hi) {
+    counter.binary_step();
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (a[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Composite lower bound: linear probe window, then galloping + binary.
+/// Returns the first index i >= from with a[i] >= key (a.size() if none).
+template <typename Counter = NullCounter>
+[[nodiscard]] std::size_t gallop_lower_bound(std::span<const VertexId> a,
+                                             std::size_t from, VertexId key,
+                                             Counter& counter) {
+  const std::size_t n = a.size();
+  // Stage 1: linear probe of the next few elements.
+  const std::size_t probe_end = std::min(n, from + kLinearProbeWindow);
+  for (std::size_t i = from; i < probe_end; ++i) {
+    counter.linear_probe();
+    if (a[i] >= key) return i;
+  }
+  if (probe_end == n) return n;
+
+  // Stage 2: gallop from the probe window at exponentially growing steps.
+  std::size_t prev = probe_end;
+  std::size_t step = std::size_t{1} << kGallopFirstShift;
+  std::size_t next = prev + step;
+  while (next < n && a[next] < key) {
+    counter.gallop_step();
+    prev = next;
+    step <<= 1;
+    next = prev + step;
+  }
+
+  // Stage 3: binary search within (prev, min(next, n)].
+  const std::size_t hi = std::min(next + 1, n);
+  std::span<const VertexId> window = a.first(hi);
+  return binary_lower_bound(window, prev, key, counter);
+}
+
+/// Non-template convenience wrappers.
+[[nodiscard]] std::size_t binary_lower_bound(std::span<const VertexId> a,
+                                             std::size_t from, VertexId key);
+[[nodiscard]] std::size_t gallop_lower_bound(std::span<const VertexId> a,
+                                             std::size_t from, VertexId key);
+
+#if AECNC_HAVE_SIMD_KERNELS
+/// AVX2 lower bound: 8-lane vectorized linear scan then gallop+binary.
+/// Defined in lower_bound_simd.cpp (compiled with -mavx2); call only when
+/// cpu_has_avx2() is true.
+[[nodiscard]] std::size_t gallop_lower_bound_avx2(std::span<const VertexId> a,
+                                                  std::size_t from,
+                                                  VertexId key);
+#endif
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,55 @@
+// AVX2 implementation of the composite lower bound (compiled with -mavx2).
+//
+// The linear stage scans 8 elements per step with a single vpcmpgtd +
+// vpmovmskb; the gallop/binary stages are shared with the scalar path.
+#include <immintrin.h>
+
+#include "intersect/lower_bound.hpp"
+
+namespace aecnc::intersect {
+
+std::size_t gallop_lower_bound_avx2(std::span<const VertexId> a,
+                                    std::size_t from, VertexId key) {
+  const std::size_t n = a.size();
+  const VertexId* data = a.data();
+
+  // Signed-compare trick: flip the sign bit so unsigned order maps onto
+  // signed order (AVX2 has no unsigned 32-bit compare).
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i pivot =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(key)), sign);
+
+  std::size_t i = from;
+  const std::size_t probe_end = std::min(n, from + kLinearProbeWindow);
+  for (; i + 8 <= probe_end; i += 8) {
+    const __m256i block = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i)), sign);
+    // lane >= key  <=>  !(key > lane)
+    const __m256i gt = _mm256_cmpgt_epi32(pivot, block);
+    const unsigned mask = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(gt)));
+    if (mask != 0xffu) {
+      // First lane not less than the key.
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(~mask & 0xffu));
+    }
+  }
+  for (; i < probe_end; ++i) {
+    if (data[i] >= key) return i;
+  }
+  if (probe_end == n) return n;
+
+  // Gallop + binary, identical to the scalar path.
+  std::size_t prev = probe_end;
+  std::size_t step = std::size_t{1} << kGallopFirstShift;
+  std::size_t next = prev + step;
+  while (next < n && data[next] < key) {
+    prev = next;
+    step <<= 1;
+    next = prev + step;
+  }
+  NullCounter null;
+  return binary_lower_bound(a.first(std::min(next + 1, n)), prev, key, null);
+}
+
+}  // namespace aecnc::intersect

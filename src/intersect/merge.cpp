@@ -1,0 +1,37 @@
+#include "intersect/merge.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+namespace aecnc::intersect {
+
+CnCount merge_count(std::span<const VertexId> a, std::span<const VertexId> b) {
+  NullCounter null;
+  return merge_count(a, b, null);
+}
+
+CnCount merge_count_branchless(std::span<const VertexId> a,
+                               std::span<const VertexId> b) {
+  std::size_t i = 0, j = 0;
+  CnCount c = 0;
+  while (i < a.size() && j < b.size()) {
+    const VertexId x = a[i];
+    const VertexId y = b[j];
+    c += static_cast<CnCount>(x == y);
+    i += static_cast<std::size_t>(x <= y);
+    j += static_cast<std::size_t>(y <= x);
+  }
+  return c;
+}
+
+CnCount reference_count(std::span<const VertexId> a,
+                        std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return static_cast<CnCount>(out.size());
+}
+
+}  // namespace aecnc::intersect

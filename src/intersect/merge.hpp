@@ -1,0 +1,55 @@
+// Scalar merge-based set intersection counting.
+//
+// `merge_count` is the paper's IntersectM (Algorithm 1, lines 6-12): the
+// unoptimized baseline "M" that every technique in §5.2 is measured
+// against. `merge_count_branchless` is the same scan with the branches
+// converted to arithmetic, which is what the compiler needs to keep the
+// pipeline full on predictable data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "intersect/counters.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::intersect {
+
+/// Textbook two-pointer merge; returns |A ∩ B|. Inputs must be sorted
+/// ascending with unique elements.
+template <typename Counter = NullCounter>
+[[nodiscard]] CnCount merge_count(std::span<const VertexId> a,
+                                  std::span<const VertexId> b,
+                                  Counter& counter) {
+  std::size_t i = 0, j = 0;
+  CnCount c = 0;
+  while (i < a.size() && j < b.size()) {
+    counter.scalar_cmp();
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+      ++c;
+      counter.match();
+    }
+  }
+  return c;
+}
+
+[[nodiscard]] CnCount merge_count(std::span<const VertexId> a,
+                                  std::span<const VertexId> b);
+
+/// Branch-free variant: each step advances i and/or j by comparison
+/// results instead of taking a data-dependent branch.
+[[nodiscard]] CnCount merge_count_branchless(std::span<const VertexId> a,
+                                             std::span<const VertexId> b);
+
+/// Reference implementation on top of std::set_intersection; used by
+/// tests as the ground truth.
+[[nodiscard]] CnCount reference_count(std::span<const VertexId> a,
+                                      std::span<const VertexId> b);
+
+}  // namespace aecnc::intersect

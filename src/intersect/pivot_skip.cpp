@@ -1,0 +1,11 @@
+#include "intersect/pivot_skip.hpp"
+
+namespace aecnc::intersect {
+
+CnCount pivot_skip_count(std::span<const VertexId> a,
+                         std::span<const VertexId> b) {
+  NullCounter null;
+  return pivot_skip_count(a, b, null);
+}
+
+}  // namespace aecnc::intersect

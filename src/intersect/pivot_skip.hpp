@@ -1,0 +1,49 @@
+// Pivot-skip merge (paper Algorithm 1, IntersectPS) for degree-skewed
+// pairs: iteratively fix a pivot in one array and jump the other array's
+// offset to the lower bound, so a skewed intersection costs
+// O(Σ log(skip) + d_small) instead of O(d_small + d_large).
+#pragma once
+
+#include <span>
+
+#include "intersect/counters.hpp"
+#include "intersect/lower_bound.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::intersect {
+
+template <typename Counter = NullCounter>
+[[nodiscard]] CnCount pivot_skip_count(std::span<const VertexId> a,
+                                       std::span<const VertexId> b,
+                                       Counter& counter) {
+  std::size_t i = 0, j = 0;
+  CnCount c = 0;
+  const std::size_t na = a.size(), nb = b.size();
+  if (na == 0 || nb == 0) return 0;
+  while (true) {
+    i = gallop_lower_bound(a, i, b[j], counter);
+    if (i >= na) return c;
+    j = gallop_lower_bound(b, j, a[i], counter);
+    if (j >= nb) return c;
+    if (a[i] == b[j]) {
+      ++c;
+      counter.match();
+      ++i;
+      ++j;
+      if (i >= na || j >= nb) return c;
+    }
+  }
+}
+
+[[nodiscard]] CnCount pivot_skip_count(std::span<const VertexId> a,
+                                       std::span<const VertexId> b);
+
+#if AECNC_HAVE_SIMD_KERNELS
+/// Pivot-skip using the AVX2 lower bound for the linear stage. Same
+/// skipping schedule, vectorized probes. Defined in dispatch.cpp; call
+/// only when cpu_has_avx2() is true.
+[[nodiscard]] CnCount pivot_skip_count_avx2(std::span<const VertexId> a,
+                                            std::span<const VertexId> b);
+#endif
+
+}  // namespace aecnc::intersect

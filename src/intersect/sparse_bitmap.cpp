@@ -1,0 +1,55 @@
+#include "intersect/sparse_bitmap.hpp"
+
+#include <algorithm>
+
+namespace aecnc::intersect {
+
+SparseBitmap::SparseBitmap(std::span<const VertexId> sorted_elements) {
+  for (const VertexId v : sorted_elements) {
+    const auto word = static_cast<std::uint32_t>(v >> 6);
+    const std::uint64_t bit = 1ULL << (v & 63);
+    if (offsets_.empty() || offsets_.back() != word) {
+      offsets_.push_back(word);
+      words_.push_back(bit);
+    } else {
+      words_.back() |= bit;
+    }
+  }
+}
+
+std::uint64_t SparseBitmap::cardinality() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+bool SparseBitmap::contains(VertexId v) const noexcept {
+  const auto word = static_cast<std::uint32_t>(v >> 6);
+  const auto it = std::lower_bound(offsets_.begin(), offsets_.end(), word);
+  if (it == offsets_.end() || *it != word) return false;
+  const auto idx = static_cast<std::size_t>(it - offsets_.begin());
+  return (words_[idx] >> (v & 63)) & 1ULL;
+}
+
+CnCount sparse_bitmap_intersect_count(const SparseBitmap& a,
+                                      const SparseBitmap& b) {
+  NullCounter null;
+  return sparse_bitmap_intersect_count(a, b, null);
+}
+
+SparseBitmapIndex::SparseBitmapIndex(const graph::Csr& g) {
+  bitmaps_.reserve(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    bitmaps_.emplace_back(g.neighbors(u));
+  }
+}
+
+std::uint64_t SparseBitmapIndex::memory_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : bitmaps_) total += b.memory_bytes();
+  return total;
+}
+
+}  // namespace aecnc::intersect

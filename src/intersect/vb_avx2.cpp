@@ -1,0 +1,63 @@
+// AVX2 vectorized block-wise merge (compiled with -mavx2).
+//
+// Per step: load 8-element blocks from both arrays; compare the A block
+// against all 8 rotations of the B block (vpermd + vpcmpeqd); accumulate
+// the per-lane hit masks into a vector counter (a matched lane contributes
+// exactly one -1 across all rotations, since elements are unique); advance
+// the block(s) whose last element is smaller; finish with a scalar tail.
+#include <immintrin.h>
+
+#include "intersect/block_merge.hpp"
+
+namespace aecnc::intersect {
+namespace {
+
+// Rotation index vectors for vpermd: rotation r sends lane l to (l + r) % 8.
+const __m256i kRotations[8] = {
+    _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+    _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0),
+    _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1),
+    _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2),
+    _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3),
+    _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4),
+    _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5),
+    _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6),
+};
+
+}  // namespace
+
+CnCount vb_count_avx2(std::span<const VertexId> a,
+                      std::span<const VertexId> b) {
+  constexpr std::size_t W = 8;
+  std::size_t i = 0, j = 0;
+  const std::size_t na = a.size(), nb = b.size();
+
+  __m256i acc = _mm256_setzero_si256();  // per-lane match counts (negated)
+  while (i + W <= na && j + W <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.data() + j));
+    for (const __m256i& rot : kRotations) {
+      const __m256i shuffled = _mm256_permutevar8x32_epi32(vb, rot);
+      // cmpeq yields -1 per matching lane; subtracting accumulates +1.
+      acc = _mm256_sub_epi32(acc, _mm256_cmpeq_epi32(va, shuffled));
+    }
+    const VertexId a_last = a[i + W - 1];
+    const VertexId b_last = b[j + W - 1];
+    if (a_last <= b_last) i += W;
+    if (b_last <= a_last) j += W;
+  }
+
+  // Horizontal sum of the 8 lane counters.
+  alignas(32) std::uint32_t lanes[W];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  CnCount c = 0;
+  for (const std::uint32_t lane : lanes) c += lane;
+
+  // Scalar tail.
+  c += merge_count(a.subspan(i), b.subspan(j));
+  return c;
+}
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,50 @@
+// AVX-512F vectorized block-wise merge (compiled with -mavx512f).
+//
+// Same schedule as the AVX2 kernel with 16-lane blocks: vpermd
+// (_mm512_permutexvar_epi32) rotations, mask compares, and popcount of the
+// 16-bit hit masks accumulated in a scalar (cheaper than a vector
+// accumulator given kmov latency).
+#include <immintrin.h>
+
+#include "intersect/block_merge.hpp"
+
+namespace aecnc::intersect {
+
+CnCount vb_count_avx512(std::span<const VertexId> a,
+                        std::span<const VertexId> b) {
+  constexpr std::size_t W = 16;
+  std::size_t i = 0, j = 0;
+  const std::size_t na = a.size(), nb = b.size();
+
+  // Rotation index vectors: rotation r sends lane l to (l + r) % 16.
+  __m512i rotations[W];
+  {
+    alignas(64) std::uint32_t idx[W];
+    for (std::size_t r = 0; r < W; ++r) {
+      for (std::size_t l = 0; l < W; ++l) {
+        idx[l] = static_cast<std::uint32_t>((l + r) % W);
+      }
+      rotations[r] = _mm512_load_si512(idx);
+    }
+  }
+
+  std::uint32_t c = 0;
+  while (i + W <= na && j + W <= nb) {
+    const __m512i va = _mm512_loadu_si512(a.data() + i);
+    const __m512i vb = _mm512_loadu_si512(b.data() + j);
+    for (const __m512i& rot : rotations) {
+      const __m512i shuffled = _mm512_permutexvar_epi32(rot, vb);
+      const __mmask16 hits = _mm512_cmpeq_epi32_mask(va, shuffled);
+      c += static_cast<std::uint32_t>(__builtin_popcount(hits));
+    }
+    const VertexId a_last = a[i + W - 1];
+    const VertexId b_last = b[j + W - 1];
+    if (a_last <= b_last) i += W;
+    if (b_last <= a_last) j += W;
+  }
+
+  c += merge_count(a.subspan(i), b.subspan(j));
+  return c;
+}
+
+}  // namespace aecnc::intersect

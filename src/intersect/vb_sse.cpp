@@ -1,0 +1,48 @@
+// SSE2 vectorized block-wise merge (baseline x86-64: no extra -m flags).
+//
+// 4-lane blocks with pshufd rotations + pcmpeqd — the original width of
+// Inoue et al.'s kernel [14], completing the ISA ladder
+// scalar → SSE → AVX2 → AVX-512 the vectorization bench sweeps.
+#include <emmintrin.h>
+
+#include "intersect/block_merge.hpp"
+
+namespace aecnc::intersect {
+
+CnCount vb_count_sse(std::span<const VertexId> a,
+                     std::span<const VertexId> b) {
+  constexpr std::size_t W = 4;
+  std::size_t i = 0, j = 0;
+  const std::size_t na = a.size(), nb = b.size();
+
+  __m128i acc = _mm_setzero_si128();
+  while (i + W <= na && j + W <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    // All four rotations of vb via pshufd immediates.
+    acc = _mm_sub_epi32(acc, _mm_cmpeq_epi32(va, vb));
+    acc = _mm_sub_epi32(
+        acc, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    acc = _mm_sub_epi32(
+        acc, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    acc = _mm_sub_epi32(
+        acc, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+
+    const VertexId a_last = a[i + W - 1];
+    const VertexId b_last = b[j + W - 1];
+    if (a_last <= b_last) i += W;
+    if (b_last <= a_last) j += W;
+  }
+
+  alignas(16) std::uint32_t lanes[W];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  CnCount c = 0;
+  for (const std::uint32_t lane : lanes) c += lane;
+
+  c += merge_count(a.subspan(i), b.subspan(j));
+  return c;
+}
+
+}  // namespace aecnc::intersect

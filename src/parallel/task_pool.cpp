@@ -1,0 +1,81 @@
+#include "parallel/task_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aecnc::parallel {
+namespace {
+
+void run_workers(std::uint64_t total, std::uint64_t task_size,
+                 int num_workers, ScheduleStats* stats,
+                 const std::function<void(std::uint64_t, std::uint64_t, int)>&
+                     body) {
+  assert(task_size > 0);
+  const int workers = std::max(1, num_workers);
+  // One shared cursor: claiming a task is one fetch_add — the cheapest
+  // possible "task queue", so measured overhead is a lower bound for any
+  // dynamic scheduler with this |T|.
+  std::atomic<std::uint64_t> cursor{0};
+
+  if (stats != nullptr) {
+    stats->tasks_per_worker.assign(static_cast<std::size_t>(workers), 0);
+    stats->total_tasks = 0;
+  }
+
+  auto worker_loop = [&](int worker) {
+    std::uint64_t claimed = 0;
+    while (true) {
+      const std::uint64_t begin =
+          cursor.fetch_add(task_size, std::memory_order_relaxed);
+      if (begin >= total) break;
+      const std::uint64_t end = std::min(total, begin + task_size);
+      body(begin, end, worker);
+      ++claimed;
+    }
+    if (stats != nullptr) {
+      stats->tasks_per_worker[static_cast<std::size_t>(worker)] = claimed;
+    }
+  };
+
+  if (workers == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_loop, w);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  if (stats != nullptr) {
+    for (const auto n : stats->tasks_per_worker) stats->total_tasks += n;
+  }
+}
+
+}  // namespace
+
+void parallel_for_dynamic(
+    std::uint64_t total, std::uint64_t task_size, int num_workers,
+    const std::function<void(std::uint64_t, std::uint64_t, int)>& body) {
+  run_workers(total, task_size, num_workers, nullptr, body);
+}
+
+ScheduleStats parallel_for_dynamic_stats(
+    std::uint64_t total, std::uint64_t task_size, int num_workers,
+    const std::function<void(std::uint64_t, std::uint64_t, int)>& body) {
+  ScheduleStats stats;
+  run_workers(total, task_size, num_workers, &stats, body);
+  return stats;
+}
+
+double ScheduleStats::imbalance() const {
+  if (tasks_per_worker.empty() || total_tasks == 0) return 1.0;
+  const double mean = static_cast<double>(total_tasks) /
+                      static_cast<double>(tasks_per_worker.size());
+  const auto max = *std::max_element(tasks_per_worker.begin(),
+                                     tasks_per_worker.end());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace aecnc::parallel

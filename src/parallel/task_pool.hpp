@@ -1,0 +1,44 @@
+// A minimal dynamic task scheduler, independent of OpenMP.
+//
+// The paper's parallelization (§4) is "group |T| units into a task and
+// dynamically schedule |E|/|T| tasks". OpenMP's schedule(dynamic, |T|)
+// is one implementation; this pool is the other obvious one — a shared
+// atomic cursor from which workers claim [begin, begin+|T|) ranges —
+// and exists so the task-queue maintenance cost the paper trades
+// against load balance can be measured directly
+// (bench_ablation_task --scheduler=pool vs OpenMP).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace aecnc::parallel {
+
+/// Run `body(begin, end, worker)` over dynamic chunks of [0, total) with
+/// `num_workers` threads; chunk size = `task_size`. `body` must be safe
+/// to call concurrently from different workers on disjoint ranges.
+/// worker is the dense worker index in [0, num_workers).
+void parallel_for_dynamic(
+    std::uint64_t total, std::uint64_t task_size, int num_workers,
+    const std::function<void(std::uint64_t begin, std::uint64_t end,
+                             int worker)>& body);
+
+/// Statistics from an instrumented run: how many tasks were claimed per
+/// worker (load-balance picture) and the total queue operations.
+struct ScheduleStats {
+  std::vector<std::uint64_t> tasks_per_worker;
+  std::uint64_t total_tasks = 0;
+
+  [[nodiscard]] double imbalance() const;  // max/mean task share
+};
+
+/// As parallel_for_dynamic, also reporting scheduling statistics.
+[[nodiscard]] ScheduleStats parallel_for_dynamic_stats(
+    std::uint64_t total, std::uint64_t task_size, int num_workers,
+    const std::function<void(std::uint64_t begin, std::uint64_t end,
+                             int worker)>& body);
+
+}  // namespace aecnc::parallel

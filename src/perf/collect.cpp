@@ -1,0 +1,65 @@
+#include "perf/collect.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace aecnc::perf {
+namespace {
+
+int lanes_for(const core::Options& options) {
+  if (options.algorithm != core::Algorithm::kMps) return 1;
+  switch (options.mps.kind) {
+    case intersect::MergeKind::kScalar:
+    case intersect::MergeKind::kBranchless:
+      return 1;
+    case intersect::MergeKind::kSse:
+      return 4;
+    case intersect::MergeKind::kBlockScalar:
+    case intersect::MergeKind::kAvx2:
+      return 8;
+    case intersect::MergeKind::kAvx512:
+      return 16;
+  }
+  return 1;
+}
+
+}  // namespace
+
+CollectedRun collect_profile(const graph::Csr& g,
+                             const core::Options& options) {
+  CollectedRun run;
+  run.counts = core::count_instrumented(g, options, run.profile.work);
+  run.profile.num_vertices = g.num_vertices();
+  run.profile.directed_slots = g.num_directed_edges();
+  run.profile.vector_lanes = lanes_for(options);
+  run.profile.is_bmp = options.algorithm == core::Algorithm::kBmp;
+  run.profile.range_filter =
+      run.profile.is_bmp && options.bmp_range_filter;
+  if (run.profile.is_bmp) {
+    const std::uint64_t bits = g.num_vertices();
+    run.profile.bitmap_bytes = (bits + 63) / 64 * 8;
+    if (run.profile.range_filter) {
+      const std::uint64_t summary_bits =
+          (bits + options.rf_range_scale - 1) / options.rf_range_scale;
+      run.profile.rf_summary_bytes = (summary_bits + 63) / 64 * 8;
+    }
+  }
+  return run;
+}
+
+double time_native(const graph::Csr& g, const core::Options& options,
+                   int repetitions) {
+  double best = 1e300;
+  for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+    util::WallTimer timer;
+    const auto counts = core::count_common_neighbors(g, options);
+    const double elapsed = timer.seconds();
+    // Defeat dead-code elimination of the whole run.
+    if (!counts.empty() && counts[0] == ~CnCount{0}) std::abort();
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
+}  // namespace aecnc::perf

@@ -1,0 +1,30 @@
+// Profile collection and native timing helpers shared by the bench
+// harnesses.
+#pragma once
+
+#include "core/api.hpp"
+#include "graph/csr.hpp"
+#include "perf/profile.hpp"
+
+namespace aecnc::perf {
+
+struct CollectedRun {
+  WorkProfile profile;
+  core::CountArray counts;
+};
+
+/// Run `options` once, instrumented and sequential, and package the work
+/// profile (operation counts + structural parameters) for the models.
+/// `vector_lanes` overrides the modeled VB width (defaults from
+/// options.mps.kind: scalar 1, AVX2 8, AVX-512 16).
+[[nodiscard]] CollectedRun collect_profile(const graph::Csr& g,
+                                           const core::Options& options);
+
+/// Wall-clock the native (uninstrumented) run; returns the minimum of
+/// `repetitions` runs — the paper's "average in-memory processing time"
+/// measured the same way, minus scheduler noise.
+[[nodiscard]] double time_native(const graph::Csr& g,
+                                 const core::Options& options,
+                                 int repetitions = 3);
+
+}  // namespace aecnc::perf

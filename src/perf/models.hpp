@@ -1,0 +1,80 @@
+// Analytic performance models for the CPU-like processors.
+//
+// A run's instrumented work profile is converted into modeled elapsed
+// time as
+//
+//     T(t) = max( T_compute / E(t),  Bytes / BW )
+//
+// where E(t) is the effective parallelism of t threads (cores first, SMT
+// contexts at a reduced yield) and the byte total covers both streamed
+// adjacency data and the cache-line traffic of random bitmap probes.
+// Compute is itself a sum of per-operation-class costs:
+//
+//   - merge comparisons: branchy scalar compare-advance steps,
+//   - VB block steps: `lanes` rotate+compare vector instructions each,
+//   - gallop/binary search steps: dependent (unoverlappable) loads from
+//     the searched adjacency array,
+//   - bitmap probes/updates: random loads whose latency depends on
+//     whether a thread's share of the LLC still holds its bitmap, divided
+//     by the core's memory-level parallelism,
+//   - range-filter probes: L1-resident summary lookups.
+//
+// The same functional form reproduces the paper's CPU and KNL findings
+// with only the spec constants changing (clock, IPC, MLP, LLC, HBM): BMP
+// benefits from the Xeon's deep OoO and big L3; MPS benefits from the
+// KNL's 16-lane VPUs and MCDRAM bandwidth.
+#pragma once
+
+#include "perf/profile.hpp"
+#include "perf/specs.hpp"
+
+namespace aecnc::perf {
+
+/// Where bitmaps/CSR arrays live on the KNL (Fig 7). kDram is the only
+/// choice on the Xeon.
+enum class MemMode {
+  kDram,      // DDR4 only (flat mode, allocations on DDR)
+  kHbmFlat,   // flat mode, hot arrays placed on MCDRAM via memkind
+  kHbmCache,  // MCDRAM configured as a memory-side cache
+};
+
+[[nodiscard]] std::string_view mem_mode_name(MemMode mode);
+
+/// Component breakdown of a modeled run (all in seconds unless noted).
+struct ModelResult {
+  double seconds = 0.0;            // modeled elapsed time
+  double compute_seconds = 0.0;    // compute term at the given t
+  double bandwidth_seconds = 0.0;  // bandwidth term
+  // Single-thread compute cycles by class (for bench breakdowns):
+  double cycles_merge = 0.0;
+  double cycles_vector = 0.0;
+  double cycles_search = 0.0;
+  double cycles_bitmap = 0.0;
+  double cycles_rf = 0.0;
+  // Byte totals:
+  double streamed_bytes = 0.0;
+  double random_bytes = 0.0;
+  // Effective parallel contexts used:
+  double effective_parallelism = 1.0;
+};
+
+/// Model one run of `profile` with `threads` threads on a CPU-like chip.
+[[nodiscard]] ModelResult model_cpu_like(const CpuLikeSpec& spec,
+                                         const WorkProfile& profile,
+                                         int threads,
+                                         MemMode mode = MemMode::kDram);
+
+/// Effective parallelism E(t): full yield up to `cores`, `smt_yield` per
+/// extra hardware context, flat beyond cores*threads_per_core.
+[[nodiscard]] double effective_parallelism(const CpuLikeSpec& spec,
+                                           int threads);
+
+/// Scale a replica-derived profile up to the original dataset's regime:
+/// multiplies every operation count and footprint by `factor` (use
+/// 1/replica_scale). Per-edge behaviour is scale-invariant, so this
+/// recovers the cache-pressure and bandwidth picture of the full graphs
+/// that the paper's machines actually faced.
+[[nodiscard]] WorkProfile scale_profile(const WorkProfile& profile,
+                                        double factor);
+
+}  // namespace aecnc::perf

@@ -1,0 +1,29 @@
+// A work profile: the instrumented operation counts of one algorithm run
+// plus the run's structural parameters. This is the input every analytic
+// processor model consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "intersect/counters.hpp"
+
+namespace aecnc::perf {
+
+struct WorkProfile {
+  intersect::StatsCounter work;
+
+  std::uint64_t num_vertices = 0;
+  std::uint64_t directed_slots = 0;
+
+  /// Per-execution-context index footprint (BMP only).
+  std::uint64_t bitmap_bytes = 0;
+  std::uint64_t rf_summary_bytes = 0;
+
+  /// Vector width the VB path is modeled at (1 = scalar merge).
+  int vector_lanes = 1;
+
+  bool is_bmp = false;
+  bool range_filter = false;
+};
+
+}  // namespace aecnc::perf

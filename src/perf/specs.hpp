@@ -1,0 +1,82 @@
+// Processor specifications for the analytical performance models.
+//
+// The paper's testbed (§5.1): a CPU server with two 14-core Xeon E5-2680
+// v4 (AVX2), a KNL server with a 64-core Xeon Phi 7210 (AVX-512, 16 GB
+// MCDRAM), and an NVIDIA TITAN Xp (30 SMs, 12 GB). None of these are
+// present here, so instrumented single-thread work profiles (counted by
+// src/intersect's StatsCounter) are converted into modeled times with
+// these specs. Latency/IPC constants are calibrated so the paper's
+// single-thread ratios (Fig 3/4) and scaling curves (Fig 5/7) hold; they
+// are deliberately exposed so the calibration is auditable and ablatable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace aecnc::perf {
+
+enum class Processor { kCpu, kKnl, kGpu };
+
+[[nodiscard]] std::string_view processor_name(Processor p);
+
+/// A multicore CPU-like processor (used for both the Xeon and the KNL,
+/// with different constants).
+struct CpuLikeSpec {
+  std::string_view name;
+  int cores;
+  int threads_per_core;     // SMT/HT contexts
+  double smt_yield;         // extra throughput a second HT context adds
+  double freq_ghz;
+  int vector_lanes;         // 32-bit lanes per vector ALU op
+  double scalar_ipc;        // sustained scalar compare-branch ops/cycle
+  double vector_ipc;        // sustained vector block-ops/cycle
+  double l1_bytes;          // per-core L1 data
+  double llc_bytes;         // shared last-level (L3 on CPU, L2 on KNL)
+  double dram_bw_gbs;       // sustained streaming DRAM bandwidth
+  double random_bw_gbs;     // chip-wide cache-line random-access throughput
+  double core_stream_bw_gbs;  // streaming bandwidth one thread can pull
+  double dram_latency_ns;   // random-access latency to DRAM
+  double llc_latency_ns;    // random-access latency to LLC
+  double mlp;               // overlapped outstanding misses (OoO depth)
+  double bitmap_mlp;        // overlap achieved on bitmap-probe loops
+  double smt_random_penalty;  // latency inflation per extra SMT load unit
+  // High-bandwidth on-package memory (MCDRAM); bw <= 0 means absent.
+  double hbm_bw_gbs;
+  double hbm_random_bw_gbs;  // MCDRAM random access is latency-limited:
+                             // barely better than DDR (paper: 10-20%)
+  double hbm_core_stream_bw_gbs;
+  double hbm_latency_ns;
+  double hbm_bytes;
+};
+
+/// The paper's CPU server: 2 x 14-core Intel Xeon E5-2680 v4, 2.4 GHz,
+/// 35 MB L3, AVX2.
+[[nodiscard]] const CpuLikeSpec& xeon_e5_2680_spec();
+
+/// The paper's KNL server: Intel Xeon Phi 7210, 64 cores x 4 HT, 1.3 GHz,
+/// AVX-512, 16 GB MCDRAM, quadrant mode. KNL cores are 2-wide with weak
+/// out-of-order resources: lower scalar IPC and shallower MLP than the
+/// Xeon, which is what makes latency-bound BMP relatively worse there.
+[[nodiscard]] const CpuLikeSpec& knl_7210_spec();
+
+/// A CUDA GPU.
+struct GpuSpec {
+  std::string_view name;
+  int num_sms;
+  int max_threads_per_sm;    // 2048 on the TITAN Xp
+  int max_blocks_per_sm;     // 16 simultaneously scheduled blocks
+  int warp_size;             // 32
+  double shared_mem_per_sm;  // 48 KB
+  double global_mem_bytes;   // 12 GB
+  double global_bw_gbs;      // ~480 GB/s effective
+  double global_latency_ns;  // ~400 ns
+  double pcie_bw_gbs;        // unified-memory page migration bandwidth
+  double page_fault_us;      // fixed per-fault handling cost
+  double page_bytes;         // 4 KiB driver pages (migrated in groups)
+  double freq_ghz;
+};
+
+/// The paper's NVIDIA TITAN Xp (Pascal): 30 SMs, 12 GB, unified memory.
+[[nodiscard]] const GpuSpec& titan_xp_spec();
+
+}  // namespace aecnc::perf

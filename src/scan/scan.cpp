@@ -1,0 +1,153 @@
+#include "scan/scan.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "core/api.hpp"
+
+namespace aecnc::scan {
+namespace {
+
+/// Union-find (path halving, union by size) over vertex ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(VertexId n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(VertexId a, VertexId b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+};
+
+}  // namespace
+
+double similarity(const graph::Csr& g, VertexId u, VertexId v,
+                  CnCount common) {
+  // Closed neighborhoods add u and v themselves: for an edge (u, v) both
+  // belong to both closed neighborhoods, hence the +2 / +1 terms.
+  return (static_cast<double>(common) + 2.0) /
+         std::sqrt((g.degree(u) + 1.0) * (g.degree(v) + 1.0));
+}
+
+std::vector<double> edge_similarities(const graph::Csr& g,
+                                      const core::CountArray& counts) {
+  std::vector<double> sigma(g.num_directed_edges(), 0.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      sigma[base + k] = similarity(g, u, nbrs[k], counts[base + k]);
+    }
+  }
+  return sigma;
+}
+
+Result cluster_from_counts(const graph::Csr& g,
+                           const core::CountArray& counts,
+                           const Params& params) {
+  const VertexId n = g.num_vertices();
+  const auto sigma = edge_similarities(g, counts);
+
+  // Step 1: cores. |N_ε(u)| counts u itself, so u is core when it has at
+  // least μ-1 strong neighbors.
+  std::vector<std::uint8_t> is_core(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    std::uint32_t strong = 1;  // u ∈ N_ε(u)
+    const EdgeId base = g.offset_begin(u);
+    for (std::size_t k = 0; k < g.neighbors(u).size(); ++k) {
+      strong += (sigma[base + k] >= params.epsilon);
+    }
+    is_core[u] = strong >= params.mu;
+  }
+
+  // Step 2: connect cores along strong edges (structural reachability).
+  DisjointSets components(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (!is_core[u]) continue;
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u < v && is_core[v] && sigma[base + k] >= params.epsilon) {
+        components.unite(u, v);
+      }
+    }
+  }
+
+  // Step 3: dense cluster ids for core components.
+  Result result;
+  result.cluster.assign(n, Result::kUnclustered);
+  result.role.assign(n, Role::kOutlier);
+  std::vector<std::uint32_t> id_of_root(n, Result::kUnclustered);
+  for (VertexId u = 0; u < n; ++u) {
+    if (!is_core[u]) continue;
+    const VertexId root = components.find(u);
+    if (id_of_root[root] == Result::kUnclustered) {
+      id_of_root[root] = result.num_clusters++;
+    }
+    result.cluster[u] = id_of_root[root];
+    result.role[u] = Role::kCore;
+  }
+
+  // Step 4: borders — non-cores in some core's ε-neighborhood. (A vertex
+  // reachable from several clusters is assigned the first; SCAN allows
+  // either convention.)
+  for (VertexId u = 0; u < n; ++u) {
+    if (!is_core[u]) continue;
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (!is_core[v] && sigma[base + k] >= params.epsilon &&
+          result.cluster[v] == Result::kUnclustered) {
+        result.cluster[v] = result.cluster[u];
+        result.role[v] = Role::kBorder;
+      }
+    }
+  }
+
+  // Step 5: hubs vs outliers among the unclustered.
+  for (VertexId u = 0; u < n; ++u) {
+    if (result.cluster[u] != Result::kUnclustered) continue;
+    std::uint32_t first = Result::kUnclustered;
+    bool hub = false;
+    for (const VertexId v : g.neighbors(u)) {
+      const std::uint32_t c = result.cluster[v];
+      if (c == Result::kUnclustered) continue;
+      if (first == Result::kUnclustered) {
+        first = c;
+      } else if (c != first) {
+        hub = true;
+        break;
+      }
+    }
+    result.role[u] = hub ? Role::kHub : Role::kOutlier;
+  }
+  return result;
+}
+
+Result cluster(const graph::Csr& g, const Params& params,
+               const core::Options& count_options) {
+  return cluster_from_counts(g, core::count_common_neighbors(g, count_options),
+                             params);
+}
+
+}  // namespace aecnc::scan

@@ -1,0 +1,68 @@
+// SCAN structural graph clustering (Xu et al., KDD'07 [27]) on top of
+// the all-edge common neighbor counts — the paper's primary motivating
+// consumer (§1, §2.1: pSCAN, SCAN++, SCAN-XP and index-based variants
+// all spend most of their time computing exactly these counts).
+//
+// Definitions (closed neighborhoods Γ(u) = N(u) ∪ {u}):
+//   similarity    σ(u,v) = |Γ(u) ∩ Γ(v)| / sqrt(|Γ(u)| |Γ(v)|)
+//                        = (cnt[e(u,v)] + 2) / sqrt((d_u+1)(d_v+1))
+//   ε-neighborhood N_ε(u) = {v ∈ N(u) : σ(u,v) >= ε} ∪ {u}
+//   core           |N_ε(u)| >= μ
+//   cluster        connected component of cores under σ >= ε edges,
+//                  plus the non-core members of any core's N_ε
+//   hub            unclustered vertex adjacent to >= 2 clusters
+//   outlier        any other unclustered vertex
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace aecnc::scan {
+
+struct Params {
+  double epsilon = 0.5;  // similarity threshold ε in (0, 1]
+  std::uint32_t mu = 2;  // core threshold μ >= 2
+};
+
+enum class Role : std::uint8_t {
+  kCore,
+  kBorder,   // non-core cluster member
+  kHub,      // unclustered, bridges >= 2 clusters
+  kOutlier,  // unclustered, bridges < 2 clusters
+};
+
+struct Result {
+  /// Cluster id per vertex; kUnclustered for hubs/outliers.
+  static constexpr std::uint32_t kUnclustered = ~std::uint32_t{0};
+  std::vector<std::uint32_t> cluster;
+  std::vector<Role> role;
+  std::uint32_t num_clusters = 0;
+
+  [[nodiscard]] std::uint64_t count_role(Role r) const noexcept {
+    std::uint64_t n = 0;
+    for (const Role x : role) n += (x == r);
+    return n;
+  }
+};
+
+/// Structural similarity of the directed slot e (endpoints (u,v)).
+[[nodiscard]] double similarity(const graph::Csr& g, VertexId u, VertexId v,
+                                CnCount common);
+
+/// Per-edge similarities for the whole graph from a count array.
+[[nodiscard]] std::vector<double> edge_similarities(
+    const graph::Csr& g, const core::CountArray& counts);
+
+/// Run SCAN using precomputed counts.
+[[nodiscard]] Result cluster_from_counts(const graph::Csr& g,
+                                         const core::CountArray& counts,
+                                         const Params& params);
+
+/// Convenience: count (with `count_options`) then cluster.
+[[nodiscard]] Result cluster(const graph::Csr& g, const Params& params,
+                             const core::Options& count_options = {});
+
+}  // namespace aecnc::scan

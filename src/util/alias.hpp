@@ -1,0 +1,31 @@
+// Vose alias method for O(1) sampling from a discrete distribution.
+// Used by the Chung-Lu graph generator to pick endpoints proportional to
+// target degree weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace aecnc::util {
+
+class DiscreteSampler {
+ public:
+  /// Build from non-negative weights (at least one must be positive).
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Sample an index proportional to its weight.
+  [[nodiscard]] std::uint32_t sample(Xoshiro256& rng) const noexcept {
+    const auto slot = rng.below(static_cast<std::uint32_t>(prob_.size()));
+    return rng.uniform() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace aecnc::util

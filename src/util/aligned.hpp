@@ -1,0 +1,55 @@
+// Cache-line / vector-register aligned allocation.
+//
+// The VB merge kernels load 256/512-bit blocks; aligning the CSR `dst`
+// array to 64 bytes lets them use aligned loads and avoids split-line
+// penalties. AlignedAllocator is a minimal C++17-style allocator usable
+// with std::vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace aecnc::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // Round the byte size up to a multiple of the alignment as required
+    // by std::aligned_alloc.
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// A std::vector whose buffer is 64-byte aligned (safe for _mm512 loads).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace aecnc::util

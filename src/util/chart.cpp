@@ -1,0 +1,64 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace aecnc::util {
+namespace {
+
+std::size_t widest_label(const std::vector<Bar>& bars) {
+  std::size_t w = 0;
+  for (const auto& b : bars) w = std::max(w, b.label.size());
+  return w;
+}
+
+}  // namespace
+
+std::string bar_chart(const std::vector<Bar>& bars, int width) {
+  double max_value = 0.0;
+  for (const auto& b : bars) max_value = std::max(max_value, b.value);
+  const std::size_t label_width = widest_label(bars);
+
+  std::ostringstream out;
+  for (const auto& b : bars) {
+    const int filled =
+        max_value <= 0.0
+            ? 0
+            : static_cast<int>(std::lround(b.value / max_value * width));
+    out << "  " << b.label << std::string(label_width - b.label.size(), ' ')
+        << " |";
+    for (int i = 0; i < filled; ++i) out << "#";
+    out << ' ' << format_seconds(b.value) << '\n';
+  }
+  return out.str();
+}
+
+std::string sparklines(const std::vector<Series>& series) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double max_value = 0.0;
+  std::size_t name_width = 0;
+  for (const auto& s : series) {
+    name_width = std::max(name_width, s.name.size());
+    for (const double v : s.values) max_value = std::max(max_value, v);
+  }
+
+  std::ostringstream out;
+  for (const auto& s : series) {
+    out << "  " << s.name << std::string(name_width - s.name.size(), ' ')
+        << " ";
+    for (const double v : s.values) {
+      const int level =
+          max_value <= 0.0
+              ? 0
+              : static_cast<int>(std::lround(std::clamp(v / max_value, 0.0, 1.0) * 8));
+      out << kLevels[level];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace aecnc::util

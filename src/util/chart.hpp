@@ -1,0 +1,36 @@
+// Terminal chart rendering for the figure benches.
+//
+// The paper's figures are bar/line charts; the benches reproduce the
+// numbers as tables, and these helpers add the visual: horizontal bar
+// charts (one bar per category) and multi-series sparklines (one row
+// per series over a shared x-axis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aecnc::util {
+
+/// One labeled bar.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Render a horizontal bar chart scaled to `width` characters at the
+/// maximum value. Values must be non-negative; a trailing formatted
+/// value is appended to each bar.
+[[nodiscard]] std::string bar_chart(const std::vector<Bar>& bars,
+                                    int width = 48);
+
+/// One named series of y-values over an implicit shared x-axis.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Render aligned sparklines (8-level Unicode blocks), one per series,
+/// normalized over ALL series so relative magnitudes are comparable.
+[[nodiscard]] std::string sparklines(const std::vector<Series>& series);
+
+}  // namespace aecnc::util

@@ -1,0 +1,52 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aecnc::util {
+
+CliArgs::CliArgs(int argc, char** argv) : program_(argv[0]) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "%s: unexpected argument '%s' (use --key=value)\n",
+                   program_.c_str(), argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_.emplace(std::string(arg), "true");
+    } else {
+      values_.emplace(std::string(arg.substr(0, eq)),
+                      std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string CliArgs::get(std::string_view key, std::string_view fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(std::string_view key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(std::string_view key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace aecnc::util

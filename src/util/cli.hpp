@@ -1,0 +1,37 @@
+// Minimal command-line option parsing for the bench/example binaries.
+//
+// Supports `--key=value` and `--flag` forms only; everything the harness
+// needs and nothing more. Unknown options abort with a message so typos in
+// sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace aecnc::util {
+
+class CliArgs {
+ public:
+  /// Parse argv. Aborts (exit 2) on malformed arguments.
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Typed getters with defaults.
+  [[nodiscard]] std::string get(std::string_view key,
+                                std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace aecnc::util

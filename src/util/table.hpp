@@ -1,0 +1,53 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper's table or
+// figure reports; TablePrinter keeps that output aligned and greppable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aecnc::util {
+
+/// Column-aligned text table. Add a header then rows; str() renders with
+/// every column padded to its widest cell, in GitHub-markdown style.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the full table (header, separator, rows).
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Render as RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with adaptive precision ("12.3 s", "45.6 ms", "789 us").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Format a byte count as a human-readable string ("1.50 GB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Format a count with thousands separators ("1,806,067,135").
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Format a ratio as "12.3x".
+[[nodiscard]] std::string format_speedup(double ratio);
+
+/// Fixed-precision double ("3.14").
+[[nodiscard]] std::string format_fixed(double value, int digits = 2);
+
+}  // namespace aecnc::util

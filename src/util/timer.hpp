@@ -1,0 +1,31 @@
+// Wall-clock timing helpers used by benches and the examples.
+//
+// The paper's metric is "in-memory processing time": elapsed time from the
+// end of graph loading to the completion of all-edge counting. WallTimer
+// measures exactly that window.
+#pragma once
+
+#include <chrono>
+
+namespace aecnc::util {
+
+/// Monotonic wall-clock timer. Started on construction; restart with reset().
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aecnc::util

@@ -1,0 +1,27 @@
+// Fundamental integer types shared across the library.
+//
+// Vertex IDs follow the paper: unique 32-bit unsigned integers in [0, |V|).
+// Edge offsets (CSR slots) must address up to ~2 * 10^9 directed edges on
+// billion-edge graphs, so they are 64-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace aecnc {
+
+/// A vertex identifier in [0, |V|).
+using VertexId = std::uint32_t;
+
+/// A directed edge slot e(u, v): an index into the CSR `dst`/`cnt` arrays.
+using EdgeId = std::uint64_t;
+
+/// A vertex degree (|N(u)| fits in 32 bits for the graphs we target).
+using Degree = std::uint32_t;
+
+/// A common neighbor count. Bounded by min-degree of the endpoints.
+using CnCount = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+}  // namespace aecnc

@@ -1,0 +1,193 @@
+// Tests for the bitmap index and range-filtered bitmap: set/flip/test
+// semantics, the construct-use-clear lifecycle of Algorithm 2, and the
+// range filter's skip correctness.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "bitmap/range_filter.hpp"
+#include "intersect/merge.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc::bitmap {
+namespace {
+
+using Set = std::vector<VertexId>;
+
+Set random_sorted_set(std::size_t size, VertexId universe,
+                      util::Xoshiro256& rng) {
+  std::set<VertexId> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return Set(s.begin(), s.end());
+}
+
+TEST(Bitmap, SetTestFlipClear) {
+  Bitmap b(200);
+  EXPECT_FALSE(b.test(63));
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(199));
+  EXPECT_FALSE(b.test(0));
+  b.flip(63);
+  EXPECT_FALSE(b.test(63));
+  b.clear(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.popcount(), 1u);
+}
+
+TEST(Bitmap, SetIsIdempotentFlipIsNot) {
+  Bitmap b(64);
+  b.set(5);
+  b.set(5);
+  EXPECT_TRUE(b.test(5));
+  EXPECT_EQ(b.popcount(), 1u);
+  b.flip(5);
+  EXPECT_FALSE(b.test(5));
+  b.flip(5);
+  EXPECT_TRUE(b.test(5));
+}
+
+TEST(Bitmap, ConstructClearLifecycleRestoresAllZero) {
+  // The exact lifecycle of Algorithm 2: build on N(u), intersect, flip
+  // the same bits back. The bitmap must return to all-zero.
+  util::Xoshiro256 rng(1);
+  Bitmap b(10000);
+  for (int round = 0; round < 20; ++round) {
+    const Set nu = random_sorted_set(50 + rng.below(200), 10000, rng);
+    b.set_all(nu);
+    EXPECT_EQ(b.popcount(), nu.size());
+    b.clear_all(nu);
+    EXPECT_TRUE(b.all_zero()) << "round " << round;
+  }
+}
+
+TEST(Bitmap, MemoryBytesMatchesPaperFormula) {
+  // |V|/8 bytes, rounded to 64-bit words.
+  EXPECT_EQ(Bitmap(64).memory_bytes(), 8u);
+  EXPECT_EQ(Bitmap(65).memory_bytes(), 16u);
+  // FR-scale: 124,836,180 vertices -> ~14.88 MB (Table 3 reports 14.9MB).
+  const Bitmap fr(124836180);
+  EXPECT_NEAR(static_cast<double>(fr.memory_bytes()) / (1024 * 1024), 14.88,
+              0.05);
+}
+
+TEST(BitmapIntersect, MatchesReferenceOnRandomSets) {
+  util::Xoshiro256 rng(2);
+  Bitmap b(5000);
+  for (int round = 0; round < 50; ++round) {
+    const Set nu = random_sorted_set(100, 5000, rng);
+    const Set nv = random_sorted_set(80, 5000, rng);
+    b.set_all(nu);
+    EXPECT_EQ(bitmap_intersect_count(b, nv),
+              intersect::reference_count(nu, nv));
+    b.clear_all(nu);
+  }
+}
+
+TEST(BitmapIntersect, EmptyArray) {
+  Bitmap b(100);
+  b.set(3);
+  EXPECT_EQ(bitmap_intersect_count(b, {}), 0u);
+}
+
+TEST(RangeFilter, TestMatchesPlainBitmap) {
+  util::Xoshiro256 rng(3);
+  const VertexId universe = 100000;
+  RangeFilteredBitmap rf(universe);  // scale 4096
+  const Set nu = random_sorted_set(500, universe, rng);
+  rf.set_all(nu);
+  for (const VertexId v : nu) EXPECT_TRUE(rf.test(v));
+  for (int i = 0; i < 2000; ++i) {
+    const VertexId v = rng.below(universe);
+    const bool expected = std::binary_search(nu.begin(), nu.end(), v);
+    EXPECT_EQ(rf.test(v), expected) << v;
+  }
+}
+
+TEST(RangeFilter, ClearRestoresAllZeroWithSharedRanges) {
+  // Neighbors deliberately packed into the same 4096-wide ranges so the
+  // shared-summary-bit clearing path is exercised.
+  RangeFilteredBitmap rf(1 << 20);
+  Set nu;
+  for (VertexId i = 0; i < 64; ++i) nu.push_back(4096 * 3 + i * 7);
+  for (VertexId i = 0; i < 64; ++i) nu.push_back(4096 * 9 + i * 11);
+  std::sort(nu.begin(), nu.end());
+  nu.erase(std::unique(nu.begin(), nu.end()), nu.end());
+  rf.set_all(nu);
+  EXPECT_FALSE(rf.all_zero());
+  rf.clear_all(nu);
+  EXPECT_TRUE(rf.all_zero());
+}
+
+TEST(RangeFilter, IntersectMatchesReference) {
+  util::Xoshiro256 rng(4);
+  const VertexId universe = 1 << 18;
+  RangeFilteredBitmap rf(universe);
+  for (int round = 0; round < 30; ++round) {
+    const Set nu = random_sorted_set(200, universe, rng);
+    const Set nv = random_sorted_set(150, universe, rng);
+    rf.set_all(nu);
+    EXPECT_EQ(rf_intersect_count(rf, nv), intersect::reference_count(nu, nv));
+    rf.clear_all(nu);
+    EXPECT_TRUE(rf.all_zero());
+  }
+}
+
+TEST(RangeFilter, SkipsRangesWithoutBits) {
+  // All set bits in one range; probes elsewhere must be filtered without
+  // touching the big bitmap.
+  RangeFilteredBitmap rf(1 << 20);
+  const Set nu = {100, 200, 300};
+  rf.set_all(nu);
+  intersect::StatsCounter stats;
+  Set probes;
+  for (VertexId i = 1; i <= 50; ++i) probes.push_back(8192 + i * 4096);
+  (void)rf_intersect_count(rf, probes, stats);
+  EXPECT_EQ(stats.rf_probes, probes.size());
+  EXPECT_EQ(stats.rf_skips, probes.size());   // every probe filtered
+  EXPECT_EQ(stats.bitmap_probes, 0u);          // big bitmap untouched
+}
+
+TEST(RangeFilter, CustomRangeScale) {
+  RangeFilteredBitmap rf(10000, 256);
+  EXPECT_EQ(rf.range_scale(), 256u);
+  const Set nu = {0, 255, 256, 9999};
+  rf.set_all(nu);
+  for (const VertexId v : nu) EXPECT_TRUE(rf.test(v));
+  EXPECT_FALSE(rf.test(257));
+  rf.clear_all(nu);
+  EXPECT_TRUE(rf.all_zero());
+}
+
+TEST(RangeFilter, SummaryBytesAreSmall) {
+  // Summary must be ~1/4096 of the big bitmap: that is what lets it live
+  // in L1 (Table 3's "+RF" column adds a few KB only).
+  const RangeFilteredBitmap rf(1u << 26);  // 8 MB big bitmap
+  EXPECT_LE(rf.summary_bytes(), rf.big().memory_bytes() / 4096 + 64);
+}
+
+class RangeScaleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeScaleSweep, CorrectAtEveryScale) {
+  const std::uint64_t scale = GetParam();
+  util::Xoshiro256 rng(scale);
+  const VertexId universe = 1 << 16;
+  RangeFilteredBitmap rf(universe, scale);
+  const Set nu = random_sorted_set(300, universe, rng);
+  const Set nv = random_sorted_set(300, universe, rng);
+  rf.set_all(nu);
+  EXPECT_EQ(rf_intersect_count(rf, nv), intersect::reference_count(nu, nv));
+  rf.clear_all(nu);
+  EXPECT_TRUE(rf.all_zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RangeScaleSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace aecnc::bitmap

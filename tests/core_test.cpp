@@ -1,0 +1,308 @@
+// Integration tests for the core library: every algorithm/configuration
+// must produce the brute-force ground truth on a spread of graph shapes,
+// sequentially and under the OpenMP skeleton; plus FindSrc, symmetric
+// assignment, reordering translation, and triangle derivation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/api.hpp"
+#include "core/parallel.hpp"
+#include "core/sequential.hpp"
+#include "core/verify.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc::core {
+namespace {
+
+using graph::Csr;
+using graph::EdgeList;
+
+struct GraphCase {
+  const char* name;
+  Csr graph;
+};
+
+std::vector<GraphCase> test_graphs() {
+  std::vector<GraphCase> cases;
+  cases.push_back({"clique8", Csr::from_edge_list(graph::clique(8))});
+
+  {
+    EdgeList path(10);
+    for (VertexId v = 0; v + 1 < 10; ++v) path.add(v, v + 1);
+    cases.push_back({"path10", Csr::from_edge_list(std::move(path))});
+  }
+  {
+    EdgeList star(65);
+    for (VertexId v = 1; v < 65; ++v) star.add(0, v);
+    cases.push_back({"star64", Csr::from_edge_list(std::move(star))});
+  }
+  cases.push_back(
+      {"er", Csr::from_edge_list(graph::erdos_renyi(800, 6000, 31))});
+  cases.push_back({"powerlaw", Csr::from_edge_list(graph::chung_lu_power_law(
+                                   1000, 8000, 2.1, 33))});
+  {
+    auto hubby = graph::erdos_renyi(600, 2500, 35);
+    graph::add_hubs(hubby, 2, 400, 36);
+    cases.push_back({"hubby", Csr::from_edge_list(std::move(hubby))});
+  }
+  cases.push_back({"empty", Csr::from_edge_list(EdgeList(5))});
+  return cases;
+}
+
+struct AlgoCase {
+  const char* name;
+  Options options;
+};
+
+std::vector<AlgoCase> algo_cases() {
+  std::vector<AlgoCase> cases;
+  auto push = [&cases](const char* name, Options o) {
+    cases.push_back({name, o});
+  };
+
+  Options m;
+  m.algorithm = Algorithm::kMergeBaseline;
+  m.parallel = false;
+  push("M_seq", m);
+  m.parallel = true;
+  push("M_par", m);
+
+  Options mps;
+  mps.algorithm = Algorithm::kMps;
+  mps.parallel = false;
+  mps.mps.kind = intersect::MergeKind::kBlockScalar;
+  push("MPS_seq_block", mps);
+  mps.mps.kind = intersect::best_merge_kind();
+  push("MPS_seq_best", mps);
+  mps.parallel = true;
+  push("MPS_par_best", mps);
+  mps.mps.skew_threshold = 2.0;  // force pivot-skip on mild skew
+  push("MPS_par_t2", mps);
+  mps.mps.skew_threshold = 1e18;  // never pivot-skip
+  push("MPS_par_noskew", mps);
+
+  Options bmp;
+  bmp.algorithm = Algorithm::kBmp;
+  bmp.parallel = false;
+  push("BMP_seq", bmp);
+  bmp.bmp_range_filter = true;
+  push("BMP_RF_seq", bmp);
+  bmp.parallel = true;
+  push("BMP_RF_par", bmp);
+  bmp.bmp_range_filter = false;
+  push("BMP_par", bmp);
+  bmp.task_size = 7;  // tiny tasks stress the FindSrc cache
+  push("BMP_par_T7", bmp);
+  return cases;
+}
+
+class AllAlgorithmsTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllAlgorithmsTest, MatchesBruteForce) {
+  static const auto graphs = test_graphs();
+  static const auto algos = algo_cases();
+  const auto& gc = graphs[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const auto& ac = algos[static_cast<std::size_t>(std::get<1>(GetParam()))];
+
+  const CountArray expected = count_reference(gc.graph);
+  const CountArray actual = count_common_neighbors(gc.graph, ac.options);
+  const auto diff = diff_counts(gc.graph, actual, expected);
+  EXPECT_FALSE(diff.has_value()) << gc.name << "/" << ac.name << ": " << *diff;
+  EXPECT_TRUE(counts_symmetric(gc.graph, actual));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllAlgorithmsTest,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 12)),
+    [](const auto& info) {
+      static const auto graphs = test_graphs();
+      static const auto algos = algo_cases();
+      return std::string(graphs[static_cast<std::size_t>(
+                                    std::get<0>(info.param))].name) +
+             "_" +
+             algos[static_cast<std::size_t>(std::get<1>(info.param))].name;
+    });
+
+TEST(FindSrc, CachedLookupsAgreeWithBinarySearch) {
+  const Csr g =
+      Csr::from_edge_list(graph::chung_lu_power_law(500, 4000, 2.2, 41));
+  VertexId cached = 0;
+  for (EdgeId e = 0; e < g.num_directed_edges(); ++e) {
+    EXPECT_EQ(find_src(g, e, cached), g.src_of(e)) << "slot " << e;
+  }
+}
+
+TEST(FindSrc, NonMonotoneAccessPattern) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(300, 2000, 43));
+  util::Xoshiro256 rng(44);
+  VertexId cached = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const EdgeId e = rng.below(static_cast<std::uint32_t>(g.num_directed_edges()));
+    EXPECT_EQ(find_src(g, e, cached), g.src_of(e));
+  }
+}
+
+TEST(FindSrc, SkipsZeroDegreeVertices) {
+  // Vertices 0 and 2 isolated; slots belong to 1, 3, 4.
+  EdgeList e(5);
+  e.add(1, 3);
+  e.add(3, 4);
+  const Csr g = Csr::from_edge_list(e);
+  VertexId cached = 0;
+  for (EdgeId slot = 0; slot < g.num_directed_edges(); ++slot) {
+    const VertexId u = find_src(g, slot, cached);
+    EXPECT_NE(u, 0u);
+    EXPECT_NE(u, 2u);
+    EXPECT_EQ(u, g.src_of(slot));
+  }
+}
+
+TEST(Api, ReorderedCountsTranslateBack) {
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(800, 6000, 2.1, 51));
+  Options opt;
+  opt.algorithm = Algorithm::kBmp;
+  const CountArray direct = count_reference(g);
+  const CountArray reordered = count_with_reorder(g, opt);
+  const auto diff = diff_counts(g, reordered, direct);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(Api, ReorderGivesBmpItsComplexityPrecondition) {
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(500, 3000, 2.0, 53));
+  const Csr r = graph::reorder_degree_descending(g);
+  EXPECT_TRUE(graph::is_degree_descending(r));
+  // For every forward edge u < v in the reordered graph, BMP loops over
+  // the smaller set: d_u >= d_v.
+  for (VertexId u = 0; u < r.num_vertices(); ++u) {
+    for (const VertexId v : r.neighbors(u)) {
+      if (u < v) {
+        EXPECT_GE(r.degree(u), r.degree(v));
+      }
+    }
+  }
+}
+
+TEST(Api, TriangleCountOnKnownGraphs) {
+  EXPECT_EQ(triangle_count(Csr::from_edge_list(graph::clique(4))), 4u);
+  EXPECT_EQ(triangle_count(Csr::from_edge_list(graph::clique(6))), 20u);
+  EdgeList path(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) path.add(v, v + 1);
+  EXPECT_EQ(triangle_count(Csr::from_edge_list(path)), 0u);
+}
+
+TEST(Api, TriangleCountAgreesAcrossAlgorithms) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(400, 4000, 61));
+  Options mps;
+  mps.algorithm = Algorithm::kMps;
+  Options bmp;
+  bmp.algorithm = Algorithm::kBmp;
+  Options m;
+  m.algorithm = Algorithm::kMergeBaseline;
+  const auto t = triangle_count(g, m);
+  EXPECT_EQ(triangle_count(g, mps), t);
+  EXPECT_EQ(triangle_count(g, bmp), t);
+}
+
+TEST(Api, InstrumentedRunsProduceSameCounts) {
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(600, 5000, 2.2, 71));
+  const CountArray expected = count_reference(g);
+  for (const Algorithm a :
+       {Algorithm::kMergeBaseline, Algorithm::kMps, Algorithm::kBmp}) {
+    Options opt;
+    opt.algorithm = a;
+    intersect::StatsCounter stats;
+    const CountArray actual = count_instrumented(g, opt, stats);
+    EXPECT_FALSE(diff_counts(g, actual, expected).has_value())
+        << algorithm_name(a);
+    EXPECT_GT(stats.intersections, 0u) << algorithm_name(a);
+  }
+}
+
+TEST(Api, InstrumentedBmpCountsBitmapWork) {
+  const Csr g = Csr::from_edge_list(graph::clique(32));
+  Options opt;
+  opt.algorithm = Algorithm::kBmp;
+  intersect::StatsCounter stats;
+  (void)count_instrumented(g, opt, stats);
+  EXPECT_GT(stats.bitmap_probes, 0u);
+  EXPECT_GT(stats.bitmap_sets, 0u);
+  EXPECT_EQ(stats.block_steps, 0u);
+
+  opt.bmp_range_filter = true;
+  intersect::StatsCounter rf_stats;
+  (void)count_instrumented(g, opt, rf_stats);
+  EXPECT_GT(rf_stats.rf_probes, 0u);
+}
+
+TEST(Verify, DiffReportsFirstMismatch) {
+  const Csr g = Csr::from_edge_list(graph::clique(4));
+  CountArray a = count_reference(g);
+  CountArray b = a;
+  b[3] += 1;
+  const auto diff = diff_counts(g, b, a);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("expected"), std::string::npos);
+  EXPECT_FALSE(diff_counts(g, a, a).has_value());
+}
+
+TEST(Verify, SymmetryDetectsViolations)  {
+  const Csr g = Csr::from_edge_list(graph::clique(4));
+  CountArray a = count_reference(g);
+  EXPECT_TRUE(counts_symmetric(g, a));
+  a[0] += 1;
+  EXPECT_FALSE(counts_symmetric(g, a));
+}
+
+TEST(Parallel, ThreadCountsAndTaskSizesAgree) {
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(700, 6000, 2.1, 81));
+  const CountArray expected = count_reference(g);
+  for (const int threads : {1, 2, 4}) {
+    for (const std::uint32_t task : {1u, 32u, 100000u}) {
+      Options opt;
+      opt.algorithm = Algorithm::kMps;
+      opt.num_threads = threads;
+      opt.task_size = task;
+      const auto actual = count_parallel(g, opt);
+      EXPECT_FALSE(diff_counts(g, actual, expected).has_value())
+          << "threads=" << threads << " task=" << task;
+    }
+  }
+}
+
+TEST(Parallel, BmpManyThreadsOnSmallGraph) {
+  // More threads than vertices with work: exercises idle thread states.
+  const Csr g = Csr::from_edge_list(graph::clique(5));
+  Options opt;
+  opt.algorithm = Algorithm::kBmp;
+  opt.num_threads = 8;
+  opt.task_size = 1;
+  EXPECT_FALSE(
+      diff_counts(g, count_parallel(g, opt), count_reference(g)).has_value());
+}
+
+TEST(Datasets, SmallReplicasCountCorrectly) {
+  // End-to-end: dataset replica -> reorder -> all three algorithms agree.
+  const Csr g = graph::make_dataset(graph::DatasetId::kTwitter, 5e-5);
+  const Csr r = graph::reorder_degree_descending(g);
+  const CountArray expected = count_reference(r);
+  for (const Algorithm a :
+       {Algorithm::kMergeBaseline, Algorithm::kMps, Algorithm::kBmp}) {
+    Options opt;
+    opt.algorithm = a;
+    EXPECT_FALSE(
+        diff_counts(r, count_common_neighbors(r, opt), expected).has_value())
+        << algorithm_name(a);
+  }
+}
+
+}  // namespace
+}  // namespace aecnc::core

@@ -1,0 +1,335 @@
+// Tests for the related-work comparators (hash index, sparse bitmap),
+// the dedicated triangle counters, the coarse-grained parallel skeleton,
+// and the SCAN clustering module.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/api.hpp"
+#include "core/comparators.hpp"
+#include "core/triangle.hpp"
+#include "core/verify.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "intersect/hash_index.hpp"
+#include "intersect/merge.hpp"
+#include "intersect/sparse_bitmap.hpp"
+#include "scan/scan.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc {
+namespace {
+
+using graph::Csr;
+using Set = std::vector<VertexId>;
+
+Set random_sorted_set(std::size_t size, VertexId universe,
+                      util::Xoshiro256& rng) {
+  std::set<VertexId> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return Set(s.begin(), s.end());
+}
+
+// --- HashIndex ---------------------------------------------------------------
+
+TEST(HashIndex, ContainsExactlyTheIndexedElements) {
+  util::Xoshiro256 rng(1);
+  const Set elems = random_sorted_set(300, 100000, rng);
+  const intersect::HashIndex index(elems);
+  for (const VertexId v : elems) EXPECT_TRUE(index.contains(v));
+  for (int i = 0; i < 2000; ++i) {
+    const VertexId v = rng.below(100000);
+    EXPECT_EQ(index.contains(v), std::binary_search(elems.begin(), elems.end(), v));
+  }
+}
+
+TEST(HashIndex, EmptyIndexContainsNothing) {
+  const intersect::HashIndex index;
+  EXPECT_FALSE(index.contains(0));
+  EXPECT_FALSE(index.contains(12345));
+}
+
+TEST(HashIndex, RebuildReplacesContents) {
+  intersect::HashIndex index(Set{1, 2, 3});
+  EXPECT_TRUE(index.contains(2));
+  index.rebuild(Set{7, 8});
+  EXPECT_FALSE(index.contains(2));
+  EXPECT_TRUE(index.contains(7));
+}
+
+TEST(HashIndex, IntersectMatchesReference) {
+  util::Xoshiro256 rng(2);
+  for (int round = 0; round < 50; ++round) {
+    const Set a = random_sorted_set(1 + rng.below(200), 2000, rng);
+    const Set b = random_sorted_set(1 + rng.below(200), 2000, rng);
+    EXPECT_EQ(intersect::hash_count(a, b), intersect::reference_count(a, b));
+  }
+}
+
+TEST(HashIndex, CollidingKeysAllFound) {
+  // Dense universe forces many adjacent probe chains.
+  Set elems;
+  for (VertexId v = 0; v < 512; ++v) elems.push_back(v);
+  const intersect::HashIndex index(elems);
+  for (const VertexId v : elems) EXPECT_TRUE(index.contains(v));
+  EXPECT_FALSE(index.contains(512));
+}
+
+// --- SparseBitmap -------------------------------------------------------------
+
+TEST(SparseBitmap, BuildAndContains) {
+  const Set elems = {0, 1, 63, 64, 65, 4096, 100000};
+  const intersect::SparseBitmap sb(elems);
+  EXPECT_EQ(sb.cardinality(), elems.size());
+  // Elements 0,1,63 share a word; 64,65 share the next.
+  EXPECT_EQ(sb.num_words(), 4u);
+  for (const VertexId v : elems) EXPECT_TRUE(sb.contains(v));
+  EXPECT_FALSE(sb.contains(2));
+  EXPECT_FALSE(sb.contains(66));
+  EXPECT_FALSE(sb.contains(99999));
+}
+
+TEST(SparseBitmap, EmptySet) {
+  const intersect::SparseBitmap sb{Set{}};
+  EXPECT_EQ(sb.cardinality(), 0u);
+  EXPECT_EQ(sb.num_words(), 0u);
+  EXPECT_FALSE(sb.contains(0));
+}
+
+TEST(SparseBitmap, IntersectMatchesReference) {
+  util::Xoshiro256 rng(3);
+  for (int round = 0; round < 60; ++round) {
+    const Set a = random_sorted_set(1 + rng.below(300), 5000, rng);
+    const Set b = random_sorted_set(1 + rng.below(300), 5000, rng);
+    const intersect::SparseBitmap sa(a), sb(b);
+    EXPECT_EQ(intersect::sparse_bitmap_intersect_count(sa, sb),
+              intersect::reference_count(a, b));
+  }
+}
+
+TEST(SparseBitmap, DenseSetsCompressWell) {
+  // 64 consecutive ids -> one word.
+  Set dense;
+  for (VertexId v = 128; v < 192; ++v) dense.push_back(v);
+  const intersect::SparseBitmap sb(dense);
+  EXPECT_EQ(sb.num_words(), 1u);
+  EXPECT_EQ(sb.cardinality(), 64u);
+}
+
+TEST(SparseBitmapIndex, CoversWholeGraph) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(400, 3000, 5));
+  const intersect::SparseBitmapIndex index(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(index.of(u).cardinality(), g.degree(u));
+  }
+  EXPECT_GT(index.memory_bytes(), 0u);
+}
+
+// --- Comparator all-edge counters ---------------------------------------------
+
+class ComparatorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComparatorTest, MatchesBruteForce) {
+  static const std::vector<Csr> graphs = [] {
+    std::vector<Csr> gs;
+    gs.push_back(Csr::from_edge_list(graph::clique(12)));
+    gs.push_back(Csr::from_edge_list(graph::chung_lu_power_law(700, 5000, 2.2, 11)));
+    gs.push_back(graph::reorder_degree_descending(
+        graph::make_dataset(graph::DatasetId::kTwitter, 5e-5)));
+    return gs;
+  }();
+  const Csr& g = graphs[static_cast<std::size_t>(GetParam())];
+  const auto expected = core::count_reference(g);
+  EXPECT_FALSE(
+      core::diff_counts(g, core::count_sparse_bitmap(g), expected).has_value());
+  EXPECT_FALSE(
+      core::diff_counts(g, core::count_hash_index(g), expected).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ComparatorTest, ::testing::Range(0, 3));
+
+// --- Triangle counting ---------------------------------------------------------
+
+TEST(Triangles, KnownValues) {
+  EXPECT_EQ(core::count_triangles(Csr::from_edge_list(graph::clique(4))), 4u);
+  EXPECT_EQ(core::count_triangles(Csr::from_edge_list(graph::clique(10))), 120u);
+  graph::EdgeList path(6);
+  for (VertexId v = 0; v + 1 < 6; ++v) path.add(v, v + 1);
+  EXPECT_EQ(core::count_triangles(Csr::from_edge_list(path)), 0u);
+}
+
+TEST(Triangles, MergeAndHashAgreeWithAllEdgeDerivation) {
+  const Csr g = Csr::from_edge_list(graph::chung_lu_power_law(800, 7000, 2.1, 13));
+  const auto expected = core::triangle_count(g);
+  EXPECT_EQ(core::count_triangles(g, core::TriangleAlgorithm::kMergeForward),
+            expected);
+  EXPECT_EQ(core::count_triangles(g, core::TriangleAlgorithm::kHashForward),
+            expected);
+}
+
+TEST(Triangles, ParallelThreadCountsAgree) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(600, 6000, 17));
+  const auto t1 = core::count_triangles(g, core::TriangleAlgorithm::kMergeForward, 1);
+  for (const int t : {2, 4}) {
+    EXPECT_EQ(core::count_triangles(g, core::TriangleAlgorithm::kMergeForward, t), t1);
+  }
+}
+
+TEST(Triangles, PerVertexSumsToThreeTimesTotal) {
+  const Csr g = Csr::from_edge_list(graph::chung_lu_power_law(500, 4000, 2.3, 19));
+  const auto tri = core::per_vertex_triangles(g);
+  std::uint64_t sum = 0;
+  for (const auto t : tri) sum += t;
+  EXPECT_EQ(sum, 3 * core::count_triangles(g));
+}
+
+TEST(Triangles, PerVertexOnClique) {
+  const auto tri = core::per_vertex_triangles(Csr::from_edge_list(graph::clique(6)));
+  // Each vertex of K6 is in C(5,2) = 10 triangles.
+  for (const auto t : tri) EXPECT_EQ(t, 10u);
+}
+
+// --- Coarse-grained parallel skeleton -----------------------------------------
+
+class CoarseGrainTest : public ::testing::TestWithParam<core::Algorithm> {};
+
+TEST_P(CoarseGrainTest, MatchesFineGrained) {
+  const Csr g = graph::reorder_degree_descending(
+      Csr::from_edge_list(graph::chung_lu_power_law(900, 8000, 2.1, 23)));
+  core::Options fine;
+  fine.algorithm = GetParam();
+  fine.bmp_range_filter = GetParam() == core::Algorithm::kBmp;
+  fine.rf_range_scale = 64;
+  core::Options coarse = fine;
+  coarse.granularity = core::TaskGranularity::kCoarseGrained;
+  const auto a = core::count_common_neighbors(g, fine);
+  const auto b = core::count_common_neighbors(g, coarse);
+  EXPECT_FALSE(core::diff_counts(g, b, a).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, CoarseGrainTest,
+                         ::testing::Values(core::Algorithm::kMergeBaseline,
+                                           core::Algorithm::kMps,
+                                           core::Algorithm::kBmp),
+                         [](const auto& info) {
+                           return std::string(
+                               core::algorithm_name(info.param));
+                         });
+
+// --- SCAN clustering ------------------------------------------------------------
+
+Csr planted_communities(VertexId communities, VertexId size,
+                        std::uint64_t seed) {
+  graph::EdgeList edges(communities * size);
+  util::Xoshiro256 rng(seed);
+  for (VertexId c = 0; c < communities; ++c) {
+    const VertexId base = c * size;
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = i + 1; j < size; ++j) {
+        if (rng.uniform() < 0.9) edges.add(base + i, base + j);
+      }
+    }
+  }
+  // Sparse inter-community bridges.
+  for (VertexId c = 0; c + 1 < communities; ++c) {
+    edges.add(c * size, (c + 1) * size);
+  }
+  return Csr::from_edge_list(std::move(edges));
+}
+
+TEST(Scan, SimilarityFormula) {
+  const Csr g = Csr::from_edge_list(graph::clique(4));
+  // In K4: cnt = 2 for every edge, degrees 3 -> sigma = 4/4 = 1.
+  EXPECT_DOUBLE_EQ(scan::similarity(g, 0, 1, 2), 1.0);
+}
+
+TEST(Scan, RecoversPlantedCommunities) {
+  const Csr g = planted_communities(8, 24, 31);
+  const auto result = scan::cluster(g, {.epsilon = 0.6, .mu = 3});
+  EXPECT_EQ(result.num_clusters, 8u);
+  // All vertices of one community share one cluster id.
+  for (VertexId c = 0; c < 8; ++c) {
+    const auto id = result.cluster[c * 24];
+    ASSERT_NE(id, scan::Result::kUnclustered);
+    for (VertexId i = 1; i < 24; ++i) {
+      EXPECT_EQ(result.cluster[c * 24 + i], id) << "community " << c;
+    }
+  }
+}
+
+TEST(Scan, EpsilonOneKeepsOnlyPerfectEdges) {
+  // A triangle has sigma = 1 edges only when all closed neighborhoods
+  // coincide; K4 qualifies, a path does not.
+  const auto k4 = scan::cluster(Csr::from_edge_list(graph::clique(4)),
+                                {.epsilon = 1.0, .mu = 2});
+  EXPECT_EQ(k4.num_clusters, 1u);
+  graph::EdgeList path(4);
+  for (VertexId v = 0; v + 1 < 4; ++v) path.add(v, v + 1);
+  const auto p = scan::cluster(Csr::from_edge_list(path),
+                               {.epsilon = 1.0, .mu = 2});
+  EXPECT_EQ(p.num_clusters, 0u);
+}
+
+TEST(Scan, HubBridgesTwoClusters) {
+  // Two K5s joined through one extra vertex adjacent to both.
+  graph::EdgeList edges(11);
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      edges.add(i, j);
+      edges.add(5 + i, 5 + j);
+    }
+  }
+  const VertexId hub = 10;
+  edges.add(hub, 0);
+  edges.add(hub, 5);
+  const Csr g = Csr::from_edge_list(std::move(edges));
+  const auto result = scan::cluster(g, {.epsilon = 0.7, .mu = 3});
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.cluster[hub], scan::Result::kUnclustered);
+  EXPECT_EQ(result.role[hub], scan::Role::kHub);
+}
+
+TEST(Scan, IsolatedVertexIsOutlier) {
+  graph::EdgeList edges(5);
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(0, 2);
+  edges.ensure_vertices(5);
+  const Csr g = Csr::from_edge_list(std::move(edges));
+  const auto result = scan::cluster(g, {.epsilon = 0.5, .mu = 2});
+  EXPECT_EQ(result.role[4], scan::Role::kOutlier);
+  EXPECT_EQ(result.cluster[4], scan::Result::kUnclustered);
+}
+
+TEST(Scan, CountAlgorithmDoesNotChangeClustering) {
+  const Csr g = planted_communities(4, 16, 37);
+  core::Options mps;
+  core::Options bmp;
+  bmp.algorithm = core::Algorithm::kBmp;
+  const auto a = scan::cluster(g, {.epsilon = 0.55, .mu = 3}, mps);
+  const auto b = scan::cluster(g, {.epsilon = 0.55, .mu = 3}, bmp);
+  EXPECT_EQ(a.cluster, b.cluster);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+}
+
+TEST(Scan, RoleCountsPartitionTheGraph) {
+  const Csr g = graph::reorder_degree_descending(
+      graph::make_dataset(graph::DatasetId::kLiveJournal, 2e-4));
+  const auto result = scan::cluster(g, {.epsilon = 0.4, .mu = 3});
+  const auto total = result.count_role(scan::Role::kCore) +
+                     result.count_role(scan::Role::kBorder) +
+                     result.count_role(scan::Role::kHub) +
+                     result.count_role(scan::Role::kOutlier);
+  EXPECT_EQ(total, g.num_vertices());
+  // Cores and borders are exactly the clustered vertices.
+  std::uint64_t clustered = 0;
+  for (const auto c : result.cluster) {
+    clustered += (c != scan::Result::kUnclustered);
+  }
+  EXPECT_EQ(clustered, result.count_role(scan::Role::kCore) +
+                           result.count_role(scan::Role::kBorder));
+}
+
+}  // namespace
+}  // namespace aecnc

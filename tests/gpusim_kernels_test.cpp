@@ -1,0 +1,182 @@
+// Kernel-level tests for the GPU simulator: transaction accounting,
+// range restriction, skew partitioning between MKernel and PSKernel,
+// shared-memory accounting for the range filter, and the co-processing
+// data flow of Algorithm 4.
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "gpusim/kernels.hpp"
+#include "gpusim/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+
+namespace aecnc::gpusim {
+namespace {
+
+using core::Algorithm;
+using graph::Csr;
+
+Csr small_skewed_graph() {
+  auto edges = graph::erdos_renyi(300, 1500, 7);
+  graph::add_hubs(edges, 1, 250, 8);
+  return graph::reorder_degree_descending(Csr::from_edge_list(std::move(edges)));
+}
+
+struct KernelHarness {
+  explicit KernelHarness(const Csr& graph)
+      : g(graph),
+        um(1ull << 30),
+        arrays(allocate_graph(um, g)),
+        cnt(g.num_directed_edges(), 0) {}
+
+  const Csr& g;
+  UnifiedMemory um;
+  DeviceArrays arrays;
+  std::vector<CnCount> cnt;
+  KernelStats stats;
+};
+
+TEST(Kernels, MPlusPsCoverExactlyForwardEdges) {
+  // t = 10 so the 250-degree hub's edges (ratio ~25 over the ER body)
+  // route to the PS kernel.
+  const Csr g = small_skewed_graph();
+  KernelHarness h(g);
+  run_m_kernel(g, h.cnt, 10.0, 0, g.num_vertices(), h.arrays, h.um, h.stats);
+  const auto m_edges = h.stats.edges_processed;
+  run_ps_kernel(g, h.cnt, 10.0, 0, g.num_vertices(), h.arrays, h.um, h.stats);
+  const auto total = h.stats.edges_processed;
+  EXPECT_GT(m_edges, 0u);
+  EXPECT_GT(total, m_edges) << "a hubby graph must route edges to PSKernel";
+  EXPECT_EQ(total, g.num_undirected_edges());
+}
+
+TEST(Kernels, ForwardCountsMatchReferenceAfterBothKernels) {
+  const Csr g = small_skewed_graph();
+  KernelHarness h(g);
+  run_m_kernel(g, h.cnt, 10.0, 0, g.num_vertices(), h.arrays, h.um, h.stats);
+  run_ps_kernel(g, h.cnt, 10.0, 0, g.num_vertices(), h.arrays, h.um, h.stats);
+  const auto expected = core::count_reference(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (u < nbrs[k]) {
+        ASSERT_EQ(h.cnt[base + k], expected[base + k])
+            << "edge (" << u << "," << nbrs[k] << ")";
+      } else {
+        ASSERT_EQ(h.cnt[base + k], 0u) << "reverse slots must stay untouched";
+      }
+    }
+  }
+}
+
+TEST(Kernels, RangeRestrictionPartitionsWork) {
+  const Csr g = small_skewed_graph();
+  const VertexId mid = g.num_vertices() / 2;
+
+  KernelHarness lo(g), hi(g), full(g);
+  run_m_kernel(g, lo.cnt, 50.0, 0, mid, lo.arrays, lo.um, lo.stats);
+  run_m_kernel(g, hi.cnt, 50.0, mid, g.num_vertices(), hi.arrays, hi.um,
+               hi.stats);
+  run_m_kernel(g, full.cnt, 50.0, 0, g.num_vertices(), full.arrays, full.um,
+               full.stats);
+
+  EXPECT_EQ(lo.stats.edges_processed + hi.stats.edges_processed,
+            full.stats.edges_processed);
+  // Slot-wise union of the two ranges equals the full run.
+  for (EdgeId e = 0; e < g.num_directed_edges(); ++e) {
+    EXPECT_EQ(lo.cnt[e] + hi.cnt[e], full.cnt[e]) << "slot " << e;
+  }
+}
+
+TEST(Kernels, BmpSharedMemoryOnlyWithRangeFilter) {
+  const Csr g = small_skewed_graph();
+  const auto occ = compute_occupancy(perf::titan_xp_spec(), {4});
+
+  KernelHarness plain(g);
+  BitmapPool pool_plain(perf::titan_xp_spec().num_sms, occ.blocks_per_sm,
+                        g.num_vertices());
+  run_bmp_kernel(g, plain.cnt, false, 4096, 0, g.num_vertices(), plain.arrays,
+                 plain.um, pool_plain, occ, plain.stats);
+  EXPECT_EQ(plain.stats.shared_load_ops, 0u);
+  EXPECT_GT(plain.stats.atomic_ops, 0u);  // atomicOr bitmap construction
+
+  KernelHarness rf(g);
+  BitmapPool pool_rf(perf::titan_xp_spec().num_sms, occ.blocks_per_sm,
+                     g.num_vertices());
+  run_bmp_kernel(g, rf.cnt, true, 64, 0, g.num_vertices(), rf.arrays, rf.um,
+                 pool_rf, occ, rf.stats);
+  EXPECT_GT(rf.stats.shared_load_ops, 0u);
+  EXPECT_LE(rf.stats.load_transactions, plain.stats.load_transactions);
+  EXPECT_EQ(rf.cnt, plain.cnt);
+}
+
+TEST(Kernels, TransactionsScaleWithWork) {
+  // A denser graph must generate more load transactions under MKernel.
+  const Csr sparse = Csr::from_edge_list(graph::erdos_renyi(300, 900, 9));
+  const Csr dense = Csr::from_edge_list(graph::erdos_renyi(300, 9000, 9));
+  KernelHarness hs(sparse), hd(dense);
+  run_m_kernel(sparse, hs.cnt, 50.0, 0, sparse.num_vertices(), hs.arrays,
+               hs.um, hs.stats);
+  run_m_kernel(dense, hd.cnt, 50.0, 0, dense.num_vertices(), hd.arrays, hd.um,
+               hd.stats);
+  EXPECT_GT(hd.stats.load_transactions, 5 * hs.stats.load_transactions);
+  EXPECT_GT(hd.stats.shuffle_ops, hs.stats.shuffle_ops);
+}
+
+TEST(Kernels, PsKernelCountsSerialGathers) {
+  const Csr g = small_skewed_graph();
+  KernelHarness h(g);
+  run_ps_kernel(g, h.cnt, 10.0, 0, g.num_vertices(), h.arrays, h.um, h.stats);
+  EXPECT_GT(h.stats.serial_steps, 0u);
+  EXPECT_EQ(h.stats.shuffle_ops, 0u);  // thread-per-edge: no reductions
+}
+
+TEST(Kernels, AllocateGraphLaysOutThreeRegions) {
+  const Csr g = Csr::from_edge_list(graph::clique(8));
+  UnifiedMemory um(1 << 20);
+  const auto arrays = allocate_graph(um, g);
+  EXPECT_LT(arrays.off_base, arrays.dst_base);
+  EXPECT_LT(arrays.dst_base, arrays.cnt_base);
+  EXPECT_GE(um.allocated_bytes(),
+            g.memory_bytes() + g.num_directed_edges() * sizeof(CnCount));
+}
+
+TEST(Runner, ModelKernelSecondsRespondsToOccupancy) {
+  KernelStats stats;
+  stats.load_transactions = 1'000'000;
+  const auto& spec = perf::titan_xp_spec();
+  const double full =
+      model_kernel_seconds(spec, compute_occupancy(spec, {4}), stats);
+  const double quarter =
+      model_kernel_seconds(spec, compute_occupancy(spec, {1}), stats);
+  EXPECT_GT(quarter, full);  // low occupancy cannot hide latency
+}
+
+TEST(Runner, SerialStepsDominateAtScale) {
+  KernelStats gathered;
+  gathered.serial_steps = 10'000'000;
+  KernelStats streamed;
+  streamed.load_transactions = 10'000'000;
+  const auto& spec = perf::titan_xp_spec();
+  const auto occ = compute_occupancy(spec, {4});
+  EXPECT_GT(model_kernel_seconds(spec, occ, gathered),
+            model_kernel_seconds(spec, occ, streamed))
+      << "dependent gathers must cost more than coalesced streams";
+}
+
+TEST(Runner, OverlapPhaseOnlyWithCoProcessing) {
+  const Csr g = small_skewed_graph();
+  GpuRunConfig cfg;
+  cfg.algorithm = Algorithm::kBmp;
+  cfg.co_processing = true;
+  const auto with = run_gpu(g, cfg);
+  cfg.co_processing = false;
+  const auto without = run_gpu(g, cfg);
+  EXPECT_GT(with.overlap_seconds, 0.0);
+  EXPECT_EQ(without.overlap_seconds, 0.0);
+  EXPECT_EQ(with.counts, without.counts);
+}
+
+}  // namespace
+}  // namespace aecnc::gpusim

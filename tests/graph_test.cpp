@@ -1,0 +1,379 @@
+// Unit tests for src/graph: edge-list normalization, CSR construction and
+// queries, degree-descending reorder, generators, serialization, stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/reorder.hpp"
+#include "graph/stats.hpp"
+#include "core/api.hpp"
+
+namespace aecnc::graph {
+namespace {
+
+EdgeList triangle_with_tail() {
+  // 0-1-2 triangle plus pendant 3 attached to 2.
+  EdgeList e(4);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(2, 3);
+  return e;
+}
+
+TEST(EdgeList, NormalizeDropsSelfLoopsAndDuplicates) {
+  EdgeList e(5);
+  e.add(1, 0);
+  e.add(0, 1);  // duplicate after canonicalization
+  e.add(2, 2);  // self loop
+  e.add(3, 4);
+  e.normalize();
+  EXPECT_EQ(e.num_edges(), 2u);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(e.edges()[1], (Edge{3, 4}));
+}
+
+TEST(EdgeList, EnsureVerticesCoversEndpoints) {
+  EdgeList e;
+  e.add(0, 9);
+  e.normalize();
+  EXPECT_EQ(e.num_vertices(), 10u);
+}
+
+TEST(Csr, BuildSmallGraph) {
+  const Csr g = Csr::from_edge_list(triangle_with_tail());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+  EXPECT_EQ(g.num_directed_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+  EXPECT_EQ(n2[2], 3u);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(Csr, FindEdgeAndSrcOf) {
+  const Csr g = Csr::from_edge_list(triangle_with_tail());
+  const EdgeId e20 = g.find_edge(2, 0);
+  EXPECT_LT(e20, g.num_directed_edges());
+  EXPECT_EQ(g.dst_of(e20), 0u);
+  EXPECT_EQ(g.src_of(e20), 2u);
+  // Non-edge lookups return the sentinel.
+  EXPECT_EQ(g.find_edge(0, 3), g.num_directed_edges());
+  // Every slot round-trips through (src_of, dst_of, find_edge).
+  for (EdgeId e = 0; e < g.num_directed_edges(); ++e) {
+    const VertexId u = g.src_of(e);
+    const VertexId v = g.dst_of(e);
+    EXPECT_EQ(g.find_edge(u, v), e);
+  }
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edge_list(EdgeList(3));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Csr, IsolatedVerticesGetEmptyRanges) {
+  EdgeList e(6);
+  e.add(1, 4);
+  const Csr g = Csr::from_edge_list(e);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.src_of(g.find_edge(4, 1)), 4u);
+}
+
+TEST(Csr, MemoryBytesCountsBothArrays) {
+  const Csr g = Csr::from_edge_list(triangle_with_tail());
+  EXPECT_EQ(g.memory_bytes(),
+            5 * sizeof(EdgeId) + 8 * sizeof(VertexId));
+}
+
+TEST(Reorder, PermutationIsDegreeDescending) {
+  const Csr g = Csr::from_edge_list(triangle_with_tail());
+  const Csr r = reorder_degree_descending(g);
+  EXPECT_TRUE(is_degree_descending(r));
+  EXPECT_TRUE(r.validate().empty()) << r.validate();
+  // Vertex 2 (degree 3) must become vertex 0.
+  EXPECT_EQ(r.degree(0), 3u);
+}
+
+TEST(Reorder, PreservesStructure) {
+  const auto e = chung_lu_power_law(500, 2000, 2.3, 99);
+  const Csr g = Csr::from_edge_list(e);
+  std::vector<VertexId> inverse;
+  const Csr r = reorder_degree_descending(g, &inverse);
+  ASSERT_EQ(r.num_directed_edges(), g.num_directed_edges());
+  ASSERT_EQ(inverse.size(), g.num_vertices());
+  // Spot check: each reordered edge maps back to an original edge.
+  for (VertexId nu = 0; nu < r.num_vertices(); ++nu) {
+    for (const VertexId nv : r.neighbors(nu)) {
+      const VertexId ou = inverse[nu];
+      const VertexId ov = inverse[nv];
+      EXPECT_LT(g.find_edge(ou, ov), g.num_directed_edges());
+    }
+  }
+}
+
+TEST(Reorder, IdentityOnAlreadySortedGraph) {
+  // Star graph: center has max degree and lowest id after reorder.
+  EdgeList e(5);
+  for (VertexId v = 1; v < 5; ++v) e.add(0, v);
+  const Csr g = Csr::from_edge_list(e);
+  const auto perm = degree_descending_permutation(g);
+  EXPECT_EQ(perm[0], 0u);
+}
+
+TEST(Generators, ErdosRenyiProducesRequestedEdges) {
+  const auto e = erdos_renyi(1000, 5000, 1);
+  EXPECT_EQ(e.num_edges(), 5000u);
+  const Csr g = Csr::from_edge_list(e);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(Generators, ErdosRenyiIsDeterministic) {
+  const auto a = erdos_renyi(500, 2000, 7);
+  const auto b = erdos_renyi(500, 2000, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Generators, ChungLuHasPowerLawSkew) {
+  const auto e = chung_lu_power_law(5000, 40000, 2.1, 3);
+  const Csr g = Csr::from_edge_list(e);
+  EXPECT_TRUE(g.validate().empty());
+  const auto s = compute_stats(g);
+  // Tail exponent ~2 gives a hub far above the average degree.
+  EXPECT_GT(s.max_degree, 10 * s.avg_degree);
+}
+
+TEST(Generators, ChungLuExponentControlsSkew) {
+  const auto skewed = chung_lu_power_law(4000, 30000, 2.0, 5);
+  const auto uniform = chung_lu_power_law(4000, 30000, 6.0, 5);
+  const auto gs = Csr::from_edge_list(skewed);
+  const auto gu = Csr::from_edge_list(uniform);
+  EXPECT_GT(gs.max_degree(), gu.max_degree());
+}
+
+TEST(Generators, RmatShapeAndDeterminism) {
+  const auto a = rmat(10, 8000, {}, 13);
+  const auto b = rmat(10, 8000, {}, 13);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_LE(a.num_vertices(), 1u << 10);
+  const Csr g = Csr::from_edge_list(a);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Generators, AddHubsCreatesHighDegreeVertices) {
+  auto e = erdos_renyi(2000, 6000, 21);
+  add_hubs(e, 3, 800, 22);
+  const Csr g = Csr::from_edge_list(e);
+  EXPECT_EQ(g.num_vertices(), 2003u);
+  int hubs = 0;
+  for (VertexId u = 2000; u < 2003; ++u) hubs += (g.degree(u) >= 700);
+  EXPECT_EQ(hubs, 3);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  const auto e = barabasi_albert(3000, 4, 41);
+  const Csr g = Csr::from_edge_list(e);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  // Every late vertex attaches to `attach` older ones: m ~ 4 * n.
+  EXPECT_NEAR(static_cast<double>(g.num_undirected_edges()), 4.0 * 3000,
+              0.05 * 4 * 3000);
+  // Preferential attachment grows hubs: max degree far above the mean.
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.max_degree, 6 * s.avg_degree);
+  // Deterministic.
+  EXPECT_EQ(barabasi_albert(3000, 4, 41).edges(), e.edges());
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  const auto lattice = watts_strogatz(2000, 4, 0.0, 43);
+  const Csr gl = Csr::from_edge_list(lattice);
+  EXPECT_TRUE(gl.validate().empty());
+  // Pure ring lattice: every vertex has exactly 2k neighbors.
+  for (VertexId v = 0; v < gl.num_vertices(); ++v) {
+    EXPECT_EQ(gl.degree(v), 8u) << v;
+  }
+  // Rewiring keeps the edge count but spreads the degrees.
+  const auto rewired = watts_strogatz(2000, 4, 0.3, 43);
+  const Csr gr = Csr::from_edge_list(rewired);
+  EXPECT_TRUE(gr.validate().empty());
+  EXPECT_NEAR(static_cast<double>(gr.num_undirected_edges()),
+              static_cast<double>(gl.num_undirected_edges()),
+              0.05 * static_cast<double>(gl.num_undirected_edges()));
+  EXPECT_GT(gr.max_degree(), 8u);
+}
+
+TEST(Generators, WattsStrogatzIsTriangleDense) {
+  // The ring lattice at k=4 is rich in triangles (each vertex closes
+  // wedges with its near neighbors); full rewiring destroys them.
+  const Csr lattice =
+      Csr::from_edge_list(watts_strogatz(1000, 4, 0.0, 47));
+  const Csr random = Csr::from_edge_list(watts_strogatz(1000, 4, 1.0, 47));
+  const auto lattice_counts = aecnc::core::count_common_neighbors(lattice);
+  const auto random_counts = aecnc::core::count_common_neighbors(random);
+  const auto tri = [](const aecnc::core::CountArray& c) {
+    std::uint64_t s = 0;
+    for (const auto x : c) s += x;
+    return s / 6;
+  };
+  EXPECT_GT(tri(lattice_counts), 5 * tri(random_counts));
+}
+
+TEST(Generators, CliqueHasAllPairs) {
+  const Csr g = Csr::from_edge_list(clique(6));
+  EXPECT_EQ(g.num_undirected_edges(), 15u);
+  for (VertexId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 5u);
+}
+
+TEST(Stats, MatchesHandComputedValues) {
+  const Csr g = Csr::from_edge_list(triangle_with_tail());
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(s.num_undirected_edges, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.max_degree, 3u);
+}
+
+TEST(Stats, SkewPercentageOnStar) {
+  // Star center degree 100 vs leaves degree 1: every edge skewed at t=50.
+  EdgeList e(101);
+  for (VertexId v = 1; v <= 100; ++v) e.add(0, v);
+  const Csr g = Csr::from_edge_list(e);
+  EXPECT_DOUBLE_EQ(skewed_intersection_percentage(g, 50.0), 100.0);
+  // ... and not skewed at threshold 1000.
+  EXPECT_DOUBLE_EQ(skewed_intersection_percentage(g, 1000.0), 0.0);
+}
+
+TEST(Stats, SkewPercentageOnClique) {
+  const Csr g = Csr::from_edge_list(clique(8));
+  EXPECT_DOUBLE_EQ(skewed_intersection_percentage(g, 50.0), 0.0);
+}
+
+TEST(Stats, DegreeHistogramBuckets) {
+  // Star: one vertex of degree 100 (bucket 6: 64..127), 100 of degree 1.
+  EdgeList e(101);
+  for (VertexId v = 1; v <= 100; ++v) e.add(0, v);
+  const auto h = degree_histogram(Csr::from_edge_list(e));
+  ASSERT_EQ(h.size(), 7u);
+  EXPECT_EQ(h[0], 100u);  // degree 1
+  EXPECT_EQ(h[6], 1u);    // degree 100
+  std::uint64_t total = 0;
+  for (const auto b : h) total += b;
+  EXPECT_EQ(total, 101u);
+}
+
+TEST(Stats, DegreeHistogramEmptyGraph) {
+  const auto h = degree_histogram(Csr::from_edge_list(EdgeList(5)));
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 5u);  // all degree 0
+}
+
+TEST(Io, EdgeListTextRoundTrip) {
+  const auto e = erdos_renyi(200, 800, 17);
+  std::stringstream buffer;
+  write_edge_list_text(e, buffer);
+  const auto back = read_edge_list_text(buffer);
+  EXPECT_EQ(back.num_vertices(), e.num_vertices());
+  EXPECT_EQ(back.edges(), e.edges());
+}
+
+TEST(Io, EdgeListTextSkipsComments) {
+  std::stringstream in("# comment\n% also comment\n0 1\n1 2\n");
+  const auto e = read_edge_list_text(in);
+  EXPECT_EQ(e.num_edges(), 2u);
+}
+
+TEST(Io, EdgeListTextRejectsMalformedLines) {
+  std::stringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW((void)read_edge_list_text(in), std::runtime_error);
+}
+
+TEST(Io, CsrBinaryRoundTrip) {
+  const Csr g = Csr::from_edge_list(erdos_renyi(300, 1500, 23));
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(g, buffer);
+  const Csr back = read_csr_binary(buffer);
+  EXPECT_EQ(back.offsets(), g.offsets());
+  EXPECT_EQ(back.dst(), g.dst());
+}
+
+TEST(Io, CsrBinaryRejectsBadMagic) {
+  std::stringstream buffer("THIS IS NOT A CSR FILE AT ALL");
+  EXPECT_THROW((void)read_csr_binary(buffer), std::runtime_error);
+}
+
+class DatasetReplicaTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetReplicaTest, MatchesPaperSignature) {
+  const DatasetId id = GetParam();
+  const Csr g = make_dataset(id, 2e-4);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+
+  const auto stats = compute_stats(g);
+  const auto& paper = paper_stats(id);
+  // Average degree within 40% of the original (generation at tiny scale
+  // loses some edges to dedup in the dense head).
+  EXPECT_GT(stats.avg_degree, 0.6 * paper.avg_degree)
+      << dataset_name(id) << " avg degree " << stats.avg_degree;
+  EXPECT_LT(stats.avg_degree, 1.4 * paper.avg_degree)
+      << dataset_name(id) << " avg degree " << stats.avg_degree;
+
+  // Skew class must match Table 2: heavy (WI/TW), moderate (LJ),
+  // low (OR), none (FR).
+  const double skew = skewed_intersection_percentage(g, 50.0);
+  switch (id) {
+    case DatasetId::kWebIt:
+    case DatasetId::kTwitter:
+      EXPECT_GT(skew, 15.0) << dataset_name(id) << " skew " << skew;
+      break;
+    case DatasetId::kLiveJournal:
+      EXPECT_GT(skew, 2.0) << " skew " << skew;
+      EXPECT_LT(skew, 30.0) << " skew " << skew;
+      break;
+    case DatasetId::kOrkut:
+      EXPECT_LT(skew, 12.0) << " skew " << skew;
+      break;
+    case DatasetId::kFriendster:
+      // The paper rounds FR to 0%; the replica's fat-but-balanced tail
+      // leaves a small residue.
+      EXPECT_LT(skew, 5.0) << " skew " << skew;
+      break;
+  }
+}
+
+TEST_P(DatasetReplicaTest, DeterministicAcrossCalls) {
+  const Csr a = make_dataset(GetParam(), 1e-4);
+  const Csr b = make_dataset(GetParam(), 1e-4);
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.dst(), b.dst());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetReplicaTest,
+                         ::testing::ValuesIn(kAllDatasets),
+                         [](const auto& info) {
+                           return std::string(dataset_name(info.param));
+                         });
+
+TEST(Datasets, NamesRoundTrip) {
+  for (const DatasetId id : kAllDatasets) {
+    EXPECT_EQ(dataset_from_name(dataset_name(id)), id);
+  }
+  EXPECT_THROW((void)dataset_from_name("XX"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aecnc::graph

@@ -1,0 +1,146 @@
+// Tests for the incremental counter: every state must agree with a full
+// recount of the equivalent static graph, across random add/remove
+// churn, bootstrap, and inverse-operation round trips.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/incremental.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc::core {
+namespace {
+
+using graph::Csr;
+
+/// Every maintained count must equal the brute-force count on the
+/// snapshot; triangles must match Σcnt/6.
+void expect_consistent(const IncrementalCounter& inc) {
+  const Csr g = inc.to_csr();
+  const auto reference = count_reference(g);
+  std::uint64_t checked = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (u >= nbrs[k]) continue;
+      const auto c = inc.count(u, nbrs[k]);
+      ASSERT_TRUE(c.has_value()) << "(" << u << "," << nbrs[k] << ")";
+      ASSERT_EQ(*c, reference[base + k]) << "(" << u << "," << nbrs[k] << ")";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, inc.num_edges());
+  EXPECT_EQ(inc.triangles(), triangle_count_from(reference));
+}
+
+TEST(Incremental, EmptyStart) {
+  IncrementalCounter inc;
+  EXPECT_EQ(inc.num_edges(), 0u);
+  EXPECT_EQ(inc.triangles(), 0u);
+  EXPECT_FALSE(inc.count(0, 1).has_value());
+}
+
+TEST(Incremental, BuildTriangleByHand) {
+  IncrementalCounter inc;
+  EXPECT_TRUE(inc.add_edge(0, 1));
+  EXPECT_TRUE(inc.add_edge(1, 2));
+  EXPECT_EQ(inc.triangles(), 0u);
+  EXPECT_EQ(*inc.count(0, 1), 0u);
+
+  EXPECT_TRUE(inc.add_edge(0, 2));  // closes the triangle
+  EXPECT_EQ(inc.triangles(), 1u);
+  EXPECT_EQ(*inc.count(0, 1), 1u);
+  EXPECT_EQ(*inc.count(1, 2), 1u);
+  EXPECT_EQ(*inc.count(0, 2), 1u);
+
+  EXPECT_TRUE(inc.remove_edge(0, 2));  // and opens it again
+  EXPECT_EQ(inc.triangles(), 0u);
+  EXPECT_EQ(*inc.count(0, 1), 0u);
+  EXPECT_FALSE(inc.count(0, 2).has_value());
+}
+
+TEST(Incremental, RejectsSelfLoopsAndDuplicates) {
+  IncrementalCounter inc;
+  EXPECT_FALSE(inc.add_edge(3, 3));
+  EXPECT_TRUE(inc.add_edge(1, 2));
+  EXPECT_FALSE(inc.add_edge(2, 1));  // duplicate, either orientation
+  EXPECT_EQ(inc.num_edges(), 1u);
+  EXPECT_FALSE(inc.remove_edge(5, 6));  // not present
+  EXPECT_FALSE(inc.remove_edge(1, 1));
+}
+
+TEST(Incremental, BootstrapMatchesBatch) {
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(400, 3000, 2.2, 71));
+  const IncrementalCounter inc(g);
+  EXPECT_EQ(inc.num_edges(), g.num_undirected_edges());
+  expect_consistent(inc);
+}
+
+TEST(Incremental, RandomChurnStaysConsistent) {
+  util::Xoshiro256 rng(73);
+  IncrementalCounter inc(
+      Csr::from_edge_list(graph::erdos_renyi(120, 600, 74)));
+
+  for (int round = 0; round < 6; ++round) {
+    // A burst of random insertions...
+    for (int i = 0; i < 60; ++i) {
+      inc.add_edge(rng.below(140), rng.below(140));
+    }
+    // ...and deletions of randomly chosen existing edges.
+    for (int i = 0; i < 40; ++i) {
+      const VertexId u = rng.below(static_cast<std::uint32_t>(inc.num_vertices()));
+      const auto nbrs = inc.neighbors(u);
+      if (!nbrs.empty()) {
+        inc.remove_edge(u, nbrs[rng.below(static_cast<std::uint32_t>(nbrs.size()))]);
+      }
+    }
+    expect_consistent(inc);
+  }
+}
+
+TEST(Incremental, AddRemoveIsIdentity) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(200, 1500, 75));
+  IncrementalCounter inc(g);
+  const auto before_triangles = inc.triangles();
+
+  // Add a batch of fresh edges, then remove them in reverse order.
+  std::vector<std::pair<VertexId, VertexId>> added;
+  util::Xoshiro256 rng(76);
+  while (added.size() < 50) {
+    const VertexId u = rng.below(200), v = rng.below(200);
+    if (u != v && !inc.has_edge(u, v)) {
+      inc.add_edge(u, v);
+      added.emplace_back(u, v);
+    }
+  }
+  for (auto it = added.rbegin(); it != added.rend(); ++it) {
+    EXPECT_TRUE(inc.remove_edge(it->first, it->second));
+  }
+  EXPECT_EQ(inc.num_edges(), g.num_undirected_edges());
+  EXPECT_EQ(inc.triangles(), before_triangles);
+  expect_consistent(inc);
+}
+
+TEST(Incremental, GrowsVertexUniverseOnDemand) {
+  IncrementalCounter inc;
+  EXPECT_TRUE(inc.add_edge(1000, 2000));
+  EXPECT_EQ(inc.num_vertices(), 2001u);
+  EXPECT_TRUE(inc.has_edge(2000, 1000));
+  EXPECT_EQ(*inc.count(1000, 2000), 0u);
+}
+
+TEST(Incremental, SnapshotRunsBatchAlgorithms) {
+  IncrementalCounter inc;
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 500; ++i) inc.add_edge(rng.below(100), rng.below(100));
+  const Csr g = inc.to_csr();
+  EXPECT_TRUE(g.validate().empty());
+  const auto counts = count_common_neighbors(g);
+  EXPECT_EQ(triangle_count_from(counts), inc.triangles());
+}
+
+}  // namespace
+}  // namespace aecnc::core

@@ -1,0 +1,338 @@
+// Tests for the set-intersection kernels: every kernel must agree with
+// std::set_intersection on exhaustive small cases and randomized sweeps
+// spanning sizes, densities, and skews (the property the whole library
+// rests on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "intersect/block_merge.hpp"
+#include "intersect/counters.hpp"
+#include "intersect/dispatch.hpp"
+#include "intersect/lower_bound.hpp"
+#include "intersect/merge.hpp"
+#include "intersect/pivot_skip.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc::intersect {
+namespace {
+
+using Set = std::vector<VertexId>;
+
+Set random_sorted_set(std::size_t size, VertexId universe,
+                      util::Xoshiro256& rng) {
+  std::set<VertexId> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return Set(s.begin(), s.end());
+}
+
+/// All intersection kernels under test, as (name, fn) pairs.
+using KernelFn = CnCount (*)(std::span<const VertexId>,
+                             std::span<const VertexId>);
+
+CnCount kernel_merge(std::span<const VertexId> a, std::span<const VertexId> b) {
+  return merge_count(a, b);
+}
+CnCount kernel_branchless(std::span<const VertexId> a,
+                          std::span<const VertexId> b) {
+  return merge_count_branchless(a, b);
+}
+CnCount kernel_block8(std::span<const VertexId> a,
+                      std::span<const VertexId> b) {
+  return block_merge_count8(a, b);
+}
+CnCount kernel_block16(std::span<const VertexId> a,
+                       std::span<const VertexId> b) {
+  NullCounter null;
+  return block_merge_count<16>(a, b, null);
+}
+CnCount kernel_ps(std::span<const VertexId> a, std::span<const VertexId> b) {
+  return pivot_skip_count(a, b);
+}
+CnCount kernel_mps_default(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  return mps_count(a, b, MpsConfig{});
+}
+
+struct NamedKernel {
+  const char* name;
+  KernelFn fn;
+  bool requires_avx2 = false;
+  bool requires_avx512 = false;
+};
+
+std::vector<NamedKernel> all_kernels() {
+  std::vector<NamedKernel> kernels = {
+      {"merge", kernel_merge},        {"branchless", kernel_branchless},
+      {"block8", kernel_block8},      {"block16", kernel_block16},
+      {"pivot_skip", kernel_ps},      {"mps", kernel_mps_default},
+      {"vb_sse", vb_count_sse},
+  };
+#if AECNC_HAVE_SIMD_KERNELS
+  kernels.push_back({"vb_avx2", vb_count_avx2, true, false});
+  kernels.push_back({"vb_avx512", vb_count_avx512, false, true});
+  kernels.push_back({"ps_avx2", pivot_skip_count_avx2, true, false});
+#endif
+  return kernels;
+}
+
+bool kernel_runnable(const NamedKernel& k) {
+  if (k.requires_avx2 && !cpu_has_avx2()) return false;
+  if (k.requires_avx512 && !cpu_has_avx512()) return false;
+  return true;
+}
+
+class KernelTest : public ::testing::TestWithParam<NamedKernel> {
+ protected:
+  void SetUp() override {
+    if (!kernel_runnable(GetParam())) {
+      GTEST_SKIP() << GetParam().name << " not supported on this host";
+    }
+  }
+};
+
+TEST_P(KernelTest, EmptyInputs) {
+  const auto fn = GetParam().fn;
+  const Set a = {1, 2, 3};
+  EXPECT_EQ(fn({}, {}), 0u);
+  EXPECT_EQ(fn(a, {}), 0u);
+  EXPECT_EQ(fn({}, a), 0u);
+}
+
+TEST_P(KernelTest, IdenticalSets) {
+  const auto fn = GetParam().fn;
+  util::Xoshiro256 rng(17);
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 16u, 33u, 100u}) {
+    const Set a = random_sorted_set(n, 10000, rng);
+    EXPECT_EQ(fn(a, a), n) << GetParam().name << " n=" << n;
+  }
+}
+
+TEST_P(KernelTest, DisjointSets) {
+  const auto fn = GetParam().fn;
+  Set a, b;
+  for (VertexId i = 0; i < 50; ++i) {
+    a.push_back(2 * i);
+    b.push_back(2 * i + 1);
+  }
+  EXPECT_EQ(fn(a, b), 0u);
+}
+
+TEST_P(KernelTest, SingleCommonElementAtBoundaries) {
+  const auto fn = GetParam().fn;
+  // Common element at the front, middle, and back of both arrays.
+  const Set a = {5, 10, 20, 30, 40, 50, 60, 70, 80};
+  for (const VertexId common : {5u, 40u, 80u}) {
+    Set b = {common};
+    for (VertexId i = 0; i < 8; ++i) b.push_back(1000 + i);
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(fn(a, b), 1u) << GetParam().name << " common=" << common;
+  }
+}
+
+TEST_P(KernelTest, RandomizedAgainstReference) {
+  const auto fn = GetParam().fn;
+  util::Xoshiro256 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t na = 1 + rng.below(120);
+    const std::size_t nb = 1 + rng.below(120);
+    const VertexId universe = 50 + rng.below(400);
+    const Set a = random_sorted_set(std::min<std::size_t>(na, universe), universe, rng);
+    const Set b = random_sorted_set(std::min<std::size_t>(nb, universe), universe, rng);
+    EXPECT_EQ(fn(a, b), reference_count(a, b))
+        << GetParam().name << " round " << round;
+  }
+}
+
+TEST_P(KernelTest, SkewedSizesAgainstReference) {
+  const auto fn = GetParam().fn;
+  util::Xoshiro256 rng(77);
+  // Heavy size skew: |a| = 3..8, |b| up to 5000, the regime PS targets.
+  for (int round = 0; round < 40; ++round) {
+    const Set small = random_sorted_set(3 + rng.below(6), 100000, rng);
+    const Set large = random_sorted_set(1000 + rng.below(4000), 100000, rng);
+    EXPECT_EQ(fn(small, large), reference_count(small, large));
+    EXPECT_EQ(fn(large, small), reference_count(large, small));
+  }
+}
+
+TEST_P(KernelTest, DenseOverlapAgainstReference) {
+  const auto fn = GetParam().fn;
+  util::Xoshiro256 rng(99);
+  // Universe barely larger than the sets: nearly-full overlap.
+  for (int round = 0; round < 40; ++round) {
+    const Set a = random_sorted_set(200, 256, rng);
+    const Set b = random_sorted_set(200, 256, rng);
+    EXPECT_EQ(fn(a, b), reference_count(a, b));
+  }
+}
+
+TEST_P(KernelTest, BlockBoundarySizes) {
+  const auto fn = GetParam().fn;
+  util::Xoshiro256 rng(1234);
+  // Sizes straddling the 8/16 block widths exercise tail handling.
+  for (const std::size_t na : {7u, 8u, 9u, 15u, 16u, 17u, 24u, 31u, 32u, 33u}) {
+    for (const std::size_t nb : {7u, 8u, 9u, 16u, 17u, 32u, 33u}) {
+      const Set a = random_sorted_set(na, 200, rng);
+      const Set b = random_sorted_set(nb, 200, rng);
+      EXPECT_EQ(fn(a, b), reference_count(a, b))
+          << GetParam().name << " na=" << na << " nb=" << nb;
+    }
+  }
+}
+
+TEST_P(KernelTest, ExtremeIdValues) {
+  const auto fn = GetParam().fn;
+  // Vertex ids near 2^32 exercise the AVX2 signed-compare trick.
+  const Set a = {0u, 1u, 0x7fffffffu, 0x80000000u, 0xfffffff0u, 0xffffffffu};
+  const Set b = {1u, 2u, 0x7fffffffu, 0x80000001u, 0xffffffffu};
+  EXPECT_EQ(fn(a, b), reference_count(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest,
+                         ::testing::ValuesIn(all_kernels()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// --- Lower-bound kernels -------------------------------------------------
+
+TEST(LowerBound, BinaryMatchesStdLowerBound) {
+  util::Xoshiro256 rng(5);
+  const Set a = random_sorted_set(500, 10000, rng);
+  for (int i = 0; i < 500; ++i) {
+    const VertexId key = rng.below(11000);
+    const std::size_t from = rng.below(500);
+    const auto expected = static_cast<std::size_t>(
+        std::lower_bound(a.begin() + static_cast<std::ptrdiff_t>(from),
+                         a.end(), key) -
+        a.begin());
+    EXPECT_EQ(binary_lower_bound(a, from, key), expected);
+  }
+}
+
+TEST(LowerBound, GallopMatchesStdLowerBound) {
+  util::Xoshiro256 rng(6);
+  const Set a = random_sorted_set(3000, 100000, rng);
+  for (int i = 0; i < 1000; ++i) {
+    const VertexId key = rng.below(110000);
+    const std::size_t from = rng.below(3000);
+    const auto expected = static_cast<std::size_t>(
+        std::lower_bound(a.begin() + static_cast<std::ptrdiff_t>(from),
+                         a.end(), key) -
+        a.begin());
+    EXPECT_EQ(gallop_lower_bound(a, from, key), expected);
+  }
+}
+
+TEST(LowerBound, GallopEdgeCases) {
+  const Set a = {10, 20, 30};
+  EXPECT_EQ(gallop_lower_bound(a, 0, 5), 0u);
+  EXPECT_EQ(gallop_lower_bound(a, 0, 10), 0u);
+  EXPECT_EQ(gallop_lower_bound(a, 0, 31), 3u);
+  EXPECT_EQ(gallop_lower_bound(a, 3, 10), 3u);  // from == size
+  EXPECT_EQ(gallop_lower_bound({}, 0, 1), 0u);
+}
+
+#if AECNC_HAVE_SIMD_KERNELS
+TEST(LowerBound, Avx2MatchesScalar) {
+  if (!cpu_has_avx2()) GTEST_SKIP();
+  util::Xoshiro256 rng(7);
+  const Set a = random_sorted_set(3000, 1u << 31, rng);
+  for (int i = 0; i < 1000; ++i) {
+    const VertexId key = static_cast<VertexId>(rng());
+    const std::size_t from = rng.below(3000);
+    EXPECT_EQ(gallop_lower_bound_avx2(a, from, key),
+              gallop_lower_bound(a, from, key));
+  }
+}
+
+TEST(LowerBound, Avx2HandlesSignBoundary) {
+  if (!cpu_has_avx2()) GTEST_SKIP();
+  const Set a = {0x7ffffffeu, 0x7fffffffu, 0x80000000u, 0x80000001u,
+                 0x90000000u, 0xa0000000u, 0xb0000000u, 0xc0000000u,
+                 0xd0000000u, 0xe0000000u};
+  for (const VertexId key :
+       {0u, 0x7fffffffu, 0x80000000u, 0xc0000000u, 0xffffffffu}) {
+    EXPECT_EQ(gallop_lower_bound_avx2(a, 0, key), gallop_lower_bound(a, 0, key))
+        << "key=" << key;
+  }
+}
+#endif
+
+// --- Dispatch -------------------------------------------------------------
+
+TEST(Dispatch, SkewThresholdSelectsPivotSkip) {
+  // Instrumented run exposes which path was taken via the counters.
+  StatsCounter skewed_stats;
+  Set small = {1, 2, 3};
+  Set large;
+  for (VertexId i = 0; i < 1000; ++i) large.push_back(10 + i * 3);
+  MpsConfig cfg;  // threshold 50
+  (void)mps_count_instrumented(small, large, cfg, skewed_stats);
+  EXPECT_GT(skewed_stats.linear_probes + skewed_stats.gallop_steps, 0u);
+  EXPECT_EQ(skewed_stats.block_steps, 0u);
+
+  StatsCounter balanced_stats;
+  (void)mps_count_instrumented(large, large, cfg, balanced_stats);
+  EXPECT_GT(balanced_stats.block_steps, 0u);
+  EXPECT_EQ(balanced_stats.gallop_steps, 0u);
+}
+
+TEST(Dispatch, BestMergeKindMatchesCpuFeatures) {
+  const MergeKind best = best_merge_kind();
+  EXPECT_TRUE(merge_kind_supported(best));
+  if (cpu_has_avx512()) {
+    EXPECT_EQ(best, MergeKind::kAvx512);
+  } else if (cpu_has_avx2()) {
+    EXPECT_EQ(best, MergeKind::kAvx2);
+  }
+}
+
+TEST(Dispatch, VbCountDispatchesAllKinds) {
+  util::Xoshiro256 rng(8);
+  const Set a = random_sorted_set(300, 2000, rng);
+  const Set b = random_sorted_set(300, 2000, rng);
+  const CnCount expected = reference_count(a, b);
+  for (const MergeKind kind :
+       {MergeKind::kScalar, MergeKind::kBranchless, MergeKind::kBlockScalar,
+        MergeKind::kSse, MergeKind::kAvx2, MergeKind::kAvx512}) {
+    if (!merge_kind_supported(kind)) continue;
+    EXPECT_EQ(vb_count(a, b, kind), expected)
+        << merge_kind_name(kind);
+  }
+}
+
+TEST(Dispatch, KindNamesAreStable) {
+  EXPECT_EQ(merge_kind_name(MergeKind::kScalar), "scalar");
+  EXPECT_EQ(merge_kind_name(MergeKind::kAvx512), "avx512");
+}
+
+// --- Counter plumbing ------------------------------------------------------
+
+TEST(Counters, StatsAccumulateAndMerge) {
+  StatsCounter a, b;
+  a.scalar_cmp(3);
+  a.match();
+  b.scalar_cmp(2);
+  b.gallop_step();
+  a += b;
+  EXPECT_EQ(a.scalar_cmps, 5u);
+  EXPECT_EQ(a.matches, 1u);
+  EXPECT_EQ(a.gallop_steps, 1u);
+}
+
+TEST(Counters, MergeCountsComparisons) {
+  StatsCounter stats;
+  const Set a = {1, 3, 5, 7};
+  const Set b = {2, 3, 6, 7};
+  const CnCount c = merge_count(a, b, stats);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(stats.matches, 2u);
+  EXPECT_GE(stats.scalar_cmps, 4u);
+}
+
+}  // namespace
+}  // namespace aecnc::intersect

@@ -1,0 +1,104 @@
+// Tests for the task-pool scheduler and the Scheduler option: coverage
+// (every index processed exactly once), load statistics, and count
+// equivalence with the OpenMP skeleton.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/api.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace aecnc {
+namespace {
+
+TEST(TaskPool, CoversEveryIndexExactlyOnce) {
+  for (const std::uint64_t total : {0ull, 1ull, 7ull, 1000ull, 100003ull}) {
+    for (const std::uint64_t task : {1ull, 16ull, 4096ull}) {
+      std::vector<std::atomic<std::uint32_t>> hits(total);
+      parallel::parallel_for_dynamic(
+          total, task, 4, [&](std::uint64_t b, std::uint64_t e, int) {
+            for (std::uint64_t i = b; i < e; ++i) {
+              hits[i].fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+      for (std::uint64_t i = 0; i < total; ++i) {
+        ASSERT_EQ(hits[i].load(), 1u)
+            << "index " << i << " total=" << total << " task=" << task;
+      }
+    }
+  }
+}
+
+TEST(TaskPool, WorkerIndexIsDense) {
+  std::atomic<std::uint32_t> seen{0};
+  parallel::parallel_for_dynamic(1000, 10, 3,
+                                 [&](std::uint64_t, std::uint64_t, int w) {
+                                   ASSERT_GE(w, 0);
+                                   ASSERT_LT(w, 3);
+                                   seen.fetch_or(1u << w);
+                                 });
+  // At least worker 0 must have run; with 100 tasks usually all three.
+  EXPECT_NE(seen.load() & 1u, 0u);
+}
+
+TEST(TaskPool, StatsAccountAllTasks) {
+  const auto stats = parallel::parallel_for_dynamic_stats(
+      10000, 100, 4, [](std::uint64_t, std::uint64_t, int) {});
+  EXPECT_EQ(stats.total_tasks, 100u);
+  EXPECT_EQ(stats.tasks_per_worker.size(), 4u);
+  EXPECT_EQ(std::accumulate(stats.tasks_per_worker.begin(),
+                            stats.tasks_per_worker.end(), std::uint64_t{0}),
+            100u);
+  EXPECT_GE(stats.imbalance(), 1.0);
+}
+
+TEST(TaskPool, SingleWorkerIsSequential) {
+  std::vector<std::uint64_t> order;
+  parallel::parallel_for_dynamic(100, 10, 1,
+                                 [&](std::uint64_t b, std::uint64_t, int) {
+                                   order.push_back(b);
+                                 });
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(TaskPool, ZeroTotalRunsNothing) {
+  bool ran = false;
+  parallel::parallel_for_dynamic(0, 8, 4,
+                                 [&](std::uint64_t, std::uint64_t, int) {
+                                   ran = true;
+                                 });
+  EXPECT_FALSE(ran);
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<core::Algorithm> {};
+
+TEST_P(SchedulerEquivalence, PoolMatchesOpenMp) {
+  const auto g = graph::Csr::from_edge_list(
+      graph::chung_lu_power_law(900, 7000, 2.1, 61));
+  core::Options omp;
+  omp.algorithm = GetParam();
+  omp.bmp_range_filter = GetParam() == core::Algorithm::kBmp;
+  omp.rf_range_scale = 64;
+  core::Options pool = omp;
+  pool.scheduler = core::Scheduler::kTaskPool;
+  pool.num_threads = 3;
+  pool.task_size = 37;  // deliberately odd chunking
+  const auto a = core::count_common_neighbors(g, omp);
+  const auto b = core::count_common_neighbors(g, pool);
+  EXPECT_FALSE(core::diff_counts(g, b, a).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, SchedulerEquivalence,
+                         ::testing::Values(core::Algorithm::kMergeBaseline,
+                                           core::Algorithm::kMps,
+                                           core::Algorithm::kBmp),
+                         [](const auto& info) {
+                           return std::string(core::algorithm_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace aecnc

@@ -1,0 +1,239 @@
+// Tests for the performance-model layer: profile collection, effective
+// parallelism, and the qualitative orderings the models must reproduce
+// (the paper's findings are orderings, not absolute numbers).
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "perf/collect.hpp"
+#include "perf/models.hpp"
+#include "perf/specs.hpp"
+
+namespace aecnc::perf {
+namespace {
+
+using core::Algorithm;
+using core::Options;
+using graph::Csr;
+
+const Csr& tw_replica() {
+  static const Csr g = graph::reorder_degree_descending(
+      graph::make_dataset(graph::DatasetId::kTwitter, 2e-4));
+  return g;
+}
+
+const Csr& fr_replica() {
+  static const Csr g = graph::reorder_degree_descending(
+      graph::make_dataset(graph::DatasetId::kFriendster, 2e-4));
+  return g;
+}
+
+Options opts(Algorithm a, intersect::MergeKind kind = intersect::MergeKind::kScalar,
+             bool rf = false) {
+  Options o;
+  o.algorithm = a;
+  o.mps.kind = kind;
+  o.bmp_range_filter = rf;
+  // Scale-adjusted range-filter ratio: the paper's 4096 is tuned for
+  // ~10^8-vertex graphs; 64 preserves the summary:bitmap sparsity the
+  // filter exploits at replica scale (see DESIGN.md).
+  o.rf_range_scale = 64;
+  return o;
+}
+
+/// The replicas are built at scale 2e-4; modeling the paper's machines
+/// requires the full datasets' footprints, so profiles are scaled back up
+/// (see scale_profile).
+constexpr double kReplicaScale = 2e-4;
+
+WorkProfile profile_of(const Csr& g, const Options& o) {
+  return scale_profile(collect_profile(g, o).profile, 1.0 / kReplicaScale);
+}
+
+TEST(Collect, ProfileCarriesStructuralData) {
+  const auto& g = tw_replica();
+  const auto run = collect_profile(g, opts(Algorithm::kBmp));
+  EXPECT_EQ(run.profile.num_vertices, g.num_vertices());
+  EXPECT_EQ(run.profile.directed_slots, g.num_directed_edges());
+  EXPECT_TRUE(run.profile.is_bmp);
+  EXPECT_EQ(run.profile.bitmap_bytes, (g.num_vertices() + 63) / 64 * 8);
+  EXPECT_GT(run.profile.work.bitmap_probes, 0u);
+  // Counts from the instrumented run are correct.
+  EXPECT_FALSE(
+      core::diff_counts(g, run.counts, core::count_reference(g)).has_value());
+}
+
+TEST(Collect, VectorLanesFollowMergeKind) {
+  const auto& g = fr_replica();
+  EXPECT_EQ(profile_of(g, opts(Algorithm::kMps, intersect::MergeKind::kScalar))
+                .vector_lanes, 1);
+  EXPECT_EQ(profile_of(g, opts(Algorithm::kMps, intersect::MergeKind::kAvx2))
+                .vector_lanes, 8);
+  EXPECT_EQ(profile_of(g, opts(Algorithm::kMps, intersect::MergeKind::kAvx512))
+                .vector_lanes, 16);
+  EXPECT_EQ(profile_of(g, opts(Algorithm::kBmp)).vector_lanes, 1);
+}
+
+TEST(Collect, TimeNativeIsPositiveAndFinite) {
+  const auto& g = fr_replica();
+  const double t = time_native(g, opts(Algorithm::kMps), 1);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 60.0);
+}
+
+TEST(EffectiveParallelism, CoresThenSmtThenFlat) {
+  const auto& cpu = xeon_e5_2680_spec();
+  EXPECT_DOUBLE_EQ(effective_parallelism(cpu, 1), 1.0);
+  EXPECT_DOUBLE_EQ(effective_parallelism(cpu, 28), 28.0);
+  const double at56 = effective_parallelism(cpu, 56);
+  EXPECT_GT(at56, 28.0);
+  EXPECT_LT(at56, 56.0);
+  // Beyond all hardware contexts: flat.
+  EXPECT_DOUBLE_EQ(effective_parallelism(cpu, 64), at56);
+}
+
+TEST(Model, MoreThreadsNeverSlower) {
+  const auto p = profile_of(tw_replica(), opts(Algorithm::kMps));
+  const auto& knl = knl_7210_spec();
+  double prev = 1e300;
+  for (const int t : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const double s = model_cpu_like(knl, p, t).seconds;
+    EXPECT_LE(s, prev * 1.0001) << t << " threads";
+    prev = s;
+  }
+}
+
+TEST(Model, Fig3Shape_SkewHandlingOnTwitter) {
+  // Paper Fig 3 (TW): single-threaded, MPS clearly beats M, BMP beats
+  // MPS, on both processors.
+  const auto& g = tw_replica();
+  const auto m = profile_of(g, opts(Algorithm::kMergeBaseline));
+  const auto mps = profile_of(g, opts(Algorithm::kMps));
+  const auto bmp = profile_of(g, opts(Algorithm::kBmp));
+  for (const auto* spec : {&xeon_e5_2680_spec(), &knl_7210_spec()}) {
+    const double tm = model_cpu_like(*spec, m, 1).seconds;
+    const double tmps = model_cpu_like(*spec, mps, 1).seconds;
+    const double tbmp = model_cpu_like(*spec, bmp, 1).seconds;
+    // Paper: 3.6x/7.1x (MPS) and 20.1x/29.3x (BMP). The replica's hubs
+    // are ~1000x smaller than twitter's (1.4M-degree) celebrities, which
+    // compresses the gap; the ordering must still hold clearly.
+    EXPECT_GT(tm / tmps, 1.05) << spec->name;
+    EXPECT_GT(tm / tbmp, 1.5) << spec->name;
+    EXPECT_GT(tmps, tbmp) << spec->name;
+  }
+}
+
+TEST(Model, Fig3Shape_FriendsterIsNotSkewed) {
+  // Paper Fig 3 (FR): MPS ~ M (no skew to exploit).
+  const auto& g = fr_replica();
+  const auto m = profile_of(g, opts(Algorithm::kMergeBaseline));
+  const auto mps = profile_of(g, opts(Algorithm::kMps));
+  const auto& cpu = xeon_e5_2680_spec();
+  const double tm = model_cpu_like(cpu, m, 1).seconds;
+  const double tmps = model_cpu_like(cpu, mps, 1).seconds;
+  EXPECT_GT(tm / tmps, 0.5);
+  EXPECT_LT(tm / tmps, 2.0);
+}
+
+TEST(Model, Fig4Shape_VectorizationSpeedsUpMps) {
+  // Wider lanes -> faster MPS; AVX-512 gain over scalar lands in the
+  // paper's 2-3.5x band on both TW and FR.
+  for (const auto* g : {&tw_replica(), &fr_replica()}) {
+    const auto scalar =
+        profile_of(*g, opts(Algorithm::kMps, intersect::MergeKind::kScalar));
+    const auto avx2 =
+        profile_of(*g, opts(Algorithm::kMps, intersect::MergeKind::kAvx2));
+    const auto avx512 =
+        profile_of(*g, opts(Algorithm::kMps, intersect::MergeKind::kAvx512));
+    const auto& cpu = xeon_e5_2680_spec();
+    const double ts = model_cpu_like(cpu, scalar, 1).seconds;
+    const double t2 = model_cpu_like(cpu, avx2, 1).seconds;
+    const double t512 = model_cpu_like(cpu, avx512, 1).seconds;
+    // Paper: 1.9-2.0x (AVX2) and 2.6x (AVX-512). On the TW replica the
+    // pivot-skip share is inflated (small hubs), Amdahl-compressing the
+    // vector gain; require a clear gain and the 512 >= 2 ordering.
+    EXPECT_GT(ts / t2, 1.15);
+    EXPECT_LT(ts / t2, 4.0);
+    EXPECT_GE(ts / t512, ts / t2);  // 512 at least matches AVX2
+  }
+}
+
+TEST(Model, Fig5Shape_MpsScalesFurtherThanBmp) {
+  // Paper Fig 5: on the KNL, MPS keeps scaling to 64+ threads while BMP
+  // saturates earlier and never scales past it.
+  const auto& g = tw_replica();
+  const auto mps = profile_of(
+      g, opts(Algorithm::kMps, intersect::MergeKind::kAvx512));
+  const auto bmp = profile_of(g, opts(Algorithm::kBmp));
+  const auto& knl = knl_7210_spec();
+
+  const double mps_speedup = model_cpu_like(knl, mps, 1).seconds /
+                             model_cpu_like(knl, mps, 64).seconds;
+  const double bmp_speedup = model_cpu_like(knl, bmp, 1).seconds /
+                             model_cpu_like(knl, bmp, 64).seconds;
+  EXPECT_GT(mps_speedup, bmp_speedup);
+  EXPECT_GT(mps_speedup, 20.0);
+}
+
+TEST(Model, Fig7Shape_McdramHelpsMpsMoreThanBmp) {
+  // Paper Fig 7: flat-mode MCDRAM gives MPS 1.6-1.8x (bandwidth-bound)
+  // and BMP only 1.2-1.3x (latency-bound).
+  const auto& g = tw_replica();
+  const auto mps = profile_of(
+      g, opts(Algorithm::kMps, intersect::MergeKind::kAvx512));
+  const auto bmp = profile_of(g, opts(Algorithm::kBmp));
+  const auto& knl = knl_7210_spec();
+  const int t = 256;
+
+  const double mps_gain = model_cpu_like(knl, mps, t, MemMode::kDram).seconds /
+                          model_cpu_like(knl, mps, t, MemMode::kHbmFlat).seconds;
+  const double bmp_gain = model_cpu_like(knl, bmp, t, MemMode::kDram).seconds /
+                          model_cpu_like(knl, bmp, t, MemMode::kHbmFlat).seconds;
+  EXPECT_GT(mps_gain, bmp_gain);
+  EXPECT_GT(mps_gain, 1.2);
+
+  // Cache mode: competitive but slightly slower than flat.
+  const double flat = model_cpu_like(knl, mps, t, MemMode::kHbmFlat).seconds;
+  const double cache = model_cpu_like(knl, mps, t, MemMode::kHbmCache).seconds;
+  EXPECT_GE(cache, flat);
+  EXPECT_LT(cache / flat, 1.5);
+}
+
+TEST(Model, RangeFilterHelpsBmpOnFriendster) {
+  // Paper Fig 6: RF ~1.9-2.1x on FR (uniform degrees, big bitmap),
+  // ~neutral on TW.
+  const auto& knl = knl_7210_spec();
+  const auto fr_plain = profile_of(fr_replica(), opts(Algorithm::kBmp));
+  const auto fr_rf =
+      profile_of(fr_replica(), opts(Algorithm::kBmp, {}, true));
+  const double gain =
+      model_cpu_like(knl, fr_plain, 256).seconds /
+      model_cpu_like(knl, fr_rf, 256).seconds;
+  EXPECT_GT(gain, 1.2);
+}
+
+TEST(Model, BreakdownIsConsistent) {
+  const auto p = profile_of(tw_replica(), opts(Algorithm::kBmp));
+  const auto r = model_cpu_like(xeon_e5_2680_spec(), p, 8);
+  EXPECT_DOUBLE_EQ(r.seconds, std::max(r.compute_seconds, r.bandwidth_seconds));
+  EXPECT_GT(r.cycles_bitmap, 0.0);
+  EXPECT_EQ(r.cycles_vector, 0.0);  // BMP has no VB steps
+  EXPECT_GT(r.effective_parallelism, 1.0);
+}
+
+TEST(Specs, PaperTestbedConstants) {
+  EXPECT_EQ(xeon_e5_2680_spec().cores, 28);
+  EXPECT_EQ(xeon_e5_2680_spec().vector_lanes, 8);
+  EXPECT_EQ(knl_7210_spec().cores, 64);
+  EXPECT_EQ(knl_7210_spec().vector_lanes, 16);
+  EXPECT_GT(knl_7210_spec().hbm_bw_gbs, knl_7210_spec().dram_bw_gbs);
+  EXPECT_EQ(titan_xp_spec().num_sms, 30);
+  EXPECT_EQ(titan_xp_spec().max_threads_per_sm, 2048);
+  EXPECT_EQ(processor_name(Processor::kKnl), "KNL");
+  EXPECT_EQ(mem_mode_name(MemMode::kHbmFlat), "MCDRAM-flat");
+}
+
+}  // namespace
+}  // namespace aecnc::perf

@@ -1,0 +1,226 @@
+// Property-based tests: invariants that must hold for *every* graph and
+// every algorithm configuration, checked over randomized graph sweeps
+// (TEST_P over generator seeds and shapes).
+//
+// Invariants:
+//   P1  cnt[e(u,v)] <= min(d_u, d_v)            (counts are intersections)
+//   P2  cnt[e(u,v)] == cnt[e(v,u)]              (symmetry)
+//   P3  Σ cnt ≡ 0 (mod 6)                       (each triangle counted 6x)
+//   P4  cnt[e(u,v)] <= d_u - 1 if (u,v) ∈ E     (v itself is not common)
+//   P5  all algorithm variants agree bit-for-bit
+//   P6  counts are invariant under vertex relabeling
+//   P7  adding an isolated vertex changes nothing
+//   P8  deleting an edge never increases other edges' counts... checked
+//       in the targeted EdgeDeletionMonotonicity test
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc {
+namespace {
+
+using graph::Csr;
+using graph::EdgeList;
+
+struct GraphSpec {
+  const char* kind;
+  VertexId vertices;
+  std::uint64_t edges;
+  double exponent;  // <= 0: Erdős–Rényi
+  std::uint64_t seed;
+};
+
+Csr make_graph(const GraphSpec& spec) {
+  EdgeList edges =
+      spec.exponent > 0
+          ? graph::chung_lu_power_law(spec.vertices, spec.edges, spec.exponent,
+                                      spec.seed)
+          : graph::erdos_renyi(spec.vertices, spec.edges, spec.seed);
+  return Csr::from_edge_list(std::move(edges));
+}
+
+class PropertyTest : public ::testing::TestWithParam<GraphSpec> {};
+
+TEST_P(PropertyTest, CountBoundsAndSymmetry) {
+  const Csr g = make_graph(GetParam());
+  const auto cnt = core::count_common_neighbors(g);
+  ASSERT_EQ(cnt.size(), g.num_directed_edges());
+
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      const CnCount c = cnt[base + k];
+      // P1 / P4: bounded by both degrees minus the endpoints themselves.
+      ASSERT_LE(c, std::min(g.degree(u), g.degree(v)) - 1)
+          << "edge (" << u << "," << v << ")";
+      // P2: symmetric.
+      ASSERT_EQ(c, cnt[g.find_edge(v, u)]);
+    }
+  }
+
+  // P3: triangle divisibility.
+  std::uint64_t sum = 0;
+  for (const CnCount c : cnt) sum += c;
+  EXPECT_EQ(sum % 6, 0u);
+}
+
+TEST_P(PropertyTest, AllVariantsAgree) {
+  const Csr g = graph::reorder_degree_descending(make_graph(GetParam()));
+  const auto reference = core::count_reference(g);
+
+  std::vector<core::Options> variants;
+  {
+    core::Options o;
+    o.algorithm = core::Algorithm::kMergeBaseline;
+    variants.push_back(o);
+    o.algorithm = core::Algorithm::kMps;
+    o.mps.kind = intersect::best_merge_kind();
+    variants.push_back(o);
+    o.mps.skew_threshold = 3.0;
+    variants.push_back(o);
+    o.algorithm = core::Algorithm::kBmp;
+    variants.push_back(o);
+    o.bmp_range_filter = true;
+    o.rf_range_scale = 128;
+    variants.push_back(o);
+    o.granularity = core::TaskGranularity::kCoarseGrained;
+    variants.push_back(o);
+    o.parallel = false;
+    variants.push_back(o);
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto counts = core::count_common_neighbors(g, variants[i]);
+    EXPECT_FALSE(core::diff_counts(g, counts, reference).has_value())
+        << "variant " << i;
+  }
+}
+
+TEST_P(PropertyTest, RelabelingInvariance) {
+  // P6: relabel with a random permutation; translated counts must match.
+  const Csr g = make_graph(GetParam());
+  util::Xoshiro256 rng(GetParam().seed ^ 0xabcdef);
+  std::vector<VertexId> perm(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) perm[v] = v;
+  for (VertexId v = g.num_vertices(); v > 1; --v) {
+    std::swap(perm[v - 1], perm[rng.below(v)]);
+  }
+  const Csr relabeled = graph::apply_permutation(g, perm);
+
+  const auto original = core::count_common_neighbors(g);
+  const auto shuffled = core::count_common_neighbors(relabeled);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const EdgeId mapped = relabeled.find_edge(perm[u], perm[nbrs[k]]);
+      ASSERT_EQ(original[base + k], shuffled[mapped]);
+    }
+  }
+}
+
+TEST_P(PropertyTest, IsolatedVertexIsNeutral) {
+  // P7: appending an isolated vertex shifts nothing.
+  const GraphSpec& spec = GetParam();
+  const Csr g = make_graph(spec);
+  EdgeList padded(g.num_vertices() + 1);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) padded.add(u, v);
+    }
+  }
+  const Csr gp = Csr::from_edge_list(std::move(padded));
+  ASSERT_EQ(gp.num_vertices(), g.num_vertices() + 1);
+  EXPECT_EQ(core::count_common_neighbors(g),
+            core::count_common_neighbors(gp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PropertyTest,
+    ::testing::Values(GraphSpec{"er_sparse", 300, 600, -1, 1},
+                      GraphSpec{"er_dense", 120, 3000, -1, 2},
+                      GraphSpec{"pl_heavy", 500, 4000, 2.0, 3},
+                      GraphSpec{"pl_mild", 500, 4000, 3.0, 4},
+                      GraphSpec{"pl_tiny", 40, 100, 2.2, 5},
+                      GraphSpec{"er_ring", 1000, 1200, -1, 6}),
+    [](const auto& info) { return std::string(info.param.kind); });
+
+TEST(PropertyEdge, EdgeDeletionMonotonicity) {
+  // P8: removing one edge (a,b) can only lower counts of other edges
+  // (it removes common-neighbor witnesses), never raise them.
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(150, 1200, 77));
+  const auto before = core::count_common_neighbors(g);
+
+  // Delete the first edge of vertex 0.
+  ASSERT_GT(g.degree(0), 0u);
+  const VertexId a = 0;
+  const VertexId b = g.neighbors(0)[0];
+  EdgeList remaining(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v && !(u == std::min(a, b) && v == std::max(a, b))) {
+        remaining.add(u, v);
+      }
+    }
+  }
+  const Csr h = Csr::from_edge_list(std::move(remaining));
+  const auto after = core::count_common_neighbors(h);
+
+  for (VertexId u = 0; u < h.num_vertices(); ++u) {
+    const EdgeId base = h.offset_begin(u);
+    const auto nbrs = h.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const EdgeId old_slot = g.find_edge(u, nbrs[k]);
+      ASSERT_LT(old_slot, g.num_directed_edges());
+      EXPECT_LE(after[base + k], before[old_slot])
+          << "edge (" << u << "," << nbrs[k] << ")";
+    }
+  }
+}
+
+TEST(PropertyEdge, CliqueCountsAreExact) {
+  // In K_n every edge has exactly n-2 common neighbors.
+  for (const VertexId n : {3u, 5u, 9u, 17u, 33u}) {
+    const Csr g = Csr::from_edge_list(graph::clique(n));
+    const auto cnt = core::count_common_neighbors(g);
+    for (const CnCount c : cnt) EXPECT_EQ(c, n - 2) << "K" << n;
+  }
+}
+
+TEST(PropertyEdge, BipartiteHasNoCommonNeighborsAcrossSides) {
+  // Complete bipartite K_{a,b}: an edge (u,v) spans the sides; its
+  // common neighbors are empty (u's neighbors are all on v's side and
+  // vice versa — and the sides are independent sets).
+  constexpr VertexId kA = 8, kB = 12;
+  EdgeList edges(kA + kB);
+  for (VertexId i = 0; i < kA; ++i) {
+    for (VertexId j = 0; j < kB; ++j) edges.add(i, kA + j);
+  }
+  const Csr g = Csr::from_edge_list(std::move(edges));
+  const auto cnt = core::count_common_neighbors(g);
+  for (const CnCount c : cnt) EXPECT_EQ(c, 0u);
+}
+
+TEST(PropertyEdge, TwoTrianglesSharingAnEdge) {
+  // Diamond: 0-1 shared by triangles {0,1,2} and {0,1,3}.
+  EdgeList edges(4);
+  edges.add(0, 1);
+  edges.add(0, 2);
+  edges.add(1, 2);
+  edges.add(0, 3);
+  edges.add(1, 3);
+  const Csr g = Csr::from_edge_list(std::move(edges));
+  const auto cnt = core::count_common_neighbors(g);
+  EXPECT_EQ(cnt[g.find_edge(0, 1)], 2u);  // both 2 and 3
+  EXPECT_EQ(cnt[g.find_edge(0, 2)], 1u);
+  EXPECT_EQ(cnt[g.find_edge(2, 1)], 1u);
+  EXPECT_EQ(core::triangle_count_from(cnt), 2u);
+}
+
+}  // namespace
+}  // namespace aecnc

@@ -1,0 +1,172 @@
+// Robustness and failure-injection tests: malformed inputs, corrupt
+// serialized data, degenerate graphs, and invalid-structure detection —
+// the paths a downstream user hits first.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "core/triangle.hpp"
+#include "core/verify.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "gpusim/runner.hpp"
+#include "scan/scan.hpp"
+
+namespace aecnc {
+namespace {
+
+using graph::Csr;
+using graph::EdgeList;
+
+// --- CSR structural validation ------------------------------------------------
+
+TEST(Validate, DetectsUnsortedAdjacency) {
+  // Hand-build a CSR with an out-of-order neighbor list.
+  std::vector<EdgeId> offsets = {0, 2, 3, 4};
+  util::AlignedVector<VertexId> dst = {2, 1, 0, 0};  // N(0) = {2,1}: unsorted
+  const Csr g = Csr::from_raw(std::move(offsets), std::move(dst));
+  EXPECT_NE(g.validate().find("not sorted"), std::string::npos);
+}
+
+TEST(Validate, DetectsSelfLoop) {
+  std::vector<EdgeId> offsets = {0, 1, 2};
+  util::AlignedVector<VertexId> dst = {0, 0};  // N(0) = {0}: self loop
+  const Csr g = Csr::from_raw(std::move(offsets), std::move(dst));
+  EXPECT_NE(g.validate().find("self loop"), std::string::npos);
+}
+
+TEST(Validate, DetectsAsymmetricEdge) {
+  std::vector<EdgeId> offsets = {0, 1, 1};
+  util::AlignedVector<VertexId> dst = {1};  // 0->1 without 1->0
+  const Csr g = Csr::from_raw(std::move(offsets), std::move(dst));
+  EXPECT_NE(g.validate().find("asymmetric"), std::string::npos);
+}
+
+TEST(Validate, DetectsOutOfRangeNeighbor) {
+  std::vector<EdgeId> offsets = {0, 1, 2};
+  util::AlignedVector<VertexId> dst = {9, 0};
+  const Csr g = Csr::from_raw(std::move(offsets), std::move(dst));
+  EXPECT_NE(g.validate().find("out of range"), std::string::npos);
+}
+
+// --- Serialization failure injection -------------------------------------------
+
+TEST(IoRobustness, TruncatedBinaryCsrThrows) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(100, 400, 1));
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_csr_binary(g, buffer);
+  std::string bytes = buffer.str();
+  for (const std::size_t keep : {bytes.size() / 2, std::size_t{20},
+                                 std::size_t{9}}) {
+    std::stringstream truncated(bytes.substr(0, keep),
+                                std::ios::in | std::ios::binary);
+    EXPECT_THROW((void)graph::read_csr_binary(truncated), std::runtime_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(IoRobustness, BitFlippedHeaderRejected) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(50, 200, 2));
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_csr_binary(g, buffer);
+  std::string bytes = buffer.str();
+  bytes[3] ^= 0x40;  // corrupt the magic
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)graph::read_csr_binary(corrupt), std::runtime_error);
+}
+
+TEST(IoRobustness, MissingFilesThrowWithPath) {
+  try {
+    (void)graph::load_edge_list_text("/nonexistent/path/graph.txt");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/path/graph.txt"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)graph::load_csr_binary("/nonexistent/path/graph.csr"),
+               std::runtime_error);
+}
+
+TEST(IoRobustness, OversizedVertexIdRejected) {
+  std::stringstream in("0 4294967296\n");  // 2^32 does not fit VertexId
+  EXPECT_THROW((void)graph::read_edge_list_text(in), std::runtime_error);
+}
+
+TEST(IoRobustness, NegativeNumbersRejected) {
+  std::stringstream in("0 -5\n");
+  EXPECT_THROW((void)graph::read_edge_list_text(in), std::runtime_error);
+}
+
+// --- Degenerate graphs across the whole stack -----------------------------------
+
+TEST(Degenerate, SingleEdgeGraphEverywhere) {
+  EdgeList e(2);
+  e.add(0, 1);
+  const Csr g = Csr::from_edge_list(std::move(e));
+
+  for (const auto algo :
+       {core::Algorithm::kMergeBaseline, core::Algorithm::kMps,
+        core::Algorithm::kBmp}) {
+    core::Options o;
+    o.algorithm = algo;
+    const auto cnt = core::count_common_neighbors(g, o);
+    EXPECT_EQ(cnt, (core::CountArray{0, 0})) << core::algorithm_name(algo);
+  }
+  EXPECT_EQ(core::count_triangles(g), 0u);
+
+  gpusim::GpuRunConfig cfg;
+  cfg.algorithm = core::Algorithm::kBmp;
+  EXPECT_EQ(gpusim::run_gpu(g, cfg).counts, (core::CountArray{0, 0}));
+
+  const auto clusters = scan::cluster(g, {.epsilon = 0.1, .mu = 2});
+  EXPECT_EQ(clusters.num_clusters, 1u);  // both endpoints are cores at mu=2
+}
+
+TEST(Degenerate, AllIsolatedVertices) {
+  const Csr g = Csr::from_edge_list(EdgeList(100));
+  EXPECT_TRUE(core::count_common_neighbors(g).empty());
+  EXPECT_EQ(core::count_triangles(g), 0u);
+  const auto result = scan::cluster(g, {});
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_EQ(result.count_role(scan::Role::kOutlier), 100u);
+}
+
+TEST(Degenerate, StarHasNoCommonNeighbors) {
+  EdgeList e(50);
+  for (VertexId v = 1; v < 50; ++v) e.add(0, v);
+  const Csr g = Csr::from_edge_list(std::move(e));
+  for (const CnCount c : core::count_common_neighbors(g)) EXPECT_EQ(c, 0u);
+}
+
+TEST(Degenerate, GpuRunRejectsBaselineAlgorithm) {
+  const Csr g = Csr::from_edge_list(graph::clique(4));
+  gpusim::GpuRunConfig cfg;
+  cfg.algorithm = core::Algorithm::kMergeBaseline;
+  EXPECT_THROW((void)gpusim::run_gpu(g, cfg), std::invalid_argument);
+}
+
+TEST(Degenerate, SparseHighIdUniverse) {
+  // A lone triangle at the top of a million-vertex universe: offset
+  // arrays handle long runs of zero-degree vertices, and the source
+  // lookup still resolves across them.
+  EdgeList e;
+  const VertexId base = (1u << 20) - 4;
+  e.add(base, base + 1);
+  e.add(base + 1, base + 2);
+  e.add(base, base + 2);
+  e.ensure_vertices(1u << 20);
+  const Csr g = Csr::from_edge_list(std::move(e));
+  EXPECT_EQ(g.num_vertices(), 1u << 20);
+  const EdgeId slot = g.find_edge(base, base + 1);
+  ASSERT_LT(slot, g.num_directed_edges());
+  EXPECT_EQ(g.src_of(slot), base);
+  const auto cnt = core::count_common_neighbors(g);
+  EXPECT_EQ(cnt[slot], 1u);  // the third triangle corner
+  EXPECT_EQ(core::triangle_count_from(cnt), 1u);
+}
+
+}  // namespace
+}  // namespace aecnc

@@ -1,0 +1,186 @@
+// Parameterized sweeps: SCAN over (epsilon, mu) grids, model sensitivity
+// to spec parameters, and dataset replicas across scales — the
+// "does the knob move the output the right way" tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "graph/stats.hpp"
+#include "perf/collect.hpp"
+#include "perf/models.hpp"
+#include "scan/scan.hpp"
+
+namespace aecnc {
+namespace {
+
+using graph::Csr;
+
+// --- SCAN (epsilon, mu) grid ----------------------------------------------------
+
+class ScanSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(ScanSweep, InvariantsHoldAtEveryParameter) {
+  const auto [eps, mu] = GetParam();
+  static const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(1500, 12000, 2.2, 55));
+  const auto result = scan::cluster(g, {.epsilon = eps, .mu = mu});
+
+  ASSERT_EQ(result.cluster.size(), g.num_vertices());
+  ASSERT_EQ(result.role.size(), g.num_vertices());
+
+  // Cores/borders are clustered, hubs/outliers are not.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const bool clustered = result.cluster[v] != scan::Result::kUnclustered;
+    const auto role = result.role[v];
+    EXPECT_EQ(clustered,
+              role == scan::Role::kCore || role == scan::Role::kBorder);
+    if (clustered) {
+      EXPECT_LT(result.cluster[v], result.num_clusters);
+    }
+  }
+
+  // Every cluster id in [0, num_clusters) is used by at least one core.
+  std::vector<bool> used(result.num_clusters, false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (result.role[v] == scan::Role::kCore) used[result.cluster[v]] = true;
+  }
+  for (std::size_t c = 0; c < used.size(); ++c) {
+    EXPECT_TRUE(used[c]) << "cluster " << c << " has no core";
+  }
+}
+
+TEST_P(ScanSweep, TighterEpsilonNeverAddsCores) {
+  const auto [eps, mu] = GetParam();
+  static const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(1000, 8000, 2.3, 57));
+  const auto counts = core::count_common_neighbors(g);
+  const auto loose = scan::cluster_from_counts(g, counts, {eps, mu});
+  const auto tight =
+      scan::cluster_from_counts(g, counts, {std::min(1.0, eps + 0.2), mu});
+  EXPECT_LE(tight.count_role(scan::Role::kCore),
+            loose.count_role(scan::Role::kCore));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScanSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.4, 0.6, 0.8),
+                       ::testing::Values(2u, 3u, 5u)),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_mu" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- Model sensitivity ------------------------------------------------------------
+
+class ModelSensitivity : public ::testing::Test {
+ protected:
+  static const perf::WorkProfile& mps_profile() {
+    static const perf::WorkProfile p = [] {
+      const Csr g = graph::reorder_degree_descending(
+          graph::make_dataset(graph::DatasetId::kTwitter, 1e-4));
+      core::Options o;
+      o.mps.kind = intersect::MergeKind::kAvx512;
+      return perf::scale_profile(perf::collect_profile(g, o).profile, 1e4);
+    }();
+    return p;
+  }
+  static const perf::WorkProfile& bmp_profile() {
+    static const perf::WorkProfile p = [] {
+      const Csr g = graph::reorder_degree_descending(
+          graph::make_dataset(graph::DatasetId::kTwitter, 1e-4));
+      core::Options o;
+      o.algorithm = core::Algorithm::kBmp;
+      return perf::scale_profile(perf::collect_profile(g, o).profile, 1e4);
+    }();
+    return p;
+  }
+};
+
+TEST_F(ModelSensitivity, FasterClockNeverHurts) {
+  auto spec = perf::knl_7210_spec();
+  const double base = perf::model_cpu_like(spec, mps_profile(), 64).seconds;
+  spec.freq_ghz *= 2.0;
+  EXPECT_LE(perf::model_cpu_like(spec, mps_profile(), 64).seconds, base);
+}
+
+TEST_F(ModelSensitivity, MoreBandwidthHelpsMpsAtSaturation) {
+  auto spec = perf::knl_7210_spec();
+  const double base = perf::model_cpu_like(spec, mps_profile(), 256).seconds;
+  spec.dram_bw_gbs *= 4.0;
+  EXPECT_LT(perf::model_cpu_like(spec, mps_profile(), 256).seconds, base);
+}
+
+TEST_F(ModelSensitivity, RandomBandwidthGatesBmpNotMps) {
+  auto spec = perf::knl_7210_spec();
+  const double bmp_base =
+      perf::model_cpu_like(spec, bmp_profile(), 256).seconds;
+  const double mps_base =
+      perf::model_cpu_like(spec, mps_profile(), 256).seconds;
+  spec.random_bw_gbs *= 4.0;
+  const double bmp_fast =
+      perf::model_cpu_like(spec, bmp_profile(), 256).seconds;
+  const double mps_fast =
+      perf::model_cpu_like(spec, mps_profile(), 256).seconds;
+  EXPECT_LT(bmp_fast, bmp_base * 0.6) << "BMP must be random-bw bound";
+  EXPECT_GT(mps_fast, mps_base * 0.9) << "MPS must not care";
+}
+
+TEST_F(ModelSensitivity, WiderVectorsHelpOnlyVbWork) {
+  const auto& cpu = perf::xeon_e5_2680_spec();
+  auto narrow = mps_profile();
+  narrow.vector_lanes = 8;
+  auto wide = mps_profile();
+  wide.vector_lanes = 16;
+  EXPECT_LT(perf::model_cpu_like(cpu, wide, 1).seconds,
+            perf::model_cpu_like(cpu, narrow, 1).seconds);
+
+  // BMP has no block steps: lane width is irrelevant.
+  auto bmp_narrow = bmp_profile();
+  bmp_narrow.vector_lanes = 1;
+  auto bmp_wide = bmp_profile();
+  bmp_wide.vector_lanes = 16;
+  EXPECT_DOUBLE_EQ(perf::model_cpu_like(cpu, bmp_narrow, 1).seconds,
+                   perf::model_cpu_like(cpu, bmp_wide, 1).seconds);
+}
+
+TEST_F(ModelSensitivity, ScaleProfileIsLinear) {
+  const auto half = perf::scale_profile(mps_profile(), 0.5);
+  EXPECT_EQ(half.work.scalar_cmps, mps_profile().work.scalar_cmps / 2);
+  EXPECT_EQ(half.work.streamed_bytes, mps_profile().work.streamed_bytes / 2);
+  EXPECT_EQ(half.num_vertices, mps_profile().num_vertices / 2);
+}
+
+// --- Dataset replicas across scales -----------------------------------------------
+
+class DatasetScaleSweep
+    : public ::testing::TestWithParam<std::tuple<graph::DatasetId, double>> {};
+
+TEST_P(DatasetScaleSweep, AvgDegreeIsScaleInvariant) {
+  const auto [id, scale] = GetParam();
+  const Csr g = graph::make_dataset(id, scale);
+  const auto s = graph::compute_stats(g);
+  const auto& paper = graph::paper_stats(id);
+  EXPECT_GT(s.avg_degree, 0.55 * paper.avg_degree)
+      << graph::dataset_name(id) << " at " << scale;
+  EXPECT_LT(s.avg_degree, 1.45 * paper.avg_degree)
+      << graph::dataset_name(id) << " at " << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DatasetScaleSweep,
+    ::testing::Combine(::testing::ValuesIn(graph::kAllDatasets),
+                       ::testing::Values(1e-4, 5e-4)),
+    [](const auto& info) {
+      return std::string(graph::dataset_name(std::get<0>(info.param))) +
+             "_s" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 1e5));
+    });
+
+}  // namespace
+}  // namespace aecnc

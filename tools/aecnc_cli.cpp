@@ -1,0 +1,306 @@
+// aecnc command-line tool: the library's functionality for shell users.
+//
+//   aecnc_cli generate  --out=g.txt [--kind=powerlaw|er|rmat|dataset]
+//                       [--vertices=N --edges=M --exponent=2.3 --seed=1]
+//                       [--dataset=TW --scale=1e-3]
+//   aecnc_cli convert   --in=g.txt --out=g.csr           (text -> binary CSR)
+//   aecnc_cli stats     --in=g.txt|g.csr [--skew-threshold=50]
+//   aecnc_cli count     --in=... --out=counts.txt
+//                       [--algo=mps|bmp|m] [--rf] [--threads=0] [--seq]
+//   aecnc_cli triangles --in=...  [--algo=merge|hash|all-edge]
+//   aecnc_cli scan      --in=... --eps=0.5 --mu=3 [--out=clusters.txt]
+//   aecnc_cli verify    --in=...   (all algorithm variants vs brute force)
+//
+// Inputs ending in ".csr" are read as the binary format, anything else
+// as a SNAP-style text edge list.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/api.hpp"
+#include "core/triangle.hpp"
+#include "core/verify.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/reorder.hpp"
+#include "graph/stats.hpp"
+#include "scan/scan.hpp"
+#include "util/chart.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace aecnc;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fputs(
+      "usage: aecnc_cli <generate|convert|stats|count|triangles|scan> "
+      "[--key=value ...]\n"
+      "see the header of tools/aecnc_cli.cpp for the full option list\n",
+      stderr);
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+graph::Csr load_graph(const util::CliArgs& args) {
+  const std::string path = args.get("in", "");
+  if (path.empty()) usage("--in=<path> is required");
+  if (ends_with(path, ".csr")) return graph::load_csr_binary(path);
+  return graph::Csr::from_edge_list(graph::load_edge_list_text(path));
+}
+
+int cmd_generate(const util::CliArgs& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) usage("--out=<path> is required");
+  const std::string kind = args.get("kind", "powerlaw");
+  const auto n = static_cast<VertexId>(args.get_int("vertices", 100000));
+  const auto m = static_cast<std::uint64_t>(args.get_int("edges", 800000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  graph::EdgeList edges;
+  if (kind == "powerlaw") {
+    edges = graph::chung_lu_power_law(n, m, args.get_double("exponent", 2.3),
+                                      seed);
+  } else if (kind == "er") {
+    edges = graph::erdos_renyi(n, m, seed);
+  } else if (kind == "rmat") {
+    edges = graph::rmat(static_cast<int>(args.get_int("rmat-scale", 17)), m,
+                        {}, seed);
+  } else if (kind == "dataset") {
+    const auto id = graph::dataset_from_name(args.get("dataset", "TW"));
+    const graph::Csr g =
+        graph::make_dataset(id, args.get_double("scale", 1e-3));
+    graph::save_csr_binary(g, out);
+    std::printf("wrote %s: %u vertices, %llu edges (binary CSR)\n",
+                out.c_str(), g.num_vertices(),
+                static_cast<unsigned long long>(g.num_undirected_edges()));
+    return 0;
+  } else {
+    usage("unknown --kind (powerlaw|er|rmat|dataset)");
+  }
+  graph::save_edge_list_text(edges, out);
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              edges.num_vertices(),
+              static_cast<unsigned long long>(edges.num_edges()));
+  return 0;
+}
+
+int cmd_convert(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  const std::string out = args.get("out", "");
+  if (out.empty()) usage("--out=<path> is required");
+  graph::save_csr_binary(g, out);
+  std::printf("wrote %s (%s)\n", out.c_str(),
+              util::format_bytes(static_cast<double>(g.memory_bytes())).c_str());
+  return 0;
+}
+
+int cmd_stats(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  const std::string problem = g.validate();
+  const auto s = graph::compute_stats(g);
+  const double t = args.get_double("skew-threshold", 50.0);
+  util::TablePrinter table({"metric", "value"});
+  table.add_row({"vertices", util::format_count(s.num_vertices)});
+  table.add_row({"undirected edges", util::format_count(s.num_undirected_edges)});
+  table.add_row({"avg degree", util::format_fixed(s.avg_degree, 2)});
+  table.add_row({"max degree", util::format_count(s.max_degree)});
+  table.add_row({"skewed intersections",
+                 util::format_fixed(
+                     graph::skewed_intersection_percentage(g, t), 1) + "% (t=" +
+                     util::format_fixed(t, 0) + ")"});
+  table.add_row({"CSR bytes",
+                 util::format_bytes(static_cast<double>(g.memory_bytes()))});
+  table.add_row({"valid", problem.empty() ? "yes" : problem});
+  table.print();
+
+  // Degree distribution as a log2-bucket sparkline (log-scaled heights).
+  const auto histogram = graph::degree_histogram(g);
+  std::vector<double> heights;
+  heights.reserve(histogram.size());
+  for (const auto count : histogram) {
+    heights.push_back(count == 0 ? 0.0
+                                 : std::log2(static_cast<double>(count) + 1));
+  }
+  std::printf("degree distribution (log2 buckets 1,2-3,4-7,...):\n%s",
+              util::sparklines({{"vertices (log)", heights}}).c_str());
+  return 0;
+}
+
+int cmd_count(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  core::Options opt;
+  const std::string algo = args.get("algo", "mps");
+  if (algo == "mps") {
+    opt.algorithm = core::Algorithm::kMps;
+    opt.mps.kind = intersect::best_merge_kind();
+  } else if (algo == "bmp") {
+    opt.algorithm = core::Algorithm::kBmp;
+    opt.bmp_range_filter = args.get_bool("rf", false);
+  } else if (algo == "m") {
+    opt.algorithm = core::Algorithm::kMergeBaseline;
+  } else {
+    usage("unknown --algo (mps|bmp|m)");
+  }
+  opt.parallel = !args.get_bool("seq", false);
+  opt.num_threads = static_cast<int>(args.get_int("threads", 0));
+
+  util::WallTimer timer;
+  const auto counts = opt.algorithm == core::Algorithm::kBmp
+                          ? core::count_with_reorder(g, opt)
+                          : core::count_common_neighbors(g, opt);
+  std::printf("counted %llu slots in %s (%s)\n",
+              static_cast<unsigned long long>(counts.size()),
+              util::format_seconds(timer.seconds()).c_str(), algo.c_str());
+  std::printf("triangles: %llu\n",
+              static_cast<unsigned long long>(
+                  core::triangle_count_from(counts)));
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) usage("cannot open --out file");
+    file << "# u v cnt\n";
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (u < nbrs[k]) {
+          file << u << ' ' << nbrs[k] << ' '
+               << counts[g.offset_begin(u) + k] << '\n';
+        }
+      }
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_triangles(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  const std::string algo = args.get("algo", "merge");
+  util::WallTimer timer;
+  std::uint64_t triangles = 0;
+  if (algo == "merge") {
+    triangles = core::count_triangles(g, core::TriangleAlgorithm::kMergeForward);
+  } else if (algo == "hash") {
+    triangles = core::count_triangles(g, core::TriangleAlgorithm::kHashForward);
+  } else if (algo == "all-edge") {
+    triangles = core::triangle_count(g);
+  } else {
+    usage("unknown --algo (merge|hash|all-edge)");
+  }
+  std::printf("triangles: %llu (%s, %s)\n",
+              static_cast<unsigned long long>(triangles), algo.c_str(),
+              util::format_seconds(timer.seconds()).c_str());
+  return 0;
+}
+
+int cmd_verify(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  const std::string structural = g.validate();
+  if (!structural.empty()) {
+    std::fprintf(stderr, "structural validation FAILED: %s\n",
+                 structural.c_str());
+    return 1;
+  }
+  std::printf("structure: ok\n");
+
+  const auto reference = core::count_reference(g);
+  struct Variant {
+    const char* name;
+    core::Options opt;
+  };
+  std::vector<Variant> variants;
+  {
+    core::Options o;
+    o.algorithm = core::Algorithm::kMergeBaseline;
+    variants.push_back({"M (parallel)", o});
+    o.algorithm = core::Algorithm::kMps;
+    o.mps.kind = intersect::best_merge_kind();
+    variants.push_back({"MPS (parallel)", o});
+    o.parallel = false;
+    variants.push_back({"MPS (sequential)", o});
+    o.parallel = true;
+    o.algorithm = core::Algorithm::kBmp;
+    variants.push_back({"BMP (parallel)", o});
+    o.bmp_range_filter = true;
+    o.rf_range_scale = 64;
+    variants.push_back({"BMP-RF (parallel)", o});
+  }
+  bool ok = true;
+  for (const auto& v : variants) {
+    const auto counts = core::count_common_neighbors(g, v.opt);
+    const auto diff = core::diff_counts(g, counts, reference);
+    if (diff.has_value()) {
+      std::fprintf(stderr, "%s: MISMATCH — %s\n", v.name, diff->c_str());
+      ok = false;
+    } else {
+      std::printf("%s: ok\n", v.name);
+    }
+  }
+  std::printf("triangles: %llu\n",
+              static_cast<unsigned long long>(
+                  core::triangle_count_from(reference)));
+  return ok ? 0 : 1;
+}
+
+int cmd_scan(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  const scan::Params params{
+      .epsilon = args.get_double("eps", 0.5),
+      .mu = static_cast<std::uint32_t>(args.get_int("mu", 2)),
+  };
+  util::WallTimer timer;
+  const auto result = scan::cluster(g, params);
+  std::printf("SCAN(eps=%.2f, mu=%u): %u clusters, %llu cores, %llu borders, "
+              "%llu hubs, %llu outliers (%s)\n",
+              params.epsilon, params.mu, result.num_clusters,
+              static_cast<unsigned long long>(result.count_role(scan::Role::kCore)),
+              static_cast<unsigned long long>(result.count_role(scan::Role::kBorder)),
+              static_cast<unsigned long long>(result.count_role(scan::Role::kHub)),
+              static_cast<unsigned long long>(
+                  result.count_role(scan::Role::kOutlier)),
+              util::format_seconds(timer.seconds()).c_str());
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) usage("cannot open --out file");
+    file << "# vertex cluster role(0=core,1=border,2=hub,3=outlier)\n";
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      file << v << ' '
+           << (result.cluster[v] == scan::Result::kUnclustered
+                   ? -1
+                   : static_cast<long>(result.cluster[v]))
+           << ' ' << static_cast<int>(result.role[v]) << '\n';
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const util::CliArgs args(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(args);
+  if (command == "convert") return cmd_convert(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "count") return cmd_count(args);
+  if (command == "triangles") return cmd_triangles(args);
+  if (command == "scan") return cmd_scan(args);
+  if (command == "verify") return cmd_verify(args);
+  usage("unknown command");
+}
