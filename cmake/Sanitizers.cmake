@@ -1,0 +1,45 @@
+# Per-target sanitizer wiring.
+#
+# AECNC_SANITIZE is a semicolon list of sanitizers, e.g.
+#   -DAECNC_SANITIZE=address;undefined     (ASan + UBSan, the memory/UB job)
+#   -DAECNC_SANITIZE=thread                (TSan, the race job)
+#
+# `thread` cannot be combined with `address`; the combination is rejected
+# at configure time instead of failing deep inside the link.
+#
+# aecnc_enable_sanitizers(<target> <scope>) applies the compile and link
+# flags to one target. The library applies it PUBLIC so every consumer
+# (tests, tools, benches, examples) inherits a consistently instrumented
+# build — mixing instrumented and uninstrumented TUs yields false
+# negatives for ASan and false positives for TSan.
+
+set(AECNC_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers to build with (address;undefined / thread)")
+
+if(AECNC_SANITIZE)
+  if("thread" IN_LIST AECNC_SANITIZE AND "address" IN_LIST AECNC_SANITIZE)
+    message(FATAL_ERROR
+      "AECNC_SANITIZE: 'thread' and 'address' are mutually exclusive")
+  endif()
+  foreach(_san IN LISTS AECNC_SANITIZE)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR "AECNC_SANITIZE: unknown sanitizer '${_san}'")
+    endif()
+  endforeach()
+  string(REPLACE ";" "," _aecnc_san_csv "${AECNC_SANITIZE}")
+endif()
+
+function(aecnc_enable_sanitizers target scope)
+  if(NOT AECNC_SANITIZE)
+    return()
+  endif()
+  target_compile_options(${target} ${scope}
+    -fsanitize=${_aecnc_san_csv}
+    -fno-omit-frame-pointer)
+  target_link_options(${target} ${scope} -fsanitize=${_aecnc_san_csv})
+  if("undefined" IN_LIST AECNC_SANITIZE)
+    # Make UBSan findings fatal so ctest actually fails on them.
+    target_compile_options(${target} ${scope}
+      -fno-sanitize-recover=undefined)
+  endif()
+endfunction()

@@ -1,0 +1,21 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aecnc::check {
+
+FailureStream::FailureStream(const char* file, int line, const char* expr) {
+  message_ << "AECNC_CHECK failed: " << expr << " at " << file << ":" << line
+           << " ";
+}
+
+FailureStream::~FailureStream() {
+  const std::string text = message_.str();
+  std::fputs(text.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace aecnc::check

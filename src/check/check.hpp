@@ -1,0 +1,84 @@
+// Invariant-checking macros for production and debug builds.
+//
+// AECNC_CHECK(cond) is *always on*, including -DNDEBUG Release builds: use
+// it for cheap preconditions whose violation would silently corrupt results
+// (a wrong task size, a malformed CSR handed to a kernel). AECNC_DCHECK is
+// compiled out under NDEBUG: use it for per-element checks inside hot loops
+// that would change the complexity class if left on.
+//
+// Both macros support message streaming:
+//
+//   AECNC_CHECK(task_size > 0) << "task_size=" << task_size;
+//
+// On failure the expression, location, and streamed message are written to
+// stderr and the process aborts (so sanitizers and death tests see a real
+// abort, not an exception that something upstream might swallow).
+#pragma once
+
+#include <sstream>
+
+namespace aecnc::check {
+
+/// Accumulates the streamed failure message; aborts in the destructor.
+/// Only ever constructed on the failure path, so the common case costs one
+/// predictable branch.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const char* expr);
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+  ~FailureStream();  // prints and calls std::abort()
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream message_;
+};
+
+/// Gives the macro's ternary a void-typed failure arm while keeping `<<`
+/// chaining: `&` binds looser than `<<`, so the whole streamed expression
+/// feeds the FailureStream before Voidify discards it.
+struct Voidify {
+  // const& binds both the bare temporary (no message streamed) and the
+  // lvalue reference operator<< returns.
+  void operator&(const FailureStream&) const noexcept {}
+};
+
+}  // namespace aecnc::check
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AECNC_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define AECNC_PREDICT_TRUE(x) (x)
+#endif
+
+/// Always-on invariant check. Evaluates `cond` exactly once; the streamed
+/// message is only evaluated on failure.
+#define AECNC_CHECK(cond)                                             \
+  AECNC_PREDICT_TRUE(cond)                                            \
+  ? (void)0                                                           \
+  : ::aecnc::check::Voidify{} &                                       \
+        (::aecnc::check::FailureStream(__FILE__, __LINE__, #cond))
+
+/// Debug-only check: compiled out under NDEBUG, but the condition stays
+/// type-checked (`true || (cond)` never evaluates it).
+#ifdef NDEBUG
+#define AECNC_DCHECK(cond) AECNC_CHECK(true || (cond))
+#else
+#define AECNC_DCHECK(cond) AECNC_CHECK(cond)
+#endif
+
+/// Binary comparison helpers; both operands are re-evaluated in the failure
+/// message, so only use them on side-effect-free expressions.
+#define AECNC_CHECK_OP(a, op, b) \
+  AECNC_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+#define AECNC_CHECK_EQ(a, b) AECNC_CHECK_OP(a, ==, b)
+#define AECNC_CHECK_NE(a, b) AECNC_CHECK_OP(a, !=, b)
+#define AECNC_CHECK_LT(a, b) AECNC_CHECK_OP(a, <, b)
+#define AECNC_CHECK_LE(a, b) AECNC_CHECK_OP(a, <=, b)
+#define AECNC_CHECK_GT(a, b) AECNC_CHECK_OP(a, >, b)
+#define AECNC_CHECK_GE(a, b) AECNC_CHECK_OP(a, >=, b)

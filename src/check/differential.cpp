@@ -1,0 +1,273 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <sstream>
+#include <utility>
+
+#include "bitmap/bitmap.hpp"
+#include "bitmap/range_filter.hpp"
+#include "intersect/block_merge.hpp"
+#include "intersect/dispatch.hpp"
+#include "intersect/hash_index.hpp"
+#include "intersect/merge.hpp"
+#include "intersect/pivot_skip.hpp"
+#include "intersect/sparse_bitmap.hpp"
+#include "util/aligned.hpp"
+#include "util/prng.hpp"
+
+namespace aecnc::check {
+namespace {
+
+using intersect::MergeKind;
+using Span = std::span<const VertexId>;
+using Kernel = std::function<CnCount(Span, Span)>;
+
+/// Lengths straddling every vector width the kernels use (SSE 4, AVX2 8,
+/// AVX-512 16) plus the linear-probe window (16) and gallop start (2^4).
+constexpr std::size_t kBoundaryLens[] = {0,  1,  3,  4,  5,  7,  8,  9,
+                                         15, 16, 17, 31, 32, 33, 63, 64, 65};
+
+/// Sorted unique list of at most `len` ids below `universe`, written into
+/// `storage` at element offset `misalign` so the returned span's base
+/// pointer is deliberately not vector-aligned (the kernels must not assume
+/// alignment: CSR adjacency sub-ranges start at arbitrary offsets).
+Span make_sorted_list(util::Xoshiro256& rng, std::size_t len,
+                      std::uint32_t universe, std::size_t misalign,
+                      util::AlignedVector<VertexId>& storage) {
+  std::vector<VertexId> tmp;
+  tmp.reserve(2 * len);
+  for (std::size_t i = 0; i < 2 * len; ++i) tmp.push_back(rng.below(universe));
+  std::sort(tmp.begin(), tmp.end());
+  tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+  if (tmp.size() > len) tmp.resize(len);
+
+  storage.assign(misalign, 0);
+  storage.insert(storage.end(), tmp.begin(), tmp.end());
+  return Span{storage.data() + misalign, tmp.size()};
+}
+
+/// Re-draw `b` so roughly half its elements come from `a` — forces matches
+/// at controlled positions instead of relying on birthday collisions.
+Span make_overlapping_list(util::Xoshiro256& rng, Span a, std::size_t len,
+                           std::uint32_t universe, std::size_t misalign,
+                           util::AlignedVector<VertexId>& storage) {
+  std::vector<VertexId> tmp;
+  tmp.reserve(2 * len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!a.empty() && (rng() & 1) != 0) {
+      tmp.push_back(a[rng.below(static_cast<std::uint32_t>(a.size()))]);
+    } else {
+      tmp.push_back(rng.below(universe));
+    }
+  }
+  std::sort(tmp.begin(), tmp.end());
+  tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+  if (tmp.size() > len) tmp.resize(len);
+
+  storage.assign(misalign, 0);
+  storage.insert(storage.end(), tmp.begin(), tmp.end());
+  return Span{storage.data() + misalign, tmp.size()};
+}
+
+std::string describe_inputs(Span a, Span b) {
+  std::ostringstream out;
+  const auto dump = [&out](const char* name, Span s) {
+    out << name << "[" << s.size() << "]={";
+    const std::size_t shown = std::min<std::size_t>(s.size(), 24);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i != 0) out << ",";
+      out << s[i];
+    }
+    if (shown < s.size()) out << ",...";
+    out << "}";
+  };
+  dump("a", a);
+  out << " ";
+  dump("b", b);
+  return out.str();
+}
+
+/// Every comparison-based kernel the dispatcher can reach on this host,
+/// plus the portable references at each width.
+std::vector<std::pair<std::string, Kernel>> comparison_kernels() {
+  std::vector<std::pair<std::string, Kernel>> kernels;
+  kernels.emplace_back("merge_branchless", [](Span a, Span b) {
+    return intersect::merge_count_branchless(a, b);
+  });
+  kernels.emplace_back("block_merge<4>", [](Span a, Span b) {
+    intersect::NullCounter null;
+    return intersect::block_merge_count<4>(a, b, null);
+  });
+  kernels.emplace_back("block_merge<16>", [](Span a, Span b) {
+    intersect::NullCounter null;
+    return intersect::block_merge_count<16>(a, b, null);
+  });
+  kernels.emplace_back("pivot_skip", [](Span a, Span b) {
+    return intersect::pivot_skip_count(a, b);
+  });
+#if AECNC_HAVE_SIMD_KERNELS
+  if (intersect::cpu_has_avx2()) {
+    kernels.emplace_back("pivot_skip_avx2", [](Span a, Span b) {
+      return intersect::pivot_skip_count_avx2(a, b);
+    });
+  }
+#endif
+
+  // Every MergeKind the host supports, through the public dispatch entry.
+  for (const MergeKind kind :
+       {MergeKind::kScalar, MergeKind::kBranchless, MergeKind::kBlockScalar,
+        MergeKind::kSse, MergeKind::kAvx2, MergeKind::kAvx512}) {
+    if (!intersect::merge_kind_supported(kind)) continue;
+    kernels.emplace_back(
+        "vb_count/" + std::string(intersect::merge_kind_name(kind)),
+        [kind](Span a, Span b) { return intersect::vb_count(a, b, kind); });
+  }
+
+  // MPS dispatch itself: both sides of the skew threshold, with and
+  // without the vectorized search.
+  const auto add_mps = [&kernels](const char* name, double threshold,
+                                  MergeKind kind, bool vectorized) {
+    intersect::MpsConfig cfg;
+    cfg.skew_threshold = threshold;
+    cfg.kind = kind;
+    cfg.vectorized_search = vectorized;
+    kernels.emplace_back(name, [cfg](Span a, Span b) {
+      return intersect::mps_count(a, b, cfg);
+    });
+  };
+  add_mps("mps/t=50", 50.0, intersect::best_merge_kind(), true);
+  add_mps("mps/t=1.5", 1.5, intersect::best_merge_kind(), true);
+  add_mps("mps/t=1.5/scalar-search", 1.5, MergeKind::kBlockScalar, false);
+  return kernels;
+}
+
+}  // namespace
+
+DifferentialReport run_kernel_differential(const DifferentialConfig& config) {
+  util::Xoshiro256 rng(config.seed);
+  DifferentialReport report;
+  const auto kernels = comparison_kernels();
+
+  util::AlignedVector<VertexId> storage_a;
+  util::AlignedVector<VertexId> storage_b;
+
+  const std::size_t num_boundary =
+      sizeof(kBoundaryLens) / sizeof(kBoundaryLens[0]);
+  for (int case_index = 0; case_index < config.cases; ++case_index) {
+    const std::size_t misalign_a = static_cast<std::size_t>(case_index) % 4;
+    const std::size_t misalign_b =
+        (static_cast<std::size_t>(case_index) / 4) % 4;
+
+    // Shape schedule: boundary lengths, heavy skew, aliased spans, empty
+    // lists, and general random pairs, cycling with the case index.
+    std::size_t na = 0, nb = 0;
+    bool aliased = false;
+    switch (case_index % 5) {
+      case 0:  // W-boundary pair
+        na = kBoundaryLens[static_cast<std::size_t>(case_index) % num_boundary];
+        nb = kBoundaryLens[(static_cast<std::size_t>(case_index) / 5 + 7) %
+                           num_boundary];
+        break;
+      case 1:  // heavy size skew (the pivot-skip trigger)
+        na = 1 + rng.below(4);
+        nb = config.max_len / 2 +
+             rng.below(static_cast<std::uint32_t>(config.max_len / 2));
+        break;
+      case 2:  // aliased: b is literally a's span
+        na = nb = rng.below(static_cast<std::uint32_t>(config.max_len));
+        aliased = true;
+        break;
+      case 3:  // empty / near-empty against random
+        na = static_cast<std::size_t>(case_index) % 2;
+        nb = rng.below(static_cast<std::uint32_t>(config.max_len));
+        break;
+      default:  // general random pair with forced overlap
+        na = rng.below(static_cast<std::uint32_t>(config.max_len));
+        nb = rng.below(static_cast<std::uint32_t>(config.max_len));
+        break;
+    }
+
+    const Span a =
+        make_sorted_list(rng, na, config.universe, misalign_a, storage_a);
+    const Span b = aliased ? a
+                           : make_overlapping_list(rng, a, nb, config.universe,
+                                                   misalign_b, storage_b);
+    ++report.cases_run;
+
+    // The reference itself is cross-checked: two independent scalar
+    // implementations must agree before anything else is judged.
+    const CnCount expected = intersect::reference_count(a, b);
+    const CnCount scalar = intersect::merge_count(a, b);
+    if (scalar != expected) {
+      std::ostringstream out;
+      out << "merge_count disagrees with std::set_intersection: case "
+          << case_index << " expected " << expected << " got " << scalar
+          << " " << describe_inputs(a, b);
+      report.mismatches.push_back(out.str());
+      continue;
+    }
+
+    for (const auto& [name, kernel] : kernels) {
+      ++report.kernels_checked;
+      const CnCount actual = kernel(a, b);
+      if (actual != expected) {
+        std::ostringstream out;
+        out << name << ": case " << case_index << " expected " << expected
+            << " got " << actual << " (misalign " << misalign_a << "/"
+            << misalign_b << (aliased ? ", aliased" : "") << ") "
+            << describe_inputs(a, b);
+        report.mismatches.push_back(out.str());
+      }
+    }
+
+    if (config.include_index_paths) {
+      // The BMP side: dense bitmap, range-filtered bitmap at two summary
+      // ratios, sparse bitmap, and the hash index, all built over `a` and
+      // probed with `b` exactly as the core loops do.
+      const auto record = [&](const char* name, CnCount actual) {
+        ++report.kernels_checked;
+        if (actual != expected) {
+          std::ostringstream out;
+          out << name << ": case " << case_index << " expected " << expected
+              << " got " << actual << " " << describe_inputs(a, b);
+          report.mismatches.push_back(out.str());
+        }
+      };
+
+      bitmap::Bitmap bm(config.universe);
+      bm.set_all(a);
+      record("bitmap", bitmap::bitmap_intersect_count(bm, b));
+
+      for (const std::uint64_t scale : {std::uint64_t{64},
+                                        std::uint64_t{4096}}) {
+        bitmap::RangeFilteredBitmap rf(config.universe, scale);
+        rf.set_all(a);
+        record(scale == 64 ? "range_filter/64" : "range_filter/4096",
+               bitmap::rf_intersect_count(rf, b));
+        rf.clear_all(a);
+        if (!rf.all_zero()) {
+          report.mismatches.push_back(
+              "range_filter clear_all left bits set at case " +
+              std::to_string(case_index));
+        }
+      }
+      bm.clear_all(a);
+      if (!bm.all_zero()) {
+        report.mismatches.push_back("bitmap clear_all left bits set at case " +
+                                    std::to_string(case_index));
+      }
+
+      const intersect::SparseBitmap sa(a);
+      const intersect::SparseBitmap sb(b);
+      record("sparse_bitmap", intersect::sparse_bitmap_intersect_count(sa, sb));
+
+      const intersect::HashIndex hi(a);
+      record("hash_index", intersect::hash_intersect_count(hi, b));
+    }
+  }
+  return report;
+}
+
+}  // namespace aecnc::check

@@ -1,0 +1,57 @@
+// Differential cross-checking of every intersection kernel against the
+// scalar reference.
+//
+// The paper's claim is that MPS and BMP compute *identical* counts under
+// aggressive vectorization (Algorithms 1-3); the SIMD kernels, the
+// pivot-skip search stack, and the bitmap paths are exactly the code where
+// an off-by-one at a block boundary or a missed tail produces counts that
+// are wrong only on adversarial shapes. This harness generates those
+// shapes deliberately — empty lists, aliased spans (a == b), unaligned
+// base pointers, W-boundary lengths, heavy size skew, dense duplicates of
+// structure across the two lists — and runs every available kernel on each
+// pair, comparing against merge_count (itself cross-checked against
+// std::set_intersection).
+//
+// Used by tests/differential_test.cpp; the config is exposed so sanitizer
+// CI jobs can crank the case count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aecnc::check {
+
+struct DifferentialConfig {
+  /// PRNG seed; every report is reproducible from (seed, cases).
+  std::uint64_t seed = 0x5eed;
+  /// Number of randomized input pairs (adversarial shapes cycle through
+  /// the case index, so more cases = more shape x size combinations).
+  int cases = 200;
+  /// Maximum list length; boundary shapes also exercise W-1/W/W+1 for
+  /// every vector width W in {4, 8, 16}.
+  std::size_t max_len = 512;
+  /// Vertex id universe. Small universes force dense overlap; the bitmap
+  /// paths allocate universe bits per case.
+  std::uint32_t universe = 4096;
+  /// Also run the bitmap / range-filter / sparse-bitmap / hash-index
+  /// paths (the BMP side of the paper) on every pair.
+  bool include_index_paths = true;
+};
+
+struct DifferentialReport {
+  std::uint64_t cases_run = 0;
+  std::uint64_t kernels_checked = 0;
+  /// One human-readable entry per divergent (kernel, input) pair; inputs
+  /// are reprinted (truncated) so the failure reproduces standalone.
+  std::vector<std::string> mismatches;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+};
+
+/// Run the full differential sweep. Never aborts; the caller decides what
+/// to do with the report (tests assert ok()).
+[[nodiscard]] DifferentialReport run_kernel_differential(
+    const DifferentialConfig& config);
+
+}  // namespace aecnc::check

@@ -1,0 +1,132 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace aecnc::check {
+namespace {
+
+std::string edge_str(VertexId u, VertexId v) {
+  std::ostringstream out;
+  out << "(" << u << "," << v << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::optional<std::string> validate_csr(const graph::Csr& g) {
+  const auto& off = g.offsets();
+  const auto& dst = g.dst();
+  if (off.empty()) return "offset array is empty";
+  if (off.front() != 0) return "offsets[0] != 0";
+  if (off.back() != dst.size()) {
+    return "offsets.back() != dst.size() (" + std::to_string(off.back()) +
+           " vs " + std::to_string(dst.size()) + ")";
+  }
+
+  // Pass 1: per-vertex shape — monotone offsets, in-range neighbor ids,
+  // no self loops, strictly ascending (hence deduplicated) lists. The
+  // symmetry pass below binary-searches adjacency via find_edge, which is
+  // only meaningful once sortedness holds, so it must come second.
+  const VertexId n = g.num_vertices();
+  const EdgeId slots = g.num_directed_edges();
+  for (VertexId u = 0; u < n; ++u) {
+    if (off[u] > off[u + 1]) {
+      return "offsets not monotone at vertex " + std::to_string(u);
+    }
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      const EdgeId e = off[u] + k;
+      if (v >= n) {
+        return "neighbor id " + std::to_string(v) + " out of range at slot " +
+               std::to_string(e);
+      }
+      if (v == u) return "self loop at vertex " + std::to_string(u);
+      if (k > 0 && nbrs[k - 1] >= v) {
+        return "adjacency not strictly ascending at vertex " +
+               std::to_string(u) + " slot " + std::to_string(e);
+      }
+    }
+  }
+
+  // Pass 2: cross-vertex consistency.
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      const EdgeId e = off[u] + k;
+      // Symmetry + reverse-offset consistency: e(v,u) must exist, live in
+      // v's offset range, point back at u, and round-trip to e.
+      const EdgeId r = g.find_edge(v, u);
+      if (r >= slots) return "asymmetric edge " + edge_str(u, v);
+      if (r < off[v] || r >= off[v + 1]) {
+        return "reverse slot of " + edge_str(u, v) +
+               " outside v's offset range";
+      }
+      if (g.dst_of(r) != u) {
+        return "reverse slot of " + edge_str(u, v) + " points at " +
+               std::to_string(g.dst_of(r)) + ", not " + std::to_string(u);
+      }
+      if (g.find_edge(u, v) != e) {
+        return "slot round trip failed for " + edge_str(u, v) + ": slot " +
+               std::to_string(e) + " resolves to " +
+               std::to_string(g.find_edge(u, v));
+      }
+      if (g.src_of(e) != u) {
+        return "src_of(" + std::to_string(e) + ") = " +
+               std::to_string(g.src_of(e)) + ", expected " + std::to_string(u);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_counts(const graph::Csr& g,
+                                           const core::CountArray& cnt) {
+  if (cnt.size() != g.num_directed_edges()) {
+    return "count array has " + std::to_string(cnt.size()) + " slots, graph " +
+           std::to_string(g.num_directed_edges());
+  }
+  std::uint64_t sum = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      const CnCount c = cnt[base + k];
+      sum += c;
+      const Degree bound = std::min(g.degree(u), g.degree(v));
+      // An edge (u,v) guarantees both degrees >= 1, and neither endpoint
+      // counts as a common neighbor of the other.
+      if (c > bound - 1) {
+        return "count " + std::to_string(c) + " of edge " + edge_str(u, v) +
+               " exceeds min-degree bound " + std::to_string(bound - 1);
+      }
+      if (c != cnt[g.find_edge(v, u)]) {
+        return "asymmetric counts for edge " + edge_str(u, v) + ": " +
+               std::to_string(c) + " vs " +
+               std::to_string(cnt[g.find_edge(v, u)]);
+      }
+    }
+  }
+  if (sum % 6 != 0) {
+    return "count sum " + std::to_string(sum) +
+           " not divisible by 6 (each triangle contributes 6)";
+  }
+  return std::nullopt;
+}
+
+void check_csr(const graph::Csr& g) {
+  const auto violation = validate_csr(g);
+  AECNC_CHECK(!violation.has_value()) << violation.value_or("");
+}
+
+void check_counts(const graph::Csr& g, const core::CountArray& cnt) {
+  const auto violation = validate_counts(g, cnt);
+  AECNC_CHECK(!violation.has_value()) << violation.value_or("");
+}
+
+}  // namespace aecnc::check

@@ -1,0 +1,53 @@
+// Deep structural invariant validators for the CSR graph and the count
+// array it produces.
+//
+// Every intersection kernel assumes sorted, deduplicated, symmetric
+// adjacency, and every parallel variant assumes the reverse-slot lookup
+// e(v,u) round-trips exactly — violations don't crash, they silently
+// produce wrong counts. These validators state the full contract in one
+// place; tests run them on every generated graph and `aecnc_cli verify`
+// exposes them to users.
+//
+// Cost is O(|E| log d) (one binary search per directed slot), so they are
+// explicit calls rather than AECNC_DCHECKs inside the kernels.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace aecnc::check {
+
+/// Full CSR contract, a superset of graph::Csr::validate():
+///   - offsets: non-empty, offsets[0] == 0, monotone non-decreasing,
+///     offsets.back() == dst.size()
+///   - adjacency: every neighbor id < |V|, strictly ascending (sorted and
+///     deduplicated), no self loops
+///   - symmetry: (u,v) present implies (v,u) present
+///   - reverse-offset consistency: for every directed slot e = e(u,v), the
+///     reverse slot r = e(v,u) lies inside v's offset range, dst[r] == u,
+///     and the round trip r -> e(u,v) returns e; src_of(e) agrees with the
+///     offset range containing e.
+/// Returns std::nullopt when valid, else a description of the first
+/// violation found.
+[[nodiscard]] std::optional<std::string> validate_csr(const graph::Csr& g);
+
+/// Count-array contract against its graph:
+///   - size: exactly one count per directed slot
+///   - bound: cnt[e(u,v)] <= min(d_u, d_v) - 1 (the endpoints themselves
+///     are never common neighbors of an existing edge)
+///   - symmetry: cnt[e(u,v)] == cnt[e(v,u)]
+///   - triangle divisibility: sum(cnt) % 6 == 0
+/// Returns std::nullopt when valid, else the first violation.
+[[nodiscard]] std::optional<std::string> validate_counts(
+    const graph::Csr& g, const core::CountArray& cnt);
+
+/// AECNC_CHECK wrappers: abort with the violation text on failure. Call at
+/// trust boundaries (after deserialization, before handing a graph to the
+/// parallel skeleton in tools).
+void check_csr(const graph::Csr& g);
+void check_counts(const graph::Csr& g, const core::CountArray& cnt);
+
+}  // namespace aecnc::check

@@ -1,8 +1,9 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
+
+#include "check/check.hpp"
 
 namespace aecnc::graph {
 
@@ -36,8 +37,10 @@ Csr Csr::from_edge_list(EdgeList edges) {
 
 Csr Csr::from_raw(std::vector<EdgeId> offsets,
                   util::AlignedVector<VertexId> dst) {
-  assert(!offsets.empty());
-  assert(offsets.back() == dst.size());
+  // Always-on: a malformed offset array corrupts every downstream kernel
+  // (out-of-bounds spans) rather than failing loudly.
+  AECNC_CHECK(!offsets.empty());
+  AECNC_CHECK_EQ(offsets.back(), dst.size());
   Csr g;
   g.offsets_ = std::move(offsets);
   g.dst_ = std::move(dst);

@@ -9,6 +9,29 @@
 #include "intersect/block_merge.hpp"
 
 namespace aecnc::intersect {
+namespace {
+
+/// Rotation index vectors: rotation r sends lane l to (l + r) % 16.
+/// Function-local static (not namespace scope): construction executes
+/// AVX-512 loads, so it must not run before cpu_has_avx512() gated the
+/// first call — a namespace-scope initializer would SIGILL generic hosts
+/// at program load.
+struct RotationTable512 {
+  __m512i rot[16];
+
+  RotationTable512() noexcept {
+    constexpr std::size_t W = 16;
+    alignas(64) std::uint32_t idx[W];
+    for (std::size_t r = 0; r < W; ++r) {
+      for (std::size_t l = 0; l < W; ++l) {
+        idx[l] = static_cast<std::uint32_t>((l + r) % W);
+      }
+      rot[r] = _mm512_load_si512(idx);
+    }
+  }
+};
+
+}  // namespace
 
 CnCount vb_count_avx512(std::span<const VertexId> a,
                         std::span<const VertexId> b) {
@@ -16,17 +39,8 @@ CnCount vb_count_avx512(std::span<const VertexId> a,
   std::size_t i = 0, j = 0;
   const std::size_t na = a.size(), nb = b.size();
 
-  // Rotation index vectors: rotation r sends lane l to (l + r) % 16.
-  __m512i rotations[W];
-  {
-    alignas(64) std::uint32_t idx[W];
-    for (std::size_t r = 0; r < W; ++r) {
-      for (std::size_t l = 0; l < W; ++l) {
-        idx[l] = static_cast<std::uint32_t>((l + r) % W);
-      }
-      rotations[r] = _mm512_load_si512(idx);
-    }
-  }
+  static const RotationTable512 table;
+  const __m512i(&rotations)[W] = table.rot;
 
   std::uint32_t c = 0;
   while (i + W <= na && j + W <= nb) {

@@ -1,7 +1,8 @@
 #include "parallel/task_pool.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
 
 namespace aecnc::parallel {
 namespace {
@@ -10,7 +11,9 @@ void run_workers(std::uint64_t total, std::uint64_t task_size,
                  int num_workers, ScheduleStats* stats,
                  const std::function<void(std::uint64_t, std::uint64_t, int)>&
                      body) {
-  assert(task_size > 0);
+  // Always-on: a zero task size makes fetch_add spin forever without
+  // claiming work, which a -DNDEBUG Release build would hit silently.
+  AECNC_CHECK(task_size > 0) << "task_size=" << task_size;
   const int workers = std::max(1, num_workers);
   // One shared cursor: claiming a task is one fetch_add — the cheapest
   // possible "task queue", so measured overhead is a lower bound for any

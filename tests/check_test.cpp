@@ -1,0 +1,158 @@
+// Tests for the invariant-checking layer: the AECNC_CHECK/AECNC_DCHECK
+// macros (death tests) and the deep CSR / count-array validators on both
+// valid graphs and deliberately corrupted ones.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/invariants.hpp"
+#include "core/api.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "util/aligned.hpp"
+
+namespace aecnc {
+namespace {
+
+using graph::Csr;
+
+// --- Macros ----------------------------------------------------------------
+
+TEST(CheckMacros, PassingCheckIsSilent) {
+  AECNC_CHECK(1 + 1 == 2);
+  AECNC_CHECK_EQ(4, 4) << "never rendered";
+  AECNC_CHECK_LT(3, 4);
+  AECNC_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(CheckMacros, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  AECNC_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(AECNC_CHECK(2 + 2 == 5) << "arithmetic is broken",
+               "AECNC_CHECK failed: 2 \\+ 2 == 5.*arithmetic is broken");
+}
+
+TEST(CheckMacrosDeathTest, ComparisonMacroPrintsOperands) {
+  const int lhs = 3, rhs = 7;
+  EXPECT_DEATH(AECNC_CHECK_EQ(lhs, rhs), "\\(3 vs 7\\)");
+}
+
+TEST(CheckMacrosDeathTest, DcheckFollowsBuildType) {
+  const bool tripwire = false;
+#ifdef NDEBUG
+  AECNC_DCHECK(tripwire) << "compiled out in Release";
+  SUCCEED();
+#else
+  EXPECT_DEATH(AECNC_DCHECK(tripwire), "AECNC_CHECK failed: tripwire");
+#endif
+}
+
+#ifdef NDEBUG
+TEST(CheckMacros, DcheckDoesNotEvaluateConditionUnderNdebug) {
+  int evaluations = 0;
+  AECNC_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+// --- CSR validator ---------------------------------------------------------
+
+TEST(CheckInvariants, ValidGraphsPass) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Csr g =
+        Csr::from_edge_list(graph::chung_lu_power_law(200, 1500, 2.2, seed));
+    EXPECT_EQ(check::validate_csr(g), std::nullopt);
+    // The deep validator accepts everything the shallow one accepts.
+    EXPECT_TRUE(g.validate().empty());
+  }
+  EXPECT_EQ(check::validate_csr(Csr::from_edge_list(graph::clique(8))),
+            std::nullopt);
+}
+
+Csr raw_graph(std::vector<EdgeId> offsets, std::vector<VertexId> dst) {
+  util::AlignedVector<VertexId> aligned(dst.begin(), dst.end());
+  return Csr::from_raw(std::move(offsets), std::move(aligned));
+}
+
+TEST(CheckInvariants, DetectsUnsortedAdjacency) {
+  // Path 0-1, 1-2 with vertex 1's list reversed.
+  const Csr g = raw_graph({0, 1, 3, 4}, {1, 2, 0, 1});
+  const auto violation = check::validate_csr(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("ascending"), std::string::npos) << *violation;
+}
+
+TEST(CheckInvariants, DetectsDuplicateNeighbor) {
+  const Csr g = raw_graph({0, 2, 4}, {1, 1, 0, 0});
+  const auto violation = check::validate_csr(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("ascending"), std::string::npos) << *violation;
+}
+
+TEST(CheckInvariants, DetectsSelfLoop) {
+  const Csr g = raw_graph({0, 2, 3}, {0, 1, 0});
+  const auto violation = check::validate_csr(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("self loop"), std::string::npos) << *violation;
+}
+
+TEST(CheckInvariants, DetectsAsymmetricEdge) {
+  // 0 lists 1 but 1 does not list 0.
+  const Csr g = raw_graph({0, 1, 1, 2}, {1, 1});
+  const auto violation = check::validate_csr(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("asymmetric"), std::string::npos) << *violation;
+}
+
+TEST(CheckInvariants, DetectsOutOfRangeNeighbor) {
+  const Csr g = raw_graph({0, 1, 2}, {9, 0});
+  const auto violation = check::validate_csr(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("out of range"), std::string::npos) << *violation;
+}
+
+TEST(CheckInvariantsDeathTest, CheckCsrAbortsOnCorruption) {
+  const Csr g = raw_graph({0, 2, 3}, {0, 1, 0});
+  EXPECT_DEATH(check::check_csr(g), "self loop");
+}
+
+// --- Count validator -------------------------------------------------------
+
+TEST(CheckInvariants, ValidCountsPass) {
+  const Csr g =
+      Csr::from_edge_list(graph::chung_lu_power_law(300, 2400, 2.0, 9));
+  const auto cnt = core::count_common_neighbors(g);
+  EXPECT_EQ(check::validate_counts(g, cnt), std::nullopt);
+}
+
+TEST(CheckInvariants, DetectsCountCorruption) {
+  const Csr g = Csr::from_edge_list(graph::clique(6));
+  auto cnt = core::count_common_neighbors(g);
+
+  auto wrong_size = cnt;
+  wrong_size.pop_back();
+  EXPECT_TRUE(check::validate_counts(g, wrong_size).has_value());
+
+  auto asymmetric = cnt;
+  asymmetric[0] -= 1;  // K6 edges all have count 4; breaking one slot
+                       // breaks symmetry before any bound.
+  const auto violation = check::validate_counts(g, asymmetric);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("asymmetric"), std::string::npos) << *violation;
+
+  auto overflow = cnt;
+  overflow[0] = 100;  // exceeds the min-degree bound of 4.
+  const auto bound = check::validate_counts(g, overflow);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_NE(bound->find("bound"), std::string::npos) << *bound;
+}
+
+}  // namespace
+}  // namespace aecnc

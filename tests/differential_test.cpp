@@ -1,0 +1,79 @@
+// Differential kernel cross-checks: every MergeKind, the pivot-skip stack,
+// the MPS dispatcher, and the bitmap/BMP index paths must agree with the
+// scalar merge reference on randomized adversarial inputs (empty, aliased,
+// unaligned, W-boundary, skewed). The harness lives in src/check so the
+// sanitizer CI jobs and future perf PRs can rerun it with bigger budgets.
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "intersect/dispatch.hpp"
+
+namespace aecnc {
+namespace {
+
+void expect_clean(const check::DifferentialReport& report) {
+  EXPECT_GT(report.cases_run, 0u);
+  EXPECT_GT(report.kernels_checked, 0u);
+  for (const auto& mismatch : report.mismatches) ADD_FAILURE() << mismatch;
+}
+
+TEST(CheckDifferential, DefaultSweepIsClean) {
+  check::DifferentialConfig config;
+  expect_clean(check::run_kernel_differential(config));
+}
+
+TEST(CheckDifferential, MultipleSeedsAreClean) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    check::DifferentialConfig config;
+    config.seed = seed;
+    config.cases = 120;
+    expect_clean(check::run_kernel_differential(config));
+  }
+}
+
+TEST(CheckDifferential, DenseSmallUniverseForcesCollisions) {
+  // A tiny universe makes nearly every element shared, stressing the
+  // all-match paths (every lane hits on every rotation).
+  check::DifferentialConfig config;
+  config.seed = 7;
+  config.universe = 96;
+  config.max_len = 96;
+  expect_clean(check::run_kernel_differential(config));
+}
+
+TEST(CheckDifferential, LongListsCrossBlockBoundaries) {
+  // Longer lists than the default sweep: many full vector blocks per pair
+  // so block-advance decisions (a_last vs b_last ties included) repeat.
+  check::DifferentialConfig config;
+  config.seed = 11;
+  config.cases = 60;
+  config.max_len = 5000;
+  config.universe = 20000;
+  config.include_index_paths = false;  // comparison kernels are the target
+  expect_clean(check::run_kernel_differential(config));
+}
+
+TEST(CheckDifferential, ReportCountsKernels) {
+  check::DifferentialConfig config;
+  config.cases = 10;
+  const auto report = check::run_kernel_differential(config);
+  EXPECT_EQ(report.cases_run, 10u);
+  // At least the portable kernels (branchless, block4/16, pivot-skip,
+  // 4 vb kinds, 3 mps configs) and the index paths ran on every case.
+  EXPECT_GE(report.kernels_checked, report.cases_run * 10);
+}
+
+TEST(CheckDifferential, CoversHostSimdKinds) {
+  // Documents (and asserts) that the sweep exercises the widest kernel
+  // this host supports — on AVX-512 runners the avx512 VB kernel is in
+  // the kernel set, not silently skipped.
+  check::DifferentialConfig config;
+  config.cases = 40;
+  const auto report = check::run_kernel_differential(config);
+  expect_clean(report);
+  const auto best = intersect::best_merge_kind();
+  EXPECT_TRUE(intersect::merge_kind_supported(best));
+}
+
+}  // namespace
+}  // namespace aecnc

@@ -310,6 +310,29 @@ TEST(Dispatch, KindNamesAreStable) {
   EXPECT_EQ(merge_kind_name(MergeKind::kAvx512), "avx512");
 }
 
+#if AECNC_HAVE_SIMD_KERNELS
+TEST(Avx512Rotations, WBoundarySizesMatchScalarMerge) {
+  // Regression for the function-local static rotation table in
+  // vb_count_avx512: lengths straddling W=16 exercise zero and one full
+  // block plus every tail shape, and repeated calls cover the
+  // initialized-on-first-call path.
+  if (!cpu_has_avx512()) GTEST_SKIP();
+  util::Xoshiro256 rng(0x512);
+  for (const std::size_t na : {std::size_t{15}, std::size_t{16},
+                               std::size_t{17}}) {
+    for (const std::size_t nb : {std::size_t{15}, std::size_t{16},
+                                 std::size_t{17}, std::size_t{48}}) {
+      for (int round = 0; round < 8; ++round) {
+        const Set a = random_sorted_set(na, 120, rng);
+        const Set b = random_sorted_set(nb, 120, rng);
+        ASSERT_EQ(vb_count_avx512(a, b), merge_count(a, b))
+            << "na=" << na << " nb=" << nb << " round=" << round;
+      }
+    }
+  }
+}
+#endif
+
 // --- Counter plumbing ------------------------------------------------------
 
 TEST(Counters, StatsAccumulateAndMerge) {

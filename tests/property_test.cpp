@@ -14,6 +14,8 @@
 //       in the targeted EdgeDeletionMonotonicity test
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/api.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
@@ -75,29 +77,48 @@ TEST_P(PropertyTest, AllVariantsAgree) {
   const auto reference = core::count_reference(g);
 
   std::vector<core::Options> variants;
+  std::vector<std::string> labels;
   {
     core::Options o;
     o.algorithm = core::Algorithm::kMergeBaseline;
     variants.push_back(o);
+    labels.emplace_back("merge-baseline");
+    // Every VB kernel this host can execute, not just the widest one: the
+    // SSE and scalar/branchless paths must agree on every CI runner, and
+    // AVX2/AVX-512 wherever cpuid allows them.
     o.algorithm = core::Algorithm::kMps;
+    for (const auto kind :
+         {intersect::MergeKind::kScalar, intersect::MergeKind::kBranchless,
+          intersect::MergeKind::kBlockScalar, intersect::MergeKind::kSse,
+          intersect::MergeKind::kAvx2, intersect::MergeKind::kAvx512}) {
+      if (!intersect::merge_kind_supported(kind)) continue;
+      o.mps.kind = kind;
+      variants.push_back(o);
+      labels.emplace_back(std::string("mps/") +
+                          std::string(intersect::merge_kind_name(kind)));
+    }
     o.mps.kind = intersect::best_merge_kind();
-    variants.push_back(o);
     o.mps.skew_threshold = 3.0;
     variants.push_back(o);
+    labels.emplace_back("mps/t=3");
     o.algorithm = core::Algorithm::kBmp;
     variants.push_back(o);
+    labels.emplace_back("bmp");
     o.bmp_range_filter = true;
     o.rf_range_scale = 128;
     variants.push_back(o);
+    labels.emplace_back("bmp-rf");
     o.granularity = core::TaskGranularity::kCoarseGrained;
     variants.push_back(o);
+    labels.emplace_back("bmp-rf-coarse");
     o.parallel = false;
     variants.push_back(o);
+    labels.emplace_back("bmp-rf-sequential");
   }
   for (std::size_t i = 0; i < variants.size(); ++i) {
     const auto counts = core::count_common_neighbors(g, variants[i]);
     EXPECT_FALSE(core::diff_counts(g, counts, reference).has_value())
-        << "variant " << i;
+        << "variant " << labels[i];
   }
 }
 

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "check/invariants.hpp"
 #include "core/api.hpp"
 #include "core/triangle.hpp"
 #include "core/verify.hpp"
@@ -211,6 +212,13 @@ int cmd_verify(const util::CliArgs& args) {
   if (!structural.empty()) {
     std::fprintf(stderr, "structural validation FAILED: %s\n",
                  structural.c_str());
+    return 1;
+  }
+  // Deep invariants on top of the shallow pass: reverse-offset
+  // consistency and slot round trips (src/check/invariants.hpp).
+  const auto deep = check::validate_csr(g);
+  if (deep.has_value()) {
+    std::fprintf(stderr, "invariant validation FAILED: %s\n", deep->c_str());
     return 1;
   }
   std::printf("structure: ok\n");

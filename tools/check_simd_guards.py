@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""SIMD guard lint: raw-intrinsics code must stay behind runtime dispatch.
+
+The library compiles a handful of translation units with -mavx2/-mavx512*
+and dispatches into them only after cpuid checks (cpu_has_avx2 /
+cpu_has_avx512). Three classes of bugs silently break that contract and
+produce SIGILL on older hosts or corrupt counts:
+
+  1. an AVX2/AVX-512 intrinsic creeping into a TU that is *not* compiled
+     with the matching -m flags (the compiler rejects some of these, but
+     target-attribute and header leaks slip through);
+  2. a kernel symbol called from generic code without a cpu_has_* /
+     MergeKind guard, or an ISA TU defining a generically-named symbol
+     that generic code might call (leaking -mavx* code into the baseline
+     binary);
+  3. an *aligned* load/store (`_mm512_load_si512`, `_mm256_store_si256`,
+     ...) applied to storage that is not alignas-qualified, which faults
+     only on the alignment the allocator happens not to give you.
+
+The lint is source-level and heuristic by design (no compiler needed), so
+it runs in seconds as a ctest entry and on every CI push. Scope: src/ only
+(tests may call kernels directly under their own GTEST_SKIP guards).
+
+Exit status: 0 clean, 1 violations (printed one per line), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to contain raw call sites of kernel symbols outside the
+# kernel TUs themselves: the runtime dispatch layer and the differential
+# harness (which cross-checks kernels directly under its own cpuid guard).
+DISPATCH_FILES = {"intersect/dispatch.cpp", "check/differential.cpp"}
+
+# The cpuid guard functions themselves: referencing them anywhere is the
+# point, so they are never treated as kernel symbols.
+GUARD_FUNCTIONS = {"cpu_has_avx2", "cpu_has_avx512"}
+
+# The preprocessor guard that fences SIMD declarations and dispatch code.
+SIMD_GUARD = "AECNC_HAVE_SIMD_KERNELS"
+
+# Aligned memory intrinsics and the alignment they demand.
+ALIGNED_OPS = {
+    "_mm_load_si128": 16,
+    "_mm_store_si128": 16,
+    "_mm256_load_si256": 32,
+    "_mm256_store_si256": 32,
+    "_mm512_load_si512": 64,
+    "_mm512_store_si512": 64,
+    "_mm512_load_epi32": 64,
+    "_mm512_store_epi32": 64,
+}
+
+AVX2_TOKEN = re.compile(r"\b(?:_mm256_\w+|__m256i?\b)")
+AVX512_TOKEN = re.compile(r"\b(?:_mm512_\w+|__m512i?\b|__mmask\d+)")
+KERNEL_SYMBOL = re.compile(r"\b([A-Za-z_]\w*_(?:avx2|avx512))\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_cmake(repo: Path) -> tuple[dict[str, str], set[str]]:
+    """Return (TU -> COMPILE_OPTIONS string, TUs inside AECNC_NATIVE_SIMD)."""
+    text = (repo / "src" / "CMakeLists.txt").read_text()
+    flags: dict[str, str] = {}
+    for match in re.finditer(
+        r"set_source_files_properties\(\s*(\S+)\s+"
+        r"PROPERTIES\s+COMPILE_OPTIONS\s+\"([^\"]+)\"",
+        text,
+    ):
+        flags[match.group(1)] = match.group(2)
+
+    gated: set[str] = set()
+    for block in re.finditer(
+        r"if\(AECNC_NATIVE_SIMD\)(.*?)endif\(\)", text, re.DOTALL
+    ):
+        gated.update(re.findall(r"\b(\S+\.cpp)\b", block.group(1)))
+    return flags, gated
+
+
+def guard_regions(lines: list[str]) -> list[bool]:
+    """Per line: inside an `#if AECNC_HAVE_SIMD_KERNELS` region?"""
+    inside = []
+    depth = 0  # nesting of the guard itself
+    pp_stack: list[bool] = []  # is each open #if the SIMD guard?
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith("#if"):
+            is_guard = SIMD_GUARD in stripped
+            pp_stack.append(is_guard)
+            depth += is_guard
+        elif stripped.startswith("#endif") and pp_stack:
+            depth -= pp_stack.pop()
+        inside.append(depth > 0)
+    return inside
+
+
+def enclosing_function_names(lines: list[str]) -> list[str]:
+    """Per line: name of the most recent column-0 function definition."""
+    names = []
+    current = ""
+    definition = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*?\b(\w+)\s*\($")
+    for line in lines:
+        match = re.match(r"^[A-Za-z_].*?\b([A-Za-z_]\w*)\s*\(", line)
+        if match and not line.rstrip().endswith(";") and "=" not in line.split("(")[0]:
+            current = match.group(1)
+        names.append(current)
+    return names
+
+
+def check_intrinsic_placement(
+    rel: str, code: str, flags: dict[str, str], gated: set[str]
+) -> list[str]:
+    errors = []
+    tu = rel.removeprefix("src/")  # flags map uses paths relative to src/
+    tu_flags = flags.get(tu, "")
+    uses_avx2 = AVX2_TOKEN.search(code)
+    uses_avx512 = AVX512_TOKEN.search(code)
+
+    if rel.endswith((".hpp", ".h")):
+        if uses_avx2 or uses_avx512:
+            errors.append(
+                f"{rel}: AVX2/AVX-512 intrinsics in a header leak vector code "
+                f"into every includer; move them into a -mavx* TU"
+            )
+        return errors
+
+    if uses_avx512 and "-mavx512f" not in tu_flags:
+        errors.append(
+            f"{rel}: uses AVX-512 intrinsics but has no -mavx512f "
+            f"COMPILE_OPTIONS entry in src/CMakeLists.txt"
+        )
+    if uses_avx2 and not ("-mavx2" in tu_flags or "-mavx512f" in tu_flags):
+        errors.append(
+            f"{rel}: uses AVX2 intrinsics but has no -mavx2 "
+            f"COMPILE_OPTIONS entry in src/CMakeLists.txt"
+        )
+    if (uses_avx2 or uses_avx512) and tu not in gated:
+        errors.append(
+            f"{rel}: AVX TU is not inside the if(AECNC_NATIVE_SIMD) source "
+            f"list, so -DAECNC_NATIVE_SIMD=OFF builds would still compile it"
+        )
+    return errors
+
+
+def check_exported_symbols(rel: str, lines: list[str]) -> list[str]:
+    """ISA TUs may only export *_avx2/*_avx512 symbols (or file-local ones
+    in an anonymous namespace): a generically-named definition here would
+    let generic code call -mavx*-compiled instructions unguarded."""
+    errors = []
+    anon_depth = 0
+    brace_depth = 0
+    anon_at: list[int] = []
+    for lineno, line in enumerate(lines, 1):
+        if re.search(r"\bnamespace\s*\{", line):
+            anon_at.append(brace_depth)
+        brace_depth += line.count("{") - line.count("}")
+        while anon_at and brace_depth <= anon_at[-1]:
+            anon_at.pop()
+        in_anon = bool(anon_at)
+
+        match = re.match(r"^[A-Za-z_].*?\b([A-Za-z_]\w*)\s*\(", line)
+        if not match or line.rstrip().endswith(";"):
+            continue
+        name = match.group(1)
+        if name in ("if", "for", "while", "switch", "return", "namespace"):
+            continue
+        if in_anon or re.search(r"_(avx2|avx512|sse\d*)$", name):
+            continue
+        errors.append(
+            f"{rel}:{lineno}: ISA TU defines generically-named symbol "
+            f"'{name}'; name it *_avx2/*_avx512 or make it file-local"
+        )
+    return errors
+
+
+def check_call_sites(
+    rel: str,
+    lines: list[str],
+    kernel_symbols: dict[str, str],
+    is_isa_tu: bool,
+) -> list[str]:
+    errors = []
+    if is_isa_tu:
+        return errors
+    inside_guard = guard_regions(lines)
+    functions = enclosing_function_names(lines)
+    is_header = rel.endswith((".hpp", ".h"))
+
+    for lineno, line in enumerate(lines, 1):
+        for match in KERNEL_SYMBOL.finditer(line):
+            name = match.group(1)
+            if name not in kernel_symbols:
+                continue
+            suffix = "avx512" if name.endswith("avx512") else "avx2"
+            if not inside_guard[lineno - 1]:
+                errors.append(
+                    f"{rel}:{lineno}: reference to {name} outside "
+                    f"#if {SIMD_GUARD}"
+                )
+                continue
+            if is_header:
+                continue  # guarded declarations are fine
+            tu = rel.removeprefix("src/")
+            if tu not in DISPATCH_FILES:
+                errors.append(
+                    f"{rel}:{lineno}: call of {name} outside the dispatch "
+                    f"layer ({', '.join(sorted(DISPATCH_FILES))})"
+                )
+                continue
+            # Exempt bodies of functions that are themselves kernel-named:
+            # their callers carry the guard obligation.
+            if re.search(rf"_{suffix}$", functions[lineno - 1]):
+                continue
+            window = " ".join(lines[max(0, lineno - 11) : lineno])
+            guard = (
+                f"cpu_has_{suffix}()" in window
+                or f"kAvx{'512' if suffix == 'avx512' else '2'}" in window
+            )
+            if not guard:
+                errors.append(
+                    f"{rel}:{lineno}: call of {name} has no cpu_has_{suffix}()"
+                    f" or MergeKind::kAvx* guard in the preceding lines"
+                )
+    return errors
+
+
+def check_aligned_ops(rel: str, lines: list[str]) -> list[str]:
+    errors = []
+    decls = {}  # identifier -> alignas bytes, from declarations in this file
+    for line in lines:
+        for match in re.finditer(
+            r"alignas\((\d+)\)[\w:<>\s]*?\b([A-Za-z_]\w*)\s*[\[;={]", line
+        ):
+            decls[match.group(2)] = int(match.group(1))
+
+    for lineno, line in enumerate(lines, 1):
+        for op, need in ALIGNED_OPS.items():
+            for match in re.finditer(rf"\b{op}\s*\(", line):
+                args = line[match.end():]
+                idents = re.findall(r"\b([a-z_]\w*)\b", args)
+                if any(decls.get(ident, 0) >= need for ident in idents):
+                    continue
+                errors.append(
+                    f"{rel}:{lineno}: {op} requires {need}-byte alignment but "
+                    f"no operand is declared alignas({need}) in this file; "
+                    f"use the unaligned variant or alignas storage"
+                )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+    src = repo / "src"
+    if not src.is_dir():
+        print(f"check_simd_guards: no src/ under {repo}", file=sys.stderr)
+        return 2
+
+    flags, gated = parse_cmake(repo)
+    files = sorted(src.rglob("*.cpp")) + sorted(src.rglob("*.hpp"))
+    stripped = {}
+    for path in files:
+        stripped[path] = strip_comments(path.read_text())
+
+    # ISA TUs = sources compiled with any -mavx* flag.
+    isa_tus = {tu for tu, opt in flags.items() if "-mavx" in opt}
+
+    # Kernel symbols: *_avx2/*_avx512 functions referenced inside ISA TUs,
+    # plus kernel-named wrappers defined in the dispatch layer (calling a
+    # wrapper unguarded is as fatal as calling the kernel itself).
+    kernel_symbols: dict[str, str] = {}
+    for path in files:
+        tu = str(path.relative_to(src))
+        if tu in isa_tus or tu in DISPATCH_FILES:
+            for match in KERNEL_SYMBOL.finditer(stripped[path]):
+                if match.group(1) not in GUARD_FUNCTIONS:
+                    kernel_symbols.setdefault(match.group(1), tu)
+
+    errors = []
+    for path in files:
+        rel = str(path.relative_to(repo))
+        tu = str(path.relative_to(src))
+        code = stripped[path]
+        lines = code.split("\n")
+        errors += check_intrinsic_placement(rel, code, flags, gated)
+        if tu in isa_tus:
+            errors += check_exported_symbols(rel, lines)
+        errors += check_call_sites(rel, lines, kernel_symbols, tu in isa_tus)
+        errors += check_aligned_ops(rel, lines)
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_simd_guards: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"check_simd_guards: OK ({len(files)} files, "
+        f"{len(isa_tus)} ISA TUs, {len(kernel_symbols)} kernel symbols)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
