@@ -1,0 +1,175 @@
+// Serve-layer throughput: queries/s for point queries cold vs cached,
+// cached speedup over recomputing the pair's intersection, and bulk
+// batch throughput vs the equivalent all-edge batch run.
+//
+// This is the first serving-shape benchmark (extension beyond the
+// paper's tables): the batch kernels answer "how fast can we count
+// every edge once", the serve layer answers "how fast can we keep
+// answering point/batch queries against a long-lived snapshot". Emits
+// BENCH_serve.json next to the human-readable table so the perf
+// trajectory of the service is tracked across PRs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "serve/service.hpp"
+#include "util/timer.hpp"
+
+using namespace aecnc;
+
+namespace {
+
+/// Deterministic xorshift stream for edge sampling.
+std::uint64_t next_rand(std::uint64_t& x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options = bench::parse_bench_options(
+      args, {graph::DatasetId::kTwitter});
+  // Serving benchmarks default to a larger replica than the all-edge
+  // benches: at the shared default scale the adjacency lists are a
+  // handful of entries, so "recompute the intersection" measures call
+  // overhead rather than intersection work and the cached-speedup ratio
+  // is meaningless. 20k point queries + one all-edge run stay
+  // seconds-level at this size. --scale still overrides.
+  if (!args.has("scale")) options.scale = 4 * bench::kDefaultScale;
+  const auto queries =
+      static_cast<std::size_t>(args.get_int("queries", 20000));
+  const std::string json_path = args.get("json", "BENCH_serve.json");
+  bench::print_banner(
+      "Serve throughput: point queries cold vs cached, batch vs all-edge",
+      "a result cache must make repeat point queries >= 10x cheaper than "
+      "recomputing the intersection; coalesced batches should stay within "
+      "1.5x of the one-shot all-edge run",
+      options);
+
+  const auto id = options.datasets.front();
+  const auto g = bench::make_bench_graph(id, options.scale);
+
+  // Sample `queries` forward edges (with repeats) as the point workload.
+  std::vector<serve::EdgeQuery> workload;
+  workload.reserve(queries);
+  std::vector<serve::EdgeQuery> forward;
+  for (VertexId u = 0; u < g.csr.num_vertices(); ++u) {
+    for (const VertexId v : g.csr.neighbors(u)) {
+      if (u < v) forward.push_back({u, v});
+    }
+  }
+  std::uint64_t rng = 0x5eedULL;
+  for (std::size_t i = 0; i < queries; ++i) {
+    workload.push_back(forward[next_rand(rng) % forward.size()]);
+  }
+
+  serve::ServiceConfig cfg;
+  cfg.engine.options.mps.kind = intersect::best_merge_kind();
+  // The cached pass must not evict: the cache is set-associative, so
+  // leave enough slack that no set overflows on ~`queries` distinct
+  // keys.
+  cfg.cache_capacity = 4 * queries;
+  serve::Service svc(cfg);
+  svc.publish(graph::Csr(g.csr));
+
+  // Baseline: recompute the intersection per query, no service at all.
+  util::WallTimer timer;
+  std::uint64_t sink = 0;
+  for (const auto& q : workload) {
+    sink += core::count_edge(g.csr, q.u, q.v, cfg.engine.options);
+  }
+  const double recompute_s = timer.seconds();
+
+  // Cold: every query misses (fresh epoch), count computed + cached.
+  timer.reset();
+  for (const auto& q : workload) sink += svc.query_edge(q.u, q.v).count;
+  const double cold_s = timer.seconds();
+
+  // Cached: identical workload again — all hits now.
+  timer.reset();
+  for (const auto& q : workload) sink += svc.query_edge(q.u, q.v).count;
+  const double cached_s = timer.seconds();
+
+  // Batch: every forward edge through the coalescing batch path on a
+  // fresh epoch (cache invalidated), vs the one-shot all-edge kernel.
+  svc.publish(graph::Csr(g.csr));
+  timer.reset();
+  const auto batched = svc.query_batch(forward);
+  const double batch_s = timer.seconds();
+  sink += batched.front().count;
+
+  timer.reset();
+  const auto all = core::count_common_neighbors(g.csr);
+  const double all_edge_s = timer.seconds();
+  sink += all.front();
+
+  const double n_queries = static_cast<double>(queries);
+  const double n_edges = static_cast<double>(forward.size());
+  const double qps_recompute = n_queries / recompute_s;
+  const double qps_cold = n_queries / cold_s;
+  const double qps_cached = n_queries / cached_s;
+  const double cached_speedup = recompute_s / cached_s;
+  const double batch_eps = n_edges / batch_s;
+  const double all_edge_eps = n_edges / all_edge_s;
+
+  util::TablePrinter table({"path", "throughput", "note"});
+  table.add_row({"point recompute (no service)",
+                 util::format_count(static_cast<std::uint64_t>(qps_recompute)) +
+                     " q/s",
+                 "baseline"});
+  table.add_row({"point cold (miss + fill)",
+                 util::format_count(static_cast<std::uint64_t>(qps_cold)) +
+                     " q/s",
+                 "cache overhead on top of recompute"});
+  table.add_row({"point cached (all hits)",
+                 util::format_count(static_cast<std::uint64_t>(qps_cached)) +
+                     " q/s",
+                 util::format_fixed(cached_speedup, 1) + "x vs recompute"});
+  table.add_row({"bulk batch (serve)",
+                 util::format_count(static_cast<std::uint64_t>(batch_eps)) +
+                     " edges/s",
+                 util::format_fixed(all_edge_s > 0 ? batch_s / all_edge_s : 0.0,
+                                    2) +
+                     "x all-edge time"});
+  table.add_row({"all-edge run (batch kernel)",
+                 util::format_count(static_cast<std::uint64_t>(all_edge_eps)) +
+                     " edges/s",
+                 "one-shot reference"});
+  table.print();
+  std::printf("(sink %llu keeps the loops live)\n",
+              static_cast<unsigned long long>(sink & 0xff));
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"experiment\": \"serve_throughput\",\n"
+               "  \"dataset\": \"%.*s\",\n"
+               "  \"scale\": %g,\n"
+               "  \"point_queries\": %zu,\n"
+               "  \"batch_edges\": %zu,\n"
+               "  \"qps_recompute\": %.1f,\n"
+               "  \"qps_cold\": %.1f,\n"
+               "  \"qps_cached\": %.1f,\n"
+               "  \"cached_speedup_vs_recompute\": %.2f,\n"
+               "  \"batch_edges_per_s\": %.1f,\n"
+               "  \"all_edge_edges_per_s\": %.1f,\n"
+               "  \"batch_time_over_all_edge_time\": %.3f\n"
+               "}\n",
+               static_cast<int>(graph::dataset_name(id).size()),
+               graph::dataset_name(id).data(), options.scale, queries,
+               forward.size(), qps_recompute, qps_cold, qps_cached,
+               cached_speedup, batch_eps, all_edge_eps,
+               all_edge_s > 0 ? batch_s / all_edge_s : 0.0);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

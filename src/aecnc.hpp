@@ -23,3 +23,4 @@
 #include "perf/collect.hpp"           // IWYU pragma: export
 #include "perf/models.hpp"            // IWYU pragma: export
 #include "scan/scan.hpp"              // IWYU pragma: export
+#include "serve/service.hpp"          // IWYU pragma: export

@@ -4,6 +4,7 @@
 #include "core/sequential.hpp"
 #include "core/verify.hpp"
 #include "graph/reorder.hpp"
+#include "intersect/dispatch.hpp"
 
 namespace aecnc::core {
 
@@ -51,6 +52,23 @@ CountArray count_instrumented(const graph::Csr& g, const Options& options,
           g, options.bmp_range_filter, options.rf_range_scale, stats);
   }
   return count_sequential_m_instrumented(g, stats);
+}
+
+CnCount count_edge(const graph::Csr& g, VertexId u, VertexId v,
+                   const Options& options) {
+  if (u >= g.num_vertices() || v >= g.num_vertices() || u == v) return 0;
+  return intersect::mps_count(g.neighbors(u), g.neighbors(v), options.mps);
+}
+
+CountArray count_vertex(const graph::Csr& g, VertexId u,
+                        const Options& options) {
+  if (u >= g.num_vertices()) return {};
+  const auto nbrs = g.neighbors(u);
+  CountArray counts(nbrs.size(), 0);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    counts[k] = intersect::mps_count(nbrs, g.neighbors(nbrs[k]), options.mps);
+  }
+  return counts;
 }
 
 std::uint64_t triangle_count(const graph::Csr& g, const Options& options) {

@@ -1,6 +1,6 @@
 // aecnc public API.
 //
-// Typical use:
+// Batch flow (one-shot, all edges):
 //
 //   #include "core/api.hpp"
 //
@@ -12,6 +12,23 @@
 // For BMP at its stated O(min(d_u, d_v)) complexity, run on a
 // degree-descending-reordered graph or use count_with_reorder(), which
 // reorders internally and maps the counts back to the caller's CSR slots.
+//
+// Query-service flow (long-lived, point/batch queries): when the graph
+// outlives a single run and callers issue individual edge or
+// neighborhood queries — link prediction, SCAN-style clustering — embed
+// the serve layer instead of recounting per request:
+//
+//   #include "serve/service.hpp"
+//
+//   aecnc::serve::Service svc;
+//   svc.publish(std::move(g));              // snapshot epoch 1
+//   auto r = svc.query_edge(u, v);          // cached point query
+//   auto b = svc.query_batch(pairs);        // coalesced bulk batch
+//   svc.publish(updated);                   // epoch 2; cache invalidated
+//
+// count_edge/count_vertex below are the stateless single-shot
+// equivalents the service builds on. Architecture, epoch semantics, and
+// cache/backpressure rules: docs/serving.md.
 #pragma once
 
 #include "core/options.hpp"
@@ -37,6 +54,20 @@ namespace aecnc::core {
 [[nodiscard]] CountArray count_instrumented(const graph::Csr& g,
                                             const Options& options,
                                             intersect::StatsCounter& stats);
+
+/// Point query: |N(u) ∩ N(v)| for one vertex pair, via the MPS dispatch
+/// configured in `options.mps`. The pair need not be an edge (link
+/// prediction queries candidate pairs). Returns 0 for u == v or
+/// out-of-range ids.
+[[nodiscard]] CnCount count_edge(const graph::Csr& g, VertexId u, VertexId v,
+                                 const Options& options = {});
+
+/// Neighborhood query: counts for every slot of u's adjacency, i.e. the
+/// slice cnt[off[u] : off[u+1]) of the all-edge result. Empty for
+/// out-of-range u. Sequential; the serve layer parallelizes this shape
+/// across its worker pool.
+[[nodiscard]] CountArray count_vertex(const graph::Csr& g, VertexId u,
+                                      const Options& options = {});
 
 /// Number of triangles in g (via Σ cnt / 6).
 [[nodiscard]] std::uint64_t triangle_count(const graph::Csr& g,

@@ -72,6 +72,71 @@ ScheduleStats parallel_for_dynamic_stats(
   return stats;
 }
 
+WorkerPool::WorkerPool(int num_workers) {
+  const int workers = std::max(1, num_workers);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::uint64_t total, std::uint64_t task_size,
+                     const Body& body) {
+  AECNC_CHECK(task_size > 0) << "task_size=" << task_size;
+  if (total == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_total_ = total;
+  job_task_size_ = task_size;
+  job_body_ = &body;
+  cursor_.store(0, std::memory_order_relaxed);
+  active_ = num_workers();
+  ++generation_;
+  lock.unlock();
+  start_cv_.notify_all();
+  lock.lock();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_body_ = nullptr;
+}
+
+void WorkerPool::worker_loop(int worker) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::uint64_t total;
+    std::uint64_t task_size;
+    const Body* body;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      total = job_total_;
+      task_size = job_task_size_;
+      body = job_body_;
+    }
+    while (true) {
+      const std::uint64_t begin =
+          cursor_.fetch_add(task_size, std::memory_order_relaxed);
+      if (begin >= total) break;
+      (*body)(begin, std::min(total, begin + task_size), worker);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
 double ScheduleStats::imbalance() const {
   if (tasks_per_worker.empty() || total_tasks == 0) return 1.0;
   const double mean = static_cast<double>(total_tasks) /

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -40,5 +42,54 @@ struct ScheduleStats {
     std::uint64_t total, std::uint64_t task_size, int num_workers,
     const std::function<void(std::uint64_t begin, std::uint64_t end,
                              int worker)>& body);
+
+/// A persistent variant of the atomic-cursor pool: the threads outlive
+/// individual run() calls, and each keeps its dense worker index for the
+/// pool's lifetime. That makes per-worker state (the serve layer's
+/// bitmap/hash indexes, src/serve/query_engine.hpp) reusable *across*
+/// parallel regions instead of being rebuilt per call — the point of a
+/// long-lived query service versus the one-shot batch skeleton.
+///
+/// run() is not reentrant: callers must serialize run() invocations
+/// (the query engine does so with its batch mutex).
+class WorkerPool {
+ public:
+  using Body =
+      std::function<void(std::uint64_t begin, std::uint64_t end, int worker)>;
+
+  /// Spawn `num_workers` threads (clamped to >= 1) that sleep until work
+  /// arrives.
+  explicit WorkerPool(int num_workers);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  [[nodiscard]] int num_workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Run `body(begin, end, worker)` over dynamic chunks of [0, total)
+  /// with chunk size `task_size`, blocking until every chunk completed.
+  /// Semantics match parallel_for_dynamic; only the thread lifetimes
+  /// differ.
+  void run(std::uint64_t total, std::uint64_t task_size, const Body& body);
+
+ private:
+  void worker_loop(int worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Guarded by mutex_: a generation counter wakes workers exactly once
+  // per run(); `active_` counts workers still inside the current job.
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+  std::uint64_t job_total_ = 0;
+  std::uint64_t job_task_size_ = 1;
+  const Body* job_body_ = nullptr;
+  std::atomic<std::uint64_t> cursor_{0};
+};
 
 }  // namespace aecnc::parallel

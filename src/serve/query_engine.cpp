@@ -1,0 +1,125 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "intersect/dispatch.hpp"
+#include "intersect/merge.hpp"
+
+namespace aecnc::serve {
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const EngineConfig& config)
+    : config_(config), pool_(resolve_workers(config.num_workers)) {
+  contexts_.resize(static_cast<std::size_t>(pool_.num_workers()));
+}
+
+CnCount QueryEngine::count_pair(const Snapshot& snap, VertexId u,
+                                VertexId v) const {
+  const VertexId n = snap.graph.num_vertices();
+  if (u >= n || v >= n || u == v) return 0;
+  return intersect::mps_count(snap.graph.neighbors(u), snap.graph.neighbors(v),
+                              config_.options.mps);
+}
+
+CnCount QueryEngine::indexed_count(const Snapshot& snap, WorkerContext& ctx,
+                                   VertexId u,
+                                   std::span<const VertexId> probe) const {
+  if (ctx.epoch != snap.epoch) {
+    // New snapshot: the old index describes a graph this worker can no
+    // longer see (its neighbor lists may be freed), so reset instead of
+    // clearing bit-by-bit.
+    if (config_.index == ServeIndex::kBitmap) {
+      ctx.bitmap = bitmap::Bitmap(snap.graph.num_vertices());
+    }
+    ctx.prev_u = kInvalidVertex;
+    ctx.epoch = snap.epoch;
+  }
+  if (ctx.prev_u != u) {
+    if (config_.index == ServeIndex::kBitmap) {
+      // Same epoch => same graph, so the previous source's neighbor list
+      // is still valid for the amortized flip-clear (Algorithm 2).
+      if (ctx.prev_u != kInvalidVertex) {
+        ctx.bitmap.clear_all(snap.graph.neighbors(ctx.prev_u));
+      }
+      ctx.bitmap.set_all(snap.graph.neighbors(u));
+    } else {
+      ctx.hash.rebuild(snap.graph.neighbors(u));
+    }
+    ctx.prev_u = u;
+  }
+  return config_.index == ServeIndex::kBitmap
+             ? bitmap::bitmap_intersect_count(ctx.bitmap, probe)
+             : intersect::hash_intersect_count(ctx.hash, probe);
+}
+
+CnCount QueryEngine::routed_count(const Snapshot& snap, WorkerContext& ctx,
+                                  VertexId u, VertexId v) const {
+  switch (config_.options.algorithm) {
+    case core::Algorithm::kMergeBaseline:
+      return intersect::merge_count(snap.graph.neighbors(u),
+                                    snap.graph.neighbors(v));
+    case core::Algorithm::kMps:
+      return intersect::mps_count(snap.graph.neighbors(u),
+                                  snap.graph.neighbors(v),
+                                  config_.options.mps);
+    case core::Algorithm::kBmp:
+      return indexed_count(snap, ctx, u, snap.graph.neighbors(v));
+  }
+  return intersect::merge_count(snap.graph.neighbors(u),
+                                snap.graph.neighbors(v));
+}
+
+std::vector<CnCount> QueryEngine::count_vertex(const Snapshot& snap,
+                                               VertexId u) {
+  const VertexId n = snap.graph.num_vertices();
+  if (u >= n) return {};
+  const auto nbrs = snap.graph.neighbors(u);
+  std::vector<CnCount> counts(nbrs.size(), 0);
+  if (nbrs.empty()) return counts;
+
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  pool_.run(nbrs.size(), std::max<std::uint64_t>(1, config_.task_size),
+            [&](std::uint64_t begin, std::uint64_t end, int worker) {
+              WorkerContext& ctx =
+                  contexts_[static_cast<std::size_t>(worker)];
+              for (std::uint64_t k = begin; k < end; ++k) {
+                counts[k] = routed_count(snap, ctx, u, nbrs[k]);
+              }
+            });
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  queries_run_.fetch_add(nbrs.size(), std::memory_order_relaxed);
+  return counts;
+}
+
+std::vector<CnCount> QueryEngine::count_batch(
+    const Snapshot& snap, std::span<const EdgeQuery> queries) {
+  std::vector<CnCount> counts(queries.size(), 0);
+  if (queries.empty()) return counts;
+  const VertexId n = snap.graph.num_vertices();
+
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  pool_.run(queries.size(), std::max<std::uint64_t>(1, config_.task_size),
+            [&](std::uint64_t begin, std::uint64_t end, int worker) {
+              WorkerContext& ctx =
+                  contexts_[static_cast<std::size_t>(worker)];
+              for (std::uint64_t i = begin; i < end; ++i) {
+                const auto [u, v] = queries[i];
+                if (u >= n || v >= n || u == v) continue;
+                counts[i] = routed_count(snap, ctx, u, v);
+              }
+            });
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  queries_run_.fetch_add(queries.size(), std::memory_order_relaxed);
+  return counts;
+}
+
+}  // namespace aecnc::serve

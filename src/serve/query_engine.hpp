@@ -1,0 +1,125 @@
+// Batched edge-query execution over pinned snapshots (docs/serving.md).
+//
+// The batch kernels (core/parallel.cpp) spin up execution contexts —
+// per-thread FindSrc caches and BMP bitmaps — for one all-edge run and
+// tear them down with it. A query service answers millions of small
+// requests instead, so the engine inverts the lifetime: a persistent
+// parallel::WorkerPool whose per-worker contexts (bitmap or hash index,
+// keyed by (epoch, source vertex)) survive across queries. A batch that
+// revisits a recently-queried source probes the already-built index
+// instead of rebuilding it — the same amortization Algorithm 3 gets
+// from contiguous slot ranges, recovered for arbitrary request streams.
+//
+// Routing mirrors the paper's family split:
+//  - point queries always take the MPS dispatch (intersect/dispatch.hpp):
+//    building an index for a single intersection costs as much as the
+//    intersection itself;
+//  - vertex-neighborhood and bulk batches honor Options::algorithm —
+//    kBmp routes through the per-worker index (bitmap by default, hash
+//    index as the O(d) alternative), everything else through MPS/merge.
+//
+// Thread safety: count_pair is stateless and callable from any thread.
+// count_vertex / count_batch serialize internally on a batch mutex (the
+// service's coalescing dispatcher is their main caller).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "core/options.hpp"
+#include "intersect/hash_index.hpp"
+#include "parallel/task_pool.hpp"
+#include "serve/snapshot_store.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::serve {
+
+/// Index structure backing the kBmp route of batched queries.
+enum class ServeIndex {
+  kBitmap,  // |V|-bit bitmap per worker (paper Algorithm 2)
+  kHash,    // O(d_u) open-addressing index (related-work comparator)
+};
+
+struct EngineConfig {
+  /// Algorithm family + MPS knobs; `parallel`/`scheduler` fields are
+  /// ignored (the engine always runs batches on its own pool).
+  core::Options options{};
+  ServeIndex index = ServeIndex::kBitmap;
+  /// Worker threads for batch execution; 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Queries per dynamically-scheduled chunk within a batch.
+  std::uint64_t task_size = 64;
+};
+
+/// One point query: the (unordered) vertex pair to count.
+struct EdgeQuery {
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const EngineConfig& config = {});
+
+  /// |N(u) ∩ N(v)| on the pinned snapshot. Distinct in-range vertices
+  /// only: u == v or an out-of-range id returns 0. Stateless; safe to
+  /// call concurrently from any number of threads.
+  [[nodiscard]] CnCount count_pair(const Snapshot& snap, VertexId u,
+                                   VertexId v) const;
+
+  /// Counts for every slot of u's adjacency, aligned with
+  /// snap.graph.neighbors(u) — the slice cnt[off[u] : off[u+1]) of an
+  /// all-edge run. Empty for out-of-range u.
+  [[nodiscard]] std::vector<CnCount> count_vertex(const Snapshot& snap,
+                                                  VertexId u);
+
+  /// One count per query, in request order. Executed on the worker pool
+  /// with per-worker index reuse; invalid pairs yield 0.
+  [[nodiscard]] std::vector<CnCount> count_batch(
+      const Snapshot& snap, std::span<const EdgeQuery> queries);
+
+  [[nodiscard]] int num_workers() const noexcept {
+    return pool_.num_workers();
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Cumulative batches executed / queries answered by the batch path.
+  [[nodiscard]] std::uint64_t batches_run() const noexcept {
+    return batches_run_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t queries_run() const noexcept {
+    return queries_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-worker reusable state, alignas(64) against false sharing (as
+  /// core/parallel.cpp's ThreadState).
+  struct alignas(64) WorkerContext {
+    Epoch epoch = 0;                    // snapshot the index belongs to
+    VertexId prev_u = kInvalidVertex;   // source the index is built for
+    bitmap::Bitmap bitmap;
+    intersect::HashIndex hash;
+  };
+
+  /// Indexed (kBmp-route) count of N(u) ∩ N(v), maintaining ctx's
+  /// (epoch, source) keyed index.
+  [[nodiscard]] CnCount indexed_count(const Snapshot& snap, WorkerContext& ctx,
+                                      VertexId u,
+                                      std::span<const VertexId> probe) const;
+
+  /// Dispatch one in-range, distinct pair on the configured route.
+  [[nodiscard]] CnCount routed_count(const Snapshot& snap, WorkerContext& ctx,
+                                     VertexId u, VertexId v) const;
+
+  EngineConfig config_;
+  parallel::WorkerPool pool_;
+  std::vector<WorkerContext> contexts_;
+  std::mutex batch_mutex_;  // serializes pool_ + contexts_ users
+  std::atomic<std::uint64_t> batches_run_{0};
+  std::atomic<std::uint64_t> queries_run_{0};
+};
+
+}  // namespace aecnc::serve

@@ -1,0 +1,60 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+namespace aecnc::serve {
+
+ResultCache::ResultCache(std::size_t capacity) {
+  if (capacity == 0) {
+    ways_ = 0;
+    return;  // disabled: lookups miss, inserts drop
+  }
+  ways_ = std::min(kWays, capacity);
+  num_sets_ = (capacity + ways_ - 1) / ways_;
+  slots_.assign(num_sets_ * ways_, Slot{});
+}
+
+void ResultCache::insert(Epoch epoch, VertexId u, VertexId v,
+                         CachedEdgeCount value) {
+  if (slots_.empty()) return;
+  const std::uint64_t pair = pair_key(u, v);
+  std::lock_guard<SpinLock> lock(mutex_);
+  const std::size_t base = set_base(epoch, pair);
+  std::size_t slot = ways_ - 1;  // full set: replace the LRU (back) entry
+  for (std::size_t i = 0; i < ways_; ++i) {
+    const Slot& s = slots_[base + i];
+    if ((s.epoch == epoch && s.pair == pair) || s.epoch == 0) {
+      slot = i;
+      break;
+    }
+  }
+  Slot& victim = slots_[base + slot];
+  if (victim.epoch == 0) {
+    ++size_;
+  } else if (victim.epoch != epoch || victim.pair != pair) {
+    ++evictions_;
+  }
+  victim = Slot{.epoch = epoch, .pair = pair, .value = value};
+  std::rotate(slots_.begin() + static_cast<std::ptrdiff_t>(base),
+              slots_.begin() + static_cast<std::ptrdiff_t>(base + slot),
+              slots_.begin() + static_cast<std::ptrdiff_t>(base + slot + 1));
+}
+
+void ResultCache::invalidate_all() {
+  std::lock_guard<SpinLock> lock(mutex_);
+  invalidations_ += size_;
+  size_ = 0;
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<SpinLock> lock(mutex_);
+  return {.hits = hits_,
+          .misses = misses_,
+          .evictions = evictions_,
+          .invalidations = invalidations_,
+          .size = size_,
+          .capacity = slots_.size()};
+}
+
+}  // namespace aecnc::serve

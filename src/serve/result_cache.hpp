@@ -1,0 +1,165 @@
+// LRU cache of point-query results for the query service
+// (docs/serving.md).
+//
+// Keyed by (epoch, canonical pair): a cached count is only ever valid
+// for the snapshot it was computed on, so the publishing epoch is part
+// of the key — a stale entry can never satisfy a query against a newer
+// snapshot even if invalidation raced the swap. Invalidation is
+// wholesale on publish (invalidate_all), both to free memory and to
+// keep the rule trivial to reason about: after publish(), the cache is
+// empty.
+//
+// Layout: set-associative with per-set exact LRU (kWays entries per
+// set, slot order = recency order). A hit is one hash, one ≤8-entry
+// scan, and a short rotate — no allocation, no pointer-chased list, no
+// per-hit binary search (is_edge is cached alongside the count). That
+// keeps the hit path an order of magnitude cheaper than recomputing the
+// intersection, which is the whole point of the cache
+// (bench_serve_throughput measures exactly this ratio). Counters
+// (hits / misses / evictions / invalidations) feed the service stats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot_store.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::serve {
+
+/// A cached point result: the count plus whether the pair is an edge of
+/// its snapshot (so hits skip the e(u,v) binary search).
+struct CachedEdgeCount {
+  CnCount count = 0;
+  bool is_edge = false;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by invalidate_all
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = max resident entries (rounded up to a whole number of
+  /// sets); 0 disables caching entirely (every lookup is a miss,
+  /// inserts are dropped).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Cached result for the canonicalized pair under `epoch`, bumping it
+  /// to most-recently-used within its set on hit. Defined inline below:
+  /// the hit path is the latency-critical leg of Service::query_edge
+  /// and must inline into the caller.
+  [[nodiscard]] std::optional<CachedEdgeCount> lookup(Epoch epoch, VertexId u,
+                                                      VertexId v);
+
+  /// Insert/refresh an entry, evicting the set's least-recently-used
+  /// one when the set is full.
+  void insert(Epoch epoch, VertexId u, VertexId v, CachedEdgeCount value);
+
+  /// Drop every entry (called on snapshot publish).
+  void invalidate_all();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  // 8 ways balances probe cost (a set spans 2-3 cache lines) against
+  // conflict evictions: at 4 ways a working set near capacity sheds
+  // several percent of its entries to set overflow, and every shed hit
+  // pays a full recompute — measurably worse than the extra line fill.
+  static constexpr std::size_t kWays = 8;
+
+  struct Slot {
+    Epoch epoch = 0;  // 0 = empty (published epochs start at 1)
+    std::uint64_t pair = 0;
+    CachedEdgeCount value;
+  };
+
+  static std::uint64_t pair_key(VertexId u, VertexId v) noexcept {
+    if (u > v) {
+      const VertexId t = u;
+      u = v;
+      v = t;
+    }
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  [[nodiscard]] std::size_t set_base(Epoch epoch,
+                                     std::uint64_t pair) const noexcept {
+    // Splitmix-style finalizer over the two key words.
+    std::uint64_t x = pair ^ (epoch * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return (static_cast<std::size_t>(x) % num_sets_) * ways_;
+  }
+
+  /// Test-and-set lock: every critical section is a <=kWays-slot scan,
+  /// far shorter than a futex round-trip, and unlocking is a plain
+  /// store where std::mutex pays a second atomic RMW. Contended waits
+  /// yield so a preempted holder can run.
+  class SpinLock {
+   public:
+    void lock() noexcept {
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        while (flag_.load(std::memory_order_relaxed)) {
+          std::this_thread::yield();
+        }
+      }
+    }
+    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+   private:
+    std::atomic<bool> flag_{false};
+  };
+
+  mutable SpinLock mutex_;
+  std::size_t ways_ = kWays;
+  std::size_t num_sets_ = 0;
+  std::vector<Slot> slots_;  // num_sets_ * ways_; per-set front = MRU
+  std::size_t size_ = 0;     // occupied slots
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+inline std::optional<CachedEdgeCount> ResultCache::lookup(Epoch epoch,
+                                                          VertexId u,
+                                                          VertexId v) {
+  if (slots_.empty()) return std::nullopt;
+  const std::uint64_t pair = pair_key(u, v);
+  std::lock_guard<SpinLock> lock(mutex_);
+  const std::size_t base = set_base(epoch, pair);
+  for (std::size_t i = 0; i < ways_; ++i) {
+    Slot& s = slots_[base + i];
+    if (s.epoch == epoch && s.pair == pair) {
+      ++hits_;
+      const CachedEdgeCount value = s.value;
+      if (i != 0) {
+        // Bump to MRU: shift [base, base+i) down one and reinsert the
+        // hit at the front of its set.
+        for (std::size_t k = i; k > 0; --k) {
+          slots_[base + k] = slots_[base + k - 1];
+        }
+        slots_[base] = Slot{.epoch = epoch, .pair = pair, .value = value};
+      }
+      return value;
+    }
+    // Sets fill front-to-back and hits/inserts only permute the occupied
+    // prefix, so the first empty slot ends the occupied region.
+    if (s.epoch == 0) break;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+}  // namespace aecnc::serve

@@ -1,0 +1,298 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace aecnc::serve {
+
+namespace {
+
+/// Whether (u, v) is an edge of g (false for invalid pairs). Cached
+/// alongside the count so hits skip this binary search.
+bool edge_flag(const graph::Csr& g, VertexId u, VertexId v) {
+  const VertexId n = g.num_vertices();
+  return u < n && v < n && u != v &&
+         g.find_edge(u, v) != g.num_directed_edges();
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      engine_(config_.engine),
+      cache_(config_.cache_capacity) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.max_coalesce == 0) config_.max_coalesce = 1;
+  if (config_.start_dispatcher) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+}
+
+Service::~Service() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Without a dispatcher, requests may still be queued: complete them so
+  // no future is left dangling.
+  while (pump() > 0) {
+  }
+}
+
+Epoch Service::publish(graph::Csr g) {
+  const Epoch epoch = store_.publish(std::move(g));
+  // Invalidate after the swap: a racing query may still insert an entry
+  // for the *old* epoch, but epochs are part of the cache key, so such
+  // stragglers can never serve a newer snapshot — they just age out.
+  cache_.invalidate_all();
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return epoch;
+}
+
+SnapshotPtr Service::pinned() const {
+  SnapshotPtr snap = store_.acquire();
+  if (snap == nullptr) {
+    throw std::runtime_error(
+        "aecnc::serve::Service: query before first publish()");
+  }
+  return snap;
+}
+
+QueryResult Service::make_result(Epoch epoch, VertexId u, VertexId v,
+                                 CachedEdgeCount value, bool cached) {
+  return {.epoch = epoch,
+          .u = u,
+          .v = v,
+          .count = value.count,
+          .is_edge = value.is_edge,
+          .cached = cached};
+}
+
+CachedEdgeCount Service::compute_pair(const Snapshot& snap, VertexId u,
+                                      VertexId v) {
+  return {.count = engine_.count_pair(snap, u, v),
+          .is_edge = edge_flag(snap.graph, u, v)};
+}
+
+Epoch Service::current_epoch_or_throw() const {
+  const Epoch epoch = store_.current_epoch();
+  if (epoch == 0) {
+    throw std::runtime_error(
+        "aecnc::serve::Service: query before first publish()");
+  }
+  return epoch;
+}
+
+QueryResult Service::query_edge(VertexId u, VertexId v) {
+  // Hit fast path: resolve the epoch with one atomic load (no snapshot
+  // pin, no refcount traffic) and answer straight from the cache — the
+  // cached value carries is_edge, so no per-hit e(u, v) binary search
+  // either. bench_serve_throughput's >=10x cached-vs-recompute target
+  // depends on this path staying this short.
+  const Epoch epoch = current_epoch_or_throw();
+  point_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+    return make_result(epoch, u, v, *hit, /*cached=*/true);
+  }
+  const SnapshotPtr snap = pinned();
+  const CachedEdgeCount value = compute_pair(*snap, u, v);
+  cache_.insert(snap->epoch, u, v, value);
+  return make_result(snap->epoch, u, v, value, /*cached=*/false);
+}
+
+VertexResult Service::query_vertex(VertexId u) {
+  const SnapshotPtr snap = pinned();
+  vertex_queries_.fetch_add(1, std::memory_order_relaxed);
+  VertexResult result{.epoch = snap->epoch, .u = u, .neighbors = {}, .counts = {}};
+  if (u < snap->graph.num_vertices()) {
+    const auto nbrs = snap->graph.neighbors(u);
+    result.neighbors.assign(nbrs.begin(), nbrs.end());
+    result.counts = engine_.count_vertex(*snap, u);
+  }
+  return result;
+}
+
+std::vector<QueryResult> Service::query_batch(
+    std::span<const EdgeQuery> queries) {
+  const SnapshotPtr snap = pinned();
+  batch_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+
+  std::vector<QueryResult> results(queries.size());
+  std::vector<EdgeQuery> misses;
+  std::vector<std::size_t> miss_slots;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [u, v] = queries[i];
+    if (const auto hit = cache_.lookup(snap->epoch, u, v); hit.has_value()) {
+      results[i] = make_result(snap->epoch, u, v, *hit, /*cached=*/true);
+    } else {
+      misses.push_back(queries[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (!misses.empty()) {
+    const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+      const auto [u, v] = misses[k];
+      const CachedEdgeCount value{.count = counts[k],
+                                  .is_edge = edge_flag(snap->graph, u, v)};
+      cache_.insert(snap->epoch, u, v, value);
+      results[miss_slots[k]] =
+          make_result(snap->epoch, u, v, value, /*cached=*/false);
+    }
+  }
+  return results;
+}
+
+std::future<QueryResult> Service::submit_edge(VertexId u, VertexId v) {
+  // Cache fast path: complete without touching the queue (or pinning).
+  const Epoch epoch = current_epoch_or_throw();
+  if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+    std::promise<QueryResult> promise;
+    promise.set_value(make_result(epoch, u, v, *hit, /*cached=*/true));
+    async_submitted_.fetch_add(1, std::memory_order_relaxed);
+    return promise.get_future();
+  }
+
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_not_full_.wait(lock, [this] {
+    return stopping_ || queue_.size() < config_.queue_capacity;
+  });
+  Pending pending{u, v, std::promise<QueryResult>()};
+  std::future<QueryResult> future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  async_submitted_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+std::optional<std::future<QueryResult>> Service::try_submit_edge(VertexId u,
+                                                                 VertexId v) {
+  const Epoch epoch = current_epoch_or_throw();
+  if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+    std::promise<QueryResult> promise;
+    promise.set_value(make_result(epoch, u, v, *hit, /*cached=*/true));
+    async_submitted_.fetch_add(1, std::memory_order_relaxed);
+    return promise.get_future();
+  }
+
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (queue_.size() >= config_.queue_capacity) {
+    async_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Pending pending{u, v, std::promise<QueryResult>()};
+  std::future<QueryResult> future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  async_submitted_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void Service::process_pending(std::vector<Pending> batch) {
+  async_batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = async_max_coalesced_.load(std::memory_order_relaxed);
+  while (seen < batch.size() &&
+         !async_max_coalesced_.compare_exchange_weak(
+             seen, batch.size(), std::memory_order_relaxed)) {
+  }
+
+  // One pinned snapshot for the whole coalesced batch: every reply in
+  // it carries the same epoch by construction.
+  const SnapshotPtr snap = pinned();
+  std::vector<QueryResult> replies(batch.size());
+  std::vector<EdgeQuery> misses;
+  std::vector<std::size_t> miss_slots;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Re-check the cache: an earlier batch (or a sync query) may have
+    // filled the entry while this request sat in the queue.
+    if (const auto hit = cache_.lookup(snap->epoch, batch[i].u, batch[i].v);
+        hit.has_value()) {
+      replies[i] = make_result(snap->epoch, batch[i].u, batch[i].v, *hit,
+                               /*cached=*/true);
+    } else {
+      misses.push_back({batch[i].u, batch[i].v});
+      miss_slots.push_back(i);
+    }
+  }
+  if (!misses.empty()) {
+    const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+      const auto [u, v] = misses[k];
+      const CachedEdgeCount value{.count = counts[k],
+                                  .is_edge = edge_flag(snap->graph, u, v)};
+      cache_.insert(snap->epoch, u, v, value);
+      replies[miss_slots[k]] =
+          make_result(snap->epoch, u, v, value, /*cached=*/false);
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(replies[i]);
+  }
+}
+
+std::size_t Service::pump() {
+  std::vector<Pending> local;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    const std::size_t take = std::min(config_.max_coalesce, queue_.size());
+    local.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      local.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (local.empty()) return 0;
+  queue_not_full_.notify_all();
+  const std::size_t processed = local.size();
+  process_pending(std::move(local));
+  return processed;
+}
+
+void Service::dispatcher_loop() {
+  while (true) {
+    std::vector<Pending> local;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      const std::size_t take = std::min(config_.max_coalesce, queue_.size());
+      local.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        local.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    queue_not_full_.notify_all();
+    process_pending(std::move(local));
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.cache = cache_.stats();
+  s.epoch = store_.current_epoch();
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.point_queries = point_queries_.load(std::memory_order_relaxed);
+  s.vertex_queries = vertex_queries_.load(std::memory_order_relaxed);
+  s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  s.engine_batches = engine_.batches_run();
+  s.async_submitted = async_submitted_.load(std::memory_order_relaxed);
+  s.async_batches = async_batches_.load(std::memory_order_relaxed);
+  s.async_max_coalesced =
+      async_max_coalesced_.load(std::memory_order_relaxed);
+  s.async_rejected = async_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+  }
+  return s;
+}
+
+}  // namespace aecnc::serve

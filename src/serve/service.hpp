@@ -1,0 +1,198 @@
+// Service façade: the embeddable query-service entry point
+// (docs/serving.md has the full architecture).
+//
+//   aecnc::serve::Service svc;
+//   svc.publish(std::move(csr));              // epoch 1
+//   auto r = svc.query_edge(u, v);            // r.count, r.epoch, r.cached
+//   auto f = svc.submit_edge(u, v);           // async, coalesced batches
+//   svc.publish(updated_csr);                 // epoch 2, cache invalidated
+//
+// Composition:
+//  - SnapshotStore: epoch-versioned immutable graphs; queries pin one
+//    snapshot for their whole lifetime, so every reply is consistent
+//    with exactly one epoch even across a mid-stream publish.
+//  - QueryEngine: point / vertex-neighborhood / bulk-batch execution
+//    with per-worker reusable indexes.
+//  - ResultCache: LRU over (epoch, pair) point results, invalidated
+//    wholesale on publish.
+//
+// Two request paths:
+//  - Synchronous query_* calls run on the caller's thread (point
+//    queries are lock-free on the snapshot path; batch/vertex calls
+//    serialize inside the engine).
+//  - submit_edge() enqueues onto a *bounded* admission queue; a
+//    dispatcher thread drains up to max_coalesce requests at a time and
+//    executes them as one engine batch (request coalescing). When the
+//    queue is full, submit_edge blocks the producer (backpressure) and
+//    try_submit_edge rejects instead — the two standard load-shedding
+//    policies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_store.hpp"
+
+namespace aecnc::serve {
+
+struct ServiceConfig {
+  EngineConfig engine{};
+  /// Max resident point-result cache entries (0 disables caching).
+  std::size_t cache_capacity = 1 << 16;
+  /// Bounded admission queue: pending async requests before submit
+  /// blocks / try_submit rejects.
+  std::size_t queue_capacity = 1024;
+  /// Max requests the dispatcher coalesces into one engine batch.
+  std::size_t max_coalesce = 256;
+  /// Spawn the dispatcher thread. Tests set false and call pump() to
+  /// drive the async path deterministically.
+  bool start_dispatcher = true;
+};
+
+/// Reply to a point query.
+struct QueryResult {
+  Epoch epoch = 0;       // snapshot the count was computed on
+  VertexId u = 0;
+  VertexId v = 0;
+  CnCount count = 0;     // |N(u) ∩ N(v)|; 0 for invalid pairs
+  bool is_edge = false;  // (u, v) is an edge of that snapshot
+  bool cached = false;   // served from the result cache
+};
+
+/// Reply to a vertex-neighborhood query: counts[k] pairs u with
+/// neighbors[k], matching the cnt[off[u] : off[u+1]) slice of an
+/// all-edge run on the same snapshot.
+struct VertexResult {
+  Epoch epoch = 0;
+  VertexId u = 0;
+  std::vector<VertexId> neighbors;
+  std::vector<CnCount> counts;
+};
+
+struct ServiceStats {
+  CacheStats cache;
+  Epoch epoch = 0;                    // current snapshot epoch
+  std::uint64_t publishes = 0;
+  std::uint64_t point_queries = 0;    // sync query_edge calls
+  std::uint64_t vertex_queries = 0;
+  std::uint64_t batch_queries = 0;    // queries through query_batch
+  std::uint64_t engine_batches = 0;   // engine-level batch executions
+  std::uint64_t async_submitted = 0;  // accepted async requests
+  std::uint64_t async_batches = 0;    // dispatcher batches executed
+  std::uint64_t async_max_coalesced = 0;  // largest dispatcher batch
+  std::uint64_t async_rejected = 0;   // try_submit_edge load-sheds
+  std::size_t queue_depth = 0;        // pending async requests now
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+  /// Completes every pending async request before returning.
+  ~Service();
+
+  /// Publish a new graph snapshot; invalidates the result cache and
+  /// returns the new epoch. In-flight queries finish on their pinned
+  /// epoch.
+  Epoch publish(graph::Csr g);
+
+  /// Epoch of the current snapshot; 0 before the first publish.
+  [[nodiscard]] Epoch current_epoch() const noexcept {
+    return store_.current_epoch();
+  }
+
+  // --- synchronous path -------------------------------------------------
+
+  /// Point query on the caller's thread. Cache-first; throws
+  /// std::runtime_error before the first publish().
+  [[nodiscard]] QueryResult query_edge(VertexId u, VertexId v);
+
+  /// All of u's incident counts (bypasses the point cache; the engine
+  /// streams the neighborhood with one shared index build).
+  [[nodiscard]] VertexResult query_vertex(VertexId u);
+
+  /// Bulk batch: cache-checked per pair, misses computed as one engine
+  /// batch on a single pinned snapshot, results in request order.
+  [[nodiscard]] std::vector<QueryResult> query_batch(
+      std::span<const EdgeQuery> queries);
+
+  // --- asynchronous path (bounded queue + coalescing) -------------------
+
+  /// Enqueue a point query; blocks while the admission queue is full
+  /// (backpressure). Cache hits complete immediately without queuing.
+  [[nodiscard]] std::future<QueryResult> submit_edge(VertexId u, VertexId v);
+
+  /// As submit_edge but load-shedding: returns std::nullopt instead of
+  /// blocking when the queue is full.
+  [[nodiscard]] std::optional<std::future<QueryResult>> try_submit_edge(
+      VertexId u, VertexId v);
+
+  /// Drain and execute one coalesced batch on the caller's thread.
+  /// Returns the number of requests completed (0 if the queue was
+  /// empty). Main use: deterministic tests with start_dispatcher=false;
+  /// also safe alongside a running dispatcher.
+  std::size_t pump();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Pending {
+    VertexId u;
+    VertexId v;
+    std::promise<QueryResult> promise;
+  };
+
+  /// Pin the current snapshot or throw (no snapshot published yet).
+  [[nodiscard]] SnapshotPtr pinned() const;
+
+  /// Build the reply for a cached or freshly-computed point result.
+  [[nodiscard]] static QueryResult make_result(Epoch epoch, VertexId u,
+                                               VertexId v,
+                                               CachedEdgeCount value,
+                                               bool cached);
+
+  /// Count the pair on the pinned snapshot and derive its edge flag
+  /// (the cacheable part of a point reply).
+  [[nodiscard]] CachedEdgeCount compute_pair(const Snapshot& snap, VertexId u,
+                                             VertexId v);
+
+  /// Current epoch, or throw if nothing is published yet. The cache-hit
+  /// fast path uses this (one atomic load) instead of pinning.
+  [[nodiscard]] Epoch current_epoch_or_throw() const;
+
+  /// Execute one coalesced request group against one pinned snapshot.
+  void process_pending(std::vector<Pending> batch);
+
+  void dispatcher_loop();
+
+  ServiceConfig config_;
+  SnapshotStore store_;
+  QueryEngine engine_;
+  ResultCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> point_queries_{0};
+  std::atomic<std::uint64_t> vertex_queries_{0};
+  std::atomic<std::uint64_t> batch_queries_{0};
+  std::atomic<std::uint64_t> async_submitted_{0};
+  std::atomic<std::uint64_t> async_batches_{0};
+  std::atomic<std::uint64_t> async_max_coalesced_{0};
+  std::atomic<std::uint64_t> async_rejected_{0};
+};
+
+}  // namespace aecnc::serve

@@ -1,0 +1,85 @@
+// Epoch-versioned, reference-counted graph snapshots for the query
+// service (docs/serving.md).
+//
+// The batch kernels assume an immutable CSR for the whole run; a
+// long-lived service must instead answer queries while the graph
+// occasionally changes (the paper's own motivating scenario, §1:
+// recommend "while the user is shopping"). The store resolves the
+// tension with snapshot semantics:
+//
+//  - publish(csr) wraps the CSR in an immutable Snapshot stamped with
+//    the next epoch and swaps it in atomically. Publishers serialize on
+//    a mutex; the CSR itself is never mutated after publish.
+//  - acquire() is the read path: one lock-free atomic shared_ptr load.
+//    The returned pointer *pins* the snapshot — queries compute every
+//    result from the pinned graph, so a concurrent publish can never
+//    mix two epochs inside one reply.
+//  - retirement is implicit: when the last in-flight query drops its
+//    pin, the shared_ptr control block frees the old graph. No reader
+//    ever blocks a writer or vice versa.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "graph/csr.hpp"
+
+namespace aecnc::serve {
+
+/// Snapshot version number. Epoch 0 means "nothing published yet";
+/// the first publish() creates epoch 1.
+using Epoch = std::uint64_t;
+
+/// An immutable published graph. The CSR must not be modified once the
+/// snapshot is constructed; every query result is attributed to the
+/// snapshot's epoch.
+struct Snapshot {
+  Epoch epoch = 0;
+  graph::Csr graph;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+
+  /// Convenience: construct and publish an initial graph (epoch 1).
+  explicit SnapshotStore(graph::Csr initial) { publish(std::move(initial)); }
+
+  /// Swap in a new graph; returns its epoch. Thread-safe against
+  /// concurrent publishers and readers; in-flight queries keep their
+  /// pinned epoch until they drop it.
+  Epoch publish(graph::Csr g);
+
+  /// Pin the current snapshot (lock-free load). Null until the first
+  /// publish().
+  [[nodiscard]] SnapshotPtr acquire() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch of the current snapshot; 0 before the first publish. One
+  /// plain atomic load with no refcount traffic — cache-hit paths use
+  /// this instead of acquire() so a hit never touches the shared_ptr
+  /// control block. Ordering: published_epoch_ is stored (release)
+  /// *after* current_, so a reader that observes epoch N and then calls
+  /// acquire() sees snapshot N or newer.
+  [[nodiscard]] Epoch current_epoch() const noexcept {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Total snapshots ever published.
+  [[nodiscard]] std::uint64_t publish_count() const noexcept {
+    return next_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<SnapshotPtr> current_{nullptr};
+  std::atomic<Epoch> published_epoch_{0};
+  std::atomic<Epoch> next_epoch_{0};
+  std::mutex publish_mutex_;
+};
+
+}  // namespace aecnc::serve

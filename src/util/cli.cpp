@@ -35,12 +35,30 @@ std::string CliArgs::get(std::string_view key, std::string_view fallback) const 
 
 std::int64_t CliArgs::get_int(std::string_view key, std::int64_t fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  // Strict: reject empty and trailing garbage so typos in sweep scripts
+  // (--threads=abc, --seed=1x) fail loudly instead of parsing as 0.
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer value '--%s=%s'\n", program_.c_str(),
+                 it->first.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 double CliArgs::get_double(std::string_view key, double fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s: bad numeric value '--%s=%s'\n", program_.c_str(),
+                 it->first.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 bool CliArgs::get_bool(std::string_view key, bool fallback) const {

@@ -19,7 +19,8 @@ class CliArgs {
 
   [[nodiscard]] bool has(std::string_view key) const;
 
-  /// Typed getters with defaults.
+  /// Typed getters with defaults. Numeric getters abort (exit 2, message
+  /// on stderr) when the present value does not parse in full.
   [[nodiscard]] std::string get(std::string_view key,
                                 std::string_view fallback) const;
   [[nodiscard]] std::int64_t get_int(std::string_view key,

@@ -173,6 +173,53 @@ TEST(Api, ReorderedCountsTranslateBack) {
   EXPECT_FALSE(diff.has_value()) << *diff;
 }
 
+TEST(Api, ReorderHandlesIsolatedVertices) {
+  // Isolated vertices have no slots, but the degree sort must still
+  // place them and the slot translation must skip them cleanly.
+  EdgeList e(10);  // vertices 0, 5, 9 stay isolated
+  e.add(1, 2);
+  e.add(2, 3);
+  e.add(3, 1);
+  e.add(6, 7);
+  e.add(7, 8);
+  const Csr g = Csr::from_edge_list(e);
+  ASSERT_EQ(g.num_vertices(), 10u);
+  for (const auto algorithm : {Algorithm::kBmp, Algorithm::kMps}) {
+    Options opt;
+    opt.algorithm = algorithm;
+    const auto diff =
+        diff_counts(g, count_with_reorder(g, opt), count_reference(g));
+    EXPECT_FALSE(diff.has_value()) << *diff;
+  }
+}
+
+TEST(Api, ReorderHandlesAllEqualDegrees) {
+  // A cycle: every vertex has degree 2, so the degree-descending sort is
+  // all ties — the permutation is whatever the sort's tie-break yields,
+  // and translation back must still be exact.
+  constexpr VertexId kN = 64;
+  EdgeList e(kN);
+  for (VertexId v = 0; v < kN; ++v) e.add(v, (v + 1) % kN);
+  const Csr g = Csr::from_edge_list(e);
+  Options opt;
+  opt.algorithm = Algorithm::kBmp;
+  const auto diff =
+      diff_counts(g, count_with_reorder(g, opt), count_reference(g));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+
+  // Same for a union of triangles (equal degrees with nonzero counts).
+  EdgeList t(12);
+  for (VertexId base = 0; base < 12; base += 3) {
+    t.add(base, base + 1);
+    t.add(base + 1, base + 2);
+    t.add(base + 2, base);
+  }
+  const Csr tri = Csr::from_edge_list(t);
+  const auto tri_diff =
+      diff_counts(tri, count_with_reorder(tri, opt), count_reference(tri));
+  EXPECT_FALSE(tri_diff.has_value()) << *tri_diff;
+}
+
 TEST(Api, ReorderGivesBmpItsComplexityPrecondition) {
   const Csr g = Csr::from_edge_list(
       graph::chung_lu_power_law(500, 3000, 2.0, 53));

@@ -74,6 +74,56 @@ TEST(TaskPool, ZeroTotalRunsNothing) {
   EXPECT_FALSE(ran);
 }
 
+TEST(WorkerPool, CoversEveryIndexExactlyOnceAcrossRepeatedRuns) {
+  parallel::WorkerPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  // The same pool executes several jobs back-to-back — the persistent-
+  // thread property the serve layer relies on for context reuse.
+  for (const std::uint64_t total : {1ull, 7ull, 1000ull, 100003ull}) {
+    std::vector<std::atomic<std::uint32_t>> hits(total);
+    pool.run(total, 16, [&](std::uint64_t b, std::uint64_t e, int) {
+      for (std::uint64_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::uint64_t i = 0; i < total; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i << " total=" << total;
+    }
+  }
+}
+
+TEST(WorkerPool, WorkerIndexStableAndDense) {
+  parallel::WorkerPool pool(3);
+  std::atomic<std::uint32_t> seen{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.run(300, 1, [&](std::uint64_t, std::uint64_t, int w) {
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, 3);
+      seen.fetch_or(1u << w);
+    });
+  }
+  EXPECT_NE(seen.load(), 0u);
+}
+
+TEST(WorkerPool, PerWorkerStatePersistsAcrossRuns) {
+  parallel::WorkerPool pool(2);
+  std::vector<std::uint64_t> per_worker(2, 0);
+  for (int round = 0; round < 3; ++round) {
+    pool.run(100, 5, [&](std::uint64_t b, std::uint64_t e, int w) {
+      per_worker[static_cast<std::size_t>(w)] += e - b;
+    });
+  }
+  // All 300 indices landed in contexts that survived every run.
+  EXPECT_EQ(per_worker[0] + per_worker[1], 300u);
+}
+
+TEST(WorkerPool, ZeroTotalRunsNothing) {
+  parallel::WorkerPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.run(0, 8, [&](std::uint64_t, std::uint64_t, int) { ran = true; });
+  EXPECT_FALSE(ran.load());
+}
+
 class SchedulerEquivalence : public ::testing::TestWithParam<core::Algorithm> {};
 
 TEST_P(SchedulerEquivalence, PoolMatchesOpenMp) {

@@ -1,0 +1,458 @@
+// Tests for the query-service layer (src/serve/): snapshot store epoch
+// semantics, result-cache LRU behavior, query-engine correctness against
+// the batch kernels, the service façade's sync/async paths, and snapshot
+// swap under concurrent query load (the TSan CI job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "core/api.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "intersect/merge.hpp"
+#include "serve/service.hpp"
+
+namespace aecnc {
+namespace {
+
+graph::Csr test_graph(std::uint64_t seed, VertexId n = 400,
+                      std::uint64_t m = 2500) {
+  return graph::Csr::from_edge_list(graph::chung_lu_power_law(n, m, 2.2, seed));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore
+
+TEST(SnapshotStore, EpochsStartAtOneAndIncrement) {
+  serve::SnapshotStore store;
+  EXPECT_EQ(store.current_epoch(), 0u);
+  EXPECT_EQ(store.acquire(), nullptr);
+  EXPECT_EQ(store.publish(test_graph(1)), 1u);
+  EXPECT_EQ(store.publish(test_graph(2)), 2u);
+  EXPECT_EQ(store.current_epoch(), 2u);
+  EXPECT_EQ(store.publish_count(), 2u);
+}
+
+TEST(SnapshotStore, PinnedSnapshotSurvivesPublish) {
+  serve::SnapshotStore store(test_graph(1));
+  const serve::SnapshotPtr pinned = store.acquire();
+  ASSERT_NE(pinned, nullptr);
+  const auto vertices = pinned->graph.num_vertices();
+  const auto edges = pinned->graph.num_directed_edges();
+  store.publish(test_graph(2, 100, 300));
+  // The pin keeps epoch 1 fully readable after epoch 2 swapped in.
+  EXPECT_EQ(pinned->epoch, 1u);
+  EXPECT_EQ(pinned->graph.num_vertices(), vertices);
+  EXPECT_EQ(pinned->graph.num_directed_edges(), edges);
+  EXPECT_EQ(store.acquire()->epoch, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+TEST(ResultCache, HitMissAndSymmetricKeys) {
+  serve::ResultCache cache(8);
+  EXPECT_FALSE(cache.lookup(1, 2, 3).has_value());
+  cache.insert(1, 2, 3, {.count = 42, .is_edge = true});
+  const auto hit = cache.lookup(1, 2, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->count, 42u);
+  EXPECT_TRUE(hit->is_edge);
+  // (v, u) canonicalizes to the same entry.
+  EXPECT_EQ(cache.lookup(1, 3, 2)->count, 42u);
+  // A different epoch is a different key.
+  EXPECT_FALSE(cache.lookup(2, 2, 3).has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  serve::ResultCache cache(2);
+  cache.insert(1, 0, 1, {.count = 10, .is_edge = true});
+  cache.insert(1, 0, 2, {.count = 20, .is_edge = true});
+  ASSERT_TRUE(cache.lookup(1, 0, 1).has_value());  // bump (0,1) to MRU
+  cache.insert(1, 0, 3, {.count = 30, .is_edge = true});  // evicts (0,2)
+  EXPECT_TRUE(cache.lookup(1, 0, 1).has_value());
+  EXPECT_FALSE(cache.lookup(1, 0, 2).has_value());
+  EXPECT_TRUE(cache.lookup(1, 0, 3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, InvalidateAllDropsEverythingAndCounts) {
+  serve::ResultCache cache(8);
+  cache.insert(1, 0, 1, {.count = 10, .is_edge = true});
+  cache.insert(1, 0, 2, {.count = 20, .is_edge = true});
+  cache.invalidate_all();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_FALSE(cache.lookup(1, 0, 1).has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  serve::ResultCache cache(0);
+  cache.insert(1, 0, 1, {.count = 10, .is_edge = true});
+  EXPECT_FALSE(cache.lookup(1, 0, 1).has_value());
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine correctness against the batch kernels
+
+struct EngineCase {
+  core::Algorithm algorithm;
+  serve::ServeIndex index;
+  const char* name;
+};
+
+class QueryEngineCorrectness : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(QueryEngineCorrectness, MatchesAllEdgeRun) {
+  const graph::Csr g = test_graph(11);
+  const core::CountArray reference = core::count_reference(g);
+
+  serve::EngineConfig cfg;
+  cfg.options.algorithm = GetParam().algorithm;
+  cfg.index = GetParam().index;
+  cfg.num_workers = 3;
+  cfg.task_size = 17;  // odd chunking on purpose
+  serve::QueryEngine engine(cfg);
+  const serve::Snapshot snap{.epoch = 1, .graph = g};
+
+  // Vertex-neighborhood queries reproduce the all-edge slices.
+  for (VertexId u = 0; u < g.num_vertices(); u += 7) {
+    const auto counts = engine.count_vertex(snap, u);
+    const auto nbrs = g.neighbors(u);
+    ASSERT_EQ(counts.size(), nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ASSERT_EQ(counts[k], reference[g.offset_begin(u) + k])
+          << "u=" << u << " k=" << k;
+    }
+  }
+
+  // A bulk batch over every forward edge reproduces the full run.
+  std::vector<serve::EdgeQuery> queries;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) queries.push_back({u, v});
+    }
+  }
+  const auto batch = engine.count_batch(snap, queries);
+  std::size_t i = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) {
+        ASSERT_EQ(batch[i], reference[g.find_edge(u, v)])
+            << "u=" << u << " v=" << v;
+        ++i;
+      }
+    }
+  }
+
+  // Point queries (always MPS-routed) agree too, including non-edges.
+  EXPECT_EQ(engine.count_pair(snap, 0, 0), 0u);
+  EXPECT_EQ(engine.count_pair(snap, 0, g.num_vertices()), 0u);
+  for (VertexId u = 0; u < g.num_vertices(); u += 13) {
+    const VertexId v = (u * 31 + 7) % g.num_vertices();
+    if (u == v) continue;
+    EXPECT_EQ(engine.count_pair(snap, u, v),
+              intersect::merge_count(g.neighbors(u), g.neighbors(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Routes, QueryEngineCorrectness,
+    ::testing::Values(
+        EngineCase{core::Algorithm::kMergeBaseline, serve::ServeIndex::kBitmap,
+                   "M"},
+        EngineCase{core::Algorithm::kMps, serve::ServeIndex::kBitmap, "MPS"},
+        EngineCase{core::Algorithm::kBmp, serve::ServeIndex::kBitmap,
+                   "BMPbitmap"},
+        EngineCase{core::Algorithm::kBmp, serve::ServeIndex::kHash, "BMPhash"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(QueryEngine, IndexSurvivesEpochSwap) {
+  serve::EngineConfig cfg;
+  cfg.options.algorithm = core::Algorithm::kBmp;
+  cfg.num_workers = 2;
+  serve::QueryEngine engine(cfg);
+
+  const graph::Csr g1 = test_graph(21, 300, 1500);
+  const graph::Csr g2 = test_graph(22, 500, 4000);  // larger universe
+  const serve::Snapshot s1{.epoch = 1, .graph = g1};
+  const serve::Snapshot s2{.epoch = 2, .graph = g2};
+  const auto r1 = core::count_reference(g1);
+  const auto r2 = core::count_reference(g2);
+
+  // Alternate snapshots through the same engine: worker bitmaps must be
+  // rebuilt per epoch, never leak bits across graphs.
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& [snap, ref] :
+         {std::pair{&s1, &r1}, std::pair{&s2, &r2}}) {
+      const VertexId u = 5;
+      const auto counts = engine.count_vertex(*snap, u);
+      const auto nbrs = snap->graph.neighbors(u);
+      ASSERT_EQ(counts.size(), nbrs.size());
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        ASSERT_EQ(counts[k], (*ref)[snap->graph.offset_begin(u) + k])
+            << "round=" << round << " epoch=" << snap->epoch;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// core/api point-query entry points
+
+TEST(CoreApi, CountEdgeAndCountVertexMatchReference) {
+  const graph::Csr g = test_graph(31, 200, 1200);
+  const auto reference = core::count_reference(g);
+  for (VertexId u = 0; u < g.num_vertices(); u += 11) {
+    const auto counts = core::count_vertex(g, u);
+    const auto nbrs = g.neighbors(u);
+    ASSERT_EQ(counts.size(), nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ASSERT_EQ(counts[k], reference[g.offset_begin(u) + k]);
+      ASSERT_EQ(core::count_edge(g, u, nbrs[k]),
+                reference[g.offset_begin(u) + k]);
+    }
+  }
+  EXPECT_EQ(core::count_edge(g, 3, 3), 0u);
+  EXPECT_EQ(core::count_edge(g, 0, g.num_vertices()), 0u);
+  EXPECT_TRUE(core::count_vertex(g, g.num_vertices()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Service façade
+
+TEST(Service, MixedWorkloadByteIdenticalToBatchRun) {
+  const graph::Csr g = test_graph(41);
+  const core::CountArray direct = core::count_common_neighbors(g);
+
+  serve::ServiceConfig cfg;
+  cfg.engine.options.algorithm = core::Algorithm::kBmp;
+  cfg.engine.num_workers = 2;
+  serve::Service svc(cfg);
+  svc.publish(graph::Csr(g));
+
+  std::vector<serve::EdgeQuery> all_edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) all_edges.push_back({u, v});
+    }
+  }
+
+  // Point, vertex, and batch answers all reproduce the one-shot run.
+  const auto batch = svc.query_batch(all_edges);
+  for (std::size_t i = 0; i < all_edges.size(); ++i) {
+    ASSERT_EQ(batch[i].count, direct[g.find_edge(all_edges[i].u,
+                                                 all_edges[i].v)]);
+    ASSERT_TRUE(batch[i].is_edge);
+    ASSERT_EQ(batch[i].epoch, 1u);
+  }
+  for (VertexId u = 0; u < g.num_vertices(); u += 17) {
+    const auto r = svc.query_vertex(u);
+    const auto nbrs = g.neighbors(u);
+    ASSERT_EQ(r.counts.size(), nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ASSERT_EQ(r.counts[k], direct[g.offset_begin(u) + k]);
+    }
+  }
+  const auto point = svc.query_edge(all_edges[0].u, all_edges[0].v);
+  EXPECT_EQ(point.count, direct[g.find_edge(all_edges[0].u, all_edges[0].v)]);
+  EXPECT_TRUE(point.cached);  // the batch warmed the cache
+}
+
+TEST(Service, CacheHitsAndInvalidationOnPublish) {
+  serve::Service svc;
+  svc.publish(test_graph(51, 100, 400));
+
+  const auto first = svc.query_edge(1, 2);
+  EXPECT_FALSE(first.cached);
+  const auto second = svc.query_edge(2, 1);  // symmetric key
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.count, first.count);
+
+  svc.publish(test_graph(51, 100, 400));
+  const auto after = svc.query_edge(1, 2);
+  EXPECT_FALSE(after.cached);  // wholesale invalidation
+  EXPECT_EQ(after.epoch, 2u);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.publishes, 2u);
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.point_queries, 3u);
+}
+
+TEST(Service, QueryBeforePublishThrows) {
+  serve::Service svc;
+  EXPECT_THROW((void)svc.query_edge(0, 1), std::runtime_error);
+}
+
+TEST(Service, AsyncCoalescingAndRejection) {
+  const graph::Csr g = test_graph(61, 100, 400);
+  const auto reference = core::count_reference(g);
+
+  serve::ServiceConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.max_coalesce = 8;
+  cfg.start_dispatcher = false;  // drive with pump() for determinism
+  serve::Service svc(cfg);
+  svc.publish(graph::Csr(g));
+
+  std::vector<std::future<serve::QueryResult>> futures;
+  std::vector<serve::EdgeQuery> pairs;
+  for (VertexId u = 0; u < 4; ++u) {
+    const VertexId v = g.neighbors(u).empty() ? u + 10 : g.neighbors(u)[0];
+    pairs.push_back({u, v});
+    futures.push_back(svc.submit_edge(u, v));
+  }
+  EXPECT_EQ(svc.stats().queue_depth, 4u);
+
+  // Queue full: load-shedding path rejects.
+  EXPECT_FALSE(svc.try_submit_edge(90, 91).has_value());
+  EXPECT_EQ(svc.stats().async_rejected, 1u);
+
+  // One pump coalesces all four into a single engine batch.
+  EXPECT_EQ(svc.pump(), 4u);
+  EXPECT_EQ(svc.pump(), 0u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto r = futures[i].get();
+    EXPECT_EQ(r.epoch, 1u);
+    const auto [u, v] = pairs[i];
+    if (r.is_edge) {
+      EXPECT_EQ(r.count, reference[g.find_edge(u, v)]);
+    }
+  }
+  const auto s = svc.stats();
+  EXPECT_EQ(s.async_batches, 1u);
+  EXPECT_EQ(s.async_max_coalesced, 4u);
+
+  // Cache fast path: a repeated submit completes without queuing.
+  auto cached = svc.submit_edge(pairs[0].u, pairs[0].v);
+  EXPECT_EQ(cached.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(cached.get().cached);
+  EXPECT_EQ(svc.stats().queue_depth, 0u);
+}
+
+TEST(Service, SubmitBackpressureBlocksUntilDrained) {
+  serve::ServiceConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.start_dispatcher = false;
+  serve::Service svc(cfg);
+  svc.publish(test_graph(71, 100, 400));
+
+  auto first = svc.submit_edge(0, 1);  // fills the queue
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    auto second = svc.submit_edge(2, 3);  // must block until pump() drains
+    (void)second.get();
+    done.store(true);
+  });
+  while (!done.load()) {
+    svc.pump();
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(first.get().epoch, 1u);
+  EXPECT_GE(svc.stats().async_batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot swap under concurrent query load (TSan target). Every reply
+// must be consistent with exactly one published epoch: we validate each
+// count against a reference recomputed on that epoch's graph.
+
+TEST(Service, SnapshotSwapUnderLoadKeepsEpochsConsistent) {
+  // Same vertex universe, three different edge sets with different counts.
+  std::vector<graph::Csr> graphs;
+  for (std::uint64_t seed = 81; seed < 84; ++seed) {
+    graphs.push_back(test_graph(seed, 250, 1500));
+  }
+  // references[e - 1] is the ground truth for epoch e.
+  std::vector<core::CountArray> references;
+  references.reserve(graphs.size());
+  for (const auto& g : graphs) references.push_back(core::count_reference(g));
+
+  serve::ServiceConfig cfg;
+  cfg.engine.options.algorithm = core::Algorithm::kBmp;
+  cfg.engine.num_workers = 2;
+  cfg.cache_capacity = 256;
+  serve::Service svc(cfg);
+  svc.publish(graph::Csr(graphs[0]));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> validated{0};
+  std::atomic<bool> failed{false};
+
+  const auto check_reply = [&](const serve::QueryResult& r) {
+    ASSERT_GE(r.epoch, 1u);
+    ASSERT_LE(r.epoch, graphs.size());
+    const graph::Csr& g = graphs[r.epoch - 1];
+    // Recompute on the pinned epoch's graph: a reply mixing two epochs
+    // (e.g. counted on one graph, attributed to another) fails here.
+    const CnCount expected =
+        (r.u < g.num_vertices() && r.v < g.num_vertices() && r.u != r.v)
+            ? intersect::merge_count(g.neighbors(r.u), g.neighbors(r.v))
+            : 0;
+    if (r.count != expected) failed.store(true);
+    ASSERT_EQ(r.count, expected) << "epoch=" << r.epoch << " u=" << r.u
+                                 << " v=" << r.v;
+    validated.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      std::uint64_t x = 12345u + static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // xorshift: cheap deterministic-per-thread pair stream.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const auto u = static_cast<VertexId>(x % 250);
+        const auto v = static_cast<VertexId>((x >> 8) % 250);
+        if (t == 0) {
+          // Async path through the dispatcher.
+          check_reply(svc.submit_edge(u, v).get());
+        } else if (t == 1) {
+          check_reply(svc.query_edge(u, v));
+        } else {
+          const std::vector<serve::EdgeQuery> batch{{u, v}, {v, u}, {u, u}};
+          for (const auto& r : svc.query_batch(batch)) check_reply(r);
+        }
+      }
+    });
+  }
+
+  // Publish the remaining epochs while clients hammer the service.
+  for (std::size_t i = 1; i < graphs.size(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    svc.publish(graph::Csr(graphs[i]));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(validated.load(), 0u);
+  EXPECT_EQ(svc.stats().epoch, graphs.size());
+
+  // Differential cross-check (src/check): the kernels the engine routes
+  // through still agree with the scalar reference on adversarial shapes.
+  check::DifferentialConfig diff;
+  diff.cases = 40;
+  diff.max_len = 128;
+  const auto report = check::run_kernel_differential(diff);
+  EXPECT_TRUE(report.ok())
+      << (report.mismatches.empty() ? "" : report.mismatches.front());
+}
+
+}  // namespace
+}  // namespace aecnc

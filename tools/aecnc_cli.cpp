@@ -10,13 +10,27 @@
 //   aecnc_cli triangles --in=...  [--algo=merge|hash|all-edge]
 //   aecnc_cli scan      --in=... --eps=0.5 --mu=3 [--out=clusters.txt]
 //   aecnc_cli verify    --in=...   (all algorithm variants vs brute force)
+//   aecnc_cli query     --in=... (--edge=u,v | --vertex=u) [--algo=mps|bmp|m]
+//   aecnc_cli serve     --in=... [--script=reqs.txt] [--out=replies.txt]
+//                       [--algo=mps|bmp|m] [--index=bitmap|hash]
+//                       [--workers=N] [--cache=65536] [--task-size=64]
+//
+// serve drives the embeddable query service (docs/serving.md) from a
+// scripted request stream (--script file, else stdin), one request per
+// line:  edge u v | vertex u | batch u1 v1 [u2 v2 ...] | add u v |
+// remove u v | publish | stats.  Replies go to --out (else stdout) in a
+// deterministic text format, so sessions diff against golden files.
 //
 // Inputs ending in ".csr" are read as the binary format, anything else
 // as a SNAP-style text edge list.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "check/invariants.hpp"
@@ -29,6 +43,7 @@
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
 #include "scan/scan.hpp"
+#include "serve/service.hpp"
 #include "util/chart.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -41,7 +56,8 @@ using namespace aecnc;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fputs(
-      "usage: aecnc_cli <generate|convert|stats|count|triangles|scan> "
+      "usage: aecnc_cli "
+      "<generate|convert|stats|count|triangles|scan|verify|query|serve> "
       "[--key=value ...]\n"
       "see the header of tools/aecnc_cli.cpp for the full option list\n",
       stderr);
@@ -297,18 +313,223 @@ int cmd_scan(const util::CliArgs& args) {
   return 0;
 }
 
+core::Options parse_algo_options(const util::CliArgs& args) {
+  core::Options opt;
+  const std::string algo = args.get("algo", "mps");
+  if (algo == "mps") {
+    opt.algorithm = core::Algorithm::kMps;
+    opt.mps.kind = intersect::best_merge_kind();
+  } else if (algo == "bmp") {
+    opt.algorithm = core::Algorithm::kBmp;
+  } else if (algo == "m") {
+    opt.algorithm = core::Algorithm::kMergeBaseline;
+  } else {
+    usage("unknown --algo (mps|bmp|m)");
+  }
+  return opt;
+}
+
+int cmd_query(const util::CliArgs& args) {
+  const graph::Csr g = load_graph(args);
+  const core::Options opt = parse_algo_options(args);
+  if (args.has("edge")) {
+    const std::string pair = args.get("edge", "");
+    unsigned long u = 0;
+    unsigned long v = 0;
+    if (std::sscanf(pair.c_str(), "%lu,%lu", &u, &v) != 2) {
+      usage("--edge expects 'u,v'");
+    }
+    const auto uu = static_cast<VertexId>(u);
+    const auto vv = static_cast<VertexId>(v);
+    const CnCount c = core::count_edge(g, uu, vv, opt);
+    const bool is_edge = uu < g.num_vertices() && vv < g.num_vertices() &&
+                         uu != vv &&
+                         g.find_edge(uu, vv) != g.num_directed_edges();
+    std::printf("edge %lu %lu: cnt=%u edge=%s\n", u, v, c,
+                is_edge ? "yes" : "no");
+    return 0;
+  }
+  if (args.has("vertex")) {
+    const auto u = static_cast<VertexId>(args.get_int("vertex", 0));
+    const auto counts = core::count_vertex(g, u, opt);
+    std::printf("vertex %u: deg=%zu cnts=", u, counts.size());
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      std::printf("%s%u", k == 0 ? "" : ",", counts[k]);
+    }
+    std::printf("\n");
+    return 0;
+  }
+  usage("query needs --edge=u,v or --vertex=u");
+}
+
+/// Canonical (u < v) edge set of g, the mutable state behind the serve
+/// loop's add/remove/publish commands.
+std::vector<graph::Edge> edge_set_of(const graph::Csr& g) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(g.num_undirected_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+int cmd_serve(const util::CliArgs& args) {
+  graph::Csr g = load_graph(args);
+
+  serve::ServiceConfig cfg;
+  cfg.engine.options = parse_algo_options(args);
+  const std::string index = args.get("index", "bitmap");
+  if (index == "bitmap") {
+    cfg.engine.index = serve::ServeIndex::kBitmap;
+  } else if (index == "hash") {
+    cfg.engine.index = serve::ServeIndex::kHash;
+  } else {
+    usage("unknown --index (bitmap|hash)");
+  }
+  cfg.engine.num_workers = static_cast<int>(args.get_int("workers", 0));
+  cfg.engine.task_size =
+      static_cast<std::uint64_t>(args.get_int("task-size", 64));
+  cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 65536));
+
+  std::ifstream script_file;
+  std::istream* in = &std::cin;
+  const std::string script = args.get("script", "");
+  if (!script.empty()) {
+    script_file.open(script);
+    if (!script_file) usage("cannot open --script file");
+    in = &script_file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) usage("cannot open --out file");
+    out = &out_file;
+  }
+
+  // Mutable edge set for add/remove; publish rebuilds the CSR from it.
+  std::vector<graph::Edge> edges = edge_set_of(g);
+  VertexId universe = g.num_vertices();
+
+  serve::Service svc(cfg);
+  svc.publish(std::move(g));
+
+  const auto print_epoch = [&](serve::Epoch e) {
+    *out << "epoch=" << e;
+  };
+
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string command;
+    tokens >> command;
+    const auto bad_line = [&]() -> int {
+      std::fprintf(stderr, "serve: bad request at line %llu: %s\n",
+                   static_cast<unsigned long long>(line_no), line.c_str());
+      return 1;
+    };
+
+    if (command == "edge") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v)) return bad_line();
+      const auto r = svc.query_edge(u, v);
+      *out << "edge " << u << ' ' << v << ": ";
+      print_epoch(r.epoch);
+      *out << " cnt=" << r.count << " edge=" << (r.is_edge ? "yes" : "no")
+           << " cached=" << (r.cached ? "yes" : "no") << '\n';
+    } else if (command == "vertex") {
+      VertexId u = 0;
+      if (!(tokens >> u)) return bad_line();
+      const auto r = svc.query_vertex(u);
+      *out << "vertex " << u << ": ";
+      print_epoch(r.epoch);
+      *out << " deg=" << r.counts.size() << " cnts=";
+      for (std::size_t k = 0; k < r.counts.size(); ++k) {
+        *out << (k == 0 ? "" : ",") << r.counts[k];
+      }
+      *out << '\n';
+    } else if (command == "batch") {
+      std::vector<serve::EdgeQuery> queries;
+      VertexId u = 0;
+      VertexId v = 0;
+      while (tokens >> u >> v) queries.push_back({u, v});
+      if (queries.empty()) return bad_line();
+      const auto rs = svc.query_batch(queries);
+      *out << "batch " << rs.size() << ": ";
+      print_epoch(rs.empty() ? svc.current_epoch() : rs.front().epoch);
+      *out << " cnts=";
+      for (std::size_t k = 0; k < rs.size(); ++k) {
+        *out << (k == 0 ? "" : ",") << rs[k].count;
+      }
+      *out << '\n';
+    } else if (command == "add" || command == "remove") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v) || u == v) return bad_line();
+      graph::Edge e{std::min(u, v), std::max(u, v)};
+      if (command == "add") {
+        edges.push_back(e);
+        universe = std::max(universe, static_cast<VertexId>(e.v + 1));
+      } else {
+        std::erase(edges, e);
+      }
+      *out << command << ' ' << u << ' ' << v << ": staged\n";
+    } else if (command == "publish") {
+      graph::EdgeList el(universe, edges);
+      el.ensure_vertices(universe);
+      graph::Csr next = graph::Csr::from_edge_list(std::move(el));
+      const auto vertices = next.num_vertices();
+      const auto undirected = next.num_undirected_edges();
+      const serve::Epoch epoch = svc.publish(std::move(next));
+      *out << "publish: ";
+      print_epoch(epoch);
+      *out << " vertices=" << vertices << " edges=" << undirected << '\n';
+    } else if (command == "stats") {
+      const auto s = svc.stats();
+      *out << "stats: ";
+      print_epoch(s.epoch);
+      *out << " cache_size=" << s.cache.size << " hits=" << s.cache.hits
+           << " misses=" << s.cache.misses
+           << " evictions=" << s.cache.evictions
+           << " point=" << s.point_queries << " vertex=" << s.vertex_queries
+           << " batch=" << s.batch_queries << '\n';
+    } else {
+      return bad_line();
+    }
+  }
+  out->flush();
+  return out->good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   const util::CliArgs args(argc - 1, argv + 1);
-  if (command == "generate") return cmd_generate(args);
-  if (command == "convert") return cmd_convert(args);
-  if (command == "stats") return cmd_stats(args);
-  if (command == "count") return cmd_count(args);
-  if (command == "triangles") return cmd_triangles(args);
-  if (command == "scan") return cmd_scan(args);
-  if (command == "verify") return cmd_verify(args);
+  // Every failure path exits non-zero with a message on stderr: usage()
+  // for bad invocations (exit 2), this catch for runtime errors such as
+  // unreadable or malformed graph files (exit 1).
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "count") return cmd_count(args);
+    if (command == "triangles") return cmd_triangles(args);
+    if (command == "scan") return cmd_scan(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "serve") return cmd_serve(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   usage("unknown command");
 }
