@@ -1,0 +1,343 @@
+// Hot-path ablation bench: quantifies the two PR-3 optimizations and
+// guards them against regressions (tools/bench_regress.py consumes the
+// JSON in CI).
+//
+//   A. Symmetric assignment: storing cnt[e(v,u)] through the O(|E|)
+//      reverse-edge index (Csr::reverse_offsets) vs the paper's per-edge
+//      binary search find_edge(v, u). Target: >= 5x on a skewed replica
+//      (hub adjacency lists make the binary search log(d_max) deep).
+//   B. End-to-end: the sequential MPS driver (reverse-index symmetric
+//      stores) vs a bench-local legacy driver that still calls find_edge
+//      per forward edge. Same kernels, same schedule — the delta is the
+//      mirror-store path only.
+//   C. Software prefetching (AECNC_PREFETCH): per-kernel on/off for the
+//      galloping pivot-skip, the VB block kernel and the BMP bitmap
+//      probe loop, plus the end-to-end Options::prefetch toggle.
+//
+// Emits BENCH_hotpath.json next to the human-readable table.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bitmap/bitmap.hpp"
+#include "core/sequential.hpp"
+#include "intersect/dispatch.hpp"
+#include "intersect/pivot_skip.hpp"
+#include "util/timer.hpp"
+
+using namespace aecnc;
+
+namespace {
+
+struct ForwardEdge {
+  EdgeId e;
+  VertexId u, v;
+};
+
+/// The legacy driver section B compares against: identical kernel and
+/// schedule to count_sequential_mps, but every mirror store goes through
+/// the per-edge binary search the paper describes (what the core loops
+/// did before the reverse index existed).
+core::CountArray legacy_find_edge_mps(const graph::Csr& g,
+                                      const intersect::MpsConfig& cfg) {
+  core::CountArray cnt(g.num_directed_edges(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const EdgeId base = g.offset_begin(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      const CnCount c = intersect::mps_count(nbrs, g.neighbors(v), cfg);
+      cnt[base + static_cast<EdgeId>(k)] = c;
+      cnt[g.find_edge(v, u)] = c;
+    }
+  }
+  return cnt;
+}
+
+/// Legacy sequential BMP (Algorithm 2) with find_edge mirror stores. BMP
+/// intersections are cheap bit probes, so the per-edge binary search is a
+/// far larger fraction of the runtime than under MPS — this is where the
+/// reverse index moves the end-to-end number most.
+core::CountArray legacy_find_edge_bmp(const graph::Csr& g) {
+  core::CountArray cnt(g.num_directed_edges(), 0);
+  bitmap::Bitmap bm(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    bm.set_all(nbrs);
+    const EdgeId base = g.offset_begin(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      const CnCount c = bitmap::bitmap_intersect_count(bm, g.neighbors(v));
+      cnt[base + static_cast<EdgeId>(k)] = c;
+      cnt[g.find_edge(v, u)] = c;
+    }
+    bm.clear_all(nbrs);
+  }
+  return cnt;
+}
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto options =
+      bench::parse_bench_options(args, {graph::DatasetId::kTwitter});
+  // Like the serve bench, default to a larger replica than the shared
+  // bench scale: the symmetric-store delta is a per-edge cost, so tiny
+  // graphs measure loop overhead instead. --scale still overrides.
+  if (!args.has("scale")) options.scale = 4 * bench::kDefaultScale;
+  const int reps = static_cast<int>(args.get_int("reps", 11));
+  const std::string json_path = args.get("json", "BENCH_hotpath.json");
+  bench::print_banner(
+      "Hot-path ablation: reverse-edge index + software prefetch",
+      "the O(|E|) reverse index makes the symmetric copy >= 5x cheaper "
+      "than the per-edge binary search on skewed graphs; prefetch hints "
+      "trim the memory-bound kernels without changing any count",
+      options);
+
+  const auto id = options.datasets.front();
+  const auto g = bench::make_bench_graph(id, options.scale);
+  const graph::Csr& csr = g.csr;
+  const EdgeId m2 = csr.num_directed_edges();
+
+  std::vector<ForwardEdge> forward;
+  for (VertexId u = 0; u < csr.num_vertices(); ++u) {
+    for (EdgeId e = csr.offset_begin(u); e < csr.offset_end(u); ++e) {
+      const VertexId v = csr.dst_of(e);
+      if (u < v) forward.push_back({e, u, v});
+    }
+  }
+
+  // ---- A. reverse-index build + symmetric-copy microbench -------------
+  util::WallTimer timer;
+  const EdgeId* rev = csr.reverse_offsets().data();  // first touch builds
+  const double build_ms = timer.millis();
+
+  core::CountArray cnt(m2, 1);
+  std::uint64_t sink = 0;
+
+  timer.reset();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& fe : forward) cnt[rev[fe.e]] = cnt[fe.e] + r;
+    sink += cnt[m2 / 2];
+  }
+  const double symcopy_rev_ms = timer.millis() / reps;
+
+  timer.reset();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& fe : forward) {
+      cnt[csr.find_edge(fe.v, fe.u)] = cnt[fe.e] + r;
+    }
+    sink += cnt[m2 / 2];
+  }
+  const double symcopy_find_ms = timer.millis() / reps;
+  const double symcopy_speedup = ratio(symcopy_find_ms, symcopy_rev_ms);
+
+  // ---- B. end-to-end sequential MPS: reverse index vs find_edge -------
+  intersect::MpsConfig mps_cfg;
+  mps_cfg.kind = intersect::best_merge_kind();
+
+  timer.reset();
+  const auto counts_rev = core::count_sequential_mps(csr, mps_cfg);
+  const double e2e_rev_ms = timer.millis();
+
+  timer.reset();
+  const auto counts_legacy = legacy_find_edge_mps(csr, mps_cfg);
+  const double e2e_find_ms = timer.millis();
+  const double e2e_speedup = ratio(e2e_find_ms, e2e_rev_ms);
+
+  if (counts_rev != counts_legacy) {
+    std::fprintf(stderr,
+                 "FATAL: reverse-index driver disagrees with the legacy "
+                 "find_edge driver\n");
+    return 1;
+  }
+
+  timer.reset();
+  const auto bmp_rev = core::count_sequential_bmp(csr, /*range_filter=*/false);
+  const double e2e_bmp_rev_ms = timer.millis();
+
+  timer.reset();
+  const auto bmp_legacy = legacy_find_edge_bmp(csr);
+  const double e2e_bmp_find_ms = timer.millis();
+  const double e2e_bmp_speedup = ratio(e2e_bmp_find_ms, e2e_bmp_rev_ms);
+
+  if (bmp_rev != bmp_legacy) {
+    std::fprintf(stderr,
+                 "FATAL: BMP reverse-index driver disagrees with the legacy "
+                 "find_edge driver\n");
+    return 1;
+  }
+
+  // ---- C. prefetch on/off, per kernel and end-to-end ------------------
+  // Pivot-skip: the galloping probe is the prefetch target, so pair the
+  // biggest hub's list against each of its neighbors' (max skew).
+  VertexId hub = 0;
+  for (VertexId u = 1; u < csr.num_vertices(); ++u) {
+    if (csr.degree(u) > csr.degree(hub)) hub = u;
+  }
+  const auto hub_nbrs = csr.neighbors(hub);
+  const auto time_pivot_skip = [&](bool pf) {
+    util::WallTimer t;
+    for (int r = 0; r < reps; ++r) {
+      for (const VertexId u : hub_nbrs) {
+        sink += intersect::pivot_skip_count(csr.neighbors(u), hub_nbrs, pf);
+      }
+    }
+    return t.millis() / reps;
+  };
+  const double ps_on_ms = time_pivot_skip(true);
+  const double ps_off_ms = time_pivot_skip(false);
+
+  // VB kernel: every forward pair through the host's best block kernel.
+  const intersect::MergeKind kind = intersect::best_merge_kind();
+  const auto time_vb = [&](bool pf) {
+    util::WallTimer t;
+    for (const auto& fe : forward) {
+      sink += intersect::vb_count(csr.neighbors(fe.u), csr.neighbors(fe.v),
+                                  kind, pf);
+    }
+    return t.millis();
+  };
+  const double vb_on_ms = time_vb(true);
+  const double vb_off_ms = time_vb(false);
+
+  // Bitmap probes: the replica's bitmap is cache-resident (where the
+  // kIndexPrefetchMinBytes gate keeps hints off by design), so measure
+  // the gated path on a paper-regime universe instead: a 2^31-bit bitmap
+  // (256 MiB, beyond any LLC) probed at random — probes go to DRAM.
+  constexpr std::uint64_t kBigUniverse = 1ULL << 31;
+  bitmap::Bitmap bm(kBigUniverse);
+  std::vector<VertexId> probes(1 << 20);
+  std::uint64_t rng = 0x5eedULL;
+  for (auto& p : probes) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    p = static_cast<VertexId>(rng & (kBigUniverse - 1));
+    if ((rng & 3) == 0) bm.set(p);
+  }
+  const auto time_bitmap = [&](bool pf) {
+    util::WallTimer t;
+    for (int r = 0; r < reps; ++r) {
+      sink += bitmap::bitmap_intersect_count(bm, probes, pf);
+    }
+    return t.millis() / reps;
+  };
+  const double bm_on_ms = time_bitmap(true);
+  const double bm_off_ms = time_bitmap(false);
+
+  // End-to-end Options::prefetch toggle on both algorithm families.
+  const auto time_e2e = [&](core::Algorithm algo, bool pf) {
+    core::Options o;
+    o.algorithm = algo;
+    o.parallel = false;
+    o.prefetch = pf;
+    o.mps.kind = kind;
+    util::WallTimer t;
+    const auto c = core::count_common_neighbors(csr, o);
+    sink += c.empty() ? 0 : c.front();
+    return t.millis();
+  };
+  const double e2e_mps_on_ms = time_e2e(core::Algorithm::kMps, true);
+  const double e2e_mps_off_ms = time_e2e(core::Algorithm::kMps, false);
+  const double e2e_bmp_on_ms = time_e2e(core::Algorithm::kBmp, true);
+  const double e2e_bmp_off_ms = time_e2e(core::Algorithm::kBmp, false);
+
+  // ---- report ---------------------------------------------------------
+  util::TablePrinter table({"path", "time", "note"});
+  table.add_row({"reverse index build (once)",
+                 util::format_fixed(build_ms, 2) + " ms",
+                 "O(|E|) counting sweep, amortized over all drivers"});
+  table.add_row({"symcopy via reverse index",
+                 util::format_fixed(symcopy_rev_ms, 2) + " ms/rep",
+                 "cnt[rev[e]] = cnt[e]"});
+  table.add_row({"symcopy via find_edge",
+                 util::format_fixed(symcopy_find_ms, 2) + " ms/rep",
+                 util::format_fixed(symcopy_speedup, 1) +
+                     "x slower (target >= 5x)"});
+  table.add_row({"e2e MPS, reverse index",
+                 util::format_fixed(e2e_rev_ms, 2) + " ms", "sequential"});
+  table.add_row({"e2e MPS, legacy find_edge",
+                 util::format_fixed(e2e_find_ms, 2) + " ms",
+                 util::format_fixed(e2e_speedup, 2) + "x vs reverse index"});
+  table.add_row({"e2e BMP, reverse index",
+                 util::format_fixed(e2e_bmp_rev_ms, 2) + " ms", "sequential"});
+  table.add_row({"e2e BMP, legacy find_edge",
+                 util::format_fixed(e2e_bmp_find_ms, 2) + " ms",
+                 util::format_fixed(e2e_bmp_speedup, 2) + "x vs reverse index"});
+  table.add_row({"pivot-skip prefetch on/off",
+                 util::format_fixed(ps_on_ms, 2) + " / " +
+                     util::format_fixed(ps_off_ms, 2) + " ms/rep",
+                 "hub vs its neighbors"});
+  table.add_row({"VB kernel prefetch on/off",
+                 util::format_fixed(vb_on_ms, 2) + " / " +
+                     util::format_fixed(vb_off_ms, 2) + " ms",
+                 std::string(intersect::merge_kind_name(kind))});
+  table.add_row({"bitmap probe prefetch on/off",
+                 util::format_fixed(bm_on_ms, 2) + " / " +
+                     util::format_fixed(bm_off_ms, 2) + " ms/rep",
+                 "2^31-bit bitmap, 2^20 random probes"});
+  table.add_row({"e2e MPS prefetch on/off",
+                 util::format_fixed(e2e_mps_on_ms, 2) + " / " +
+                     util::format_fixed(e2e_mps_off_ms, 2) + " ms",
+                 "Options::prefetch"});
+  table.add_row({"e2e BMP prefetch on/off",
+                 util::format_fixed(e2e_bmp_on_ms, 2) + " / " +
+                     util::format_fixed(e2e_bmp_off_ms, 2) + " ms",
+                 "Options::prefetch"});
+  table.print();
+  std::printf("(sink %llu keeps the loops live)\n",
+              static_cast<unsigned long long>(sink & 0xff));
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"experiment\": \"hotpath\",\n"
+               "  \"dataset\": \"%.*s\",\n"
+               "  \"scale\": %g,\n"
+               "  \"reps\": %d,\n"
+               "  \"forward_edges\": %zu,\n"
+               "  \"reverse_build_ms\": %.3f,\n"
+               "  \"symcopy_reverse_ms\": %.3f,\n"
+               "  \"symcopy_find_edge_ms\": %.3f,\n"
+               "  \"symcopy_speedup\": %.2f,\n"
+               "  \"e2e_reverse_ms\": %.3f,\n"
+               "  \"e2e_find_edge_ms\": %.3f,\n"
+               "  \"e2e_speedup\": %.3f,\n"
+               "  \"e2e_bmp_reverse_ms\": %.3f,\n"
+               "  \"e2e_bmp_find_edge_ms\": %.3f,\n"
+               "  \"e2e_bmp_speedup\": %.3f,\n"
+               "  \"prefetch\": {\n"
+               "    \"pivot_skip_on_ms\": %.3f,\n"
+               "    \"pivot_skip_off_ms\": %.3f,\n"
+               "    \"vb_on_ms\": %.3f,\n"
+               "    \"vb_off_ms\": %.3f,\n"
+               "    \"bitmap_on_ms\": %.3f,\n"
+               "    \"bitmap_off_ms\": %.3f,\n"
+               "    \"e2e_mps_on_ms\": %.3f,\n"
+               "    \"e2e_mps_off_ms\": %.3f,\n"
+               "    \"e2e_bmp_on_ms\": %.3f,\n"
+               "    \"e2e_bmp_off_ms\": %.3f\n"
+               "  }\n"
+               "}\n",
+               static_cast<int>(graph::dataset_name(id).size()),
+               graph::dataset_name(id).data(), options.scale, reps,
+               forward.size(), build_ms, symcopy_rev_ms, symcopy_find_ms,
+               symcopy_speedup, e2e_rev_ms, e2e_find_ms, e2e_speedup,
+               e2e_bmp_rev_ms, e2e_bmp_find_ms, e2e_bmp_speedup, ps_on_ms, ps_off_ms, vb_on_ms, vb_off_ms, bm_on_ms, bm_off_ms,
+               e2e_mps_on_ms, e2e_mps_off_ms, e2e_bmp_on_ms, e2e_bmp_off_ms);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

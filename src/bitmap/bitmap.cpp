@@ -20,9 +20,9 @@ std::uint64_t Bitmap::popcount() const noexcept {
 }
 
 CnCount bitmap_intersect_count(const Bitmap& index,
-                               std::span<const VertexId> a) {
+                               std::span<const VertexId> a, bool prefetch) {
   intersect::NullCounter null;
-  return bitmap_intersect_count(index, a, null);
+  return bitmap_intersect_count(index, a, null, prefetch);
 }
 
 }  // namespace aecnc::bitmap

@@ -3,9 +3,9 @@
 namespace aecnc::bitmap {
 
 CnCount rf_intersect_count(const RangeFilteredBitmap& index,
-                           std::span<const VertexId> a) {
+                           std::span<const VertexId> a, bool prefetch) {
   intersect::NullCounter null;
-  return rf_intersect_count(index, a, null);
+  return rf_intersect_count(index, a, null, prefetch);
 }
 
 }  // namespace aecnc::bitmap

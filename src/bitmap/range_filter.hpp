@@ -79,13 +79,30 @@ class RangeFilteredBitmap {
 
 /// IntersectBMP with range filtering: probe the summary first; only on a
 /// summary hit touch the big bitmap.
+///
+/// Prefetching respects the filter: the big-bitmap word of the lookahead
+/// neighbor is requested only when its summary bit (an L1-resident read)
+/// is set, so ranges RF proves empty still cost zero DRAM traffic.
 template <typename Counter = intersect::NullCounter>
 [[nodiscard]] CnCount rf_intersect_count(const RangeFilteredBitmap& index,
                                          std::span<const VertexId> a,
-                                         Counter& counter) {
+                                         Counter& counter,
+                                         bool prefetch = true) {
   CnCount c = 0;
   const std::uint64_t scale = index.range_scale();
-  for (const VertexId w : a) {
+  const std::size_t n = a.size();
+  // Hint only when the big bitmap exceeds cache (kIndexPrefetchMinBytes):
+  // the summary is L1-resident by design and never worth prefetching.
+  const bool pf =
+      prefetch && index.big().memory_bytes() >= util::kIndexPrefetchMinBytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pf && i + util::kBitmapPrefetchDistance < n) {
+      const VertexId ahead = a[i + util::kBitmapPrefetchDistance];
+      if (index.summary().test(static_cast<VertexId>(ahead / scale))) {
+        index.big().prefetch(ahead);
+      }
+    }
+    const VertexId w = a[i];
     counter.rf_probe();
     if (!index.summary().test(static_cast<VertexId>(w / scale))) {
       counter.rf_skip();
@@ -101,6 +118,7 @@ template <typename Counter = intersect::NullCounter>
 }
 
 [[nodiscard]] CnCount rf_intersect_count(const RangeFilteredBitmap& index,
-                                         std::span<const VertexId> a);
+                                         std::span<const VertexId> a,
+                                         bool prefetch = true);
 
 }  // namespace aecnc::bitmap

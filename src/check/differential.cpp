@@ -107,22 +107,36 @@ std::vector<std::pair<std::string, Kernel>> comparison_kernels() {
   kernels.emplace_back("pivot_skip", [](Span a, Span b) {
     return intersect::pivot_skip_count(a, b);
   });
+  // Prefetch-off twin: a prefetch hint must never change the count, and
+  // the sanitizer jobs should walk both sides of every `if (prefetch)`.
+  kernels.emplace_back("pivot_skip/nopf", [](Span a, Span b) {
+    return intersect::pivot_skip_count(a, b, /*prefetch=*/false);
+  });
 #if AECNC_HAVE_SIMD_KERNELS
   if (intersect::cpu_has_avx2()) {
     kernels.emplace_back("pivot_skip_avx2", [](Span a, Span b) {
       return intersect::pivot_skip_count_avx2(a, b);
     });
+    kernels.emplace_back("pivot_skip_avx2/nopf", [](Span a, Span b) {
+      return intersect::pivot_skip_count_avx2(a, b, /*prefetch=*/false);
+    });
   }
 #endif
 
-  // Every MergeKind the host supports, through the public dispatch entry.
+  // Every MergeKind the host supports, through the public dispatch entry,
+  // with prefetching both on and off.
   for (const MergeKind kind :
        {MergeKind::kScalar, MergeKind::kBranchless, MergeKind::kBlockScalar,
         MergeKind::kSse, MergeKind::kAvx2, MergeKind::kAvx512}) {
     if (!intersect::merge_kind_supported(kind)) continue;
-    kernels.emplace_back(
-        "vb_count/" + std::string(intersect::merge_kind_name(kind)),
-        [kind](Span a, Span b) { return intersect::vb_count(a, b, kind); });
+    const std::string base =
+        "vb_count/" + std::string(intersect::merge_kind_name(kind));
+    kernels.emplace_back(base, [kind](Span a, Span b) {
+      return intersect::vb_count(a, b, kind);
+    });
+    kernels.emplace_back(base + "/nopf", [kind](Span a, Span b) {
+      return intersect::vb_count(a, b, kind, /*prefetch=*/false);
+    });
   }
 
   // MPS dispatch itself: both sides of the skew threshold, with and
@@ -239,6 +253,8 @@ DifferentialReport run_kernel_differential(const DifferentialConfig& config) {
       bitmap::Bitmap bm(config.universe);
       bm.set_all(a);
       record("bitmap", bitmap::bitmap_intersect_count(bm, b));
+      record("bitmap/nopf",
+             bitmap::bitmap_intersect_count(bm, b, /*prefetch=*/false));
 
       for (const std::uint64_t scale : {std::uint64_t{64},
                                         std::uint64_t{4096}}) {
@@ -246,6 +262,8 @@ DifferentialReport run_kernel_differential(const DifferentialConfig& config) {
         rf.set_all(a);
         record(scale == 64 ? "range_filter/64" : "range_filter/4096",
                bitmap::rf_intersect_count(rf, b));
+        record(scale == 64 ? "range_filter/64/nopf" : "range_filter/4096/nopf",
+               bitmap::rf_intersect_count(rf, b, /*prefetch=*/false));
         rf.clear_all(a);
         if (!rf.all_zero()) {
           report.mismatches.push_back(

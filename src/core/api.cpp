@@ -7,6 +7,17 @@
 #include "intersect/dispatch.hpp"
 
 namespace aecnc::core {
+namespace {
+
+/// The kernel-level MPS config for a run: Options::prefetch is the master
+/// switch and overwrites the per-config flag.
+intersect::MpsConfig effective_mps(const Options& options) {
+  intersect::MpsConfig cfg = options.mps;
+  cfg.prefetch = options.prefetch;
+  return cfg;
+}
+
+}  // namespace
 
 CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
   if (options.parallel) return count_parallel(g, options);
@@ -14,10 +25,10 @@ CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
     case Algorithm::kMergeBaseline:
       return count_sequential_m(g);
     case Algorithm::kMps:
-      return count_sequential_mps(g, options.mps);
+      return count_sequential_mps(g, effective_mps(options));
     case Algorithm::kBmp:
       return count_sequential_bmp(g, options.bmp_range_filter,
-                                  options.rf_range_scale);
+                                  options.rf_range_scale, options.prefetch);
   }
   return count_sequential_m(g);
 }
@@ -57,16 +68,18 @@ CountArray count_instrumented(const graph::Csr& g, const Options& options,
 CnCount count_edge(const graph::Csr& g, VertexId u, VertexId v,
                    const Options& options) {
   if (u >= g.num_vertices() || v >= g.num_vertices() || u == v) return 0;
-  return intersect::mps_count(g.neighbors(u), g.neighbors(v), options.mps);
+  return intersect::mps_count(g.neighbors(u), g.neighbors(v),
+                              effective_mps(options));
 }
 
 CountArray count_vertex(const graph::Csr& g, VertexId u,
                         const Options& options) {
   if (u >= g.num_vertices()) return {};
+  const intersect::MpsConfig cfg = effective_mps(options);
   const auto nbrs = g.neighbors(u);
   CountArray counts(nbrs.size(), 0);
   for (std::size_t k = 0; k < nbrs.size(); ++k) {
-    counts[k] = intersect::mps_count(nbrs, g.neighbors(nbrs[k]), options.mps);
+    counts[k] = intersect::mps_count(nbrs, g.neighbors(nbrs[k]), cfg);
   }
   return counts;
 }

@@ -1,14 +1,17 @@
 #include "core/comparators.hpp"
 
+#include "check/check.hpp"
 #include "intersect/hash_index.hpp"
 #include "intersect/sparse_bitmap.hpp"
 
 namespace aecnc::core {
 namespace {
 
-inline void assign_symmetric(const graph::Csr& g, CountArray& cnt, VertexId u,
-                             VertexId v, EdgeId euv) {
-  cnt[g.find_edge(v, u)] = cnt[euv];
+inline void assign_symmetric(const graph::Csr& g, const EdgeId* rev,
+                             CountArray& cnt, VertexId u, VertexId v,
+                             EdgeId euv) {
+  AECNC_DCHECK(rev[euv] == g.find_edge(v, u));
+  cnt[rev[euv]] = cnt[euv];
 }
 
 }  // namespace
@@ -16,6 +19,7 @@ inline void assign_symmetric(const graph::Csr& g, CountArray& cnt, VertexId u,
 CountArray count_sparse_bitmap(const graph::Csr& g) {
   const intersect::SparseBitmapIndex index(g);
   CountArray cnt(g.num_directed_edges(), 0);
+  const EdgeId* rev = g.reverse_offsets().data();
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     const EdgeId base = g.offset_begin(u);
     const auto nbrs = g.neighbors(u);
@@ -24,7 +28,7 @@ CountArray count_sparse_bitmap(const graph::Csr& g) {
       if (u >= v) continue;
       cnt[base + k] =
           intersect::sparse_bitmap_intersect_count(index.of(u), index.of(v));
-      assign_symmetric(g, cnt, u, v, base + k);
+      assign_symmetric(g, rev, cnt, u, v, base + k);
     }
   }
   return cnt;
@@ -32,6 +36,7 @@ CountArray count_sparse_bitmap(const graph::Csr& g) {
 
 CountArray count_hash_index(const graph::Csr& g) {
   CountArray cnt(g.num_directed_edges(), 0);
+  const EdgeId* rev = g.reverse_offsets().data();
   intersect::HashIndex index;
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     const EdgeId base = g.offset_begin(u);
@@ -45,7 +50,7 @@ CountArray count_hash_index(const graph::Csr& g) {
         built = true;
       }
       cnt[base + k] = intersect::hash_intersect_count(index, g.neighbors(v));
-      assign_symmetric(g, cnt, u, v, base + k);
+      assign_symmetric(g, rev, cnt, u, v, base + k);
     }
   }
   return cnt;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/sequential.hpp"
+
 namespace aecnc::core {
 
 IncrementalCounter::IncrementalCounter(const graph::Csr& g) {
@@ -12,12 +14,19 @@ IncrementalCounter::IncrementalCounter(const graph::Csr& g) {
     adjacency_[u].assign(nbrs.begin(), nbrs.end());
   }
   edges_ = g.num_undirected_edges();
-  // Count each forward edge once.
+  // Seed the per-edge counts from the batch MPS kernel (reverse-index
+  // symmetric assignment, skew-aware intersections) instead of a
+  // vector-allocating set_intersection per edge — the CSR is still at
+  // hand here, so the whole seed pass is one all-edge count.
+  const CountArray cnt = count_sequential_mps(g, {});
+  counts_.reserve(edges_);
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    for (const VertexId v : adjacency_[u]) {
+    const EdgeId base = g.offset_begin(u);
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
       if (u >= v) continue;
-      const auto common = common_neighbors(u, v);
-      const auto c = static_cast<CnCount>(common.size());
+      const CnCount c = cnt[base + static_cast<EdgeId>(k)];
       counts_.emplace(key(u, v), c);
       triangles_ += c;
     }

@@ -54,6 +54,13 @@ struct Options {
   bool bmp_range_filter = false;
   std::uint64_t rf_range_scale = 4096;
 
+  /// Software prefetching in the skew-sensitive kernels (AECNC_PREFETCH):
+  /// galloping probe targets in pivot-skip, upcoming block pairs in the
+  /// VB kernels, and bitmap words for upcoming neighbors in the BMP inner
+  /// loop. On by default; the ablation benches toggle it off to measure
+  /// the contribution (see docs/perf.md).
+  bool prefetch = true;
+
   /// Parallelization (Algorithm 3): OpenMP dynamic scheduling with
   /// |T| = task_size edges per task. num_threads == 0 uses the OpenMP
   /// default. parallel == false runs the sequential reference loops.

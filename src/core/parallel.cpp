@@ -4,12 +4,15 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bitmap/bitmap.hpp"
 #include "bitmap/range_filter.hpp"
+#include "check/check.hpp"
 #include "intersect/merge.hpp"
 #include "parallel/task_pool.hpp"
+#include "util/prefetch.hpp"
 
 namespace aecnc::core {
 namespace {
@@ -23,33 +26,107 @@ struct alignas(64) ThreadState {
   bitmap::RangeFilteredBitmap rf;
 };
 
-}  // namespace
+/// Process-wide cache of per-thread contexts, so repeated count_parallel
+/// calls (as the serve dispatcher issues) reuse the |V|-bit bitmaps
+/// instead of paying allocation + page-fault warmup each time — the same
+/// persistent-context idea as serve's WorkerPool WorkerContexts. A lease
+/// takes the shared vector when free; concurrent count_parallel calls
+/// (rare — e.g. two Services) fall back to a private fresh vector rather
+/// than serialize.
+class ContextLease {
+ public:
+  explicit ContextLease(std::size_t threads) {
+    if (mutex().try_lock()) {
+      owns_shared_ = true;
+      states_ = &shared();
+    } else {
+      states_ = &local_;
+    }
+    if (states_->size() < threads) states_->resize(threads);
+  }
+  ~ContextLease() {
+    if (owns_shared_) mutex().unlock();
+  }
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
 
-namespace {
+  std::vector<ThreadState>& states() { return *states_; }
+
+  /// Reset the first `threads` contexts for a run: fresh FindSrc stash
+  /// (satellite fix: a stale cached_src from a previous graph or scheduler
+  /// must never leak into the next run) and bitmaps shaped for this graph.
+  /// Reused bitmaps are already all-zero — the drivers restore that
+  /// invariant on exit — so reshaping only happens on a graph change.
+  void prepare(const graph::Csr& g, const Options& options, int threads) {
+    const bool is_bmp = options.algorithm == Algorithm::kBmp;
+    const bool rf = is_bmp && options.bmp_range_filter;
+    const std::uint64_t n = g.num_vertices();
+    for (int t = 0; t < threads; ++t) {
+      ThreadState& ts = (*states_)[static_cast<std::size_t>(t)];
+      ts.cached_src = 0;
+      ts.prev_u = kInvalidVertex;
+      if (!is_bmp) continue;
+      if (rf) {
+        if (ts.rf.cardinality() != n ||
+            ts.rf.range_scale() != options.rf_range_scale) {
+          ts.rf = bitmap::RangeFilteredBitmap(n, options.rf_range_scale);
+        }
+        AECNC_DCHECK(ts.rf.all_zero()) << "dirty cached RF bitmap";
+      } else {
+        if (ts.bitmap.cardinality() != n) ts.bitmap = bitmap::Bitmap(n);
+        AECNC_DCHECK(ts.bitmap.all_zero()) << "dirty cached bitmap";
+      }
+    }
+  }
+
+ private:
+  static std::mutex& mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::vector<ThreadState>& shared() {
+    static std::vector<ThreadState> s;
+    return s;
+  }
+
+  std::vector<ThreadState>* states_;
+  std::vector<ThreadState> local_;
+  bool owns_shared_ = false;
+};
+
+/// Flip the last source vertex's bits back to zero in every context. The
+/// fine-grained drivers clear lazily on source change, so after the loop
+/// each thread still holds prev_u's bits — harmless for one-shot states,
+/// but cached contexts must hand the all-zero invariant to the next run.
+void clear_residual_bitmaps(const graph::Csr& g, bool rf,
+                            std::vector<ThreadState>& states, int threads) {
+  for (int t = 0; t < threads; ++t) {
+    ThreadState& ts = states[static_cast<std::size_t>(t)];
+    if (ts.prev_u == kInvalidVertex) continue;
+    if (rf) {
+      ts.rf.clear_all(g.neighbors(ts.prev_u));
+    } else {
+      ts.bitmap.clear_all(g.neighbors(ts.prev_u));
+    }
+    ts.prev_u = kInvalidVertex;
+  }
+}
 
 /// Coarse-grained skeleton (§4, task = one vertex computation): each
 /// dynamically scheduled task owns all of one source vertex's forward
 /// intersections, so BMP's bitmap is built exactly once per vertex and
 /// load balance comes from |T| = 1 vertex per task.
 CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
-                                 int threads) {
+                                 int threads,
+                                 std::vector<ThreadState>& states) {
   CountArray cnt(g.num_directed_edges(), 0);
-  const bool is_bmp = options.algorithm == Algorithm::kBmp;
-  const bool rf = is_bmp && options.bmp_range_filter;
-  const intersect::MpsConfig mps_cfg = options.mps;
+  const bool rf = options.algorithm == Algorithm::kBmp &&
+                  options.bmp_range_filter;
+  intersect::MpsConfig mps_cfg = options.mps;
+  mps_cfg.prefetch = options.prefetch;
   const Algorithm algo = options.algorithm;
-
-  std::vector<ThreadState> states(static_cast<std::size_t>(threads));
-  if (is_bmp) {
-    for (ThreadState& ts : states) {
-      if (rf) {
-        ts.rf = bitmap::RangeFilteredBitmap(g.num_vertices(),
-                                            options.rf_range_scale);
-      } else {
-        ts.bitmap = bitmap::Bitmap(g.num_vertices());
-      }
-    }
-  }
+  const bool pf = options.prefetch;
+  const EdgeId* rev = g.reverse_offsets().data();
 
 #pragma omp parallel num_threads(threads)
   {
@@ -63,6 +140,10 @@ CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
       for (std::size_t k = 0; k < nbrs.size(); ++k) {
         const VertexId v = nbrs[k];
         if (u >= v) continue;
+        const EdgeId e = base + static_cast<EdgeId>(k);
+        // Pull the mirror slot's line in exclusive state while the
+        // intersection computes; the store below then hits cache.
+        if (pf) util::prefetch_rw(&cnt[rev[e]]);
 
         CnCount c = 0;
         switch (algo) {
@@ -81,12 +162,14 @@ CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
               }
               built = true;
             }
-            c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v))
-                   : bitmap::bitmap_intersect_count(ts.bitmap, g.neighbors(v));
+            c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v), pf)
+                   : bitmap::bitmap_intersect_count(ts.bitmap, g.neighbors(v),
+                                                    pf);
             break;
         }
-        cnt[base + k] = c;
-        cnt[g.find_edge(v, u)] = c;
+        cnt[e] = c;
+        AECNC_DCHECK(rev[e] == g.find_edge(v, u));
+        cnt[rev[e]] = c;
       }
       if (built) {
         if (rf) {
@@ -103,24 +186,15 @@ CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
 /// Algorithm 3 on the library's own task pool: identical per-task body,
 /// scheduler swapped for the atomic-cursor queue.
 CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
-                               int threads) {
+                               int threads, std::vector<ThreadState>& states) {
   CountArray cnt(g.num_directed_edges(), 0);
   const bool is_bmp = options.algorithm == Algorithm::kBmp;
   const bool rf = is_bmp && options.bmp_range_filter;
-  const intersect::MpsConfig mps_cfg = options.mps;
+  intersect::MpsConfig mps_cfg = options.mps;
+  mps_cfg.prefetch = options.prefetch;
   const Algorithm algo = options.algorithm;
-
-  std::vector<ThreadState> states(static_cast<std::size_t>(threads));
-  if (is_bmp) {
-    for (ThreadState& ts : states) {
-      if (rf) {
-        ts.rf = bitmap::RangeFilteredBitmap(g.num_vertices(),
-                                            options.rf_range_scale);
-      } else {
-        ts.bitmap = bitmap::Bitmap(g.num_vertices());
-      }
-    }
-  }
+  const bool pf = options.prefetch;
+  const EdgeId* rev = g.reverse_offsets().data();
 
   parallel::parallel_for_dynamic(
       g.num_directed_edges(), std::max<std::uint32_t>(1, options.task_size),
@@ -131,6 +205,7 @@ CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
           const VertexId v = g.dst_of(e);
           const VertexId u = find_src(g, e, ts.cached_src);
           if (u >= v) continue;
+          if (pf) util::prefetch_rw(&cnt[rev[e]]);
 
           CnCount c = 0;
           switch (algo) {
@@ -156,66 +231,36 @@ CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
                 }
                 ts.prev_u = u;
               }
-              c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v))
+              c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v), pf)
                      : bitmap::bitmap_intersect_count(ts.bitmap,
-                                                      g.neighbors(v));
+                                                      g.neighbors(v), pf);
               break;
           }
           cnt[e] = c;
-          cnt[g.find_edge(v, u)] = c;
+          AECNC_DCHECK(rev[e] == g.find_edge(v, u));
+          cnt[rev[e]] = c;
         }
       });
+  if (is_bmp) clear_residual_bitmaps(g, rf, states, threads);
   return cnt;
 }
 
-}  // namespace
-
-VertexId find_src(const graph::Csr& g, EdgeId e, VertexId& cached) {
-  const auto& off = g.offsets();
-  // Fast path: e still inside the stashed vertex's offset range.
-  if (e >= off[cached] && e < off[cached + 1]) return cached;
-  // Slow path: first offset greater than e belongs to src+1. Zero-degree
-  // vertices share offsets; upper_bound lands past all of them, on the
-  // unique u with off[u] <= e < off[u+1].
-  const auto it = std::upper_bound(off.begin(), off.end(), e);
-  cached = static_cast<VertexId>((it - off.begin()) - 1);
-  return cached;
-}
-
-CountArray count_parallel(const graph::Csr& g, const Options& options) {
+/// Algorithm 3 on OpenMP's dynamic scheduler over directed slots.
+CountArray count_parallel_openmp(const graph::Csr& g, const Options& options,
+                                 int threads,
+                                 std::vector<ThreadState>& states) {
   const EdgeId slots = g.num_directed_edges();
   CountArray cnt(slots, 0);
-  if (slots == 0) return cnt;
-
-  const int threads = options.num_threads > 0 ? options.num_threads
-                                              : omp_get_max_threads();
-  if (options.granularity == TaskGranularity::kCoarseGrained) {
-    return count_parallel_coarse(g, options, threads);
-  }
-  if (options.scheduler == Scheduler::kTaskPool) {
-    return count_parallel_pool(g, options, threads);
-  }
-  const int chunk = std::max<std::uint32_t>(1, options.task_size);
+  const int chunk = static_cast<int>(
+      std::max<std::uint32_t>(1, options.task_size));
   const bool is_bmp = options.algorithm == Algorithm::kBmp;
   const bool rf = is_bmp && options.bmp_range_filter;
 
-  std::vector<ThreadState> states(static_cast<std::size_t>(threads));
-  if (is_bmp) {
-    // The paper allocates one |V|-bit bitmap per execution context up
-    // front; lazy per-thread allocation would serialize on the first
-    // touched pages instead.
-    for (ThreadState& ts : states) {
-      if (rf) {
-        ts.rf = bitmap::RangeFilteredBitmap(g.num_vertices(),
-                                            options.rf_range_scale);
-      } else {
-        ts.bitmap = bitmap::Bitmap(g.num_vertices());
-      }
-    }
-  }
-
-  const intersect::MpsConfig mps_cfg = options.mps;
+  intersect::MpsConfig mps_cfg = options.mps;
+  mps_cfg.prefetch = options.prefetch;
   const Algorithm algo = options.algorithm;
+  const bool pf = options.prefetch;
+  const EdgeId* rev = g.reverse_offsets().data();
 
 #pragma omp parallel num_threads(threads)
   {
@@ -226,6 +271,7 @@ CountArray count_parallel(const graph::Csr& g, const Options& options) {
       const VertexId v = g.dst_of(e);
       const VertexId u = find_src(g, e, ts.cached_src);
       if (u >= v) continue;
+      if (pf) util::prefetch_rw(&cnt[rev[e]]);
 
       CnCount c = 0;
       switch (algo) {
@@ -253,19 +299,61 @@ CountArray count_parallel(const graph::Csr& g, const Options& options) {
             }
             ts.prev_u = u;
           }
-          c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v))
-                 : bitmap::bitmap_intersect_count(ts.bitmap, g.neighbors(v));
+          c = rf ? bitmap::rf_intersect_count(ts.rf, g.neighbors(v), pf)
+                 : bitmap::bitmap_intersect_count(ts.bitmap, g.neighbors(v),
+                                                  pf);
           break;
         }
       }
 
       cnt[e] = c;
       // Symmetric assignment: each (u,v) with u<v is owned by exactly one
-      // task, so the write to the reverse slot is race-free.
-      cnt[g.find_edge(v, u)] = c;
+      // task, so the write to the reverse slot is race-free. The slot
+      // comes straight from the reverse index (no per-edge binary search);
+      // find_edge stays on as the debug-build cross-check.
+      AECNC_DCHECK(rev[e] == g.find_edge(v, u));
+      cnt[rev[e]] = c;
     }
   }
+  if (is_bmp) clear_residual_bitmaps(g, rf, states, threads);
   return cnt;
+}
+
+}  // namespace
+
+VertexId find_src(const graph::Csr& g, EdgeId e, VertexId& cached) {
+  const auto& off = g.offsets();
+  // Fast path: e still inside the stashed vertex's offset range. The
+  // stash may be stale in every way — including out of range for this
+  // graph, when a caller reuses contexts across graphs — so bound it
+  // before indexing.
+  if (static_cast<std::size_t>(cached) + 1 < off.size() &&
+      e >= off[cached] && e < off[cached + 1]) {
+    return cached;
+  }
+  // Slow path: first offset greater than e belongs to src+1. Zero-degree
+  // vertices share offsets; upper_bound lands past all of them, on the
+  // unique u with off[u] <= e < off[u+1].
+  const auto it = std::upper_bound(off.begin(), off.end(), e);
+  cached = static_cast<VertexId>((it - off.begin()) - 1);
+  return cached;
+}
+
+CountArray count_parallel(const graph::Csr& g, const Options& options) {
+  const EdgeId slots = g.num_directed_edges();
+  if (slots == 0) return CountArray(slots, 0);
+
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : omp_get_max_threads();
+  ContextLease lease(static_cast<std::size_t>(threads));
+  lease.prepare(g, options, threads);
+  if (options.granularity == TaskGranularity::kCoarseGrained) {
+    return count_parallel_coarse(g, options, threads, lease.states());
+  }
+  if (options.scheduler == Scheduler::kTaskPool) {
+    return count_parallel_pool(g, options, threads, lease.states());
+  }
+  return count_parallel_openmp(g, options, threads, lease.states());
 }
 
 }  // namespace aecnc::core

@@ -2,16 +2,22 @@
 
 #include "bitmap/bitmap.hpp"
 #include "bitmap/range_filter.hpp"
+#include "check/check.hpp"
 #include "intersect/merge.hpp"
 
 namespace aecnc::core {
 namespace {
 
-/// Symmetric assignment: cnt[e(v,u)] <- cnt[e(u,v)] (e(v,u) by binary
-/// search of u in N(v), §3).
-inline void assign_symmetric(const graph::Csr& g, CountArray& cnt, VertexId u,
-                             VertexId v, EdgeId euv) {
-  const EdgeId evu = g.find_edge(v, u);
+/// Symmetric assignment: cnt[e(v,u)] <- cnt[e(u,v)]. The paper locates
+/// e(v,u) by binary search of u in N(v) (§3); we use the precomputed
+/// reverse-slot index instead — a single indexed store — and keep the
+/// binary search as a debug-build differential check.
+inline void assign_symmetric(const graph::Csr& g, const EdgeId* rev,
+                             CountArray& cnt, VertexId u, VertexId v,
+                             EdgeId euv) {
+  const EdgeId evu = rev[euv];
+  AECNC_DCHECK(evu == g.find_edge(v, u))
+      << "reverse index disagrees with find_edge at e(" << u << "," << v << ")";
   cnt[evu] = cnt[euv];
 }
 
@@ -20,6 +26,7 @@ inline void assign_symmetric(const graph::Csr& g, CountArray& cnt, VertexId u,
 template <typename IntersectFn>
 CountArray for_each_forward_edge(const graph::Csr& g, IntersectFn&& intersect) {
   CountArray cnt(g.num_directed_edges(), 0);
+  const EdgeId* rev = g.reverse_offsets().data();
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     const EdgeId begin = g.offset_begin(u);
     const auto nbrs = g.neighbors(u);
@@ -28,7 +35,7 @@ CountArray for_each_forward_edge(const graph::Csr& g, IntersectFn&& intersect) {
       if (u >= v) continue;
       const EdgeId euv = begin + k;
       cnt[euv] = intersect(u, v);
-      assign_symmetric(g, cnt, u, v, euv);
+      assign_symmetric(g, rev, cnt, u, v, euv);
     }
   }
   return cnt;
@@ -46,8 +53,9 @@ CountArray run_m(const graph::Csr& g, Counter& counter) {
 
 template <typename Counter>
 CountArray run_bmp(const graph::Csr& g, bool range_filter, std::uint64_t scale,
-                   Counter& counter) {
+                   Counter& counter, bool prefetch = true) {
   CountArray cnt(g.num_directed_edges(), 0);
+  const EdgeId* rev = g.reverse_offsets().data();
   const std::uint64_t n = g.num_vertices();
 
   // One bitmap for the whole sequential run; constructed and cleared per
@@ -77,10 +85,11 @@ CountArray run_bmp(const graph::Csr& g, bool range_filter, std::uint64_t scale,
       const auto nv = g.neighbors(v);
       counter.bytes_streamed(nv.size() * sizeof(VertexId));
       const EdgeId euv = begin + k;
-      cnt[euv] = range_filter
-                     ? bitmap::rf_intersect_count(filtered, nv, counter)
-                     : bitmap::bitmap_intersect_count(plain, nv, counter);
-      assign_symmetric(g, cnt, u, v, euv);
+      cnt[euv] =
+          range_filter
+              ? bitmap::rf_intersect_count(filtered, nv, counter, prefetch)
+              : bitmap::bitmap_intersect_count(plain, nv, counter, prefetch);
+      assign_symmetric(g, rev, cnt, u, v, euv);
     }
     if (built) {
       if (range_filter) {
@@ -109,9 +118,9 @@ CountArray count_sequential_mps(const graph::Csr& g,
 }
 
 CountArray count_sequential_bmp(const graph::Csr& g, bool range_filter,
-                                std::uint64_t rf_scale) {
+                                std::uint64_t rf_scale, bool prefetch) {
   intersect::NullCounter null;
-  return run_bmp(g, range_filter, rf_scale, null);
+  return run_bmp(g, range_filter, rf_scale, null, prefetch);
 }
 
 CountArray count_sequential_m_instrumented(const graph::Csr& g,

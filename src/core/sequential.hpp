@@ -1,7 +1,8 @@
 // Sequential reference implementations of M, MPS (Algorithm 1) and BMP
 // (Algorithm 2), including the symmetric assignment technique (§3): only
 // pairs with u < v are intersected; cnt[e(v,u)] receives a copy, with the
-// reverse slot located by binary search on N(v).
+// reverse slot taken from Csr::reverse_offsets() (the paper's per-edge
+// binary search on N(v) survives as a debug differential check).
 #pragma once
 
 #include "core/options.hpp"
@@ -18,9 +19,11 @@ namespace aecnc::core {
                                               const intersect::MpsConfig& cfg);
 
 /// Algorithm 2: dynamic bitmap index, optionally range-filtered.
+/// `prefetch` toggles the bitmap-word software prefetch in the inner loop.
 [[nodiscard]] CountArray count_sequential_bmp(const graph::Csr& g,
                                               bool range_filter,
-                                              std::uint64_t rf_scale = 4096);
+                                              std::uint64_t rf_scale = 4096,
+                                              bool prefetch = true);
 
 /// Instrumented sequential runs feeding the perf models: identical work
 /// schedule, counting into `stats`.

@@ -44,6 +44,7 @@ Csr Csr::from_raw(std::vector<EdgeId> offsets,
   Csr g;
   g.offsets_ = std::move(offsets);
   g.dst_ = std::move(dst);
+  g.reverse_cache_ = std::make_shared<ReverseIndexCache>();
   return g;
 }
 
@@ -53,6 +54,50 @@ EdgeId Csr::find_edge(VertexId u, VertexId v) const noexcept {
   const auto it = std::lower_bound(begin, end, v);
   if (it == end || *it != v) return num_directed_edges();
   return static_cast<EdgeId>(it - dst_.begin());
+}
+
+bool Csr::has_edge(VertexId u, VertexId v) const noexcept {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+const util::AlignedVector<EdgeId>& Csr::reverse_offsets() const {
+  if (!reverse_cache_) {
+    // Default-constructed (empty) Csr: no slots, no cache to build.
+    static const util::AlignedVector<EdgeId> kEmpty;
+    return kEmpty;
+  }
+  std::call_once(reverse_cache_->once, [this] { build_reverse_offsets(); });
+  return reverse_cache_->rev;
+}
+
+void Csr::build_reverse_offsets() const {
+  // One O(|E|) counting sweep, no binary search: walking u ascending with
+  // each N(u) ascending means the incoming edges of any v are visited in
+  // ascending source order — exactly the order of v's (sorted) adjacency
+  // list. A per-vertex cursor starting at offsets_[v] therefore lands each
+  // mirror slot e(v, u) directly.
+  const VertexId n = num_vertices();
+  util::AlignedVector<EdgeId>& rev = reverse_cache_->rev;
+  rev.resize(dst_.size());
+  std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeId end = offsets_[u + 1];
+    for (EdgeId e = offsets_[u]; e < end; ++e) {
+      rev[e] = cursor[dst_[e]]++;
+    }
+  }
+#if !defined(NDEBUG)
+  // Differential check against the binary-search oracle on every slot.
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeId e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      AECNC_DCHECK(rev[e] == find_edge(dst_[e], u))
+          << "reverse index mismatch at slot " << e;
+      AECNC_DCHECK(dst_[rev[e]] == u);
+    }
+  }
+#endif
 }
 
 VertexId Csr::src_of(EdgeId e) const noexcept {

@@ -10,6 +10,8 @@
 // the output count array.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -68,6 +70,27 @@ class Csr {
   /// Returns num_directed_edges() when (u, v) is not an edge.
   [[nodiscard]] EdgeId find_edge(VertexId u, VertexId v) const noexcept;
 
+  /// Edge-existence test that searches the *smaller* of the two adjacency
+  /// lists — cheaper than find_edge(u, v) when only membership matters
+  /// (e.g. the serve miss path), since skewed graphs pair hubs with
+  /// low-degree vertices.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+
+  /// Reverse-slot index: reverse_offsets()[e(u, v)] == e(v, u) for every
+  /// directed slot. Built lazily on first use in one O(|E|) counting sweep
+  /// (no per-edge binary search) and cached; copies of this Csr share the
+  /// cache since the underlying arrays are identical. Thread-safe.
+  ///
+  /// This turns the paper's symmetric assignment (Algorithm 1 line 8,
+  /// "cnt[e(v,u)] = cnt[e(u,v)]" via binary search) into a direct indexed
+  /// store on every batch hot path.
+  [[nodiscard]] const util::AlignedVector<EdgeId>& reverse_offsets() const;
+
+  /// Convenience: the mirror slot e(v, u) of directed slot e = e(u, v).
+  [[nodiscard]] EdgeId reverse_slot(EdgeId e) const {
+    return reverse_offsets()[e];
+  }
+
   /// Destination vertex of a directed slot.
   [[nodiscard]] VertexId dst_of(EdgeId e) const noexcept { return dst_[e]; }
 
@@ -98,8 +121,19 @@ class Csr {
   [[nodiscard]] std::string validate() const;
 
  private:
+  /// Lazily-built transpose index, shared across copies of the Csr (the
+  /// arrays a copy sees are identical, so the mapping is too). call_once
+  /// makes the build race-free when several threads touch a cold index.
+  struct ReverseIndexCache {
+    std::once_flag once;
+    util::AlignedVector<EdgeId> rev;
+  };
+
+  void build_reverse_offsets() const;
+
   std::vector<EdgeId> offsets_;           // |V| + 1
   util::AlignedVector<VertexId> dst_;     // 2|E|, 64-byte aligned for SIMD
+  std::shared_ptr<ReverseIndexCache> reverse_cache_;
 };
 
 }  // namespace aecnc::graph

@@ -3,9 +3,9 @@
 namespace aecnc::intersect {
 
 CnCount block_merge_count8(std::span<const VertexId> a,
-                           std::span<const VertexId> b) {
+                           std::span<const VertexId> b, bool prefetch) {
   NullCounter null;
-  return block_merge_count<8>(a, b, null);
+  return block_merge_count<8>(a, b, null, prefetch);
 }
 
 }  // namespace aecnc::intersect

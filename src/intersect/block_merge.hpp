@@ -21,15 +21,19 @@
 
 #include "intersect/counters.hpp"
 #include "intersect/merge.hpp"
+#include "util/prefetch.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::intersect {
 
-/// Portable block-wise merge with block width W.
+/// Portable block-wise merge with block width W. With `prefetch`, each
+/// step requests the block pair kBlockPrefetchDistance elements ahead on
+/// both streams so the loads land before the compare ladder needs them.
 template <std::size_t W, typename Counter = NullCounter>
 [[nodiscard]] CnCount block_merge_count(std::span<const VertexId> a,
                                         std::span<const VertexId> b,
-                                        Counter& counter) {
+                                        Counter& counter,
+                                        bool prefetch = true) {
   static_assert(W >= 2 && (W & (W - 1)) == 0, "width must be a power of 2");
   std::size_t i = 0, j = 0;
   CnCount c = 0;
@@ -37,6 +41,10 @@ template <std::size_t W, typename Counter = NullCounter>
 
   while (i + W <= na && j + W <= nb) {
     counter.block_step();
+    if (prefetch) {
+      util::prefetch_ro(&a[std::min(i + util::kBlockPrefetchDistance, na - 1)]);
+      util::prefetch_ro(&b[std::min(j + util::kBlockPrefetchDistance, nb - 1)]);
+    }
     // All-pair comparison of the two resident blocks. A real vector unit
     // does this as W rotate+compare steps; the scalar loop is the exact
     // same comparison set.
@@ -60,23 +68,27 @@ template <std::size_t W, typename Counter = NullCounter>
 
 /// Convenience: width-8 (AVX2-shaped) portable block merge.
 [[nodiscard]] CnCount block_merge_count8(std::span<const VertexId> a,
-                                         std::span<const VertexId> b);
+                                         std::span<const VertexId> b,
+                                         bool prefetch = true);
 
 /// SSE2 kernel: 4-lane blocks, pshufd rotations + pcmpeqd. Baseline
 /// x86-64 — always available, no runtime dispatch needed.
 [[nodiscard]] CnCount vb_count_sse(std::span<const VertexId> a,
-                                   std::span<const VertexId> b);
+                                   std::span<const VertexId> b,
+                                   bool prefetch = true);
 
 #if AECNC_HAVE_SIMD_KERNELS
 /// AVX2 kernel: 8-lane blocks, vpermd rotations + vpcmpeqd, counts
 /// accumulated in a vector register (Figure 1's layout).
 [[nodiscard]] CnCount vb_count_avx2(std::span<const VertexId> a,
-                                    std::span<const VertexId> b);
+                                    std::span<const VertexId> b,
+                                    bool prefetch = true);
 
 /// AVX-512F kernel: 16-lane blocks, vpermd rotations + mask compare with
 /// mask popcount accumulation.
 [[nodiscard]] CnCount vb_count_avx512(std::span<const VertexId> a,
-                                      std::span<const VertexId> b);
+                                      std::span<const VertexId> b,
+                                      bool prefetch = true);
 #endif
 
 }  // namespace aecnc::intersect

@@ -51,18 +51,18 @@ bool merge_kind_supported(MergeKind kind) {
 }
 
 CnCount vb_count(std::span<const VertexId> a, std::span<const VertexId> b,
-                 MergeKind kind) {
+                 MergeKind kind, bool prefetch) {
   switch (kind) {
     case MergeKind::kScalar: return merge_count(a, b);
     case MergeKind::kBranchless: return merge_count_branchless(a, b);
-    case MergeKind::kBlockScalar: return block_merge_count8(a, b);
-    case MergeKind::kSse: return vb_count_sse(a, b);
+    case MergeKind::kBlockScalar: return block_merge_count8(a, b, prefetch);
+    case MergeKind::kSse: return vb_count_sse(a, b, prefetch);
 #if AECNC_HAVE_SIMD_KERNELS
-    case MergeKind::kAvx2: return vb_count_avx2(a, b);
-    case MergeKind::kAvx512: return vb_count_avx512(a, b);
+    case MergeKind::kAvx2: return vb_count_avx2(a, b, prefetch);
+    case MergeKind::kAvx512: return vb_count_avx512(a, b, prefetch);
 #else
     case MergeKind::kAvx2:
-    case MergeKind::kAvx512: return block_merge_count8(a, b);
+    case MergeKind::kAvx512: return block_merge_count8(a, b, prefetch);
 #endif
   }
   return merge_count(a, b);
@@ -70,15 +70,15 @@ CnCount vb_count(std::span<const VertexId> a, std::span<const VertexId> b,
 
 #if AECNC_HAVE_SIMD_KERNELS
 CnCount pivot_skip_count_avx2(std::span<const VertexId> a,
-                              std::span<const VertexId> b) {
+                              std::span<const VertexId> b, bool prefetch) {
   std::size_t i = 0, j = 0;
   CnCount c = 0;
   const std::size_t na = a.size(), nb = b.size();
   if (na == 0 || nb == 0) return 0;
   while (true) {
-    i = gallop_lower_bound_avx2(a, i, b[j]);
+    i = gallop_lower_bound_avx2(a, i, b[j], prefetch);
     if (i >= na) return c;
-    j = gallop_lower_bound_avx2(b, j, a[i]);
+    j = gallop_lower_bound_avx2(b, j, a[i], prefetch);
     if (j >= nb) return c;
     if (a[i] == b[j]) {
       ++c;
@@ -99,12 +99,12 @@ CnCount mps_count(std::span<const VertexId> a, std::span<const VertexId> b,
   if (skewed) {
 #if AECNC_HAVE_SIMD_KERNELS
     if (config.vectorized_search && cpu_has_avx2()) {
-      return pivot_skip_count_avx2(a, b);
+      return pivot_skip_count_avx2(a, b, config.prefetch);
     }
 #endif
-    return pivot_skip_count(a, b);
+    return pivot_skip_count(a, b, config.prefetch);
   }
-  return vb_count(a, b, config.kind);
+  return vb_count(a, b, config.kind, config.prefetch);
 }
 
 }  // namespace aecnc::intersect

@@ -47,11 +47,16 @@ struct MpsConfig {
   MergeKind kind = MergeKind::kBlockScalar;
   /// Use the AVX2 lower bound inside pivot-skip when available.
   bool vectorized_search = true;
+  /// Issue software prefetches for galloping probe targets and upcoming
+  /// VB block pairs (AECNC_PREFETCH; core::Options::prefetch is the
+  /// driver-level master switch that overwrites this per call).
+  bool prefetch = true;
 };
 
 /// One VB-path intersection with the configured kernel.
 [[nodiscard]] CnCount vb_count(std::span<const VertexId> a,
-                               std::span<const VertexId> b, MergeKind kind);
+                               std::span<const VertexId> b, MergeKind kind,
+                               bool prefetch = true);
 
 /// One MPS intersection: dispatches on the skew of the two set sizes.
 [[nodiscard]] CnCount mps_count(std::span<const VertexId> a,

@@ -9,10 +9,12 @@
 //   3. a *binary search* inside the final gallop window [2^i, 2^{i+1}).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 
 #include "intersect/counters.hpp"
+#include "util/prefetch.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::intersect {
@@ -26,14 +28,23 @@ inline constexpr std::size_t kLinearProbeWindow = 16;
 inline constexpr std::uint32_t kGallopFirstShift = 4;
 
 /// Scalar binary search: first index in [from, a.size()) with a[i] >= key.
+/// With `prefetch`, both candidate midpoints of the *next* halving are
+/// prefetched while the current compare resolves — the classic trick for
+/// hiding DRAM latency on the first few (cache-cold) levels.
 template <typename Counter = NullCounter>
 [[nodiscard]] std::size_t binary_lower_bound(std::span<const VertexId> a,
                                              std::size_t from, VertexId key,
-                                             Counter& counter) {
+                                             Counter& counter,
+                                             bool prefetch = true) {
   std::size_t lo = from, hi = a.size();
   while (lo < hi) {
     counter.binary_step();
     const std::size_t mid = lo + (hi - lo) / 2;
+    if (prefetch && hi - lo > 2 * kLinearProbeWindow) {
+      // Next midpoint is one of these two, depending on the compare.
+      util::prefetch_ro(&a[(lo + mid) / 2]);
+      util::prefetch_ro(&a[mid + (hi - mid) / 2]);
+    }
     if (a[mid] < key) {
       lo = mid + 1;
     } else {
@@ -48,7 +59,8 @@ template <typename Counter = NullCounter>
 template <typename Counter = NullCounter>
 [[nodiscard]] std::size_t gallop_lower_bound(std::span<const VertexId> a,
                                              std::size_t from, VertexId key,
-                                             Counter& counter) {
+                                             Counter& counter,
+                                             bool prefetch = true) {
   const std::size_t n = a.size();
   // Stage 1: linear probe of the next few elements.
   const std::size_t probe_end = std::min(n, from + kLinearProbeWindow);
@@ -59,10 +71,15 @@ template <typename Counter = NullCounter>
   if (probe_end == n) return n;
 
   // Stage 2: gallop from the probe window at exponentially growing steps.
+  // Each probe target a[next] is a fresh cache line once the step passes a
+  // few lines, so with `prefetch` the *following* probe target (at twice
+  // the step) is requested while the current compare resolves.
   std::size_t prev = probe_end;
   std::size_t step = std::size_t{1} << kGallopFirstShift;
   std::size_t next = prev + step;
-  while (next < n && a[next] < key) {
+  while (next < n) {
+    if (prefetch) util::prefetch_ro(&a[std::min(next + (step << 1), n - 1)]);
+    if (a[next] >= key) break;
     counter.gallop_step();
     prev = next;
     step <<= 1;
@@ -72,7 +89,7 @@ template <typename Counter = NullCounter>
   // Stage 3: binary search within (prev, min(next, n)].
   const std::size_t hi = std::min(next + 1, n);
   std::span<const VertexId> window = a.first(hi);
-  return binary_lower_bound(window, prev, key, counter);
+  return binary_lower_bound(window, prev, key, counter, prefetch);
 }
 
 /// Non-template convenience wrappers.
@@ -87,7 +104,8 @@ template <typename Counter = NullCounter>
 /// cpu_has_avx2() is true.
 [[nodiscard]] std::size_t gallop_lower_bound_avx2(std::span<const VertexId> a,
                                                   std::size_t from,
-                                                  VertexId key);
+                                                  VertexId key,
+                                                  bool prefetch = true);
 #endif
 
 }  // namespace aecnc::intersect

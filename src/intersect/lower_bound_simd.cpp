@@ -9,7 +9,8 @@
 namespace aecnc::intersect {
 
 std::size_t gallop_lower_bound_avx2(std::span<const VertexId> a,
-                                    std::size_t from, VertexId key) {
+                                    std::size_t from, VertexId key,
+                                    bool prefetch) {
   const std::size_t n = a.size();
   const VertexId* data = a.data();
 
@@ -39,17 +40,27 @@ std::size_t gallop_lower_bound_avx2(std::span<const VertexId> a,
   }
   if (probe_end == n) return n;
 
-  // Gallop + binary, identical to the scalar path.
+  // Gallop + binary, identical to the scalar path (including the hint on
+  // the next doubling target — the gallop's probes are the data-dependent
+  // far jumps the hardware prefetcher cannot predict).
   std::size_t prev = probe_end;
   std::size_t step = std::size_t{1} << kGallopFirstShift;
   std::size_t next = prev + step;
-  while (next < n && data[next] < key) {
+  while (next < n) {
+    if (prefetch) {
+      _mm_prefetch(
+          reinterpret_cast<const char*>(data + std::min(next + (step << 1),
+                                                        n - 1)),
+          _MM_HINT_T1);
+    }
+    if (data[next] >= key) break;
     prev = next;
     step <<= 1;
     next = prev + step;
   }
   NullCounter null;
-  return binary_lower_bound(a.first(std::min(next + 1, n)), prev, key, null);
+  return binary_lower_bound(a.first(std::min(next + 1, n)), prev, key, null,
+                            prefetch);
 }
 
 }  // namespace aecnc::intersect

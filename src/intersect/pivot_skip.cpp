@@ -3,9 +3,9 @@
 namespace aecnc::intersect {
 
 CnCount pivot_skip_count(std::span<const VertexId> a,
-                         std::span<const VertexId> b) {
+                         std::span<const VertexId> b, bool prefetch) {
   NullCounter null;
-  return pivot_skip_count(a, b, null);
+  return pivot_skip_count(a, b, null, prefetch);
 }
 
 }  // namespace aecnc::intersect

@@ -15,15 +15,16 @@ namespace aecnc::intersect {
 template <typename Counter = NullCounter>
 [[nodiscard]] CnCount pivot_skip_count(std::span<const VertexId> a,
                                        std::span<const VertexId> b,
-                                       Counter& counter) {
+                                       Counter& counter,
+                                       bool prefetch = true) {
   std::size_t i = 0, j = 0;
   CnCount c = 0;
   const std::size_t na = a.size(), nb = b.size();
   if (na == 0 || nb == 0) return 0;
   while (true) {
-    i = gallop_lower_bound(a, i, b[j], counter);
+    i = gallop_lower_bound(a, i, b[j], counter, prefetch);
     if (i >= na) return c;
-    j = gallop_lower_bound(b, j, a[i], counter);
+    j = gallop_lower_bound(b, j, a[i], counter, prefetch);
     if (j >= nb) return c;
     if (a[i] == b[j]) {
       ++c;
@@ -36,14 +37,16 @@ template <typename Counter = NullCounter>
 }
 
 [[nodiscard]] CnCount pivot_skip_count(std::span<const VertexId> a,
-                                       std::span<const VertexId> b);
+                                       std::span<const VertexId> b,
+                                       bool prefetch = true);
 
 #if AECNC_HAVE_SIMD_KERNELS
 /// Pivot-skip using the AVX2 lower bound for the linear stage. Same
 /// skipping schedule, vectorized probes. Defined in dispatch.cpp; call
 /// only when cpu_has_avx2() is true.
 [[nodiscard]] CnCount pivot_skip_count_avx2(std::span<const VertexId> a,
-                                            std::span<const VertexId> b);
+                                            std::span<const VertexId> b,
+                                            bool prefetch = true);
 #endif
 
 }  // namespace aecnc::intersect

@@ -27,13 +27,23 @@ const __m256i kRotations[8] = {
 }  // namespace
 
 CnCount vb_count_avx2(std::span<const VertexId> a,
-                      std::span<const VertexId> b) {
+                      std::span<const VertexId> b, bool prefetch) {
   constexpr std::size_t W = 8;
   std::size_t i = 0, j = 0;
   const std::size_t na = a.size(), nb = b.size();
 
   __m256i acc = _mm256_setzero_si256();  // per-lane match counts (negated)
   while (i + W <= na && j + W <= nb) {
+    if (prefetch) {
+      // Next block pair, far enough ahead to hide an L2 miss.
+      constexpr std::size_t D = util::kBlockPrefetchDistance;
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       a.data() + std::min(i + D, na - 1)),
+                   _MM_HINT_T1);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       b.data() + std::min(j + D, nb - 1)),
+                   _MM_HINT_T1);
+    }
     const __m256i va =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
     const __m256i vb =

@@ -34,7 +34,7 @@ struct RotationTable512 {
 }  // namespace
 
 CnCount vb_count_avx512(std::span<const VertexId> a,
-                        std::span<const VertexId> b) {
+                        std::span<const VertexId> b, bool prefetch) {
   constexpr std::size_t W = 16;
   std::size_t i = 0, j = 0;
   const std::size_t na = a.size(), nb = b.size();
@@ -44,6 +44,16 @@ CnCount vb_count_avx512(std::span<const VertexId> a,
 
   std::uint32_t c = 0;
   while (i + W <= na && j + W <= nb) {
+    if (prefetch) {
+      // Next block pair, far enough ahead to hide an L2 miss.
+      constexpr std::size_t D = util::kBlockPrefetchDistance;
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       a.data() + std::min(i + D, na - 1)),
+                   _MM_HINT_T1);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       b.data() + std::min(j + D, nb - 1)),
+                   _MM_HINT_T1);
+    }
     const __m512i va = _mm512_loadu_si512(a.data() + i);
     const __m512i vb = _mm512_loadu_si512(b.data() + j);
     for (const __m512i& rot : rotations) {

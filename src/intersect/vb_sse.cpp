@@ -4,19 +4,30 @@
 // Inoue et al.'s kernel [14], completing the ISA ladder
 // scalar → SSE → AVX2 → AVX-512 the vectorization bench sweeps.
 #include <emmintrin.h>
+#include <xmmintrin.h>
 
 #include "intersect/block_merge.hpp"
 
 namespace aecnc::intersect {
 
 CnCount vb_count_sse(std::span<const VertexId> a,
-                     std::span<const VertexId> b) {
+                     std::span<const VertexId> b, bool prefetch) {
   constexpr std::size_t W = 4;
   std::size_t i = 0, j = 0;
   const std::size_t na = a.size(), nb = b.size();
 
   __m128i acc = _mm_setzero_si128();
   while (i + W <= na && j + W <= nb) {
+    if (prefetch) {
+      // Next block pair, far enough ahead to hide an L2 miss.
+      constexpr std::size_t D = util::kBlockPrefetchDistance;
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       a.data() + std::min(i + D, na - 1)),
+                   _MM_HINT_T1);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       b.data() + std::min(j + D, nb - 1)),
+                   _MM_HINT_T1);
+    }
     const __m128i va =
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
     const __m128i vb =

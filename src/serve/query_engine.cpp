@@ -19,6 +19,9 @@ int resolve_workers(int requested) {
 
 QueryEngine::QueryEngine(const EngineConfig& config)
     : config_(config), pool_(resolve_workers(config.num_workers)) {
+  // Normalize once: Options::prefetch is the master switch for the
+  // kernel-level prefetch knob.
+  config_.options.mps.prefetch = config_.options.prefetch;
   contexts_.resize(static_cast<std::size_t>(pool_.num_workers()));
 }
 
@@ -57,7 +60,8 @@ CnCount QueryEngine::indexed_count(const Snapshot& snap, WorkerContext& ctx,
     ctx.prev_u = u;
   }
   return config_.index == ServeIndex::kBitmap
-             ? bitmap::bitmap_intersect_count(ctx.bitmap, probe)
+             ? bitmap::bitmap_intersect_count(ctx.bitmap, probe,
+                                              config_.options.prefetch)
              : intersect::hash_intersect_count(ctx.hash, probe);
 }
 

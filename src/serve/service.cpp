@@ -9,11 +9,12 @@ namespace aecnc::serve {
 namespace {
 
 /// Whether (u, v) is an edge of g (false for invalid pairs). Cached
-/// alongside the count so hits skip this binary search.
+/// alongside the count so hits skip this search. has_edge probes the
+/// smaller adjacency list of the pair — on skewed graphs most queries
+/// touch a hub, and searching the hub's list is the expensive order.
 bool edge_flag(const graph::Csr& g, VertexId u, VertexId v) {
   const VertexId n = g.num_vertices();
-  return u < n && v < n && u != v &&
-         g.find_edge(u, v) != g.num_directed_edges();
+  return u < n && v < n && u != v && g.has_edge(u, v);
 }
 
 }  // namespace

@@ -1,0 +1,52 @@
+// Portable software-prefetch hints for the skew-sensitive kernels.
+//
+// __builtin_prefetch lowers to PREFETCHh on x86-64 (baseline ISA since
+// SSE1) and to PRFM on AArch64; on targets without a prefetch instruction
+// it compiles to nothing. Hints never fault, so callers only have to keep
+// the *pointer arithmetic* in bounds (forming a pointer more than one past
+// the end of an array is UB even if never dereferenced).
+//
+// SIMD translation units use _mm_prefetch directly; this header stays
+// intrinsic-free so portable headers including it carry no ISA tokens
+// (tools/check_simd_guards.py scans for those).
+#pragma once
+
+#include <cstddef>
+
+namespace aecnc::util {
+
+/// Read prefetch with moderate temporal locality (L2-and-up). The hot
+/// kernels re-touch fetched lines within a few iterations, so evicting
+/// straight to L1 (locality 3) just thrashes; locality 2 is the sweet
+/// spot measured in bench_hotpath.
+inline void prefetch_ro(const void* p) noexcept {
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/2);
+}
+
+/// Write prefetch: fetch the line in exclusive state so the upcoming
+/// store skips the read-for-ownership stall (symmetric count mirroring).
+inline void prefetch_rw(const void* p) noexcept {
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/2);
+}
+
+/// Lookahead distances (in elements) tuned on the skewed Twitter replica;
+/// see docs/perf.md for the methodology. Far enough to cover DRAM latency
+/// at the kernels' per-element throughput, near enough not to overrun the
+/// L2 fill buffers. The bitmap distance is the larger because the probe
+/// loop body is a handful of instructions: the out-of-order window alone
+/// covers ~12 iterations, so a hint must land further out to add any
+/// memory parallelism on top.
+inline constexpr std::size_t kBlockPrefetchDistance = 16;   // vb block pairs
+inline constexpr std::size_t kBitmapPrefetchDistance = 32;  // BMP word probes
+
+/// Minimum index size before bitmap-probe prefetching engages. A bitmap
+/// smaller than L2 is cache-resident after its first pass, and issuing a
+/// hint per probe then costs ~30% extra instructions for nothing (the
+/// regression bench_hotpath caught on small replicas). Above this size
+/// probes go to DRAM and the hints pay for themselves. The gate is on
+/// the *index*, not the probe list: the probe list is streamed linearly
+/// (hardware prefetchers handle it); the random-probe target is what
+/// misses.
+inline constexpr std::size_t kIndexPrefetchMinBytes = 256 * 1024;
+
+}  // namespace aecnc::util

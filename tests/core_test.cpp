@@ -97,6 +97,21 @@ std::vector<AlgoCase> algo_cases() {
   push("BMP_par", bmp);
   bmp.task_size = 7;  // tiny tasks stress the FindSrc cache
   push("BMP_par_T7", bmp);
+
+  // Prefetch ablation: hints must never change results, on any driver.
+  Options nopf;
+  nopf.algorithm = Algorithm::kMps;
+  nopf.prefetch = false;
+  nopf.mps.skew_threshold = 2.0;  // exercise pivot-skip without prefetch
+  push("MPS_par_nopf", nopf);
+  nopf.parallel = false;
+  push("MPS_seq_nopf", nopf);
+  nopf.algorithm = Algorithm::kBmp;
+  nopf.parallel = true;
+  push("BMP_par_nopf", nopf);
+  nopf.bmp_range_filter = true;
+  nopf.parallel = false;
+  push("BMP_RF_seq_nopf", nopf);
   return cases;
 }
 
@@ -118,7 +133,7 @@ TEST_P(AllAlgorithmsTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, AllAlgorithmsTest,
-    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 12)),
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 16)),
     [](const auto& info) {
       static const auto graphs = test_graphs();
       static const auto algos = algo_cases();
@@ -160,6 +175,70 @@ TEST(FindSrc, SkipsZeroDegreeVertices) {
     EXPECT_NE(u, 2u);
     EXPECT_EQ(u, g.src_of(slot));
   }
+}
+
+// Regression: count_parallel reuses cached per-thread contexts across
+// calls (bitmaps + FindSrc stash). A stale cached_src from a previous
+// graph or scheduler must never leak: run every scheduler back to back
+// on the SAME options struct, across graphs of different sizes (the
+// second smaller, so a stale stash would be out of range), and with a
+// task_size that makes tasks span vertex boundaries exactly at the
+// alignment point.
+TEST(ContextReuse, SchedulerSwitchAndGraphShrinkStayCorrect) {
+  const Csr big = Csr::from_edge_list(
+      graph::chung_lu_power_law(1200, 9000, 2.1, 77));
+  // All degrees equal 8: with task_size 8 every task boundary lands
+  // exactly on a vertex boundary, so the first slot of each task has a
+  // source the previous task never touched — worst case for the stash.
+  EdgeList reg(64);
+  for (VertexId v = 0; v < 64; ++v) {
+    for (VertexId k = 1; k <= 4; ++k) reg.add(v, (v + k) % 64);
+  }
+  const Csr small = Csr::from_edge_list(std::move(reg));
+  ASSERT_EQ(small.max_degree(), 8u);
+
+  const CountArray big_expected = count_reference(big);
+  const CountArray small_expected = count_reference(small);
+
+  for (const Algorithm algo : {Algorithm::kMps, Algorithm::kBmp}) {
+    Options opt;  // ONE options struct reused across every run below
+    opt.algorithm = algo;
+    opt.task_size = 8;
+    for (const Scheduler sched : {Scheduler::kOpenMp, Scheduler::kTaskPool,
+                                  Scheduler::kOpenMp}) {
+      opt.scheduler = sched;
+      opt.granularity = TaskGranularity::kFineGrained;
+      auto diff = diff_counts(big, count_parallel(big, opt), big_expected);
+      EXPECT_FALSE(diff.has_value()) << *diff;
+      diff = diff_counts(small, count_parallel(small, opt), small_expected);
+      EXPECT_FALSE(diff.has_value()) << *diff;
+    }
+    opt.granularity = TaskGranularity::kCoarseGrained;
+    const auto diff =
+        diff_counts(small, count_parallel(small, opt), small_expected);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+  }
+}
+
+// Repeated identical calls hit the warm context cache; counts must be
+// bit-identical every time (dirty cached bitmaps would skew BMP counts).
+TEST(ContextReuse, RepeatedBmpCallsStayIdentical) {
+  auto hubby = graph::erdos_renyi(600, 2500, 35);
+  graph::add_hubs(hubby, 2, 400, 36);
+  const Csr g = Csr::from_edge_list(std::move(hubby));
+  Options opt;
+  opt.algorithm = Algorithm::kBmp;
+  opt.task_size = 64;
+  const CountArray first = count_parallel(g, opt);
+  const CountArray expected = count_reference(g);
+  EXPECT_FALSE(diff_counts(g, first, expected).has_value());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(count_parallel(g, opt), first) << "run " << i;
+  }
+  opt.bmp_range_filter = true;
+  const CountArray rf_first = count_parallel(g, opt);
+  EXPECT_FALSE(diff_counts(g, rf_first, expected).has_value());
+  EXPECT_EQ(count_parallel(g, opt), rf_first);
 }
 
 TEST(Api, ReorderedCountsTranslateBack) {

@@ -95,6 +95,77 @@ TEST(Csr, IsolatedVerticesGetEmptyRanges) {
   EXPECT_EQ(g.src_of(g.find_edge(4, 1)), 4u);
 }
 
+// The reverse-edge index must satisfy two exact properties on every slot:
+// it agrees with the binary-search oracle find_edge(v, u), and it is an
+// involution (the mirror of the mirror is the slot itself).
+void expect_reverse_index_exact(const Csr& g) {
+  const auto& rev = g.reverse_offsets();
+  ASSERT_EQ(rev.size(), g.num_directed_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.offset_begin(u); e < g.offset_end(u); ++e) {
+      const VertexId v = g.dst_of(e);
+      EXPECT_EQ(rev[e], g.find_edge(v, u)) << "slot " << e;
+      EXPECT_EQ(g.dst_of(rev[e]), u) << "slot " << e;
+      EXPECT_EQ(rev[rev[e]], e) << "slot " << e;
+      EXPECT_EQ(g.reverse_slot(e), rev[e]);
+    }
+  }
+}
+
+TEST(Csr, ReverseOffsetsMatchFindEdgeOnAdversarialShapes) {
+  // Isolated vertices interleaved with a sparse component.
+  {
+    EdgeList e(12);
+    e.add(1, 4);
+    e.add(1, 9);
+    e.add(4, 9);
+    expect_reverse_index_exact(Csr::from_edge_list(std::move(e)));
+  }
+  // Multi-hub skew: two hubs of degree ~400 over a sparse background.
+  {
+    auto hubby = erdos_renyi(600, 2500, 35);
+    add_hubs(hubby, 2, 400, 36);
+    expect_reverse_index_exact(Csr::from_edge_list(std::move(hubby)));
+  }
+  // All-equal degrees: a cycle (degree 2 everywhere) and a clique.
+  {
+    EdgeList cycle(97);
+    for (VertexId v = 0; v < 97; ++v) cycle.add(v, (v + 1) % 97);
+    expect_reverse_index_exact(Csr::from_edge_list(std::move(cycle)));
+  }
+  expect_reverse_index_exact(Csr::from_edge_list(clique(8)));
+  // Power-law tail.
+  expect_reverse_index_exact(
+      Csr::from_edge_list(chung_lu_power_law(800, 6000, 2.1, 51)));
+}
+
+TEST(Csr, ReverseOffsetsOnEdgelessGraphs) {
+  const Csr g = Csr::from_edge_list(EdgeList(5));
+  EXPECT_TRUE(g.reverse_offsets().empty());
+  // A default-constructed Csr has no cache at all; the accessor must
+  // still be safe to call.
+  const Csr empty;
+  EXPECT_TRUE(empty.reverse_offsets().empty());
+}
+
+TEST(Csr, ReverseOffsetsSharedAcrossCopies) {
+  const Csr g = Csr::from_edge_list(erdos_renyi(300, 1500, 57));
+  const Csr copy = g;  // copies share the lazily-built cache
+  EXPECT_EQ(copy.reverse_offsets().data(), g.reverse_offsets().data());
+  expect_reverse_index_exact(copy);
+}
+
+TEST(Csr, HasEdgeAgreesWithFindEdge) {
+  const Csr g = Csr::from_edge_list(triangle_with_tail());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(g.has_edge(u, v),
+                g.find_edge(u, v) < g.num_directed_edges())
+          << u << "-" << v;
+    }
+  }
+}
+
 TEST(Csr, MemoryBytesCountsBothArrays) {
   const Csr g = Csr::from_edge_list(triangle_with_tail());
   EXPECT_EQ(g.memory_bytes(),

@@ -55,6 +55,51 @@ CnCount kernel_mps_default(std::span<const VertexId> a,
                            std::span<const VertexId> b) {
   return mps_count(a, b, MpsConfig{});
 }
+CnCount kernel_vb_sse(std::span<const VertexId> a,
+                      std::span<const VertexId> b) {
+  return vb_count_sse(a, b);
+}
+
+// Prefetch-off variants: hints must never change results, and the ASan /
+// UBSan jobs must exercise both sides of every `if (prefetch)` branch.
+CnCount kernel_block8_nopf(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  return block_merge_count8(a, b, /*prefetch=*/false);
+}
+CnCount kernel_ps_nopf(std::span<const VertexId> a,
+                       std::span<const VertexId> b) {
+  return pivot_skip_count(a, b, /*prefetch=*/false);
+}
+CnCount kernel_vb_sse_nopf(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  return vb_count_sse(a, b, /*prefetch=*/false);
+}
+#if AECNC_HAVE_SIMD_KERNELS
+CnCount kernel_vb_avx2(std::span<const VertexId> a,
+                       std::span<const VertexId> b) {
+  return vb_count_avx2(a, b);
+}
+CnCount kernel_vb_avx2_nopf(std::span<const VertexId> a,
+                            std::span<const VertexId> b) {
+  return vb_count_avx2(a, b, /*prefetch=*/false);
+}
+CnCount kernel_vb_avx512(std::span<const VertexId> a,
+                         std::span<const VertexId> b) {
+  return vb_count_avx512(a, b);
+}
+CnCount kernel_vb_avx512_nopf(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  return vb_count_avx512(a, b, /*prefetch=*/false);
+}
+CnCount kernel_ps_avx2(std::span<const VertexId> a,
+                       std::span<const VertexId> b) {
+  return pivot_skip_count_avx2(a, b);
+}
+CnCount kernel_ps_avx2_nopf(std::span<const VertexId> a,
+                            std::span<const VertexId> b) {
+  return pivot_skip_count_avx2(a, b, /*prefetch=*/false);
+}
+#endif
 
 struct NamedKernel {
   const char* name;
@@ -68,12 +113,17 @@ std::vector<NamedKernel> all_kernels() {
       {"merge", kernel_merge},        {"branchless", kernel_branchless},
       {"block8", kernel_block8},      {"block16", kernel_block16},
       {"pivot_skip", kernel_ps},      {"mps", kernel_mps_default},
-      {"vb_sse", vb_count_sse},
+      {"vb_sse", kernel_vb_sse},      {"block8_nopf", kernel_block8_nopf},
+      {"pivot_skip_nopf", kernel_ps_nopf},
+      {"vb_sse_nopf", kernel_vb_sse_nopf},
   };
 #if AECNC_HAVE_SIMD_KERNELS
-  kernels.push_back({"vb_avx2", vb_count_avx2, true, false});
-  kernels.push_back({"vb_avx512", vb_count_avx512, false, true});
-  kernels.push_back({"ps_avx2", pivot_skip_count_avx2, true, false});
+  kernels.push_back({"vb_avx2", kernel_vb_avx2, true, false});
+  kernels.push_back({"vb_avx2_nopf", kernel_vb_avx2_nopf, true, false});
+  kernels.push_back({"vb_avx512", kernel_vb_avx512, false, true});
+  kernels.push_back({"vb_avx512_nopf", kernel_vb_avx512_nopf, false, true});
+  kernels.push_back({"ps_avx2", kernel_ps_avx2, true, false});
+  kernels.push_back({"ps_avx2_nopf", kernel_ps_avx2_nopf, true, false});
 #endif
   return kernels;
 }

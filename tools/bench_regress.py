@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json files the benches emit.
+
+Two jobs, both cheap enough for every CI push:
+
+  1. Structural: the JSON must parse and carry the keys the experiment is
+     contracted to emit (a bench that bit-rots into emitting nothing, or
+     half a file after a crash, fails loudly instead of green-washing).
+  2. Semantic: invariants that must hold at *any* scale. For the hotpath
+     experiment: the reverse-index symmetric store must never be slower
+     than the per-edge binary search it replaced beyond a 10% noise
+     allowance (e2e_speedup >= 0.9) — if that gate trips, the O(|E|)
+     index has regressed into a pessimization.
+
+Optionally, --baseline OLD.json compares metric-by-metric against a
+stored run: "_ms"/"_s" keys may grow by at most --max-regress (relative),
+throughput/speedup keys may shrink by the same bound. Metric direction is
+inferred from the key suffix; unknown suffixes are ignored.
+
+Exit status: 0 clean, 1 regression/malformed, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Keys each experiment must emit (nested dicts use dotted paths).
+REQUIRED_KEYS = {
+    "hotpath": [
+        "dataset",
+        "scale",
+        "reps",
+        "reverse_build_ms",
+        "symcopy_reverse_ms",
+        "symcopy_find_edge_ms",
+        "symcopy_speedup",
+        "e2e_reverse_ms",
+        "e2e_find_edge_ms",
+        "e2e_speedup",
+        "e2e_bmp_reverse_ms",
+        "e2e_bmp_find_edge_ms",
+        "e2e_bmp_speedup",
+        "prefetch.pivot_skip_on_ms",
+        "prefetch.pivot_skip_off_ms",
+        "prefetch.vb_on_ms",
+        "prefetch.vb_off_ms",
+        "prefetch.bitmap_on_ms",
+        "prefetch.bitmap_off_ms",
+        "prefetch.e2e_mps_on_ms",
+        "prefetch.e2e_mps_off_ms",
+        "prefetch.e2e_bmp_on_ms",
+        "prefetch.e2e_bmp_off_ms",
+    ],
+    "serve_throughput": [
+        "dataset",
+        "scale",
+        "qps_recompute",
+        "qps_cached",
+        "cached_speedup_vs_recompute",
+    ],
+}
+
+# The reverse-index path may be at most 10% slower than find_edge before
+# the gate trips (generous: on any skewed graph the symmetric copy runs
+# 5-10x faster). MPS end-to-end gets a looser bound: its runtime is
+# dominated by intersection work, so the mirror store is only a few
+# percent of it and run-to-run noise on shared CI runners swamps the
+# signal — a trip there must mean something systemic broke.
+HOTPATH_MIN_SPEEDUP = {
+    "symcopy_speedup": 0.9,
+    "e2e_bmp_speedup": 0.9,
+    "e2e_speedup": 0.75,
+}
+
+LOWER_IS_BETTER = ("_ms", "_s", "_time", "_bytes")
+HIGHER_IS_BETTER = ("_speedup", "_per_s", "qps_", "_eps")
+
+
+def lookup(data: dict, dotted: str):
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def flatten(data, prefix=""):
+    out = {}
+    for key, value in data.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten(value, path + "."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[path] = float(value)
+    return out
+
+
+def metric_direction(key: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 not a perf metric."""
+    leaf = key.rsplit(".", 1)[-1]
+    if any(leaf.endswith(s) for s in LOWER_IS_BETTER):
+        return -1
+    if any(leaf.endswith(s) or leaf.startswith(s) for s in HIGHER_IS_BETTER):
+        return +1
+    return 0
+
+
+def check_structure(data: dict, path: Path) -> list[str]:
+    errors = []
+    experiment = data.get("experiment")
+    if not isinstance(experiment, str):
+        return [f"{path}: missing or non-string 'experiment' key"]
+    required = REQUIRED_KEYS.get(experiment)
+    if required is None:
+        # Unknown experiments only need to be valid JSON objects.
+        return []
+    for key in required:
+        value = lookup(data, key)
+        if value is None:
+            errors.append(f"{path}: missing required key '{key}'")
+        elif key != "dataset" and isinstance(value, str):
+            errors.append(f"{path}: key '{key}' should be numeric, got string")
+    return errors
+
+
+def check_invariants(data: dict, path: Path) -> list[str]:
+    errors = []
+    if data.get("experiment") != "hotpath":
+        return errors
+    for key, floor in HOTPATH_MIN_SPEEDUP.items():
+        speedup = lookup(data, key)
+        if isinstance(speedup, (int, float)) and speedup < floor:
+            errors.append(
+                f"{path}: reverse-index path is slower than the find_edge "
+                f"path it replaced ({key} {speedup:.3f} < {floor}) — the "
+                f"O(|E|) index regressed"
+            )
+    for key in ("symcopy_reverse_ms", "symcopy_find_edge_ms"):
+        value = lookup(data, key)
+        if isinstance(value, (int, float)) and value < 0:
+            errors.append(f"{path}: negative timing '{key}' = {value}")
+    return errors
+
+
+def check_baseline(
+    data: dict, baseline: dict, path: Path, max_regress: float
+) -> list[str]:
+    errors = []
+    new = flatten(data)
+    old = flatten(baseline)
+    for key, old_value in old.items():
+        direction = metric_direction(key)
+        if direction == 0 or key not in new or old_value <= 0:
+            continue
+        new_value = new[key]
+        rel = (new_value - old_value) / old_value
+        if direction < 0 and rel > max_regress:
+            errors.append(
+                f"{path}: {key} regressed {rel * 100:.1f}% "
+                f"({old_value:g} -> {new_value:g}, budget {max_regress * 100:.0f}%)"
+            )
+        elif direction > 0 and rel < -max_regress:
+            errors.append(
+                f"{path}: {key} dropped {-rel * 100:.1f}% "
+                f"({old_value:g} -> {new_value:g}, budget {max_regress * 100:.0f}%)"
+            )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json", type=Path, nargs="+",
+                        help="BENCH_*.json file(s) to validate")
+    parser.add_argument("--baseline", type=Path,
+                        help="previous run of the same experiment to diff "
+                             "against (only valid with a single input)")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="relative per-metric budget vs the baseline "
+                             "(default 0.25 = 25%%, benches are noisy)")
+    args = parser.parse_args()
+    if args.baseline and len(args.json) != 1:
+        print("bench_regress: --baseline needs exactly one input",
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in args.json:
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            errors.append(f"{path}: no such file")
+            continue
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}: malformed JSON: {exc}")
+            continue
+        if not isinstance(data, dict):
+            errors.append(f"{path}: top level must be a JSON object")
+            continue
+        errors += check_structure(data, path)
+        errors += check_invariants(data, path)
+        if args.baseline:
+            try:
+                baseline = json.loads(args.baseline.read_text())
+            except (FileNotFoundError, json.JSONDecodeError) as exc:
+                errors.append(f"{args.baseline}: unusable baseline: {exc}")
+            else:
+                errors += check_baseline(data, baseline, path,
+                                         args.max_regress)
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"bench_regress: {len(errors)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"bench_regress: OK ({len(args.json)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

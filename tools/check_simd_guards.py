@@ -43,6 +43,13 @@ GUARD_FUNCTIONS = {"cpu_has_avx2", "cpu_has_avx512"}
 # The preprocessor guard that fences SIMD declarations and dispatch code.
 SIMD_GUARD = "AECNC_HAVE_SIMD_KERNELS"
 
+# Guard-exempt intrinsics, blanked from the text before any heuristic
+# runs: _mm_prefetch is baseline SSE (valid on every x86-64 this project
+# builds for) and hint-only — executing it never faults and never changes
+# architectural state — so prefetch hints may appear in any TU without
+# cpuid dispatch.
+GUARD_EXEMPT_INTRINSICS = ("_mm_prefetch",)
+
 # Aligned memory intrinsics and the alignment they demand.
 ALIGNED_OPS = {
     "_mm_load_si128": 16,
@@ -299,7 +306,10 @@ def main() -> int:
     files = sorted(src.rglob("*.cpp")) + sorted(src.rglob("*.hpp"))
     stripped = {}
     for path in files:
-        stripped[path] = strip_comments(path.read_text())
+        text = strip_comments(path.read_text())
+        for intrinsic in GUARD_EXEMPT_INTRINSICS:
+            text = text.replace(intrinsic, " " * len(intrinsic))
+        stripped[path] = text
 
     # ISA TUs = sources compiled with any -mavx* flag.
     isa_tus = {tu for tu, opt in flags.items() if "-mavx" in opt}
