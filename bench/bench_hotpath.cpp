@@ -13,6 +13,11 @@
 //   C. Software prefetching (AECNC_PREFETCH): per-kernel on/off for the
 //      galloping pivot-skip, the VB block kernel and the BMP bitmap
 //      probe loop, plus the end-to-end Options::prefetch toggle.
+//   D. Observability overhead (src/obs): the MPS dispatch and the e2e
+//      sequential driver with instrumentation runtime-off (the shipping
+//      default: one relaxed atomic-bool load per site, budgeted <= 2%
+//      vs the pre-obs baseline via bench_regress --baseline) and
+//      runtime-on (counting enabled; reported, not gated).
 //
 // Emits BENCH_hotpath.json next to the human-readable table.
 #include <algorithm>
@@ -25,6 +30,7 @@
 #include "core/sequential.hpp"
 #include "intersect/dispatch.hpp"
 #include "intersect/pivot_skip.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 using namespace aecnc;
@@ -250,6 +256,32 @@ int main(int argc, char** argv) {
   const double e2e_bmp_on_ms = time_e2e(core::Algorithm::kBmp, true);
   const double e2e_bmp_off_ms = time_e2e(core::Algorithm::kBmp, false);
 
+  // ---- D. observability overhead: runtime-off guard vs counting on ----
+  // The obs chokepoint for intersections sits in the MPS dispatch, so
+  // the microbench is mps_count over every forward pair. Runtime-off is
+  // what production pays (and what the regression baseline gates);
+  // runtime-on additionally buys the route/probe counters — and pins the
+  // skewed path to the scalar pivot-skip for machine-independent counts,
+  // so its delta is the price of observation, not a regression.
+  const auto time_mps_dispatch = [&] {
+    util::WallTimer t;
+    for (const auto& fe : forward) {
+      sink += intersect::mps_count(csr.neighbors(fe.u), csr.neighbors(fe.v),
+                                   mps_cfg);
+    }
+    return t.millis();
+  };
+  obs::set_enabled(false);
+  const double obs_dispatch_off_ms = time_mps_dispatch();
+  obs::set_enabled(true);
+  const double obs_dispatch_on_ms = time_mps_dispatch();
+  const double obs_e2e_mps_on_ms = time_e2e(core::Algorithm::kMps, true);
+  obs::set_enabled(false);
+  const double obs_e2e_mps_off_ms = time_e2e(core::Algorithm::kMps, true);
+  const double obs_on_overhead_pct =
+      100.0 * ratio(obs_dispatch_on_ms - obs_dispatch_off_ms,
+                    obs_dispatch_off_ms);
+
   // ---- report ---------------------------------------------------------
   util::TablePrinter table({"path", "time", "note"});
   table.add_row({"reverse index build (once)",
@@ -292,6 +324,20 @@ int main(int argc, char** argv) {
                  util::format_fixed(e2e_bmp_on_ms, 2) + " / " +
                      util::format_fixed(e2e_bmp_off_ms, 2) + " ms",
                  "Options::prefetch"});
+  std::string obs_note = "compiled out (AECNC_OBS=OFF)";
+  if (obs::kCompiledIn) {
+    obs_note = obs_on_overhead_pct >= 0 ? "+" : "";
+    obs_note += util::format_fixed(obs_on_overhead_pct, 1);
+    obs_note += "% when counting";
+  }
+  table.add_row({"MPS dispatch obs off/on",
+                 util::format_fixed(obs_dispatch_off_ms, 2) + " / " +
+                     util::format_fixed(obs_dispatch_on_ms, 2) + " ms",
+                 obs_note});
+  table.add_row({"e2e MPS obs off/on",
+                 util::format_fixed(obs_e2e_mps_off_ms, 2) + " / " +
+                     util::format_fixed(obs_e2e_mps_on_ms, 2) + " ms",
+                 "runtime toggle, docs/observability.md"});
   table.print();
   std::printf("(sink %llu keeps the loops live)\n",
               static_cast<unsigned long long>(sink & 0xff));
@@ -329,6 +375,14 @@ int main(int argc, char** argv) {
                "    \"e2e_mps_off_ms\": %.3f,\n"
                "    \"e2e_bmp_on_ms\": %.3f,\n"
                "    \"e2e_bmp_off_ms\": %.3f\n"
+               "  },\n"
+               "  \"obs\": {\n"
+               "    \"compiled_in\": %d,\n"
+               "    \"mps_dispatch_off_ms\": %.3f,\n"
+               "    \"mps_dispatch_on_ms\": %.3f,\n"
+               "    \"on_overhead_pct\": %.1f,\n"
+               "    \"e2e_mps_off_ms\": %.3f,\n"
+               "    \"e2e_mps_on_ms\": %.3f\n"
                "  }\n"
                "}\n",
                static_cast<int>(graph::dataset_name(id).size()),
@@ -336,7 +390,10 @@ int main(int argc, char** argv) {
                forward.size(), build_ms, symcopy_rev_ms, symcopy_find_ms,
                symcopy_speedup, e2e_rev_ms, e2e_find_ms, e2e_speedup,
                e2e_bmp_rev_ms, e2e_bmp_find_ms, e2e_bmp_speedup, ps_on_ms, ps_off_ms, vb_on_ms, vb_off_ms, bm_on_ms, bm_off_ms,
-               e2e_mps_on_ms, e2e_mps_off_ms, e2e_bmp_on_ms, e2e_bmp_off_ms);
+               e2e_mps_on_ms, e2e_mps_off_ms, e2e_bmp_on_ms, e2e_bmp_off_ms,
+               obs::kCompiledIn ? 1 : 0, obs_dispatch_off_ms,
+               obs_dispatch_on_ms, obs_on_overhead_pct, obs_e2e_mps_off_ms,
+               obs_e2e_mps_on_ms);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

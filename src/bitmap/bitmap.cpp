@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/catalog.hpp"
+
 namespace aecnc::bitmap {
 
 bool Bitmap::all_zero() const noexcept {
@@ -21,6 +23,17 @@ std::uint64_t Bitmap::popcount() const noexcept {
 
 CnCount bitmap_intersect_count(const Bitmap& index,
                                std::span<const VertexId> a, bool prefetch) {
+  // This overload is the entry point of every non-StatsCounter caller
+  // (parallel drivers, serve engine), so it is where obs work counters
+  // attach: local StatsCounter in the loop, one flush per intersection.
+  if (obs::enabled()) [[unlikely]] {
+    intersect::StatsCounter sc;
+    const CnCount c = bitmap_intersect_count(index, a, sc, prefetch);
+    const obs::KernelMetrics& m = obs::KernelMetrics::get();
+    m.bitmap_probes.add(sc.bitmap_probes);
+    m.bitmap_matches.add(sc.matches);
+    return c;
+  }
   intersect::NullCounter null;
   return bitmap_intersect_count(index, a, null, prefetch);
 }

@@ -1,9 +1,24 @@
 #include "bitmap/range_filter.hpp"
 
+#include "obs/catalog.hpp"
+
 namespace aecnc::bitmap {
 
 CnCount rf_intersect_count(const RangeFilteredBitmap& index,
                            std::span<const VertexId> a, bool prefetch) {
+  // Non-StatsCounter chokepoint (see bitmap.cpp): attach obs counters
+  // here so every parallel/serve RF intersection reports its probe,
+  // skip, and match profile.
+  if (obs::enabled()) [[unlikely]] {
+    intersect::StatsCounter sc;
+    const CnCount c = rf_intersect_count(index, a, sc, prefetch);
+    const obs::KernelMetrics& m = obs::KernelMetrics::get();
+    m.rf_probes.add(sc.rf_probes);
+    m.rf_skips.add(sc.rf_skips);
+    m.bitmap_probes.add(sc.bitmap_probes);
+    m.bitmap_matches.add(sc.matches);
+    return c;
+  }
   intersect::NullCounter null;
   return rf_intersect_count(index, a, null, prefetch);
 }

@@ -5,6 +5,7 @@
 #include "core/verify.hpp"
 #include "graph/reorder.hpp"
 #include "intersect/dispatch.hpp"
+#include "obs/catalog.hpp"
 
 namespace aecnc::core {
 namespace {
@@ -20,6 +21,9 @@ intersect::MpsConfig effective_mps(const Options& options) {
 }  // namespace
 
 CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
+  const obs::CoreMetrics& m = obs::CoreMetrics::get();
+  if (obs::enabled()) m.runs.add();
+  obs::ScopedTimer timer(m.run_ns);
   if (options.parallel) return count_parallel(g, options);
   switch (options.algorithm) {
     case Algorithm::kMergeBaseline:

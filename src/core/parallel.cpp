@@ -11,6 +11,7 @@
 #include "bitmap/range_filter.hpp"
 #include "check/check.hpp"
 #include "intersect/merge.hpp"
+#include "obs/catalog.hpp"
 #include "parallel/task_pool.hpp"
 #include "util/prefetch.hpp"
 
@@ -41,6 +42,10 @@ class ContextLease {
       states_ = &shared();
     } else {
       states_ = &local_;
+    }
+    if (obs::enabled()) {
+      const obs::CoreMetrics& m = obs::CoreMetrics::get();
+      (owns_shared_ ? m.lease_shared : m.lease_private).add();
     }
     if (states_->size() < threads) states_->resize(threads);
   }
@@ -155,6 +160,9 @@ CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
             break;
           case Algorithm::kBmp:
             if (!built) {
+              if (obs::enabled()) [[unlikely]] {
+                obs::KernelMetrics::get().bitmap_builds.add();
+              }
               if (rf) {
                 ts.rf.set_all(nbrs);
               } else {
@@ -218,6 +226,9 @@ CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
               break;
             case Algorithm::kBmp:
               if (ts.prev_u != u) {
+                if (obs::enabled()) [[unlikely]] {
+                  obs::KernelMetrics::get().bitmap_builds.add();
+                }
                 if (rf) {
                   if (ts.prev_u != kInvalidVertex) {
                     ts.rf.clear_all(g.neighbors(ts.prev_u));
@@ -286,6 +297,9 @@ CountArray count_parallel_openmp(const graph::Csr& g, const Options& options,
             // Rebuild the thread-local index for the new source vertex
             // (each thread builds an index for a vertex at most once per
             // contiguous run of its edges, amortizing the cost).
+            if (obs::enabled()) [[unlikely]] {
+              obs::KernelMetrics::get().bitmap_builds.add();
+            }
             if (rf) {
               if (ts.prev_u != kInvalidVertex) {
                 ts.rf.clear_all(g.neighbors(ts.prev_u));

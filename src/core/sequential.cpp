@@ -4,6 +4,7 @@
 #include "bitmap/range_filter.hpp"
 #include "check/check.hpp"
 #include "intersect/merge.hpp"
+#include "obs/catalog.hpp"
 
 namespace aecnc::core {
 namespace {
@@ -72,6 +73,9 @@ CountArray run_bmp(const graph::Csr& g, bool range_filter, std::uint64_t scale,
       if (u >= v) continue;
       if (!built) {
         // Lazy build: vertices with no forward edge skip construction.
+        if (obs::enabled()) [[unlikely]] {
+          obs::KernelMetrics::get().bitmap_builds.add();
+        }
         if (range_filter) {
           filtered.set_all(nu);
         } else {
@@ -119,6 +123,20 @@ CountArray count_sequential_mps(const graph::Csr& g,
 
 CountArray count_sequential_bmp(const graph::Csr& g, bool range_filter,
                                 std::uint64_t rf_scale, bool prefetch) {
+  if (obs::enabled()) [[unlikely]] {
+    // The sequential driver feeds its counter straight into the kernels,
+    // so route through the instrumented twin and flush the work profile
+    // into the obs registry in one shot.
+    intersect::StatsCounter sc;
+    CountArray cnt = run_bmp(g, range_filter, rf_scale, sc, prefetch);
+    const obs::KernelMetrics& m = obs::KernelMetrics::get();
+    m.bitmap_sets.add(sc.bitmap_sets);
+    m.bitmap_probes.add(sc.bitmap_probes);
+    m.bitmap_matches.add(sc.matches);
+    m.rf_probes.add(sc.rf_probes);
+    m.rf_skips.add(sc.rf_skips);
+    return cnt;
+  }
   intersect::NullCounter null;
   return run_bmp(g, range_filter, rf_scale, null, prefetch);
 }

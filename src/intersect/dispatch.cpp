@@ -2,8 +2,34 @@
 
 #include "intersect/lower_bound.hpp"
 #include "intersect/merge.hpp"
+#include "obs/catalog.hpp"
 
 namespace aecnc::intersect {
+namespace {
+
+/// Cold path of mps_count when observability is on: same routing
+/// decision, plus routing/kernel counters. The skewed branch runs the
+/// *scalar* instrumented pivot-skip regardless of vectorized_search so
+/// the reported probe count is machine-independent (the count result is
+/// identical; only the search implementation differs).
+CnCount mps_count_observed(std::span<const VertexId> a,
+                           std::span<const VertexId> b,
+                           const MpsConfig& config, bool skewed) {
+  const obs::KernelMetrics& m = obs::KernelMetrics::get();
+  m.mps_calls.add();
+  if (skewed) {
+    m.route_pivot_skip.add();
+    StatsCounter sc;
+    const CnCount c = pivot_skip_count(a, b, sc, config.prefetch);
+    m.gallop_probes.add(sc.gallop_steps + sc.binary_steps + sc.linear_probes);
+    return c;
+  }
+  m.route_vb.add();
+  m.vb_calls[static_cast<std::size_t>(config.kind)]->add();
+  return vb_count(a, b, config.kind, config.prefetch);
+}
+
+}  // namespace
 
 std::string_view merge_kind_name(MergeKind kind) {
   switch (kind) {
@@ -96,6 +122,9 @@ CnCount mps_count(std::span<const VertexId> a, std::span<const VertexId> b,
   const double db = static_cast<double>(b.size());
   const bool skewed = da > config.skew_threshold * db ||
                       db > config.skew_threshold * da;
+  if (obs::enabled()) [[unlikely]] {
+    return mps_count_observed(a, b, config, skewed);
+  }
   if (skewed) {
 #if AECNC_HAVE_SIMD_KERNELS
     if (config.vectorized_search && cpu_has_avx2()) {

@@ -1,0 +1,70 @@
+#include "obs/catalog.hpp"
+
+namespace aecnc::obs {
+
+const KernelMetrics& KernelMetrics::get() {
+  static const KernelMetrics m = [] {
+    Registry& r = Registry::global();
+    return KernelMetrics{
+        .mps_calls = r.counter("intersect.mps.calls"),
+        .route_pivot_skip = r.counter("intersect.mps.route.pivot_skip"),
+        .route_vb = r.counter("intersect.mps.route.vb"),
+        .vb_calls = {&r.counter("intersect.vb.scalar"),
+                     &r.counter("intersect.vb.branchless"),
+                     &r.counter("intersect.vb.block_scalar"),
+                     &r.counter("intersect.vb.sse"),
+                     &r.counter("intersect.vb.avx2"),
+                     &r.counter("intersect.vb.avx512")},
+        .gallop_probes = r.counter("intersect.pivot_skip.probes"),
+        .bitmap_builds = r.counter("bmp.bitmap.builds"),
+        .bitmap_sets = r.counter("bmp.bitmap.set_bits"),
+        .bitmap_probes = r.counter("bmp.bitmap.probes"),
+        .bitmap_matches = r.counter("bmp.bitmap.matches"),
+        .rf_probes = r.counter("bmp.rf.probes"),
+        .rf_skips = r.counter("bmp.rf.skips"),
+    };
+  }();
+  return m;
+}
+
+const CoreMetrics& CoreMetrics::get() {
+  static const CoreMetrics m = [] {
+    Registry& r = Registry::global();
+    return CoreMetrics{
+        .runs = r.counter("core.runs"),
+        .run_ns = r.histogram("core.run_ns"),
+        .lease_shared = r.counter("parallel.lease.shared"),
+        .lease_private = r.counter("parallel.lease.private"),
+        .pool_runs = r.counter("parallel.pool.runs"),
+        .pool_chunks = r.counter("parallel.pool.chunks"),
+    };
+  }();
+  return m;
+}
+
+const ServeMetrics& ServeMetrics::get() {
+  static const ServeMetrics m = [] {
+    Registry& r = Registry::global();
+    return ServeMetrics{
+        .point_ns = r.histogram("serve.latency.point_ns"),
+        .vertex_ns = r.histogram("serve.latency.vertex_ns"),
+        .batch_ns = r.histogram("serve.latency.batch_ns"),
+        .cache_hits = r.counter("serve.cache.hits"),
+        .cache_misses = r.counter("serve.cache.misses"),
+        .publishes = r.counter("serve.publishes"),
+        .backpressure_waits = r.counter("serve.backpressure_waits"),
+        .shed = r.counter("serve.shed"),
+        .queue_depth = r.gauge("serve.queue_depth"),
+        .epoch = r.gauge("serve.epoch"),
+    };
+  }();
+  return m;
+}
+
+void register_all() {
+  (void)KernelMetrics::get();
+  (void)CoreMetrics::get();
+  (void)ServeMetrics::get();
+}
+
+}  // namespace aecnc::obs

@@ -1,0 +1,75 @@
+// The metric catalog: every metric the library itself registers, grouped
+// by subsystem and resolved once per process from Registry::global().
+//
+// Instrumented code holds a `const KernelMetrics&` (etc.) — obtained via
+// the static get() — so the hot path never pays a registry lookup; the
+// mutex is taken only on first use. The catalog is also registered
+// eagerly by register_all(), which the CLI calls before dumping so a dump
+// always lists the full metric set (zeros included) regardless of which
+// code paths ran — golden tests depend on that fixed shape.
+//
+// docs/observability.md documents each metric's meaning and unit.
+#pragma once
+
+#include <array>
+
+#include "obs/metrics.hpp"
+
+namespace aecnc::obs {
+
+/// intersect/ + bitmap/: dispatch routing and kernel work counters.
+struct KernelMetrics {
+  // MPS dispatch (paper Algorithm 1): calls, and which side of the skew
+  // test each call took.
+  Counter& mps_calls;          // intersect.mps.calls
+  Counter& route_pivot_skip;   // intersect.mps.route.pivot_skip
+  Counter& route_vb;           // intersect.mps.route.vb
+  // VB calls by MergeKind, indexed by static_cast<int>(MergeKind).
+  std::array<Counter*, 6> vb_calls;  // intersect.vb.<kind>
+  // Search steps (gallop + binary + linear) spent inside pivot-skip.
+  Counter& gallop_probes;      // intersect.pivot_skip.probes
+  // BMP/RF (paper Algorithm 2 / §4.3).
+  Counter& bitmap_builds;      // bmp.bitmap.builds
+  Counter& bitmap_sets;        // bmp.bitmap.set_bits
+  Counter& bitmap_probes;      // bmp.bitmap.probes
+  Counter& bitmap_matches;     // bmp.bitmap.matches
+  Counter& rf_probes;          // bmp.rf.probes
+  Counter& rf_skips;           // bmp.rf.skips
+
+  [[nodiscard]] static const KernelMetrics& get();
+};
+
+/// core/ + parallel/: batch-run drivers and scheduler health.
+struct CoreMetrics {
+  Counter& runs;               // core.runs
+  Histogram& run_ns;           // core.run_ns
+  Counter& lease_shared;       // parallel.lease.shared
+  Counter& lease_private;      // parallel.lease.private
+  Counter& pool_runs;          // parallel.pool.runs
+  Counter& pool_chunks;        // parallel.pool.chunks
+
+  [[nodiscard]] static const CoreMetrics& get();
+};
+
+/// serve/: per-query latency, cache effectiveness, admission control.
+struct ServeMetrics {
+  Histogram& point_ns;         // serve.latency.point_ns
+  Histogram& vertex_ns;        // serve.latency.vertex_ns
+  Histogram& batch_ns;         // serve.latency.batch_ns
+  Counter& cache_hits;         // serve.cache.hits
+  Counter& cache_misses;       // serve.cache.misses
+  Counter& publishes;          // serve.publishes
+  Counter& backpressure_waits; // serve.backpressure_waits
+  Counter& shed;               // serve.shed
+  Gauge& queue_depth;          // serve.queue_depth
+  Gauge& epoch;                // serve.epoch
+
+  [[nodiscard]] static const ServeMetrics& get();
+};
+
+/// Force-register the whole catalog into Registry::global(). Dump-side
+/// callers (CLI stats, serve-session stats) use this so the dump shape
+/// does not depend on which kernels happened to execute.
+void register_all();
+
+}  // namespace aecnc::obs

@@ -1,0 +1,272 @@
+#include "obs/metrics.hpp"
+
+#if AECNC_OBS_ENABLED
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace aecnc::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_fake_tick_ns{0};
+// Fake-clock counter: each now_ns() call advances by the tick, so a
+// ScopedTimer observes exactly one tick regardless of real elapsed time.
+std::atomic<std::uint64_t> g_fake_now_ns{0};
+
+bool env_enabled() {
+  const char* env = std::getenv("AECNC_OBS");
+  if (env == nullptr) return false;
+  return env[0] != '\0' && env[0] != '0';
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  // Metric names are dotted identifiers by convention, but dump output
+  // must stay valid JSON for any registered name.
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string prom_name(std::string_view name) {
+  std::string out = "aecnc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  const std::uint64_t tick = g_fake_tick_ns.load(std::memory_order_relaxed);
+  if (tick != 0) {
+    return g_fake_now_ns.fetch_add(tick, std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_fake_clock(std::uint64_t tick_ns) noexcept {
+  g_fake_now_ns.store(0, std::memory_order_relaxed);
+  g_fake_tick_ns.store(tick_ns, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) total += bucket_count(i);
+  return total;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * total), clamped.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kNumBuckets - 1);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* instance = [] {
+    // First touch of the global registry also resolves the env switch,
+    // so AECNC_OBS=1 works for any binary without code changes.
+    if (env_enabled()) set_enabled(true);
+    return new Registry();  // leaked: metric refs must outlive exit paths
+  }();
+  return *instance;
+}
+
+Registry::Entry& Registry::entry_for(std::string_view name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error(
+          "obs: metric '" + std::string(name) + "' already registered as " +
+          kind_name(static_cast<int>(it->second.kind)) + ", requested " +
+          kind_name(static_cast<int>(kind)));
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return metrics_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *entry_for(name, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *entry_for(name, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *entry_for(name, Kind::kHistogram).histogram;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::string Registry::dump_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.kind != Kind::kCounter) continue;
+    out += sep;
+    out += "\n    \"";
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(entry.counter->value());
+    sep = ",";
+  }
+  out += *sep ? "\n  },\n" : "},\n";
+  out += "  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.kind != Kind::kGauge) continue;
+    out += sep;
+    out += "\n    \"";
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(entry.gauge->value());
+    sep = ",";
+  }
+  out += *sep ? "\n  },\n" : "},\n";
+  out += "  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    const Histogram& h = *entry.histogram;
+    out += sep;
+    out += "\n    \"";
+    append_json_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h.count());
+    out += ", \"sum\": " + std::to_string(h.sum());
+    out += ", \"p50\": " + std::to_string(h.quantile(0.50));
+    out += ", \"p95\": " + std::to_string(h.quantile(0.95));
+    out += ", \"p99\": " + std::to_string(h.quantile(0.99));
+    // Sparse bucket map: only non-empty buckets, keyed by their
+    // inclusive upper bound.
+    out += ", \"buckets\": {";
+    const char* bsep = "";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t n = h.bucket_count(i);
+      if (n == 0) continue;
+      out += bsep;
+      out += '"';
+      out += std::to_string(Histogram::bucket_upper(i));
+      out += "\": ";
+      out += std::to_string(n);
+      bsep = ", ";
+    }
+    out += "}}";
+    sep = ",";
+  }
+  out += *sep ? "\n  }\n}\n" : "}\n}\n";
+  return out;
+}
+
+std::string Registry::dump_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    const std::string pname = prom_name(name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + pname + " counter\n";
+        out += pname + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + pname + " gauge\n";
+        out += pname + " " + std::to_string(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += "# TYPE " + pname + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          cumulative += n;
+          out += pname + "_bucket{le=\"" +
+                 std::to_string(Histogram::bucket_upper(i)) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += pname + "_sum " + std::to_string(h.sum()) + "\n";
+        out += pname + "_count " + std::to_string(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aecnc::obs
+
+#endif  // AECNC_OBS_ENABLED

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/check.hpp"
+#include "obs/catalog.hpp"
 
 namespace aecnc::parallel {
 namespace {
@@ -25,6 +26,9 @@ void run_workers(std::uint64_t total, std::uint64_t task_size,
     stats->total_tasks = 0;
   }
 
+  const bool observed = obs::enabled();
+  if (observed) obs::CoreMetrics::get().pool_runs.add();
+
   auto worker_loop = [&](int worker) {
     std::uint64_t claimed = 0;
     while (true) {
@@ -38,6 +42,8 @@ void run_workers(std::uint64_t total, std::uint64_t task_size,
     if (stats != nullptr) {
       stats->tasks_per_worker[static_cast<std::size_t>(worker)] = claimed;
     }
+    // One flush per worker, not one atomic per chunk claimed.
+    if (observed) obs::CoreMetrics::get().pool_chunks.add(claimed);
   };
 
   if (workers == 1) {
@@ -93,6 +99,7 @@ void WorkerPool::run(std::uint64_t total, std::uint64_t task_size,
                      const Body& body) {
   AECNC_CHECK(task_size > 0) << "task_size=" << task_size;
   if (total == 0) return;
+  if (obs::enabled()) obs::CoreMetrics::get().pool_runs.add();
   std::unique_lock<std::mutex> lock(mutex_);
   job_total_ = total;
   job_task_size_ = task_size;
@@ -124,11 +131,18 @@ void WorkerPool::worker_loop(int worker) {
       task_size = job_task_size_;
       body = job_body_;
     }
-    while (true) {
-      const std::uint64_t begin =
-          cursor_.fetch_add(task_size, std::memory_order_relaxed);
-      if (begin >= total) break;
-      (*body)(begin, std::min(total, begin + task_size), worker);
+    {
+      // Shard the chunk tally per worker per job; CounterScope flushes
+      // it as one atomic add when the job's claim loop drains.
+      obs::CounterScope chunks(obs::CoreMetrics::get().pool_chunks);
+      const bool observed = obs::enabled();
+      while (true) {
+        const std::uint64_t begin =
+            cursor_.fetch_add(task_size, std::memory_order_relaxed);
+        if (begin >= total) break;
+        (*body)(begin, std::min(total, begin + task_size), worker);
+        if (observed) chunks.add();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -5,6 +5,7 @@
 
 #include "intersect/dispatch.hpp"
 #include "intersect/merge.hpp"
+#include "obs/catalog.hpp"
 
 namespace aecnc::serve {
 namespace {
@@ -47,6 +48,9 @@ CnCount QueryEngine::indexed_count(const Snapshot& snap, WorkerContext& ctx,
     ctx.epoch = snap.epoch;
   }
   if (ctx.prev_u != u) {
+    if (obs::enabled()) [[unlikely]] {
+      obs::KernelMetrics::get().bitmap_builds.add();
+    }
     if (config_.index == ServeIndex::kBitmap) {
       // Same epoch => same graph, so the previous source's neighbor list
       // is still valid for the amortized flip-clear (Algorithm 2).

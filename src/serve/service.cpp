@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/catalog.hpp"
+
 namespace aecnc::serve {
 
 namespace {
@@ -51,6 +53,11 @@ Epoch Service::publish(graph::Csr g) {
   // stragglers can never serve a newer snapshot — they just age out.
   cache_.invalidate_all();
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    const obs::ServeMetrics& m = obs::ServeMetrics::get();
+    m.publishes.add();
+    m.epoch.set(static_cast<std::int64_t>(epoch));
+  }
   return epoch;
 }
 
@@ -94,11 +101,15 @@ QueryResult Service::query_edge(VertexId u, VertexId v) {
   // cached value carries is_edge, so no per-hit e(u, v) binary search
   // either. bench_serve_throughput's >=10x cached-vs-recompute target
   // depends on this path staying this short.
+  const obs::ServeMetrics& m = obs::ServeMetrics::get();
+  obs::ScopedTimer timer(m.point_ns);
   const Epoch epoch = current_epoch_or_throw();
   point_queries_.fetch_add(1, std::memory_order_relaxed);
   if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+    if (obs::enabled()) m.cache_hits.add();
     return make_result(epoch, u, v, *hit, /*cached=*/true);
   }
+  if (obs::enabled()) m.cache_misses.add();
   const SnapshotPtr snap = pinned();
   const CachedEdgeCount value = compute_pair(*snap, u, v);
   cache_.insert(snap->epoch, u, v, value);
@@ -106,6 +117,7 @@ QueryResult Service::query_edge(VertexId u, VertexId v) {
 }
 
 VertexResult Service::query_vertex(VertexId u) {
+  obs::ScopedTimer timer(obs::ServeMetrics::get().vertex_ns);
   const SnapshotPtr snap = pinned();
   vertex_queries_.fetch_add(1, std::memory_order_relaxed);
   VertexResult result{.epoch = snap->epoch, .u = u, .neighbors = {}, .counts = {}};
@@ -119,6 +131,8 @@ VertexResult Service::query_vertex(VertexId u) {
 
 std::vector<QueryResult> Service::query_batch(
     std::span<const EdgeQuery> queries) {
+  const obs::ServeMetrics& m = obs::ServeMetrics::get();
+  obs::ScopedTimer timer(m.batch_ns);
   const SnapshotPtr snap = pinned();
   batch_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
 
@@ -133,6 +147,10 @@ std::vector<QueryResult> Service::query_batch(
       misses.push_back(queries[i]);
       miss_slots.push_back(i);
     }
+  }
+  if (obs::enabled()) {
+    m.cache_hits.add(queries.size() - misses.size());
+    m.cache_misses.add(misses.size());
   }
   if (!misses.empty()) {
     const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
@@ -152,19 +170,29 @@ std::future<QueryResult> Service::submit_edge(VertexId u, VertexId v) {
   // Cache fast path: complete without touching the queue (or pinning).
   const Epoch epoch = current_epoch_or_throw();
   if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+    if (obs::enabled()) obs::ServeMetrics::get().cache_hits.add();
     std::promise<QueryResult> promise;
     promise.set_value(make_result(epoch, u, v, *hit, /*cached=*/true));
     async_submitted_.fetch_add(1, std::memory_order_relaxed);
     return promise.get_future();
   }
 
+  const obs::ServeMetrics& m = obs::ServeMetrics::get();
   std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (obs::enabled() && queue_.size() >= config_.queue_capacity) {
+    // The producer is about to block on a full queue: that's the
+    // backpressure event worth alerting on, not the successful enqueue.
+    m.backpressure_waits.add();
+  }
   queue_not_full_.wait(lock, [this] {
     return stopping_ || queue_.size() < config_.queue_capacity;
   });
   Pending pending{u, v, std::promise<QueryResult>()};
   std::future<QueryResult> future = pending.promise.get_future();
   queue_.push_back(std::move(pending));
+  if (obs::enabled()) {
+    m.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+  }
   async_submitted_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
   queue_not_empty_.notify_one();
@@ -175,20 +203,26 @@ std::optional<std::future<QueryResult>> Service::try_submit_edge(VertexId u,
                                                                  VertexId v) {
   const Epoch epoch = current_epoch_or_throw();
   if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+    if (obs::enabled()) obs::ServeMetrics::get().cache_hits.add();
     std::promise<QueryResult> promise;
     promise.set_value(make_result(epoch, u, v, *hit, /*cached=*/true));
     async_submitted_.fetch_add(1, std::memory_order_relaxed);
     return promise.get_future();
   }
 
+  const obs::ServeMetrics& m = obs::ServeMetrics::get();
   std::unique_lock<std::mutex> lock(queue_mutex_);
   if (queue_.size() >= config_.queue_capacity) {
     async_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) m.shed.add();
     return std::nullopt;
   }
   Pending pending{u, v, std::promise<QueryResult>()};
   std::future<QueryResult> future = pending.promise.get_future();
   queue_.push_back(std::move(pending));
+  if (obs::enabled()) {
+    m.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+  }
   async_submitted_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
   queue_not_empty_.notify_one();
@@ -221,6 +255,11 @@ void Service::process_pending(std::vector<Pending> batch) {
       miss_slots.push_back(i);
     }
   }
+  if (obs::enabled()) {
+    const obs::ServeMetrics& m = obs::ServeMetrics::get();
+    m.cache_hits.add(batch.size() - misses.size());
+    m.cache_misses.add(misses.size());
+  }
   if (!misses.empty()) {
     const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
     for (std::size_t k = 0; k < misses.size(); ++k) {
@@ -247,6 +286,10 @@ std::size_t Service::pump() {
       local.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    if (obs::enabled()) {
+      obs::ServeMetrics::get().queue_depth.set(
+          static_cast<std::int64_t>(queue_.size()));
+    }
   }
   if (local.empty()) return 0;
   queue_not_full_.notify_all();
@@ -268,6 +311,10 @@ void Service::dispatcher_loop() {
       for (std::size_t i = 0; i < take; ++i) {
         local.push_back(std::move(queue_.front()));
         queue_.pop_front();
+      }
+      if (obs::enabled()) {
+        obs::ServeMetrics::get().queue_depth.set(
+            static_cast<std::int64_t>(queue_.size()));
       }
     }
     queue_not_full_.notify_all();

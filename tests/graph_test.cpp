@@ -12,9 +12,12 @@
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
 #include "core/api.hpp"
+#include "test_seed.hpp"
 
 namespace aecnc::graph {
 namespace {
+
+using testsupport::mix_seed;
 
 EdgeList triangle_with_tail() {
   // 0-1-2 triangle plus pendant 3 attached to 2.
@@ -123,7 +126,7 @@ TEST(Csr, ReverseOffsetsMatchFindEdgeOnAdversarialShapes) {
   }
   // Multi-hub skew: two hubs of degree ~400 over a sparse background.
   {
-    auto hubby = erdos_renyi(600, 2500, 35);
+    auto hubby = erdos_renyi(600, 2500, mix_seed(35));
     add_hubs(hubby, 2, 400, 36);
     expect_reverse_index_exact(Csr::from_edge_list(std::move(hubby)));
   }
@@ -136,7 +139,7 @@ TEST(Csr, ReverseOffsetsMatchFindEdgeOnAdversarialShapes) {
   expect_reverse_index_exact(Csr::from_edge_list(clique(8)));
   // Power-law tail.
   expect_reverse_index_exact(
-      Csr::from_edge_list(chung_lu_power_law(800, 6000, 2.1, 51)));
+      Csr::from_edge_list(chung_lu_power_law(800, 6000, 2.1, mix_seed(51))));
 }
 
 TEST(Csr, ReverseOffsetsOnEdgelessGraphs) {
@@ -149,7 +152,7 @@ TEST(Csr, ReverseOffsetsOnEdgelessGraphs) {
 }
 
 TEST(Csr, ReverseOffsetsSharedAcrossCopies) {
-  const Csr g = Csr::from_edge_list(erdos_renyi(300, 1500, 57));
+  const Csr g = Csr::from_edge_list(erdos_renyi(300, 1500, mix_seed(57)));
   const Csr copy = g;  // copies share the lazily-built cache
   EXPECT_EQ(copy.reverse_offsets().data(), g.reverse_offsets().data());
   expect_reverse_index_exact(copy);
@@ -182,7 +185,7 @@ TEST(Reorder, PermutationIsDegreeDescending) {
 }
 
 TEST(Reorder, PreservesStructure) {
-  const auto e = chung_lu_power_law(500, 2000, 2.3, 99);
+  const auto e = chung_lu_power_law(500, 2000, 2.3, mix_seed(99));
   const Csr g = Csr::from_edge_list(e);
   std::vector<VertexId> inverse;
   const Csr r = reorder_degree_descending(g, &inverse);
@@ -208,20 +211,20 @@ TEST(Reorder, IdentityOnAlreadySortedGraph) {
 }
 
 TEST(Generators, ErdosRenyiProducesRequestedEdges) {
-  const auto e = erdos_renyi(1000, 5000, 1);
+  const auto e = erdos_renyi(1000, 5000, mix_seed(1));
   EXPECT_EQ(e.num_edges(), 5000u);
   const Csr g = Csr::from_edge_list(e);
   EXPECT_TRUE(g.validate().empty()) << g.validate();
 }
 
 TEST(Generators, ErdosRenyiIsDeterministic) {
-  const auto a = erdos_renyi(500, 2000, 7);
-  const auto b = erdos_renyi(500, 2000, 7);
+  const auto a = erdos_renyi(500, 2000, mix_seed(7));
+  const auto b = erdos_renyi(500, 2000, mix_seed(7));
   EXPECT_EQ(a.edges(), b.edges());
 }
 
 TEST(Generators, ChungLuHasPowerLawSkew) {
-  const auto e = chung_lu_power_law(5000, 40000, 2.1, 3);
+  const auto e = chung_lu_power_law(5000, 40000, 2.1, mix_seed(3));
   const Csr g = Csr::from_edge_list(e);
   EXPECT_TRUE(g.validate().empty());
   const auto s = compute_stats(g);
@@ -230,8 +233,8 @@ TEST(Generators, ChungLuHasPowerLawSkew) {
 }
 
 TEST(Generators, ChungLuExponentControlsSkew) {
-  const auto skewed = chung_lu_power_law(4000, 30000, 2.0, 5);
-  const auto uniform = chung_lu_power_law(4000, 30000, 6.0, 5);
+  const auto skewed = chung_lu_power_law(4000, 30000, 2.0, mix_seed(5));
+  const auto uniform = chung_lu_power_law(4000, 30000, 6.0, mix_seed(5));
   const auto gs = Csr::from_edge_list(skewed);
   const auto gu = Csr::from_edge_list(uniform);
   EXPECT_GT(gs.max_degree(), gu.max_degree());
@@ -247,7 +250,7 @@ TEST(Generators, RmatShapeAndDeterminism) {
 }
 
 TEST(Generators, AddHubsCreatesHighDegreeVertices) {
-  auto e = erdos_renyi(2000, 6000, 21);
+  auto e = erdos_renyi(2000, 6000, mix_seed(21));
   add_hubs(e, 3, 800, 22);
   const Csr g = Csr::from_edge_list(e);
   EXPECT_EQ(g.num_vertices(), 2003u);
@@ -271,7 +274,7 @@ TEST(Generators, BarabasiAlbertShape) {
 }
 
 TEST(Generators, WattsStrogatzShape) {
-  const auto lattice = watts_strogatz(2000, 4, 0.0, 43);
+  const auto lattice = watts_strogatz(2000, 4, 0.0, mix_seed(43));
   const Csr gl = Csr::from_edge_list(lattice);
   EXPECT_TRUE(gl.validate().empty());
   // Pure ring lattice: every vertex has exactly 2k neighbors.
@@ -279,7 +282,7 @@ TEST(Generators, WattsStrogatzShape) {
     EXPECT_EQ(gl.degree(v), 8u) << v;
   }
   // Rewiring keeps the edge count but spreads the degrees.
-  const auto rewired = watts_strogatz(2000, 4, 0.3, 43);
+  const auto rewired = watts_strogatz(2000, 4, 0.3, mix_seed(43));
   const Csr gr = Csr::from_edge_list(rewired);
   EXPECT_TRUE(gr.validate().empty());
   EXPECT_NEAR(static_cast<double>(gr.num_undirected_edges()),
@@ -292,8 +295,9 @@ TEST(Generators, WattsStrogatzIsTriangleDense) {
   // The ring lattice at k=4 is rich in triangles (each vertex closes
   // wedges with its near neighbors); full rewiring destroys them.
   const Csr lattice =
-      Csr::from_edge_list(watts_strogatz(1000, 4, 0.0, 47));
-  const Csr random = Csr::from_edge_list(watts_strogatz(1000, 4, 1.0, 47));
+      Csr::from_edge_list(watts_strogatz(1000, 4, 0.0, mix_seed(47)));
+  const Csr random =
+      Csr::from_edge_list(watts_strogatz(1000, 4, 1.0, mix_seed(47)));
   const auto lattice_counts = aecnc::core::count_common_neighbors(lattice);
   const auto random_counts = aecnc::core::count_common_neighbors(random);
   const auto tri = [](const aecnc::core::CountArray& c) {
@@ -354,7 +358,7 @@ TEST(Stats, DegreeHistogramEmptyGraph) {
 }
 
 TEST(Io, EdgeListTextRoundTrip) {
-  const auto e = erdos_renyi(200, 800, 17);
+  const auto e = erdos_renyi(200, 800, mix_seed(17));
   std::stringstream buffer;
   write_edge_list_text(e, buffer);
   const auto back = read_edge_list_text(buffer);
@@ -374,7 +378,7 @@ TEST(Io, EdgeListTextRejectsMalformedLines) {
 }
 
 TEST(Io, CsrBinaryRoundTrip) {
-  const Csr g = Csr::from_edge_list(erdos_renyi(300, 1500, 23));
+  const Csr g = Csr::from_edge_list(erdos_renyi(300, 1500, mix_seed(23)));
   std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
   write_csr_binary(g, buffer);
   const Csr back = read_csr_binary(buffer);

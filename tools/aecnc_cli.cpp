@@ -5,8 +5,11 @@
 //                       [--dataset=TW --scale=1e-3]
 //   aecnc_cli convert   --in=g.txt --out=g.csr           (text -> binary CSR)
 //   aecnc_cli stats     --in=g.txt|g.csr [--skew-threshold=50]
+//                       [--obs=json|prom --algo=... --rf --kernel=...
+//                        --obs-clock=fake]
 //   aecnc_cli count     --in=... --out=counts.txt
-//                       [--algo=mps|bmp|m] [--rf] [--threads=0] [--seq]
+//                       [--algo=mps|bmp|m] [--rf] [--kernel=...]
+//                       [--threads=0] [--seq]
 //   aecnc_cli triangles --in=...  [--algo=merge|hash|all-edge]
 //   aecnc_cli scan      --in=... --eps=0.5 --mu=3 [--out=clusters.txt]
 //   aecnc_cli verify    --in=...   (all algorithm variants vs brute force)
@@ -14,12 +17,22 @@
 //   aecnc_cli serve     --in=... [--script=reqs.txt] [--out=replies.txt]
 //                       [--algo=mps|bmp|m] [--index=bitmap|hash]
 //                       [--workers=N] [--cache=65536] [--task-size=64]
+//                       [--kernel=...] [--obs-clock=fake]
+//
+// stats --obs=json|prom runs one sequential count with the observability
+// layer enabled and prints the metric registry dump instead of the graph
+// table (docs/observability.md has the schema). --kernel pins the VB
+// MergeKind (scalar|branchless|block|sse|avx2|avx512) so dumps are
+// machine-independent; --obs-clock=fake replaces latency timestamps with
+// a fixed tick for golden tests.
 //
 // serve drives the embeddable query service (docs/serving.md) from a
 // scripted request stream (--script file, else stdin), one request per
 // line:  edge u v | vertex u | batch u1 v1 [u2 v2 ...] | add u v |
-// remove u v | publish | stats.  Replies go to --out (else stdout) in a
-// deterministic text format, so sessions diff against golden files.
+// remove u v | publish | stats [json|prom].  Replies go to --out (else
+// stdout) in a deterministic text format, so sessions diff against
+// golden files. Malformed requests produce an "error:" reply and the
+// session continues; the exit status is 1 if any line was bad.
 //
 // Inputs ending in ".csr" are read as the binary format, anything else
 // as a SNAP-style text edge list.
@@ -42,6 +55,7 @@
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
+#include "obs/catalog.hpp"
 #include "scan/scan.hpp"
 #include "serve/service.hpp"
 #include "util/chart.hpp"
@@ -75,6 +89,9 @@ graph::Csr load_graph(const util::CliArgs& args) {
   if (ends_with(path, ".csr")) return graph::load_csr_binary(path);
   return graph::Csr::from_edge_list(graph::load_edge_list_text(path));
 }
+
+core::Options parse_algo_options(const util::CliArgs& args);
+void setup_obs(const util::CliArgs& args);
 
 int cmd_generate(const util::CliArgs& args) {
   const std::string out = args.get("out", "");
@@ -123,6 +140,35 @@ int cmd_convert(const util::CliArgs& args) {
 }
 
 int cmd_stats(const util::CliArgs& args) {
+  // --obs mode: run one sequential count with instrumentation on and
+  // print the metric registry instead of the graph-shape table. The run
+  // is sequential and (with --kernel pinned) machine-independent, so the
+  // dump golden-tests byte for byte.
+  const std::string obs_mode = args.get("obs", "");
+  if (!obs_mode.empty()) {
+    if (obs_mode != "json" && obs_mode != "prom") {
+      usage("unknown --obs (json|prom)");
+    }
+    setup_obs(args);
+    const graph::Csr g = load_graph(args);
+    core::Options opt = parse_algo_options(args);
+    opt.parallel = false;  // deterministic counters (builds, leases)
+    const auto counts = core::count_common_neighbors(g, opt);
+    (void)counts;  // run for its metric side effects
+    const std::string dump = obs_mode == "json"
+                                 ? obs::Registry::global().dump_json()
+                                 : obs::Registry::global().dump_prometheus();
+    const std::string out = args.get("out", "");
+    if (!out.empty()) {
+      std::ofstream file(out);
+      if (!file) usage("cannot open --out file");
+      file << dump;
+      return file.good() ? 0 : 1;
+    }
+    std::fputs(dump.c_str(), stdout);
+    return 0;
+  }
+
   const graph::Csr g = load_graph(args);
   const std::string problem = g.validate();
   const auto s = graph::compute_stats(g);
@@ -156,19 +202,8 @@ int cmd_stats(const util::CliArgs& args) {
 
 int cmd_count(const util::CliArgs& args) {
   const graph::Csr g = load_graph(args);
-  core::Options opt;
+  core::Options opt = parse_algo_options(args);
   const std::string algo = args.get("algo", "mps");
-  if (algo == "mps") {
-    opt.algorithm = core::Algorithm::kMps;
-    opt.mps.kind = intersect::best_merge_kind();
-  } else if (algo == "bmp") {
-    opt.algorithm = core::Algorithm::kBmp;
-    opt.bmp_range_filter = args.get_bool("rf", false);
-  } else if (algo == "m") {
-    opt.algorithm = core::Algorithm::kMergeBaseline;
-  } else {
-    usage("unknown --algo (mps|bmp|m)");
-  }
   opt.parallel = !args.get_bool("seq", false);
   opt.num_threads = static_cast<int>(args.get_int("threads", 0));
 
@@ -313,6 +348,16 @@ int cmd_scan(const util::CliArgs& args) {
   return 0;
 }
 
+intersect::MergeKind parse_kernel(const std::string& name) {
+  if (name == "scalar") return intersect::MergeKind::kScalar;
+  if (name == "branchless") return intersect::MergeKind::kBranchless;
+  if (name == "block") return intersect::MergeKind::kBlockScalar;
+  if (name == "sse") return intersect::MergeKind::kSse;
+  if (name == "avx2") return intersect::MergeKind::kAvx2;
+  if (name == "avx512") return intersect::MergeKind::kAvx512;
+  usage("unknown --kernel (scalar|branchless|block|sse|avx2|avx512)");
+}
+
 core::Options parse_algo_options(const util::CliArgs& args) {
   core::Options opt;
   const std::string algo = args.get("algo", "mps");
@@ -321,12 +366,34 @@ core::Options parse_algo_options(const util::CliArgs& args) {
     opt.mps.kind = intersect::best_merge_kind();
   } else if (algo == "bmp") {
     opt.algorithm = core::Algorithm::kBmp;
+    opt.bmp_range_filter = args.get_bool("rf", false);
   } else if (algo == "m") {
     opt.algorithm = core::Algorithm::kMergeBaseline;
   } else {
     usage("unknown --algo (mps|bmp|m)");
   }
+  if (args.has("kernel")) {
+    // Pin the VB kernel instead of taking the widest this host supports;
+    // metric dumps pinned to --kernel=block are machine-independent.
+    opt.mps.kind = parse_kernel(args.get("kernel", ""));
+    if (!intersect::merge_kind_supported(opt.mps.kind)) {
+      usage("--kernel not supported on this host");
+    }
+  }
   return opt;
+}
+
+/// Turn the observability layer on for this invocation; --obs-clock=fake
+/// replaces the latency clock with a fixed 4096ns tick (golden tests).
+void setup_obs(const util::CliArgs& args) {
+  obs::set_enabled(true);
+  obs::register_all();
+  const std::string clock = args.get("obs-clock", "");
+  if (clock == "fake") {
+    obs::set_fake_clock(4096);
+  } else if (!clock.empty()) {
+    usage("unknown --obs-clock (fake)");
+  }
 }
 
 int cmd_query(const util::CliArgs& args) {
@@ -378,6 +445,11 @@ std::vector<graph::Edge> edge_set_of(const graph::Csr& g) {
 int cmd_serve(const util::CliArgs& args) {
   graph::Csr g = load_graph(args);
 
+  // Scripted sessions always serve with observability on: the metric
+  // cost is irrelevant next to I/O here, and `stats json|prom` should
+  // work without extra flags.
+  setup_obs(args);
+
   serve::ServiceConfig cfg;
   cfg.engine.options = parse_algo_options(args);
   const std::string index = args.get("index", "bitmap");
@@ -423,22 +495,32 @@ int cmd_serve(const util::CliArgs& args) {
 
   std::string line;
   std::uint64_t line_no = 0;
+  bool had_error = false;
   while (std::getline(*in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream tokens(line);
     std::string command;
     tokens >> command;
-    const auto bad_line = [&]() -> int {
+    // A malformed request gets an error *reply* and the session keeps
+    // going — a serving loop must not die on one bad client line. The
+    // reply goes to the session output (so negative-path sessions are
+    // golden-testable) and the exit status records that errors occurred.
+    const auto bad_line = [&]() {
       std::fprintf(stderr, "serve: bad request at line %llu: %s\n",
                    static_cast<unsigned long long>(line_no), line.c_str());
-      return 1;
+      *out << "error: bad request at line " << line_no << ": " << line
+           << '\n';
+      had_error = true;
     };
 
     if (command == "edge") {
       VertexId u = 0;
       VertexId v = 0;
-      if (!(tokens >> u >> v)) return bad_line();
+      if (!(tokens >> u >> v)) {
+        bad_line();
+        continue;
+      }
       const auto r = svc.query_edge(u, v);
       *out << "edge " << u << ' ' << v << ": ";
       print_epoch(r.epoch);
@@ -446,7 +528,10 @@ int cmd_serve(const util::CliArgs& args) {
            << " cached=" << (r.cached ? "yes" : "no") << '\n';
     } else if (command == "vertex") {
       VertexId u = 0;
-      if (!(tokens >> u)) return bad_line();
+      if (!(tokens >> u)) {
+        bad_line();
+        continue;
+      }
       const auto r = svc.query_vertex(u);
       *out << "vertex " << u << ": ";
       print_epoch(r.epoch);
@@ -460,7 +545,10 @@ int cmd_serve(const util::CliArgs& args) {
       VertexId u = 0;
       VertexId v = 0;
       while (tokens >> u >> v) queries.push_back({u, v});
-      if (queries.empty()) return bad_line();
+      if (queries.empty()) {
+        bad_line();
+        continue;
+      }
       const auto rs = svc.query_batch(queries);
       *out << "batch " << rs.size() << ": ";
       print_epoch(rs.empty() ? svc.current_epoch() : rs.front().epoch);
@@ -472,7 +560,10 @@ int cmd_serve(const util::CliArgs& args) {
     } else if (command == "add" || command == "remove") {
       VertexId u = 0;
       VertexId v = 0;
-      if (!(tokens >> u >> v) || u == v) return bad_line();
+      if (!(tokens >> u >> v) || u == v) {
+        bad_line();
+        continue;
+      }
       graph::Edge e{std::min(u, v), std::max(u, v)};
       if (command == "add") {
         edges.push_back(e);
@@ -492,20 +583,35 @@ int cmd_serve(const util::CliArgs& args) {
       print_epoch(epoch);
       *out << " vertices=" << vertices << " edges=" << undirected << '\n';
     } else if (command == "stats") {
-      const auto s = svc.stats();
-      *out << "stats: ";
-      print_epoch(s.epoch);
-      *out << " cache_size=" << s.cache.size << " hits=" << s.cache.hits
-           << " misses=" << s.cache.misses
-           << " evictions=" << s.cache.evictions
-           << " point=" << s.point_queries << " vertex=" << s.vertex_queries
-           << " batch=" << s.batch_queries << '\n';
+      // Bare `stats` keeps the one-line service summary; `stats json` /
+      // `stats prom` dump the full obs metric registry.
+      std::string mode;
+      tokens >> mode;
+      if (mode == "json") {
+        *out << obs::Registry::global().dump_json();
+      } else if (mode == "prom") {
+        *out << obs::Registry::global().dump_prometheus();
+      } else if (!mode.empty()) {
+        bad_line();
+        continue;
+      } else {
+        const auto s = svc.stats();
+        *out << "stats: ";
+        print_epoch(s.epoch);
+        *out << " cache_size=" << s.cache.size << " hits=" << s.cache.hits
+             << " misses=" << s.cache.misses
+             << " evictions=" << s.cache.evictions
+             << " point=" << s.point_queries
+             << " vertex=" << s.vertex_queries
+             << " batch=" << s.batch_queries << '\n';
+      }
     } else {
-      return bad_line();
+      bad_line();
+      continue;
     }
   }
   out->flush();
-  return out->good() ? 0 : 1;
+  return (out->good() && !had_error) ? 0 : 1;
 }
 
 }  // namespace

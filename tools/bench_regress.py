@@ -53,6 +53,13 @@ REQUIRED_KEYS = {
         "prefetch.e2e_mps_off_ms",
         "prefetch.e2e_bmp_on_ms",
         "prefetch.e2e_bmp_off_ms",
+        # Observability overhead (section D): the runtime-off numbers are
+        # what production pays and what --baseline holds to budget; the
+        # runtime-on numbers are informational (counting is opt-in).
+        "obs.mps_dispatch_off_ms",
+        "obs.mps_dispatch_on_ms",
+        "obs.e2e_mps_off_ms",
+        "obs.e2e_mps_on_ms",
     ],
     "serve_throughput": [
         "dataset",
