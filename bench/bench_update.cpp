@@ -1,0 +1,198 @@
+// Live-update bench: the delta-vs-full-recount crossover that
+// src/update's policy thresholds against (docs/updates.md), gated by
+// tools/bench_regress.py in CI.
+//
+// For each batch size B the same seeded mutation batch (60% inserts of
+// random pairs, 40% deletes of existing edges) is applied two ways from
+// identical counter states:
+//
+//   delta:   IncrementalCounter::apply_batch — one O(min(d_u, d_v))
+//            intersection per op, counts exact after every op
+//   recount: apply_batch_structural + recount() — adjacency-only apply,
+//            then one sequential all-edge MPS pass
+//
+// Small batches must favor delta by orders of magnitude (the gate:
+// small_batch_speedup >= 1 at B=1); as B approaches the edge count the
+// one-shot recount amortizes and wins. The measured crossover is
+// reported next to where the default policy config would actually flip
+// routes, so a drifting cost model is visible in CI.
+//
+// Emits BENCH_update.json next to the human-readable table.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/incremental.hpp"
+#include "update/policy.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace aecnc;
+
+namespace {
+
+/// Deterministic mutation batch against `state`: inserts of random
+/// pairs, deletes sampled from current adjacency (so they mostly hit).
+std::vector<core::EdgeOp> make_batch(const core::IncrementalCounter& state,
+                                     util::Xoshiro256& rng, std::size_t ops) {
+  const auto universe = static_cast<std::uint32_t>(state.num_vertices());
+  std::vector<core::EdgeOp> batch;
+  batch.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    if (rng.below(10) < 6) {
+      batch.push_back(
+          {core::EdgeOpKind::kInsert, rng.below(universe), rng.below(universe)});
+    } else {
+      const VertexId u = rng.below(universe);
+      const auto nbrs = state.neighbors(u);
+      const VertexId v =
+          nbrs.empty() ? rng.below(universe)
+                       : nbrs[rng.below(static_cast<std::uint32_t>(nbrs.size()))];
+      batch.push_back({core::EdgeOpKind::kErase, u, v});
+    }
+  }
+  return batch;
+}
+
+struct Point {
+  std::size_t batch;
+  double delta_ms;
+  double recount_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto options =
+      bench::parse_bench_options(args, {graph::DatasetId::kTwitter});
+  const std::string json_path = args.get("json", "BENCH_update.json");
+  bench::print_banner(
+      "Live updates: delta maintenance vs full recount per batch",
+      "per-op delta work is O(min(d_u, d_v)) vs the recount's "
+      "sum over every edge, so small batches favor delta by orders of "
+      "magnitude and the policy can threshold on estimated work",
+      options);
+
+  const auto id = options.datasets.front();
+  const auto g = bench::make_bench_graph(id, options.scale);
+
+  util::WallTimer timer;
+  const core::IncrementalCounter seeded(g.csr);
+  const double seed_ms = timer.millis();
+
+  timer.reset();
+  const graph::Csr snapshot = seeded.to_csr();
+  const double materialize_ms = timer.millis();
+  if (!snapshot.validate().empty()) {
+    std::fprintf(stderr, "FATAL: materialized snapshot invalid\n");
+    return 1;
+  }
+
+  core::Options recount_opt;
+  recount_opt.parallel = false;  // one-core numbers, CI-stable
+
+  // The tail sizes approach the replica's edge count, where the one-shot
+  // recount must eventually win — the sweep brackets the crossover.
+  const std::vector<std::size_t> sweep{1, 16, 256, 4096, 65536, 262144};
+  std::vector<Point> points;
+  util::Xoshiro256 rng(4242);
+  for (const std::size_t b : sweep) {
+    const auto batch = make_batch(seeded, rng, b);
+
+    core::IncrementalCounter delta_state = seeded;
+    timer.reset();
+    (void)delta_state.apply_batch(batch);
+    const double delta_ms = timer.millis();
+
+    core::IncrementalCounter recount_state = seeded;
+    timer.reset();
+    (void)recount_state.apply_batch_structural(batch);
+    recount_state.recount(recount_opt);
+    const double recount_ms = timer.millis();
+
+    // Both routes are contracted to bit-identical counts.
+    if (delta_state.num_edges() != recount_state.num_edges() ||
+        delta_state.triangles() != recount_state.triangles()) {
+      std::fprintf(stderr, "FATAL: routes disagree at batch %zu\n", b);
+      return 1;
+    }
+    points.push_back({b, delta_ms, recount_ms});
+  }
+
+  // Measured crossover: smallest swept batch where the recount route is
+  // at least as fast (0 = recount never won in the sweep).
+  std::size_t crossover = 0;
+  for (const auto& p : points) {
+    if (p.recount_ms <= p.delta_ms) {
+      crossover = p.batch;
+      break;
+    }
+  }
+  // Where the default policy config would flip, on its work estimates.
+  const update::UpdatePolicy policy;
+  std::size_t policy_crossover = 0;
+  util::Xoshiro256 policy_rng(4242);
+  for (const std::size_t b : sweep) {
+    const auto batch = make_batch(seeded, policy_rng, b);
+    if (policy.decide(seeded, batch).mode == update::ApplyMode::kFullRecount) {
+      policy_crossover = b;
+      break;
+    }
+  }
+
+  const double small_batch_speedup =
+      points.front().delta_ms > 0
+          ? points.front().recount_ms / points.front().delta_ms
+          : 0.0;
+
+  util::TablePrinter table({"batch", "delta", "recount", "winner"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.batch),
+                   util::format_fixed(p.delta_ms, 3) + " ms",
+                   util::format_fixed(p.recount_ms, 3) + " ms",
+                   p.delta_ms <= p.recount_ms ? "delta" : "recount"});
+  }
+  table.print();
+  std::printf("seed (one all-edge count): %s, materialize: %s\n",
+              util::format_fixed(seed_ms, 2).c_str(),
+              util::format_fixed(materialize_ms, 2).c_str());
+  std::printf("measured crossover: %zu ops, policy flips at: %zu ops "
+              "(0 = beyond sweep)\n",
+              crossover, policy_crossover);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"experiment\": \"update\",\n"
+               "  \"dataset\": \"%.*s\",\n"
+               "  \"scale\": %g,\n"
+               "  \"edges\": %llu,\n"
+               "  \"seed_ms\": %.3f,\n"
+               "  \"materialize_ms\": %.3f,\n",
+               static_cast<int>(graph::dataset_name(id).size()),
+               graph::dataset_name(id).data(), options.scale,
+               static_cast<unsigned long long>(seeded.num_edges()), seed_ms,
+               materialize_ms);
+  for (const auto& p : points) {
+    std::fprintf(json,
+                 "  \"batch_%zu\": {\"delta_ms\": %.4f, \"recount_ms\": "
+                 "%.4f, \"recount_over_delta_speedup\": %.3f},\n",
+                 p.batch, p.delta_ms, p.recount_ms,
+                 p.delta_ms > 0 ? p.recount_ms / p.delta_ms : 0.0);
+  }
+  std::fprintf(json,
+               "  \"small_batch_speedup\": %.3f,\n"
+               "  \"crossover_batch\": %zu,\n"
+               "  \"policy_crossover_batch\": %zu\n"
+               "}\n",
+               small_batch_speedup, crossover, policy_crossover);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/api.hpp"
 #include "core/sequential.hpp"
 
 namespace aecnc::core {
@@ -18,7 +19,13 @@ IncrementalCounter::IncrementalCounter(const graph::Csr& g) {
   // symmetric assignment, skew-aware intersections) instead of a
   // vector-allocating set_intersection per edge — the CSR is still at
   // hand here, so the whole seed pass is one all-edge count.
-  const CountArray cnt = count_sequential_mps(g, {});
+  seed_counts(g, count_sequential_mps(g, {}));
+}
+
+void IncrementalCounter::seed_counts(const graph::Csr& g,
+                                     const CountArray& cnt) {
+  counts_.clear();
+  triangles_ = 0;
   counts_.reserve(edges_);
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     const EdgeId base = g.offset_begin(u);
@@ -32,6 +39,45 @@ IncrementalCounter::IncrementalCounter(const graph::Csr& g) {
     }
   }
   triangles_ /= 3;  // each triangle was seen from all 3 of its edges
+}
+
+void IncrementalCounter::recount(const Options& options) {
+  const graph::Csr g = to_csr();
+  seed_counts(g, count_common_neighbors(g, options));
+}
+
+BatchApplyStats IncrementalCounter::apply_batch(std::span<const EdgeOp> ops) {
+  BatchApplyStats stats;
+  for (const EdgeOp& op : ops) {
+    const bool applied = op.kind == EdgeOpKind::kInsert
+                             ? add_edge(op.u, op.v)
+                             : remove_edge(op.u, op.v);
+    if (!applied) {
+      ++stats.noops;
+    } else if (op.kind == EdgeOpKind::kInsert) {
+      ++stats.inserted;
+    } else {
+      ++stats.erased;
+    }
+  }
+  return stats;
+}
+
+BatchApplyStats IncrementalCounter::apply_batch_structural(
+    std::span<const EdgeOp> ops) {
+  BatchApplyStats stats;
+  for (const EdgeOp& op : ops) {
+    const bool applied = op.kind == EdgeOpKind::kInsert ? link(op.u, op.v)
+                                                        : unlink(op.u, op.v);
+    if (!applied) {
+      ++stats.noops;
+    } else if (op.kind == EdgeOpKind::kInsert) {
+      ++stats.inserted;
+    } else {
+      ++stats.erased;
+    }
+  }
+  return stats;
 }
 
 void IncrementalCounter::ensure_vertex(VertexId v) {
@@ -72,7 +118,7 @@ void IncrementalCounter::bump(VertexId a, VertexId b, int delta) {
                                     delta);
 }
 
-bool IncrementalCounter::add_edge(VertexId u, VertexId v) {
+bool IncrementalCounter::link(VertexId u, VertexId v) {
   if (u == v) return false;
   ensure_vertex(std::max(u, v));
   if (has_edge(u, v)) return false;
@@ -83,6 +129,22 @@ bool IncrementalCounter::add_edge(VertexId u, VertexId v) {
   insert_sorted(adjacency_[u], v);
   insert_sorted(adjacency_[v], u);
   ++edges_;
+  return true;
+}
+
+bool IncrementalCounter::unlink(VertexId u, VertexId v) {
+  if (u == v || !has_edge(u, v)) return false;
+  auto erase_sorted = [](std::vector<VertexId>& nbrs, VertexId x) {
+    nbrs.erase(std::lower_bound(nbrs.begin(), nbrs.end(), x));
+  };
+  erase_sorted(adjacency_[u], v);
+  erase_sorted(adjacency_[v], u);
+  --edges_;
+  return true;
+}
+
+bool IncrementalCounter::add_edge(VertexId u, VertexId v) {
+  if (!link(u, v)) return false;
 
   // The new pair's own count, and +1 on both incident edges of every
   // common neighbor (each common neighbor closes one new triangle).
@@ -108,13 +170,7 @@ bool IncrementalCounter::remove_edge(VertexId u, VertexId v) {
   }
   triangles_ -= common.size();
   counts_.erase(key(u, v));
-
-  auto erase_sorted = [](std::vector<VertexId>& nbrs, VertexId x) {
-    nbrs.erase(std::lower_bound(nbrs.begin(), nbrs.end(), x));
-  };
-  erase_sorted(adjacency_[u], v);
-  erase_sorted(adjacency_[v], u);
-  --edges_;
+  unlink(u, v);
   return true;
 }
 

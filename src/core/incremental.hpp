@@ -19,13 +19,36 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/options.hpp"
 #include "graph/csr.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::core {
+
+/// One structural mutation of the undirected graph.
+enum class EdgeOpKind : std::uint8_t { kInsert, kErase };
+
+struct EdgeOp {
+  EdgeOpKind kind = EdgeOpKind::kInsert;
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+/// Outcome of a batched apply: how many ops mutated the graph versus
+/// no-oped (self loop, duplicate insert, erase of a non-edge).
+struct BatchApplyStats {
+  std::size_t inserted = 0;
+  std::size_t erased = 0;
+  std::size_t noops = 0;
+
+  [[nodiscard]] std::size_t applied() const noexcept {
+    return inserted + erased;
+  }
+};
 
 class IncrementalCounter {
  public:
@@ -41,6 +64,25 @@ class IncrementalCounter {
 
   /// Remove undirected edge (u, v). Returns true if it existed.
   bool remove_edge(VertexId u, VertexId v);
+
+  /// Apply a batch of mutations with per-op delta maintenance: every
+  /// count stays exact after each op, at O(min(d_u, d_v)) per op. This
+  /// is the cheap route for batches small relative to the graph
+  /// (src/update's policy decides; see docs/updates.md).
+  BatchApplyStats apply_batch(std::span<const EdgeOp> ops);
+
+  /// Apply a batch structurally only: adjacency and the edge count are
+  /// updated, but per-edge counts and the triangle total are NOT
+  /// maintained — the counter is inconsistent until recount() runs.
+  /// Pairing this with recount() is the full-recount route, cheaper
+  /// than apply_batch once Σ min-degree work across the batch exceeds
+  /// the one-shot all-edge cost.
+  BatchApplyStats apply_batch_structural(std::span<const EdgeOp> ops);
+
+  /// Rebuild every per-edge count (and the triangle total) from scratch
+  /// by materializing the CSR and running the configured batch driver
+  /// (sequential or parallel; counts are bit-identical either way).
+  void recount(const Options& options = {});
 
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
 
@@ -66,6 +108,14 @@ class IncrementalCounter {
   }
 
   void ensure_vertex(VertexId v);
+  /// Insert (u, v) into adjacency only (no count maintenance). Returns
+  /// false on self loops and duplicates.
+  bool link(VertexId u, VertexId v);
+  /// Erase (u, v) from adjacency only. Returns false for non-edges.
+  bool unlink(VertexId u, VertexId v);
+  /// Seed counts_ and triangles_ from an all-edge run over g, which must
+  /// be the CSR materialization of the current adjacency.
+  void seed_counts(const graph::Csr& g, const CountArray& cnt);
   /// Common neighbors of u and v under the current adjacency.
   [[nodiscard]] std::vector<VertexId> common_neighbors(VertexId u,
                                                        VertexId v) const;

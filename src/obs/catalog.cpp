@@ -61,10 +61,32 @@ const ServeMetrics& ServeMetrics::get() {
   return m;
 }
 
+const UpdateMetrics& UpdateMetrics::get() {
+  static const UpdateMetrics m = [] {
+    Registry& r = Registry::global();
+    return UpdateMetrics{
+        .batches = r.counter("update.batches"),
+        .ops_inserted = r.counter("update.ops.inserted"),
+        .ops_erased = r.counter("update.ops.erased"),
+        .ops_noop = r.counter("update.ops.noop"),
+        .ops_rejected = r.counter("update.ops.rejected"),
+        .route_delta = r.counter("update.route.delta"),
+        .route_recount = r.counter("update.route.recount"),
+        .log_shed = r.counter("update.log.shed"),
+        .log_backpressure = r.counter("update.log.backpressure_waits"),
+        .log_depth = r.gauge("update.log.depth"),
+        .apply_ns = r.histogram("update.latency.apply_ns"),
+        .publish_ns = r.histogram("update.latency.publish_ns"),
+    };
+  }();
+  return m;
+}
+
 void register_all() {
   (void)KernelMetrics::get();
   (void)CoreMetrics::get();
   (void)ServeMetrics::get();
+  (void)UpdateMetrics::get();
 }
 
 }  // namespace aecnc::obs

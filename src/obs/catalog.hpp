@@ -67,6 +67,24 @@ struct ServeMetrics {
   [[nodiscard]] static const ServeMetrics& get();
 };
 
+/// update/: mutation-pipeline throughput, policy routing, admission log.
+struct UpdateMetrics {
+  Counter& batches;            // update.batches
+  Counter& ops_inserted;       // update.ops.inserted
+  Counter& ops_erased;         // update.ops.erased
+  Counter& ops_noop;           // update.ops.noop
+  Counter& ops_rejected;       // update.ops.rejected
+  Counter& route_delta;        // update.route.delta
+  Counter& route_recount;      // update.route.recount
+  Counter& log_shed;           // update.log.shed
+  Counter& log_backpressure;   // update.log.backpressure_waits
+  Gauge& log_depth;            // update.log.depth
+  Histogram& apply_ns;         // update.latency.apply_ns
+  Histogram& publish_ns;       // update.latency.publish_ns
+
+  [[nodiscard]] static const UpdateMetrics& get();
+};
+
 /// Force-register the whole catalog into Registry::global(). Dump-side
 /// callers (CLI stats, serve-session stats) use this so the dump shape
 /// does not depend on which kernels happened to execute.

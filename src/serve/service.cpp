@@ -61,6 +61,44 @@ Epoch Service::publish(graph::Csr g) {
   return epoch;
 }
 
+update::UpdatePipeline& Service::updater_for_current_epoch() {
+  const SnapshotPtr snap = pinned();
+  if (updater_ == nullptr || updater_epoch_ != snap->epoch) {
+    // First use, or a direct publish(Csr) superseded the pipeline's
+    // state: reseed from the live snapshot (one all-edge count).
+    updater_ =
+        std::make_unique<update::UpdatePipeline>(snap->graph, config_.update);
+    updater_epoch_ = snap->epoch;
+  }
+  return *updater_;
+}
+
+update::ApplyReport Service::apply_updates(
+    std::span<const update::Mutation> muts) {
+  std::lock_guard<std::mutex> lock(updater_mutex_);
+  return updater_for_current_epoch().apply(muts);
+}
+
+Epoch Service::publish() {
+  obs::ScopedTimer timer(obs::UpdateMetrics::get().publish_ns);
+  std::lock_guard<std::mutex> lock(updater_mutex_);
+  if (updater_ == nullptr) {
+    throw std::runtime_error(
+        "aecnc::serve::Service: publish() before any apply_updates()");
+  }
+  const Epoch epoch = publish(updater_->materialize());
+  // The pipeline state IS the new snapshot — no reseed needed for the
+  // next apply_updates.
+  updater_epoch_ = epoch;
+  return epoch;
+}
+
+std::optional<CnCount> Service::pending_count(VertexId u, VertexId v) const {
+  std::lock_guard<std::mutex> lock(updater_mutex_);
+  if (updater_ == nullptr) return std::nullopt;
+  return updater_->state().count(u, v);
+}
+
 SnapshotPtr Service::pinned() const {
   SnapshotPtr snap = store_.acquire();
   if (snap == nullptr) {
@@ -339,6 +377,10 @@ ServiceStats Service::stats() const {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     s.queue_depth = queue_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(updater_mutex_);
+    if (updater_ != nullptr) s.updates = updater_->totals();
   }
   return s;
 }

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <optional>
 #include <span>
 #include <thread>
@@ -39,6 +40,7 @@
 #include "serve/query_engine.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
+#include "update/pipeline.hpp"
 
 namespace aecnc::serve {
 
@@ -54,6 +56,11 @@ struct ServiceConfig {
   /// Spawn the dispatcher thread. Tests set false and call pump() to
   /// drive the async path deterministically.
   bool start_dispatcher = true;
+  /// Mutation-pipeline knobs for apply_updates()/publish(). The
+  /// pipeline is created lazily, seeded from the current snapshot; set
+  /// update.max_vertices to pin the mutable universe (the CLI serve
+  /// loop pins it to the initial graph's).
+  update::PipelineConfig update{};
 };
 
 /// Reply to a point query.
@@ -89,6 +96,8 @@ struct ServiceStats {
   std::uint64_t async_max_coalesced = 0;  // largest dispatcher batch
   std::uint64_t async_rejected = 0;   // try_submit_edge load-sheds
   std::size_t queue_depth = 0;        // pending async requests now
+  /// Cumulative mutation-pipeline report (zeros until apply_updates).
+  update::ApplyReport updates;
 };
 
 class Service {
@@ -104,9 +113,36 @@ class Service {
   /// epoch.
   Epoch publish(graph::Csr g);
 
+  // --- live updates (docs/updates.md) -----------------------------------
+
+  /// Apply edge mutations through the update pipeline (delta
+  /// maintenance or policy-chosen batch recount). The pipeline is
+  /// seeded lazily from the current snapshot — and re-seeded whenever a
+  /// direct publish(Csr) superseded its state. Mutations are NOT
+  /// visible to queries until publish() is called. Throws before the
+  /// first publish(Csr).
+  update::ApplyReport apply_updates(std::span<const update::Mutation> muts);
+
+  /// Materialize the pipeline state into a fresh immutable snapshot and
+  /// publish it (cache invalidates, epoch advances). Throws if
+  /// apply_updates() has never seeded the pipeline.
+  Epoch publish();
+
+  /// Maintained count of edge (u, v) in the *pipeline* state (which
+  /// may be ahead of the published snapshot); nullopt for non-edges or
+  /// an unseeded pipeline.
+  [[nodiscard]] std::optional<CnCount> pending_count(VertexId u,
+                                                     VertexId v) const;
+
   /// Epoch of the current snapshot; 0 before the first publish.
   [[nodiscard]] Epoch current_epoch() const noexcept {
     return store_.current_epoch();
+  }
+
+  /// Pin the current snapshot for inspection (shape reporting, test
+  /// cross-checks). Null before the first publish.
+  [[nodiscard]] SnapshotPtr snapshot() const noexcept {
+    return store_.acquire();
   }
 
   // --- synchronous path -------------------------------------------------
@@ -173,10 +209,20 @@ class Service {
 
   void dispatcher_loop();
 
+  /// Pipeline seeded and ready for `epoch`; reseed if the store moved on.
+  [[nodiscard]] update::UpdatePipeline& updater_for_current_epoch();
+
   ServiceConfig config_;
   SnapshotStore store_;
   QueryEngine engine_;
   ResultCache cache_;
+
+  /// Lazily-created mutation pipeline + the epoch its state mirrors.
+  /// updater_mutex_ serializes apply_updates/publish() against each
+  /// other; queries never touch the pipeline.
+  mutable std::mutex updater_mutex_;
+  std::unique_ptr<update::UpdatePipeline> updater_;
+  Epoch updater_epoch_ = 0;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_full_;

@@ -1,0 +1,86 @@
+#include "update/mutation_log.hpp"
+
+#include <algorithm>
+
+#include "obs/catalog.hpp"
+
+namespace aecnc::update {
+
+MutationLog::MutationLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool MutationLog::append(Mutation m) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!closed_ && staged_.size() >= capacity_) {
+    ++backpressure_waits_;
+    if (obs::enabled()) obs::UpdateMetrics::get().log_backpressure.add();
+  }
+  not_full_.wait(lock, [this] { return closed_ || staged_.size() < capacity_; });
+  if (closed_) return false;
+  staged_.push_back(m);
+  ++accepted_;
+  if (obs::enabled()) {
+    obs::UpdateMetrics::get().log_depth.set(
+        static_cast<std::int64_t>(staged_.size()));
+  }
+  return true;
+}
+
+bool MutationLog::try_append(Mutation m) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || staged_.size() >= capacity_) {
+    ++shed_;
+    if (obs::enabled()) obs::UpdateMetrics::get().log_shed.add();
+    return false;
+  }
+  staged_.push_back(m);
+  ++accepted_;
+  if (obs::enabled()) {
+    obs::UpdateMetrics::get().log_depth.set(
+        static_cast<std::int64_t>(staged_.size()));
+  }
+  return true;
+}
+
+std::vector<Mutation> MutationLog::drain(std::size_t max_batch) {
+  std::vector<Mutation> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t take = std::min(max_batch, staged_.size());
+    batch.assign(staged_.begin(),
+                 staged_.begin() + static_cast<std::ptrdiff_t>(take));
+    staged_.erase(staged_.begin(),
+                  staged_.begin() + static_cast<std::ptrdiff_t>(take));
+    drained_ += take;
+    if (obs::enabled()) {
+      obs::UpdateMetrics::get().log_depth.set(
+          static_cast<std::int64_t>(staged_.size()));
+    }
+  }
+  if (!batch.empty()) not_full_.notify_all();
+  return batch;
+}
+
+void MutationLog::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+}
+
+std::size_t MutationLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return staged_.size();
+}
+
+MutationLogStats MutationLog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {.depth = staged_.size(),
+          .accepted = accepted_,
+          .shed = shed_,
+          .backpressure_waits = backpressure_waits_,
+          .drained = drained_};
+}
+
+}  // namespace aecnc::update

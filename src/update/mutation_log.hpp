@@ -1,0 +1,84 @@
+// Bounded mutation admission log for the live-update pipeline
+// (docs/updates.md).
+//
+// Producers stage edge inserts/deletes here; the pipeline drains them in
+// batches and applies them to the maintained counter state. The log is
+// the admission-control point, with the same two policies the serve
+// queue offers its query producers:
+//
+//  - append() blocks while the log is full (backpressure): the writer
+//    slows to the pipeline's apply rate instead of growing an unbounded
+//    backlog.
+//  - try_append() rejects instead of blocking (load shedding): the
+//    caller decides what to do with the dropped mutation.
+//
+// Mutations drain strictly in admission order — delta maintenance is
+// order-sensitive (deleting an edge before its insert drained would
+// no-op and then corrupt the re-insert), so the log never reorders.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::update {
+
+/// One edge insert or delete, in admission order. Alias of the core
+/// batch-apply op so staged batches feed IncrementalCounter directly.
+using Mutation = core::EdgeOp;
+
+inline constexpr auto kAddEdge = core::EdgeOpKind::kInsert;
+inline constexpr auto kDelEdge = core::EdgeOpKind::kErase;
+
+struct MutationLogStats {
+  std::size_t depth = 0;           // mutations staged right now
+  std::uint64_t accepted = 0;      // appended successfully
+  std::uint64_t shed = 0;          // try_append rejections
+  std::uint64_t backpressure_waits = 0;  // append calls that blocked
+  std::uint64_t drained = 0;       // handed to the pipeline
+};
+
+class MutationLog {
+ public:
+  explicit MutationLog(std::size_t capacity);
+  MutationLog(const MutationLog&) = delete;
+  MutationLog& operator=(const MutationLog&) = delete;
+
+  /// Stage a mutation; blocks while the log is full (backpressure).
+  /// Returns false only when the log was closed.
+  bool append(Mutation m);
+
+  /// As append but load-shedding: returns false instead of blocking
+  /// when the log is full (or closed).
+  bool try_append(Mutation m);
+
+  /// Pop up to max_batch mutations in admission order; empty when the
+  /// log is drained. Wakes blocked producers.
+  [[nodiscard]] std::vector<Mutation> drain(std::size_t max_batch);
+
+  /// Unblock every producer and refuse further appends. Staged
+  /// mutations stay drainable.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] MutationLogStats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<Mutation> staged_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
+  std::uint64_t drained_ = 0;
+};
+
+}  // namespace aecnc::update

@@ -1,0 +1,122 @@
+#include "update/pipeline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/catalog.hpp"
+
+namespace aecnc::update {
+
+void ApplyReport::merge(const ApplyReport& other) {
+  batches += other.batches;
+  inserted += other.inserted;
+  erased += other.erased;
+  noops += other.noops;
+  rejected += other.rejected;
+  delta_batches += other.delta_batches;
+  recount_batches += other.recount_batches;
+  delta_cost += other.delta_cost;
+  // Latest work bound, not a sum — but an empty merge keeps the old one.
+  if (other.batches > 0) full_cost = other.full_cost;
+}
+
+UpdatePipeline::UpdatePipeline(PipelineConfig config)
+    : config_(config), policy_(config.policy), log_(config.log_capacity) {}
+
+UpdatePipeline::UpdatePipeline(const graph::Csr& initial, PipelineConfig config)
+    : config_(config),
+      policy_(config.policy),
+      log_(config.log_capacity),
+      state_(initial) {}
+
+ApplyReport UpdatePipeline::apply_one_batch(std::span<const Mutation> batch) {
+  ApplyReport report;
+  report.batches = 1;
+
+  // Universe enforcement happens here, not in the counter: the counter
+  // grows on demand by design, but a bounded pipeline must refuse ids
+  // outside the serving universe instead of silently widening it.
+  std::vector<Mutation> admitted;
+  std::span<const Mutation> ops = batch;
+  if (config_.max_vertices > 0) {
+    admitted.reserve(batch.size());
+    for (const Mutation& m : batch) {
+      if (m.u >= config_.max_vertices || m.v >= config_.max_vertices) {
+        ++report.rejected;
+      } else {
+        admitted.push_back(m);
+      }
+    }
+    ops = admitted;
+  }
+
+  const PolicyDecision decision = policy_.decide(state_, ops);
+  report.delta_cost = decision.delta_cost;
+  report.full_cost = decision.full_cost;
+
+  core::BatchApplyStats stats;
+  if (decision.mode == ApplyMode::kDelta) {
+    ++report.delta_batches;
+    stats = state_.apply_batch(ops);
+  } else {
+    ++report.recount_batches;
+    stats = state_.apply_batch_structural(ops);
+    // A batch of pure no-ops leaves the counts exact; only a real
+    // structural change needs the all-edge recount.
+    if (stats.applied() > 0) state_.recount(config_.recount_options);
+  }
+  report.inserted = stats.inserted;
+  report.erased = stats.erased;
+  report.noops += stats.noops;
+
+  if (obs::enabled()) {
+    const obs::UpdateMetrics& m = obs::UpdateMetrics::get();
+    m.batches.add();
+    m.ops_inserted.add(report.inserted);
+    m.ops_erased.add(report.erased);
+    m.ops_noop.add(report.noops);
+    m.ops_rejected.add(report.rejected);
+    (decision.mode == ApplyMode::kDelta ? m.route_delta : m.route_recount)
+        .add();
+  }
+  return report;
+}
+
+ApplyReport UpdatePipeline::apply(std::span<const Mutation> mutations) {
+  obs::ScopedTimer timer(obs::UpdateMetrics::get().apply_ns);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ApplyReport report;
+  for (std::size_t begin = 0; begin < mutations.size();
+       begin += config_.max_batch) {
+    const std::size_t len =
+        std::min(config_.max_batch, mutations.size() - begin);
+    report.merge(apply_one_batch(mutations.subspan(begin, len)));
+  }
+  totals_.merge(report);
+  return report;
+}
+
+ApplyReport UpdatePipeline::apply_pending() {
+  obs::ScopedTimer timer(obs::UpdateMetrics::get().apply_ns);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ApplyReport report;
+  while (true) {
+    const std::vector<Mutation> batch = log_.drain(config_.max_batch);
+    if (batch.empty()) break;
+    report.merge(apply_one_batch(batch));
+  }
+  totals_.merge(report);
+  return report;
+}
+
+graph::Csr UpdatePipeline::materialize() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_.to_csr();
+}
+
+ApplyReport UpdatePipeline::totals() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return totals_;
+}
+
+}  // namespace aecnc::update

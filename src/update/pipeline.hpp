@@ -1,0 +1,130 @@
+// The live-update pipeline: mutation log → incremental delta
+// maintenance → snapshot materialization (docs/updates.md).
+//
+// The paper's motivating scenario (§1) is counts maintained *while the
+// graph changes under the user*. The repo has both halves — per-edge
+// delta maintenance (core/incremental.hpp) and epoch-stamped immutable
+// serving snapshots (serve/snapshot_store.hpp) — and this pipeline is
+// the path between them:
+//
+//   submit()/try_submit() ─▶ MutationLog (bounded; backpressure/shed)
+//        apply_pending() ──▶ UpdatePolicy picks per batch:
+//                              kDelta        exact counts per op
+//                              kFullRecount  structural apply + one
+//                                            all-edge batch run
+//        materialize() ────▶ fresh immutable Csr for SnapshotStore
+//
+// Both routes produce bit-identical counts (the kernels are exact); the
+// policy only trades work. Service::apply_updates()/publish() wires the
+// pipeline into the query service so ResultCache epochs invalidate
+// naturally on publish.
+//
+// Thread safety: submit/try_submit are safe from any thread (the log is
+// internally synchronized). apply/apply_pending/materialize serialize
+// on an internal mutex; counts read through state() are only stable
+// while no apply runs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+
+#include "core/incremental.hpp"
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "update/mutation_log.hpp"
+#include "update/policy.hpp"
+
+namespace aecnc::update {
+
+struct PipelineConfig {
+  /// Bounded admission log: staged mutations before submit() blocks /
+  /// try_submit() sheds.
+  std::size_t log_capacity = 4096;
+  /// Max mutations applied as one policy-routed batch.
+  std::size_t max_batch = 1024;
+  /// Reject mutations naming a vertex id >= max_vertices. 0 lets the
+  /// universe grow on demand (IncrementalCounter semantics); a serving
+  /// deployment pins it to the published graph's universe.
+  VertexId max_vertices = 0;
+  PolicyConfig policy{};
+  /// Driver options for the full-recount route (counts are identical
+  /// for every algorithm/schedule; this only picks the kernels).
+  core::Options recount_options{};
+};
+
+/// What a batch (or a run of batches) did. Aggregated per apply call.
+struct ApplyReport {
+  std::size_t batches = 0;
+  std::size_t inserted = 0;   // edges added to the graph
+  std::size_t erased = 0;     // edges removed
+  std::size_t noops = 0;      // duplicate inserts, non-edge erases, self loops
+  std::size_t rejected = 0;   // out-of-universe ops (never reached the state)
+  std::size_t delta_batches = 0;
+  std::size_t recount_batches = 0;
+  std::uint64_t delta_cost = 0;  // Σ policy-estimated delta work
+  std::uint64_t full_cost = 0;   // last batch's recount work bound
+
+  [[nodiscard]] std::size_t applied() const noexcept {
+    return inserted + erased;
+  }
+  void merge(const ApplyReport& other);
+};
+
+class UpdatePipeline {
+ public:
+  /// Empty graph over a growable (or max_vertices-bounded) universe.
+  explicit UpdatePipeline(PipelineConfig config = {});
+  /// Seeded from an existing graph (one all-edge count, as the
+  /// IncrementalCounter bootstrap).
+  UpdatePipeline(const graph::Csr& initial, PipelineConfig config = {});
+
+  UpdatePipeline(const UpdatePipeline&) = delete;
+  UpdatePipeline& operator=(const UpdatePipeline&) = delete;
+
+  // --- admission (any thread) -------------------------------------------
+
+  /// Stage a mutation; blocks while the log is full (backpressure).
+  bool submit(Mutation m) { return log_.append(m); }
+  /// Stage without blocking; false when the log is full (shed).
+  bool try_submit(Mutation m) { return log_.try_append(m); }
+
+  // --- application ------------------------------------------------------
+
+  /// Apply a mutation span directly (bypassing the log) as policy-routed
+  /// batches of at most max_batch ops.
+  ApplyReport apply(std::span<const Mutation> mutations);
+
+  /// Drain the log completely and apply everything staged.
+  ApplyReport apply_pending();
+
+  // --- snapshotting -----------------------------------------------------
+
+  /// Materialize the current state as a fresh immutable CSR (the
+  /// publishable artifact). O(|V| + |E| log |E|).
+  [[nodiscard]] graph::Csr materialize() const;
+
+  /// Maintained counter state (counts exact between apply calls).
+  [[nodiscard]] const core::IncrementalCounter& state() const noexcept {
+    return state_;
+  }
+  [[nodiscard]] MutationLog& log() noexcept { return log_; }
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+  /// Cumulative report over every apply since construction.
+  [[nodiscard]] ApplyReport totals() const;
+
+ private:
+  /// Apply one batch (≤ max_batch ops) through the policy.
+  ApplyReport apply_one_batch(std::span<const Mutation> batch);
+
+  PipelineConfig config_;
+  UpdatePolicy policy_;
+  MutationLog log_;
+  mutable std::mutex state_mutex_;
+  core::IncrementalCounter state_;
+  ApplyReport totals_;
+};
+
+}  // namespace aecnc::update

@@ -1,0 +1,47 @@
+#include "update/policy.hpp"
+
+#include <algorithm>
+
+namespace aecnc::update {
+
+std::uint64_t UpdatePolicy::full_recount_cost(
+    const core::IncrementalCounter& state) {
+  std::uint64_t cost = 0;
+  const VertexId n = state.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = state.neighbors(u);
+    const auto d_u = static_cast<std::uint64_t>(nbrs.size());
+    for (const VertexId v : nbrs) {
+      if (u >= v) continue;
+      cost += std::min(d_u,
+                       static_cast<std::uint64_t>(state.neighbors(v).size()));
+    }
+  }
+  return cost;
+}
+
+PolicyDecision UpdatePolicy::decide(const core::IncrementalCounter& state,
+                                    std::span<const Mutation> batch) const {
+  PolicyDecision d;
+  const VertexId n = state.num_vertices();
+  for (const Mutation& m : batch) {
+    // Pre-batch degrees approximate each op's intersection length; the
+    // +1 charges the sorted adjacency insert/erase so inserts touching
+    // fresh vertices still cost something.
+    const std::uint64_t d_u =
+        m.u < n ? state.neighbors(m.u).size() : 0;
+    const std::uint64_t d_v =
+        m.v < n ? state.neighbors(m.v).size() : 0;
+    d.delta_cost += std::min(d_u, d_v) + 1;
+  }
+  d.full_cost = full_recount_cost(state);
+  const double threshold =
+      static_cast<double>(d.full_cost) / config_.recount_advantage;
+  d.mode = (batch.size() >= config_.min_recount_batch &&
+            static_cast<double>(d.delta_cost) > threshold)
+               ? ApplyMode::kFullRecount
+               : ApplyMode::kDelta;
+  return d;
+}
+
+}  // namespace aecnc::update

@@ -1,0 +1,76 @@
+// Delta-vs-full-recount decision for one mutation batch
+// (docs/updates.md has the cost model's derivation).
+//
+// Both routes end in the same exact counts; they differ only in work:
+//
+//  - delta:   Σ_ops min(d_u, d_v)          (one intersection per op,
+//             paper §1's online scenario, incremental.hpp)
+//  - recount: Σ_{(u,v) ∈ E} min(d_u, d_v)  (one all-edge batch run,
+//             the MPS work bound of Algorithm 1)
+//
+// so the policy compares the batch's Σ min-degree work against the full
+// recount's, scaled by `recount_advantage`: the batch kernels do the
+// same intersection work several times faster per element than the
+// pointer-chasing incremental path (contiguous CSR, SIMD kernels,
+// parallel drivers), so a recount is already worthwhile somewhat below
+// the 1:1 work crossover. bench_update.cpp measures the real crossover;
+// the default is deliberately conservative (delta until the batch's
+// work reaches ~1/4 of a recount).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/incremental.hpp"
+#include "update/mutation_log.hpp"
+
+namespace aecnc::update {
+
+enum class ApplyMode : std::uint8_t {
+  kDelta,        // per-op delta maintenance (IncrementalCounter::apply_batch)
+  kFullRecount,  // structural apply + one all-edge batch recount
+};
+
+[[nodiscard]] constexpr const char* apply_mode_name(ApplyMode m) {
+  return m == ApplyMode::kDelta ? "delta" : "recount";
+}
+
+struct PolicyConfig {
+  /// Estimated per-element speed advantage of the batch kernels over
+  /// per-op delta maintenance; the recount route wins once
+  /// delta_cost > full_cost / recount_advantage.
+  double recount_advantage = 4.0;
+  /// Never recount for batches smaller than this many ops, whatever the
+  /// estimates say (guards against degenerate tiny-graph estimates).
+  std::size_t min_recount_batch = 16;
+};
+
+struct PolicyDecision {
+  ApplyMode mode = ApplyMode::kDelta;
+  /// Σ min(d_u, d_v) over the batch's ops, on the pre-batch degrees.
+  std::uint64_t delta_cost = 0;
+  /// Σ min(d_u, d_v) over every current edge (the recount work bound).
+  std::uint64_t full_cost = 0;
+};
+
+/// Stateless cost-model policy: pick the route for one batch against one
+/// counter state.
+class UpdatePolicy {
+ public:
+  explicit UpdatePolicy(PolicyConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] PolicyDecision decide(
+      const core::IncrementalCounter& state,
+      std::span<const Mutation> batch) const;
+
+  [[nodiscard]] const PolicyConfig& config() const noexcept { return config_; }
+
+  /// The recount work bound Σ_E min(d_u, d_v) of the current state.
+  [[nodiscard]] static std::uint64_t full_recount_cost(
+      const core::IncrementalCounter& state);
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace aecnc::update

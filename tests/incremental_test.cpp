@@ -3,6 +3,9 @@
 // churn, bootstrap, and inverse-operation round trips.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/api.hpp"
 #include "core/incremental.hpp"
 #include "core/verify.hpp"
@@ -140,6 +143,133 @@ TEST(Incremental, SnapshotRunsBatchAlgorithms) {
   EXPECT_TRUE(g.validate().empty());
   const auto counts = count_common_neighbors(g);
   EXPECT_EQ(triangle_count_from(counts), inc.triangles());
+}
+
+// ---------------------------------------------------------------------------
+// to_csr() round trips and batch entry points (the src/update substrate)
+
+/// to_csr() must be a lossless structural snapshot: validate()-clean,
+/// and re-seeding a fresh counter from it reproduces every count. The
+/// second materialization must match the first slot for slot.
+void expect_round_trips(const IncrementalCounter& inc) {
+  const Csr g = inc.to_csr();
+  ASSERT_EQ(g.validate(), "");
+  EXPECT_EQ(g.num_undirected_edges(), inc.num_edges());
+  EXPECT_EQ(g.num_vertices(), inc.num_vertices());
+
+  const IncrementalCounter reseeded(g);
+  EXPECT_EQ(reseeded.num_edges(), inc.num_edges());
+  EXPECT_EQ(reseeded.triangles(), inc.triangles());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      ASSERT_EQ(reseeded.count(u, v), inc.count(u, v))
+          << "(" << u << "," << v << ")";
+    }
+  }
+
+  const Csr again = reseeded.to_csr();
+  ASSERT_EQ(again.num_vertices(), g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto a = g.neighbors(u);
+    const auto b = again.neighbors(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "vertex " << u;
+  }
+}
+
+TEST(Incremental, RoundTripStar) {
+  // Maximal skew: one hub, every intersection hub-vs-leaf.
+  IncrementalCounter inc;
+  for (VertexId leaf = 1; leaf <= 64; ++leaf) inc.add_edge(0, leaf);
+  EXPECT_EQ(inc.triangles(), 0u);
+  expect_round_trips(inc);
+  expect_consistent(inc);
+}
+
+TEST(Incremental, RoundTripEqualDegreeClique) {
+  // Zero skew: every vertex the same degree, every pair adjacent.
+  constexpr VertexId k = 12;
+  IncrementalCounter inc;
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = u + 1; v < k; ++v) inc.add_edge(u, v);
+  }
+  EXPECT_EQ(inc.triangles(),
+            static_cast<std::uint64_t>(k) * (k - 1) * (k - 2) / 6);
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = u + 1; v < k; ++v) EXPECT_EQ(*inc.count(u, v), k - 2);
+  }
+  expect_round_trips(inc);
+}
+
+TEST(Incremental, RoundTripIsolatedVertices) {
+  // Sparse ids leave isolated vertices inside the universe; the CSR
+  // must keep them as empty rows, not compact them away.
+  IncrementalCounter inc;
+  inc.add_edge(3, 900);
+  inc.add_edge(900, 901);
+  inc.add_edge(3, 901);
+  EXPECT_EQ(inc.num_vertices(), 902u);
+  EXPECT_EQ(inc.triangles(), 1u);
+  const Csr g = inc.to_csr();
+  EXPECT_EQ(g.num_vertices(), 902u);
+  EXPECT_TRUE(g.neighbors(500).empty());
+  expect_round_trips(inc);
+  expect_consistent(inc);
+}
+
+TEST(Incremental, ApplyBatchMixedOpsMatchesRecount) {
+  IncrementalCounter inc(Csr::from_edge_list(graph::erdos_renyi(80, 400, 78)));
+  std::vector<EdgeOp> ops;
+  util::Xoshiro256 rng(79);
+  for (int i = 0; i < 200; ++i) {
+    const VertexId u = rng.below(80), v = rng.below(80);
+    ops.push_back({rng.below(2) == 0 ? EdgeOpKind::kInsert : EdgeOpKind::kErase,
+                   u, v});
+  }
+  ops.push_back({EdgeOpKind::kInsert, 5, 5});  // self loop: must no-op
+  const auto stats = inc.apply_batch(ops);
+  EXPECT_EQ(stats.inserted + stats.erased + stats.noops, ops.size());
+  EXPECT_GE(stats.noops, 1u);
+  expect_consistent(inc);
+}
+
+TEST(Incremental, StructuralApplyThenRecountMatchesDelta) {
+  const Csr g = Csr::from_edge_list(graph::erdos_renyi(100, 500, 80));
+  std::vector<EdgeOp> ops;
+  util::Xoshiro256 rng(81);
+  for (int i = 0; i < 150; ++i) {
+    ops.push_back({rng.below(2) == 0 ? EdgeOpKind::kInsert : EdgeOpKind::kErase,
+                   rng.below(100), rng.below(100)});
+  }
+
+  IncrementalCounter delta(g);
+  const auto ds = delta.apply_batch(ops);
+
+  IncrementalCounter structural(g);
+  const auto ss = structural.apply_batch_structural(ops);
+  EXPECT_EQ(ss.inserted, ds.inserted);
+  EXPECT_EQ(ss.erased, ds.erased);
+  EXPECT_EQ(ss.noops, ds.noops);
+
+  // Sequential and parallel recounts both restore exact counts.
+  Options seq;
+  seq.parallel = false;
+  structural.recount(seq);
+  expect_consistent(structural);
+  for (VertexId u = 0; u < structural.num_vertices(); ++u) {
+    for (const VertexId v : structural.neighbors(u)) {
+      if (u >= v) continue;
+      ASSERT_EQ(structural.count(u, v), delta.count(u, v))
+          << "(" << u << "," << v << ")";
+    }
+  }
+  EXPECT_EQ(structural.triangles(), delta.triangles());
+
+  IncrementalCounter par(g);
+  (void)par.apply_batch_structural(ops);
+  par.recount();  // default options: parallel driver
+  EXPECT_EQ(par.triangles(), delta.triangles());
 }
 
 }  // namespace

@@ -18,6 +18,10 @@
 //                       [--algo=mps|bmp|m] [--index=bitmap|hash]
 //                       [--workers=N] [--cache=65536] [--task-size=64]
 //                       [--kernel=...] [--obs-clock=fake]
+//   aecnc_cli update    --in=... --mutations=muts.txt [--out=replies.txt]
+//                       [--batch=1024] [--recount-advantage=4.0]
+//                       [--min-recount-batch=16] [--max-vertices=0]
+//                       [--seq] [--verify]
 //
 // stats --obs=json|prom runs one sequential count with the observability
 // layer enabled and prints the metric registry dump instead of the graph
@@ -29,10 +33,19 @@
 // serve drives the embeddable query service (docs/serving.md) from a
 // scripted request stream (--script file, else stdin), one request per
 // line:  edge u v | vertex u | batch u1 v1 [u2 v2 ...] | add u v |
-// remove u v | publish | stats [json|prom].  Replies go to --out (else
-// stdout) in a deterministic text format, so sessions diff against
-// golden files. Malformed requests produce an "error:" reply and the
-// session continues; the exit status is 1 if any line was bad.
+// del u v (alias: remove) | publish | stats [json|prom].  Replies go to
+// --out (else stdout) in a deterministic text format, so sessions diff
+// against golden files. Mutations flow through the live-update pipeline
+// (docs/updates.md): add/del stage deltas against the current snapshot,
+// publish materializes and swaps the new epoch in. Malformed requests
+// produce an "error:" reply and the session continues; the exit status
+// is 1 if any line was bad.
+//
+// update replays a mutation file through update::UpdatePipeline +
+// serve::SnapshotStore without the query service: lines are `add u v`,
+// `del u v`, `publish`, `#` comments. --verify cross-checks every
+// published snapshot's maintained counts against a from-scratch
+// sequential MPS recount (exit 1 on any mismatch).
 //
 // Inputs ending in ".csr" are read as the binary format, anything else
 // as a SNAP-style text edge list.
@@ -48,6 +61,7 @@
 
 #include "check/invariants.hpp"
 #include "core/api.hpp"
+#include "core/sequential.hpp"
 #include "core/triangle.hpp"
 #include "core/verify.hpp"
 #include "graph/datasets.hpp"
@@ -58,6 +72,7 @@
 #include "obs/catalog.hpp"
 #include "scan/scan.hpp"
 #include "serve/service.hpp"
+#include "update/pipeline.hpp"
 #include "util/chart.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -71,8 +86,8 @@ using namespace aecnc;
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fputs(
       "usage: aecnc_cli "
-      "<generate|convert|stats|count|triangles|scan|verify|query|serve> "
-      "[--key=value ...]\n"
+      "<generate|convert|stats|count|triangles|scan|verify|query|serve"
+      "|update> [--key=value ...]\n"
       "see the header of tools/aecnc_cli.cpp for the full option list\n",
       stderr);
   std::exit(2);
@@ -429,19 +444,6 @@ int cmd_query(const util::CliArgs& args) {
   usage("query needs --edge=u,v or --vertex=u");
 }
 
-/// Canonical (u < v) edge set of g, the mutable state behind the serve
-/// loop's add/remove/publish commands.
-std::vector<graph::Edge> edge_set_of(const graph::Csr& g) {
-  std::vector<graph::Edge> edges;
-  edges.reserve(g.num_undirected_edges());
-  for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    for (const VertexId v : g.neighbors(u)) {
-      if (u < v) edges.push_back({u, v});
-    }
-  }
-  return edges;
-}
-
 int cmd_serve(const util::CliArgs& args) {
   graph::Csr g = load_graph(args);
 
@@ -464,6 +466,10 @@ int cmd_serve(const util::CliArgs& args) {
   cfg.engine.task_size =
       static_cast<std::uint64_t>(args.get_int("task-size", 64));
   cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 65536));
+  // Pin the mutable vertex universe to the initial graph: a scripted
+  // session mutating vertex ids the graph never had is a client bug, and
+  // the pinned universe turns it into a deterministic error reply.
+  cfg.update.max_vertices = g.num_vertices();
 
   std::ifstream script_file;
   std::istream* in = &std::cin;
@@ -481,10 +487,6 @@ int cmd_serve(const util::CliArgs& args) {
     if (!out_file) usage("cannot open --out file");
     out = &out_file;
   }
-
-  // Mutable edge set for add/remove; publish rebuilds the CSR from it.
-  std::vector<graph::Edge> edges = edge_set_of(g);
-  VertexId universe = g.num_vertices();
 
   serve::Service svc(cfg);
   svc.publish(std::move(g));
@@ -557,31 +559,42 @@ int cmd_serve(const util::CliArgs& args) {
         *out << (k == 0 ? "" : ",") << rs[k].count;
       }
       *out << '\n';
-    } else if (command == "add" || command == "remove") {
+    } else if (command == "add" || command == "remove" || command == "del") {
       VertexId u = 0;
       VertexId v = 0;
       if (!(tokens >> u >> v) || u == v) {
         bad_line();
         continue;
       }
-      graph::Edge e{std::min(u, v), std::max(u, v)};
-      if (command == "add") {
-        edges.push_back(e);
-        universe = std::max(universe, static_cast<VertexId>(e.v + 1));
+      const bool is_add = command == "add";
+      const update::Mutation m{is_add ? update::kAddEdge : update::kDelEdge,
+                               u, v};
+      const auto report = svc.apply_updates({&m, 1});
+      if (report.rejected > 0) {
+        // Outside the pinned universe: an error reply, but — like every
+        // malformed request — one the session survives.
+        *out << "error: " << command << ' ' << u << ' ' << v
+             << ": vertex out of range\n";
+        had_error = true;
+      } else if (!is_add && report.erased == 0) {
+        *out << "error: " << command << ' ' << u << ' ' << v
+             << ": no such edge\n";
+        had_error = true;
       } else {
-        std::erase(edges, e);
+        // Duplicate adds are idempotent: the staged state already holds
+        // the edge, which is exactly what the client asked for.
+        *out << command << ' ' << u << ' ' << v << ": staged\n";
       }
-      *out << command << ' ' << u << ' ' << v << ": staged\n";
     } else if (command == "publish") {
-      graph::EdgeList el(universe, edges);
-      el.ensure_vertices(universe);
-      graph::Csr next = graph::Csr::from_edge_list(std::move(el));
-      const auto vertices = next.num_vertices();
-      const auto undirected = next.num_undirected_edges();
-      const serve::Epoch epoch = svc.publish(std::move(next));
+      // Seed the pipeline if no mutation has yet (a bare publish simply
+      // re-materializes the current snapshot as a fresh epoch).
+      (void)svc.apply_updates({});
+      const serve::Epoch epoch = svc.publish();
+      const serve::SnapshotPtr snap = svc.snapshot();
       *out << "publish: ";
       print_epoch(epoch);
-      *out << " vertices=" << vertices << " edges=" << undirected << '\n';
+      *out << " vertices=" << snap->graph.num_vertices()
+           << " edges=" << snap->graph.num_undirected_edges() << '\n';
     } else if (command == "stats") {
       // Bare `stats` keeps the one-line service summary; `stats json` /
       // `stats prom` dump the full obs metric registry.
@@ -614,6 +627,133 @@ int cmd_serve(const util::CliArgs& args) {
   return (out->good() && !had_error) ? 0 : 1;
 }
 
+/// Cross-check the pipeline's maintained per-edge counts against a
+/// from-scratch sequential MPS run on the materialized CSR. Returns a
+/// description of the first mismatch, empty when bit-identical.
+std::string verify_pipeline_counts(const update::UpdatePipeline& pipe,
+                                   const graph::Csr& g) {
+  const core::CountArray reference = core::count_sequential_mps(g, {});
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      const auto maintained = pipe.state().count(u, v);
+      const CnCount expected = reference[g.offset_begin(u) + k];
+      if (!maintained.has_value() || *maintained != expected) {
+        std::ostringstream oss;
+        oss << "edge (" << u << ", " << v << "): maintained="
+            << (maintained.has_value() ? std::to_string(*maintained)
+                                       : std::string("none"))
+            << " recount=" << expected;
+        return oss.str();
+      }
+    }
+  }
+  return {};
+}
+
+int cmd_update(const util::CliArgs& args) {
+  const std::string muts_path = args.get("mutations", "");
+  if (muts_path.empty()) usage("--mutations=<path> is required");
+  std::ifstream muts(muts_path);
+  if (!muts) usage("cannot open --mutations file");
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) usage("cannot open --out file");
+    out = &out_file;
+  }
+
+  graph::Csr g = load_graph(args);
+
+  update::PipelineConfig cfg;
+  cfg.max_batch = static_cast<std::size_t>(args.get_int("batch", 1024));
+  cfg.policy.recount_advantage = args.get_double("recount-advantage", 4.0);
+  cfg.policy.min_recount_batch =
+      static_cast<std::size_t>(args.get_int("min-recount-batch", 16));
+  cfg.max_vertices = static_cast<VertexId>(args.get_int("max-vertices", 0));
+  cfg.recount_options.parallel = !args.get_bool("seq", false);
+  const bool verify = args.get_bool("verify", false);
+
+  // The pipeline seeds its maintained counts from the input graph; the
+  // store gives every publish a real epoch, exactly as in the service.
+  update::UpdatePipeline pipe(g, cfg);
+  serve::SnapshotStore store(std::move(g));
+
+  bool ok = true;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(muts, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string command;
+    tokens >> command;
+    if (command == "add" || command == "del" || command == "remove") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v)) {
+        std::fprintf(stderr, "update: bad mutation at line %llu: %s\n",
+                     static_cast<unsigned long long>(line_no), line.c_str());
+        *out << "error: bad mutation at line " << line_no << ": " << line
+             << '\n';
+        ok = false;
+        continue;
+      }
+      const update::Mutation m{
+          command == "add" ? update::kAddEdge : update::kDelEdge, u, v};
+      // Stage through the bounded log; a full log sheds here, so drain
+      // (apply a policy-routed batch) and resubmit — the single-threaded
+      // analogue of the service's backpressure.
+      if (!pipe.try_submit(m)) {
+        (void)pipe.apply_pending();
+        (void)pipe.try_submit(m);
+      }
+    } else if (command == "publish") {
+      (void)pipe.apply_pending();
+      graph::Csr next = pipe.materialize();
+      const auto vertices = next.num_vertices();
+      const auto undirected = next.num_undirected_edges();
+      std::string mismatch;
+      if (verify) mismatch = verify_pipeline_counts(pipe, next);
+      const serve::Epoch epoch = store.publish(std::move(next));
+      *out << "publish: epoch=" << epoch << " vertices=" << vertices
+           << " edges=" << undirected;
+      if (verify) *out << " verify=" << (mismatch.empty() ? "ok" : "FAIL");
+      *out << '\n';
+      if (!mismatch.empty()) {
+        std::fprintf(stderr, "update: verify failed at epoch %llu: %s\n",
+                     static_cast<unsigned long long>(epoch), mismatch.c_str());
+        ok = false;
+      }
+    } else {
+      std::fprintf(stderr, "update: bad mutation at line %llu: %s\n",
+                   static_cast<unsigned long long>(line_no), line.c_str());
+      *out << "error: bad mutation at line " << line_no << ": " << line
+           << '\n';
+      ok = false;
+    }
+  }
+  // Trailing mutations without a publish still reach the state (and the
+  // totals line) — they are just never visible in a snapshot.
+  (void)pipe.apply_pending();
+
+  const update::ApplyReport totals = pipe.totals();
+  const update::MutationLogStats log_stats = pipe.log().stats();
+  *out << "update: batches=" << totals.batches
+       << " inserted=" << totals.inserted << " erased=" << totals.erased
+       << " noops=" << totals.noops << " rejected=" << totals.rejected
+       << " delta=" << totals.delta_batches
+       << " recount=" << totals.recount_batches
+       << " shed=" << log_stats.shed << '\n';
+  out->flush();
+  return (out->good() && ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -633,6 +773,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(args);
     if (command == "query") return cmd_query(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "update") return cmd_update(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

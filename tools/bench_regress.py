@@ -68,6 +68,28 @@ REQUIRED_KEYS = {
         "qps_cached",
         "cached_speedup_vs_recompute",
     ],
+    "update": [
+        "dataset",
+        "scale",
+        "edges",
+        "seed_ms",
+        "materialize_ms",
+        "batch_1.delta_ms",
+        "batch_1.recount_ms",
+        "batch_16.delta_ms",
+        "batch_16.recount_ms",
+        "batch_256.delta_ms",
+        "batch_256.recount_ms",
+        "batch_4096.delta_ms",
+        "batch_4096.recount_ms",
+        "batch_65536.delta_ms",
+        "batch_65536.recount_ms",
+        "batch_262144.delta_ms",
+        "batch_262144.recount_ms",
+        "small_batch_speedup",
+        "crossover_batch",
+        "policy_crossover_batch",
+    ],
 }
 
 # The reverse-index path may be at most 10% slower than find_edge before
@@ -136,6 +158,18 @@ def check_structure(data: dict, path: Path) -> list[str]:
 
 def check_invariants(data: dict, path: Path) -> list[str]:
     errors = []
+    if data.get("experiment") == "update":
+        # Below the crossover, per-op delta maintenance must beat a full
+        # recount — that asymmetry is the whole reason src/update's
+        # policy exists. A single-op batch losing to an all-edge recount
+        # means delta maintenance has regressed into a pessimization.
+        speedup = lookup(data, "small_batch_speedup")
+        if isinstance(speedup, (int, float)) and speedup < 1.0:
+            errors.append(
+                f"{path}: delta maintenance no longer beats a full recount "
+                f"at batch size 1 (small_batch_speedup {speedup:.3f} < 1.0)"
+            )
+        return errors
     if data.get("experiment") != "hotpath":
         return errors
     for key, floor in HOTPATH_MIN_SPEEDUP.items():
