@@ -4,7 +4,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "bitmap/bitmap.hpp"
@@ -13,6 +12,7 @@
 #include "intersect/merge.hpp"
 #include "obs/catalog.hpp"
 #include "parallel/task_pool.hpp"
+#include "util/annotations.hpp"
 #include "util/prefetch.hpp"
 
 namespace aecnc::core {
@@ -36,7 +36,11 @@ struct alignas(64) ThreadState {
 /// than serialize.
 class ContextLease {
  public:
-  explicit ContextLease(std::size_t threads) {
+  // Per-site waiver (ctor + dtor): lease-lifetime conditional ownership
+  // — try_lock here, unlock in the destructor, with a private-vector
+  // fallback when the shared contexts are taken — is not expressible as
+  // a scoped capability; the lease object itself is the ownership token.
+  explicit ContextLease(std::size_t threads) AECNC_NO_THREAD_SAFETY_ANALYSIS {
     if (mutex().try_lock()) {
       owns_shared_ = true;
       states_ = &shared();
@@ -49,7 +53,7 @@ class ContextLease {
     }
     if (states_->size() < threads) states_->resize(threads);
   }
-  ~ContextLease() {
+  ~ContextLease() AECNC_NO_THREAD_SAFETY_ANALYSIS {
     if (owns_shared_) mutex().unlock();
   }
   ContextLease(const ContextLease&) = delete;
@@ -85,8 +89,11 @@ class ContextLease {
   }
 
  private:
-  static std::mutex& mutex() {
-    static std::mutex m;
+  static util::Mutex& mutex() {
+    // Held for the whole leased run; obs metric resolution (the global
+    // registry lock) can happen under it, nothing else.
+    // aecnc: acquired-before(Registry::mutex_)
+    static util::Mutex m;
     return m;
   }
   static std::vector<ThreadState>& shared() {

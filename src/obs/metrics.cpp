@@ -11,13 +11,21 @@ namespace aecnc::obs {
 
 namespace {
 
+// aecnc: atomic-ok(relaxed master switch; instrumentation may lag a
+// toggle by a few operations, which the policy explicitly allows)
 std::atomic<bool> g_enabled{false};
+// aecnc: atomic-ok(relaxed test-clock knob; set before threads observe)
 std::atomic<std::uint64_t> g_fake_tick_ns{0};
 // Fake-clock counter: each now_ns() call advances by the tick, so a
 // ScopedTimer observes exactly one tick regardless of real elapsed time.
+// aecnc: atomic-ok(relaxed monotonic fake-time counter; only uniqueness
+// of ticks matters, not ordering)
 std::atomic<std::uint64_t> g_fake_now_ns{0};
 
 bool env_enabled() {
+  // Read once during static init, before any thread could call setenv;
+  // the result is latched into g_enabled, never re-read.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("AECNC_OBS");
   if (env == nullptr) return false;
   return env[0] != '\0' && env[0] != '0';
@@ -122,7 +130,7 @@ Registry& Registry::global() {
 }
 
 Registry::Entry& Registry::entry_for(std::string_view name, Kind kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     if (it->second.kind != kind) {
@@ -162,7 +170,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (auto& [name, entry] : metrics_) {
     switch (entry.kind) {
       case Kind::kCounter: entry.counter->reset(); break;
@@ -173,7 +181,7 @@ void Registry::reset() {
 }
 
 std::string Registry::dump_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   std::string out = "{\n  \"counters\": {";
   const char* sep = "";
   for (const auto& [name, entry] : metrics_) {
@@ -231,7 +239,7 @@ std::string Registry::dump_json() const {
 }
 
 std::string Registry::dump_prometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   std::string out;
   for (const auto& [name, entry] : metrics_) {
     const std::string pname = prom_name(name);

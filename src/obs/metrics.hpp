@@ -42,9 +42,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/annotations.hpp"
 
 namespace aecnc::obs {
 
@@ -69,6 +70,8 @@ class Counter {
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // aecnc: atomic-ok(relaxed monotonic counter; dumps are snapshots,
+  // not barriers — see the hot-path policy above)
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -89,6 +92,8 @@ class Gauge {
   void reset() noexcept { set(0); }
 
  private:
+  // aecnc: atomic-ok(relaxed last-write-wins level; racy transients are
+  // documented and acceptable for a gauge)
   std::atomic<std::int64_t> value_{0};
 };
 
@@ -133,7 +138,10 @@ class Histogram {
   void reset() noexcept;
 
  private:
+  // aecnc: atomic-ok(independently-relaxed bucket shards; quantiles read
+  // a racy-but-monotonic snapshot by design)
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  // aecnc: atomic-ok(relaxed monotonic sum; same snapshot semantics)
   std::atomic<std::uint64_t> sum_{0};
 };
 
@@ -232,8 +240,13 @@ class Registry {
 
   Entry& entry_for(std::string_view name, Kind kind);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> metrics_;
+  // Registration/dump lock. Innermost in the global order: metric
+  // resolution can run under any subsystem lock, so nothing may be
+  // acquired while holding it.
+  // aecnc: lock-leaf(map access only; metric hot paths are lock-free)
+  mutable util::Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_
+      AECNC_GUARDED_BY(mutex_);
 };
 
 }  // namespace aecnc::obs

@@ -19,6 +19,8 @@ void run_workers(std::uint64_t total, std::uint64_t task_size,
   // One shared cursor: claiming a task is one fetch_add — the cheapest
   // possible "task queue", so measured overhead is a lower bound for any
   // dynamic scheduler with this |T|.
+  // aecnc: atomic-ok(per-call claim cursor; thread create/join orders
+  // the initial store and final reads, claims are commutative)
   std::atomic<std::uint64_t> cursor{0};
 
   if (stats != nullptr) {
@@ -88,7 +90,7 @@ WorkerPool::WorkerPool(int num_workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -100,18 +102,21 @@ void WorkerPool::run(std::uint64_t total, std::uint64_t task_size,
   AECNC_CHECK(task_size > 0) << "task_size=" << task_size;
   if (total == 0) return;
   if (obs::enabled()) obs::CoreMetrics::get().pool_runs.add();
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_total_ = total;
-  job_task_size_ = task_size;
-  job_body_ = &body;
-  cursor_.store(0, std::memory_order_relaxed);
-  active_ = num_workers();
-  ++generation_;
-  lock.unlock();
+  {
+    util::MutexLock lock(&mutex_);
+    job_total_ = total;
+    job_task_size_ = task_size;
+    job_body_ = &body;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = num_workers();
+    ++generation_;
+  }
   start_cv_.notify_all();
-  lock.lock();
-  done_cv_.wait(lock, [this] { return active_ == 0; });
-  job_body_ = nullptr;
+  {
+    util::MutexLock lock(&mutex_);
+    while (active_ != 0) done_cv_.wait(mutex_);
+    job_body_ = nullptr;
+  }
 }
 
 void WorkerPool::worker_loop(int worker) {
@@ -121,10 +126,10 @@ void WorkerPool::worker_loop(int worker) {
     std::uint64_t task_size;
     const Body* body;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      util::MutexLock lock(&mutex_);
+      while (!(stop_ || generation_ != seen_generation)) {
+        start_cv_.wait(mutex_);
+      }
       if (stop_) return;
       seen_generation = generation_;
       total = job_total_;
@@ -145,7 +150,7 @@ void WorkerPool::worker_loop(int worker) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       if (--active_ == 0) done_cv_.notify_all();
     }
   }

@@ -13,9 +13,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace aecnc::parallel {
 
@@ -78,17 +79,23 @@ class WorkerPool {
   void worker_loop(int worker);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  // Guarded by mutex_: a generation counter wakes workers exactly once
-  // per run(); `active_` counts workers still inside the current job.
-  std::uint64_t generation_ = 0;
-  int active_ = 0;
-  bool stop_ = false;
-  std::uint64_t job_total_ = 0;
-  std::uint64_t job_task_size_ = 1;
-  const Body* job_body_ = nullptr;
+  // Job handoff lock. Workers only touch pool state under it; the job
+  // body runs outside. First obs metric resolution inside a job can
+  // register under the global registry lock.
+  // aecnc: acquired-before(Registry::mutex_)
+  util::Mutex mutex_;
+  std::condition_variable_any start_cv_;
+  std::condition_variable_any done_cv_;
+  // A generation counter wakes workers exactly once per run();
+  // `active_` counts workers still inside the current job.
+  std::uint64_t generation_ AECNC_GUARDED_BY(mutex_) = 0;
+  int active_ AECNC_GUARDED_BY(mutex_) = 0;
+  bool stop_ AECNC_GUARDED_BY(mutex_) = false;
+  std::uint64_t job_total_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t job_task_size_ AECNC_GUARDED_BY(mutex_) = 1;
+  const Body* job_body_ AECNC_GUARDED_BY(mutex_) = nullptr;
+  // aecnc: atomic-ok(shared claim cursor: relaxed fetch_add is the whole
+  // "task queue"; run()'s lock handoff orders the reset against workers)
   std::atomic<std::uint64_t> cursor_{0};
 };
 

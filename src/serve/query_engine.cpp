@@ -94,7 +94,7 @@ std::vector<CnCount> QueryEngine::count_vertex(const Snapshot& snap,
   std::vector<CnCount> counts(nbrs.size(), 0);
   if (nbrs.empty()) return counts;
 
-  std::lock_guard<std::mutex> lock(batch_mutex_);
+  util::MutexLock lock(&batch_mutex_);
   pool_.run(nbrs.size(), std::max<std::uint64_t>(1, config_.task_size),
             [&](std::uint64_t begin, std::uint64_t end, int worker) {
               WorkerContext& ctx =
@@ -114,7 +114,7 @@ std::vector<CnCount> QueryEngine::count_batch(
   if (queries.empty()) return counts;
   const VertexId n = snap.graph.num_vertices();
 
-  std::lock_guard<std::mutex> lock(batch_mutex_);
+  util::MutexLock lock(&batch_mutex_);
   pool_.run(queries.size(), std::max<std::uint64_t>(1, config_.task_size),
             [&](std::uint64_t begin, std::uint64_t end, int worker) {
               WorkerContext& ctx =

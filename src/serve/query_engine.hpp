@@ -23,8 +23,8 @@
 // service's coalescing dispatcher is their main caller).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -33,6 +33,7 @@
 #include "intersect/hash_index.hpp"
 #include "parallel/task_pool.hpp"
 #include "serve/snapshot_store.hpp"
+#include "util/annotations.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::serve {
@@ -116,9 +117,21 @@ class QueryEngine {
 
   EngineConfig config_;
   parallel::WorkerPool pool_;
+  // contexts_ is mutated by pool workers *inside* a run() while the
+  // batch caller holds batch_mutex_ — each worker touches only its own
+  // slot, and run() doesn't return until every worker is done, so the
+  // lock still covers every access. The analysis can't follow the
+  // capability into the pool threads, hence no GUARDED_BY; the batch
+  // lock below is what makes the protocol sound.
   std::vector<WorkerContext> contexts_;
-  std::mutex batch_mutex_;  // serializes pool_ + contexts_ users
+  // Serializes pool_ + contexts_ users (WorkerPool::run is not
+  // reentrant); the pool's own lock nests inside.
+  // aecnc: acquired-before(WorkerPool::mutex_)
+  mutable util::Mutex batch_mutex_;
+  // aecnc: atomic-ok(monotonic stats counters; relaxed add under the
+  // batch lock, lock-free reads by stats accessors)
   std::atomic<std::uint64_t> batches_run_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see batches_run_)
   std::atomic<std::uint64_t> queries_run_{0};
 };
 

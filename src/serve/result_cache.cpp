@@ -16,9 +16,9 @@ ResultCache::ResultCache(std::size_t capacity) {
 
 void ResultCache::insert(Epoch epoch, VertexId u, VertexId v,
                          CachedEdgeCount value) {
-  if (slots_.empty()) return;
+  if (num_sets_ == 0) return;  // disabled (capacity 0)
   const std::uint64_t pair = pair_key(u, v);
-  std::lock_guard<SpinLock> lock(mutex_);
+  util::SpinLockHolder lock(&mutex_);
   const std::size_t base = set_base(epoch, pair);
   std::size_t slot = ways_ - 1;  // full set: replace the LRU (back) entry
   for (std::size_t i = 0; i < ways_; ++i) {
@@ -41,14 +41,14 @@ void ResultCache::insert(Epoch epoch, VertexId u, VertexId v,
 }
 
 void ResultCache::invalidate_all() {
-  std::lock_guard<SpinLock> lock(mutex_);
+  util::SpinLockHolder lock(&mutex_);
   invalidations_ += size_;
   size_ = 0;
   std::fill(slots_.begin(), slots_.end(), Slot{});
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<SpinLock> lock(mutex_);
+  util::SpinLockHolder lock(&mutex_);
   return {.hits = hits_,
           .misses = misses_,
           .evictions = evictions_,

@@ -19,14 +19,12 @@
 // (hits / misses / evictions / invalidations) feed the service stats.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "serve/snapshot_store.hpp"
+#include "util/annotations.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::serve {
@@ -102,42 +100,30 @@ class ResultCache {
     return (static_cast<std::size_t>(x) % num_sets_) * ways_;
   }
 
-  /// Test-and-set lock: every critical section is a <=kWays-slot scan,
-  /// far shorter than a futex round-trip, and unlocking is a plain
-  /// store where std::mutex pays a second atomic RMW. Contended waits
-  /// yield so a preempted holder can run.
-  class SpinLock {
-   public:
-    void lock() noexcept {
-      while (flag_.exchange(true, std::memory_order_acquire)) {
-        while (flag_.load(std::memory_order_relaxed)) {
-          std::this_thread::yield();
-        }
-      }
-    }
-    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
-
-   private:
-    std::atomic<bool> flag_{false};
-  };
-
-  mutable SpinLock mutex_;
+  /// util::SpinLock because every critical section is a <=kWays-slot
+  /// scan, far shorter than a futex round-trip, and unlocking is a plain
+  /// store where std::mutex pays a second atomic RMW.
+  // aecnc: lock-leaf(slot scans only; never calls out of the cache)
+  mutable util::SpinLock mutex_;
+  // ways_/num_sets_ are set once in the constructor and immutable after,
+  // so the pre-lock disabled-cache check reads num_sets_ lock-free.
   std::size_t ways_ = kWays;
   std::size_t num_sets_ = 0;
-  std::vector<Slot> slots_;  // num_sets_ * ways_; per-set front = MRU
-  std::size_t size_ = 0;     // occupied slots
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t invalidations_ = 0;
+  // num_sets_ * ways_ slots; per-set front = MRU
+  std::vector<Slot> slots_ AECNC_GUARDED_BY(mutex_);
+  std::size_t size_ AECNC_GUARDED_BY(mutex_) = 0;  // occupied slots
+  std::uint64_t hits_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t invalidations_ AECNC_GUARDED_BY(mutex_) = 0;
 };
 
 inline std::optional<CachedEdgeCount> ResultCache::lookup(Epoch epoch,
                                                           VertexId u,
                                                           VertexId v) {
-  if (slots_.empty()) return std::nullopt;
+  if (num_sets_ == 0) return std::nullopt;  // disabled (capacity 0)
   const std::uint64_t pair = pair_key(u, v);
-  std::lock_guard<SpinLock> lock(mutex_);
+  util::SpinLockHolder lock(&mutex_);
   const std::size_t base = set_base(epoch, pair);
   for (std::size_t i = 0; i < ways_; ++i) {
     Slot& s = slots_[base + i];

@@ -34,7 +34,7 @@ Service::Service(ServiceConfig config)
 
 Service::~Service() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(&queue_mutex_);
     stopping_ = true;
   }
   queue_not_empty_.notify_all();
@@ -75,13 +75,13 @@ update::UpdatePipeline& Service::updater_for_current_epoch() {
 
 update::ApplyReport Service::apply_updates(
     std::span<const update::Mutation> muts) {
-  std::lock_guard<std::mutex> lock(updater_mutex_);
+  util::MutexLock lock(&updater_mutex_);
   return updater_for_current_epoch().apply(muts);
 }
 
 Epoch Service::publish() {
   obs::ScopedTimer timer(obs::UpdateMetrics::get().publish_ns);
-  std::lock_guard<std::mutex> lock(updater_mutex_);
+  util::MutexLock lock(&updater_mutex_);
   if (updater_ == nullptr) {
     throw std::runtime_error(
         "aecnc::serve::Service: publish() before any apply_updates()");
@@ -94,7 +94,7 @@ Epoch Service::publish() {
 }
 
 std::optional<CnCount> Service::pending_count(VertexId u, VertexId v) const {
-  std::lock_guard<std::mutex> lock(updater_mutex_);
+  util::MutexLock lock(&updater_mutex_);
   if (updater_ == nullptr) return std::nullopt;
   return updater_->state().count(u, v);
 }
@@ -216,23 +216,28 @@ std::future<QueryResult> Service::submit_edge(VertexId u, VertexId v) {
   }
 
   const obs::ServeMetrics& m = obs::ServeMetrics::get();
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  if (obs::enabled() && queue_.size() >= config_.queue_capacity) {
-    // The producer is about to block on a full queue: that's the
-    // backpressure event worth alerting on, not the successful enqueue.
-    m.backpressure_waits.add();
+  std::future<QueryResult> future;
+  {
+    util::MutexLock lock(&queue_mutex_);
+    if (obs::enabled() && queue_.size() >= config_.queue_capacity) {
+      // The producer is about to block on a full queue: that's the
+      // backpressure event worth alerting on, not the successful enqueue.
+      m.backpressure_waits.add();
+    }
+    // Explicit wait loop (not wait(lock, pred)): the thread-safety
+    // analysis can't see through predicate lambdas but tracks the
+    // capability across wait(mutex).
+    while (!(stopping_ || queue_.size() < config_.queue_capacity)) {
+      queue_not_full_.wait(queue_mutex_);
+    }
+    Pending pending{u, v, std::promise<QueryResult>()};
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    if (obs::enabled()) {
+      m.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    async_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
-  queue_not_full_.wait(lock, [this] {
-    return stopping_ || queue_.size() < config_.queue_capacity;
-  });
-  Pending pending{u, v, std::promise<QueryResult>()};
-  std::future<QueryResult> future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
-  if (obs::enabled()) {
-    m.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
-  }
-  async_submitted_.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
   queue_not_empty_.notify_one();
   return future;
 }
@@ -249,20 +254,22 @@ std::optional<std::future<QueryResult>> Service::try_submit_edge(VertexId u,
   }
 
   const obs::ServeMetrics& m = obs::ServeMetrics::get();
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  if (queue_.size() >= config_.queue_capacity) {
-    async_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (obs::enabled()) m.shed.add();
-    return std::nullopt;
+  std::future<QueryResult> future;
+  {
+    util::MutexLock lock(&queue_mutex_);
+    if (queue_.size() >= config_.queue_capacity) {
+      async_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) m.shed.add();
+      return std::nullopt;
+    }
+    Pending pending{u, v, std::promise<QueryResult>()};
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    if (obs::enabled()) {
+      m.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    async_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
-  Pending pending{u, v, std::promise<QueryResult>()};
-  std::future<QueryResult> future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
-  if (obs::enabled()) {
-    m.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
-  }
-  async_submitted_.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
   queue_not_empty_.notify_one();
   return future;
 }
@@ -317,7 +324,7 @@ void Service::process_pending(std::vector<Pending> batch) {
 std::size_t Service::pump() {
   std::vector<Pending> local;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(&queue_mutex_);
     const std::size_t take = std::min(config_.max_coalesce, queue_.size());
     local.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
@@ -340,9 +347,10 @@ void Service::dispatcher_loop() {
   while (true) {
     std::vector<Pending> local;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_not_empty_.wait(lock,
-                            [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(&queue_mutex_);
+      while (!(stopping_ || !queue_.empty())) {
+        queue_not_empty_.wait(queue_mutex_);
+      }
       if (queue_.empty() && stopping_) return;
       const std::size_t take = std::min(config_.max_coalesce, queue_.size());
       local.reserve(take);
@@ -375,11 +383,11 @@ ServiceStats Service::stats() const {
       async_max_coalesced_.load(std::memory_order_relaxed);
   s.async_rejected = async_rejected_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(&queue_mutex_);
     s.queue_depth = queue_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(updater_mutex_);
+    util::MutexLock lock(&updater_mutex_);
     if (updater_ != nullptr) s.updates = updater_->totals();
   }
   return s;

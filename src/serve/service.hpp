@@ -28,6 +28,7 @@
 //    policies.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -41,6 +42,7 @@
 #include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
 #include "update/pipeline.hpp"
+#include "util/annotations.hpp"
 
 namespace aecnc::serve {
 
@@ -210,7 +212,8 @@ class Service {
   void dispatcher_loop();
 
   /// Pipeline seeded and ready for `epoch`; reseed if the store moved on.
-  [[nodiscard]] update::UpdatePipeline& updater_for_current_epoch();
+  [[nodiscard]] update::UpdatePipeline& updater_for_current_epoch()
+      AECNC_REQUIRES(updater_mutex_);
 
   ServiceConfig config_;
   SnapshotStore store_;
@@ -219,25 +222,47 @@ class Service {
 
   /// Lazily-created mutation pipeline + the epoch its state mirrors.
   /// updater_mutex_ serializes apply_updates/publish() against each
-  /// other; queries never touch the pipeline.
-  mutable std::mutex updater_mutex_;
-  std::unique_ptr<update::UpdatePipeline> updater_;
-  Epoch updater_epoch_ = 0;
+  /// other; queries never touch the pipeline. Outermost lock of the
+  /// update chain: held across pipeline applies (which take the
+  /// pipeline's state lock) and epoch publishes (snapshot-store publish
+  /// lock, then the cache spinlock).
+  // aecnc: acquired-before(UpdatePipeline::state_mutex_,
+  //                        SnapshotStore::publish_mutex_,
+  //                        ResultCache::mutex_)
+  mutable util::Mutex updater_mutex_;
+  std::unique_ptr<update::UpdatePipeline> updater_
+      AECNC_GUARDED_BY(updater_mutex_);
+  Epoch updater_epoch_ AECNC_GUARDED_BY(updater_mutex_) = 0;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_not_full_;
-  std::condition_variable queue_not_empty_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
+  // Admission-queue lock. Never held across query execution: the
+  // dispatcher and pump() drain under the lock, release it, then run the
+  // batch (which takes the cache spinlock and the engine's batch lock).
+  // First obs metric resolution can register under it.
+  // aecnc: acquired-before(Registry::mutex_)
+  mutable util::Mutex queue_mutex_;
+  std::condition_variable_any queue_not_full_;
+  std::condition_variable_any queue_not_empty_;
+  std::deque<Pending> queue_ AECNC_GUARDED_BY(queue_mutex_);
+  bool stopping_ AECNC_GUARDED_BY(queue_mutex_) = false;
   std::thread dispatcher_;
 
+  // aecnc: atomic-ok(monotonic stats counters; relaxed read-modify-write
+  // only, snapshotted without ordering guarantees by stats())
   std::atomic<std::uint64_t> publishes_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> point_queries_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> vertex_queries_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> batch_queries_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> async_submitted_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> async_batches_{0};
+  // aecnc: atomic-ok(monotonic high-water mark maintained by a relaxed
+  // CAS loop; approximate by design)
   std::atomic<std::uint64_t> async_max_coalesced_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> async_rejected_{0};
 };
 

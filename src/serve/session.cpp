@@ -1,0 +1,148 @@
+#include "serve/session.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "update/mutation_log.hpp"
+
+namespace aecnc::serve {
+
+bool run_session(Service& svc, std::istream& in, std::ostream& out) {
+  const auto print_epoch = [&](Epoch e) { out << "epoch=" << e; };
+
+  std::string line;
+  std::uint64_t line_no = 0;
+  bool had_error = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string command;
+    tokens >> command;
+    // A malformed request gets an error *reply* and the session keeps
+    // going. The reply goes to the session output (so negative-path
+    // sessions are golden-testable) and the return value records that
+    // errors occurred.
+    const auto bad_line = [&]() {
+      std::fprintf(stderr, "serve: bad request at line %llu: %s\n",
+                   static_cast<unsigned long long>(line_no), line.c_str());
+      out << "error: bad request at line " << line_no << ": " << line << '\n';
+      had_error = true;
+    };
+
+    if (command == "edge") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v)) {
+        bad_line();
+        continue;
+      }
+      const auto r = svc.query_edge(u, v);
+      out << "edge " << u << ' ' << v << ": ";
+      print_epoch(r.epoch);
+      out << " cnt=" << r.count << " edge=" << (r.is_edge ? "yes" : "no")
+          << " cached=" << (r.cached ? "yes" : "no") << '\n';
+    } else if (command == "vertex") {
+      VertexId u = 0;
+      if (!(tokens >> u)) {
+        bad_line();
+        continue;
+      }
+      const auto r = svc.query_vertex(u);
+      out << "vertex " << u << ": ";
+      print_epoch(r.epoch);
+      out << " deg=" << r.counts.size() << " cnts=";
+      for (std::size_t k = 0; k < r.counts.size(); ++k) {
+        out << (k == 0 ? "" : ",") << r.counts[k];
+      }
+      out << '\n';
+    } else if (command == "batch") {
+      std::vector<EdgeQuery> queries;
+      VertexId u = 0;
+      VertexId v = 0;
+      while (tokens >> u >> v) queries.push_back({u, v});
+      if (queries.empty()) {
+        bad_line();
+        continue;
+      }
+      const auto rs = svc.query_batch(queries);
+      out << "batch " << rs.size() << ": ";
+      print_epoch(rs.empty() ? svc.current_epoch() : rs.front().epoch);
+      out << " cnts=";
+      for (std::size_t k = 0; k < rs.size(); ++k) {
+        out << (k == 0 ? "" : ",") << rs[k].count;
+      }
+      out << '\n';
+    } else if (command == "add" || command == "remove" || command == "del") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v) || u == v) {
+        bad_line();
+        continue;
+      }
+      const bool is_add = command == "add";
+      const update::Mutation m{is_add ? update::kAddEdge : update::kDelEdge,
+                               u, v};
+      const auto report = svc.apply_updates({&m, 1});
+      if (report.rejected > 0) {
+        // Outside the pinned universe: an error reply, but — like every
+        // malformed request — one the session survives.
+        out << "error: " << command << ' ' << u << ' ' << v
+            << ": vertex out of range\n";
+        had_error = true;
+      } else if (!is_add && report.erased == 0) {
+        out << "error: " << command << ' ' << u << ' ' << v
+            << ": no such edge\n";
+        had_error = true;
+      } else {
+        // Duplicate adds are idempotent: the staged state already holds
+        // the edge, which is exactly what the client asked for.
+        out << command << ' ' << u << ' ' << v << ": staged\n";
+      }
+    } else if (command == "publish") {
+      // Seed the pipeline if no mutation has yet (a bare publish simply
+      // re-materializes the current snapshot as a fresh epoch).
+      (void)svc.apply_updates({});
+      const Epoch epoch = svc.publish();
+      const SnapshotPtr snap = svc.snapshot();
+      out << "publish: ";
+      print_epoch(epoch);
+      out << " vertices=" << snap->graph.num_vertices()
+          << " edges=" << snap->graph.num_undirected_edges() << '\n';
+    } else if (command == "stats") {
+      // Bare `stats` keeps the one-line service summary; `stats json` /
+      // `stats prom` dump the full obs metric registry.
+      std::string mode;
+      tokens >> mode;
+      if (mode == "json") {
+        out << obs::Registry::global().dump_json();
+      } else if (mode == "prom") {
+        out << obs::Registry::global().dump_prometheus();
+      } else if (!mode.empty()) {
+        bad_line();
+        continue;
+      } else {
+        const auto s = svc.stats();
+        out << "stats: ";
+        print_epoch(s.epoch);
+        out << " cache_size=" << s.cache.size << " hits=" << s.cache.hits
+            << " misses=" << s.cache.misses
+            << " evictions=" << s.cache.evictions
+            << " point=" << s.point_queries << " vertex=" << s.vertex_queries
+            << " batch=" << s.batch_queries << '\n';
+      }
+    } else {
+      bad_line();
+      continue;
+    }
+  }
+  out.flush();
+  return out.good() && !had_error;
+}
+
+}  // namespace aecnc::serve

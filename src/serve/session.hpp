@@ -1,0 +1,29 @@
+// Scripted request-session interpreter for the query service.
+//
+// One request per line: `edge u v | vertex u | batch u1 v1 [u2 v2 ...] |
+// add u v | del u v (alias: remove) | publish | stats [json|prom]`;
+// blank lines and `#` comments are skipped. Replies go to `out` in a
+// deterministic text format so sessions diff against golden files
+// (tests/data/serve_session*). Malformed requests produce an "error:"
+// reply and the session continues — a serving loop must not die on one
+// bad client line.
+//
+// Extracted from the CLI `serve` command so the same interpreter is
+// driven by tools/aecnc_cli.cpp, the golden-session tests, and the
+// libFuzzer harness (tests/fuzz/fuzz_session.cpp) — the fuzzer then
+// exercises exactly the parser that faces untrusted scripted input.
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/service.hpp"
+
+namespace aecnc::serve {
+
+/// Drive `svc` from the request stream `in`, writing one reply per
+/// request to `out`. Returns true when every line parsed and the output
+/// stream is still good; false signals at least one error reply (the
+/// session still ran to completion).
+bool run_session(Service& svc, std::istream& in, std::ostream& out);
+
+}  // namespace aecnc::serve

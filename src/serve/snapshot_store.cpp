@@ -8,7 +8,7 @@ Epoch SnapshotStore::publish(graph::Csr g) {
   // Serialize publishers so epochs are issued in store order: a reader
   // that observes epoch N can rely on every epoch < N having been the
   // current snapshot at some earlier point.
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  util::MutexLock lock(&publish_mutex_);
   const Epoch epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto snapshot = std::make_shared<const Snapshot>(
       Snapshot{.epoch = epoch, .graph = std::move(g)});

@@ -22,9 +22,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "graph/csr.hpp"
+#include "util/annotations.hpp"
 
 namespace aecnc::serve {
 
@@ -76,10 +76,18 @@ class SnapshotStore {
   }
 
  private:
+  // aecnc: atomic-ok(lock-free RCU-style read path; writers serialize on
+  // publish_mutex_, readers pin via acquire-loaded shared_ptr)
   std::atomic<SnapshotPtr> current_{nullptr};
+  // aecnc: atomic-ok(release-stored after current_ so epoch observers see
+  // that snapshot or newer on a subsequent acquire())
   std::atomic<Epoch> published_epoch_{0};
+  // aecnc: atomic-ok(monotonic publish counter; mutated only under
+  // publish_mutex_, read lock-free by publish_count())
   std::atomic<Epoch> next_epoch_{0};
-  std::mutex publish_mutex_;
+  // Held across epoch issue + snapshot swap; nothing else acquired inside.
+  // aecnc: lock-leaf(publish() only touches this store's own atomics)
+  util::Mutex publish_mutex_;
 };
 
 }  // namespace aecnc::serve

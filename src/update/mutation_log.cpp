@@ -10,12 +10,16 @@ MutationLog::MutationLog(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 bool MutationLog::append(Mutation m) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (!closed_ && staged_.size() >= capacity_) {
     ++backpressure_waits_;
     if (obs::enabled()) obs::UpdateMetrics::get().log_backpressure.add();
   }
-  not_full_.wait(lock, [this] { return closed_ || staged_.size() < capacity_; });
+  // Explicit wait loop: the analysis can't see through predicate lambdas
+  // passed to wait(lock, pred), but tracks the capability across wait(lock).
+  while (!(closed_ || staged_.size() < capacity_)) {
+    not_full_.wait(mutex_);
+  }
   if (closed_) return false;
   staged_.push_back(m);
   ++accepted_;
@@ -27,7 +31,7 @@ bool MutationLog::append(Mutation m) {
 }
 
 bool MutationLog::try_append(Mutation m) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (closed_ || staged_.size() >= capacity_) {
     ++shed_;
     if (obs::enabled()) obs::UpdateMetrics::get().log_shed.add();
@@ -45,7 +49,7 @@ bool MutationLog::try_append(Mutation m) {
 std::vector<Mutation> MutationLog::drain(std::size_t max_batch) {
   std::vector<Mutation> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     const std::size_t take = std::min(max_batch, staged_.size());
     batch.assign(staged_.begin(),
                  staged_.begin() + static_cast<std::ptrdiff_t>(take));
@@ -63,19 +67,19 @@ std::vector<Mutation> MutationLog::drain(std::size_t max_batch) {
 
 void MutationLog::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     closed_ = true;
   }
   not_full_.notify_all();
 }
 
 std::size_t MutationLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return staged_.size();
 }
 
 MutationLogStats MutationLog::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return {.depth = staged_.size(),
           .accepted = accepted_,
           .shed = shed_,

@@ -20,10 +20,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "core/incremental.hpp"
+#include "util/annotations.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::update {
@@ -71,14 +71,18 @@ class MutationLog {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::deque<Mutation> staged_;
-  bool closed_ = false;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t backpressure_waits_ = 0;
-  std::uint64_t drained_ = 0;
+  // Innermost lock of the update chain: UpdatePipeline::apply_pending
+  // drains the log while holding its state lock, and obs registration can
+  // run under this lock on first metric resolution.
+  // aecnc: acquired-before(Registry::mutex_)
+  mutable util::Mutex mutex_;
+  std::condition_variable_any not_full_;
+  std::deque<Mutation> staged_ AECNC_GUARDED_BY(mutex_);
+  bool closed_ AECNC_GUARDED_BY(mutex_) = false;
+  std::uint64_t accepted_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t backpressure_waits_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t drained_ AECNC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace aecnc::update

@@ -84,7 +84,7 @@ ApplyReport UpdatePipeline::apply_one_batch(std::span<const Mutation> batch) {
 
 ApplyReport UpdatePipeline::apply(std::span<const Mutation> mutations) {
   obs::ScopedTimer timer(obs::UpdateMetrics::get().apply_ns);
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   ApplyReport report;
   for (std::size_t begin = 0; begin < mutations.size();
        begin += config_.max_batch) {
@@ -98,7 +98,7 @@ ApplyReport UpdatePipeline::apply(std::span<const Mutation> mutations) {
 
 ApplyReport UpdatePipeline::apply_pending() {
   obs::ScopedTimer timer(obs::UpdateMetrics::get().apply_ns);
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   ApplyReport report;
   while (true) {
     const std::vector<Mutation> batch = log_.drain(config_.max_batch);
@@ -110,12 +110,12 @@ ApplyReport UpdatePipeline::apply_pending() {
 }
 
 graph::Csr UpdatePipeline::materialize() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   return state_.to_csr();
 }
 
 ApplyReport UpdatePipeline::totals() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  util::MutexLock lock(&state_mutex_);
   return totals_;
 }
 

@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 
 #include "core/incremental.hpp"
@@ -34,6 +33,7 @@
 #include "graph/csr.hpp"
 #include "update/mutation_log.hpp"
 #include "update/policy.hpp"
+#include "util/annotations.hpp"
 
 namespace aecnc::update {
 
@@ -105,7 +105,12 @@ class UpdatePipeline {
   [[nodiscard]] graph::Csr materialize() const;
 
   /// Maintained counter state (counts exact between apply calls).
-  [[nodiscard]] const core::IncrementalCounter& state() const noexcept {
+  // Per-site waiver: returns a reference to the guarded state without the
+  // lock — the documented contract is that readers only dereference it
+  // while no apply runs (external quiescence), which a capability can't
+  // express without pushing the lock into every single-threaded caller.
+  [[nodiscard]] const core::IncrementalCounter& state() const noexcept
+      AECNC_NO_THREAD_SAFETY_ANALYSIS {
     return state_;
   }
   [[nodiscard]] MutationLog& log() noexcept { return log_; }
@@ -117,14 +122,17 @@ class UpdatePipeline {
 
  private:
   /// Apply one batch (≤ max_batch ops) through the policy.
-  ApplyReport apply_one_batch(std::span<const Mutation> batch);
+  ApplyReport apply_one_batch(std::span<const Mutation> batch)
+      AECNC_REQUIRES(state_mutex_);
 
   PipelineConfig config_;
   UpdatePolicy policy_;
   MutationLog log_;
-  mutable std::mutex state_mutex_;
-  core::IncrementalCounter state_;
-  ApplyReport totals_;
+  // apply_pending() drains the log while holding the state lock.
+  // aecnc: acquired-before(MutationLog::mutex_)
+  mutable util::Mutex state_mutex_;
+  core::IncrementalCounter state_ AECNC_GUARDED_BY(state_mutex_);
+  ApplyReport totals_ AECNC_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace aecnc::update

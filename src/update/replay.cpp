@@ -1,0 +1,110 @@
+#include "update/replay.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/sequential.hpp"
+
+namespace aecnc::update {
+
+std::string verify_pipeline_counts(const UpdatePipeline& pipe,
+                                   const graph::Csr& g) {
+  const core::CountArray reference = core::count_sequential_mps(g, {});
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      const auto maintained = pipe.state().count(u, v);
+      const CnCount expected = reference[g.offset_begin(u) + k];
+      if (!maintained.has_value() || *maintained != expected) {
+        std::ostringstream oss;
+        oss << "edge (" << u << ", " << v << "): maintained="
+            << (maintained.has_value() ? std::to_string(*maintained)
+                                       : std::string("none"))
+            << " recount=" << expected;
+        return oss.str();
+      }
+    }
+  }
+  return {};
+}
+
+bool run_replay(UpdatePipeline& pipe, serve::SnapshotStore& store,
+                std::istream& in, std::ostream& out,
+                const ReplayOptions& options) {
+  bool ok = true;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string command;
+    tokens >> command;
+    if (command == "add" || command == "del" || command == "remove") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v)) {
+        std::fprintf(stderr, "update: bad mutation at line %llu: %s\n",
+                     static_cast<unsigned long long>(line_no), line.c_str());
+        out << "error: bad mutation at line " << line_no << ": " << line
+            << '\n';
+        ok = false;
+        continue;
+      }
+      const Mutation m{command == "add" ? kAddEdge : kDelEdge, u, v};
+      // Stage through the bounded log; a full log sheds here, so drain
+      // (apply a policy-routed batch) and resubmit — the single-threaded
+      // analogue of the service's backpressure.
+      if (!pipe.try_submit(m)) {
+        (void)pipe.apply_pending();
+        (void)pipe.try_submit(m);
+      }
+    } else if (command == "publish") {
+      (void)pipe.apply_pending();
+      graph::Csr next = pipe.materialize();
+      const auto vertices = next.num_vertices();
+      const auto undirected = next.num_undirected_edges();
+      std::string mismatch;
+      if (options.verify) mismatch = verify_pipeline_counts(pipe, next);
+      const serve::Epoch epoch = store.publish(std::move(next));
+      out << "publish: epoch=" << epoch << " vertices=" << vertices
+          << " edges=" << undirected;
+      if (options.verify) {
+        out << " verify=" << (mismatch.empty() ? "ok" : "FAIL");
+      }
+      out << '\n';
+      if (!mismatch.empty()) {
+        std::fprintf(stderr, "update: verify failed at epoch %llu: %s\n",
+                     static_cast<unsigned long long>(epoch), mismatch.c_str());
+        ok = false;
+      }
+    } else {
+      std::fprintf(stderr, "update: bad mutation at line %llu: %s\n",
+                   static_cast<unsigned long long>(line_no), line.c_str());
+      out << "error: bad mutation at line " << line_no << ": " << line
+          << '\n';
+      ok = false;
+    }
+  }
+  // Trailing mutations without a publish still reach the state (and the
+  // totals line) — they are just never visible in a snapshot.
+  (void)pipe.apply_pending();
+
+  const ApplyReport totals = pipe.totals();
+  const MutationLogStats log_stats = pipe.log().stats();
+  out << "update: batches=" << totals.batches << " inserted="
+      << totals.inserted << " erased=" << totals.erased
+      << " noops=" << totals.noops << " rejected=" << totals.rejected
+      << " delta=" << totals.delta_batches
+      << " recount=" << totals.recount_batches << " shed=" << log_stats.shed
+      << '\n';
+  out.flush();
+  return out.good() && ok;
+}
+
+}  // namespace aecnc::update

@@ -1,0 +1,42 @@
+// Mutation-file replay through the live-update pipeline.
+//
+// Lines are `add u v`, `del u v` (alias: remove), `publish`, with blank
+// lines and `#` comments skipped. Mutations stage through the pipeline's
+// bounded log; `publish` drains, materializes a CSR, and swaps it into
+// the snapshot store as a fresh epoch — the offline analogue of the
+// query service's update path (docs/updates.md). Replies go to `out` in
+// a deterministic text format, so replays diff against golden files.
+//
+// Extracted from the CLI `update` command so the same parser is driven
+// by tools/aecnc_cli.cpp, the golden-replay tests, and the libFuzzer
+// harness (tests/fuzz/fuzz_session.cpp).
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/snapshot_store.hpp"
+#include "update/pipeline.hpp"
+
+namespace aecnc::update {
+
+struct ReplayOptions {
+  /// Cross-check every published snapshot's maintained counts against a
+  /// from-scratch sequential MPS recount (replies gain `verify=ok|FAIL`).
+  bool verify = false;
+};
+
+/// Cross-check the pipeline's maintained per-edge counts against a
+/// from-scratch sequential MPS run on the materialized CSR. Returns a
+/// description of the first mismatch, empty when bit-identical.
+/// Caller contract: no concurrent pipeline use (reads pipe.state()).
+[[nodiscard]] std::string verify_pipeline_counts(const UpdatePipeline& pipe,
+                                                 const graph::Csr& g);
+
+/// Replay the mutation stream `in` through `pipe`, publishing epochs to
+/// `store` and writing replies to `out`. Returns true when every line
+/// parsed, every verification passed, and the output stream is good.
+bool run_replay(UpdatePipeline& pipe, serve::SnapshotStore& store,
+                std::istream& in, std::ostream& out,
+                const ReplayOptions& options = {});
+
+}  // namespace aecnc::update

@@ -1,0 +1,176 @@
+// Clang Thread Safety Analysis capability macros and the annotated lock
+// primitives every concurrent component in the repo must use.
+//
+// The macros wrap clang's `capability`/`guarded_by`/`acquire_capability`
+// attribute family (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+// and expand to nothing on compilers without the attributes, so GCC builds
+// are byte-identical to the unannotated code. The clang CI leg compiles
+// with `-Werror=thread-safety -Werror=thread-safety-beta`, turning
+// guarded-field races and lock-order inversions into build failures.
+//
+// Contract (enforced by tools/check_memory_order.py and
+// tools/check_lock_order.py, both ctest entries):
+//
+//  * Every mutex member under src/ is a `util::Mutex` or `util::SpinLock`
+//    from this header — raw `std::mutex` members don't carry capability
+//    attributes and the analysis cannot see them.
+//  * Every mutex member declares its place in the canonical lock order
+//    (docs/checking.md §6) — either `AECNC_ACQUIRED_BEFORE(...)` for
+//    same-class edges, or a structured comment for cross-class edges:
+//      // aecnc: acquired-before(Class::member_, ...)
+//      // aecnc: lock-leaf(<why nothing is acquired under it>)
+//  * Every `std::atomic` member outside this header carries a
+//      // aecnc: atomic-ok(<reason>)
+//    waiver naming the protocol that makes lock-free access sound.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AECNC_HAS_THREAD_ATTR(x) __has_attribute(x)
+#else
+#define AECNC_HAS_THREAD_ATTR(x) 0
+#endif
+
+#if AECNC_HAS_THREAD_ATTR(guarded_by)
+#define AECNC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AECNC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// --- declaration-site attributes -------------------------------------------
+
+/// Marks a class as a lockable capability (mutexes, spinlocks).
+#define AECNC_CAPABILITY(x) AECNC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII guard whose constructor acquires and destructor releases.
+#define AECNC_SCOPED_CAPABILITY AECNC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be touched while holding `x`.
+#define AECNC_GUARDED_BY(x) AECNC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be touched while holding `x`.
+#define AECNC_PT_GUARDED_BY(x) AECNC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// This mutex is acquired before the listed ones (same-class lock order).
+#define AECNC_ACQUIRED_BEFORE(...) \
+  AECNC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// This mutex is acquired after the listed ones.
+#define AECNC_ACQUIRED_AFTER(...) \
+  AECNC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// --- function-site attributes ----------------------------------------------
+
+/// Caller must already hold the listed capabilities.
+#define AECNC_REQUIRES(...) \
+  AECNC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard).
+#define AECNC_EXCLUDES(...) AECNC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define AECNC_ACQUIRE(...) \
+  AECNC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define AECNC_RELEASE(...) \
+  AECNC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define AECNC_TRY_ACQUIRE(b, ...) \
+  AECNC_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Accessor returns (a reference to) the given capability.
+#define AECNC_RETURN_CAPABILITY(x) AECNC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Per-site analysis waiver. Forbidden without an adjacent comment saying
+/// why the access pattern is sound (see docs/checking.md §6).
+#define AECNC_NO_THREAD_SAFETY_ANALYSIS \
+  AECNC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace aecnc::util {
+
+/// Annotated wrapper over std::mutex. BasicLockable, so it works directly
+/// with std::condition_variable_any (waits must use the explicit
+/// `while (!pred) cv.wait(mutex_);` form: the analysis cannot see through
+/// predicate lambdas passed to `wait(lock, pred)`).
+class AECNC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AECNC_ACQUIRE() { m_.lock(); }
+  void unlock() AECNC_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() AECNC_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// Annotated test-and-set spinlock for short critical sections on hot
+/// paths (the serve-side result cache). Acquire/release ordering on the
+/// flag publishes everything written inside the section.
+class AECNC_CAPABILITY("spinlock") SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept AECNC_ACQUIRE() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // Spin on a relaxed load so contended waiters don't bounce the
+      // cache line with RMW traffic; the winning exchange above is the
+      // acquire that pairs with unlock()'s release.
+      while (flag_.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void unlock() noexcept AECNC_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool try_lock() noexcept AECNC_TRY_ACQUIRE(true) {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for Mutex (std::lock_guard is not annotation-aware).
+class AECNC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) AECNC_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() AECNC_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// RAII guard for SpinLock.
+class AECNC_SCOPED_CAPABILITY SpinLockHolder {
+ public:
+  explicit SpinLockHolder(SpinLock* lock) AECNC_ACQUIRE(lock) : lock_(lock) {
+    lock_->lock();
+  }
+  ~SpinLockHolder() AECNC_RELEASE() { lock_->unlock(); }
+
+  SpinLockHolder(const SpinLockHolder&) = delete;
+  SpinLockHolder& operator=(const SpinLockHolder&) = delete;
+
+ private:
+  SpinLock* lock_;
+};
+
+}  // namespace aecnc::util

@@ -11,6 +11,8 @@ CliArgs::CliArgs(int argc, char** argv) : program_(argv[0]) {
     if (!arg.starts_with("--")) {
       std::fprintf(stderr, "%s: unexpected argument '%s' (use --key=value)\n",
                    program_.c_str(), argv[i]);
+      // Argument parsing runs in main() before any thread spawns.
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       std::exit(2);
     }
     arg.remove_prefix(2);
@@ -28,6 +30,32 @@ bool CliArgs::has(std::string_view key) const {
   return values_.find(key) != values_.end();
 }
 
+std::optional<std::string> CliArgs::first_unknown(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : values_) {
+    bool known = false;
+    for (const auto a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return key;
+  }
+  return std::nullopt;
+}
+
+void CliArgs::allow_only(
+    std::initializer_list<std::string_view> allowed) const {
+  const auto bad = first_unknown(allowed);
+  if (!bad.has_value()) return;
+  std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(),
+               bad->c_str());
+  // Argument parsing runs in main() before any thread spawns.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  std::exit(2);
+}
+
 std::string CliArgs::get(std::string_view key, std::string_view fallback) const {
   const auto it = values_.find(key);
   return it == values_.end() ? std::string(fallback) : it->second;
@@ -43,6 +71,7 @@ std::int64_t CliArgs::get_int(std::string_view key, std::int64_t fallback) const
   if (end == it->second.c_str() || *end != '\0') {
     std::fprintf(stderr, "%s: bad integer value '--%s=%s'\n", program_.c_str(),
                  it->first.c_str(), it->second.c_str());
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     std::exit(2);
   }
   return value;
@@ -56,6 +85,7 @@ double CliArgs::get_double(std::string_view key, double fallback) const {
   if (end == it->second.c_str() || *end != '\0') {
     std::fprintf(stderr, "%s: bad numeric value '--%s=%s'\n", program_.c_str(),
                  it->first.c_str(), it->second.c_str());
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     std::exit(2);
   }
   return value;

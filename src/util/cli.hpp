@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -18,6 +20,16 @@ class CliArgs {
   CliArgs(int argc, char** argv);
 
   [[nodiscard]] bool has(std::string_view key) const;
+
+  /// First parsed key not in `allowed` (lexicographically smallest),
+  /// or nullopt when every key is known. Lets a multi-command tool
+  /// reject typos per command with its own usage text.
+  [[nodiscard]] std::optional<std::string> first_unknown(
+      std::initializer_list<std::string_view> allowed) const;
+
+  /// Strict mode for single-command binaries: exit 2 with a message on
+  /// stderr if any parsed key is not in `allowed`.
+  void allow_only(std::initializer_list<std::string_view> allowed) const;
 
   /// Typed getters with defaults. Numeric getters abort (exit 2, message
   /// on stderr) when the present value does not parse in full.

@@ -1,0 +1,80 @@
+// libFuzzer harness for the two text parsers that face untrusted input:
+// the serve-session interpreter (src/serve/session.cpp) and the
+// mutation-file replay (src/update/replay.cpp). Both are the exact code
+// the CLI drives, extracted into the library for this harness.
+//
+// Input shape: byte 0 selects the mode (even = serve session, odd =
+// mutation replay); the rest is the script text. The CI smoke run seeds
+// the corpus from the golden sessions in tests/data/ with the mode byte
+// prepended, so the fuzzer starts from every request form the goldens
+// exercise and mutates outward.
+//
+// Build: -DAECNC_FUZZ=ON (Clang only), typically with
+// -DAECNC_SANITIZE=address so the whole library is instrumented:
+//   ./fuzz_session -max_total_time=30 -close_fd_mask=3 corpus/
+//
+// The harness asserts nothing beyond "no crash, no sanitizer report":
+// both parsers are specified to answer malformed lines with an error
+// reply and keep going, so any abort, OOM, or ASan finding is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "serve/snapshot_store.hpp"
+#include "update/pipeline.hpp"
+#include "update/replay.hpp"
+
+namespace {
+
+using namespace aecnc;
+
+// Small but non-trivial fixture: dense enough that random small vertex
+// ids hit real edges, cached counts, and delete paths. Deterministic so
+// every crash reproduces from the input alone.
+graph::Csr fixture_graph() {
+  return graph::Csr::from_edge_list(graph::erdos_renyi(32, 120, /*seed=*/7));
+}
+
+void fuzz_serve_session(std::istream& in, std::ostream& out) {
+  serve::ServiceConfig cfg;
+  cfg.engine.num_workers = 1;     // parser bugs don't need pool threads
+  cfg.engine.task_size = 16;
+  cfg.cache_capacity = 64;        // small: eviction paths get exercised
+  graph::Csr g = fixture_graph();
+  cfg.update.max_vertices = g.num_vertices();
+  serve::Service svc(cfg);
+  svc.publish(std::move(g));
+  (void)serve::run_session(svc, in, out);
+}
+
+void fuzz_mutation_replay(std::istream& in, std::ostream& out) {
+  graph::Csr g = fixture_graph();
+  update::PipelineConfig cfg;
+  cfg.max_batch = 8;              // small: drain/resubmit paths trigger
+  cfg.max_vertices = g.num_vertices();
+  cfg.recount_options.parallel = false;
+  update::UpdatePipeline pipe(g, cfg);
+  serve::SnapshotStore store(std::move(g));
+  (void)update::run_replay(pipe, store, in, out);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  std::ostringstream out;
+  if ((data[0] & 1U) == 0) {
+    fuzz_serve_session(in, out);
+  } else {
+    fuzz_mutation_replay(in, out);
+  }
+  return 0;
+}

@@ -186,6 +186,30 @@ TEST(Cli, ParsesKeyValueAndFlags) {
   EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
 }
 
+TEST(Cli, FirstUnknownFindsMisplacedFlags) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=tw", "--verbose"};
+  CliArgs args(4, const_cast<char**>(argv));
+  // All keys allowed: no complaint, extra allowed keys are fine.
+  EXPECT_FALSE(
+      args.first_unknown({"alpha", "name", "verbose", "unused"}).has_value());
+  // One key missing from the allowlist: exactly that key comes back.
+  const auto bad = args.first_unknown({"alpha", "name"});
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, "verbose");
+  // Keys are checked by full spelling: a prefix of a real flag is still
+  // unknown (--name vs --names), which is what catches CLI typos.
+  const auto typo = args.first_unknown({"alpha", "names", "verbose"});
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_EQ(*typo, "name");
+}
+
+TEST(Cli, FirstUnknownEmptyArgs) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_FALSE(args.first_unknown({}).has_value());
+  EXPECT_FALSE(args.first_unknown({"anything"}).has_value());
+}
+
 TEST(WallTimer, MeasuresElapsedTime) {
   WallTimer t;
   // Busy-wait a tiny amount; just checks monotonicity and non-negativity.

@@ -56,12 +56,10 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "check/invariants.hpp"
 #include "core/api.hpp"
-#include "core/sequential.hpp"
 #include "core/triangle.hpp"
 #include "core/verify.hpp"
 #include "graph/datasets.hpp"
@@ -72,7 +70,9 @@
 #include "obs/catalog.hpp"
 #include "scan/scan.hpp"
 #include "serve/service.hpp"
+#include "serve/session.hpp"
 #include "update/pipeline.hpp"
+#include "update/replay.hpp"
 #include "util/chart.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -90,7 +90,23 @@ using namespace aecnc;
       "|update> [--key=value ...]\n"
       "see the header of tools/aecnc_cli.cpp for the full option list\n",
       stderr);
+  // Usage errors abort in main() before any thread spawns.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::exit(2);
+}
+
+/// Strict per-command flag validation: a misspelled or misplaced option
+/// (`--obs-clock` on `update`, `--worker=` for `--workers=`) exits 2
+/// with the usage text instead of being silently ignored — an ignored
+/// flag in a scripted sweep or golden session is a wrong-results bug,
+/// not a convenience.
+void require_known(const util::CliArgs& args,
+                   std::initializer_list<std::string_view> allowed) {
+  const auto bad = args.first_unknown(allowed);
+  if (bad.has_value()) {
+    const std::string msg = "unknown option '--" + *bad + "'";
+    usage(msg.c_str());
+  }
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -109,6 +125,8 @@ core::Options parse_algo_options(const util::CliArgs& args);
 void setup_obs(const util::CliArgs& args);
 
 int cmd_generate(const util::CliArgs& args) {
+  require_known(args, {"out", "kind", "vertices", "edges", "exponent", "seed",
+                       "rmat-scale", "dataset", "scale"});
   const std::string out = args.get("out", "");
   if (out.empty()) usage("--out=<path> is required");
   const std::string kind = args.get("kind", "powerlaw");
@@ -145,6 +163,7 @@ int cmd_generate(const util::CliArgs& args) {
 }
 
 int cmd_convert(const util::CliArgs& args) {
+  require_known(args, {"in", "out"});
   const graph::Csr g = load_graph(args);
   const std::string out = args.get("out", "");
   if (out.empty()) usage("--out=<path> is required");
@@ -155,6 +174,8 @@ int cmd_convert(const util::CliArgs& args) {
 }
 
 int cmd_stats(const util::CliArgs& args) {
+  require_known(args, {"in", "skew-threshold", "obs", "out", "algo", "rf",
+                       "kernel", "obs-clock"});
   // --obs mode: run one sequential count with instrumentation on and
   // print the metric registry instead of the graph-shape table. The run
   // is sequential and (with --kernel pinned) machine-independent, so the
@@ -216,6 +237,8 @@ int cmd_stats(const util::CliArgs& args) {
 }
 
 int cmd_count(const util::CliArgs& args) {
+  require_known(args,
+                {"in", "out", "algo", "rf", "kernel", "threads", "seq"});
   const graph::Csr g = load_graph(args);
   core::Options opt = parse_algo_options(args);
   const std::string algo = args.get("algo", "mps");
@@ -253,6 +276,7 @@ int cmd_count(const util::CliArgs& args) {
 }
 
 int cmd_triangles(const util::CliArgs& args) {
+  require_known(args, {"in", "algo"});
   const graph::Csr g = load_graph(args);
   const std::string algo = args.get("algo", "merge");
   util::WallTimer timer;
@@ -273,6 +297,7 @@ int cmd_triangles(const util::CliArgs& args) {
 }
 
 int cmd_verify(const util::CliArgs& args) {
+  require_known(args, {"in"});
   const graph::Csr g = load_graph(args);
   const std::string structural = g.validate();
   if (!structural.empty()) {
@@ -329,6 +354,7 @@ int cmd_verify(const util::CliArgs& args) {
 }
 
 int cmd_scan(const util::CliArgs& args) {
+  require_known(args, {"in", "eps", "mu", "out"});
   const graph::Csr g = load_graph(args);
   const scan::Params params{
       .epsilon = args.get_double("eps", 0.5),
@@ -412,6 +438,7 @@ void setup_obs(const util::CliArgs& args) {
 }
 
 int cmd_query(const util::CliArgs& args) {
+  require_known(args, {"in", "edge", "vertex", "algo", "rf", "kernel"});
   const graph::Csr g = load_graph(args);
   const core::Options opt = parse_algo_options(args);
   if (args.has("edge")) {
@@ -445,6 +472,8 @@ int cmd_query(const util::CliArgs& args) {
 }
 
 int cmd_serve(const util::CliArgs& args) {
+  require_known(args, {"in", "script", "out", "algo", "rf", "kernel", "index",
+                       "workers", "cache", "task-size", "obs-clock"});
   graph::Csr g = load_graph(args);
 
   // Scripted sessions always serve with observability on: the metric
@@ -491,169 +520,14 @@ int cmd_serve(const util::CliArgs& args) {
   serve::Service svc(cfg);
   svc.publish(std::move(g));
 
-  const auto print_epoch = [&](serve::Epoch e) {
-    *out << "epoch=" << e;
-  };
-
-  std::string line;
-  std::uint64_t line_no = 0;
-  bool had_error = false;
-  while (std::getline(*in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream tokens(line);
-    std::string command;
-    tokens >> command;
-    // A malformed request gets an error *reply* and the session keeps
-    // going — a serving loop must not die on one bad client line. The
-    // reply goes to the session output (so negative-path sessions are
-    // golden-testable) and the exit status records that errors occurred.
-    const auto bad_line = [&]() {
-      std::fprintf(stderr, "serve: bad request at line %llu: %s\n",
-                   static_cast<unsigned long long>(line_no), line.c_str());
-      *out << "error: bad request at line " << line_no << ": " << line
-           << '\n';
-      had_error = true;
-    };
-
-    if (command == "edge") {
-      VertexId u = 0;
-      VertexId v = 0;
-      if (!(tokens >> u >> v)) {
-        bad_line();
-        continue;
-      }
-      const auto r = svc.query_edge(u, v);
-      *out << "edge " << u << ' ' << v << ": ";
-      print_epoch(r.epoch);
-      *out << " cnt=" << r.count << " edge=" << (r.is_edge ? "yes" : "no")
-           << " cached=" << (r.cached ? "yes" : "no") << '\n';
-    } else if (command == "vertex") {
-      VertexId u = 0;
-      if (!(tokens >> u)) {
-        bad_line();
-        continue;
-      }
-      const auto r = svc.query_vertex(u);
-      *out << "vertex " << u << ": ";
-      print_epoch(r.epoch);
-      *out << " deg=" << r.counts.size() << " cnts=";
-      for (std::size_t k = 0; k < r.counts.size(); ++k) {
-        *out << (k == 0 ? "" : ",") << r.counts[k];
-      }
-      *out << '\n';
-    } else if (command == "batch") {
-      std::vector<serve::EdgeQuery> queries;
-      VertexId u = 0;
-      VertexId v = 0;
-      while (tokens >> u >> v) queries.push_back({u, v});
-      if (queries.empty()) {
-        bad_line();
-        continue;
-      }
-      const auto rs = svc.query_batch(queries);
-      *out << "batch " << rs.size() << ": ";
-      print_epoch(rs.empty() ? svc.current_epoch() : rs.front().epoch);
-      *out << " cnts=";
-      for (std::size_t k = 0; k < rs.size(); ++k) {
-        *out << (k == 0 ? "" : ",") << rs[k].count;
-      }
-      *out << '\n';
-    } else if (command == "add" || command == "remove" || command == "del") {
-      VertexId u = 0;
-      VertexId v = 0;
-      if (!(tokens >> u >> v) || u == v) {
-        bad_line();
-        continue;
-      }
-      const bool is_add = command == "add";
-      const update::Mutation m{is_add ? update::kAddEdge : update::kDelEdge,
-                               u, v};
-      const auto report = svc.apply_updates({&m, 1});
-      if (report.rejected > 0) {
-        // Outside the pinned universe: an error reply, but — like every
-        // malformed request — one the session survives.
-        *out << "error: " << command << ' ' << u << ' ' << v
-             << ": vertex out of range\n";
-        had_error = true;
-      } else if (!is_add && report.erased == 0) {
-        *out << "error: " << command << ' ' << u << ' ' << v
-             << ": no such edge\n";
-        had_error = true;
-      } else {
-        // Duplicate adds are idempotent: the staged state already holds
-        // the edge, which is exactly what the client asked for.
-        *out << command << ' ' << u << ' ' << v << ": staged\n";
-      }
-    } else if (command == "publish") {
-      // Seed the pipeline if no mutation has yet (a bare publish simply
-      // re-materializes the current snapshot as a fresh epoch).
-      (void)svc.apply_updates({});
-      const serve::Epoch epoch = svc.publish();
-      const serve::SnapshotPtr snap = svc.snapshot();
-      *out << "publish: ";
-      print_epoch(epoch);
-      *out << " vertices=" << snap->graph.num_vertices()
-           << " edges=" << snap->graph.num_undirected_edges() << '\n';
-    } else if (command == "stats") {
-      // Bare `stats` keeps the one-line service summary; `stats json` /
-      // `stats prom` dump the full obs metric registry.
-      std::string mode;
-      tokens >> mode;
-      if (mode == "json") {
-        *out << obs::Registry::global().dump_json();
-      } else if (mode == "prom") {
-        *out << obs::Registry::global().dump_prometheus();
-      } else if (!mode.empty()) {
-        bad_line();
-        continue;
-      } else {
-        const auto s = svc.stats();
-        *out << "stats: ";
-        print_epoch(s.epoch);
-        *out << " cache_size=" << s.cache.size << " hits=" << s.cache.hits
-             << " misses=" << s.cache.misses
-             << " evictions=" << s.cache.evictions
-             << " point=" << s.point_queries
-             << " vertex=" << s.vertex_queries
-             << " batch=" << s.batch_queries << '\n';
-      }
-    } else {
-      bad_line();
-      continue;
-    }
-  }
-  out->flush();
-  return (out->good() && !had_error) ? 0 : 1;
-}
-
-/// Cross-check the pipeline's maintained per-edge counts against a
-/// from-scratch sequential MPS run on the materialized CSR. Returns a
-/// description of the first mismatch, empty when bit-identical.
-std::string verify_pipeline_counts(const update::UpdatePipeline& pipe,
-                                   const graph::Csr& g) {
-  const core::CountArray reference = core::count_sequential_mps(g, {});
-  for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    const auto nbrs = g.neighbors(u);
-    for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      const VertexId v = nbrs[k];
-      if (u >= v) continue;
-      const auto maintained = pipe.state().count(u, v);
-      const CnCount expected = reference[g.offset_begin(u) + k];
-      if (!maintained.has_value() || *maintained != expected) {
-        std::ostringstream oss;
-        oss << "edge (" << u << ", " << v << "): maintained="
-            << (maintained.has_value() ? std::to_string(*maintained)
-                                       : std::string("none"))
-            << " recount=" << expected;
-        return oss.str();
-      }
-    }
-  }
-  return {};
+  // The interpreter lives in the library (src/serve/session.cpp) so the
+  // fuzz harness drives the same parser; the CLI only wires the streams.
+  return serve::run_session(svc, *in, *out) ? 0 : 1;
 }
 
 int cmd_update(const util::CliArgs& args) {
+  require_known(args, {"in", "mutations", "out", "batch", "recount-advantage",
+                       "min-recount-batch", "max-vertices", "seq", "verify"});
   const std::string muts_path = args.get("mutations", "");
   if (muts_path.empty()) usage("--mutations=<path> is required");
   std::ifstream muts(muts_path);
@@ -677,81 +551,16 @@ int cmd_update(const util::CliArgs& args) {
       static_cast<std::size_t>(args.get_int("min-recount-batch", 16));
   cfg.max_vertices = static_cast<VertexId>(args.get_int("max-vertices", 0));
   cfg.recount_options.parallel = !args.get_bool("seq", false);
-  const bool verify = args.get_bool("verify", false);
+  const update::ReplayOptions replay{.verify = args.get_bool("verify", false)};
 
   // The pipeline seeds its maintained counts from the input graph; the
   // store gives every publish a real epoch, exactly as in the service.
   update::UpdatePipeline pipe(g, cfg);
   serve::SnapshotStore store(std::move(g));
 
-  bool ok = true;
-  std::string line;
-  std::uint64_t line_no = 0;
-  while (std::getline(muts, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream tokens(line);
-    std::string command;
-    tokens >> command;
-    if (command == "add" || command == "del" || command == "remove") {
-      VertexId u = 0;
-      VertexId v = 0;
-      if (!(tokens >> u >> v)) {
-        std::fprintf(stderr, "update: bad mutation at line %llu: %s\n",
-                     static_cast<unsigned long long>(line_no), line.c_str());
-        *out << "error: bad mutation at line " << line_no << ": " << line
-             << '\n';
-        ok = false;
-        continue;
-      }
-      const update::Mutation m{
-          command == "add" ? update::kAddEdge : update::kDelEdge, u, v};
-      // Stage through the bounded log; a full log sheds here, so drain
-      // (apply a policy-routed batch) and resubmit — the single-threaded
-      // analogue of the service's backpressure.
-      if (!pipe.try_submit(m)) {
-        (void)pipe.apply_pending();
-        (void)pipe.try_submit(m);
-      }
-    } else if (command == "publish") {
-      (void)pipe.apply_pending();
-      graph::Csr next = pipe.materialize();
-      const auto vertices = next.num_vertices();
-      const auto undirected = next.num_undirected_edges();
-      std::string mismatch;
-      if (verify) mismatch = verify_pipeline_counts(pipe, next);
-      const serve::Epoch epoch = store.publish(std::move(next));
-      *out << "publish: epoch=" << epoch << " vertices=" << vertices
-           << " edges=" << undirected;
-      if (verify) *out << " verify=" << (mismatch.empty() ? "ok" : "FAIL");
-      *out << '\n';
-      if (!mismatch.empty()) {
-        std::fprintf(stderr, "update: verify failed at epoch %llu: %s\n",
-                     static_cast<unsigned long long>(epoch), mismatch.c_str());
-        ok = false;
-      }
-    } else {
-      std::fprintf(stderr, "update: bad mutation at line %llu: %s\n",
-                   static_cast<unsigned long long>(line_no), line.c_str());
-      *out << "error: bad mutation at line " << line_no << ": " << line
-           << '\n';
-      ok = false;
-    }
-  }
-  // Trailing mutations without a publish still reach the state (and the
-  // totals line) — they are just never visible in a snapshot.
-  (void)pipe.apply_pending();
-
-  const update::ApplyReport totals = pipe.totals();
-  const update::MutationLogStats log_stats = pipe.log().stats();
-  *out << "update: batches=" << totals.batches
-       << " inserted=" << totals.inserted << " erased=" << totals.erased
-       << " noops=" << totals.noops << " rejected=" << totals.rejected
-       << " delta=" << totals.delta_batches
-       << " recount=" << totals.recount_batches
-       << " shed=" << log_stats.shed << '\n';
-  out->flush();
-  return (out->good() && ok) ? 0 : 1;
+  // The parser lives in the library (src/update/replay.cpp) so the fuzz
+  // harness drives the same code; the CLI only wires the streams.
+  return update::run_replay(pipe, store, muts, *out, replay) ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Lock-order inventory lint: every mutex is annotated and the order is acyclic.
+
+Clang Thread Safety Analysis checks *which* lock guards *what*, but its
+`acquired_before` attribute can only name members of the same class — the
+cross-component order (Service → UpdatePipeline → MutationLog → obs
+Registry, docs/checking.md §6) lives in structured comments instead. This
+lint makes those comments load-bearing:
+
+  1. Inventory: every mutex member in src/ is a `util::Mutex` or
+     `util::SpinLock` (raw `std::mutex` / `std::shared_mutex` members and
+     plain `std::condition_variable` are errors — the util wrappers and
+     `std::condition_variable_any` are the annotatable forms).
+  2. Declaration contract: every wrapper-typed mutex declares its place in
+     the global order, via either
+         // aecnc: acquired-before(Class::member_, ...)
+     (this mutex may be held while acquiring each listed target) or
+         // aecnc: lock-leaf(<reason>)
+     (nothing else is ever acquired under it), on the declaration or the
+     comment block immediately above. AECNC_ACQUIRED_BEFORE(member_)
+     attributes on the declaration are read as same-class edges too.
+  3. Graph: targets must resolve to inventoried mutexes (a rename that
+     orphans an edge fails the lint), and the resulting digraph must be
+     acyclic — a cycle in the declared order is a potential deadlock.
+
+Scope: src/ only. Class attribution is a lightweight brace scanner, good
+for this codebase's one-class-per-header style; regex-based by design so
+it runs without a compiler as a ctest entry.
+
+Exit status: 0 clean, 1 violations (printed one per line), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+WRAPPER_FILE = "src/util/annotations.hpp"
+
+MUTEX_DECL = re.compile(
+    r"\b(?:util::(?:Mutex|SpinLock))\s*&?\s+([A-Za-z_]\w*)\s*(?:;|\{|=)"
+)
+RAW_MUTEX = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex)\b"
+)
+RAW_CV = re.compile(r"\bstd::condition_variable\b(?!_any)")
+BEFORE_COMMENT = re.compile(r"aecnc:\s*acquired-before\(([^)]*)\)")
+LEAF_COMMENT = re.compile(r"aecnc:\s*lock-leaf\(")
+BEFORE_ATTR = re.compile(r"\bAECNC_ACQUIRED_BEFORE\(([^)]*)\)")
+SCOPE_HEAD = re.compile(r"\b(class|struct|namespace)\s+([A-Za-z_]\w*)")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def enclosing_class(code: str, offset: int) -> str | None:
+    """Innermost class/struct containing `offset`, via a brace scan.
+
+    Tracks a stack of open braces; a brace is a class scope when the
+    nearest preceding `class`/`struct` keyword (with no intervening `;`,
+    `{`, or `}`) introduces it. Function and namespace braces push
+    anonymous frames so member declarations inside function bodies still
+    attribute to the enclosing class (e.g. a static local mutex).
+    """
+    stack: list[str | None] = []
+    i = 0
+    while i < offset:
+        ch = code[i]
+        if ch == "{":
+            head_start = i
+            while head_start > 0 and code[head_start - 1] not in ";{}":
+                head_start -= 1
+            head = code[head_start:i]
+            name = None
+            last = None
+            for m in SCOPE_HEAD.finditer(head):
+                last = m
+            if last is not None and last.group(1) in ("class", "struct"):
+                name = last.group(2)
+            stack.append(name)
+        elif ch == "}":
+            if stack:
+                stack.pop()
+        i += 1
+    for name in reversed(stack):
+        if name is not None:
+            return name
+    return None
+
+
+class MutexInfo:
+    def __init__(self, rel: str, lineno: int, node: str):
+        self.rel = rel
+        self.lineno = lineno
+        self.node = node  # "Class::member" or "<file>::member"
+        self.edges: list[str] = []  # acquired-before targets
+        self.leaf = False
+        self.annotated = False
+
+
+def parse_targets(spec: str, owner_class: str | None) -> list[str]:
+    targets = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "::" not in item and owner_class is not None:
+            item = f"{owner_class}::{item}"
+        targets.append(item)
+    return targets
+
+
+def collect(repo: Path) -> tuple[list[MutexInfo], list[str]]:
+    errors: list[str] = []
+    mutexes: list[MutexInfo] = []
+    src = repo / "src"
+    files = sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp"))
+    for path in files:
+        rel = str(path.relative_to(repo))
+        if rel == WRAPPER_FILE:
+            continue
+        raw = path.read_text()
+        code = strip_comments(raw)
+        raw_lines = raw.split("\n")
+        code_lines = code.split("\n")
+        line_offsets = [0]
+        for line in code_lines[:-1]:
+            line_offsets.append(line_offsets[-1] + len(line) + 1)
+
+        for lineno, line in enumerate(code_lines, 1):
+            if RAW_MUTEX.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: raw std::mutex — use util::Mutex so "
+                    f"thread-safety analysis and this inventory see it"
+                )
+            if RAW_CV.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: std::condition_variable requires "
+                    f"std::unique_lock<std::mutex>; use "
+                    f"std::condition_variable_any with util::Mutex"
+                )
+
+        for lineno, line in enumerate(code_lines, 1):
+            decl = MUTEX_DECL.search(line)
+            if decl is None:
+                continue
+            # References/parameters alias an existing mutex, not a new one.
+            if "&" in line[: decl.start(1)]:
+                continue
+            member = decl.group(1)
+            owner = enclosing_class(code, line_offsets[lineno - 1])
+            node = f"{owner}::{member}" if owner else f"<{rel}>::{member}"
+            info = MutexInfo(rel, lineno, node)
+
+            # The contract comment sits on the declaration line or in the
+            # contiguous comment block directly above it.
+            window = [raw_lines[lineno - 1]]
+            k = lineno - 2
+            while k >= 0 and raw_lines[k].lstrip().startswith("//"):
+                window.append(raw_lines[k])
+                k -= 1
+            window_text = "\n".join(reversed(window))
+            # Multi-line comments split the target list across lines; join
+            # continuation comment lines before matching.
+            joined = re.sub(r"\n\s*//\s*", " ", window_text)
+
+            for m in BEFORE_COMMENT.finditer(joined):
+                info.annotated = True
+                info.edges += parse_targets(m.group(1), owner)
+            for m in BEFORE_ATTR.finditer(joined):
+                info.annotated = True
+                info.edges += parse_targets(m.group(1), owner)
+            if LEAF_COMMENT.search(joined):
+                info.annotated = True
+                info.leaf = True
+
+            if not info.annotated:
+                errors.append(
+                    f"{rel}:{lineno}: mutex `{node}` has no lock-order "
+                    f"annotation; add `// aecnc: acquired-before(...)` or "
+                    f"`// aecnc: lock-leaf(<reason>)` (docs/checking.md §6)"
+                )
+            if info.leaf and info.edges:
+                errors.append(
+                    f"{rel}:{lineno}: mutex `{node}` declared both "
+                    f"lock-leaf and acquired-before — pick one"
+                )
+            mutexes.append(info)
+    return mutexes, errors
+
+
+def check_graph(mutexes: list[MutexInfo]) -> list[str]:
+    errors: list[str] = []
+    nodes = {m.node for m in mutexes}
+    graph: dict[str, list[str]] = {m.node: [] for m in mutexes}
+    for m in mutexes:
+        for target in m.edges:
+            if target not in nodes:
+                errors.append(
+                    f"{m.rel}:{m.lineno}: acquired-before target "
+                    f"`{target}` does not name a known mutex "
+                    f"(inventory: {', '.join(sorted(nodes))})"
+                )
+                continue
+            graph[m.node].append(target)
+
+    # DFS cycle detection with path reporting.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    path: list[str] = []
+
+    def dfs(n: str) -> list[str] | None:
+        color[n] = GRAY
+        path.append(n)
+        for t in graph[n]:
+            if color[t] == GRAY:
+                return path[path.index(t) :] + [t]
+            if color[t] == WHITE:
+                cycle = dfs(t)
+                if cycle is not None:
+                    return cycle
+        path.pop()
+        color[n] = BLACK
+        return None
+
+    for n in sorted(graph):
+        if color[n] == WHITE:
+            cycle = dfs(n)
+            if cycle is not None:
+                errors.append(
+                    "lock-order cycle: " + " -> ".join(cycle)
+                    + " (a thread following one edge while another follows "
+                    "the other can deadlock)"
+                )
+                break
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+    if not (repo / "src").is_dir():
+        print(f"check_lock_order: no src/ under {repo}", file=sys.stderr)
+        return 2
+
+    mutexes, errors = collect(repo)
+    errors += check_graph(mutexes)
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_lock_order: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    edges = sum(len(m.edges) for m in mutexes)
+    leaves = sum(1 for m in mutexes if m.leaf)
+    print(
+        f"check_lock_order: OK ({len(mutexes)} mutexes, {edges} order "
+        f"edges, {leaves} leaves, graph acyclic)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Atomics memory-order lint: every atomic access states its contract.
+
+The concurrency-contract layer (src/util/annotations.hpp, docs/checking.md
+§6) makes lock-based protocols machine-checked via Clang Thread Safety
+Analysis — but lock-free atomics are invisible to that analysis, so this
+lint enforces the written rules for them instead:
+
+  1. No defaulted seq_cst operations: every load/store/RMW on an atomic
+     names an explicit std::memory_order. A bare `.load()` usually means
+     "I didn't think about ordering", and when it *is* deliberate the
+     explicit argument documents it at zero runtime cost.
+  2. No relaxed loads guarding data reads: `if`/`while` conditions on a
+     `memory_order_relaxed` load are the classic unsynchronized-flag bug
+     (the guarded data may not be visible yet). Acquire the flag, or
+     waiver the site with the reason the subsequent reads are safe.
+  3. No bare atomic members outside the annotated wrappers: every
+     `std::atomic` declared outside src/util/annotations.hpp carries a
+         // aecnc: atomic-ok(<reason>)
+     waiver on the declaration or an adjacent preceding line, naming the
+     protocol that makes lock-free access sound (monotonic stats counter,
+     RCU-style snapshot pointer, ...). The wrapper header itself is the
+     one place atomics may live undocumented — they *are* the wrappers.
+
+Waivers apply per site: an `aecnc: atomic-ok(...)` comment on the line or
+within the 3 lines above exempts that site from rules 1 and 2 as well.
+Scope: src/ only (tests and benches may use defaults). Heuristic and
+regex-based by design — no compiler needed, runs as a ctest entry.
+
+Exit status: 0 clean, 1 violations (printed one per line), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# The one file allowed to hold undocumented atomics: the annotated lock
+# wrappers themselves.
+WRAPPER_FILE = "src/util/annotations.hpp"
+
+ATOMIC_DECL = re.compile(
+    r"\bstd::atomic\s*<|\bstd::atomic_(?:bool|int|uint|flag|size_t)\b"
+)
+WAIVER = re.compile(r"aecnc:\s*atomic-ok\(")
+
+# Atomic member functions whose defaulted order is seq_cst.
+ATOMIC_METHODS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+)
+METHOD_CALL = re.compile(r"\.\s*(" + "|".join(ATOMIC_METHODS) + r")\s*\(")
+
+RELAXED_LOAD = re.compile(r"\.\s*load\s*\(\s*std::memory_order_relaxed\s*\)")
+CONDITION_HEAD = re.compile(r"\b(?:if|while)\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def waivered(raw_lines: list[str], lineno: int) -> bool:
+    """aecnc: atomic-ok(...) on this line or within the 3 lines above."""
+    lo = max(0, lineno - 4)
+    return any(WAIVER.search(raw_lines[k]) for k in range(lo, lineno))
+
+
+def balanced_args(code: str, open_paren: int) -> str:
+    """The argument text of the call whose '(' sits at open_paren."""
+    depth = 0
+    for j in range(open_paren, len(code)):
+        if code[j] == "(":
+            depth += 1
+        elif code[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren + 1 : j]
+    return code[open_paren + 1 :]
+
+
+def check_file(rel: str, raw: str) -> tuple[list[str], int, int]:
+    code = strip_comments(raw)
+    raw_lines = raw.split("\n")
+    code_lines = code.split("\n")
+    errors: list[str] = []
+    atomics = 0
+    waivers = 0
+
+    # Rule 3: atomic declarations need a waiver comment.
+    for lineno, line in enumerate(code_lines, 1):
+        if not ATOMIC_DECL.search(line):
+            continue
+        # Declarations only: skip casts/templates referencing the type in
+        # expressions — a declaration line ends in ';', '{', '}' or ','.
+        if not re.search(r"[;{},]\s*$", line.rstrip()):
+            continue
+        atomics += 1
+        if rel == WRAPPER_FILE:
+            continue
+        if waivered(raw_lines, lineno):
+            waivers += 1
+            continue
+        errors.append(
+            f"{rel}:{lineno}: std::atomic outside the annotated wrappers "
+            f"without an `// aecnc: atomic-ok(<reason>)` waiver "
+            f"(docs/checking.md §6)"
+        )
+
+    # Rule 1: every atomic operation names its memory order.
+    for match in METHOD_CALL.finditer(code):
+        lineno = code.count("\n", 0, match.start()) + 1
+        args = balanced_args(code, match.end() - 1)
+        if "memory_order" in args:
+            continue
+        if rel == WRAPPER_FILE or waivered(raw_lines, lineno):
+            continue
+        # compare_exchange with explicit success order covers failure too.
+        errors.append(
+            f"{rel}:{lineno}: .{match.group(1)}() with defaulted "
+            f"(seq_cst) memory order; state the order explicitly or add "
+            f"an `// aecnc: atomic-ok(<reason>)` waiver"
+        )
+
+    # Rule 2: relaxed loads must not guard control flow over shared data.
+    for lineno, line in enumerate(code_lines, 1):
+        if not RELAXED_LOAD.search(line):
+            continue
+        if not CONDITION_HEAD.search(line):
+            continue
+        if rel == WRAPPER_FILE or waivered(raw_lines, lineno):
+            continue
+        errors.append(
+            f"{rel}:{lineno}: relaxed load in an if/while condition — "
+            f"if the branch reads data the flag publishes, this needs "
+            f"acquire; otherwise waiver the site with the reason"
+        )
+
+    return errors, atomics, waivers
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+    src = repo / "src"
+    if not src.is_dir():
+        print(f"check_memory_order: no src/ under {repo}", file=sys.stderr)
+        return 2
+
+    files = sorted(src.rglob("*.cpp")) + sorted(src.rglob("*.hpp"))
+    errors: list[str] = []
+    total_atomics = 0
+    total_waivers = 0
+    for path in files:
+        rel = str(path.relative_to(repo))
+        file_errors, atomics, waivers = check_file(rel, path.read_text())
+        errors += file_errors
+        total_atomics += atomics
+        total_waivers += waivers
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(
+            f"check_memory_order: {len(errors)} violation(s)", file=sys.stderr
+        )
+        return 1
+    print(
+        f"check_memory_order: OK ({len(files)} files, "
+        f"{total_atomics} atomics, {total_waivers} waivered sites)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
