@@ -1,0 +1,193 @@
+// Sharded-engine bench: scaling of the 2D-partitioned message-passing
+// engine (src/shard/) against the sequential reference and the
+// shared-memory parallel driver, plus the transport's bytes-moved bill
+// and a flush-size sweep — gated by tools/bench_regress.py in CI.
+//
+// Three questions, one table each:
+//
+//   scaling:   p ∈ {1, 2, 4, 8} shards vs count_common_neighbors in
+//              sequential and parallel form. p=1 runs the plain row-store
+//              path with no column copies and no messages, so its only
+//              admissible cost over sequential is the partition copy —
+//              the gate holds it within 10% (p1_vs_seq_speedup >= 0.9).
+//   transport: messages and bytes through the aggregator per run at
+//              p ∈ {2, 4, 8}, from engine.transport_stats() (exact and
+//              deterministic, independent of the obs registry).
+//   flush:     run time at p=4 across flush_messages ∈ {16..8192} —
+//              the batching-vs-latency trade the aggregator exists for.
+//
+// Every sharded run is checked bit-identical against the sequential
+// counts before its timing is reported.
+//
+// Emits BENCH_shard.json next to the human-readable tables.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "shard/engine.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace aecnc;
+
+namespace {
+
+/// Best-of-reps wall time for one engine configuration; also verifies
+/// the counts against `oracle` on the first rep. Returns milliseconds.
+double time_sharded(const graph::Csr& g, const shard::ShardConfig& cfg,
+                    int reps, const core::CountArray& oracle,
+                    shard::AggregatorStats* stats_out) {
+  shard::ShardedEngine engine(g, cfg);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::WallTimer timer;
+    const core::CountArray cnt = engine.run();
+    const double ms = timer.millis();
+    if (r == 0 && cnt != oracle) {
+      std::fprintf(stderr, "FATAL: sharded counts diverge at p=%d\n",
+                   cfg.num_shards);
+      std::exit(1);
+    }
+    if (r == 0 || ms < best) best = ms;
+  }
+  if (stats_out != nullptr) {
+    // Inbox tallies accumulate over the engine's lifetime; message and
+    // byte counts are deterministic per run, so divide out the reps.
+    shard::AggregatorStats total = engine.transport_stats();
+    stats_out->messages = total.messages / static_cast<std::uint64_t>(reps);
+    stats_out->flushes = total.flushes / static_cast<std::uint64_t>(reps);
+    stats_out->bytes = total.bytes / static_cast<std::uint64_t>(reps);
+  }
+  return best;
+}
+
+double time_api(const graph::Csr& g, const core::Options& o, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::WallTimer timer;
+    const core::CountArray cnt = core::count_common_neighbors(g, o);
+    const double ms = timer.millis();
+    (void)cnt;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto options =
+      bench::parse_bench_options(args, {graph::DatasetId::kTwitter});
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const std::string json_path = args.get("json", "BENCH_shard.json");
+  bench::print_banner(
+      "Sharded engine: 2D partition + message aggregation",
+      "shards exchange aggregated messages instead of sharing memory; "
+      "p=1 must stay within noise of the sequential loop, and the "
+      "transport bill (messages x sizeof(Message)) is the price of the "
+      "seam",
+      options);
+
+  const auto id = options.datasets.front();
+  const auto g = bench::make_bench_graph(id, options.scale);
+
+  core::Options seq_opt;
+  seq_opt.algorithm = core::Algorithm::kMps;
+  seq_opt.parallel = false;
+  core::Options par_opt = seq_opt;
+  par_opt.parallel = true;
+
+  const core::CountArray oracle = core::count_common_neighbors(g.csr, seq_opt);
+  const double seq_ms = time_api(g.csr, seq_opt, reps);
+  const double par_ms = time_api(g.csr, par_opt, reps);
+
+  // Scaling sweep with per-p transport stats.
+  const std::vector<int> shard_counts{1, 2, 4, 8};
+  std::vector<double> p_ms;
+  std::vector<shard::AggregatorStats> p_stats;
+  for (const int p : shard_counts) {
+    shard::ShardConfig cfg;
+    cfg.num_shards = p;
+    shard::AggregatorStats stats{};
+    p_ms.push_back(time_sharded(g.csr, cfg, reps, oracle, &stats));
+    p_stats.push_back(stats);
+  }
+
+  // Flush-size sweep at p=4.
+  const std::vector<std::size_t> flush_sizes{16, 256, 1024, 8192};
+  std::vector<double> flush_ms;
+  for (const std::size_t f : flush_sizes) {
+    shard::ShardConfig cfg;
+    cfg.num_shards = 4;
+    cfg.flush_messages = f;
+    flush_ms.push_back(time_sharded(g.csr, cfg, reps, oracle, nullptr));
+  }
+
+  util::TablePrinter scaling({"config", "time", "vs seq", "msgs/run",
+                              "bytes/run"});
+  scaling.add_row({"sequential", util::format_fixed(seq_ms, 2) + " ms",
+                   "1.00x", "-", "-"});
+  scaling.add_row({"parallel", util::format_fixed(par_ms, 2) + " ms",
+                   util::format_fixed(seq_ms / par_ms, 2) + "x", "-", "-"});
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    scaling.add_row({"shards p=" + std::to_string(shard_counts[i]),
+                     util::format_fixed(p_ms[i], 2) + " ms",
+                     util::format_fixed(seq_ms / p_ms[i], 2) + "x",
+                     std::to_string(p_stats[i].messages),
+                     std::to_string(p_stats[i].bytes)});
+  }
+  scaling.print();
+
+  util::TablePrinter flush({"flush_messages", "time (p=4)"});
+  for (std::size_t i = 0; i < flush_sizes.size(); ++i) {
+    flush.add_row({std::to_string(flush_sizes[i]),
+                   util::format_fixed(flush_ms[i], 2) + " ms"});
+  }
+  flush.print();
+
+  const double p1_vs_seq = p_ms[0] > 0 ? seq_ms / p_ms[0] : 0.0;
+  std::printf("p=1 vs sequential: %.3fx (gate: >= 0.9)\n", p1_vs_seq);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"experiment\": \"shard\",\n"
+               "  \"dataset\": \"%.*s\",\n"
+               "  \"scale\": %g,\n"
+               "  \"edges\": %llu,\n"
+               "  \"reps\": %d,\n"
+               "  \"seq_ms\": %.3f,\n"
+               "  \"par_ms\": %.3f,\n",
+               static_cast<int>(graph::dataset_name(id).size()),
+               graph::dataset_name(id).data(), options.scale,
+               static_cast<unsigned long long>(g.csr.num_undirected_edges()),
+               reps, seq_ms, par_ms);
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    std::fprintf(json, "  \"p%d_ms\": %.3f,\n", shard_counts[i], p_ms[i]);
+  }
+  std::fprintf(json, "  \"p1_vs_seq_speedup\": %.3f,\n", p1_vs_seq);
+  for (std::size_t i = 1; i < shard_counts.size(); ++i) {
+    std::fprintf(json,
+                 "  \"p%d_transport\": {\"msgs_sent\": %llu, \"flushes\": "
+                 "%llu, \"bytes_moved\": %llu},\n",
+                 shard_counts[i],
+                 static_cast<unsigned long long>(p_stats[i].messages),
+                 static_cast<unsigned long long>(p_stats[i].flushes),
+                 static_cast<unsigned long long>(p_stats[i].bytes));
+  }
+  std::fprintf(json, "  \"flush_sweep\": {");
+  for (std::size_t i = 0; i < flush_sizes.size(); ++i) {
+    std::fprintf(json, "%s\"f%zu_ms\": %.3f", i == 0 ? "" : ", ",
+                 flush_sizes[i], flush_ms[i]);
+  }
+  std::fprintf(json, "}\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "graph/reorder.hpp"
 #include "intersect/dispatch.hpp"
 #include "obs/catalog.hpp"
+#include "shard/engine.hpp"
 
 namespace aecnc::core {
 namespace {
@@ -24,6 +25,14 @@ CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
   const obs::CoreMetrics& m = obs::CoreMetrics::get();
   if (obs::enabled()) m.runs.add();
   obs::ScopedTimer timer(m.run_ns);
+  if (options.num_shards > 0) {
+    shard::ShardConfig cfg;
+    cfg.num_shards = options.num_shards;
+    cfg.algorithm = options.algorithm;
+    cfg.mps = options.mps;
+    cfg.prefetch = options.prefetch;
+    return shard::count_sharded(g, cfg);
+  }
   if (options.parallel) return count_parallel(g, options);
   switch (options.algorithm) {
     case Algorithm::kMergeBaseline:

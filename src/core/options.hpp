@@ -61,6 +61,12 @@ struct Options {
   /// the contribution (see docs/perf.md).
   bool prefetch = true;
 
+  /// Sharded execution (src/shard/): > 0 routes the run through the
+  /// 2D-partitioned message-passing engine with this many shard workers,
+  /// overriding `parallel`. 0 (default) keeps the single-address-space
+  /// drivers.
+  int num_shards = 0;
+
   /// Parallelization (Algorithm 3): OpenMP dynamic scheduling with
   /// |T| = task_size edges per task. num_threads == 0 uses the OpenMP
   /// default. parallel == false runs the sequential reference loops.

@@ -48,6 +48,14 @@ Csr Csr::from_raw(std::vector<EdgeId> offsets,
   return g;
 }
 
+std::span<const VertexId> Csr::neighbors_in_range(VertexId u, VertexId lo,
+                                                  VertexId hi) const noexcept {
+  const auto nbrs = neighbors(u);
+  const auto first = std::lower_bound(nbrs.begin(), nbrs.end(), lo);
+  const auto last = std::lower_bound(first, nbrs.end(), hi);
+  return {first, last};
+}
+
 EdgeId Csr::find_edge(VertexId u, VertexId v) const noexcept {
   const auto begin = dst_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
   const auto end = dst_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);

@@ -66,6 +66,13 @@ class Csr {
     return offsets_[u + 1];
   }
 
+  /// The contiguous subrange of N(u) falling in the vertex range
+  /// [lo, hi): adjacency is sorted, so a column restriction — the 2D
+  /// partitioner's block extraction (src/shard/partition.cpp) — is two
+  /// binary searches, and the result aliases the CSR storage.
+  [[nodiscard]] std::span<const VertexId> neighbors_in_range(
+      VertexId u, VertexId lo, VertexId hi) const noexcept;
+
   /// The directed slot e(u, v), found by binary search on N(u).
   /// Returns num_directed_edges() when (u, v) is not an edge.
   [[nodiscard]] EdgeId find_edge(VertexId u, VertexId v) const noexcept;

@@ -82,11 +82,27 @@ const UpdateMetrics& UpdateMetrics::get() {
   return m;
 }
 
+const ShardMetrics& ShardMetrics::get() {
+  static const ShardMetrics m = [] {
+    Registry& r = Registry::global();
+    return ShardMetrics{
+        .runs = r.counter("shard.runs"),
+        .msgs_sent = r.counter("shard.msgs_sent"),
+        .flushes = r.counter("shard.flushes"),
+        .bytes_moved = r.counter("shard.bytes_moved"),
+        .backpressure_waits = r.counter("shard.backpressure_waits"),
+        .run_ns = r.histogram("shard.run_ns"),
+    };
+  }();
+  return m;
+}
+
 void register_all() {
   (void)KernelMetrics::get();
   (void)CoreMetrics::get();
   (void)ServeMetrics::get();
   (void)UpdateMetrics::get();
+  (void)ShardMetrics::get();
 }
 
 }  // namespace aecnc::obs

@@ -85,6 +85,18 @@ struct UpdateMetrics {
   [[nodiscard]] static const UpdateMetrics& get();
 };
 
+/// shard/: sharded-engine runs and aggregator transport traffic.
+struct ShardMetrics {
+  Counter& runs;               // shard.runs
+  Counter& msgs_sent;          // shard.msgs_sent
+  Counter& flushes;            // shard.flushes
+  Counter& bytes_moved;        // shard.bytes_moved
+  Counter& backpressure_waits; // shard.backpressure_waits
+  Histogram& run_ns;           // shard.run_ns (one sample per shard worker)
+
+  [[nodiscard]] static const ShardMetrics& get();
+};
+
 /// Force-register the whole catalog into Registry::global(). Dump-side
 /// callers (CLI stats, serve-session stats) use this so the dump shape
 /// does not depend on which kernels happened to execute.

@@ -53,6 +53,11 @@ struct ScheduleStats {
 ///
 /// run() is not reentrant: callers must serialize run() invocations
 /// (the query engine does so with its batch mutex).
+///
+/// Deliberately NOT used by the sharded engine (src/shard/engine.hpp):
+/// shard workers are stateful peers that block on message exchange with
+/// each other, not interchangeable consumers of a shared index range, so
+/// they get dedicated threads per run instead of pool slots.
 class WorkerPool {
  public:
   using Body =

@@ -1,0 +1,85 @@
+#include "shard/aggregator.hpp"
+
+#include <utility>
+
+#include "obs/catalog.hpp"
+
+namespace aecnc::shard {
+
+MessageAggregator::MessageAggregator(int num_shards,
+                                     std::size_t flush_messages,
+                                     std::size_t inbox_capacity)
+    : num_shards_(num_shards),
+      flush_messages_(flush_messages == 0 ? 1 : flush_messages),
+      inbox_capacity_(inbox_capacity == 0 ? 1 : inbox_capacity),
+      outboxes_(static_cast<std::size_t>(num_shards) *
+                static_cast<std::size_t>(num_shards)),
+      inboxes_(static_cast<std::size_t>(num_shards)) {}
+
+bool MessageAggregator::append(int src, int dst, const Message& msg) {
+  Batch& box = outbox(src, dst);
+  box.push_back(msg);
+  return box.size() >= flush_messages_;
+}
+
+bool MessageAggregator::try_flush(int src, int dst) {
+  Batch& box = outbox(src, dst);
+  if (box.empty()) return true;
+  const std::uint64_t n = box.size();
+  Inbox& in = inboxes_[static_cast<std::size_t>(dst)];
+  {
+    util::MutexLock lock(&in.mutex_);
+    if (in.queue_.size() >= inbox_capacity_) return false;
+    in.queue_.push_back(std::move(box));
+    in.messages_in_ += n;
+    in.batches_in_ += 1;
+  }
+  box.clear();  // moved-from; make the outbox explicitly empty again
+  if (obs::enabled()) [[unlikely]] {
+    const obs::ShardMetrics& m = obs::ShardMetrics::get();
+    m.msgs_sent.add(n);
+    m.flushes.add();
+    m.bytes_moved.add(n * sizeof(Message));
+  }
+  return true;
+}
+
+bool MessageAggregator::flush_all(int src) {
+  bool all = true;
+  for (int dst = 0; dst < num_shards_; ++dst) {
+    if (dst == src) continue;
+    all = try_flush(src, dst) && all;
+  }
+  return all;
+}
+
+bool MessageAggregator::try_pop(int dst, Batch& out) {
+  Inbox& in = inboxes_[static_cast<std::size_t>(dst)];
+  util::MutexLock lock(&in.mutex_);
+  if (in.queue_.empty()) return false;
+  out = std::move(in.queue_.front());
+  in.queue_.pop_front();
+  return true;
+}
+
+bool MessageAggregator::outboxes_empty(int src) const noexcept {
+  const std::size_t row =
+      static_cast<std::size_t>(src) * static_cast<std::size_t>(num_shards_);
+  for (int dst = 0; dst < num_shards_; ++dst) {
+    if (!outboxes_[row + static_cast<std::size_t>(dst)].empty()) return false;
+  }
+  return true;
+}
+
+AggregatorStats MessageAggregator::stats() const {
+  AggregatorStats s;
+  for (const Inbox& in : inboxes_) {
+    util::MutexLock lock(&in.mutex_);
+    s.messages += in.messages_in_;
+    s.flushes += in.batches_in_;
+  }
+  s.bytes = s.messages * sizeof(Message);
+  return s;
+}
+
+}  // namespace aecnc::shard

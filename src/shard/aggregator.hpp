@@ -1,0 +1,103 @@
+// Buffered message aggregation between shards (docs/sharding.md).
+//
+// In the spirit of Grappa's RDMAAggregator and Sanders & Uhl's buffered
+// exchanges (arXiv 2302.11443): fine-grained per-edge messages are
+// appended to per-(src, dst) outboxes — thread-confined to the sending
+// shard, so appends are lock-free — and move between shards only as
+// whole batches, pushed into the destination's bounded inbox under a
+// short leaf lock. The inbox bound is the backpressure signal: a full
+// inbox makes try_flush fail and the engine's sender drains its own
+// inbox while it waits (engine.cpp), which is what keeps the protocol
+// deadlock-free without unbounded buffering.
+//
+// This queue layer is the transport-swap seam: replacing Batch handoff
+// with a socket/RDMA write leaves every caller unchanged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "shard/message.hpp"
+#include "util/annotations.hpp"
+
+namespace aecnc::shard {
+
+/// Cumulative transport counters, independent of the obs layer so
+/// benches can report bytes-moved with metrics compiled out.
+struct AggregatorStats {
+  std::uint64_t messages = 0;  // messages delivered into inboxes
+  std::uint64_t flushes = 0;   // batches moved
+  std::uint64_t bytes = 0;     // messages * sizeof(Message)
+};
+
+class MessageAggregator {
+ public:
+  using Batch = std::vector<Message>;
+
+  /// `flush_messages`: outbox size at which append() asks the caller to
+  /// flush. `inbox_capacity`: max pending batches per inbox before
+  /// try_flush reports backpressure.
+  MessageAggregator(int num_shards, std::size_t flush_messages,
+                    std::size_t inbox_capacity);
+
+  MessageAggregator(const MessageAggregator&) = delete;
+  MessageAggregator& operator=(const MessageAggregator&) = delete;
+
+  [[nodiscard]] int num_shards() const noexcept { return num_shards_; }
+  [[nodiscard]] std::size_t flush_messages() const noexcept {
+    return flush_messages_;
+  }
+
+  /// Append one message to the (src, dst) outbox. Thread-confined: only
+  /// shard src's thread may call this. Returns true when the outbox
+  /// reached the flush threshold — the caller decides when to flush so
+  /// it can run its backpressure drain loop at a safe depth.
+  bool append(int src, int dst, const Message& msg);
+
+  /// Move the (src, dst) outbox into dst's inbox as one batch. Returns
+  /// false (leaving the outbox intact) when the inbox is at capacity;
+  /// true when the outbox was empty or the batch was delivered.
+  [[nodiscard]] bool try_flush(int src, int dst);
+
+  /// try_flush toward every destination. Returns true when every outbox
+  /// of src is now empty.
+  [[nodiscard]] bool flush_all(int src);
+
+  /// Pop one pending batch from dst's inbox. Only shard dst's thread
+  /// consumes its inbox, but producers push concurrently.
+  [[nodiscard]] bool try_pop(int dst, Batch& out);
+
+  /// True when every outbox of src has been flushed.
+  [[nodiscard]] bool outboxes_empty(int src) const noexcept;
+
+  /// Snapshot of the cumulative transport counters (sums the per-inbox
+  /// tallies under their leaf locks).
+  [[nodiscard]] AggregatorStats stats() const;
+
+ private:
+  /// One bounded mailbox per destination shard. The mutex is innermost
+  /// by construction: nothing is acquired while holding it.
+  struct Inbox {
+    // aecnc: lock-leaf(guards only this deque and its tallies; no other
+    // lock is ever taken under it)
+    mutable util::Mutex mutex_;
+    std::deque<Batch> queue_ AECNC_GUARDED_BY(mutex_);
+    std::uint64_t messages_in_ AECNC_GUARDED_BY(mutex_) = 0;
+    std::uint64_t batches_in_ AECNC_GUARDED_BY(mutex_) = 0;
+  };
+
+  [[nodiscard]] Batch& outbox(int src, int dst) noexcept {
+    return outboxes_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(num_shards_) +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  const int num_shards_;
+  const std::size_t flush_messages_;
+  const std::size_t inbox_capacity_;
+  std::vector<Batch> outboxes_;        // p×p, row-major by src
+  std::vector<Inbox> inboxes_;         // one per destination shard
+};
+
+}  // namespace aecnc::shard

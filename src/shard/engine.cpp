@@ -1,0 +1,255 @@
+#include "shard/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "bitmap/bitmap.hpp"
+#include "intersect/counters.hpp"
+#include "intersect/dispatch.hpp"
+#include "intersect/merge.hpp"
+#include "obs/catalog.hpp"
+
+namespace aecnc::shard {
+
+/// Per-run, per-shard working set. Owned by run()'s stack; each worker
+/// touches only its own entry, so the states need no locking.
+struct ShardedEngine::ShardState {
+  core::CountArray cnt;  // owned slot range, indexed by slot - slot_base
+
+  /// A forward edge whose other endpoint lives elsewhere: after replies
+  /// are folded, the final count ships to `mirror_shard` as a kMirror
+  /// targeting global slot `mirror_slot` = e(v, u).
+  struct CrossEdge {
+    EdgeId local;
+    EdgeId mirror_slot;
+    int mirror_shard;
+  };
+  std::vector<CrossEdge> cross;
+
+  bitmap::Bitmap bitmap;  // kBmp local kernel only; empty otherwise
+  MessageAggregator::Batch batch;  // reused pop buffer
+  std::uint64_t backpressure_waits = 0;
+};
+
+ShardedEngine::ShardedEngine(const graph::Csr& g, const ShardConfig& config)
+    : config_(config),
+      partition_(g, config.num_shards),
+      aggregator_(partition_.num_shards(), config.flush_messages,
+                  config.inbox_capacity),
+      barrier_(partition_.num_shards()) {}
+
+void ShardedEngine::apply(int s, const Message& msg, ShardState& st) {
+  const ShardBlock& blk = partition_.shard(s);
+  switch (msg.type) {
+    case MessageType::kCountRequest: {
+      // Serve |N_s(u) ∩ N_s(v)| from the column store. Replies are
+      // append-only sends: apply() can run inside a backpressure drain,
+      // where attempting a nested flush could recurse unboundedly.
+      intersect::MpsConfig mps = config_.mps;
+      mps.prefetch = config_.prefetch;
+      const CnCount partial = intersect::mps_count(
+          blk.col_neighbors(msg.u), blk.col_neighbors(msg.v), mps);
+      if (partial > 0) {
+        send(s, partition_.owner(msg.u),
+             Message{MessageType::kCountReply, msg.u, msg.v, msg.slot,
+                     partial},
+             st, /*may_flush=*/false);
+      }
+      break;
+    }
+    case MessageType::kCountReply:
+      // Commutative fold into the requester's own forward slot; the
+      // local partial was stored before the request went out, so any
+      // arrival order is correct.
+      st.cnt[msg.slot - blk.slot_base] +=
+          static_cast<CnCount>(msg.value);
+      break;
+    case MessageType::kMirror:
+      // Mirror slots of cross edges are backward slots no other write
+      // targets, so a plain store at any time is race-free.
+      st.cnt[msg.slot - blk.slot_base] = static_cast<CnCount>(msg.value);
+      break;
+  }
+}
+
+void ShardedEngine::drain_and_process(int s, ShardState& st) {
+  if (!aggregator_.try_pop(s, st.batch)) return;
+  for (const Message& msg : st.batch) apply(s, msg, st);
+  st.batch.clear();
+}
+
+void ShardedEngine::send(int s, int dst, const Message& msg, ShardState& st,
+                         bool may_flush) {
+  if (!aggregator_.append(s, dst, msg) || !may_flush) return;
+  while (!aggregator_.try_flush(s, dst)) {
+    // Destination inbox is full: make progress on our own inbox so the
+    // peer blocked on *us* (or on anyone) eventually drains us too.
+    ++st.backpressure_waits;
+    drain_and_process(s, st);
+    std::this_thread::yield();
+  }
+}
+
+void ShardedEngine::flush_all_blocking(int s, ShardState& st) {
+  while (!aggregator_.flush_all(s)) {
+    ++st.backpressure_waits;
+    drain_and_process(s, st);
+    std::this_thread::yield();
+  }
+}
+
+void ShardedEngine::barrier_wait(int s, ShardState& st) {
+  const std::uint64_t gen = barrier_.arrive();
+  while (!barrier_.passed(gen)) {
+    // Drain while waiting: a peer may be blocked flushing into us, and
+    // sleeping here would deadlock barrier against backpressure.
+    drain_and_process(s, st);
+    std::this_thread::yield();
+  }
+}
+
+void ShardedEngine::shard_main(int s, ShardState& st) {
+  obs::ScopedTimer timer(obs::ShardMetrics::get().run_ns);
+  const ShardBlock& blk = partition_.shard(s);
+  const int p = partition_.num_shards();
+  const std::vector<VertexId>& bounds = partition_.boundaries();
+  intersect::MpsConfig mps = config_.mps;
+  mps.prefetch = config_.prefetch;
+  intersect::NullCounter null;
+
+  st.cnt.assign(static_cast<std::size_t>(blk.num_owned_slots()), 0);
+  st.cross.clear();
+  if (config_.algorithm == core::Algorithm::kBmp &&
+      st.bitmap.cardinality() < partition_.num_vertices()) {
+    st.bitmap = bitmap::Bitmap(partition_.num_vertices());
+  }
+
+  // Phase A: full local intersections for shard-internal edges;
+  // own-column partials plus CountRequest fan-out for cross edges.
+  for (VertexId u = blk.vbegin; u < blk.vend; ++u) {
+    const auto nbrs = blk.neighbors(u);
+    const EdgeId row_base = blk.row_offsets[u - blk.vbegin];
+    bool built = false;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId v = nbrs[k];
+      if (u >= v) continue;
+      const EdgeId local = row_base + static_cast<EdgeId>(k);
+      if (v < blk.vend) {
+        // Both endpoints owned: the full adjacencies are local, run the
+        // configured kernel exactly as the sequential drivers do.
+        CnCount c = 0;
+        switch (config_.algorithm) {
+          case core::Algorithm::kMergeBaseline:
+            c = intersect::merge_count(nbrs, blk.neighbors(v), null);
+            break;
+          case core::Algorithm::kMps:
+            c = intersect::mps_count(nbrs, blk.neighbors(v), mps);
+            break;
+          case core::Algorithm::kBmp:
+            if (!built) {
+              st.bitmap.set_all(nbrs);
+              built = true;
+            }
+            c = bitmap::bitmap_intersect_count(st.bitmap, blk.neighbors(v),
+                                               null, config_.prefetch);
+            break;
+        }
+        st.cnt[local] = c;
+        st.cnt[blk.rev[local] - blk.slot_base] = c;
+      } else {
+        // Cross edge: store our column's partial first (replies fold
+        // into it), then fan a request out to every shard that holds a
+        // non-empty column of N(u).
+        st.cnt[local] = intersect::mps_count(blk.col_neighbors(u),
+                                             blk.col_neighbors(v), mps);
+        const int mirror_shard = partition_.owner(v);
+        st.cross.push_back({local, blk.rev[local], mirror_shard});
+        const Message req{MessageType::kCountRequest, u, v,
+                          blk.slot_base + local, 0};
+        auto it = nbrs.begin();
+        for (int j = 0; j < p && it != nbrs.end(); ++j) {
+          const auto next = std::lower_bound(it, nbrs.end(), bounds[j + 1]);
+          if (j != s && next != it) send(s, j, req, st, /*may_flush=*/true);
+          it = next;
+        }
+      }
+    }
+    if (built) st.bitmap.clear_all(nbrs);
+  }
+  flush_all_blocking(s, st);
+  barrier_wait(s, st);
+
+  // Phase B: every request addressed to us was delivered before the
+  // barrier passed, so one drain-to-empty serves them all. Opportunistic
+  // flushes keep reply batches flowing at the configured size.
+  while (aggregator_.try_pop(s, st.batch)) {
+    for (const Message& msg : st.batch) apply(s, msg, st);
+    st.batch.clear();
+    (void)aggregator_.flush_all(s);
+  }
+  flush_all_blocking(s, st);
+  barrier_wait(s, st);
+
+  // Phase C: all replies are in; fold any still queued, then ship each
+  // cross edge's final count to its mirror slot's owner.
+  while (aggregator_.try_pop(s, st.batch)) {
+    for (const Message& msg : st.batch) apply(s, msg, st);
+    st.batch.clear();
+  }
+  for (const ShardState::CrossEdge& ce : st.cross) {
+    send(s, ce.mirror_shard,
+         Message{MessageType::kMirror, 0, 0, ce.mirror_slot,
+                 st.cnt[ce.local]},
+         st, /*may_flush=*/true);
+  }
+  flush_all_blocking(s, st);
+  barrier_wait(s, st);
+
+  // Phase D: apply the mirrors; nothing sends after this point.
+  while (aggregator_.try_pop(s, st.batch)) {
+    for (const Message& msg : st.batch) apply(s, msg, st);
+    st.batch.clear();
+  }
+}
+
+core::CountArray ShardedEngine::run() {
+  util::MutexLock lock(&run_mutex_);
+  const obs::ShardMetrics& metrics = obs::ShardMetrics::get();
+  if (obs::enabled()) [[unlikely]] metrics.runs.add();
+
+  const int p = partition_.num_shards();
+  std::vector<ShardState> states(static_cast<std::size_t>(p));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(p) - 1);
+  for (int s = 1; s < p; ++s) {
+    workers.emplace_back(
+        [this, s, &states] { shard_main(s, states[static_cast<std::size_t>(s)]); });
+  }
+  shard_main(0, states[0]);
+  for (std::thread& t : workers) t.join();
+
+  if (obs::enabled()) [[unlikely]] {
+    std::uint64_t waits = 0;
+    for (const ShardState& st : states) waits += st.backpressure_waits;
+    metrics.backpressure_waits.add(waits);
+  }
+
+  if (p == 1) return std::move(states[0].cnt);
+  core::CountArray cnt(
+      static_cast<std::size_t>(partition_.num_directed_edges()), 0);
+  for (int s = 0; s < p; ++s) {
+    const ShardBlock& blk = partition_.shard(s);
+    std::copy(states[static_cast<std::size_t>(s)].cnt.begin(),
+              states[static_cast<std::size_t>(s)].cnt.end(),
+              cnt.begin() + static_cast<std::ptrdiff_t>(blk.slot_base));
+  }
+  return cnt;
+}
+
+core::CountArray count_sharded(const graph::Csr& g, const ShardConfig& config) {
+  ShardedEngine engine(g, config);
+  return engine.run();
+}
+
+}  // namespace aecnc::shard

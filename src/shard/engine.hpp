@@ -1,0 +1,132 @@
+// The sharded all-edge counting driver (docs/sharding.md).
+//
+// p shard workers (shard 0 runs on the calling thread) each count their
+// owned forward edges over a Partition2D, exchanging the cross-shard
+// parts of each intersection as aggregated messages: the count of an
+// edge (u, v) decomposes exactly as Σ_j |N_j(u) ∩ N_j(v)| over the
+// destination columns, so the sharded result is bit-identical to the
+// sequential oracle for every kernel and shard count.
+//
+// The run is a four-phase BSP schedule with drain-while-waiting barriers
+// (a shard blocked on a full inbox or at a barrier keeps applying its
+// own inbox, which makes backpressure deadlock-free):
+//   A: local counts + own-column partials, CountRequests out
+//   B: serve CountRequests from the column store, CountReplies out
+//   C: fold replies, Mirror messages out for cross-owner mirror slots
+//   D: apply mirrors
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "shard/aggregator.hpp"
+#include "shard/partition.hpp"
+#include "util/annotations.hpp"
+
+namespace aecnc::shard {
+
+/// Reusable generation barrier for the BSP supersteps. arrive() returns
+/// the generation the caller must wait for; waiters poll passed() so
+/// they can keep draining their inbox between checks instead of
+/// sleeping (blocking here could deadlock against a full inbox).
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int parties) : parties_(parties) {}
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  [[nodiscard]] std::uint64_t arrive() {
+    util::MutexLock lock(&mutex_);
+    const std::uint64_t target =
+        generation_.load(std::memory_order_relaxed) + 1;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      generation_.store(target, std::memory_order_release);
+    }
+    return target;
+  }
+
+  [[nodiscard]] bool passed(std::uint64_t target) const noexcept {
+    return generation_.load(std::memory_order_acquire) >= target;
+  }
+
+ private:
+  const int parties_;
+  // aecnc: lock-leaf(guards only the arrival count; the generation
+  // publish is an atomic store made under it)
+  util::Mutex mutex_;
+  int waiting_ AECNC_GUARDED_BY(mutex_) = 0;
+  // aecnc: atomic-ok(monotonic generation; the last arriver's release
+  // store under mutex_ pairs with waiters' acquire loads in passed())
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+struct ShardConfig {
+  /// Number of shard workers p (the partition is p×p). Clamped to >= 1.
+  int num_shards = 1;
+  /// Outbox batch size at which a send triggers a flush attempt.
+  std::size_t flush_messages = 1024;
+  /// Pending-batch bound per inbox (the backpressure knob).
+  std::size_t inbox_capacity = 64;
+  /// Kernel for whole-adjacency local intersections; cross-shard
+  /// partials always use the skew-aware MPS dispatch.
+  core::Algorithm algorithm = core::Algorithm::kMps;
+  intersect::MpsConfig mps{};
+  bool prefetch = true;
+};
+
+class ShardedEngine {
+ public:
+  /// Builds the partition up front; run() is then repeatable (the bench
+  /// times run() alone, like the other drivers).
+  ShardedEngine(const graph::Csr& g, const ShardConfig& config);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// One full sharded count: spawns p-1 workers, runs shard 0 inline,
+  /// returns counts in global directed-slot order. Thread-safe;
+  /// concurrent calls serialize on run_mutex_.
+  [[nodiscard]] core::CountArray run();
+
+  [[nodiscard]] const Partition2D& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] const ShardConfig& config() const noexcept { return config_; }
+
+  /// Cumulative transport traffic across all run() calls so far.
+  [[nodiscard]] AggregatorStats transport_stats() const {
+    return aggregator_.stats();
+  }
+
+ private:
+  struct ShardState;
+
+  void shard_main(int s, ShardState& st);
+  void drain_and_process(int s, ShardState& st);
+  void send(int s, int dst, const Message& msg, ShardState& st,
+            bool may_flush);
+  void flush_all_blocking(int s, ShardState& st);
+  void barrier_wait(int s, ShardState& st);
+  void apply(int s, const Message& msg, ShardState& st);
+
+  const ShardConfig config_;
+  const Partition2D partition_;
+  MessageAggregator aggregator_;
+  PhaseBarrier barrier_;
+  // Serializes run(): per-run shard state and the aggregator's outboxes
+  // assume one driver at a time. Shard 0 executes on the calling thread
+  // under this lock, so the queue/barrier leaf locks and the first obs
+  // registration nest inside it.
+  // aecnc: acquired-before(MessageAggregator::Inbox::mutex_,
+  //   PhaseBarrier::mutex_, Registry::mutex_)
+  util::Mutex run_mutex_;
+};
+
+/// Convenience one-shot: partition + run.
+[[nodiscard]] core::CountArray count_sharded(const graph::Csr& g,
+                                             const ShardConfig& config);
+
+}  // namespace aecnc::shard

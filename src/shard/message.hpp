@@ -1,0 +1,45 @@
+// The message taxonomy of the sharded counting engine (docs/sharding.md).
+//
+// Every datum that crosses a shard boundary travels as one of these fixed
+// 32-byte records — shards never dereference another shard's memory, so
+// swapping the in-process queue transport for a socket/RDMA one is a
+// matter of serializing `Message` arrays, not touching kernels.
+//
+// The protocol is type-dispatched and order-free: applying any message is
+// correct whenever it arrives (partial-count adds are commutative, mirror
+// stores target slots disjoint from every other write), which is what
+// lets a backpressured sender drain and apply its own inbox while blocked
+// without tracking phases per message.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace aecnc::shard {
+
+enum class MessageType : std::uint8_t {
+  /// "How many of YOUR vertices neighbor both u and v?" Sent by the owner
+  /// of a forward edge (u, v) to every shard j with N_j(u) non-empty;
+  /// `slot` is the requester's global forward slot e(u, v).
+  kCountRequest,
+  /// Answer to a kCountRequest: `value` = |N_j(u) ∩ N_j(v)| over the
+  /// responder's vertex column, echoed back with the requester's `slot`.
+  /// Zero partials are elided at the source.
+  kCountReply,
+  /// Symmetric assignment across the boundary: `slot` is the global
+  /// mirror slot e(v, u) owned by the receiver, `value` the final count.
+  kMirror,
+};
+
+struct Message {
+  MessageType type = MessageType::kCountRequest;
+  VertexId u = 0;
+  VertexId v = 0;
+  EdgeId slot = 0;
+  std::uint64_t value = 0;
+};
+
+static_assert(sizeof(Message) <= 32, "messages are fixed small records");
+
+}  // namespace aecnc::shard

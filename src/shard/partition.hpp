@@ -1,0 +1,110 @@
+// 2D partition of a CSR into a p×p grid of blocks (docs/sharding.md).
+//
+// Vertices are split into p contiguous ranges V_0..V_{p-1}, balanced by
+// directed-slot count (Tom & Karypis, arXiv 1907.09575: a 2D split
+// bounds both per-shard memory and the number of peers a wedge
+// computation can touch). Shard s owns the vertex range V_s and the
+// directed slot range of those rows; block (s, j) of the logical grid is
+// the adjacency of V_s restricted to destination column V_j.
+//
+// Because adjacency lists are sorted and vertex ranges are contiguous,
+// every block is a contiguous subrange of a row — the partitioner
+// materializes per-shard copies (a row store, a column store, and a
+// mirror-slot map) so the engine's shards touch only their own arrays.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::shard {
+
+/// Everything shard s owns. All arrays are private copies: the engine's
+/// strict no-shared-dereference discipline starts here.
+struct ShardBlock {
+  VertexId vbegin = 0;   // owned vertex range [vbegin, vend)
+  VertexId vend = 0;
+  EdgeId slot_base = 0;  // owned directed-slot range [slot_base, slot_end)
+  EdgeId slot_end = 0;
+
+  /// Row store: the full sorted adjacency of every owned vertex.
+  /// row_offsets is rebased so owned vertex u lives at u - vbegin.
+  std::vector<EdgeId> row_offsets;       // (vend - vbegin) + 1
+  util::AlignedVector<VertexId> row_dst;  // slot_end - slot_base
+
+  /// Column store: N(x) ∩ V_s for EVERY global vertex x — block (j, s)
+  /// for all j, which is what serving cross-shard count requests needs.
+  /// Left empty at p == 1 (no cross-shard work exists).
+  std::vector<EdgeId> col_offsets;        // |V| + 1, or empty
+  util::AlignedVector<VertexId> col_dst;
+
+  /// Mirror map: global slot e(v, u) for every owned slot e(u, v) —
+  /// the owner map for edges that lets a mirror message carry its
+  /// destination slot instead of a (v, u) pair to re-search.
+  util::AlignedVector<EdgeId> rev;        // slot_end - slot_base
+
+  [[nodiscard]] VertexId num_owned() const noexcept { return vend - vbegin; }
+  [[nodiscard]] EdgeId num_owned_slots() const noexcept {
+    return slot_end - slot_base;
+  }
+
+  /// Full adjacency of an owned vertex u (vbegin <= u < vend).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const noexcept {
+    const VertexId local = u - vbegin;
+    return {row_dst.data() + row_offsets[local],
+            row_dst.data() + row_offsets[local + 1]};
+  }
+
+  /// N(x) ∩ V_s for any global vertex x. Only valid when p > 1.
+  [[nodiscard]] std::span<const VertexId> col_neighbors(
+      VertexId x) const noexcept {
+    return {col_dst.data() + col_offsets[x],
+            col_dst.data() + col_offsets[x + 1]};
+  }
+};
+
+class Partition2D {
+ public:
+  /// Split `g` into `num_shards` blocks. num_shards is clamped to
+  /// [1, max(1, |V|)]; the split is deterministic in (g, num_shards).
+  Partition2D(const graph::Csr& g, int num_shards);
+
+  [[nodiscard]] int num_shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] EdgeId num_directed_edges() const noexcept {
+    return num_directed_edges_;
+  }
+
+  /// The shard owning vertex v.
+  [[nodiscard]] int owner(VertexId v) const noexcept;
+
+  [[nodiscard]] const ShardBlock& shard(int s) const noexcept {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Vertex range boundaries: shard s owns [boundaries()[s],
+  /// boundaries()[s+1]). Size num_shards() + 1.
+  [[nodiscard]] const std::vector<VertexId>& boundaries() const noexcept {
+    return boundaries_;
+  }
+
+  /// Rebuild the original CSR from the per-shard copies (column stores
+  /// when p > 1, the row store at p == 1). Test hook for the
+  /// partition → reassemble round-trip property.
+  [[nodiscard]] graph::Csr reassemble() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeId num_directed_edges_ = 0;
+  std::vector<VertexId> boundaries_;  // num_shards + 1
+  std::vector<ShardBlock> shards_;
+};
+
+}  // namespace aecnc::shard

@@ -9,7 +9,7 @@
 //                        --obs-clock=fake]
 //   aecnc_cli count     --in=... --out=counts.txt
 //                       [--algo=mps|bmp|m] [--rf] [--kernel=...]
-//                       [--threads=0] [--seq]
+//                       [--threads=0] [--seq] [--shards=p]
 //   aecnc_cli triangles --in=...  [--algo=merge|hash|all-edge]
 //   aecnc_cli scan      --in=... --eps=0.5 --mu=3 [--out=clusters.txt]
 //   aecnc_cli verify    --in=...   (all algorithm variants vs brute force)
@@ -238,12 +238,15 @@ int cmd_stats(const util::CliArgs& args) {
 
 int cmd_count(const util::CliArgs& args) {
   require_known(args,
-                {"in", "out", "algo", "rf", "kernel", "threads", "seq"});
+                {"in", "out", "algo", "rf", "kernel", "threads", "seq",
+                 "shards"});
   const graph::Csr g = load_graph(args);
   core::Options opt = parse_algo_options(args);
   const std::string algo = args.get("algo", "mps");
   opt.parallel = !args.get_bool("seq", false);
   opt.num_threads = static_cast<int>(args.get_int("threads", 0));
+  opt.num_shards = static_cast<int>(args.get_int("shards", 0));
+  if (opt.num_shards < 0) usage("--shards must be >= 0");
 
   util::WallTimer timer;
   const auto counts = opt.algorithm == core::Algorithm::kBmp

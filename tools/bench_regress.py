@@ -90,6 +90,29 @@ REQUIRED_KEYS = {
         "crossover_batch",
         "policy_crossover_batch",
     ],
+    "shard": [
+        "dataset",
+        "scale",
+        "edges",
+        "reps",
+        "seq_ms",
+        "par_ms",
+        "p1_ms",
+        "p2_ms",
+        "p4_ms",
+        "p8_ms",
+        "p1_vs_seq_speedup",
+        "p2_transport.msgs_sent",
+        "p2_transport.bytes_moved",
+        "p4_transport.msgs_sent",
+        "p4_transport.bytes_moved",
+        "p8_transport.msgs_sent",
+        "p8_transport.bytes_moved",
+        "flush_sweep.f16_ms",
+        "flush_sweep.f256_ms",
+        "flush_sweep.f1024_ms",
+        "flush_sweep.f8192_ms",
+    ],
 }
 
 # The reverse-index path may be at most 10% slower than find_edge before
@@ -168,6 +191,20 @@ def check_invariants(data: dict, path: Path) -> list[str]:
             errors.append(
                 f"{path}: delta maintenance no longer beats a full recount "
                 f"at batch size 1 (small_batch_speedup {speedup:.3f} < 1.0)"
+            )
+        return errors
+    if data.get("experiment") == "shard":
+        # A single shard runs the plain row-store path: no column copies,
+        # no messages, no barrier traffic. Its only admissible cost over
+        # the sequential loop is the partition copy, so p=1 falling more
+        # than 10% behind means the seam leaked overhead into the
+        # degenerate case every caller of --shards=1 pays.
+        speedup = lookup(data, "p1_vs_seq_speedup")
+        if isinstance(speedup, (int, float)) and speedup < 0.9:
+            errors.append(
+                f"{path}: one-shard engine fell behind the sequential loop "
+                f"(p1_vs_seq_speedup {speedup:.3f} < 0.9) — the partition "
+                f"seam is taxing the degenerate case"
             )
         return errors
     if data.get("experiment") != "hotpath":

@@ -23,6 +23,14 @@ lint makes those comments load-bearing:
      orphans an edge fails the lint), and the resulting digraph must be
      acyclic — a cycle in the declared order is a potential deadlock.
 
+Inventory nodes are keyed by the *innermost* enclosing class (the brace
+scanner does not track nesting chains), so a mutex in a nested struct —
+the shard aggregator's per-inbox queue lock, `MessageAggregator::Inbox::
+mutex_` — registers as `Inbox::mutex_`. Targets may nevertheless spell
+the outer qualification for readability: a target that is a strict
+qualification of exactly one inventory node resolves to it; matching
+more than one node is an ambiguity error.
+
 Scope: src/ only. Class attribution is a lightweight brace scanner, good
 for this codebase's one-class-per-header style; regex-based by design so
 it runs without a compiler as a ctest entry.
@@ -218,20 +226,42 @@ def collect(repo: Path) -> tuple[list[MutexInfo], list[str]]:
     return mutexes, errors
 
 
+def resolve_target(target: str, nodes: set[str]) -> tuple[str | None, str]:
+    """Resolve a target to an inventory node.
+
+    Exact matches win; otherwise a fully-qualified spelling (e.g.
+    `MessageAggregator::Inbox::mutex_`) resolves to the unique inventory
+    node it is a qualification of (`Inbox::mutex_`). Returns
+    (node, "") on success, (None, reason) on failure.
+    """
+    if target in nodes:
+        return target, ""
+    suffixes = [n for n in nodes if target.endswith("::" + n)]
+    if len(suffixes) == 1:
+        return suffixes[0], ""
+    if len(suffixes) > 1:
+        return None, (
+            f"qualification of several inventoried mutexes "
+            f"({', '.join(sorted(suffixes))}); spell one unambiguously"
+        )
+    return None, "does not name a known mutex"
+
+
 def check_graph(mutexes: list[MutexInfo]) -> list[str]:
     errors: list[str] = []
     nodes = {m.node for m in mutexes}
     graph: dict[str, list[str]] = {m.node: [] for m in mutexes}
     for m in mutexes:
         for target in m.edges:
-            if target not in nodes:
+            resolved, reason = resolve_target(target, nodes)
+            if resolved is None:
                 errors.append(
                     f"{m.rel}:{m.lineno}: acquired-before target "
-                    f"`{target}` does not name a known mutex "
+                    f"`{target}` {reason} "
                     f"(inventory: {', '.join(sorted(nodes))})"
                 )
                 continue
-            graph[m.node].append(target)
+            graph[m.node].append(resolved)
 
     # DFS cycle detection with path reporting.
     WHITE, GRAY, BLACK = 0, 1, 2
