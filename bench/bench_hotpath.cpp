@@ -18,6 +18,12 @@
 //      default: one relaxed atomic-bool load per site, budgeted <= 2%
 //      vs the pre-obs baseline via bench_regress --baseline) and
 //      runtime-on (counting enabled; reported, not gated).
+//   E. Degree relabel + word-packed hub index (docs/perf.md): pack build
+//      cost and footprint, skewed-pair micro (packed popcounts vs BMP
+//      bitmap probes vs the merge family), and the packed vs plain BMP
+//      sequential end-to-end on the relabeled replica. Counts are
+//      cross-checked slot for slot before any ratio is reported;
+//      bench_regress gates packed_e2e_vs_bmp >= 1.0.
 //
 // Emits BENCH_hotpath.json next to the human-readable table.
 #include <algorithm>
@@ -28,7 +34,9 @@
 #include "bench/common.hpp"
 #include "bitmap/bitmap.hpp"
 #include "core/sequential.hpp"
+#include "graph/reorder.hpp"
 #include "intersect/dispatch.hpp"
+#include "intersect/packed_index.hpp"
 #include "intersect/pivot_skip.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
@@ -282,6 +290,88 @@ int main(int argc, char** argv) {
       100.0 * ratio(obs_dispatch_on_ms - obs_dispatch_off_ms,
                     obs_dispatch_off_ms);
 
+  // ---- E. degree relabel + word-packed hub index ----------------------
+  // Internal IDs descend by degree, so vertex 0 is the biggest hub and
+  // the packed range [0, threshold) concentrates the skew.
+  graph::IdMap id_map;
+  const graph::Csr relabeled = graph::reorder_degree_descending(csr, &id_map);
+
+  timer.reset();
+  const auto pack = intersect::PackedHubIndex::build(relabeled);
+  const double pack_build_ms = timer.millis();
+  const double pack_bytes = static_cast<double>(pack.memory_bytes());
+  const auto pack_hubs = static_cast<double>(
+      std::min<VertexId>(pack.threshold(), relabeled.num_vertices()));
+  const double pack_bytes_per_hub = ratio(pack_bytes, pack_hubs);
+
+  // Skewed-pair micro: the hub against each of its neighbors, the same
+  // shape section C probes — one backend at a time, counts cross-checked.
+  const auto rl_hub_nbrs = relabeled.neighbors(0);
+  intersect::PackedCounter packed_ctx;
+  packed_ctx.reshape(relabeled, pack);
+  packed_ctx.set_source(relabeled, pack, 0);
+  bitmap::Bitmap rl_bm(relabeled.num_vertices());
+  rl_bm.set_all(rl_hub_nbrs);
+  for (const VertexId u : rl_hub_nbrs) {
+    const CnCount via_packed = packed_ctx.count(relabeled, pack, u, true);
+    const CnCount via_bmp =
+        bitmap::bitmap_intersect_count(rl_bm, relabeled.neighbors(u));
+    const CnCount via_merge =
+        intersect::vb_count(rl_hub_nbrs, relabeled.neighbors(u), kind, false);
+    if (via_packed != via_bmp || via_packed != via_merge) {
+      std::fprintf(stderr,
+                   "FATAL: packed/BMP/merge disagree on pair (0, %u): "
+                   "%u / %u / %u\n",
+                   u, via_packed, via_bmp, via_merge);
+      return 1;
+    }
+  }
+  const auto time_micro = [&](auto&& count_pair) {
+    util::WallTimer t;
+    for (int r = 0; r < reps; ++r) {
+      for (const VertexId u : rl_hub_nbrs) sink += count_pair(u);
+    }
+    return t.millis() / reps;
+  };
+  const double micro_packed_ms = time_micro([&](VertexId u) {
+    return packed_ctx.count(relabeled, pack, u, true);
+  });
+  const double micro_bmp_ms = time_micro([&](VertexId u) {
+    return bitmap::bitmap_intersect_count(rl_bm, relabeled.neighbors(u));
+  });
+  const double micro_merge_ms = time_micro([&](VertexId u) {
+    return intersect::vb_count(rl_hub_nbrs, relabeled.neighbors(u), kind,
+                               false);
+  });
+  rl_bm.clear_all(rl_hub_nbrs);
+  packed_ctx.clear_source(relabeled, pack);
+
+  // End-to-end: packed sequential BMP vs the plain |V|-bit BMP on the
+  // same relabeled graph — the delta is the backend, nothing else. The
+  // index build is reported on its own row above, so the packed run
+  // reuses the prebuilt index; both paths take the best of `reps`
+  // interleaved runs so a single scheduler hiccup cannot decide the
+  // ratio either way.
+  double e2e_bmp_rl_ms = 1e300;
+  double e2e_packed_ms = 1e300;
+  core::CountArray bmp_rl;
+  core::CountArray packed_rl;
+  for (int r = 0; r < reps; ++r) {
+    timer.reset();
+    bmp_rl = core::count_sequential_bmp(relabeled, /*range_filter=*/false);
+    e2e_bmp_rl_ms = std::min(e2e_bmp_rl_ms, timer.millis());
+    timer.reset();
+    packed_rl = core::count_sequential_bmp_packed(relabeled, pack);
+    e2e_packed_ms = std::min(e2e_packed_ms, timer.millis());
+  }
+  if (packed_rl != bmp_rl) {
+    std::fprintf(stderr,
+                 "FATAL: packed sequential BMP disagrees with the plain "
+                 "BMP driver on the relabeled replica\n");
+    return 1;
+  }
+  const double packed_e2e_vs_bmp = ratio(e2e_bmp_rl_ms, e2e_packed_ms);
+
   // ---- report ---------------------------------------------------------
   util::TablePrinter table({"path", "time", "note"});
   table.add_row({"reverse index build (once)",
@@ -338,6 +428,21 @@ int main(int argc, char** argv) {
                  util::format_fixed(obs_e2e_mps_off_ms, 2) + " / " +
                      util::format_fixed(obs_e2e_mps_on_ms, 2) + " ms",
                  "runtime toggle, docs/observability.md"});
+  table.add_row({"packed index build (once)",
+                 util::format_fixed(pack_build_ms, 2) + " ms",
+                 util::format_bytes(pack_bytes) + ", " +
+                     util::format_fixed(pack_bytes_per_hub, 1) +
+                     " bytes/hub"});
+  table.add_row({"skewed pair packed/BMP/merge",
+                 util::format_fixed(micro_packed_ms, 2) + " / " +
+                     util::format_fixed(micro_bmp_ms, 2) + " / " +
+                     util::format_fixed(micro_merge_ms, 2) + " ms/rep",
+                 "relabeled hub vs its neighbors"});
+  table.add_row({"e2e BMP packed vs plain",
+                 util::format_fixed(e2e_packed_ms, 2) + " / " +
+                     util::format_fixed(e2e_bmp_rl_ms, 2) + " ms",
+                 util::format_fixed(packed_e2e_vs_bmp, 2) +
+                     "x (relabeled replica)"});
   table.print();
   std::printf("(sink %llu keeps the loops live)\n",
               static_cast<unsigned long long>(sink & 0xff));
@@ -383,7 +488,19 @@ int main(int argc, char** argv) {
                "    \"on_overhead_pct\": %.1f,\n"
                "    \"e2e_mps_off_ms\": %.3f,\n"
                "    \"e2e_mps_on_ms\": %.3f\n"
-               "  }\n"
+               "  },\n"
+               "  \"packed\": {\n"
+               "    \"build_ms\": %.3f,\n"
+               "    \"bytes\": %.0f,\n"
+               "    \"bytes_per_hub\": %.1f,\n"
+               "    \"words\": %llu,\n"
+               "    \"micro_packed_ms\": %.3f,\n"
+               "    \"micro_bmp_ms\": %.3f,\n"
+               "    \"micro_merge_ms\": %.3f,\n"
+               "    \"e2e_packed_ms\": %.3f,\n"
+               "    \"e2e_bmp_ms\": %.3f\n"
+               "  },\n"
+               "  \"packed_e2e_vs_bmp\": %.3f\n"
                "}\n",
                static_cast<int>(graph::dataset_name(id).size()),
                graph::dataset_name(id).data(), options.scale, reps,
@@ -393,7 +510,11 @@ int main(int argc, char** argv) {
                e2e_mps_on_ms, e2e_mps_off_ms, e2e_bmp_on_ms, e2e_bmp_off_ms,
                obs::kCompiledIn ? 1 : 0, obs_dispatch_off_ms,
                obs_dispatch_on_ms, obs_on_overhead_pct, obs_e2e_mps_off_ms,
-               obs_e2e_mps_on_ms);
+               obs_e2e_mps_on_ms, pack_build_ms, pack_bytes,
+               pack_bytes_per_hub,
+               static_cast<unsigned long long>(pack.total_words()),
+               micro_packed_ms, micro_bmp_ms, micro_merge_ms, e2e_packed_ms,
+               e2e_bmp_rl_ms, packed_e2e_vs_bmp);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

@@ -12,19 +12,17 @@ namespace aecnc::core {
 namespace {
 
 /// The kernel-level MPS config for a run: Options::prefetch is the master
-/// switch and overwrites the per-config flag.
+/// switch and overwrites the per-config flag; the VB merge kernels have
+/// their own gate (see MpsConfig::vb_prefetch).
 intersect::MpsConfig effective_mps(const Options& options) {
   intersect::MpsConfig cfg = options.mps;
   cfg.prefetch = options.prefetch;
+  cfg.vb_prefetch = options.vb_prefetch;
   return cfg;
 }
 
-}  // namespace
-
-CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
-  const obs::CoreMetrics& m = obs::CoreMetrics::get();
-  if (obs::enabled()) m.runs.add();
-  obs::ScopedTimer timer(m.run_ns);
+/// The run itself, in the caller's (already final) ID space.
+CountArray count_in_place(const graph::Csr& g, const Options& options) {
   if (options.num_shards > 0) {
     shard::ShardConfig cfg;
     cfg.num_shards = options.num_shards;
@@ -40,28 +38,53 @@ CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
     case Algorithm::kMps:
       return count_sequential_mps(g, effective_mps(options));
     case Algorithm::kBmp:
+      if (options.bmp_packed) {
+        // The packed head already skips the probes range filtering would
+        // have filtered, so bmp_range_filter is superseded here.
+        return count_sequential_bmp_packed(g, options.pack_threshold,
+                                           options.prefetch);
+      }
       return count_sequential_bmp(g, options.bmp_range_filter,
                                   options.rf_range_scale, options.prefetch);
   }
   return count_sequential_m(g);
 }
 
-CountArray count_with_reorder(const graph::Csr& g, const Options& options) {
-  const auto perm = graph::degree_descending_permutation(g);
-  const graph::Csr reordered = graph::apply_permutation(g, perm);
-  const CountArray reordered_cnt = count_common_neighbors(reordered, options);
+/// Count on the degree-descending relabeled twin and translate the counts
+/// back into g's slot order: slot e(u,v) of g corresponds to slot
+/// e(map(u), map(v)) of the internal graph.
+CountArray count_relabeled(const graph::Csr& g, const Options& options) {
+  graph::IdMap map;
+  const graph::Csr internal = graph::reorder_degree_descending(g, &map);
+  Options inner = options;
+  inner.relabel = false;
+  const CountArray internal_cnt = count_in_place(internal, inner);
 
-  // Translate back: slot e(u,v) of g corresponds to slot
-  // e(perm[u], perm[v]) of the reordered graph.
   CountArray cnt(g.num_directed_edges(), 0);
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     const EdgeId begin = g.offset_begin(u);
     const auto nbrs = g.neighbors(u);
+    const VertexId iu = map.to_internal(u);
     for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      cnt[begin + k] = reordered_cnt[reordered.find_edge(perm[u], perm[nbrs[k]])];
+      cnt[begin + k] =
+          internal_cnt[internal.find_edge(iu, map.to_internal(nbrs[k]))];
     }
   }
   return cnt;
+}
+
+}  // namespace
+
+CountArray count_common_neighbors(const graph::Csr& g, const Options& options) {
+  const obs::CoreMetrics& m = obs::CoreMetrics::get();
+  if (obs::enabled()) m.runs.add();
+  obs::ScopedTimer timer(m.run_ns);
+  if (options.relabel) return count_relabeled(g, options);
+  return count_in_place(g, options);
+}
+
+CountArray count_with_reorder(const graph::Csr& g, const Options& options) {
+  return count_relabeled(g, options);
 }
 
 CountArray count_instrumented(const graph::Csr& g, const Options& options,

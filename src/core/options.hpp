@@ -54,12 +54,33 @@ struct Options {
   bool bmp_range_filter = false;
   std::uint64_t rf_range_scale = 4096;
 
+  /// Packed hub index (intersect/packed_index.hpp): for kBmp, intersect
+  /// sub-threshold neighbors via (block-id, word) popcounts and only the
+  /// tail via |V|-bit bitmap probes. Pays off after a degree-descending
+  /// relabel (`relabel`), which concentrates hubs below the threshold.
+  /// Supersedes bmp_range_filter when set (the packed head already skips
+  /// the probes RF would have filtered).
+  bool bmp_packed = false;
+  std::uint32_t pack_threshold = 32768;
+
+  /// Relabel vertices by descending degree before counting and translate
+  /// the counts back to the caller's slot order afterwards (the
+  /// graph::IdMap seam). Output is bit-identical either way; the relabel
+  /// buys BMP its complexity bound and the packed index its hub range.
+  bool relabel = false;
+
   /// Software prefetching in the skew-sensitive kernels (AECNC_PREFETCH):
   /// galloping probe targets in pivot-skip, upcoming block pairs in the
   /// VB kernels, and bitmap words for upcoming neighbors in the BMP inner
   /// loop. On by default; the ablation benches toggle it off to measure
   /// the contribution (see docs/perf.md).
   bool prefetch = true;
+
+  /// Prefetch inside the VB merge kernels specifically. Default off:
+  /// BENCH_hotpath showed the hints are a small regression on the
+  /// already-sequential VB access pattern (docs/perf.md §2). Independent
+  /// of the master `prefetch` switch above.
+  bool vb_prefetch = false;
 
   /// Sharded execution (src/shard/): > 0 routes the run through the
   /// 2D-partitioned message-passing engine with this many shard workers,

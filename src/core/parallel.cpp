@@ -10,6 +10,7 @@
 #include "bitmap/range_filter.hpp"
 #include "check/check.hpp"
 #include "intersect/merge.hpp"
+#include "intersect/packed_index.hpp"
 #include "obs/catalog.hpp"
 #include "parallel/task_pool.hpp"
 #include "util/annotations.hpp"
@@ -25,6 +26,7 @@ struct alignas(64) ThreadState {
   VertexId prev_u = kInvalidVertex;  // pu_tls of Algorithm 3 line 19
   bitmap::Bitmap bitmap;
   bitmap::RangeFilteredBitmap rf;
+  intersect::PackedCounter packed;
 };
 
 /// Process-wide cache of per-thread contexts, so repeated count_parallel
@@ -66,15 +68,20 @@ class ContextLease {
   /// must never leak into the next run) and bitmaps shaped for this graph.
   /// Reused bitmaps are already all-zero — the drivers restore that
   /// invariant on exit — so reshaping only happens on a graph change.
-  void prepare(const graph::Csr& g, const Options& options, int threads) {
+  void prepare(const graph::Csr& g, const Options& options, int threads,
+               const intersect::PackedHubIndex* pack = nullptr) {
     const bool is_bmp = options.algorithm == Algorithm::kBmp;
-    const bool rf = is_bmp && options.bmp_range_filter;
+    const bool rf = is_bmp && options.bmp_range_filter && pack == nullptr;
     const std::uint64_t n = g.num_vertices();
     for (int t = 0; t < threads; ++t) {
       ThreadState& ts = (*states_)[static_cast<std::size_t>(t)];
       ts.cached_src = 0;
       ts.prev_u = kInvalidVertex;
       if (!is_bmp) continue;
+      if (pack != nullptr) {
+        ts.packed.reshape(g, *pack);
+        continue;
+      }
       if (rf) {
         if (ts.rf.cardinality() != n ||
             ts.rf.range_scale() != options.rf_range_scale) {
@@ -111,7 +118,14 @@ class ContextLease {
 /// each thread still holds prev_u's bits — harmless for one-shot states,
 /// but cached contexts must hand the all-zero invariant to the next run.
 void clear_residual_bitmaps(const graph::Csr& g, bool rf,
+                            const intersect::PackedHubIndex* pack,
                             std::vector<ThreadState>& states, int threads) {
+  if (pack != nullptr) {
+    for (int t = 0; t < threads; ++t) {
+      states[static_cast<std::size_t>(t)].packed.clear_source(g, *pack);
+    }
+    return;
+  }
   for (int t = 0; t < threads; ++t) {
     ThreadState& ts = states[static_cast<std::size_t>(t)];
     if (ts.prev_u == kInvalidVertex) continue;
@@ -129,13 +143,14 @@ void clear_residual_bitmaps(const graph::Csr& g, bool rf,
 /// intersections, so BMP's bitmap is built exactly once per vertex and
 /// load balance comes from |T| = 1 vertex per task.
 CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
-                                 int threads,
-                                 std::vector<ThreadState>& states) {
+                                 int threads, std::vector<ThreadState>& states,
+                                 const intersect::PackedHubIndex* pack) {
   CountArray cnt(g.num_directed_edges(), 0);
   const bool rf = options.algorithm == Algorithm::kBmp &&
-                  options.bmp_range_filter;
+                  options.bmp_range_filter && pack == nullptr;
   intersect::MpsConfig mps_cfg = options.mps;
   mps_cfg.prefetch = options.prefetch;
+  mps_cfg.vb_prefetch = options.vb_prefetch;
   const Algorithm algo = options.algorithm;
   const bool pf = options.prefetch;
   const EdgeId* rev = g.reverse_offsets().data();
@@ -166,6 +181,14 @@ CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
             c = intersect::mps_count(nbrs, g.neighbors(v), mps_cfg);
             break;
           case Algorithm::kBmp:
+            if (pack != nullptr) {
+              // Lazy like the fine-grained drivers: the new source evicts
+              // the previous one inside set_source; residuals clear after
+              // the region.
+              ts.packed.set_source(g, *pack, u);
+              c = ts.packed.count(g, *pack, v, pf);
+              break;
+            }
             if (!built) {
               if (obs::enabled()) [[unlikely]] {
                 obs::KernelMetrics::get().bitmap_builds.add();
@@ -195,18 +218,23 @@ CountArray count_parallel_coarse(const graph::Csr& g, const Options& options,
       }
     }
   }
+  if (pack != nullptr) {
+    clear_residual_bitmaps(g, rf, pack, states, threads);
+  }
   return cnt;
 }
 
 /// Algorithm 3 on the library's own task pool: identical per-task body,
 /// scheduler swapped for the atomic-cursor queue.
 CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
-                               int threads, std::vector<ThreadState>& states) {
+                               int threads, std::vector<ThreadState>& states,
+                               const intersect::PackedHubIndex* pack) {
   CountArray cnt(g.num_directed_edges(), 0);
   const bool is_bmp = options.algorithm == Algorithm::kBmp;
-  const bool rf = is_bmp && options.bmp_range_filter;
+  const bool rf = is_bmp && options.bmp_range_filter && pack == nullptr;
   intersect::MpsConfig mps_cfg = options.mps;
   mps_cfg.prefetch = options.prefetch;
+  mps_cfg.vb_prefetch = options.vb_prefetch;
   const Algorithm algo = options.algorithm;
   const bool pf = options.prefetch;
   const EdgeId* rev = g.reverse_offsets().data();
@@ -232,6 +260,11 @@ CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
                                        mps_cfg);
               break;
             case Algorithm::kBmp:
+              if (pack != nullptr) {
+                ts.packed.set_source(g, *pack, u);
+                c = ts.packed.count(g, *pack, v, pf);
+                break;
+              }
               if (ts.prev_u != u) {
                 if (obs::enabled()) [[unlikely]] {
                   obs::KernelMetrics::get().bitmap_builds.add();
@@ -259,23 +292,24 @@ CountArray count_parallel_pool(const graph::Csr& g, const Options& options,
           cnt[rev[e]] = c;
         }
       });
-  if (is_bmp) clear_residual_bitmaps(g, rf, states, threads);
+  if (is_bmp) clear_residual_bitmaps(g, rf, pack, states, threads);
   return cnt;
 }
 
 /// Algorithm 3 on OpenMP's dynamic scheduler over directed slots.
 CountArray count_parallel_openmp(const graph::Csr& g, const Options& options,
-                                 int threads,
-                                 std::vector<ThreadState>& states) {
+                                 int threads, std::vector<ThreadState>& states,
+                                 const intersect::PackedHubIndex* pack) {
   const EdgeId slots = g.num_directed_edges();
   CountArray cnt(slots, 0);
   const int chunk = static_cast<int>(
       std::max<std::uint32_t>(1, options.task_size));
   const bool is_bmp = options.algorithm == Algorithm::kBmp;
-  const bool rf = is_bmp && options.bmp_range_filter;
+  const bool rf = is_bmp && options.bmp_range_filter && pack == nullptr;
 
   intersect::MpsConfig mps_cfg = options.mps;
   mps_cfg.prefetch = options.prefetch;
+  mps_cfg.vb_prefetch = options.vb_prefetch;
   const Algorithm algo = options.algorithm;
   const bool pf = options.prefetch;
   const EdgeId* rev = g.reverse_offsets().data();
@@ -300,6 +334,11 @@ CountArray count_parallel_openmp(const graph::Csr& g, const Options& options,
           c = intersect::mps_count(g.neighbors(u), g.neighbors(v), mps_cfg);
           break;
         case Algorithm::kBmp: {
+          if (pack != nullptr) {
+            ts.packed.set_source(g, *pack, u);
+            c = ts.packed.count(g, *pack, v, pf);
+            break;
+          }
           if (ts.prev_u != u) {
             // Rebuild the thread-local index for the new source vertex
             // (each thread builds an index for a vertex at most once per
@@ -336,7 +375,7 @@ CountArray count_parallel_openmp(const graph::Csr& g, const Options& options,
       cnt[rev[e]] = c;
     }
   }
-  if (is_bmp) clear_residual_bitmaps(g, rf, states, threads);
+  if (is_bmp) clear_residual_bitmaps(g, rf, pack, states, threads);
   return cnt;
 }
 
@@ -366,15 +405,24 @@ CountArray count_parallel(const graph::Csr& g, const Options& options) {
 
   const int threads = options.num_threads > 0 ? options.num_threads
                                               : omp_get_max_threads();
+  // One shared read-only packed index for the run; per-thread PackedCounter
+  // scratch lives in the leased contexts.
+  std::unique_ptr<intersect::PackedHubIndex> pack_storage;
+  const intersect::PackedHubIndex* pack = nullptr;
+  if (options.algorithm == Algorithm::kBmp && options.bmp_packed) {
+    pack_storage = std::make_unique<intersect::PackedHubIndex>(
+        intersect::PackedHubIndex::build(g, options.pack_threshold));
+    pack = pack_storage.get();
+  }
   ContextLease lease(static_cast<std::size_t>(threads));
-  lease.prepare(g, options, threads);
+  lease.prepare(g, options, threads, pack);
   if (options.granularity == TaskGranularity::kCoarseGrained) {
-    return count_parallel_coarse(g, options, threads, lease.states());
+    return count_parallel_coarse(g, options, threads, lease.states(), pack);
   }
   if (options.scheduler == Scheduler::kTaskPool) {
-    return count_parallel_pool(g, options, threads, lease.states());
+    return count_parallel_pool(g, options, threads, lease.states(), pack);
   }
-  return count_parallel_openmp(g, options, threads, lease.states());
+  return count_parallel_openmp(g, options, threads, lease.states(), pack);
 }
 
 }  // namespace aecnc::core

@@ -4,6 +4,7 @@
 #include "bitmap/range_filter.hpp"
 #include "check/check.hpp"
 #include "intersect/merge.hpp"
+#include "intersect/packed_index.hpp"
 #include "obs/catalog.hpp"
 
 namespace aecnc::core {
@@ -119,6 +120,19 @@ CountArray count_sequential_mps(const graph::Csr& g,
   return for_each_forward_edge(g, [&](VertexId u, VertexId v) {
     return intersect::mps_count(g.neighbors(u), g.neighbors(v), cfg);
   });
+}
+
+CountArray count_sequential_bmp_packed(const graph::Csr& g,
+                                       VertexId pack_threshold,
+                                       bool prefetch) {
+  const auto index = intersect::PackedHubIndex::build(g, pack_threshold);
+  return count_sequential_bmp_packed(g, index, prefetch);
+}
+
+CountArray count_sequential_bmp_packed(const graph::Csr& g,
+                                       const intersect::PackedHubIndex& index,
+                                       bool prefetch) {
+  return intersect::packed_count_all_edges(g, index, prefetch);
 }
 
 CountArray count_sequential_bmp(const graph::Csr& g, bool range_filter,

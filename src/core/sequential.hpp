@@ -9,6 +9,10 @@
 #include "graph/csr.hpp"
 #include "intersect/counters.hpp"
 
+namespace aecnc::intersect {
+class PackedHubIndex;  // intersect/packed_index.hpp
+}
+
 namespace aecnc::core {
 
 /// Plain merge baseline "M": every u<v edge via two-pointer merge.
@@ -24,6 +28,20 @@ namespace aecnc::core {
                                               bool range_filter,
                                               std::uint64_t rf_scale = 4096,
                                               bool prefetch = true);
+
+/// Algorithm 2 with the packed hub index: sub-threshold neighbors via
+/// word-AND popcounts, the tail via plain bitmap probes. Bit-identical
+/// to count_sequential_bmp on any graph; fastest after a degree-
+/// descending relabel.
+[[nodiscard]] CountArray count_sequential_bmp_packed(const graph::Csr& g,
+                                                     VertexId pack_threshold,
+                                                     bool prefetch = true);
+
+/// Same, against a caller-owned index (immutable, reusable across runs
+/// and threads) — skips the O(|E|) rebuild the threshold overload pays.
+[[nodiscard]] CountArray count_sequential_bmp_packed(
+    const graph::Csr& g, const intersect::PackedHubIndex& index,
+    bool prefetch = true);
 
 /// Instrumented sequential runs feeding the perf models: identical work
 /// schedule, counting into `stats`.

@@ -1,0 +1,51 @@
+#include "graph/id_map.hpp"
+
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace aecnc::graph {
+
+IdMap IdMap::from_permutation(std::vector<VertexId> ext_to_int) {
+  IdMap map;
+  const auto n = static_cast<VertexId>(ext_to_int.size());
+  map.int_to_ext_.assign(n, kInvalidVertex);
+  for (VertexId ext = 0; ext < n; ++ext) {
+    const VertexId internal = ext_to_int[ext];
+    AECNC_CHECK(internal < n)
+        << "IdMap: permutation value " << internal << " out of range [0, " << n
+        << ")";
+    AECNC_CHECK(map.int_to_ext_[internal] == kInvalidVertex)
+        << "IdMap: internal id " << internal << " assigned twice";
+    map.int_to_ext_[internal] = ext;
+  }
+  map.ext_to_int_ = std::move(ext_to_int);
+  return map;
+}
+
+std::string IdMap::validate() const {
+  if (ext_to_int_.size() != int_to_ext_.size()) {
+    std::ostringstream oss;
+    oss << "direction sizes differ: " << ext_to_int_.size() << " vs "
+        << int_to_ext_.size();
+    return oss.str();
+  }
+  const VertexId n = size();
+  for (VertexId ext = 0; ext < n; ++ext) {
+    const VertexId internal = ext_to_int_[ext];
+    if (internal >= n) {
+      std::ostringstream oss;
+      oss << "ext_to_int[" << ext << "] = " << internal << " out of range";
+      return oss.str();
+    }
+    if (int_to_ext_[internal] != ext) {
+      std::ostringstream oss;
+      oss << "not an involution pair at external " << ext << ": int_to_ext["
+          << internal << "] = " << int_to_ext_[internal];
+      return oss.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace aecnc::graph

@@ -1,0 +1,76 @@
+// Bidirectional vertex-ID mapping between an *external* ID space (what
+// callers, serve sessions, mutation streams, and CLI output speak) and an
+// *internal* ID space (what kernels, cache keys, and snapshots speak).
+//
+// The canonical producer is the degree-descending relabel
+// (graph::reorder_degree_descending): internally, hubs occupy the low ID
+// range, which is what BMP's complexity bound and the packed hub index
+// (intersect/packed_index.hpp) rely on. The map owns both directions of
+// the permutation so every layer can translate in O(1) without ever
+// re-deriving the inverse.
+//
+// A default-constructed IdMap is the *identity* over any universe: both
+// translations return their argument unchanged and no storage is held.
+// This lets relabel-agnostic code thread one IdMap through unconditionally
+// and pay nothing when relabeling is off.
+//
+// Out-of-range IDs pass through unchanged in both directions: the map is
+// a bijection on [0, size()), so an ID >= size() stays >= size() — range
+// checks downstream (e.g. the update pipeline's pinned universe) keep
+// rejecting exactly the IDs they rejected without the map.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aecnc::graph {
+
+class IdMap {
+ public:
+  /// Identity map over any universe.
+  IdMap() = default;
+
+  /// Build from a forward permutation `ext_to_int[external] == internal`.
+  /// The inverse is derived here once. AECNC_CHECKs (in the .cpp) that
+  /// the input is a true permutation of [0, n).
+  static IdMap from_permutation(std::vector<VertexId> ext_to_int);
+
+  /// True for the default-constructed identity map.
+  [[nodiscard]] bool is_identity() const noexcept {
+    return ext_to_int_.empty();
+  }
+
+  /// Number of vertices the permutation covers (0 for the identity map).
+  [[nodiscard]] VertexId size() const noexcept {
+    return static_cast<VertexId>(ext_to_int_.size());
+  }
+
+  [[nodiscard]] VertexId to_internal(VertexId external) const noexcept {
+    return external < size() ? ext_to_int_[external] : external;
+  }
+
+  [[nodiscard]] VertexId to_external(VertexId internal) const noexcept {
+    return internal < size() ? int_to_ext_[internal] : internal;
+  }
+
+  [[nodiscard]] const std::vector<VertexId>& ext_to_int() const noexcept {
+    return ext_to_int_;
+  }
+  [[nodiscard]] const std::vector<VertexId>& int_to_ext() const noexcept {
+    return int_to_ext_;
+  }
+
+  /// Invariant check: the two directions must be mutual inverses (the
+  /// involution contract apply ∘ invert == identity). Empty string when
+  /// valid, else a description of the first violation.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<VertexId> ext_to_int_;  // external -> internal
+  std::vector<VertexId> int_to_ext_;  // internal -> external
+};
+
+}  // namespace aecnc::graph

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/check.hpp"
+
 namespace aecnc::graph {
 
 std::vector<VertexId> degree_descending_permutation(const Csr& g) {
@@ -44,8 +46,31 @@ Csr reorder_degree_descending(const Csr& g, std::vector<VertexId>* inverse) {
     for (VertexId old_id = 0; old_id < g.num_vertices(); ++old_id) {
       (*inverse)[perm[old_id]] = old_id;
     }
+#if !defined(NDEBUG)
+    // The inverse must be a true involution partner of perm: composing
+    // either way lands back on the identity.
+    for (VertexId old_id = 0; old_id < g.num_vertices(); ++old_id) {
+      AECNC_DCHECK((*inverse)[perm[old_id]] == old_id)
+          << "reorder: inverse[perm[" << old_id << "]] = "
+          << (*inverse)[perm[old_id]] << ", not an involution partner";
+      AECNC_DCHECK(perm[(*inverse)[old_id]] == old_id)
+          << "reorder: perm[inverse[" << old_id << "]] = "
+          << perm[(*inverse)[old_id]] << ", not an involution partner";
+    }
+#endif
   }
   return apply_permutation(g, perm);
+}
+
+Csr reorder_degree_descending(const Csr& g, IdMap* id_map) {
+  auto perm = degree_descending_permutation(g);
+  Csr reordered = apply_permutation(g, perm);
+  if (id_map != nullptr) {
+    *id_map = IdMap::from_permutation(std::move(perm));
+    AECNC_DCHECK(id_map->validate().empty())
+        << "reorder: " << id_map->validate();
+  }
+  return reordered;
 }
 
 bool is_degree_descending(const Csr& g) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/id_map.hpp"
 #include "util/types.hpp"
 
 namespace aecnc::graph {
@@ -27,6 +28,12 @@ namespace aecnc::graph {
 /// receives the new-id -> old-id map for translating results back.
 [[nodiscard]] Csr reorder_degree_descending(
     const Csr& g, std::vector<VertexId>* inverse = nullptr);
+
+/// Canonical relabel entry point: reorder by descending degree and hand
+/// back the full IdMap (external = original ids, internal = relabeled
+/// ids). Everything downstream of the kernels translates through the map
+/// instead of re-deriving either direction.
+[[nodiscard]] Csr reorder_degree_descending(const Csr& g, IdMap* id_map);
 
 /// True iff u < v implies degree(u) >= degree(v) for all vertices — the
 /// property BMP's complexity bound relies on.

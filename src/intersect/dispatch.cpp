@@ -26,7 +26,7 @@ CnCount mps_count_observed(std::span<const VertexId> a,
   }
   m.route_vb.add();
   m.vb_calls[static_cast<std::size_t>(config.kind)]->add();
-  return vb_count(a, b, config.kind, config.prefetch);
+  return vb_count(a, b, config.kind, config.vb_prefetch);
 }
 
 }  // namespace
@@ -133,7 +133,7 @@ CnCount mps_count(std::span<const VertexId> a, std::span<const VertexId> b,
 #endif
     return pivot_skip_count(a, b, config.prefetch);
   }
-  return vb_count(a, b, config.kind, config.prefetch);
+  return vb_count(a, b, config.kind, config.vb_prefetch);
 }
 
 }  // namespace aecnc::intersect

@@ -47,10 +47,17 @@ struct MpsConfig {
   MergeKind kind = MergeKind::kBlockScalar;
   /// Use the AVX2 lower bound inside pivot-skip when available.
   bool vectorized_search = true;
-  /// Issue software prefetches for galloping probe targets and upcoming
-  /// VB block pairs (AECNC_PREFETCH; core::Options::prefetch is the
-  /// driver-level master switch that overwrites this per call).
+  /// Issue software prefetches for galloping probe targets
+  /// (AECNC_PREFETCH; core::Options::prefetch is the driver-level master
+  /// switch that overwrites this per call).
   bool prefetch = true;
+  /// Prefetch upcoming block pairs inside the VB merge kernels. Gated
+  /// separately from `prefetch` because the VB access pattern is already
+  /// sequential enough for the hardware prefetcher: BENCH_hotpath
+  /// measured the software hints as a ~1% regression there (vb_on_ms
+  /// 3794 vs vb_off_ms 3744), so this defaults off while the
+  /// irregular-access hints above stay on. See docs/perf.md §2.
+  bool vb_prefetch = false;
 };
 
 /// One VB-path intersection with the configured kernel.

@@ -1,0 +1,238 @@
+#include "intersect/packed_index.hpp"
+
+#include <algorithm>
+
+#include "check/check.hpp"
+#include "intersect/dispatch.hpp"
+#include "obs/catalog.hpp"
+#include "util/prefetch.hpp"
+
+namespace aecnc::intersect {
+
+#if AECNC_HAVE_SIMD_KERNELS
+// Defined in packed_avx2.cpp (compiled with -mavx2).
+CnCount packed_intersect_count_avx2(const PackedHubIndex::Word* dense,
+                                    std::span<const PackedHubIndex::BlockId> blocks,
+                                    std::span<const PackedHubIndex::Word> words);
+#endif
+
+namespace {
+
+CnCount packed_intersect_count_scalar(
+    const PackedHubIndex::Word* dense,
+    std::span<const PackedHubIndex::BlockId> blocks,
+    std::span<const PackedHubIndex::Word> words) {
+  CnCount c = 0;
+  const std::size_t n = blocks.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    c += static_cast<CnCount>(
+        __builtin_popcountll(dense[blocks[k]] & words[k]));
+  }
+  return c;
+}
+
+// Branchless probe of the |V|-bit word array: load, shift, mask — no
+// compare, no mispredicts. Four independent accumulators break the
+// serial add chain, so the loop runs at ~1 probe/cycle where the branchy
+// `if (test(v)) ++c` shape in bitmap_intersect_count measures ~4
+// cycles/probe on the same inputs (docs/perf.md §4).
+std::uint64_t probe_words(const PackedHubIndex::Word* words,
+                          const VertexId* a, std::size_t n) {
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += (words[a[i + 0] >> 6] >> (a[i + 0] & 63)) & 1;
+    c1 += (words[a[i + 1] >> 6] >> (a[i + 1] & 63)) & 1;
+    c2 += (words[a[i + 2] >> 6] >> (a[i + 2] & 63)) & 1;
+    c3 += (words[a[i + 3] >> 6] >> (a[i + 3] & 63)) & 1;
+  }
+  for (; i < n; ++i) {
+    c0 += (words[a[i] >> 6] >> (a[i] & 63)) & 1;
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+}  // namespace
+
+PackedHubIndex PackedHubIndex::build(const graph::Csr& g, VertexId threshold) {
+  AECNC_CHECK(threshold > 0 && threshold <= 65536)
+      << "PackedHubIndex: threshold " << threshold
+      << " outside (0, 65536] — block ids must fit uint16";
+  PackedHubIndex index;
+  index.threshold_ = threshold;
+  const VertexId n = g.num_vertices();
+  index.entry_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  index.head_sizes_.assign(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    VertexId prev_block = kInvalidVertex;
+    std::uint64_t entries = 0;
+    std::uint32_t head = 0;
+    for (const VertexId v : g.neighbors(u)) {
+      if (v >= threshold) break;  // sorted adjacency: the head is a prefix
+      ++head;
+      const VertexId block = v / 64;
+      if (block != prev_block) {
+        ++entries;
+        prev_block = block;
+      }
+    }
+    index.head_sizes_[u] = head;
+    index.entry_offsets_[u + 1] = index.entry_offsets_[u] + entries;
+  }
+  index.block_ids_.resize(index.entry_offsets_[n]);
+  index.words_.resize(index.entry_offsets_[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    std::uint64_t out = index.entry_offsets_[u];
+    VertexId prev_block = kInvalidVertex;
+    for (const VertexId v : g.neighbors(u)) {
+      if (v >= threshold) break;
+      const VertexId block = v / 64;
+      if (block != prev_block) {
+        index.block_ids_[out] = static_cast<BlockId>(block);
+        index.words_[out] = 0;
+        ++out;
+        prev_block = block;
+      }
+      index.words_[out - 1] |= Word{1} << (v % 64);
+    }
+    AECNC_DCHECK(out == index.entry_offsets_[u + 1]);
+  }
+  if (obs::enabled()) [[unlikely]] {
+    obs::KernelMetrics::get().pack_words.add(index.words_.size());
+  }
+  return index;
+}
+
+CnCount packed_intersect_count(const PackedHubIndex::Word* dense,
+                               std::span<const PackedHubIndex::BlockId> blocks,
+                               std::span<const PackedHubIndex::Word> words) {
+#if AECNC_HAVE_SIMD_KERNELS
+  if (cpu_has_avx2()) {
+    return packed_intersect_count_avx2(dense, blocks, words);
+  }
+#endif
+  return packed_intersect_count_scalar(dense, blocks, words);
+}
+
+void PackedCounter::reshape(const graph::Csr& g, const PackedHubIndex& index) {
+  dense_.assign(index.num_blocks(), 0);
+  full_.assign((static_cast<std::size_t>(g.num_vertices()) + 63) / 64, 0);
+  dense_loaded_ = false;
+  source_ = kInvalidVertex;
+}
+
+void PackedCounter::set_source(const graph::Csr& g,
+                               const PackedHubIndex& index, VertexId u) {
+  if (u == source_) return;
+  clear_source(g, index);
+  for (const VertexId w : g.neighbors(u)) {
+    full_[w >> 6] |= PackedHubIndex::Word{1} << (w & 63);
+  }
+  source_ = u;
+  if (obs::enabled()) [[unlikely]] {
+    obs::KernelMetrics::get().pack_builds.add();
+  }
+}
+
+void PackedCounter::clear_source(const graph::Csr& g,
+                                 const PackedHubIndex& index) {
+  if (source_ == kInvalidVertex) return;
+  for (const VertexId w : g.neighbors(source_)) {
+    full_[w >> 6] &= ~(PackedHubIndex::Word{1} << (w & 63));
+  }
+  if (dense_loaded_) {
+    for (const PackedHubIndex::BlockId block : index.block_ids(source_)) {
+      dense_[block] = 0;
+    }
+    dense_loaded_ = false;
+  }
+  source_ = kInvalidVertex;
+}
+
+void PackedCounter::ensure_dense(const PackedHubIndex& index) {
+  if (dense_loaded_) return;
+  const auto blocks = index.block_ids(source_);
+  const auto words = index.words(source_);
+  // Exactly one packed entry per block, so a direct store expands the
+  // head without read-modify-write.
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    dense_[blocks[k]] = words[k];
+  }
+  dense_loaded_ = true;
+}
+
+std::uint64_t PackedCounter::probe_count(std::span<const VertexId> ids,
+                                         bool prefetch) const {
+  const PackedHubIndex::Word* words = full_.data();
+  if (prefetch && full_.size() * sizeof(PackedHubIndex::Word) >=
+                      util::kIndexPrefetchMinBytes) {
+    // Bitmap too big for cache residency: trade the unrolled shape for a
+    // lookahead hint, same policy as bitmap_intersect_count.
+    std::uint64_t c = 0;
+    const std::size_t n = ids.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + util::kBitmapPrefetchDistance < n) {
+        util::prefetch_ro(&words[ids[i + util::kBitmapPrefetchDistance] >> 6]);
+      }
+      c += (words[ids[i] >> 6] >> (ids[i] & 63)) & 1;
+    }
+    return c;
+  }
+  return probe_words(words, ids.data(), ids.size());
+}
+
+CnCount PackedCounter::count(const graph::Csr& g, const PackedHubIndex& index,
+                             VertexId v, bool prefetch) {
+  AECNC_DCHECK(source_ != kInvalidVertex);
+  const auto nv = g.neighbors(v);
+  const auto blocks = index.block_ids(v);
+  const std::uint32_t head = index.head_size(v);
+  if (blocks.size() * kPopcountDensity < head) {
+    ensure_dense(index);
+    CnCount c = packed_intersect_count(dense_.data(), blocks, index.words(v));
+    c += static_cast<CnCount>(probe_count(nv.subspan(head), prefetch));
+    if (obs::enabled()) [[unlikely]] {
+      obs::KernelMetrics::get().pack_popcounts.add(blocks.size());
+    }
+    return c;
+  }
+  if (obs::enabled()) [[unlikely]] {
+    obs::KernelMetrics::get().pack_fallbacks.add();
+  }
+  return static_cast<CnCount>(probe_count(nv, prefetch));
+}
+
+std::vector<CnCount> packed_count_all_edges(const graph::Csr& g,
+                                            const PackedHubIndex& index,
+                                            bool prefetch) {
+  PackedCounter ctx;
+  ctx.reshape(g, index);
+  std::vector<CnCount> cnt(g.num_directed_edges(), 0);
+  const EdgeId* rev = g.reverse_offsets().data();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    const EdgeId begin = g.offset_begin(u);
+    for (std::size_t k = 0; k < nu.size(); ++k) {
+      const VertexId v = nu[k];
+      if (u >= v) continue;
+      // Same lazy discipline as run_bmp: the source loads on the first
+      // forward edge and clears before the next loaded source.
+      ctx.set_source(g, index, u);
+      const EdgeId euv = begin + k;
+      cnt[euv] = ctx.count(g, index, v, prefetch);
+      cnt[rev[euv]] = cnt[euv];
+    }
+  }
+  ctx.clear_source(g, index);
+  return cnt;
+}
+
+bool PackedCounter::all_zero() const {
+  return source_ == kInvalidVertex && !dense_loaded_ &&
+         std::all_of(dense_.begin(), dense_.end(),
+                     [](PackedHubIndex::Word w) { return w == 0; }) &&
+         std::all_of(full_.begin(), full_.end(),
+                     [](PackedHubIndex::Word w) { return w == 0; });
+}
+
+}  // namespace aecnc::intersect

@@ -1,0 +1,152 @@
+// Word-packed hub bitmaps — the third intersection backend beside the
+// merge family and the |V|-bit dynamic bitmap (paper Algorithm 2).
+//
+// After a degree-descending relabel (graph::reorder_degree_descending),
+// hubs occupy internal IDs [0, threshold). Each vertex's neighbors below
+// the threshold — its *head* — pack into (block-id, 64-bit word) pairs:
+// block-id = id/64 (fits uint16 for threshold <= 65536), word = the set
+// bits of the up-to-64 neighbors sharing that block. With the default
+// threshold 32768, a source vertex's head expands into at most 512 dense
+// words (4 KiB — cache-resident), and an intersection against another
+// vertex's head is one AND+popcount per packed entry instead of one
+// bitmap probe per neighbor. Neighbors at or above the threshold — the
+// *tail*, a contiguous suffix of the sorted adjacency — fall back to the
+// existing |V|-bit bitmap probes.
+//
+// The packed layout is correct on any graph; the relabel is what makes it
+// *fast*, by concentrating the high-degree endpoints that dominate
+// skewed-pair intersections inside the packed range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::intersect {
+
+/// Neighbors below `threshold`, packed per vertex as parallel CSR-style
+/// arrays of block ids and 64-bit words. Immutable after build; shared
+/// read-only across threads.
+class PackedHubIndex {
+ public:
+  using BlockId = std::uint16_t;
+  using Word = std::uint64_t;
+
+  /// 512 dense words = 4 KiB of scratch per execution context; also the
+  /// largest threshold whose block ids fit a uint16.
+  static constexpr VertexId kDefaultThreshold = 32768;
+
+  PackedHubIndex() = default;
+
+  /// Pack every vertex's sub-threshold neighbors. O(|E|).
+  static PackedHubIndex build(const graph::Csr& g,
+                              VertexId threshold = kDefaultThreshold);
+
+  [[nodiscard]] VertexId threshold() const noexcept { return threshold_; }
+  [[nodiscard]] std::uint64_t num_blocks() const noexcept {
+    return (static_cast<std::uint64_t>(threshold_) + 63) / 64;
+  }
+
+  /// Packed (block-id, word) entries of v's head.
+  [[nodiscard]] std::span<const BlockId> block_ids(VertexId v) const noexcept {
+    return {block_ids_.data() + entry_offsets_[v],
+            block_ids_.data() + entry_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const Word> words(VertexId v) const noexcept {
+    return {words_.data() + entry_offsets_[v],
+            words_.data() + entry_offsets_[v + 1]};
+  }
+
+  /// Number of leading neighbors of v with id < threshold; the tail
+  /// N(v)[head_size(v):] is the contiguous sorted suffix of ids >=
+  /// threshold (adjacency is sorted, so the split is a prefix/suffix).
+  [[nodiscard]] std::uint32_t head_size(VertexId v) const noexcept {
+    return head_sizes_[v];
+  }
+
+  [[nodiscard]] std::uint64_t total_words() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return entry_offsets_.size() * sizeof(std::uint64_t) +
+           head_sizes_.size() * sizeof(std::uint32_t) +
+           block_ids_.size() * sizeof(BlockId) + words_.size() * sizeof(Word);
+  }
+
+ private:
+  VertexId threshold_ = kDefaultThreshold;
+  std::vector<std::uint64_t> entry_offsets_;  // |V| + 1
+  std::vector<std::uint32_t> head_sizes_;     // |V|
+  std::vector<BlockId> block_ids_;            // Σ entries
+  std::vector<Word> words_;                   // Σ entries
+};
+
+/// Forward-edge sweep over the whole graph with a PackedCounter: the
+/// u < v pairs are counted, mirrors filled through reverse_offsets().
+/// Lives in the packed TU so the per-pair routing and the probe loop
+/// inline into the sweep (the TU is pinned to -O3 — src/CMakeLists.txt);
+/// core::count_sequential_bmp_packed delegates here.
+[[nodiscard]] std::vector<CnCount> packed_count_all_edges(
+    const graph::Csr& g, const PackedHubIndex& index, bool prefetch);
+
+/// Count set bits of `packed ∩ dense`: for each packed entry k,
+/// popcount(dense[blocks[k]] & words[k]). `dense` must hold the source
+/// vertex's head expanded to num_blocks() words. Dispatches to an AVX2
+/// gather+popcount kernel when the host supports it.
+[[nodiscard]] CnCount packed_intersect_count(
+    const PackedHubIndex::Word* dense,
+    std::span<const PackedHubIndex::BlockId> blocks,
+    std::span<const PackedHubIndex::Word> words);
+
+/// Per-execution-context state for packed counting: a |V|-bit bitmap of
+/// the source's whole adjacency, probed by a branchless multi-accumulator
+/// loop, plus the dense head scratch (num_blocks words) feeding the
+/// packed popcount path. Mirrors the lazy build/clear discipline of the
+/// plain BMP contexts — set_source() is a no-op when the source is
+/// unchanged, and clearing touches only the previously set entries.
+///
+/// Routing (docs/perf.md §4): a pair takes the AND+popcount path only
+/// when v's head averages >= kPopcountDensity set bits per packed entry
+/// — below that, a packed entry (10 B) streams more bytes than the
+/// probes it replaces, and the branchless probe loop (~1 cycle/probe)
+/// wins. The dense scratch expands lazily on the first such pair, so
+/// sources whose pairs all probe never pay the expansion.
+class PackedCounter {
+ public:
+  /// Minimum average set bits per packed entry for the popcount path.
+  static constexpr std::size_t kPopcountDensity = 4;
+
+  /// (Re)size for a graph/index pair; resets to the all-zero state.
+  void reshape(const graph::Csr& g, const PackedHubIndex& index);
+
+  /// Load u's full adjacency into the |V|-bit bitmap.
+  void set_source(const graph::Csr& g, const PackedHubIndex& index,
+                  VertexId u);
+
+  /// Undo set_source (restore all-zero), if a source is loaded.
+  void clear_source(const graph::Csr& g, const PackedHubIndex& index);
+
+  /// N(u) ∩ N(v) for the currently loaded source u. Dense heads go
+  /// through packed popcounts (expanding the dense scratch on first
+  /// use); everything else through branchless bitmap probes.
+  [[nodiscard]] CnCount count(const graph::Csr& g, const PackedHubIndex& index,
+                              VertexId v, bool prefetch);
+
+  [[nodiscard]] VertexId source() const noexcept { return source_; }
+  [[nodiscard]] bool all_zero() const;
+
+ private:
+  void ensure_dense(const PackedHubIndex& index);
+  [[nodiscard]] std::uint64_t probe_count(std::span<const VertexId> ids,
+                                          bool prefetch) const;
+
+  std::vector<PackedHubIndex::Word> full_;   // |V| bits: N(source)
+  std::vector<PackedHubIndex::Word> dense_;  // num_blocks words
+  bool dense_loaded_ = false;
+  VertexId source_ = kInvalidVertex;
+};
+
+}  // namespace aecnc::intersect

@@ -22,6 +22,10 @@ const KernelMetrics& KernelMetrics::get() {
         .bitmap_matches = r.counter("bmp.bitmap.matches"),
         .rf_probes = r.counter("bmp.rf.probes"),
         .rf_skips = r.counter("bmp.rf.skips"),
+        .pack_builds = r.counter("pack.builds"),
+        .pack_words = r.counter("pack.words"),
+        .pack_popcounts = r.counter("pack.popcounts"),
+        .pack_fallbacks = r.counter("pack.fallbacks"),
     };
   }();
   return m;

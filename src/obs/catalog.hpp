@@ -35,6 +35,13 @@ struct KernelMetrics {
   Counter& bitmap_matches;     // bmp.bitmap.matches
   Counter& rf_probes;          // bmp.rf.probes
   Counter& rf_skips;           // bmp.rf.skips
+  // Packed hub index (intersect/packed_index.hpp): per-source dense
+  // expansions, packed words materialized at build, word-AND popcounts,
+  // and intersections that fell back to the bitmap tail path.
+  Counter& pack_builds;        // pack.builds
+  Counter& pack_words;         // pack.words
+  Counter& pack_popcounts;     // pack.popcounts
+  Counter& pack_fallbacks;     // pack.fallbacks
 
   [[nodiscard]] static const KernelMetrics& get();
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/reorder.hpp"
 #include "obs/catalog.hpp"
 
 namespace aecnc::serve {
@@ -47,7 +48,16 @@ Service::~Service() {
 }
 
 Epoch Service::publish(graph::Csr g) {
-  const Epoch epoch = store_.publish(std::move(g));
+  if (config_.relabel) {
+    graph::IdMap map;
+    graph::Csr internal = graph::reorder_degree_descending(g, &map);
+    return publish_snapshot(std::move(internal), std::move(map));
+  }
+  return publish_snapshot(std::move(g), graph::IdMap{});
+}
+
+Epoch Service::publish_snapshot(graph::Csr g, graph::IdMap id_map) {
+  const Epoch epoch = store_.publish(std::move(g), std::move(id_map));
   // Invalidate after the swap: a racing query may still insert an entry
   // for the *old* epoch, but epochs are part of the cache key, so such
   // stragglers can never serve a newer snapshot — they just age out.
@@ -76,7 +86,19 @@ update::UpdatePipeline& Service::updater_for_current_epoch() {
 update::ApplyReport Service::apply_updates(
     std::span<const update::Mutation> muts) {
   util::MutexLock lock(&updater_mutex_);
-  return updater_for_current_epoch().apply(muts);
+  update::UpdatePipeline& pipe = updater_for_current_epoch();
+  const SnapshotPtr snap = pinned();
+  if (snap->id_map.is_identity()) return pipe.apply(muts);
+  // Mutations arrive in external IDs; the pipeline state lives in the
+  // snapshot's internal space. Out-of-range externals pass through the
+  // map unchanged, so the pipeline rejects exactly what it would have
+  // rejected without the relabel.
+  std::vector<update::Mutation> internal(muts.begin(), muts.end());
+  for (update::Mutation& mut : internal) {
+    mut.u = snap->id_map.to_internal(mut.u);
+    mut.v = snap->id_map.to_internal(mut.v);
+  }
+  return pipe.apply(internal);
 }
 
 Epoch Service::publish() {
@@ -86,7 +108,14 @@ Epoch Service::publish() {
     throw std::runtime_error(
         "aecnc::serve::Service: publish() before any apply_updates()");
   }
-  const Epoch epoch = publish(updater_->materialize());
+  // The pipeline mutated the *internal*-space graph, so its snapshot
+  // keeps the map it was seeded under — re-relabeling here would detach
+  // the pipeline state from the published ID space.
+  graph::IdMap map;
+  if (const SnapshotPtr snap = store_.acquire(); snap != nullptr) {
+    map = snap->id_map;
+  }
+  const Epoch epoch = publish_snapshot(updater_->materialize(), std::move(map));
   // The pipeline state IS the new snapshot — no reseed needed for the
   // next apply_updates.
   updater_epoch_ = epoch;
@@ -96,6 +125,10 @@ Epoch Service::publish() {
 std::optional<CnCount> Service::pending_count(VertexId u, VertexId v) const {
   util::MutexLock lock(&updater_mutex_);
   if (updater_ == nullptr) return std::nullopt;
+  if (const SnapshotPtr snap = store_.acquire(); snap != nullptr) {
+    u = snap->id_map.to_internal(u);
+    v = snap->id_map.to_internal(v);
+  }
   return updater_->state().count(u, v);
 }
 
@@ -141,6 +174,23 @@ QueryResult Service::query_edge(VertexId u, VertexId v) {
   // depends on this path staying this short.
   const obs::ServeMetrics& m = obs::ServeMetrics::get();
   obs::ScopedTimer timer(m.point_ns);
+  if (config_.relabel) {
+    // Relabel mode: the cache is keyed on *internal* pairs, and hits
+    // need the snapshot's map to translate — so this path pins even on
+    // a hit. The reply still speaks the caller's external IDs.
+    const SnapshotPtr snap = pinned();
+    point_queries_.fetch_add(1, std::memory_order_relaxed);
+    const VertexId iu = snap->id_map.to_internal(u);
+    const VertexId iv = snap->id_map.to_internal(v);
+    if (const auto hit = cache_.lookup(snap->epoch, iu, iv); hit.has_value()) {
+      if (obs::enabled()) m.cache_hits.add();
+      return make_result(snap->epoch, u, v, *hit, /*cached=*/true);
+    }
+    if (obs::enabled()) m.cache_misses.add();
+    const CachedEdgeCount value = compute_pair(*snap, iu, iv);
+    cache_.insert(snap->epoch, iu, iv, value);
+    return make_result(snap->epoch, u, v, value, /*cached=*/false);
+  }
   const Epoch epoch = current_epoch_or_throw();
   point_queries_.fetch_add(1, std::memory_order_relaxed);
   if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
@@ -159,10 +209,26 @@ VertexResult Service::query_vertex(VertexId u) {
   const SnapshotPtr snap = pinned();
   vertex_queries_.fetch_add(1, std::memory_order_relaxed);
   VertexResult result{.epoch = snap->epoch, .u = u, .neighbors = {}, .counts = {}};
-  if (u < snap->graph.num_vertices()) {
-    const auto nbrs = snap->graph.neighbors(u);
-    result.neighbors.assign(nbrs.begin(), nbrs.end());
-    result.counts = engine_.count_vertex(*snap, u);
+  const VertexId iu = snap->id_map.to_internal(u);
+  if (iu < snap->graph.num_vertices()) {
+    const auto nbrs = snap->graph.neighbors(iu);
+    result.counts = engine_.count_vertex(*snap, iu);
+    if (snap->id_map.is_identity()) {
+      result.neighbors.assign(nbrs.begin(), nbrs.end());
+    } else {
+      // Externalize the adjacency and restore the external-ID sort order
+      // so the reply is byte-identical to an unrelabeled service's.
+      std::vector<std::pair<VertexId, CnCount>> rows(nbrs.size());
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        rows[k] = {snap->id_map.to_external(nbrs[k]), result.counts[k]};
+      }
+      std::sort(rows.begin(), rows.end());
+      result.neighbors.resize(rows.size());
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        result.neighbors[k] = rows[k].first;
+        result.counts[k] = rows[k].second;
+      }
+    }
   }
   return result;
 }
@@ -175,14 +241,16 @@ std::vector<QueryResult> Service::query_batch(
   batch_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
 
   std::vector<QueryResult> results(queries.size());
-  std::vector<EdgeQuery> misses;
+  std::vector<EdgeQuery> misses;  // internal-space pairs for the engine
   std::vector<std::size_t> miss_slots;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const auto [u, v] = queries[i];
-    if (const auto hit = cache_.lookup(snap->epoch, u, v); hit.has_value()) {
+    const VertexId iu = snap->id_map.to_internal(u);
+    const VertexId iv = snap->id_map.to_internal(v);
+    if (const auto hit = cache_.lookup(snap->epoch, iu, iv); hit.has_value()) {
       results[i] = make_result(snap->epoch, u, v, *hit, /*cached=*/true);
     } else {
-      misses.push_back(queries[i]);
+      misses.push_back({iu, iv});
       miss_slots.push_back(i);
     }
   }
@@ -193,10 +261,11 @@ std::vector<QueryResult> Service::query_batch(
   if (!misses.empty()) {
     const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
     for (std::size_t k = 0; k < misses.size(); ++k) {
-      const auto [u, v] = misses[k];
+      const auto [iu, iv] = misses[k];
       const CachedEdgeCount value{.count = counts[k],
-                                  .is_edge = edge_flag(snap->graph, u, v)};
-      cache_.insert(snap->epoch, u, v, value);
+                                  .is_edge = edge_flag(snap->graph, iu, iv)};
+      cache_.insert(snap->epoch, iu, iv, value);
+      const auto [u, v] = queries[miss_slots[k]];
       results[miss_slots[k]] =
           make_result(snap->epoch, u, v, value, /*cached=*/false);
     }
@@ -205,9 +274,19 @@ std::vector<QueryResult> Service::query_batch(
 }
 
 std::future<QueryResult> Service::submit_edge(VertexId u, VertexId v) {
-  // Cache fast path: complete without touching the queue (or pinning).
-  const Epoch epoch = current_epoch_or_throw();
-  if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+  // Cache fast path: complete without touching the queue (or pinning —
+  // except in relabel mode, which needs the snapshot's map for the key).
+  Epoch epoch;
+  VertexId iu = u, iv = v;
+  if (config_.relabel) {
+    const SnapshotPtr snap = pinned();
+    epoch = snap->epoch;
+    iu = snap->id_map.to_internal(u);
+    iv = snap->id_map.to_internal(v);
+  } else {
+    epoch = current_epoch_or_throw();
+  }
+  if (const auto hit = cache_.lookup(epoch, iu, iv); hit.has_value()) {
     if (obs::enabled()) obs::ServeMetrics::get().cache_hits.add();
     std::promise<QueryResult> promise;
     promise.set_value(make_result(epoch, u, v, *hit, /*cached=*/true));
@@ -244,8 +323,17 @@ std::future<QueryResult> Service::submit_edge(VertexId u, VertexId v) {
 
 std::optional<std::future<QueryResult>> Service::try_submit_edge(VertexId u,
                                                                  VertexId v) {
-  const Epoch epoch = current_epoch_or_throw();
-  if (const auto hit = cache_.lookup(epoch, u, v); hit.has_value()) {
+  Epoch epoch;
+  VertexId iu = u, iv = v;
+  if (config_.relabel) {
+    const SnapshotPtr snap = pinned();
+    epoch = snap->epoch;
+    iu = snap->id_map.to_internal(u);
+    iv = snap->id_map.to_internal(v);
+  } else {
+    epoch = current_epoch_or_throw();
+  }
+  if (const auto hit = cache_.lookup(epoch, iu, iv); hit.has_value()) {
     if (obs::enabled()) obs::ServeMetrics::get().cache_hits.add();
     std::promise<QueryResult> promise;
     promise.set_value(make_result(epoch, u, v, *hit, /*cached=*/true));
@@ -286,17 +374,19 @@ void Service::process_pending(std::vector<Pending> batch) {
   // it carries the same epoch by construction.
   const SnapshotPtr snap = pinned();
   std::vector<QueryResult> replies(batch.size());
-  std::vector<EdgeQuery> misses;
+  std::vector<EdgeQuery> misses;  // internal-space pairs for the engine
   std::vector<std::size_t> miss_slots;
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    const VertexId iu = snap->id_map.to_internal(batch[i].u);
+    const VertexId iv = snap->id_map.to_internal(batch[i].v);
     // Re-check the cache: an earlier batch (or a sync query) may have
     // filled the entry while this request sat in the queue.
-    if (const auto hit = cache_.lookup(snap->epoch, batch[i].u, batch[i].v);
+    if (const auto hit = cache_.lookup(snap->epoch, iu, iv);
         hit.has_value()) {
       replies[i] = make_result(snap->epoch, batch[i].u, batch[i].v, *hit,
                                /*cached=*/true);
     } else {
-      misses.push_back({batch[i].u, batch[i].v});
+      misses.push_back({iu, iv});
       miss_slots.push_back(i);
     }
   }
@@ -308,12 +398,13 @@ void Service::process_pending(std::vector<Pending> batch) {
   if (!misses.empty()) {
     const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
     for (std::size_t k = 0; k < misses.size(); ++k) {
-      const auto [u, v] = misses[k];
+      const auto [iu, iv] = misses[k];
       const CachedEdgeCount value{.count = counts[k],
-                                  .is_edge = edge_flag(snap->graph, u, v)};
-      cache_.insert(snap->epoch, u, v, value);
+                                  .is_edge = edge_flag(snap->graph, iu, iv)};
+      cache_.insert(snap->epoch, iu, iv, value);
+      const Pending& req = batch[miss_slots[k]];
       replies[miss_slots[k]] =
-          make_result(snap->epoch, u, v, value, /*cached=*/false);
+          make_result(snap->epoch, req.u, req.v, value, /*cached=*/false);
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -58,6 +58,13 @@ struct ServiceConfig {
   /// Spawn the dispatcher thread. Tests set false and call pump() to
   /// drive the async path deterministically.
   bool start_dispatcher = true;
+  /// Relabel published graphs by descending degree (graph::IdMap seam):
+  /// snapshots and cache keys live in the internal hub-first space while
+  /// every request and reply keeps speaking the caller's external IDs.
+  /// Replies are byte-identical either way. Note the cache-hit fast path
+  /// pins the snapshot when this is on (it needs the map); leave it off
+  /// to keep the epoch-only no-pin hit path.
+  bool relabel = false;
   /// Mutation-pipeline knobs for apply_updates()/publish(). The
   /// pipeline is created lazily, seeded from the current snapshot; set
   /// update.max_vertices to pin the mutable universe (the CLI serve
@@ -190,6 +197,10 @@ class Service {
 
   /// Pin the current snapshot or throw (no snapshot published yet).
   [[nodiscard]] SnapshotPtr pinned() const;
+
+  /// Store the snapshot (graph already in its final internal space, with
+  /// its translation map), invalidate the cache, bump the stats.
+  Epoch publish_snapshot(graph::Csr g, graph::IdMap id_map);
 
   /// Build the reply for a cached or freshly-computed point result.
   [[nodiscard]] static QueryResult make_result(Epoch epoch, VertexId u,

@@ -4,14 +4,14 @@
 
 namespace aecnc::serve {
 
-Epoch SnapshotStore::publish(graph::Csr g) {
+Epoch SnapshotStore::publish(graph::Csr g, graph::IdMap id_map) {
   // Serialize publishers so epochs are issued in store order: a reader
   // that observes epoch N can rely on every epoch < N having been the
   // current snapshot at some earlier point.
   util::MutexLock lock(&publish_mutex_);
   const Epoch epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
-  auto snapshot = std::make_shared<const Snapshot>(
-      Snapshot{.epoch = epoch, .graph = std::move(g)});
+  auto snapshot = std::make_shared<const Snapshot>(Snapshot{
+      .epoch = epoch, .graph = std::move(g), .id_map = std::move(id_map)});
   current_.store(std::move(snapshot), std::memory_order_release);
   published_epoch_.store(epoch, std::memory_order_release);
   return epoch;

@@ -22,8 +22,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "graph/csr.hpp"
+#include "graph/id_map.hpp"
 #include "util/annotations.hpp"
 
 namespace aecnc::serve {
@@ -37,7 +39,14 @@ using Epoch = std::uint64_t;
 /// snapshot's epoch.
 struct Snapshot {
   Epoch epoch = 0;
+  /// The graph in its *internal* ID space (relabeled when the publisher
+  /// relabels; otherwise identical to the external space).
   graph::Csr graph;
+  /// External <-> internal translation for this snapshot. Identity when
+  /// the publisher did not relabel. Queries translate request IDs in and
+  /// reply IDs out through this map, so callers always speak external
+  /// IDs regardless of the internal layout.
+  graph::IdMap id_map;
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
@@ -52,7 +61,11 @@ class SnapshotStore {
   /// Swap in a new graph; returns its epoch. Thread-safe against
   /// concurrent publishers and readers; in-flight queries keep their
   /// pinned epoch until they drop it.
-  Epoch publish(graph::Csr g);
+  Epoch publish(graph::Csr g) { return publish(std::move(g), graph::IdMap{}); }
+
+  /// As above, with the ID map translating the snapshot's internal space
+  /// back to the caller-facing external IDs (identity map = no relabel).
+  Epoch publish(graph::Csr g, graph::IdMap id_map);
 
   /// Pin the current snapshot (lock-free load). Null until the first
   /// publish().

@@ -56,6 +56,12 @@ bool run_replay(UpdatePipeline& pipe, serve::SnapshotStore& store,
         ok = false;
         continue;
       }
+      if (options.id_map != nullptr) {
+        // External -> internal before admission; out-of-range externals
+        // pass through unchanged and get rejected exactly as before.
+        u = options.id_map->to_internal(u);
+        v = options.id_map->to_internal(v);
+      }
       const Mutation m{command == "add" ? kAddEdge : kDelEdge, u, v};
       // Stage through the bounded log; a full log sheds here, so drain
       // (apply a policy-routed batch) and resubmit — the single-threaded
@@ -71,7 +77,10 @@ bool run_replay(UpdatePipeline& pipe, serve::SnapshotStore& store,
       const auto undirected = next.num_undirected_edges();
       std::string mismatch;
       if (options.verify) mismatch = verify_pipeline_counts(pipe, next);
-      const serve::Epoch epoch = store.publish(std::move(next));
+      const serve::Epoch epoch =
+          options.id_map != nullptr
+              ? store.publish(std::move(next), *options.id_map)
+              : store.publish(std::move(next));
       out << "publish: epoch=" << epoch << " vertices=" << vertices
           << " edges=" << undirected;
       if (options.verify) {

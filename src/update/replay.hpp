@@ -14,6 +14,7 @@
 
 #include <iosfwd>
 
+#include "graph/id_map.hpp"
 #include "serve/snapshot_store.hpp"
 #include "update/pipeline.hpp"
 
@@ -23,6 +24,12 @@ struct ReplayOptions {
   /// Cross-check every published snapshot's maintained counts against a
   /// from-scratch sequential MPS recount (replies gain `verify=ok|FAIL`).
   bool verify = false;
+  /// When the pipeline was seeded from a relabeled graph, the map that
+  /// produced it: mutation lines arrive in external IDs and translate to
+  /// the pipeline's internal space before log admission. Published
+  /// snapshots carry a copy of the map. Null = identity (no relabel).
+  /// Replay output is byte-identical either way.
+  const graph::IdMap* id_map = nullptr;
 };
 
 /// Cross-check the pipeline's maintained per-edge counts against a

@@ -430,5 +430,104 @@ TEST(Datasets, SmallReplicasCountCorrectly) {
   }
 }
 
+TEST(Relabel, BitIdenticalToSequentialMpsOnEveryReplica) {
+  // The acceptance contract of Options::relabel: for every dataset
+  // replica, algorithm, and thread count, relabel-on counts come back in
+  // the caller's slot order bit-identical to a plain sequential MPS run
+  // on the unrelabeled graph.
+  for (const graph::DatasetId id : graph::kAllDatasets) {
+    const Csr g = graph::make_dataset(id, 5e-5);
+    const CountArray expected = count_sequential_mps(g, {});
+    for (const Algorithm a :
+         {Algorithm::kMergeBaseline, Algorithm::kMps, Algorithm::kBmp}) {
+      for (const int threads : {1, 2, 4, 8}) {
+        Options opt;
+        opt.algorithm = a;
+        opt.relabel = true;
+        opt.num_threads = threads;
+        ASSERT_EQ(count_common_neighbors(g, opt), expected)
+            << graph::dataset_name(id) << "/" << algorithm_name(a)
+            << "/p=" << threads;
+      }
+    }
+    // The sharded route: relabel first, 2D-partition the internal graph,
+    // translate counts back (docs/sharding.md).
+    Options sharded;
+    sharded.relabel = true;
+    sharded.num_shards = 3;
+    ASSERT_EQ(count_common_neighbors(g, sharded), expected)
+        << graph::dataset_name(id) << " (sharded)";
+  }
+}
+
+TEST(Packed, SequentialDriverMatchesMps) {
+  // Thresholds straddling the universe: tails everywhere, mixed, none.
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(900, 7000, 2.1, 83));
+  const CountArray expected = count_sequential_mps(g, {});
+  for (const VertexId threshold : {VertexId{64}, VertexId{512},
+                                   VertexId{32768}}) {
+    EXPECT_EQ(count_sequential_bmp_packed(g, threshold), expected)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(Packed, ParallelBmpMatchesMpsAcrossThreadsAndSchedules) {
+  const Csr base = Csr::from_edge_list(
+      graph::chung_lu_power_law(800, 6400, 2.0, 85));
+  const Csr g = graph::reorder_degree_descending(base);
+  const CountArray expected = count_sequential_mps(g, {});
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const auto granularity : {TaskGranularity::kFineGrained,
+                                   TaskGranularity::kCoarseGrained}) {
+      Options opt;
+      opt.algorithm = Algorithm::kBmp;
+      opt.bmp_packed = true;
+      opt.pack_threshold = 256;  // force the bitmap tail fallback too
+      opt.num_threads = threads;
+      opt.granularity = granularity;
+      ASSERT_EQ(count_common_neighbors(g, opt), expected)
+          << "p=" << threads << " granularity="
+          << static_cast<int>(granularity);
+    }
+  }
+}
+
+TEST(Packed, RelabelPlusPackedOnReplicas) {
+  // The tentpole configuration: relabel + packed BMP, parallel, against
+  // plain sequential MPS on the untouched graph.
+  for (const graph::DatasetId id : graph::kAllDatasets) {
+    const Csr g = graph::make_dataset(id, 5e-5);
+    const CountArray expected = count_sequential_mps(g, {});
+    Options opt;
+    opt.algorithm = Algorithm::kBmp;
+    opt.relabel = true;
+    opt.bmp_packed = true;
+    opt.num_threads = 4;
+    ASSERT_EQ(count_common_neighbors(g, opt), expected)
+        << graph::dataset_name(id);
+    opt.parallel = false;
+    ASSERT_EQ(count_common_neighbors(g, opt), expected)
+        << graph::dataset_name(id) << " (sequential)";
+  }
+}
+
+TEST(Packed, VbPrefetchToggleNeverChangesCounts) {
+  const Csr g = Csr::from_edge_list(
+      graph::chung_lu_power_law(600, 5000, 2.2, 87));
+  const CountArray expected = count_sequential_mps(g, {});
+  for (const bool vb_pf : {false, true}) {
+    Options opt;
+    opt.algorithm = Algorithm::kMps;
+    opt.vb_prefetch = vb_pf;
+    opt.parallel = false;
+    EXPECT_EQ(count_common_neighbors(g, opt), expected)
+        << "vb_prefetch=" << vb_pf;
+    opt.parallel = true;
+    EXPECT_EQ(count_common_neighbors(g, opt), expected)
+        << "vb_prefetch=" << vb_pf << " (parallel)";
+  }
+}
+
 }  // namespace
 }  // namespace aecnc::core

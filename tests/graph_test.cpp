@@ -210,6 +210,65 @@ TEST(Reorder, IdentityOnAlreadySortedGraph) {
   EXPECT_EQ(perm[0], 0u);
 }
 
+TEST(IdMap, DefaultIsIdentityWithPassThrough) {
+  const IdMap map;
+  EXPECT_TRUE(map.is_identity());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.validate().empty()) << map.validate();
+  for (const VertexId v : {VertexId{0}, VertexId{7}, VertexId{123456}}) {
+    EXPECT_EQ(map.to_internal(v), v);
+    EXPECT_EQ(map.to_external(v), v);
+  }
+}
+
+TEST(IdMap, ReorderRoundTripsEveryVertex) {
+  const Csr g =
+      Csr::from_edge_list(chung_lu_power_law(700, 4000, 2.2, mix_seed(61)));
+  IdMap map;
+  const Csr r = reorder_degree_descending(g, &map);
+  EXPECT_TRUE(is_degree_descending(r));
+  EXPECT_FALSE(map.is_identity());
+  ASSERT_EQ(map.size(), g.num_vertices());
+  EXPECT_TRUE(map.validate().empty()) << map.validate();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(map.to_external(map.to_internal(v)), v);
+    EXPECT_EQ(map.to_internal(map.to_external(v)), v);
+    // The relabeled vertex keeps its degree.
+    EXPECT_EQ(r.degree(map.to_internal(v)), g.degree(v));
+  }
+  // Out-of-range ids pass through unchanged in both directions, so
+  // downstream range checks reject exactly what they rejected unmapped.
+  const VertexId beyond = g.num_vertices() + 5;
+  EXPECT_EQ(map.to_internal(beyond), beyond);
+  EXPECT_EQ(map.to_external(beyond), beyond);
+}
+
+TEST(IdMap, AgreesWithInverseVectorOverload) {
+  const Csr g = Csr::from_edge_list(erdos_renyi(400, 1800, mix_seed(63)));
+  std::vector<VertexId> inverse;
+  const Csr via_vector = reorder_degree_descending(g, &inverse);
+  IdMap map;
+  const Csr via_map = reorder_degree_descending(g, &map);
+  EXPECT_EQ(via_vector.offsets(), via_map.offsets());
+  EXPECT_EQ(via_vector.dst(), via_map.dst());
+  ASSERT_EQ(inverse.size(), map.size());
+  for (VertexId internal = 0; internal < map.size(); ++internal) {
+    EXPECT_EQ(map.to_external(internal), inverse[internal]);
+  }
+}
+
+TEST(IdMap, TranslatedEdgesExistInBothSpaces) {
+  const Csr g =
+      Csr::from_edge_list(chung_lu_power_law(300, 1500, 2.4, mix_seed(67)));
+  IdMap map;
+  const Csr r = reorder_degree_descending(g, &map);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      EXPECT_TRUE(r.has_edge(map.to_internal(u), map.to_internal(v)));
+    }
+  }
+}
+
 TEST(Generators, ErdosRenyiProducesRequestedEdges) {
   const auto e = erdos_renyi(1000, 5000, mix_seed(1));
   EXPECT_EQ(e.num_edges(), 5000u);

@@ -8,11 +8,14 @@
 #include <set>
 #include <vector>
 
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
 #include "intersect/block_merge.hpp"
 #include "intersect/counters.hpp"
 #include "intersect/dispatch.hpp"
 #include "intersect/lower_bound.hpp"
 #include "intersect/merge.hpp"
+#include "intersect/packed_index.hpp"
 #include "intersect/pivot_skip.hpp"
 #include "util/prng.hpp"
 
@@ -405,6 +408,127 @@ TEST(Counters, MergeCountsComparisons) {
   EXPECT_EQ(c, 2u);
   EXPECT_EQ(stats.matches, 2u);
   EXPECT_GE(stats.scalar_cmps, 4u);
+}
+
+// --- Word-packed hub index -------------------------------------------------
+
+graph::Csr packed_fixture_graph(std::uint64_t seed) {
+  auto edges = graph::chung_lu_power_law(600, 5000, 2.1, seed);
+  return graph::Csr::from_edge_list(std::move(edges));
+}
+
+TEST(PackedIndex, BuildMatchesBruteForce) {
+  const graph::Csr g = packed_fixture_graph(0x9a11);
+  // A threshold mid-universe forces both head and tail to be non-empty.
+  constexpr VertexId kThreshold = 256;
+  const auto index = PackedHubIndex::build(g, kThreshold);
+  EXPECT_EQ(index.threshold(), kThreshold);
+  EXPECT_EQ(index.num_blocks(), (kThreshold + 63) / 64);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    // head_size = number of sub-threshold neighbors (a sorted prefix).
+    std::uint32_t head = 0;
+    while (head < nbrs.size() && nbrs[head] < kThreshold) ++head;
+    ASSERT_EQ(index.head_size(v), head) << "vertex " << v;
+    // Expanding the packed entries recovers exactly the head set.
+    std::vector<VertexId> unpacked;
+    const auto blocks = index.block_ids(v);
+    const auto words = index.words(v);
+    ASSERT_EQ(blocks.size(), words.size());
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+      if (k > 0) ASSERT_LT(blocks[k - 1], blocks[k]) << "vertex " << v;
+      for (unsigned bit = 0; bit < 64; ++bit) {
+        if ((words[k] >> bit) & 1u) {
+          unpacked.push_back(64u * blocks[k] + bit);
+        }
+      }
+    }
+    ASSERT_EQ(unpacked.size(), head) << "vertex " << v;
+    for (std::uint32_t k = 0; k < head; ++k) {
+      ASSERT_EQ(unpacked[k], nbrs[k]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(PackedIndex, IntersectCountMatchesMerge) {
+  const graph::Csr g = packed_fixture_graph(0x9a12);
+  constexpr VertexId kThreshold = 192;  // not a multiple of 64 blocks * 64
+  const auto index = PackedHubIndex::build(g, kThreshold);
+  std::vector<PackedHubIndex::Word> dense(index.num_blocks(), 0);
+  util::Xoshiro256 rng(0x9a13);
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto u = static_cast<VertexId>(rng.below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.below(g.num_vertices()));
+    for (std::size_t k = 0; k < index.block_ids(u).size(); ++k) {
+      dense[index.block_ids(u)[k]] = index.words(u)[k];
+    }
+    const CnCount via_packed =
+        packed_intersect_count(dense.data(), index.block_ids(v),
+                               index.words(v));
+    const auto head_u = g.neighbors(u).subspan(0, index.head_size(u));
+    const auto head_v = g.neighbors(v).subspan(0, index.head_size(v));
+    ASSERT_EQ(via_packed, merge_count(head_u, head_v))
+        << "pair (" << u << ", " << v << ")";
+    for (const PackedHubIndex::BlockId block : index.block_ids(u)) {
+      dense[block] = 0;
+    }
+  }
+}
+
+TEST(PackedCounter, CountsMatchMergeAndClearRestoresZero) {
+  const graph::Csr g = packed_fixture_graph(0x9a14);
+  const auto index = PackedHubIndex::build(g, 128);
+  PackedCounter ctx;
+  ctx.reshape(g, index);
+  EXPECT_TRUE(ctx.all_zero());
+  for (const VertexId u : {VertexId{0}, VertexId{3}, VertexId{599}}) {
+    ctx.set_source(g, index, u);
+    EXPECT_EQ(ctx.source(), u);
+    for (const VertexId v : g.neighbors(u)) {
+      ASSERT_EQ(ctx.count(g, index, v, /*prefetch=*/false),
+                merge_count(g.neighbors(u), g.neighbors(v)))
+          << "pair (" << u << ", " << v << ")";
+    }
+  }
+  ctx.clear_source(g, index);
+  EXPECT_TRUE(ctx.all_zero());
+}
+
+TEST(PackedCounter, SetSourceIsLazyAndEvicts) {
+  const graph::Csr g = packed_fixture_graph(0x9a15);
+  const auto index = PackedHubIndex::build(g, 64);
+  PackedCounter ctx;
+  ctx.reshape(g, index);
+  ctx.set_source(g, index, 7);
+  ctx.set_source(g, index, 7);  // no-op
+  EXPECT_EQ(ctx.source(), 7u);
+  ctx.set_source(g, index, 11);  // evicts 7, loads 11
+  EXPECT_EQ(ctx.source(), 11u);
+  for (const VertexId v : g.neighbors(11)) {
+    ASSERT_EQ(ctx.count(g, index, v, /*prefetch=*/false),
+              merge_count(g.neighbors(11), g.neighbors(v)));
+  }
+  ctx.clear_source(g, index);
+  EXPECT_TRUE(ctx.all_zero());
+}
+
+TEST(PackedIndex, ThresholdCoversWholeUniverse) {
+  // Every vertex below the threshold: tails are empty everywhere and the
+  // packed path alone must carry full counts.
+  const graph::Csr g = packed_fixture_graph(0x9a16);
+  ASSERT_LE(g.num_vertices(), PackedHubIndex::kDefaultThreshold);
+  const auto index = PackedHubIndex::build(g);
+  PackedCounter ctx;
+  ctx.reshape(g, index);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    ASSERT_EQ(index.head_size(u), g.degree(u));
+  }
+  ctx.set_source(g, index, 0);
+  for (const VertexId v : g.neighbors(0)) {
+    ASSERT_EQ(ctx.count(g, index, v, /*prefetch=*/false),
+              merge_count(g.neighbors(0), g.neighbors(v)));
+  }
+  ctx.clear_source(g, index);
 }
 
 }  // namespace

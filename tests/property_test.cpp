@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/api.hpp"
 #include "core/verify.hpp"
@@ -173,6 +175,81 @@ INSTANTIATE_TEST_SUITE_P(
                       GraphSpec{"pl_tiny", 40, 100, 2.2, 5},
                       GraphSpec{"er_ring", 1000, 1200, -1, 6}),
     [](const auto& info) { return std::string(info.param.kind); });
+
+TEST(PropertyEdge, ReorderInvolutionOnDegreeTieGraphs) {
+  // The forward permutation and its inverse must be involution partners
+  // (perm ∘ inverse == inverse ∘ perm == identity) even when stable_sort
+  // has nothing but ties to break: regular graphs, unions of equal
+  // cliques, and a two-level degree plateau are the adversarial shapes.
+  std::vector<std::pair<const char*, Csr>> shapes;
+  {
+    // Cycle: every degree is 2.
+    EdgeList cycle(64);
+    for (VertexId v = 0; v < 64; ++v) cycle.add(v, (v + 1) % 64);
+    shapes.emplace_back("cycle", Csr::from_edge_list(std::move(cycle)));
+  }
+  {
+    // Union of 8 disjoint K_5s: all degrees 4, 8-way ties per rank.
+    EdgeList cliques(40);
+    for (VertexId c = 0; c < 8; ++c) {
+      for (VertexId i = 0; i < 5; ++i) {
+        for (VertexId j = i + 1; j < 5; ++j) {
+          cliques.add(5 * c + i, 5 * c + j);
+        }
+      }
+    }
+    shapes.emplace_back("cliques", Csr::from_edge_list(std::move(cliques)));
+  }
+  {
+    // Two-level plateau: a K_8 core (degree 7 + pendants) and 32 leaves
+    // of degree 1 — exactly two distinct degrees, massive tie groups.
+    EdgeList plateau(8 + 32);
+    for (VertexId i = 0; i < 8; ++i) {
+      for (VertexId j = i + 1; j < 8; ++j) plateau.add(i, j);
+    }
+    for (VertexId leaf = 0; leaf < 32; ++leaf) {
+      plateau.add(leaf % 8, 8 + leaf);
+    }
+    shapes.emplace_back("plateau", Csr::from_edge_list(std::move(plateau)));
+  }
+  {
+    // Edgeless: every vertex ties at degree 0.
+    shapes.emplace_back("edgeless", Csr::from_edge_list(EdgeList(17)));
+  }
+  for (const auto& [name, g] : shapes) {
+    const auto perm = graph::degree_descending_permutation(g);
+    std::vector<VertexId> inverse;
+    const Csr via_vec = graph::reorder_degree_descending(g, &inverse);
+    graph::IdMap map;
+    const Csr via_map = graph::reorder_degree_descending(g, &map);
+    ASSERT_EQ(via_vec.dst(), via_map.dst()) << name;
+    EXPECT_TRUE(map.validate().empty()) << name << ": " << map.validate();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      // Stable sort: ties keep ascending original order, so the rank of
+      // v is the number of vertices that outrank it.
+      ASSERT_EQ(inverse[perm[v]], v) << name;
+      ASSERT_EQ(perm[inverse[v]], v) << name;
+      ASSERT_EQ(map.to_internal(v), perm[v]) << name;
+      ASSERT_EQ(map.to_external(perm[v]), v) << name;
+      if (v > 0 && g.degree(v) == g.degree(v - 1)) {
+        // Tie-break determinism: equal degrees keep their relative order.
+        EXPECT_LT(perm[v - 1], perm[v]) << name;
+      }
+    }
+    // Counts survive the relabel bit for bit once translated back.
+    const auto original = core::count_common_neighbors(g);
+    const auto relabeled = core::count_common_neighbors(via_map);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      const EdgeId base = g.offset_begin(u);
+      const auto nbrs = g.neighbors(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const EdgeId mapped =
+            via_map.find_edge(map.to_internal(u), map.to_internal(nbrs[k]));
+        ASSERT_EQ(original[base + k], relabeled[mapped]) << name;
+      }
+    }
+  }
+}
 
 TEST(PropertyEdge, EdgeDeletionMonotonicity) {
   // P8: removing one edge (a,b) can only lower counts of other edges

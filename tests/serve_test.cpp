@@ -6,15 +6,20 @@
 
 #include <atomic>
 #include <future>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "check/differential.hpp"
 #include "core/api.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "graph/reorder.hpp"
 #include "intersect/merge.hpp"
 #include "serve/service.hpp"
+#include "serve/session.hpp"
 
 namespace aecnc {
 namespace {
@@ -452,6 +457,128 @@ TEST(Service, SnapshotSwapUnderLoadKeepsEpochsConsistent) {
   const auto report = check::run_kernel_differential(diff);
   EXPECT_TRUE(report.ok())
       << (report.mismatches.empty() ? "" : report.mismatches.front());
+}
+
+// ---------------------------------------------------------------------------
+// Relabeled serving (ServiceConfig::relabel): internal hub-first snapshots
+// behind external-ID requests and replies.
+
+TEST(ServiceRelabel, PublishesHubFirstSnapshotsBehindExternalIds) {
+  const graph::Csr g = test_graph(71, 500, 3000);
+  const core::CountArray direct = core::count_common_neighbors(g);
+
+  serve::ServiceConfig cfg;
+  cfg.relabel = true;
+  serve::Service svc(cfg);
+  svc.publish(graph::Csr(g));
+
+  const auto snap = svc.snapshot();
+  EXPECT_TRUE(graph::is_degree_descending(snap->graph));
+  EXPECT_FALSE(snap->id_map.is_identity());
+  EXPECT_TRUE(snap->id_map.validate().empty()) << snap->id_map.validate();
+
+  // Point replies speak external IDs and match the unrelabeled run.
+  for (VertexId u = 0; u < g.num_vertices(); u += 13) {
+    for (const VertexId v : g.neighbors(u)) {
+      const auto r = svc.query_edge(u, v);
+      ASSERT_EQ(r.u, u);
+      ASSERT_EQ(r.v, v);
+      ASSERT_TRUE(r.is_edge);
+      ASSERT_EQ(r.count, direct[g.find_edge(u, v)]);
+    }
+  }
+  // Cache round trip: the symmetric repeat must hit.
+  const VertexId u0 = 0;
+  ASSERT_GT(g.degree(u0), 0u);
+  const VertexId v0 = g.neighbors(u0)[0];
+  (void)svc.query_edge(u0, v0);
+  EXPECT_TRUE(svc.query_edge(v0, u0).cached);
+
+  // Vertex replies come back in external neighbor order.
+  for (VertexId u = 0; u < g.num_vertices(); u += 29) {
+    const auto r = svc.query_vertex(u);
+    const auto nbrs = g.neighbors(u);
+    ASSERT_EQ(r.neighbors.size(), nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ASSERT_EQ(r.neighbors[k], nbrs[k]);
+      ASSERT_EQ(r.counts[k], direct[g.offset_begin(u) + k]);
+    }
+  }
+}
+
+TEST(ServiceRelabel, ScriptedSessionByteIdenticalToUnrelabeled) {
+  // The golden-session contract: the exact same request stream produces
+  // the exact same reply bytes whether or not the service relabels —
+  // including mutations, publishes, error replies, and cache flags.
+  const graph::Csr g = test_graph(73, 400, 2400);
+  std::string script;
+  {
+    std::ostringstream s;
+    s << "edge 1 2\nedge 2 1\nvertex 0\nvertex 399\n";
+    s << "batch 1 2 3 4 5 6\n";
+    // Mutations in external IDs: a fresh edge, a dup add, a delete.
+    s << "add 0 399\nadd 0 399\ndel 1 2\npublish\n";
+    s << "edge 0 399\nedge 1 2\nvertex 0\n";
+    // Error paths: out-of-universe ids and malformed requests reply
+    // identically (pass-through translation keeps rejection exact).
+    s << "add 400 2\nedge 99999 3\nbogus request\n";
+    s << "stats\n";
+    script = s.str();
+  }
+  const auto run = [&](bool relabel) {
+    serve::ServiceConfig cfg;
+    cfg.relabel = relabel;
+    cfg.engine.num_workers = 1;
+    cfg.update.max_vertices = g.num_vertices();
+    serve::Service svc(cfg);
+    svc.publish(graph::Csr(g));
+    std::istringstream in(script);
+    std::ostringstream out;
+    (void)serve::run_session(svc, in, out);
+    return out.str();
+  };
+  const std::string off = run(false);
+  const std::string on = run(true);
+  EXPECT_EQ(off, on);
+  EXPECT_NE(off.find("publish: epoch=2"), std::string::npos);
+}
+
+TEST(ServiceRelabel, PipelinePublishKeepsTranslationAttached) {
+  // Mutations staged in external IDs must survive several pipeline
+  // publishes: each publish carries the seeding map forward, so query
+  // translation stays consistent with the maintained state.
+  const graph::Csr g = test_graph(79, 300, 1800);
+  serve::ServiceConfig cfg;
+  cfg.relabel = true;
+  cfg.update.max_vertices = g.num_vertices();
+  serve::Service svc(cfg);
+  svc.publish(graph::Csr(g));
+
+  // Three rounds: add a new external edge, publish, check counts match a
+  // direct recount of the mutated edge list.
+  graph::EdgeList edges(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) edges.add(u, v);
+    }
+  }
+  const std::vector<std::pair<VertexId, VertexId>> additions = {
+      {0, 250}, {1, 299}, {2, 3}};
+  for (const auto& [a, b] : additions) {
+    if (g.has_edge(a, b)) continue;
+    const update::Mutation m{update::kAddEdge, a, b};
+    const auto report = svc.apply_updates({&m, 1});
+    ASSERT_EQ(report.rejected, 0u);
+    ASSERT_TRUE(svc.pending_count(a, b).has_value());
+    EXPECT_EQ(svc.pending_count(a, b), svc.pending_count(b, a));
+    (void)svc.publish();
+    edges.add(a, b);
+    const graph::Csr mutated = graph::Csr::from_edge_list(edges);
+    const auto direct = core::count_common_neighbors(mutated);
+    const auto r = svc.query_edge(a, b);
+    EXPECT_TRUE(r.is_edge);
+    EXPECT_EQ(r.count, direct[mutated.find_edge(a, b)]);
+  }
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,11 +17,13 @@
 #include "core/sequential.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "graph/reorder.hpp"
 #include "intersect/merge.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot_store.hpp"
 #include "test_seed.hpp"
 #include "update/pipeline.hpp"
+#include "update/replay.hpp"
 #include "util/prng.hpp"
 
 namespace aecnc {
@@ -641,6 +645,88 @@ TEST(ServiceUpdates, ConcurrentReadersDuringMutatingPublish) {
 
   EXPECT_GT(validated.load(), 0u);
   EXPECT_EQ(svc.current_epoch(), graphs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Replay on a relabeled pipeline (ReplayOptions::id_map)
+
+TEST(Replay, RelabeledReplayByteIdenticalToPlain) {
+  // The same external-ID mutation stream — adds, duplicate adds, deletes,
+  // re-inserts, out-of-universe rejections, verified publishes, trailing
+  // unpublished mutations — must produce byte-identical replay output
+  // whether the pipeline runs in the original space or the degree-ordered
+  // internal space behind an IdMap.
+  const graph::Csr g = test_graph(mix_seed(1031), 200, 1000);
+
+  // Deterministically pick one existing edge and one non-edge.
+  VertexId eu = 0;
+  VertexId ev = 0;
+  for (VertexId u = 0; u < g.num_vertices() && ev == 0; ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) {
+        eu = u;
+        ev = v;
+        break;
+      }
+    }
+  }
+  ASSERT_LT(eu, ev);
+  VertexId nv = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (!g.has_edge(0, v)) {
+      nv = v;
+      break;
+    }
+  }
+  ASSERT_GT(nv, 0u);
+
+  std::string script;
+  {
+    std::ostringstream s;
+    s << "# external-id mutation stream\n";
+    s << "add 0 " << nv << "\n";
+    s << "add 0 " << nv << "\n";  // duplicate: noop
+    s << "del " << eu << ' ' << ev << "\n";
+    s << "publish\n";
+    s << "add " << eu << ' ' << ev << "\n";  // re-insert
+    s << "remove 0 " << nv << "\n";
+    s << "add " << g.num_vertices() << " 5\n";  // out of universe: rejected
+    s << "publish\n";
+    s << "del 7 999999\n";  // rejected, trailing (never published)
+    script = s.str();
+  }
+
+  const auto run = [&](bool relabel) {
+    update::PipelineConfig cfg;
+    cfg.max_vertices = g.num_vertices();
+    graph::IdMap map;
+    const graph::Csr seeded =
+        relabel ? graph::reorder_degree_descending(g, &map) : g;
+    update::UpdatePipeline pipe(seeded, cfg);
+    serve::SnapshotStore store;
+    store.publish(graph::Csr(seeded), map);
+    std::istringstream in(script);
+    std::ostringstream out;
+    const update::ReplayOptions opts{
+        .verify = true,
+        .id_map = relabel ? &map : nullptr,
+    };
+    EXPECT_TRUE(update::run_replay(pipe, store, in, out, opts));
+    // The relabeled run's published snapshots carry the map forward
+    // (mutations may disturb strict degree order; the map must not drop).
+    if (relabel) {
+      const auto snap = store.acquire();
+      EXPECT_NE(snap, nullptr);
+      if (snap != nullptr) EXPECT_FALSE(snap->id_map.is_identity());
+    }
+    return out.str();
+  };
+
+  const std::string plain = run(false);
+  const std::string relabeled = run(true);
+  EXPECT_EQ(plain, relabeled);
+  EXPECT_NE(plain.find("verify=ok"), std::string::npos);
+  EXPECT_NE(plain.find("rejected=2"), std::string::npos);
 }
 
 }  // namespace

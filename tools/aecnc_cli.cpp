@@ -10,6 +10,7 @@
 //   aecnc_cli count     --in=... --out=counts.txt
 //                       [--algo=mps|bmp|m] [--rf] [--kernel=...]
 //                       [--threads=0] [--seq] [--shards=p]
+//                       [--relabel] [--packed] [--pack-threshold=32768]
 //   aecnc_cli triangles --in=...  [--algo=merge|hash|all-edge]
 //   aecnc_cli scan      --in=... --eps=0.5 --mu=3 [--out=clusters.txt]
 //   aecnc_cli verify    --in=...   (all algorithm variants vs brute force)
@@ -17,11 +18,18 @@
 //   aecnc_cli serve     --in=... [--script=reqs.txt] [--out=replies.txt]
 //                       [--algo=mps|bmp|m] [--index=bitmap|hash]
 //                       [--workers=N] [--cache=65536] [--task-size=64]
-//                       [--kernel=...] [--obs-clock=fake]
+//                       [--kernel=...] [--obs-clock=fake] [--relabel]
 //   aecnc_cli update    --in=... --mutations=muts.txt [--out=replies.txt]
 //                       [--batch=1024] [--recount-advantage=4.0]
 //                       [--min-recount-batch=16] [--max-vertices=0]
-//                       [--seq] [--verify]
+//                       [--seq] [--verify] [--relabel]
+//
+// --relabel (count/serve/update) switches the engine to the hub-first
+// internal ID space behind graph::IdMap: counts, session replies, and
+// replay output stay byte-identical to the unrelabeled run while the
+// kernels see descending-degree adjacency. count --packed additionally
+// intersects hub neighborhoods via the word-packed index
+// (docs/perf.md).
 //
 // stats --obs=json|prom runs one sequential count with the observability
 // layer enabled and prints the metric registry dump instead of the graph
@@ -239,7 +247,7 @@ int cmd_stats(const util::CliArgs& args) {
 int cmd_count(const util::CliArgs& args) {
   require_known(args,
                 {"in", "out", "algo", "rf", "kernel", "threads", "seq",
-                 "shards"});
+                 "shards", "relabel", "packed", "pack-threshold"});
   const graph::Csr g = load_graph(args);
   core::Options opt = parse_algo_options(args);
   const std::string algo = args.get("algo", "mps");
@@ -247,6 +255,13 @@ int cmd_count(const util::CliArgs& args) {
   opt.num_threads = static_cast<int>(args.get_int("threads", 0));
   opt.num_shards = static_cast<int>(args.get_int("shards", 0));
   if (opt.num_shards < 0) usage("--shards must be >= 0");
+  opt.relabel = args.get_bool("relabel", false);
+  opt.bmp_packed = args.get_bool("packed", false);
+  opt.pack_threshold = static_cast<std::uint32_t>(args.get_int(
+      "pack-threshold", static_cast<std::int64_t>(opt.pack_threshold)));
+  if (opt.pack_threshold == 0 || opt.pack_threshold > 65536) {
+    usage("--pack-threshold must be in (0, 65536]");
+  }
 
   util::WallTimer timer;
   const auto counts = opt.algorithm == core::Algorithm::kBmp
@@ -476,7 +491,8 @@ int cmd_query(const util::CliArgs& args) {
 
 int cmd_serve(const util::CliArgs& args) {
   require_known(args, {"in", "script", "out", "algo", "rf", "kernel", "index",
-                       "workers", "cache", "task-size", "obs-clock"});
+                       "workers", "cache", "task-size", "obs-clock",
+                       "relabel"});
   graph::Csr g = load_graph(args);
 
   // Scripted sessions always serve with observability on: the metric
@@ -498,6 +514,9 @@ int cmd_serve(const util::CliArgs& args) {
   cfg.engine.task_size =
       static_cast<std::uint64_t>(args.get_int("task-size", 64));
   cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 65536));
+  // Internal hub-first snapshots behind external-ID requests/replies;
+  // scripted sessions are byte-identical with the flag on or off.
+  cfg.relabel = args.get_bool("relabel", false);
   // Pin the mutable vertex universe to the initial graph: a scripted
   // session mutating vertex ids the graph never had is a client bug, and
   // the pinned universe turns it into a deterministic error reply.
@@ -530,7 +549,8 @@ int cmd_serve(const util::CliArgs& args) {
 
 int cmd_update(const util::CliArgs& args) {
   require_known(args, {"in", "mutations", "out", "batch", "recount-advantage",
-                       "min-recount-batch", "max-vertices", "seq", "verify"});
+                       "min-recount-batch", "max-vertices", "seq", "verify",
+                       "relabel"});
   const std::string muts_path = args.get("mutations", "");
   if (muts_path.empty()) usage("--mutations=<path> is required");
   std::ifstream muts(muts_path);
@@ -554,12 +574,26 @@ int cmd_update(const util::CliArgs& args) {
       static_cast<std::size_t>(args.get_int("min-recount-batch", 16));
   cfg.max_vertices = static_cast<VertexId>(args.get_int("max-vertices", 0));
   cfg.recount_options.parallel = !args.get_bool("seq", false);
-  const update::ReplayOptions replay{.verify = args.get_bool("verify", false)};
+
+  // --relabel seeds the pipeline from the hub-first internal graph; the
+  // map translates mutation lines in and published snapshots carry it.
+  // Replay output is byte-identical with the flag on or off (out-of-range
+  // ids pass through the map unchanged and reject exactly as before).
+  graph::IdMap id_map;
+  const bool relabel = args.get_bool("relabel", false);
+  if (relabel) g = graph::reorder_degree_descending(g, &id_map);
+  const update::ReplayOptions replay{
+      .verify = args.get_bool("verify", false),
+      .id_map = relabel ? &id_map : nullptr,
+  };
 
   // The pipeline seeds its maintained counts from the input graph; the
   // store gives every publish a real epoch, exactly as in the service.
+  // The initial snapshot carries the map so epoch 1 translates like
+  // every pipeline-published epoch after it.
   update::UpdatePipeline pipe(g, cfg);
-  serve::SnapshotStore store(std::move(g));
+  serve::SnapshotStore store;
+  store.publish(std::move(g), id_map);
 
   // The parser lives in the library (src/update/replay.cpp) so the fuzz
   // harness drives the same code; the CLI only wires the streams.

@@ -60,6 +60,19 @@ REQUIRED_KEYS = {
         "obs.mps_dispatch_on_ms",
         "obs.e2e_mps_off_ms",
         "obs.e2e_mps_on_ms",
+        # Relabel + packed hub index (section E, docs/perf.md): build
+        # cost, footprint, skewed-pair micro, and the packed-vs-plain BMP
+        # end-to-end ratio the floor below gates.
+        "packed.build_ms",
+        "packed.bytes",
+        "packed.bytes_per_hub",
+        "packed.words",
+        "packed.micro_packed_ms",
+        "packed.micro_bmp_ms",
+        "packed.micro_merge_ms",
+        "packed.e2e_packed_ms",
+        "packed.e2e_bmp_ms",
+        "packed_e2e_vs_bmp",
     ],
     "serve_throughput": [
         "dataset",
@@ -125,6 +138,10 @@ HOTPATH_MIN_SPEEDUP = {
     "symcopy_speedup": 0.9,
     "e2e_bmp_speedup": 0.9,
     "e2e_speedup": 0.75,
+    # The packed hub index must never lose to the plain |V|-bit BMP it
+    # replaces on the relabeled replica (it measures >= 1.15x on the TW
+    # shape; 1.0 is the never-a-pessimization floor).
+    "packed_e2e_vs_bmp": 1.0,
 }
 
 LOWER_IS_BETTER = ("_ms", "_s", "_time", "_bytes")
@@ -213,9 +230,9 @@ def check_invariants(data: dict, path: Path) -> list[str]:
         speedup = lookup(data, key)
         if isinstance(speedup, (int, float)) and speedup < floor:
             errors.append(
-                f"{path}: reverse-index path is slower than the find_edge "
-                f"path it replaced ({key} {speedup:.3f} < {floor}) — the "
-                f"O(|E|) index regressed"
+                f"{path}: optimized path is slower than the baseline it "
+                f"replaced ({key} {speedup:.3f} < {floor}) — the "
+                f"optimization regressed"
             )
     for key in ("symcopy_reverse_ms", "symcopy_find_edge_ms"):
         value = lookup(data, key)

@@ -32,9 +32,14 @@ import sys
 from pathlib import Path
 
 # Files allowed to contain raw call sites of kernel symbols outside the
-# kernel TUs themselves: the runtime dispatch layer and the differential
-# harness (which cross-checks kernels directly under its own cpuid guard).
-DISPATCH_FILES = {"intersect/dispatch.cpp", "check/differential.cpp"}
+# kernel TUs themselves: the runtime dispatch layers (VB merge and packed
+# popcount) and the differential harness (which cross-checks kernels
+# directly under its own cpuid guard).
+DISPATCH_FILES = {
+    "intersect/dispatch.cpp",
+    "intersect/packed_index.cpp",
+    "check/differential.cpp",
+}
 
 # The cpuid guard functions themselves: referencing them anywhere is the
 # point, so they are never treated as kernel symbols.
