@@ -8,12 +8,15 @@
 // answering point/batch queries against a long-lived snapshot". Emits
 // BENCH_serve.json next to the human-readable table so the perf
 // trajectory of the service is tracked across PRs.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "serve/service.hpp"
+#include "update/pipeline.hpp"
 #include "util/timer.hpp"
 
 using namespace aecnc;
@@ -26,6 +29,24 @@ std::uint64_t next_rand(std::uint64_t& x) {
   x ^= x >> 7;
   x ^= x << 17;
   return x;
+}
+
+/// One arm of the sustained mixed query/mutation workload.
+struct MixedResult {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double hit_rate = 0;
+  double qps = 0;
+  std::uint64_t carried = 0;
+};
+
+double percentile(std::vector<std::uint64_t>& ns, double q) {
+  if (ns.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(idx),
+                   ns.end());
+  return static_cast<double>(ns[idx]);
 }
 
 }  // namespace
@@ -108,6 +129,84 @@ int main(int argc, char** argv) {
   const double all_edge_s = timer.seconds();
   sink += all.front();
 
+  // Sustained mixed query/mutation traffic (docs/serving.md): rounds of
+  // hot-set point queries interleaved with touched-neighborhood
+  // mutations and a publish. Two arms differ only in the invalidation
+  // strategy — fine-grained carry-forward vs wholesale drop-everything —
+  // so the hit-rate ratio isolates exactly what the tentpole buys. Each
+  // mutation batch deletes and re-adds a random edge: the staged graph
+  // returns to the same shape every publish (both arms serve identical
+  // counts) while the touched neighborhoods still exercise the
+  // invalidation boundary.
+  const std::size_t mixed_rounds = 8;
+  const std::size_t mixed_queries = std::max<std::size_t>(queries / 8, 1);
+  const std::size_t hot_pairs =
+      std::min<std::size_t>(2048, forward.size());
+  const auto run_mixed = [&](bool fine_grained) {
+    serve::ServiceConfig mixed_cfg;
+    mixed_cfg.engine.options.mps.kind = intersect::best_merge_kind();
+    mixed_cfg.cache_capacity = 4 * queries;
+    mixed_cfg.fine_grained_invalidation = fine_grained;
+    serve::Service mixed_svc(mixed_cfg);
+    mixed_svc.publish(graph::Csr(g.csr));
+
+    std::uint64_t mixed_rng = 0xfeedULL;  // same stream for both arms
+    std::vector<serve::EdgeQuery> hot;
+    hot.reserve(hot_pairs);
+    for (std::size_t i = 0; i < hot_pairs; ++i) {
+      hot.push_back(forward[next_rand(mixed_rng) % forward.size()]);
+    }
+
+    MixedResult r;
+    std::vector<std::uint64_t> lat;
+    lat.reserve(mixed_rounds * mixed_queries);
+    double query_s = 0;
+    for (std::size_t round = 0; round < mixed_rounds; ++round) {
+      util::WallTimer round_timer;
+      for (std::size_t i = 0; i < mixed_queries; ++i) {
+        const auto& q = hot[next_rand(mixed_rng) % hot.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        sink += mixed_svc.query_edge(q.u, q.v).count;
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      }
+      query_s += round_timer.seconds();
+      for (std::size_t m = 0; m < 16; ++m) {
+        const auto& e = forward[next_rand(mixed_rng) % forward.size()];
+        const update::Mutation flip[] = {
+            {update::kDelEdge, e.u, e.v},
+            {update::kAddEdge, e.u, e.v},
+        };
+        (void)mixed_svc.apply_updates(flip);
+      }
+      (void)mixed_svc.publish();
+    }
+
+    const serve::ServiceStats stats = mixed_svc.stats();
+    const double lookups =
+        static_cast<double>(stats.cache.hits + stats.cache.misses);
+    r.hit_rate =
+        lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups : 0;
+    r.carried = stats.cache.carried_forward;
+    r.p50_ns = percentile(lat, 0.50);
+    r.p99_ns = percentile(lat, 0.99);
+    r.qps = query_s > 0
+                ? static_cast<double>(lat.size()) / query_s
+                : 0;
+    return r;
+  };
+  const MixedResult mixed_fine = run_mixed(true);
+  const MixedResult mixed_wholesale = run_mixed(false);
+  // The ratio the regression gate holds >= 1.0 (carry-forward must never
+  // lose to dropping the whole cache). Clamped so a degenerate
+  // zero-hit-rate baseline cannot emit inf/NaN into the JSON.
+  const double hit_rate_ratio =
+      mixed_wholesale.hit_rate > 0
+          ? mixed_fine.hit_rate / mixed_wholesale.hit_rate
+          : (mixed_fine.hit_rate > 0 ? 99.0 : 1.0);
+
   const double n_queries = static_cast<double>(queries);
   const double n_edges = static_cast<double>(forward.size());
   const double qps_recompute = n_queries / recompute_s;
@@ -140,6 +239,22 @@ int main(int argc, char** argv) {
                  util::format_count(static_cast<std::uint64_t>(all_edge_eps)) +
                      " edges/s",
                  "one-shot reference"});
+  table.add_row({"mixed fine-grained (carry-forward)",
+                 util::format_count(static_cast<std::uint64_t>(mixed_fine.qps)) +
+                     " q/s",
+                 "p99 " + util::format_count(static_cast<std::uint64_t>(
+                              mixed_fine.p99_ns)) +
+                     "ns, hit rate " +
+                     util::format_fixed(100 * mixed_fine.hit_rate, 1) + "%"});
+  table.add_row(
+      {"mixed wholesale (drop cache on publish)",
+       util::format_count(static_cast<std::uint64_t>(mixed_wholesale.qps)) +
+           " q/s",
+       "p99 " +
+           util::format_count(
+               static_cast<std::uint64_t>(mixed_wholesale.p99_ns)) +
+           "ns, hit rate " +
+           util::format_fixed(100 * mixed_wholesale.hit_rate, 1) + "%"});
   table.print();
   std::printf("(sink %llu keeps the loops live)\n",
               static_cast<unsigned long long>(sink & 0xff));
@@ -162,13 +277,39 @@ int main(int argc, char** argv) {
                "  \"cached_speedup_vs_recompute\": %.2f,\n"
                "  \"batch_edges_per_s\": %.1f,\n"
                "  \"all_edge_edges_per_s\": %.1f,\n"
-               "  \"batch_time_over_all_edge_time\": %.3f\n"
+               "  \"batch_time_over_all_edge_time\": %.3f,\n"
+               "  \"mixed\": {\n"
+               "    \"rounds\": %zu,\n"
+               "    \"queries_per_round\": %zu,\n"
+               "    \"fine\": {\n"
+               "      \"p50_ns\": %.1f,\n"
+               "      \"p99_ns\": %.1f,\n"
+               "      \"hit_rate\": %.4f,\n"
+               "      \"qps\": %.1f,\n"
+               "      \"carried_forward\": %llu\n"
+               "    },\n"
+               "    \"wholesale\": {\n"
+               "      \"p50_ns\": %.1f,\n"
+               "      \"p99_ns\": %.1f,\n"
+               "      \"hit_rate\": %.4f,\n"
+               "      \"qps\": %.1f,\n"
+               "      \"carried_forward\": %llu\n"
+               "    }\n"
+               "  },\n"
+               "  \"mixed_hit_rate_vs_wholesale\": %.3f\n"
                "}\n",
                static_cast<int>(graph::dataset_name(id).size()),
                graph::dataset_name(id).data(), options.scale, queries,
                forward.size(), qps_recompute, qps_cold, qps_cached,
                cached_speedup, batch_eps, all_edge_eps,
-               all_edge_s > 0 ? batch_s / all_edge_s : 0.0);
+               all_edge_s > 0 ? batch_s / all_edge_s : 0.0, mixed_rounds,
+               mixed_queries, mixed_fine.p50_ns, mixed_fine.p99_ns,
+               mixed_fine.hit_rate, mixed_fine.qps,
+               static_cast<unsigned long long>(mixed_fine.carried),
+               mixed_wholesale.p50_ns, mixed_wholesale.p99_ns,
+               mixed_wholesale.hit_rate, mixed_wholesale.qps,
+               static_cast<unsigned long long>(mixed_wholesale.carried),
+               hit_rate_ratio);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

@@ -55,6 +55,10 @@ const ServeMetrics& ServeMetrics::get() {
         .batch_ns = r.histogram("serve.latency.batch_ns"),
         .cache_hits = r.counter("serve.cache.hits"),
         .cache_misses = r.counter("serve.cache.misses"),
+        .cache_carried = r.counter("serve.cache.carried_forward"),
+        .coalesce_joined = r.counter("serve.coalesce.joined"),
+        .slo_stale = r.counter("serve.slo.stale"),
+        .slo_shed = r.counter("serve.slo.shed"),
         .publishes = r.counter("serve.publishes"),
         .backpressure_waits = r.counter("serve.backpressure_waits"),
         .shed = r.counter("serve.shed"),

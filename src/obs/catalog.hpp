@@ -65,6 +65,10 @@ struct ServeMetrics {
   Histogram& batch_ns;         // serve.latency.batch_ns
   Counter& cache_hits;         // serve.cache.hits
   Counter& cache_misses;       // serve.cache.misses
+  Counter& cache_carried;      // serve.cache.carried_forward
+  Counter& coalesce_joined;    // serve.coalesce.joined
+  Counter& slo_stale;          // serve.slo.stale
+  Counter& slo_shed;           // serve.slo.shed
   Counter& publishes;          // serve.publishes
   Counter& backpressure_waits; // serve.backpressure_waits
   Counter& shed;               // serve.shed

@@ -1,0 +1,52 @@
+#include "serve/admission.hpp"
+
+namespace aecnc::serve {
+
+void AdmissionController::record(ClientId client, std::uint64_t ns) {
+  if (!enabled()) return;
+  if (config_.fake_sample_ns != 0) ns = config_.fake_sample_ns;
+  util::MutexLock lock(&mutex_);
+  Window& w = windows_[client];
+  ++w.buckets[static_cast<std::size_t>(bucket_of(ns))];
+  ++w.total;
+  if (config_.window > 0 && w.total >= config_.window) {
+    // Halve-decay: recent samples keep majority weight, one old burst
+    // fades geometrically, and totals stay bounded.
+    std::uint64_t total = 0;
+    for (std::uint64_t& b : w.buckets) {
+      b /= 2;
+      total += b;
+    }
+    w.total = total;
+  }
+}
+
+std::uint64_t AdmissionController::p99_locked(const Window& w) const {
+  if (w.total < config_.min_samples) return 0;  // not engaged yet
+  const std::uint64_t rank = (w.total * 99 + 99) / 100;  // ceil(0.99·total)
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += w.buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kNumBuckets - 1);
+}
+
+bool AdmissionController::admit(ClientId client) const {
+  if (!enabled()) return true;
+  util::MutexLock lock(&mutex_);
+  const auto it = windows_.find(client);
+  if (it == windows_.end()) return true;
+  const std::uint64_t p99 = p99_locked(it->second);
+  return p99 == 0 || p99 <= config_.p99_budget_ns;
+}
+
+std::uint64_t AdmissionController::p99_ns(ClientId client) const {
+  if (!enabled()) return 0;
+  util::MutexLock lock(&mutex_);
+  const auto it = windows_.find(client);
+  if (it == windows_.end()) return 0;
+  return p99_locked(it->second);
+}
+
+}  // namespace aecnc::serve

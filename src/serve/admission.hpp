@@ -1,0 +1,100 @@
+// Per-client SLO-aware admission control for point queries
+// (docs/serving.md has the staleness contract).
+//
+// Each client gets a decaying log2-bucket latency window over its
+// recent *compute* latencies (cache hits never threaten the SLO and are
+// not recorded). When the window's p99 exceeds the configured budget,
+// further cache-missing queries from that client are not admitted to
+// the engine; the Service degrades them to a cached-stale read of the
+// previous epoch (an explicit STALE reply) or, with no stale entry to
+// serve, sheds them (SHED). Bucketing mirrors obs::Histogram — 65
+// buckets at bit_width(ns) — so the p99 this controller acts on is the
+// same figure serve.latency.point_ns reports, but kept per client and
+// independent of whether obs is compiled in.
+//
+// The window decays by halving every `window` samples instead of
+// sliding: O(1) memory per client, and one slow burst stops dominating
+// after ~2 windows of healthy traffic.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "util/annotations.hpp"
+#include "util/types.hpp"
+
+namespace aecnc::serve {
+
+/// Session-level client identity for admission control. Plain integers:
+/// the session `client <id>` verb and embedding callers pick them; 0 is
+/// the default (anonymous) client and participates like any other.
+using ClientId = std::uint64_t;
+
+struct SloConfig {
+  /// p99 compute-latency budget per client; 0 disables admission
+  /// control entirely (every query admitted).
+  std::uint64_t p99_budget_ns = 0;
+  /// Samples a client must accumulate before its p99 is trusted enough
+  /// to degrade anything — a cold window's p99 is noise.
+  std::size_t min_samples = 64;
+  /// Halve-decay the client's buckets every this many samples.
+  std::size_t window = 1024;
+  /// Degrade to previous-epoch cached reads (STALE replies) before
+  /// shedding; false sheds immediately on budget breach.
+  bool allow_stale = true;
+  /// Testing knob: when nonzero, every recorded sample is replaced by
+  /// this fixed latency, making admission decisions deterministic (the
+  /// CLI's --obs-clock=fake sets it so golden sessions don't depend on
+  /// wall-clock compute times).
+  std::uint64_t fake_sample_ns = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(SloConfig config) : config_(config) {}
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.p99_budget_ns > 0;
+  }
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+
+  /// Record one compute latency for `client`.
+  void record(ClientId client, std::uint64_t ns);
+
+  /// Whether the next cache-missing query from `client` may run a fresh
+  /// compute. Always true while disabled or under-sampled.
+  [[nodiscard]] bool admit(ClientId client) const;
+
+  /// The client's current windowed p99 (0 until min_samples reached).
+  [[nodiscard]] std::uint64_t p99_ns(ClientId client) const;
+
+ private:
+  static constexpr int kNumBuckets = 65;  // obs::Histogram bucket space
+
+  struct Window {
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+    std::uint64_t total = 0;
+  };
+
+  [[nodiscard]] static int bucket_of(std::uint64_t ns) noexcept {
+    return std::bit_width(ns);
+  }
+  [[nodiscard]] static std::uint64_t bucket_upper(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t p99_locked(const Window& w) const
+      AECNC_REQUIRES(mutex_);
+
+  SloConfig config_;
+  // aecnc: lock-leaf(bucket arithmetic only; never calls out)
+  mutable util::Mutex mutex_;
+  std::unordered_map<ClientId, Window> windows_ AECNC_GUARDED_BY(mutex_);
+};
+
+}  // namespace aecnc::serve

@@ -1,0 +1,59 @@
+#include "serve/inflight.hpp"
+
+#include <utility>
+
+namespace aecnc::serve {
+
+InflightTable::JoinResult InflightTable::join(Epoch epoch,
+                                              std::uint64_t pair) {
+  const Key key{epoch, pair};
+  JoinResult result;
+  {
+    util::MutexLock lock(&mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(key, std::make_shared<Entry>());
+      return {.leader = true, .value = std::nullopt};
+    }
+    // Hold a shared_ptr across the wait: complete()/abandon() erase the
+    // map slot before the last joiner wakes.
+    const std::shared_ptr<Entry> entry = it->second;
+    // Explicit wait loop (not wait(lock, pred)): the thread-safety
+    // analysis can't see through predicate lambdas but tracks the
+    // capability across wait(mutex).
+    while (!(entry->done || entry->abandoned)) {
+      resolved_.wait(mutex_);
+    }
+    if (entry->done) result.value = entry->value;
+  }
+  joined_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void InflightTable::complete(Epoch epoch, std::uint64_t pair,
+                             CachedEdgeCount value) {
+  const Key key{epoch, pair};
+  {
+    util::MutexLock lock(&mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    it->second->done = true;
+    it->second->value = value;
+    entries_.erase(it);
+  }
+  resolved_.notify_all();
+}
+
+void InflightTable::abandon(Epoch epoch, std::uint64_t pair) {
+  const Key key{epoch, pair};
+  {
+    util::MutexLock lock(&mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    it->second->abandoned = true;
+    entries_.erase(it);
+  }
+  resolved_.notify_all();
+}
+
+}  // namespace aecnc::serve

@@ -1,0 +1,127 @@
+// In-flight request coalescing for point queries (docs/serving.md).
+//
+// Under read-heavy traffic the same hot pair is often queried by many
+// threads at once; without coordination every one of them misses the
+// cache and recomputes the identical intersection. This table latches
+// duplicate concurrent queries for one (epoch, canonical pair) onto a
+// single computation: the first arrival becomes the *leader* and
+// computes; everyone else *joins* and blocks until the leader publishes
+// the value — one engine call per coalesced group instead of N.
+//
+// Protocol (Service::query_edge drives it on the cache-miss path):
+//
+//   auto j = inflight.join(epoch, pair);
+//   if (j.leader)        → compute, cache-insert, complete(epoch, pair, v)
+//   else if (j.value)    → leader's result, ready to return
+//   else                 → leader abandoned (threw): compute yourself
+//
+// complete() erases the entry, so a late arrival after the erase becomes
+// a fresh leader — it must re-check the result cache after winning the
+// lead (the previous leader already inserted), which closes the
+// double-compute window and gives exactly-once computation per
+// (epoch, pair) group. abandon() (RAII LeaderGuard) wakes joiners with
+// no value rather than wedging them behind an exception.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "serve/result_cache.hpp"
+#include "serve/snapshot_store.hpp"
+#include "util/annotations.hpp"
+
+namespace aecnc::serve {
+
+class InflightTable {
+ public:
+  struct JoinResult {
+    /// This caller owns the computation; it MUST complete() or abandon().
+    bool leader = false;
+    /// Joined and the leader delivered (engaged), or the leader
+    /// abandoned (empty → compute yourself). Meaningless for leaders.
+    std::optional<CachedEdgeCount> value;
+  };
+
+  /// Claim or join the in-flight computation for (epoch, pair). `pair`
+  /// must be the canonical (min << 32 | max) key in the cache's ID
+  /// space. Joiners block until the leader resolves the entry.
+  [[nodiscard]] JoinResult join(Epoch epoch, std::uint64_t pair);
+
+  /// Leader-only: publish the computed value to every joiner and retire
+  /// the entry.
+  void complete(Epoch epoch, std::uint64_t pair, CachedEdgeCount value);
+
+  /// Leader-only: give up without a value (compute threw); joiners fall
+  /// back to computing independently.
+  void abandon(Epoch epoch, std::uint64_t pair);
+
+  /// Cumulative joins that latched onto another request's computation —
+  /// each one is a recompute the table saved (modulo abandons).
+  [[nodiscard]] std::uint64_t joined() const noexcept {
+    return joined_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    bool done = false;       // complete() delivered `value`
+    bool abandoned = false;  // leader bailed; no value coming
+    CachedEdgeCount value;
+  };
+
+  struct Key {
+    Epoch epoch;
+    std::uint64_t pair;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t x = k.pair ^ (k.epoch * 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  /// Resolve the entry under the lock; joiners keep a shared_ptr so the
+  /// leader can erase the map slot while they still wait on the Entry.
+  // aecnc: lock-leaf(map upkeep and flag flips only; compute runs
+  // outside the lock)
+  mutable util::Mutex mutex_;
+  std::condition_variable_any resolved_;
+  std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_
+      AECNC_GUARDED_BY(mutex_);
+  // aecnc: atomic-ok(monotonic stats counter; relaxed add, snapshotted
+  // without ordering by Service::stats())
+  std::atomic<std::uint64_t> joined_{0};
+};
+
+/// RAII leadership: constructed by the winning leader, `complete(v)` on
+/// success; destruction without completion abandons, so an exception in
+/// the compute path can never wedge the joiners.
+class InflightLeaderGuard {
+ public:
+  InflightLeaderGuard(InflightTable* table, Epoch epoch,
+                      std::uint64_t pair) noexcept
+      : table_(table), epoch_(epoch), pair_(pair) {}
+  InflightLeaderGuard(const InflightLeaderGuard&) = delete;
+  InflightLeaderGuard& operator=(const InflightLeaderGuard&) = delete;
+  ~InflightLeaderGuard() {
+    if (table_ != nullptr) table_->abandon(epoch_, pair_);
+  }
+
+  void complete(CachedEdgeCount value) {
+    table_->complete(epoch_, pair_, value);
+    table_ = nullptr;
+  }
+
+ private:
+  InflightTable* table_;
+  Epoch epoch_;
+  std::uint64_t pair_;
+};
+
+}  // namespace aecnc::serve

@@ -19,7 +19,7 @@ void ResultCache::insert(Epoch epoch, VertexId u, VertexId v,
   if (num_sets_ == 0) return;  // disabled (capacity 0)
   const std::uint64_t pair = pair_key(u, v);
   util::SpinLockHolder lock(&mutex_);
-  const std::size_t base = set_base(epoch, pair);
+  const std::size_t base = set_base(pair);
   std::size_t slot = ways_ - 1;  // full set: replace the LRU (back) entry
   for (std::size_t i = 0; i < ways_; ++i) {
     const Slot& s = slots_[base + i];
@@ -47,12 +47,49 @@ void ResultCache::invalidate_all() {
   std::fill(slots_.begin(), slots_.end(), Slot{});
 }
 
+std::size_t ResultCache::carry_forward(Epoch new_epoch,
+                                       std::span<const std::uint64_t> touched) {
+  if (num_sets_ == 0 || new_epoch == 0) return 0;
+  const Epoch prev = new_epoch - 1;
+  util::SpinLockHolder lock(&mutex_);
+  std::size_t carried = 0;
+  for (std::size_t base = 0; base < slots_.size(); base += ways_) {
+    // Compact each set in place: survivors keep their recency order (so
+    // the front-packed LRU invariant holds), dropped entries open tail
+    // slots. Entries already at new_epoch (a racing query pinned the
+    // fresh snapshot and inserted before this sweep) pass through
+    // untouched.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < ways_; ++i) {
+      Slot s = slots_[base + i];
+      if (s.epoch == 0) break;
+      if (s.epoch == prev &&
+          !std::binary_search(touched.begin(), touched.end(), s.pair)) {
+        // Unperturbed by this publish: the count and edge flag are
+        // identical on the new snapshot, so the entry simply advances.
+        s.epoch = new_epoch;
+        ++carried;
+      } else if (s.epoch < prev) {
+        // Two or more epochs stale: past the stale-read window, drop.
+        ++invalidations_;
+        --size_;
+        continue;
+      }
+      slots_[base + out++] = s;
+    }
+    for (std::size_t i = out; i < ways_; ++i) slots_[base + i] = Slot{};
+  }
+  carried_forward_ += carried;
+  return carried;
+}
+
 CacheStats ResultCache::stats() const {
   util::SpinLockHolder lock(&mutex_);
   return {.hits = hits_,
           .misses = misses_,
           .evictions = evictions_,
           .invalidations = invalidations_,
+          .carried_forward = carried_forward_,
           .size = size_,
           .capacity = slots_.size()};
 }

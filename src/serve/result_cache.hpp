@@ -4,10 +4,16 @@
 // Keyed by (epoch, canonical pair): a cached count is only ever valid
 // for the snapshot it was computed on, so the publishing epoch is part
 // of the key — a stale entry can never satisfy a query against a newer
-// snapshot even if invalidation raced the swap. Invalidation is
-// wholesale on publish (invalidate_all), both to free memory and to
-// keep the rule trivial to reason about: after publish(), the cache is
-// empty.
+// snapshot even if invalidation raced the swap. Invalidation on publish
+// is either wholesale (invalidate_all — direct publishes, recount-routed
+// batches) or fine-grained (carry_forward): given the sorted touched-pair
+// set the update pipeline exports, every entry of the superseded epoch
+// whose pair the publish provably did not perturb is re-stamped to the
+// new epoch in place, so a steady mutation stream no longer zeroes the
+// cache. Touched entries stay behind under their old epoch — they are
+// still exact for that snapshot, which is what the SLO controller's
+// stale-degraded reads serve — and anything two or more epochs old is
+// dropped by the same sweep.
 //
 // Layout: set-associative with per-set exact LRU (kWays entries per
 // set, slot order = recency order). A hit is one hash, one ≤8-entry
@@ -21,6 +27,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "serve/snapshot_store.hpp"
@@ -36,11 +43,16 @@ struct CachedEdgeCount {
   bool is_edge = false;
 };
 
+/// Cumulative across the cache's whole lifetime: publishes never reset
+/// any counter (only `size` moves down), so before/after-publish
+/// comparisons — the bench_serve mixed section lives off these — always
+/// diff two monotonic readings.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
-  std::uint64_t invalidations = 0;  // entries dropped by invalidate_all
+  std::uint64_t invalidations = 0;  // entries dropped by invalidation
+  std::uint64_t carried_forward = 0;  // entries re-stamped across a publish
   std::size_t size = 0;
   std::size_t capacity = 0;
 };
@@ -63,8 +75,21 @@ class ResultCache {
   /// one when the set is full.
   void insert(Epoch epoch, VertexId u, VertexId v, CachedEdgeCount value);
 
-  /// Drop every entry (called on snapshot publish).
+  /// Drop every entry (wholesale publishes: direct publish(Csr), a
+  /// recount-routed or overflowed touched set).
   void invalidate_all();
+
+  /// Fine-grained publish sweep. `touched` is the sorted, deduplicated
+  /// canonical-pair-key set the update pipeline exported for the batch
+  /// of mutations this publish materializes (update::TouchedSet::pairs).
+  /// Entries of epoch `new_epoch - 1` whose pair is NOT in the set are
+  /// re-stamped to `new_epoch` in place — their count and edge flag are
+  /// provably identical on the new snapshot. Touched entries remain
+  /// under the superseded epoch (exact for that snapshot; the stale-read
+  /// degrade path serves them); entries older than `new_epoch - 1` are
+  /// dropped. Returns the number of entries carried forward.
+  std::size_t carry_forward(Epoch new_epoch,
+                            std::span<const std::uint64_t> touched);
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -90,10 +115,13 @@ class ResultCache {
     return (static_cast<std::uint64_t>(u) << 32) | v;
   }
 
-  [[nodiscard]] std::size_t set_base(Epoch epoch,
-                                     std::uint64_t pair) const noexcept {
-    // Splitmix-style finalizer over the two key words.
-    std::uint64_t x = pair ^ (epoch * 0x9e3779b97f4a7c15ULL);
+  [[nodiscard]] std::size_t set_base(std::uint64_t pair) const noexcept {
+    // Splitmix-style finalizer over the pair key alone. The epoch is
+    // deliberately NOT hashed in: carry_forward re-stamps a slot's epoch
+    // in place, which is only sound if the slot's set does not move with
+    // it. Same-pair entries of different epochs coexist as distinct
+    // slots within one set.
+    std::uint64_t x = pair * 0x9e3779b97f4a7c15ULL;
     x ^= x >> 30;
     x *= 0xbf58476d1ce4e5b9ULL;
     x ^= x >> 27;
@@ -116,6 +144,7 @@ class ResultCache {
   std::uint64_t misses_ AECNC_GUARDED_BY(mutex_) = 0;
   std::uint64_t evictions_ AECNC_GUARDED_BY(mutex_) = 0;
   std::uint64_t invalidations_ AECNC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t carried_forward_ AECNC_GUARDED_BY(mutex_) = 0;
 };
 
 inline std::optional<CachedEdgeCount> ResultCache::lookup(Epoch epoch,
@@ -124,7 +153,7 @@ inline std::optional<CachedEdgeCount> ResultCache::lookup(Epoch epoch,
   if (num_sets_ == 0) return std::nullopt;  // disabled (capacity 0)
   const std::uint64_t pair = pair_key(u, v);
   util::SpinLockHolder lock(&mutex_);
-  const std::size_t base = set_base(epoch, pair);
+  const std::size_t base = set_base(pair);
   for (std::size_t i = 0; i < ways_; ++i) {
     Slot& s = slots_[base + i];
     if (s.epoch == epoch && s.pair == pair) {

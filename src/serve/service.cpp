@@ -1,7 +1,9 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/reorder.hpp"
@@ -10,6 +12,17 @@
 namespace aecnc::serve {
 
 namespace {
+
+/// SLO compute timing. Deliberately NOT obs::now_ns: the admission
+/// decision must not depend on whether obs is compiled in (the stub
+/// returns 0) nor perturb the obs fake clock's deterministic stream.
+/// Determinism for tests comes from SloConfig::fake_sample_ns instead.
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Whether (u, v) is an edge of g (false for invalid pairs). Cached
 /// alongside the count so hits skip this search. has_edge probes the
@@ -25,7 +38,8 @@ bool edge_flag(const graph::Csr& g, VertexId u, VertexId v) {
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       engine_(config_.engine),
-      cache_(config_.cache_capacity) {
+      cache_(config_.cache_capacity),
+      admission_(config_.slo) {
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.max_coalesce == 0) config_.max_coalesce = 1;
   if (config_.start_dispatcher) {
@@ -56,17 +70,27 @@ Epoch Service::publish(graph::Csr g) {
   return publish_snapshot(std::move(g), graph::IdMap{});
 }
 
-Epoch Service::publish_snapshot(graph::Csr g, graph::IdMap id_map) {
+Epoch Service::publish_snapshot(graph::Csr g, graph::IdMap id_map,
+                                const update::TouchedSet* touched) {
   const Epoch epoch = store_.publish(std::move(g), std::move(id_map));
   // Invalidate after the swap: a racing query may still insert an entry
   // for the *old* epoch, but epochs are part of the cache key, so such
-  // stragglers can never serve a newer snapshot — they just age out.
-  cache_.invalidate_all();
+  // stragglers can never serve a newer snapshot — they just age out (or,
+  // on the carry-forward path, get re-stamped: sound, because only pairs
+  // the publish provably did not perturb are carried).
+  std::size_t carried = 0;
+  if (touched != nullptr && !touched->wholesale &&
+      config_.fine_grained_invalidation) {
+    carried = cache_.carry_forward(epoch, touched->pairs);
+  } else {
+    cache_.invalidate_all();
+  }
   publishes_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
     const obs::ServeMetrics& m = obs::ServeMetrics::get();
     m.publishes.add();
     m.epoch.set(static_cast<std::int64_t>(epoch));
+    m.cache_carried.add(carried);
   }
   return epoch;
 }
@@ -115,7 +139,14 @@ Epoch Service::publish() {
   if (const SnapshotPtr snap = store_.acquire(); snap != nullptr) {
     map = snap->id_map;
   }
-  const Epoch epoch = publish_snapshot(updater_->materialize(), std::move(map));
+  // The touched set is relative to the epoch the pipeline was seeded
+  // from; if a direct publish(Csr) slid in since, the superseded epoch's
+  // entries describe a *different* graph and carry-forward would be
+  // unsound — fall back to wholesale for that publish.
+  const bool contiguous = updater_epoch_ == store_.current_epoch();
+  const update::TouchedSet touched = updater_->take_touched();
+  const Epoch epoch = publish_snapshot(updater_->materialize(), std::move(map),
+                                       contiguous ? &touched : nullptr);
   // The pipeline state IS the new snapshot — no reseed needed for the
   // next apply_updates.
   updater_epoch_ = epoch;
@@ -166,12 +197,13 @@ Epoch Service::current_epoch_or_throw() const {
   return epoch;
 }
 
-QueryResult Service::query_edge(VertexId u, VertexId v) {
+QueryResult Service::query_edge(VertexId u, VertexId v, ClientId client) {
   // Hit fast path: resolve the epoch with one atomic load (no snapshot
   // pin, no refcount traffic) and answer straight from the cache — the
   // cached value carries is_edge, so no per-hit e(u, v) binary search
   // either. bench_serve_throughput's >=10x cached-vs-recompute target
-  // depends on this path staying this short.
+  // depends on this path staying this short. Hits also bypass admission
+  // entirely: a served cache entry cannot threaten the latency SLO.
   const obs::ServeMetrics& m = obs::ServeMetrics::get();
   obs::ScopedTimer timer(m.point_ns);
   if (config_.relabel) {
@@ -187,9 +219,7 @@ QueryResult Service::query_edge(VertexId u, VertexId v) {
       return make_result(snap->epoch, u, v, *hit, /*cached=*/true);
     }
     if (obs::enabled()) m.cache_misses.add();
-    const CachedEdgeCount value = compute_pair(*snap, iu, iv);
-    cache_.insert(snap->epoch, iu, iv, value);
-    return make_result(snap->epoch, u, v, value, /*cached=*/false);
+    return miss_path(*snap, u, v, iu, iv, client);
   }
   const Epoch epoch = current_epoch_or_throw();
   point_queries_.fetch_add(1, std::memory_order_relaxed);
@@ -199,9 +229,76 @@ QueryResult Service::query_edge(VertexId u, VertexId v) {
   }
   if (obs::enabled()) m.cache_misses.add();
   const SnapshotPtr snap = pinned();
-  const CachedEdgeCount value = compute_pair(*snap, u, v);
-  cache_.insert(snap->epoch, u, v, value);
-  return make_result(snap->epoch, u, v, value, /*cached=*/false);
+  return miss_path(*snap, u, v, u, v, client);
+}
+
+CachedEdgeCount Service::compute_and_fill(const Snapshot& snap, VertexId iu,
+                                          VertexId iv, ClientId client) {
+  point_computes_.fetch_add(1, std::memory_order_relaxed);
+  const bool timed = admission_.enabled();
+  const std::uint64_t start = timed ? steady_now_ns() : 0;
+  const CachedEdgeCount value = compute_pair(snap, iu, iv);
+  if (timed) admission_.record(client, steady_now_ns() - start);
+  cache_.insert(snap.epoch, iu, iv, value);
+  return value;
+}
+
+QueryResult Service::miss_path(const Snapshot& snap, VertexId u, VertexId v,
+                               VertexId iu, VertexId iv, ClientId client) {
+  const obs::ServeMetrics& m = obs::ServeMetrics::get();
+
+  // SLO gate (miss path only). Over budget: prefer an exact answer on
+  // the superseded epoch — entries the last carry-forward left behind —
+  // over running the engine; with nothing stale to serve, shed.
+  if (!admission_.admit(client)) {
+    if (config_.slo.allow_stale && snap.epoch > 1) {
+      if (const auto stale = cache_.lookup(snap.epoch - 1, iu, iv);
+          stale.has_value()) {
+        stale_served_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) m.slo_stale.add();
+        QueryResult r =
+            make_result(snap.epoch - 1, u, v, *stale, /*cached=*/true);
+        r.status = ReplyStatus::kStale;
+        return r;
+      }
+    }
+    slo_shed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) m.slo_shed.add();
+    return {.epoch = snap.epoch,
+            .u = u,
+            .v = v,
+            .count = 0,
+            .is_edge = false,
+            .cached = false,
+            .status = ReplyStatus::kShed};
+  }
+
+  // Coalesce with any identical in-flight computation.
+  const std::uint64_t pair = update::touched_key(iu, iv);
+  const InflightTable::JoinResult join = inflight_.join(snap.epoch, pair);
+  if (!join.leader) {
+    if (join.value.has_value()) {
+      coalesced_joined_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) m.coalesce_joined.add();
+      return make_result(snap.epoch, u, v, *join.value, /*cached=*/true);
+    }
+    // Leader abandoned (its compute threw): fall back to computing
+    // independently rather than failing a healthy request.
+    const CachedEdgeCount value = compute_and_fill(snap, iu, iv, client);
+    return make_result(snap.epoch, u, v, value, /*cached=*/false);
+  }
+
+  InflightLeaderGuard guard(&inflight_, snap.epoch, pair);
+  // Re-check the cache after winning the lead: a previous leader may
+  // have completed (and erased its entry) between our miss and our join
+  // — this re-check is what makes the group exactly-once.
+  if (const auto hit = cache_.lookup(snap.epoch, iu, iv); hit.has_value()) {
+    guard.complete(*hit);
+    return make_result(snap.epoch, u, v, *hit, /*cached=*/true);
+  }
+  const CachedEdgeCount value = compute_and_fill(snap, iu, iv, client);
+  guard.complete(value);
+  return make_result(snap.epoch, u, v, value, /*cached=*/false);
 }
 
 VertexResult Service::query_vertex(VertexId u) {
@@ -259,15 +356,30 @@ std::vector<QueryResult> Service::query_batch(
     m.cache_misses.add(misses.size());
   }
   if (!misses.empty()) {
-    const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
+    // Within-batch coalescing: duplicate pairs (either orientation)
+    // reach the engine once; every requesting slot shares the result.
+    std::vector<EdgeQuery> unique;
+    std::vector<std::size_t> which(misses.size());
+    std::unordered_map<std::uint64_t, std::size_t> seen;
     for (std::size_t k = 0; k < misses.size(); ++k) {
       const auto [iu, iv] = misses[k];
-      const CachedEdgeCount value{.count = counts[k],
-                                  .is_edge = edge_flag(snap->graph, iu, iv)};
-      cache_.insert(snap->epoch, iu, iv, value);
+      const auto [it, fresh] =
+          seen.emplace(update::touched_key(iu, iv), unique.size());
+      if (fresh) unique.push_back(misses[k]);
+      which[k] = it->second;
+    }
+    const std::vector<CnCount> counts = engine_.count_batch(*snap, unique);
+    std::vector<CachedEdgeCount> values(unique.size());
+    for (std::size_t k = 0; k < unique.size(); ++k) {
+      const auto [iu, iv] = unique[k];
+      values[k] = {.count = counts[k],
+                   .is_edge = edge_flag(snap->graph, iu, iv)};
+      cache_.insert(snap->epoch, iu, iv, values[k]);
+    }
+    for (std::size_t k = 0; k < misses.size(); ++k) {
       const auto [u, v] = queries[miss_slots[k]];
       results[miss_slots[k]] =
-          make_result(snap->epoch, u, v, value, /*cached=*/false);
+          make_result(snap->epoch, u, v, values[which[k]], /*cached=*/false);
     }
   }
   return results;
@@ -396,15 +508,31 @@ void Service::process_pending(std::vector<Pending> batch) {
     m.cache_misses.add(misses.size());
   }
   if (!misses.empty()) {
-    const std::vector<CnCount> counts = engine_.count_batch(*snap, misses);
+    // Same within-batch coalescing as query_batch: the dispatcher's
+    // whole reason to exist is aggregating duplicates, so duplicate
+    // pairs in one drain cost one engine evaluation.
+    std::vector<EdgeQuery> unique;
+    std::vector<std::size_t> which(misses.size());
+    std::unordered_map<std::uint64_t, std::size_t> seen;
     for (std::size_t k = 0; k < misses.size(); ++k) {
       const auto [iu, iv] = misses[k];
-      const CachedEdgeCount value{.count = counts[k],
-                                  .is_edge = edge_flag(snap->graph, iu, iv)};
-      cache_.insert(snap->epoch, iu, iv, value);
+      const auto [it, fresh] =
+          seen.emplace(update::touched_key(iu, iv), unique.size());
+      if (fresh) unique.push_back(misses[k]);
+      which[k] = it->second;
+    }
+    const std::vector<CnCount> counts = engine_.count_batch(*snap, unique);
+    std::vector<CachedEdgeCount> values(unique.size());
+    for (std::size_t k = 0; k < unique.size(); ++k) {
+      const auto [iu, iv] = unique[k];
+      values[k] = {.count = counts[k],
+                   .is_edge = edge_flag(snap->graph, iu, iv)};
+      cache_.insert(snap->epoch, iu, iv, values[k]);
+    }
+    for (std::size_t k = 0; k < misses.size(); ++k) {
       const Pending& req = batch[miss_slots[k]];
-      replies[miss_slots[k]] =
-          make_result(snap->epoch, req.u, req.v, value, /*cached=*/false);
+      replies[miss_slots[k]] = make_result(snap->epoch, req.u, req.v,
+                                           values[which[k]], /*cached=*/false);
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -467,12 +595,17 @@ ServiceStats Service::stats() const {
   s.point_queries = point_queries_.load(std::memory_order_relaxed);
   s.vertex_queries = vertex_queries_.load(std::memory_order_relaxed);
   s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  s.point_computes = point_computes_.load(std::memory_order_relaxed);
   s.engine_batches = engine_.batches_run();
+  s.engine_queries = engine_.queries_run();
   s.async_submitted = async_submitted_.load(std::memory_order_relaxed);
   s.async_batches = async_batches_.load(std::memory_order_relaxed);
   s.async_max_coalesced =
       async_max_coalesced_.load(std::memory_order_relaxed);
   s.async_rejected = async_rejected_.load(std::memory_order_relaxed);
+  s.coalesced_joined = coalesced_joined_.load(std::memory_order_relaxed);
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  s.slo_shed = slo_shed_.load(std::memory_order_relaxed);
   {
     util::MutexLock lock(&queue_mutex_);
     s.queue_depth = queue_.size();

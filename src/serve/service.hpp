@@ -13,8 +13,15 @@
 //    with exactly one epoch even across a mid-stream publish.
 //  - QueryEngine: point / vertex-neighborhood / bulk-batch execution
 //    with per-worker reusable indexes.
-//  - ResultCache: LRU over (epoch, pair) point results, invalidated
-//    wholesale on publish.
+//  - ResultCache: LRU over (epoch, pair) point results. Pipeline
+//    publishes invalidate fine-grained (only pairs the mutations
+//    touched; everything else carries forward to the new epoch); direct
+//    publish(Csr) still invalidates wholesale.
+//  - InflightTable: duplicate concurrent point queries for one
+//    (epoch, pair) coalesce onto a single computation.
+//  - AdmissionController: per-client p99 compute-latency budget; over
+//    budget, cache-missing queries degrade to a previous-epoch cached
+//    read (STALE) or are shed (SHED) instead of running the engine.
 //
 // Two request paths:
 //  - Synchronous query_* calls run on the caller's thread (point
@@ -38,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "serve/admission.hpp"
+#include "serve/inflight.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
@@ -70,6 +79,22 @@ struct ServiceConfig {
   /// update.max_vertices to pin the mutable universe (the CLI serve
   /// loop pins it to the initial graph's).
   update::PipelineConfig update{};
+  /// Carry unaffected cache entries across pipeline publishes using the
+  /// pipeline's touched-pair set (ResultCache::carry_forward). Off
+  /// reverts every publish to wholesale invalidation — the bench's
+  /// baseline arm.
+  bool fine_grained_invalidation = true;
+  /// Per-client SLO admission control (disabled while p99_budget_ns=0).
+  SloConfig slo{};
+};
+
+/// How a point reply relates to the SLO/staleness contract
+/// (docs/serving.md).
+enum class ReplyStatus : std::uint8_t {
+  kFresh = 0,  // exact on the epoch it names (computed or cache hit)
+  kStale,      // SLO degrade: previous-epoch cached value; still exact
+               // for the epoch the reply names
+  kShed,       // SLO shed: no value computed; count/is_edge meaningless
 };
 
 /// Reply to a point query.
@@ -80,6 +105,7 @@ struct QueryResult {
   CnCount count = 0;     // |N(u) ∩ N(v)|; 0 for invalid pairs
   bool is_edge = false;  // (u, v) is an edge of that snapshot
   bool cached = false;   // served from the result cache
+  ReplyStatus status = ReplyStatus::kFresh;
 };
 
 /// Reply to a vertex-neighborhood query: counts[k] pairs u with
@@ -99,11 +125,20 @@ struct ServiceStats {
   std::uint64_t point_queries = 0;    // sync query_edge calls
   std::uint64_t vertex_queries = 0;
   std::uint64_t batch_queries = 0;    // queries through query_batch
+  std::uint64_t point_computes = 0;   // point-path engine computations
+                                      // (misses that neither coalesced,
+                                      // degraded, nor re-hit the cache)
   std::uint64_t engine_batches = 0;   // engine-level batch executions
+  std::uint64_t engine_queries = 0;   // pairs evaluated by the batch
+                                      // path (post within-batch dedup)
   std::uint64_t async_submitted = 0;  // accepted async requests
   std::uint64_t async_batches = 0;    // dispatcher batches executed
   std::uint64_t async_max_coalesced = 0;  // largest dispatcher batch
   std::uint64_t async_rejected = 0;   // try_submit_edge load-sheds
+  std::uint64_t coalesced_joined = 0;  // point queries served by another
+                                       // request's in-flight compute
+  std::uint64_t stale_served = 0;     // SLO degrades to prev-epoch reads
+  std::uint64_t slo_shed = 0;         // SLO sheds (no stale entry held)
   std::size_t queue_depth = 0;        // pending async requests now
   /// Cumulative mutation-pipeline report (zeros until apply_updates).
   update::ApplyReport updates;
@@ -156,9 +191,13 @@ class Service {
 
   // --- synchronous path -------------------------------------------------
 
-  /// Point query on the caller's thread. Cache-first; throws
-  /// std::runtime_error before the first publish().
-  [[nodiscard]] QueryResult query_edge(VertexId u, VertexId v);
+  /// Point query on the caller's thread. Cache-first; on a miss the
+  /// request coalesces with any identical in-flight query and passes
+  /// through the client's SLO admission check (r.status reports kStale /
+  /// kShed degrades). Throws std::runtime_error before the first
+  /// publish().
+  [[nodiscard]] QueryResult query_edge(VertexId u, VertexId v,
+                                       ClientId client = 0);
 
   /// All of u's incident counts (bypasses the point cache; the engine
   /// streams the neighborhood with one shared index build).
@@ -199,8 +238,11 @@ class Service {
   [[nodiscard]] SnapshotPtr pinned() const;
 
   /// Store the snapshot (graph already in its final internal space, with
-  /// its translation map), invalidate the cache, bump the stats.
-  Epoch publish_snapshot(graph::Csr g, graph::IdMap id_map);
+  /// its translation map), invalidate the cache, bump the stats. A
+  /// non-null, non-wholesale `touched` set (pipeline publishes only)
+  /// switches invalidation from wholesale to carry-forward.
+  Epoch publish_snapshot(graph::Csr g, graph::IdMap id_map,
+                         const update::TouchedSet* touched = nullptr);
 
   /// Build the reply for a cached or freshly-computed point result.
   [[nodiscard]] static QueryResult make_result(Epoch epoch, VertexId u,
@@ -217,6 +259,20 @@ class Service {
   /// fast path uses this (one atomic load) instead of pinning.
   [[nodiscard]] Epoch current_epoch_or_throw() const;
 
+  /// Cache-miss slow path of query_edge: SLO admission (degrade /
+  /// shed), in-flight coalescing, timed compute, cache fill. (u, v) =
+  /// the caller's external IDs for the reply; (iu, iv) = the snapshot's
+  /// internal pair.
+  [[nodiscard]] QueryResult miss_path(const Snapshot& snap, VertexId u,
+                                      VertexId v, VertexId iu, VertexId iv,
+                                      ClientId client);
+
+  /// Compute (iu, iv) on `snap`, record the client's compute latency
+  /// with the admission controller, and fill the cache.
+  [[nodiscard]] CachedEdgeCount compute_and_fill(const Snapshot& snap,
+                                                 VertexId iu, VertexId iv,
+                                                 ClientId client);
+
   /// Execute one coalesced request group against one pinned snapshot.
   void process_pending(std::vector<Pending> batch);
 
@@ -230,6 +286,8 @@ class Service {
   SnapshotStore store_;
   QueryEngine engine_;
   ResultCache cache_;
+  InflightTable inflight_;
+  AdmissionController admission_;
 
   /// Lazily-created mutation pipeline + the epoch its state mirrors.
   /// updater_mutex_ serializes apply_updates/publish() against each
@@ -275,6 +333,14 @@ class Service {
   std::atomic<std::uint64_t> async_max_coalesced_{0};
   // aecnc: atomic-ok(monotonic stats counter; see publishes_)
   std::atomic<std::uint64_t> async_rejected_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
+  std::atomic<std::uint64_t> point_computes_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
+  std::atomic<std::uint64_t> coalesced_joined_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
+  std::atomic<std::uint64_t> stale_served_{0};
+  // aecnc: atomic-ok(monotonic stats counter; see publishes_)
+  std::atomic<std::uint64_t> slo_shed_{0};
 };
 
 }  // namespace aecnc::serve

@@ -18,6 +18,9 @@ bool run_session(Service& svc, std::istream& in, std::ostream& out) {
   std::string line;
   std::uint64_t line_no = 0;
   bool had_error = false;
+  // Admission-control identity for subsequent edge queries; the
+  // `client <id>` verb switches it mid-session (0 = anonymous default).
+  ClientId client = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -42,11 +45,30 @@ bool run_session(Service& svc, std::istream& in, std::ostream& out) {
         bad_line();
         continue;
       }
-      const auto r = svc.query_edge(u, v);
+      const auto r = svc.query_edge(u, v, client);
       out << "edge " << u << ' ' << v << ": ";
-      print_epoch(r.epoch);
-      out << " cnt=" << r.count << " edge=" << (r.is_edge ? "yes" : "no")
-          << " cached=" << (r.cached ? "yes" : "no") << '\n';
+      // STALE/SHED are *contract* replies, not errors: the SLO degrade
+      // is the service working as configured, so the session return
+      // value stays clean. A STALE reply names the (previous) epoch its
+      // count is exact on; a SHED reply carries no count at all.
+      if (r.status == ReplyStatus::kShed) {
+        out << "SHED ";
+        print_epoch(r.epoch);
+        out << '\n';
+      } else {
+        if (r.status == ReplyStatus::kStale) out << "STALE ";
+        print_epoch(r.epoch);
+        out << " cnt=" << r.count << " edge=" << (r.is_edge ? "yes" : "no")
+            << " cached=" << (r.cached ? "yes" : "no") << '\n';
+      }
+    } else if (command == "client") {
+      ClientId id = 0;
+      if (!(tokens >> id)) {
+        bad_line();
+        continue;
+      }
+      client = id;
+      out << "client " << id << ": active\n";
     } else if (command == "vertex") {
       VertexId u = 0;
       if (!(tokens >> u)) {
@@ -133,8 +155,10 @@ bool run_session(Service& svc, std::istream& in, std::ostream& out) {
         out << " cache_size=" << s.cache.size << " hits=" << s.cache.hits
             << " misses=" << s.cache.misses
             << " evictions=" << s.cache.evictions
+            << " carried=" << s.cache.carried_forward
             << " point=" << s.point_queries << " vertex=" << s.vertex_queries
-            << " batch=" << s.batch_queries << '\n';
+            << " batch=" << s.batch_queries << " stale=" << s.stale_served
+            << " shed=" << s.slo_shed << '\n';
       }
     } else {
       bad_line();

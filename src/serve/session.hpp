@@ -1,12 +1,13 @@
 // Scripted request-session interpreter for the query service.
 //
 // One request per line: `edge u v | vertex u | batch u1 v1 [u2 v2 ...] |
-// add u v | del u v (alias: remove) | publish | stats [json|prom]`;
-// blank lines and `#` comments are skipped. Replies go to `out` in a
-// deterministic text format so sessions diff against golden files
-// (tests/data/serve_session*). Malformed requests produce an "error:"
-// reply and the session continues — a serving loop must not die on one
-// bad client line.
+// add u v | del u v (alias: remove) | publish | client id |
+// stats [json|prom]`; blank lines and `#` comments are skipped. Replies
+// go to `out` in a deterministic text format so sessions diff against
+// golden files (tests/data/serve_session*). Malformed requests produce
+// an "error:" reply and the session continues — a serving loop must not
+// die on one bad client line. SLO degrades surface as `STALE`/`SHED`
+// replies (docs/serving.md); they are contract outcomes, not errors.
 //
 // Extracted from the CLI `serve` command so the same interpreter is
 // driven by tools/aecnc_cli.cpp, the golden-session tests, and the

@@ -16,6 +16,7 @@ void ApplyReport::merge(const ApplyReport& other) {
   delta_batches += other.delta_batches;
   recount_batches += other.recount_batches;
   delta_cost += other.delta_cost;
+  touched_pairs += other.touched_pairs;
   // Latest work bound, not a sum — but an empty merge keeps the old one.
   if (other.batches > 0) full_cost = other.full_cost;
 }
@@ -57,13 +58,36 @@ ApplyReport UpdatePipeline::apply_one_batch(std::span<const Mutation> batch) {
   core::BatchApplyStats stats;
   if (decision.mode == ApplyMode::kDelta) {
     ++report.delta_batches;
-    stats = state_.apply_batch(ops);
+    const std::size_t touched_before = touched_.size();
+    // Record touched pairs op-by-op against the pre-op adjacency, then
+    // apply: a later op's incident set depends on the neighborhoods an
+    // earlier op in the same batch already extended. The noop screen
+    // (self loop, duplicate insert, non-edge erase) keeps pure no-ops
+    // out of the set — they perturb nothing.
+    for (const Mutation& m : ops) {
+      const bool is_insert = m.kind == core::EdgeOpKind::kInsert;
+      const bool applies = m.u != m.v && state_.has_edge(m.u, m.v) != is_insert;
+      if (applies) record_touched(m.u, m.v);
+      const core::BatchApplyStats one = state_.apply_batch({&m, 1});
+      stats.inserted += one.inserted;
+      stats.erased += one.erased;
+      stats.noops += one.noops;
+    }
+    report.touched_pairs =
+        touched_wholesale_ ? 0 : touched_.size() - touched_before;
   } else {
     ++report.recount_batches;
     stats = state_.apply_batch_structural(ops);
     // A batch of pure no-ops leaves the counts exact; only a real
     // structural change needs the all-edge recount.
-    if (stats.applied() > 0) state_.recount(config_.recount_options);
+    if (stats.applied() > 0) {
+      state_.recount(config_.recount_options);
+      // The recount route exists to avoid the per-op neighborhood walks
+      // that an exact touched set would cost right back — a recounted
+      // publish invalidates wholesale instead.
+      touched_wholesale_ = true;
+      touched_.clear();
+    }
   }
   report.inserted = stats.inserted;
   report.erased = stats.erased;
@@ -80,6 +104,41 @@ ApplyReport UpdatePipeline::apply_one_batch(std::span<const Mutation> batch) {
         .add();
   }
   return report;
+}
+
+void UpdatePipeline::record_touched(VertexId u, VertexId v) {
+  if (touched_wholesale_) return;
+  // Mutating (u, v) changes cnt(u, w) exactly for w ∈ N(v) — v enters or
+  // leaves N(u), so only pairs whose other side already neighbors v can
+  // gain or lose the common neighbor — and symmetrically cnt(v, w) for
+  // w ∈ N(u). Plus the pair itself (its count and edge flag both move).
+  touched_.push_back(touched_key(u, v));
+  for (const VertexId w : state_.neighbors(v)) {
+    if (w != u) touched_.push_back(touched_key(u, w));
+  }
+  for (const VertexId w : state_.neighbors(u)) {
+    if (w != v) touched_.push_back(touched_key(v, w));
+  }
+  if (touched_.size() > config_.max_touched) {
+    touched_wholesale_ = true;
+    touched_.clear();
+    touched_.shrink_to_fit();
+  }
+}
+
+TouchedSet UpdatePipeline::take_touched() {
+  util::MutexLock lock(&state_mutex_);
+  TouchedSet out;
+  out.wholesale = touched_wholesale_;
+  if (!touched_wholesale_) {
+    out.pairs = std::move(touched_);
+    std::sort(out.pairs.begin(), out.pairs.end());
+    out.pairs.erase(std::unique(out.pairs.begin(), out.pairs.end()),
+                    out.pairs.end());
+  }
+  touched_.clear();
+  touched_wholesale_ = false;
+  return out;
 }
 
 ApplyReport UpdatePipeline::apply(std::span<const Mutation> mutations) {

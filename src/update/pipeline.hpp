@@ -51,6 +51,40 @@ struct PipelineConfig {
   /// Driver options for the full-recount route (counts are identical
   /// for every algorithm/schedule; this only picks the kernels).
   core::Options recount_options{};
+  /// Cap on the accumulated touched-pair set (take_touched). Past it the
+  /// set degrades to `wholesale` — tracking individual pairs for a
+  /// publish that perturbs most of the cache costs more than it saves.
+  std::size_t max_touched = std::size_t{1} << 18;
+};
+
+/// Canonical (min, max) undirected pair key. Matches the keying of both
+/// IncrementalCounter's count map and serve::ResultCache, so the serve
+/// layer can compare touched keys against cached pairs directly.
+[[nodiscard]] constexpr std::uint64_t touched_key(VertexId u,
+                                                  VertexId v) noexcept {
+  if (u > v) {
+    const VertexId t = u;
+    u = v;
+    v = t;
+  }
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// The set of vertex pairs whose CN count (or edge flag) may differ
+/// between the pipeline state at the previous take and now: for every
+/// applied op (u, v), the pair itself plus its 1-hop incident pairs —
+/// (u, w) for w ∈ N(v) and (v, w) for w ∈ N(u), evaluated against the
+/// adjacency the op mutated. Every pair NOT in the set is guaranteed
+/// unchanged, which is what lets ResultCache carry unaffected entries
+/// forward across a publish instead of dropping them.
+struct TouchedSet {
+  /// Sorted, deduplicated canonical keys (touched_key order). Only
+  /// meaningful when !wholesale.
+  std::vector<std::uint64_t> pairs;
+  /// The set overflowed max_touched or a batch took the recount route
+  /// (whose whole point is *not* paying the per-op neighborhood walks):
+  /// the publish must invalidate wholesale.
+  bool wholesale = false;
 };
 
 /// What a batch (or a run of batches) did. Aggregated per apply call.
@@ -64,6 +98,7 @@ struct ApplyReport {
   std::size_t recount_batches = 0;
   std::uint64_t delta_cost = 0;  // Σ policy-estimated delta work
   std::uint64_t full_cost = 0;   // last batch's recount work bound
+  std::size_t touched_pairs = 0;  // touched-pair keys recorded (pre-dedup)
 
   [[nodiscard]] std::size_t applied() const noexcept {
     return inserted + erased;
@@ -104,6 +139,13 @@ class UpdatePipeline {
   /// publishable artifact). O(|V| + |E| log |E|).
   [[nodiscard]] graph::Csr materialize() const;
 
+  /// Drain the touched-pair set accumulated since construction or the
+  /// previous take: every pair whose count or edge flag may differ from
+  /// the state at that point. The publisher consumes this right before
+  /// materialize() so the serve cache knows which entries survive the
+  /// epoch (serve::ResultCache::carry_forward).
+  [[nodiscard]] TouchedSet take_touched();
+
   /// Maintained counter state (counts exact between apply calls).
   // Per-site waiver: returns a reference to the guarded state without the
   // lock — the documented contract is that readers only dereference it
@@ -125,6 +167,12 @@ class UpdatePipeline {
   ApplyReport apply_one_batch(std::span<const Mutation> batch)
       AECNC_REQUIRES(state_mutex_);
 
+  /// Record the pairs a single about-to-apply op can perturb, against
+  /// the pre-op adjacency. Must run op-by-op interleaved with the
+  /// applies: an earlier op in the same batch can extend the very
+  /// neighborhoods a later op's incident set is drawn from.
+  void record_touched(VertexId u, VertexId v) AECNC_REQUIRES(state_mutex_);
+
   PipelineConfig config_;
   UpdatePolicy policy_;
   MutationLog log_;
@@ -133,6 +181,10 @@ class UpdatePipeline {
   mutable util::Mutex state_mutex_;
   core::IncrementalCounter state_ AECNC_GUARDED_BY(state_mutex_);
   ApplyReport totals_ AECNC_GUARDED_BY(state_mutex_);
+  /// Touched-pair accumulator for the next take_touched(); unsorted with
+  /// duplicates until drained.
+  std::vector<std::uint64_t> touched_ AECNC_GUARDED_BY(state_mutex_);
+  bool touched_wholesale_ AECNC_GUARDED_BY(state_mutex_) = false;
 };
 
 }  // namespace aecnc::update

@@ -1,0 +1,1037 @@
+// Serving under mutation traffic (docs/serving.md): the differential
+// harness and stress suite for fine-grained cache invalidation
+// (ResultCache::carry_forward fed by UpdatePipeline::take_touched),
+// in-flight request coalescing (serve/inflight.hpp), and SLO-aware
+// admission control (serve/admission.hpp).
+//
+// The core contract under test: every reply the service emits — fresh,
+// carried-forward across publishes, or STALE-degraded — is bit-identical
+// to a from-scratch count_sequential_mps run on the graph of the epoch
+// the reply *names*. The mixed-workload tests interleave seeded
+// query/add/del/publish streams against a shadow graph and verify every
+// single served count against that oracle; the TSan-labeled stress
+// tests hammer duplicate pairs across concurrent publishes and assert
+// exactly-once computation per coalesced group plus epoch-exactness of
+// everything served. AECNC_TEST_SEED perturbs every stream (nightly
+// seed sweep).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/sequential.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "serve/admission.hpp"
+#include "serve/inflight.hpp"
+#include "serve/service.hpp"
+#include "test_seed.hpp"
+#include "update/pipeline.hpp"
+
+namespace aecnc {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Shadow graph + sequential oracle
+
+/// The harness's model of the *staged* graph: mirrors every applied
+/// mutation, materializes the expected Csr at each publish.
+class ShadowGraph {
+ public:
+  ShadowGraph(const graph::Csr& g) : n_(g.num_vertices()) {
+    for (VertexId u = 0; u < n_; ++u) {
+      for (const VertexId v : g.neighbors(u)) {
+        if (u < v) add(u, v);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(VertexId u, VertexId v) const {
+    return index_.contains(update::touched_key(u, v));
+  }
+
+  /// Mirrors IncrementalCounter admission: self loops and duplicates
+  /// are no-ops. Returns whether the shadow changed.
+  bool add(VertexId u, VertexId v) {
+    if (u == v || u >= n_ || v >= n_ || has(u, v)) return false;
+    index_.emplace(update::touched_key(u, v), edges_.size());
+    edges_.push_back({std::min(u, v), std::max(u, v)});
+    return true;
+  }
+
+  bool del(VertexId u, VertexId v) {
+    const auto it = index_.find(update::touched_key(u, v));
+    if (u == v || it == index_.end()) return false;
+    const std::size_t slot = it->second;
+    index_.erase(it);
+    edges_[slot] = edges_.back();
+    edges_.pop_back();
+    if (slot < edges_.size()) {
+      index_[update::touched_key(edges_[slot].first, edges_[slot].second)] =
+          slot;
+    }
+    return true;
+  }
+
+  /// A uniformly random current edge (for del ops and edge-biased
+  /// queries); nullopt on an empty graph.
+  [[nodiscard]] std::optional<std::pair<VertexId, VertexId>> random_edge(
+      std::uint64_t r) const {
+    if (edges_.empty()) return std::nullopt;
+    return edges_[r % edges_.size()];
+  }
+
+  [[nodiscard]] graph::Csr to_csr() const {
+    graph::EdgeList list(n_);
+    for (const auto& [u, v] : edges_) list.add(u, v);
+    list.normalize();
+    return graph::Csr::from_edge_list(std::move(list));
+  }
+
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> slot
+};
+
+/// One epoch's ground truth: the graph plus its full all-edge
+/// count_sequential_mps run (the reference the paper's kernels are
+/// verified against everywhere else in the suite).
+struct EpochOracle {
+  graph::Csr graph;
+  core::CountArray counts;  // aligned with graph's directed edges
+};
+
+EpochOracle make_oracle(graph::Csr g) {
+  core::CountArray counts = core::count_sequential_mps(g, {});
+  return {.graph = std::move(g), .counts = std::move(counts)};
+}
+
+/// |N(u) ∩ N(v)| on the oracle's graph. Edge pairs read the
+/// count_sequential_mps output bit-for-bit; non-edge pairs (which an
+/// all-edge run never emits) fall back to a direct sorted-adjacency
+/// intersection on the same graph.
+CnCount oracle_count(const EpochOracle& o, VertexId u, VertexId v) {
+  const VertexId n = o.graph.num_vertices();
+  if (u >= n || v >= n || u == v) return 0;
+  const auto e = o.graph.find_edge(u, v);
+  if (e != o.graph.num_directed_edges()) return o.counts[e];
+  const auto nu = o.graph.neighbors(u);
+  const auto nv = o.graph.neighbors(v);
+  CnCount c = 0;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      ++c, ++i, ++j;
+    }
+  }
+  return c;
+}
+
+bool oracle_is_edge(const EpochOracle& o, VertexId u, VertexId v) {
+  const VertexId n = o.graph.num_vertices();
+  return u < n && v < n && u != v &&
+         o.graph.find_edge(u, v) != o.graph.num_directed_edges();
+}
+
+graph::Csr test_graph(std::uint64_t seed, VertexId n = 200,
+                      std::uint64_t m = 1200) {
+  return graph::Csr::from_edge_list(graph::chung_lu_power_law(n, m, 2.2, seed));
+}
+
+// ---------------------------------------------------------------------------
+// Differential mixed-workload harness
+
+/// Drive `ops` interleaved query/add/del/publish operations against a
+/// service and its shadow, verifying every reply against the oracle of
+/// the epoch the reply names. Returns the number of publishes executed.
+std::size_t run_mixed_workload(serve::Service& svc, ShadowGraph& shadow,
+                               std::uint64_t seed, std::size_t ops,
+                               bool slo_active) {
+  const VertexId n = shadow.num_vertices();
+  std::vector<EpochOracle> oracles;  // index = epoch - 1
+  {
+    const serve::SnapshotPtr snap = svc.snapshot();
+    oracles.push_back(make_oracle(shadow.to_csr()));
+    EXPECT_EQ(snap->epoch, 1u);
+  }
+  serve::Epoch cur_epoch = 1;
+  std::size_t publishes = 0;
+  bool ever_applied = false;  // publish() requires a seeded pipeline
+
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t roll = splitmix(s) % 100;
+    if (roll < 55) {
+      // Query: half biased to current edges (the pairs mutations
+      // perturb), half uniform over the universe (misses, non-edges,
+      // self loops, carried entries).
+      VertexId u, v;
+      if (splitmix(s) % 2 == 0) {
+        if (const auto e = shadow.random_edge(splitmix(s)); e.has_value()) {
+          u = e->first;
+          v = e->second;
+        } else {
+          u = 0, v = 0;
+        }
+      } else {
+        u = static_cast<VertexId>(splitmix(s) % n);
+        v = static_cast<VertexId>(splitmix(s) % n);
+      }
+      const serve::QueryResult r = svc.query_edge(u, v);
+      if (r.status == serve::ReplyStatus::kShed) {
+        EXPECT_TRUE(slo_active) << "shed reply without SLO configured";
+        EXPECT_EQ(r.count, 0u);
+        continue;
+      }
+      if (r.status == serve::ReplyStatus::kStale) {
+        EXPECT_TRUE(slo_active) << "stale reply without SLO configured";
+        EXPECT_EQ(r.epoch, cur_epoch - 1) << "stale reply must name the "
+                                             "immediately superseded epoch";
+        EXPECT_TRUE(r.cached);
+      } else {
+        EXPECT_EQ(r.epoch, cur_epoch)
+            << "fresh reply must name the current epoch";
+      }
+      // The differential heart: whatever epoch the reply names, its
+      // count and edge flag must match the sequential oracle on that
+      // epoch's graph exactly. (EXPECT + guard: ASSERT_* needs a void
+      // function.)
+      EXPECT_GE(r.epoch, 1u);
+      EXPECT_LE(r.epoch, oracles.size());
+      if (r.epoch < 1 || r.epoch > oracles.size()) continue;
+      const EpochOracle& oracle = oracles[r.epoch - 1];
+      EXPECT_EQ(r.count, oracle_count(oracle, u, v))
+          << "epoch " << r.epoch << " pair (" << u << "," << v << ")"
+          << (r.cached ? " [cached]" : " [computed]");
+      EXPECT_EQ(r.is_edge, oracle_is_edge(oracle, u, v));
+    } else if (roll < 75) {
+      const auto u = static_cast<VertexId>(splitmix(s) % n);
+      const auto v = static_cast<VertexId>(splitmix(s) % n);
+      const update::Mutation m{update::kAddEdge, u, v};
+      (void)svc.apply_updates({&m, 1});
+      ever_applied = true;
+      shadow.add(u, v);
+    } else if (roll < 95) {
+      VertexId u, v;
+      if (const auto e = shadow.random_edge(splitmix(s)); e.has_value()) {
+        u = e->first;
+        v = e->second;
+      } else {
+        u = static_cast<VertexId>(splitmix(s) % n);
+        v = static_cast<VertexId>(splitmix(s) % n);
+      }
+      const update::Mutation m{update::kDelEdge, u, v};
+      (void)svc.apply_updates({&m, 1});
+      ever_applied = true;
+      shadow.del(u, v);
+    } else {
+      if (!ever_applied) continue;  // nothing staged yet
+      cur_epoch = svc.publish();
+      ++publishes;
+      oracles.push_back(make_oracle(shadow.to_csr()));
+      EXPECT_EQ(cur_epoch, oracles.size());
+      // The published snapshot must be the shadow's graph exactly.
+      const serve::SnapshotPtr snap = svc.snapshot();
+      EXPECT_EQ(snap->graph.num_undirected_edges(), shadow.num_edges());
+    }
+  }
+  return publishes;
+}
+
+TEST(ServeMutationDifferential, MixedWorkloadMatchesSequentialOracle) {
+  const std::uint64_t seed = testsupport::mix_seed(0x5eed05);
+  const graph::Csr g = test_graph(seed ^ 0x1234);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.update.max_vertices = g.num_vertices();
+  serve::Service svc(cfg);
+  svc.publish(g);
+  ShadowGraph shadow(g);
+
+  const std::size_t publishes =
+      run_mixed_workload(svc, shadow, seed, 10'000, /*slo_active=*/false);
+  const serve::ServiceStats s = svc.stats();
+  EXPECT_GT(publishes, 0u);
+  // The tentpole must actually engage: a steady mutation stream no
+  // longer zeroes the cache on publish.
+  EXPECT_GT(s.cache.carried_forward, 0u);
+  EXPECT_GT(s.cache.hits, 0u);
+  EXPECT_EQ(s.stale_served, 0u);
+  EXPECT_EQ(s.slo_shed, 0u);
+}
+
+TEST(ServeMutationDifferential, RelabeledServiceMatchesSequentialOracle) {
+  const std::uint64_t seed = testsupport::mix_seed(0xab5eed);
+  const graph::Csr g = test_graph(seed ^ 0x77, 150, 900);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.relabel = true;  // hub-first internal space behind external replies
+  cfg.update.max_vertices = g.num_vertices();
+  serve::Service svc(cfg);
+  svc.publish(g);
+  ShadowGraph shadow(g);
+
+  run_mixed_workload(svc, shadow, seed, 4'000, /*slo_active=*/false);
+  EXPECT_GT(svc.stats().cache.carried_forward, 0u);
+}
+
+TEST(ServeMutationDifferential, WholesaleBaselineStaysCorrect) {
+  // The bench's control arm: identical workload with carry-forward off
+  // must stay oracle-exact and must never carry anything.
+  const std::uint64_t seed = testsupport::mix_seed(0xba5e11);
+  const graph::Csr g = test_graph(seed ^ 0x99, 150, 900);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.fine_grained_invalidation = false;
+  cfg.update.max_vertices = g.num_vertices();
+  serve::Service svc(cfg);
+  svc.publish(g);
+  ShadowGraph shadow(g);
+
+  run_mixed_workload(svc, shadow, seed, 4'000, /*slo_active=*/false);
+  EXPECT_EQ(svc.stats().cache.carried_forward, 0u);
+}
+
+TEST(ServeMutationDifferential, SloDegradedRepliesStayOracleExact) {
+  // Admission engages after two fake-4096ns samples against a 1000ns
+  // budget; from then on every miss degrades (STALE when the previous
+  // epoch still holds the pair, SHED otherwise) while carried entries
+  // keep serving fresh. All non-shed replies stay oracle-exact on the
+  // epoch they name.
+  const std::uint64_t seed = testsupport::mix_seed(0x510bee);
+  const graph::Csr g = test_graph(seed ^ 0x42);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.update.max_vertices = g.num_vertices();
+  cfg.slo = {.p99_budget_ns = 1000,
+             .min_samples = 2,
+             .window = 1024,
+             .allow_stale = true,
+             .fake_sample_ns = 4096};
+  serve::Service svc(cfg);
+  svc.publish(g);
+  ShadowGraph shadow(g);
+
+  run_mixed_workload(svc, shadow, seed, 6'000, /*slo_active=*/true);
+  const serve::ServiceStats s = svc.stats();
+  EXPECT_GT(s.slo_shed, 0u);
+  // Over-budget misses stop reaching the engine: at most the two
+  // warm-up samples per... (the admission window never decays because
+  // recording stops with the computes).
+  EXPECT_LE(s.point_computes, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic SLO degrade sequence (the golden-session script's twin)
+
+TEST(ServeSloAdmission, DegradeSequenceStaleThenShed) {
+  // Two triangles: 0-1-2 and 3-4-5. cnt(0,1)=1 (via 2), cnt(3,4)=1
+  // (via 5).
+  graph::EdgeList list(8);
+  list.add(0, 1), list.add(0, 2), list.add(1, 2);
+  list.add(3, 4), list.add(3, 5), list.add(4, 5);
+  list.normalize();
+  graph::Csr g = graph::Csr::from_edge_list(std::move(list));
+
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.update.max_vertices = g.num_vertices();
+  cfg.slo = {.p99_budget_ns = 1000,
+             .min_samples = 2,
+             .window = 1024,
+             .allow_stale = true,
+             .fake_sample_ns = 4096};
+  serve::Service svc(cfg);
+  svc.publish(std::move(g));
+
+  // Two admitted computes warm the admission window past min_samples.
+  const auto r1 = svc.query_edge(0, 1);
+  EXPECT_EQ(r1.status, serve::ReplyStatus::kFresh);
+  EXPECT_EQ(r1.count, 1u);
+  const auto r2 = svc.query_edge(3, 4);
+  EXPECT_EQ(r2.status, serve::ReplyStatus::kFresh);
+  EXPECT_EQ(r2.count, 1u);
+
+  // Over budget at epoch 1: no previous epoch to degrade to → SHED.
+  const auto r3 = svc.query_edge(0, 2);
+  EXPECT_EQ(r3.status, serve::ReplyStatus::kShed);
+  EXPECT_EQ(r3.epoch, 1u);
+
+  // Delete (0,1) and publish: (0,1) is touched (stays behind at epoch
+  // 1 as the stale candidate), (3,4) is untouched (carries forward).
+  const update::Mutation del{update::kDelEdge, 0, 1};
+  (void)svc.apply_updates({&del, 1});
+  EXPECT_EQ(svc.publish(), 2u);
+
+  // Carried entry: a fresh epoch-2 cache hit, no admission involved.
+  const auto r4 = svc.query_edge(3, 4);
+  EXPECT_EQ(r4.status, serve::ReplyStatus::kFresh);
+  EXPECT_EQ(r4.epoch, 2u);
+  EXPECT_TRUE(r4.cached);
+  EXPECT_EQ(r4.count, 1u);
+
+  // Touched pair: epoch-2 miss, over budget → STALE epoch-1 reply with
+  // the epoch-1 count (still 1; on epoch 2 the pair is a non-edge with
+  // count 1 too, but the reply must *name* epoch 1).
+  const auto r5 = svc.query_edge(0, 1);
+  EXPECT_EQ(r5.status, serve::ReplyStatus::kStale);
+  EXPECT_EQ(r5.epoch, 1u);
+  EXPECT_TRUE(r5.cached);
+  EXPECT_EQ(r5.count, 1u);
+  EXPECT_TRUE(r5.is_edge);  // it *was* an edge of epoch 1
+
+  // Never-cached pair over budget → SHED.
+  const auto r6 = svc.query_edge(2, 5);
+  EXPECT_EQ(r6.status, serve::ReplyStatus::kShed);
+  EXPECT_EQ(r6.epoch, 2u);
+
+  const serve::ServiceStats s = svc.stats();
+  EXPECT_EQ(s.stale_served, 1u);
+  EXPECT_EQ(s.slo_shed, 2u);
+  EXPECT_GE(s.cache.carried_forward, 1u);
+  EXPECT_EQ(s.point_computes, 2u);
+}
+
+TEST(ServeSloAdmission, ShedsImmediatelyWhenStaleDisallowed) {
+  graph::Csr g = test_graph(7, 50, 200);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.update.max_vertices = g.num_vertices();
+  cfg.slo = {.p99_budget_ns = 1000,
+             .min_samples = 1,
+             .window = 1024,
+             .allow_stale = false,
+             .fake_sample_ns = 4096};
+  serve::Service svc(cfg);
+  svc.publish(std::move(g));
+
+  (void)svc.query_edge(0, 1);  // engage
+  const update::Mutation del{update::kDelEdge, 0, 1};
+  (void)svc.apply_updates({&del, 1});
+  (void)svc.publish();
+  // (0,1) is stale-available at epoch 1, but allow_stale=false sheds.
+  const auto r = svc.query_edge(0, 1);
+  EXPECT_EQ(r.status, serve::ReplyStatus::kShed);
+  EXPECT_EQ(svc.stats().stale_served, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit behavior
+
+TEST(AdmissionControllerTest, DisabledAdmitsEverything) {
+  serve::AdmissionController ac({.p99_budget_ns = 0});
+  ac.record(1, 1'000'000);
+  EXPECT_TRUE(ac.admit(1));
+  EXPECT_EQ(ac.p99_ns(1), 0u);
+}
+
+TEST(AdmissionControllerTest, EngagesOnlyPastMinSamples) {
+  serve::AdmissionController ac(
+      {.p99_budget_ns = 1000, .min_samples = 3, .window = 1024});
+  ac.record(5, 4096);
+  ac.record(5, 4096);
+  EXPECT_TRUE(ac.admit(5)) << "under-sampled window must admit";
+  ac.record(5, 4096);
+  EXPECT_FALSE(ac.admit(5));
+  // bit_width(4096) = 13 → inclusive bucket upper bound 2^13 - 1.
+  EXPECT_EQ(ac.p99_ns(5), 8191u);
+}
+
+TEST(AdmissionControllerTest, ClientsAreIsolated) {
+  serve::AdmissionController ac(
+      {.p99_budget_ns = 1000, .min_samples = 1, .window = 1024});
+  ac.record(1, 4096);
+  EXPECT_FALSE(ac.admit(1));
+  EXPECT_TRUE(ac.admit(2)) << "client 2 never exceeded its own budget";
+  ac.record(2, 100);
+  EXPECT_TRUE(ac.admit(2));
+}
+
+TEST(AdmissionControllerTest, P99TracksTheTailNotTheMedian) {
+  serve::AdmissionController ac(
+      {.p99_budget_ns = 1 << 20, .min_samples = 1, .window = 1 << 20});
+  for (int i = 0; i < 990; ++i) ac.record(9, 100);
+  for (int i = 0; i < 10; ++i) ac.record(9, 1 << 19);
+  // 1000 samples: rank ceil(0.99*1000)=990 lands in the 100ns bucket;
+  // one more slow sample pushes the p99 into the tail bucket.
+  EXPECT_EQ(ac.p99_ns(9), 127u);
+  for (int i = 0; i < 15; ++i) ac.record(9, 1 << 19);
+  EXPECT_EQ(ac.p99_ns(9), (1u << 20) - 1);
+}
+
+TEST(AdmissionControllerTest, WindowDecayForgivesOldBursts) {
+  serve::AdmissionController ac(
+      {.p99_budget_ns = 1000, .min_samples = 4, .window = 8});
+  for (int i = 0; i < 7; ++i) ac.record(3, 4096);
+  EXPECT_FALSE(ac.admit(3));
+  // Healthy traffic: each record past the window halves the old burst.
+  for (int i = 0; i < 60; ++i) ac.record(3, 64);
+  EXPECT_TRUE(ac.admit(3));
+  EXPECT_EQ(ac.p99_ns(3), 127u);
+}
+
+// ---------------------------------------------------------------------------
+// InflightTable unit behavior
+
+TEST(InflightTableTest, FirstArrivalLeadsJoinersGetTheValue) {
+  serve::InflightTable table;
+  const auto lead = table.join(1, 42);
+  ASSERT_TRUE(lead.leader);
+
+  constexpr int kJoiners = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> got_value{0};
+  std::atomic<int> late_leaders{0};
+  std::atomic<int> arrived{0};
+  for (int t = 0; t < kJoiners; ++t) {
+    threads.emplace_back([&] {
+      arrived.fetch_add(1);
+      const auto r = table.join(1, 42);
+      if (r.leader) {
+        // Arrived after complete() retired the entry: a fresh leader,
+        // responsible for resolving its own (trivial) group.
+        table.complete(1, 42, {.count = 7, .is_edge = false});
+        late_leaders.fetch_add(1);
+      } else if (r.value.has_value()) {
+        EXPECT_EQ(r.value->count, 7u);
+        got_value.fetch_add(1);
+      } else {
+        ADD_FAILURE() << "joiner saw abandon, but the leader completed";
+      }
+    });
+  }
+  while (arrived.load() < kJoiners) std::this_thread::yield();
+  table.complete(1, 42, {.count = 7, .is_edge = false});
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(got_value.load() + late_leaders.load(), kJoiners);
+}
+
+TEST(InflightTableTest, AbandonReleasesJoinersWithoutAValue) {
+  serve::InflightTable table;
+  ASSERT_TRUE(table.join(2, 9).leader);
+  std::atomic<bool> saw_fallback{false};
+  std::thread joiner([&] {
+    const auto r = table.join(2, 9);
+    if (!r.leader) saw_fallback.store(!r.value.has_value());
+  });
+  // The joiner either blocks (then abandon wakes it valueless) or
+  // arrives after the abandon (then it leads and must clean up).
+  table.abandon(2, 9);
+  joiner.join();
+  if (!saw_fallback.load()) {
+    // The joiner became a leader; resolve its entry.
+    table.abandon(2, 9);
+  }
+}
+
+TEST(InflightTableTest, DistinctEpochsAndPairsDoNotCoalesce) {
+  serve::InflightTable table;
+  EXPECT_TRUE(table.join(1, 5).leader);
+  EXPECT_TRUE(table.join(2, 5).leader) << "same pair, new epoch";
+  EXPECT_TRUE(table.join(1, 6).leader) << "same epoch, new pair";
+  table.complete(1, 5, {});
+  table.complete(2, 5, {});
+  table.abandon(1, 6);
+  // All retired: the next arrival leads again.
+  EXPECT_TRUE(table.join(1, 5).leader);
+  table.abandon(1, 5);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache carry-forward unit behavior
+
+TEST(ResultCacheCarryForward, CarriesUntouchedKeepsTouchedDropsAncient) {
+  serve::ResultCache cache(64);
+  cache.insert(1, 0, 1, {.count = 10, .is_edge = true});   // will be touched
+  cache.insert(1, 2, 3, {.count = 20, .is_edge = true});   // untouched
+  cache.insert(2, 4, 5, {.count = 30, .is_edge = false});  // already new
+
+  const std::uint64_t touched[] = {update::touched_key(0, 1)};
+  EXPECT_EQ(cache.carry_forward(2, touched), 1u);
+
+  // Untouched entry advanced to epoch 2; its epoch-1 incarnation is gone.
+  EXPECT_EQ(cache.lookup(2, 2, 3)->count, 20u);
+  EXPECT_FALSE(cache.lookup(1, 2, 3).has_value());
+  // Touched entry stays behind at epoch 1 (the stale-degrade candidate).
+  EXPECT_EQ(cache.lookup(1, 0, 1)->count, 10u);
+  EXPECT_FALSE(cache.lookup(2, 0, 1).has_value());
+  // Entries already at the new epoch pass through untouched.
+  EXPECT_EQ(cache.lookup(2, 4, 5)->count, 30u);
+
+  // Next publish: the epoch-1 stale entry is now two epochs old → drop.
+  EXPECT_EQ(cache.carry_forward(3, {}), 2u);  // (2,3) and (4,5) advance
+  EXPECT_FALSE(cache.lookup(1, 0, 1).has_value());
+  EXPECT_FALSE(cache.lookup(2, 0, 1).has_value());
+  EXPECT_FALSE(cache.lookup(3, 0, 1).has_value());
+  const serve::CacheStats s = cache.stats();
+  EXPECT_EQ(s.carried_forward, 3u);
+  EXPECT_EQ(s.invalidations, 1u);  // only the aged-out (0,1)
+  EXPECT_EQ(s.size, 2u);
+}
+
+TEST(ResultCacheCarryForward, StatsAreCumulativeAcrossPublishes) {
+  // The bench's before/after hit-rate arithmetic relies on counters
+  // never resetting — only `size` may move down on a publish.
+  serve::ResultCache cache(16);
+  cache.insert(1, 0, 1, {.count = 1, .is_edge = true});
+  (void)cache.lookup(1, 0, 1);  // hit
+  (void)cache.lookup(1, 8, 9);  // miss
+  const serve::CacheStats before = cache.stats();
+  EXPECT_EQ(before.hits, 1u);
+  EXPECT_EQ(before.misses, 1u);
+
+  (void)cache.carry_forward(2, {});
+  cache.invalidate_all();
+  const serve::CacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.carried_forward, 1u);
+  EXPECT_EQ(after.size, 0u);
+}
+
+TEST(ResultCacheCarryForward, SetOrderSurvivesCompaction) {
+  // Pack one set past the drop: LRU order among survivors must be
+  // preserved so the next insert still evicts the true LRU. All pairs
+  // share a set iff they hash together — use one pair under several
+  // epochs, which by construction shares the (pair-only) set hash.
+  serve::ResultCache cache(8);
+  cache.insert(1, 0, 1, {.count = 1, .is_edge = true});
+  cache.insert(2, 0, 1, {.count = 2, .is_edge = true});
+  cache.insert(3, 0, 1, {.count = 3, .is_edge = true});
+  // carry to epoch 4: epoch-3 entry is prev (untouched → advance to 4),
+  // epochs 1 and 2 are ancient → dropped.
+  EXPECT_EQ(cache.carry_forward(4, {}), 1u);
+  EXPECT_EQ(cache.lookup(4, 0, 1)->count, 3u);
+  EXPECT_FALSE(cache.lookup(1, 0, 1).has_value());
+  EXPECT_FALSE(cache.lookup(2, 0, 1).has_value());
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(ResultCacheCarryForward, DisabledAndEpochZeroAreNoops) {
+  serve::ResultCache disabled(0);
+  EXPECT_EQ(disabled.carry_forward(2, {}), 0u);
+  serve::ResultCache cache(8);
+  cache.insert(1, 0, 1, {.count = 1, .is_edge = true});
+  EXPECT_EQ(cache.carry_forward(0, {}), 0u);
+  EXPECT_TRUE(cache.lookup(1, 0, 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// UpdatePipeline touched-set export
+
+TEST(UpdatePipelineTouchedSet, RecordsPairAndIncidentPairs) {
+  // Path 0-1-2 plus vertex 3. Inserting (1,3): pair (1,3) itself, plus
+  // (3,w) for w ∈ N(1) = {0,2}. N(3) is empty pre-op, so no (1,w).
+  graph::EdgeList list(4);
+  list.add(0, 1), list.add(1, 2);
+  list.normalize();
+  update::UpdatePipeline pipe(graph::Csr::from_edge_list(std::move(list)));
+
+  const update::Mutation m{update::kAddEdge, 1, 3};
+  const update::ApplyReport report = pipe.apply({&m, 1});
+  EXPECT_EQ(report.inserted, 1u);
+  EXPECT_EQ(report.touched_pairs, 3u);
+
+  const update::TouchedSet touched = pipe.take_touched();
+  EXPECT_FALSE(touched.wholesale);
+  const std::vector<std::uint64_t> expected = {update::touched_key(0, 3),
+                                               update::touched_key(1, 3),
+                                               update::touched_key(2, 3)};
+  std::vector<std::uint64_t> sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  EXPECT_EQ(touched.pairs, sorted_expected);
+}
+
+TEST(UpdatePipelineTouchedSet, NoopsRecordNothing) {
+  graph::EdgeList list(4);
+  list.add(0, 1);
+  list.normalize();
+  update::UpdatePipeline pipe(graph::Csr::from_edge_list(std::move(list)));
+
+  const update::Mutation noops[] = {
+      {update::kAddEdge, 0, 1},  // duplicate insert
+      {update::kAddEdge, 2, 2},  // self loop
+      {update::kDelEdge, 2, 3},  // non-edge erase
+  };
+  const update::ApplyReport report = pipe.apply(noops);
+  EXPECT_EQ(report.noops, 3u);
+  EXPECT_EQ(report.touched_pairs, 0u);
+  const update::TouchedSet touched = pipe.take_touched();
+  EXPECT_FALSE(touched.wholesale);
+  EXPECT_TRUE(touched.pairs.empty());
+}
+
+TEST(UpdatePipelineTouchedSet, TakeTouchedDrainsTheAccumulator) {
+  update::UpdatePipeline pipe;
+  const update::Mutation m{update::kAddEdge, 0, 1};
+  (void)pipe.apply({&m, 1});
+  EXPECT_FALSE(pipe.take_touched().pairs.empty());
+  const update::TouchedSet second = pipe.take_touched();
+  EXPECT_TRUE(second.pairs.empty());
+  EXPECT_FALSE(second.wholesale);
+}
+
+TEST(UpdatePipelineTouchedSet, OverflowDegradesToWholesale) {
+  update::PipelineConfig config;
+  config.max_touched = 4;
+  update::UpdatePipeline pipe(test_graph(11, 50, 300), config);
+  // A hub-heavy batch overflows four touched slots immediately.
+  std::vector<update::Mutation> muts;
+  for (VertexId v = 0; v < 10; ++v) {
+    muts.push_back({update::kDelEdge, 0, v});
+    muts.push_back({update::kAddEdge, 0, v});
+  }
+  (void)pipe.apply(muts);
+  const update::TouchedSet touched = pipe.take_touched();
+  EXPECT_TRUE(touched.wholesale);
+  EXPECT_TRUE(touched.pairs.empty());
+  // The degrade is per-take: the next batch tracks exactly again.
+  const update::Mutation m{update::kAddEdge, 1, 2};
+  (void)pipe.apply({&m, 1});
+  EXPECT_FALSE(pipe.take_touched().wholesale);
+}
+
+TEST(UpdatePipelineTouchedSet, RecountRouteGoesWholesale) {
+  update::PipelineConfig config;
+  config.policy.recount_advantage = 1e9;  // recount always "wins"
+  config.policy.min_recount_batch = 1;
+  const graph::Csr g = test_graph(13, 50, 300);
+  // A guaranteed non-edge, so the insert really applies (a no-op batch
+  // skips the recount and must NOT degrade the touched set).
+  VertexId au = 0, av = 0;
+  for (VertexId u = 0; u < 50 && au == av; ++u) {
+    for (VertexId v = u + 1; v < 50; ++v) {
+      if (g.find_edge(u, v) == g.num_directed_edges()) {
+        au = u, av = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(au, av);
+  update::UpdatePipeline pipe(g, config);
+  const update::Mutation m{update::kAddEdge, au, av};
+  const update::ApplyReport report = pipe.apply({&m, 1});
+  EXPECT_EQ(report.recount_batches, 1u);
+  EXPECT_EQ(report.inserted, 1u);
+  EXPECT_TRUE(pipe.take_touched().wholesale);
+}
+
+TEST(UpdatePipelineTouchedSet, CoversEveryBruteForcePairDiff) {
+  // Soundness, the property carry-forward correctness rests on: every
+  // pair whose count OR edge flag differs between two takes must be in
+  // the touched set. (The set may over-approximate; it must never
+  // under-approximate.)
+  const std::uint64_t seed = testsupport::mix_seed(0xd1ff5);
+  const graph::Csr before = test_graph(seed ^ 0x5a5a, 60, 250);
+  update::UpdatePipeline pipe(before);
+
+  std::uint64_t s = seed;
+  std::vector<update::Mutation> muts;
+  for (int i = 0; i < 30; ++i) {
+    const auto u = static_cast<VertexId>(splitmix(s) % 60);
+    const auto v = static_cast<VertexId>(splitmix(s) % 60);
+    muts.push_back(
+        {splitmix(s) % 2 == 0 ? update::kAddEdge : update::kDelEdge, u, v});
+  }
+  (void)pipe.apply(muts);
+  const update::TouchedSet touched = pipe.take_touched();
+  ASSERT_FALSE(touched.wholesale);
+  const graph::Csr after = pipe.materialize();
+
+  const EpochOracle ob = make_oracle(before);
+  const EpochOracle oa = make_oracle(after);
+  const VertexId n = std::max(before.num_vertices(), after.num_vertices());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool differs = oracle_count(ob, u, v) != oracle_count(oa, u, v) ||
+                           oracle_is_edge(ob, u, v) != oracle_is_edge(oa, u, v);
+      if (differs) {
+        EXPECT_TRUE(std::binary_search(touched.pairs.begin(),
+                                       touched.pairs.end(),
+                                       update::touched_key(u, v)))
+            << "pair (" << u << "," << v << ") changed but is not touched";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Async-path coalescing
+
+TEST(ServeAsyncCoalescing, PumpDeduplicatesPairsWithinABatch) {
+  graph::Csr g = test_graph(17, 100, 500);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  serve::Service svc(cfg);
+  svc.publish(g);
+  const EpochOracle oracle = make_oracle(std::move(g));
+
+  std::vector<std::future<serve::QueryResult>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(svc.submit_edge(2, 3));
+  futures.push_back(svc.submit_edge(3, 2));  // reversed duplicate
+  futures.push_back(svc.submit_edge(4, 5));
+  const std::uint64_t before = svc.stats().engine_queries;
+  EXPECT_EQ(svc.pump(), 12u);
+  // 12 queued requests, 2 distinct canonical pairs → 2 engine queries.
+  EXPECT_EQ(svc.stats().engine_queries - before, 2u);
+  for (auto& f : futures) {
+    const serve::QueryResult r = f.get();
+    EXPECT_EQ(r.count, oracle_count(oracle, r.u, r.v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TSan stress: coalescing exactly-once + epoch exactness under publishes
+
+TEST(ServeMutationStress, CoalescedHammerComputesEachPairOnce) {
+  const std::uint64_t seed = testsupport::mix_seed(0xc0a1e5);
+  graph::Csr g = test_graph(seed ^ 0x31, 300, 2000);
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  serve::Service svc(cfg);
+  const EpochOracle oracle = make_oracle(g);
+  svc.publish(std::move(g));
+
+  // A small hot set so every pair is hammered by every thread.
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 300;
+  constexpr int kHotPairs = 16;
+  std::vector<std::pair<VertexId, VertexId>> hot;
+  std::uint64_t s = seed;
+  for (int i = 0; i < kHotPairs; ++i) {
+    hot.push_back({static_cast<VertexId>(splitmix(s) % 300),
+                   static_cast<VertexId>(splitmix(s) % 300)});
+  }
+
+  struct Reply {
+    std::uint64_t key;
+    bool cached;
+  };
+  std::vector<std::vector<Reply>> replies(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rs = seed + static_cast<std::uint64_t>(t) * 7919;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const auto [u, v] = hot[splitmix(rs) % kHotPairs];
+        const serve::QueryResult r = svc.query_edge(u, v);
+        EXPECT_EQ(r.status, serve::ReplyStatus::kFresh);
+        EXPECT_EQ(r.epoch, 1u);
+        EXPECT_EQ(r.count, oracle_count(oracle, u, v));
+        replies[t].push_back({update::touched_key(u, v), !r.cached});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactly-once: per canonical pair, exactly ONE reply across all
+  // threads was an actual computation; everyone else hit the cache or
+  // latched onto the in-flight compute.
+  std::unordered_map<std::uint64_t, int> computes;
+  for (const auto& per_thread : replies) {
+    for (const Reply& r : per_thread) computes[r.key] += r.cached ? 1 : 0;
+  }
+  for (const auto& [key, count] : computes) {
+    EXPECT_EQ(count, 1) << "pair key " << key << " recomputed " << count
+                        << " times";
+  }
+  EXPECT_EQ(svc.stats().point_computes, computes.size());
+}
+
+TEST(ServeMutationStress, PublishStormRepliesExactOnTheirEpoch) {
+  // Queries race a mutation/publish storm. Every reply names an epoch;
+  // after the fact each one is checked against that epoch's oracle — a
+  // carried-forward entry served under a wrong epoch, or a stale entry
+  // leaking without its marker, shows up as a count mismatch here.
+  const std::uint64_t seed = testsupport::mix_seed(0x5700a1);
+  const graph::Csr g = test_graph(seed ^ 0x17, 150, 900);
+  const VertexId n = g.num_vertices();
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.update.max_vertices = n;
+  serve::Service svc(cfg);
+  svc.publish(g);
+
+  constexpr std::size_t kPublishes = 24;
+  std::vector<graph::Csr> epoch_graphs;  // index = epoch - 1
+  epoch_graphs.reserve(kPublishes + 1);
+  epoch_graphs.push_back(g);
+
+  std::atomic<bool> done{false};
+  constexpr int kThreads = 6;
+  struct Reply {
+    serve::Epoch epoch;
+    VertexId u, v;
+    CnCount count;
+    bool is_edge;
+  };
+  std::vector<std::vector<Reply>> replies(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rs = seed + static_cast<std::uint64_t>(t) * 104729;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto u = static_cast<VertexId>(splitmix(rs) % n);
+        const auto v = static_cast<VertexId>(splitmix(rs) % n);
+        const serve::QueryResult r = svc.query_edge(u, v);
+        EXPECT_EQ(r.status, serve::ReplyStatus::kFresh);
+        replies[t].push_back({r.epoch, u, v, r.count, r.is_edge});
+      }
+    });
+  }
+
+  // Mutator: small touched batches, one publish each, shadow mirrored.
+  ShadowGraph shadow(g);
+  std::uint64_t ms = seed ^ 0xfeed;
+  for (std::size_t p = 0; p < kPublishes; ++p) {
+    for (int i = 0; i < 6; ++i) {
+      const auto u = static_cast<VertexId>(splitmix(ms) % n);
+      const auto v = static_cast<VertexId>(splitmix(ms) % n);
+      const bool add = splitmix(ms) % 2 == 0;
+      const update::Mutation m{add ? update::kAddEdge : update::kDelEdge, u,
+                               v};
+      (void)svc.apply_updates({&m, 1});
+      add ? shadow.add(u, v) : shadow.del(u, v);
+    }
+    // Record the epoch's graph BEFORE it becomes visible to queriers.
+    epoch_graphs.push_back(shadow.to_csr());
+    (void)svc.publish();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  std::vector<EpochOracle> oracles;
+  oracles.reserve(epoch_graphs.size());
+  for (graph::Csr& eg : epoch_graphs) oracles.push_back(make_oracle(std::move(eg)));
+  std::size_t checked = 0;
+  for (const auto& per_thread : replies) {
+    for (const Reply& r : per_thread) {
+      ASSERT_GE(r.epoch, 1u);
+      ASSERT_LE(r.epoch, oracles.size());
+      const EpochOracle& oracle = oracles[r.epoch - 1];
+      ASSERT_EQ(r.count, oracle_count(oracle, r.u, r.v))
+          << "epoch " << r.epoch << " pair (" << r.u << "," << r.v << ")";
+      ASSERT_EQ(r.is_edge, oracle_is_edge(oracle, r.u, r.v));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Deterministic carry epilogue (the storm's own carries depend on
+  // thread timing): cache (100,101) at the current epoch, mutate only
+  // around (0,1) — whose touched set is confined to pairs incident to
+  // 0 or 1 — and publish. The untouched entry must ride across.
+  const std::uint64_t carried_before = svc.stats().cache.carried_forward;
+  (void)svc.query_edge(100, 101);
+  const bool was_edge = shadow.has(0, 1);
+  const update::Mutation flip{was_edge ? update::kDelEdge : update::kAddEdge,
+                              0, 1};
+  (void)svc.apply_updates({&flip, 1});
+  (void)svc.publish();
+  EXPECT_GT(svc.stats().cache.carried_forward, carried_before);
+  const serve::QueryResult carried = svc.query_edge(100, 101);
+  EXPECT_TRUE(carried.cached);
+  EXPECT_EQ(carried.status, serve::ReplyStatus::kFresh);
+}
+
+TEST(ServeMutationStress, SloStormMarksEveryDegrade) {
+  // Same storm with admission clamped shut after two samples: every
+  // reply must be kFresh-and-exact, kStale-and-exact-on-its-epoch, or
+  // kShed. No unmarked stale value may ever surface.
+  const std::uint64_t seed = testsupport::mix_seed(0x510510);
+  const graph::Csr g = test_graph(seed ^ 0x23, 120, 700);
+  const VertexId n = g.num_vertices();
+  serve::ServiceConfig cfg;
+  cfg.start_dispatcher = false;
+  cfg.update.max_vertices = n;
+  cfg.slo = {.p99_budget_ns = 1000,
+             .min_samples = 2,
+             .window = 1 << 20,
+             .allow_stale = true,
+             .fake_sample_ns = 4096};
+  serve::Service svc(cfg);
+  svc.publish(g);
+
+  constexpr std::size_t kPublishes = 16;
+  std::vector<graph::Csr> epoch_graphs;
+  epoch_graphs.push_back(g);
+
+  std::atomic<bool> done{false};
+  constexpr int kThreads = 4;
+  struct Reply {
+    serve::Epoch epoch;
+    VertexId u, v;
+    CnCount count;
+    serve::ReplyStatus status;
+  };
+  std::vector<std::vector<Reply>> replies(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rs = seed + static_cast<std::uint64_t>(t) * 6151;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto u = static_cast<VertexId>(splitmix(rs) % n);
+        const auto v = static_cast<VertexId>(splitmix(rs) % n);
+        const serve::QueryResult r = svc.query_edge(u, v);
+        replies[t].push_back({r.epoch, u, v, r.count, r.status});
+      }
+    });
+  }
+
+  ShadowGraph shadow(g);
+  std::uint64_t ms = seed ^ 0xfade;
+  for (std::size_t p = 0; p < kPublishes; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      const auto u = static_cast<VertexId>(splitmix(ms) % n);
+      const auto v = static_cast<VertexId>(splitmix(ms) % n);
+      const bool add = splitmix(ms) % 2 == 0;
+      const update::Mutation m{add ? update::kAddEdge : update::kDelEdge, u,
+                               v};
+      (void)svc.apply_updates({&m, 1});
+      add ? shadow.add(u, v) : shadow.del(u, v);
+    }
+    epoch_graphs.push_back(shadow.to_csr());
+    (void)svc.publish();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  std::vector<EpochOracle> oracles;
+  oracles.reserve(epoch_graphs.size());
+  for (graph::Csr& eg : epoch_graphs) oracles.push_back(make_oracle(std::move(eg)));
+  for (const auto& per_thread : replies) {
+    for (const Reply& r : per_thread) {
+      if (r.status == serve::ReplyStatus::kShed) continue;
+      ASSERT_GE(r.epoch, 1u);
+      ASSERT_LE(r.epoch, oracles.size());
+      ASSERT_EQ(r.count, oracle_count(oracles[r.epoch - 1], r.u, r.v))
+          << (r.status == serve::ReplyStatus::kStale ? "STALE" : "fresh")
+          << " reply wrong on its named epoch " << r.epoch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aecnc

@@ -19,6 +19,8 @@
 //                       [--algo=mps|bmp|m] [--index=bitmap|hash]
 //                       [--workers=N] [--cache=65536] [--task-size=64]
 //                       [--kernel=...] [--obs-clock=fake] [--relabel]
+//                       [--slo-p99-ns=0] [--slo-min-samples=64]
+//                       [--slo-stale=true|false]
 //   aecnc_cli update    --in=... --mutations=muts.txt [--out=replies.txt]
 //                       [--batch=1024] [--recount-advantage=4.0]
 //                       [--min-recount-batch=16] [--max-vertices=0]
@@ -41,13 +43,16 @@
 // serve drives the embeddable query service (docs/serving.md) from a
 // scripted request stream (--script file, else stdin), one request per
 // line:  edge u v | vertex u | batch u1 v1 [u2 v2 ...] | add u v |
-// del u v (alias: remove) | publish | stats [json|prom].  Replies go to
-// --out (else stdout) in a deterministic text format, so sessions diff
-// against golden files. Mutations flow through the live-update pipeline
-// (docs/updates.md): add/del stage deltas against the current snapshot,
-// publish materializes and swaps the new epoch in. Malformed requests
-// produce an "error:" reply and the session continues; the exit status
-// is 1 if any line was bad.
+// del u v (alias: remove) | publish | client id | stats [json|prom].
+// Replies go to --out (else stdout) in a deterministic text format, so
+// sessions diff against golden files. Mutations flow through the
+// live-update pipeline (docs/updates.md): add/del stage deltas against
+// the current snapshot, publish materializes and swaps the new epoch in
+// (unaffected cache entries carry forward). --slo-p99-ns enables
+// per-client admission control: over-budget clients get STALE
+// (previous-epoch cached) or SHED replies — contract outcomes, not
+// errors. Malformed requests produce an "error:" reply and the session
+// continues; the exit status is 1 if any line was bad.
 //
 // update replays a mutation file through update::UpdatePipeline +
 // serve::SnapshotStore without the query service: lines are `add u v`,
@@ -491,8 +496,8 @@ int cmd_query(const util::CliArgs& args) {
 
 int cmd_serve(const util::CliArgs& args) {
   require_known(args, {"in", "script", "out", "algo", "rf", "kernel", "index",
-                       "workers", "cache", "task-size", "obs-clock",
-                       "relabel"});
+                       "workers", "cache", "task-size", "obs-clock", "relabel",
+                       "slo-p99-ns", "slo-min-samples", "slo-stale"});
   graph::Csr g = load_graph(args);
 
   // Scripted sessions always serve with observability on: the metric
@@ -521,6 +526,16 @@ int cmd_serve(const util::CliArgs& args) {
   // session mutating vertex ids the graph never had is a client bug, and
   // the pinned universe turns it into a deterministic error reply.
   cfg.update.max_vertices = g.num_vertices();
+  // SLO admission control (docs/serving.md): a per-client p99 compute
+  // budget in ns; 0 (default) leaves it off. Under --obs-clock=fake
+  // every compute records as a fixed 4096ns sample, so golden sessions
+  // exercise deterministic degrade decisions instead of wall-clock ones.
+  cfg.slo.p99_budget_ns =
+      static_cast<std::uint64_t>(args.get_int("slo-p99-ns", 0));
+  cfg.slo.min_samples =
+      static_cast<std::size_t>(args.get_int("slo-min-samples", 64));
+  cfg.slo.allow_stale = args.get_bool("slo-stale", true);
+  if (args.get("obs-clock", "") == "fake") cfg.slo.fake_sample_ns = 4096;
 
   std::ifstream script_file;
   std::istream* in = &std::cin;

@@ -80,6 +80,18 @@ REQUIRED_KEYS = {
         "qps_recompute",
         "qps_cached",
         "cached_speedup_vs_recompute",
+        # Sustained mixed query/mutation section: both invalidation arms
+        # must report tail latency and hit rate, plus the ratio the
+        # invariant below gates.
+        "mixed.fine.p50_ns",
+        "mixed.fine.p99_ns",
+        "mixed.fine.hit_rate",
+        "mixed.fine.qps",
+        "mixed.wholesale.p50_ns",
+        "mixed.wholesale.p99_ns",
+        "mixed.wholesale.hit_rate",
+        "mixed.wholesale.qps",
+        "mixed_hit_rate_vs_wholesale",
     ],
     "update": [
         "dataset",
@@ -144,7 +156,7 @@ HOTPATH_MIN_SPEEDUP = {
     "packed_e2e_vs_bmp": 1.0,
 }
 
-LOWER_IS_BETTER = ("_ms", "_s", "_time", "_bytes")
+LOWER_IS_BETTER = ("_ms", "_ns", "_s", "_time", "_bytes")
 HIGHER_IS_BETTER = ("_speedup", "_per_s", "qps_", "_eps")
 
 
@@ -208,6 +220,20 @@ def check_invariants(data: dict, path: Path) -> list[str]:
             errors.append(
                 f"{path}: delta maintenance no longer beats a full recount "
                 f"at batch size 1 (small_batch_speedup {speedup:.3f} < 1.0)"
+            )
+        return errors
+    if data.get("experiment") == "serve_throughput":
+        # Under mutation traffic, fine-grained carry-forward must never
+        # produce a worse cache hit rate than wholesale invalidation —
+        # the touched-set plumbing exists to *keep* entries; losing to
+        # drop-everything means invalidation has over-approximated into
+        # a pessimization.
+        ratio = lookup(data, "mixed_hit_rate_vs_wholesale")
+        if isinstance(ratio, (int, float)) and ratio < 1.0:
+            errors.append(
+                f"{path}: fine-grained invalidation hit rate fell below "
+                f"the wholesale baseline (mixed_hit_rate_vs_wholesale "
+                f"{ratio:.3f} < 1.0)"
             )
         return errors
     if data.get("experiment") == "shard":
