@@ -12,7 +12,13 @@
 //              the gate holds it within 10% (p1_vs_seq_speedup >= 0.9).
 //   transport: messages and bytes through the aggregator per run at
 //              p ∈ {2, 4, 8}, from engine.transport_stats() (exact and
-//              deterministic, independent of the obs registry).
+//              deterministic, independent of the obs registry) — plus
+//              the socket bill: the same engine over a loopback TCP
+//              mesh (net::SocketTransport::connect_local_mesh) at
+//              p ∈ {1, 2, 4}, with the p=1 socket/in-process overhead
+//              ratio and the wire bytes actually framed and moved.
+//              The in-process p=1 gate (p1_vs_seq_speedup >= 0.9) is
+//              unchanged; the socket numbers are reported, not gated.
 //   flush:     run time at p=4 across flush_messages ∈ {16..8192} —
 //              the batching-vs-latency trade the aggregator exists for.
 //
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "net/socket.hpp"
 #include "shard/engine.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -35,10 +42,8 @@ namespace {
 
 /// Best-of-reps wall time for one engine configuration; also verifies
 /// the counts against `oracle` on the first rep. Returns milliseconds.
-double time_sharded(const graph::Csr& g, const shard::ShardConfig& cfg,
-                    int reps, const core::CountArray& oracle,
-                    shard::AggregatorStats* stats_out) {
-  shard::ShardedEngine engine(g, cfg);
+double time_engine(shard::ShardedEngine& engine, int reps,
+                   const core::CountArray& oracle) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     util::WallTimer timer;
@@ -46,18 +51,43 @@ double time_sharded(const graph::Csr& g, const shard::ShardConfig& cfg,
     const double ms = timer.millis();
     if (r == 0 && cnt != oracle) {
       std::fprintf(stderr, "FATAL: sharded counts diverge at p=%d\n",
-                   cfg.num_shards);
+                   engine.config().num_shards);
       std::exit(1);
     }
     if (r == 0 || ms < best) best = ms;
   }
+  return best;
+}
+
+double time_sharded(const graph::Csr& g, const shard::ShardConfig& cfg,
+                    int reps, const core::CountArray& oracle,
+                    net::TransportStats* stats_out) {
+  shard::ShardedEngine engine(g, cfg);
+  const double best = time_engine(engine, reps, oracle);
   if (stats_out != nullptr) {
-    // Inbox tallies accumulate over the engine's lifetime; message and
-    // byte counts are deterministic per run, so divide out the reps.
-    shard::AggregatorStats total = engine.transport_stats();
+    // Transport tallies accumulate over the engine's lifetime; message
+    // and byte counts are deterministic per run, so divide out the reps.
+    const net::TransportStats total = engine.transport_stats();
     stats_out->messages = total.messages / static_cast<std::uint64_t>(reps);
-    stats_out->flushes = total.flushes / static_cast<std::uint64_t>(reps);
+    stats_out->batches = total.batches / static_cast<std::uint64_t>(reps);
     stats_out->bytes = total.bytes / static_cast<std::uint64_t>(reps);
+  }
+  return best;
+}
+
+/// Same engine, but over a loopback TCP mesh hosting all p endpoints in
+/// this process — the full socket stack (framing, checksums, kernel
+/// round-trips) under an unchanged counting plan. Reports the wire
+/// bytes actually moved per run via `wire_bytes_out`.
+double time_sharded_socket(const graph::Csr& g, const shard::ShardConfig& cfg,
+                           int reps, const core::CountArray& oracle,
+                           std::uint64_t* wire_bytes_out) {
+  const auto mesh =
+      net::SocketTransport::connect_local_mesh(cfg.num_shards, {});
+  shard::ShardedEngine engine(g, cfg, *mesh);
+  const double best = time_engine(engine, reps, oracle);
+  if (wire_bytes_out != nullptr) {
+    *wire_bytes_out = mesh->stats().bytes / static_cast<std::uint64_t>(reps);
   }
   return best;
 }
@@ -106,14 +136,28 @@ int main(int argc, char** argv) {
   // Scaling sweep with per-p transport stats.
   const std::vector<int> shard_counts{1, 2, 4, 8};
   std::vector<double> p_ms;
-  std::vector<shard::AggregatorStats> p_stats;
+  std::vector<net::TransportStats> p_stats;
   for (const int p : shard_counts) {
     shard::ShardConfig cfg;
     cfg.num_shards = p;
-    shard::AggregatorStats stats{};
+    net::TransportStats stats{};
     p_ms.push_back(time_sharded(g.csr, cfg, reps, oracle, &stats));
     p_stats.push_back(stats);
   }
+
+  // Socket transport bill: identical engine and plan, loopback TCP mesh.
+  const std::vector<int> socket_counts{1, 2, 4};
+  std::vector<double> socket_ms;
+  std::vector<std::uint64_t> socket_wire_bytes;
+  for (const int p : socket_counts) {
+    shard::ShardConfig cfg;
+    cfg.num_shards = p;
+    std::uint64_t wire = 0;
+    socket_ms.push_back(time_sharded_socket(g.csr, cfg, reps, oracle, &wire));
+    socket_wire_bytes.push_back(wire);
+  }
+  const double socket_p1_overhead =
+      p_ms[0] > 0 ? socket_ms[0] / p_ms[0] : 0.0;
 
   // Flush-size sweep at p=4.
   const std::vector<std::size_t> flush_sizes{16, 256, 1024, 8192};
@@ -139,6 +183,19 @@ int main(int argc, char** argv) {
                      std::to_string(p_stats[i].bytes)});
   }
   scaling.print();
+
+  util::TablePrinter transport({"transport", "time", "wire bytes/run"});
+  transport.add_row({"inproc p=1", util::format_fixed(p_ms[0], 2) + " ms",
+                     "-"});
+  for (std::size_t i = 0; i < socket_counts.size(); ++i) {
+    transport.add_row({"socket p=" + std::to_string(socket_counts[i]),
+                       util::format_fixed(socket_ms[i], 2) + " ms",
+                       std::to_string(socket_wire_bytes[i])});
+  }
+  transport.print();
+  std::printf("socket p=1 overhead vs in-process: %.3fx (reported, not "
+              "gated)\n",
+              socket_p1_overhead);
 
   util::TablePrinter flush({"flush_messages", "time (p=4)"});
   for (std::size_t i = 0; i < flush_sizes.size(); ++i) {
@@ -178,9 +235,23 @@ int main(int argc, char** argv) {
                  "%llu, \"bytes_moved\": %llu},\n",
                  shard_counts[i],
                  static_cast<unsigned long long>(p_stats[i].messages),
-                 static_cast<unsigned long long>(p_stats[i].flushes),
+                 static_cast<unsigned long long>(p_stats[i].batches),
                  static_cast<unsigned long long>(p_stats[i].bytes));
   }
+  std::fprintf(
+      json,
+      "  \"transport\": {\n"
+      "    \"inproc_p1_ms\": %.3f,\n"
+      "    \"socket_p1_ms\": %.3f,\n"
+      "    \"socket_p2_ms\": %.3f,\n"
+      "    \"socket_p4_ms\": %.3f,\n"
+      "    \"socket_p1_overhead\": %.3f,\n"
+      "    \"socket_p2_wire_bytes\": %llu,\n"
+      "    \"socket_p4_wire_bytes\": %llu\n"
+      "  },\n",
+      p_ms[0], socket_ms[0], socket_ms[1], socket_ms[2], socket_p1_overhead,
+      static_cast<unsigned long long>(socket_wire_bytes[1]),
+      static_cast<unsigned long long>(socket_wire_bytes[2]));
   std::fprintf(json, "  \"flush_sweep\": {");
   for (std::size_t i = 0; i < flush_sizes.size(); ++i) {
     std::fprintf(json, "%s\"f%zu_ms\": %.3f", i == 0 ? "" : ", ",

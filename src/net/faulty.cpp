@@ -1,0 +1,147 @@
+#include "net/faulty.hpp"
+
+#include <utility>
+
+namespace aecnc::net {
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for fault schedules.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport& inner, const FaultPlan& plan)
+    : inner_(inner),
+      plan_(plan),
+      states_(static_cast<std::size_t>(inner.num_endpoints())) {
+  for (std::size_t e = 0; e < states_.size(); ++e) {
+    // Distinct per-endpoint streams so one endpoint's traffic volume
+    // does not perturb another's schedule.
+    states_[e].rng = plan.seed ^ (0xD1B54A32D192ED03ull * (e + 1));
+  }
+}
+
+bool FaultyTransport::roll(EndpointState& es, double rate) {
+  if (rate <= 0.0) return false;
+  const double u =
+      static_cast<double>(splitmix64(es.rng) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+void FaultyTransport::note_op(int endpoint) {
+  EndpointState& es = states_[static_cast<std::size_t>(endpoint)];
+  ++es.ops;
+  if (endpoint == plan_.kill_endpoint && es.ops >= plan_.kill_after_ops) {
+    throw TransportError(ErrorKind::kPeerDead, "injected peer death");
+  }
+}
+
+void FaultyTransport::drive(int endpoint) {
+  EndpointState& es = states_[static_cast<std::size_t>(endpoint)];
+  while (!es.pending.empty()) {
+    Delayed& d = es.pending.front();
+    if (es.ops < d.release_at) break;
+    if (inner_.try_send(d.frame) != SendStatus::kDelivered) break;
+    es.pending.pop_front();
+  }
+}
+
+SendStatus FaultyTransport::try_send(Frame& frame) {
+  const int src = frame.src;
+  EndpointState& es = states_[static_cast<std::size_t>(src)];
+  note_op(src);
+  drive(src);
+
+  if (roll(es, plan_.drop_rate)) {
+    // Dropped on the floor. The sender sees a transient fault and
+    // resends the identical frame (same seq) after backing off, so the
+    // retry layer absorbs the loss exactly.
+    ++es.counts.drops;
+    return SendStatus::kTransient;
+  }
+  const bool dup = roll(es, plan_.dup_rate);
+  Frame copy;
+  if (dup) {
+    ++es.counts.dups;
+    copy = frame;  // same seq: the receiver's dedup discards the echo
+  }
+
+  if (!es.pending.empty() || roll(es, plan_.delay_rate)) {
+    // Hold the frame (new delay) or queue behind an existing hold:
+    // once anything is pending, every later send lines up behind it,
+    // otherwise a later frame could overtake and the receiver would
+    // mistake the reordering for loss.
+    std::uint64_t release_at = es.ops;
+    if (es.pending.empty()) {
+      ++es.counts.delays;
+      release_at += 1 + splitmix64(es.rng) %
+                            static_cast<std::uint64_t>(
+                                plan_.delay_max_ops < 1 ? 1
+                                                        : plan_.delay_max_ops);
+    }
+    es.pending.push_back(Delayed{std::move(frame), release_at});
+    frame.messages.clear();
+    frame.payload.clear();
+    if (dup) es.pending.push_back(Delayed{std::move(copy), release_at});
+    return SendStatus::kDelivered;
+  }
+
+  const SendStatus status = inner_.try_send(frame);
+  if (status != SendStatus::kDelivered) return status;
+  if (dup && inner_.try_send(copy) != SendStatus::kDelivered) {
+    // The receiver had room for the original but not the echo; park
+    // the echo so it still arrives (and still gets deduplicated).
+    es.pending.push_back(Delayed{std::move(copy), es.ops});
+  }
+  return SendStatus::kDelivered;
+}
+
+bool FaultyTransport::try_recv(int self, Frame& out) {
+  note_op(self);
+  drive(self);
+  return inner_.try_recv(self, out);
+}
+
+void FaultyTransport::finish_phase(int self) {
+  EndpointState& es = states_[static_cast<std::size_t>(self)];
+  note_op(self);
+  // Do NOT forward yet: frames this endpoint delayed must reach the
+  // wire before it announces the phase end, or a peer could agree the
+  // phase is over while our held frames are still undelivered.
+  es.finishing = true;
+}
+
+bool FaultyTransport::phase_done(int self) {
+  EndpointState& es = states_[static_cast<std::size_t>(self)];
+  note_op(self);
+  drive(self);
+  if (!es.pending.empty()) return false;  // caller drains and re-polls
+  if (es.finishing && !es.arrived) {
+    inner_.finish_phase(self);
+    es.arrived = true;
+  }
+  if (!es.arrived) return false;
+  if (!inner_.phase_done(self)) return false;
+  es.finishing = false;
+  es.arrived = false;
+  return true;
+}
+
+FaultCounts FaultyTransport::fault_counts() const {
+  FaultCounts total;
+  for (const EndpointState& es : states_) {
+    total.drops += es.counts.drops;
+    total.dups += es.counts.dups;
+    total.delays += es.counts.delays;
+  }
+  return total;
+}
+
+}  // namespace aecnc::net

@@ -1,0 +1,102 @@
+// Deterministic fault-injection Transport decorator (docs/sharding.md §7).
+//
+// Wraps any Transport and injects a seeded schedule of the faults the
+// retry/dedup layer is specified to absorb — drops (surfaced to the
+// sender as kTransient, so the bounded retry resends the same frame),
+// duplicates (delivered twice with the same sequence number, so the
+// receiver's dedup discards the echo), and delays (the frame is held
+// and released a few operations later, with every subsequent send
+// queued behind it so per-link FIFO order is preserved) — plus one
+// fault it is not: peer death, which throws a typed
+// TransportError(kPeerDead) out of the victim endpoint mid-phase.
+//
+// All per-endpoint state is thread-confined to that endpoint's shard
+// thread; the same seed always produces the same schedule, which is
+// what makes the differential harness (tests/shard_transport_test.cpp)
+// reproducible under AECNC_TEST_SEED.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace aecnc::net {
+
+/// One seeded schedule. Rates are probabilities in [0, 1] evaluated
+/// per try_send; at most one fault fires per send.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double delay_rate = 0.0;
+  /// A delayed frame is released after 1..delay_max_ops further
+  /// operations by its sender.
+  int delay_max_ops = 4;
+  /// Endpoint to kill (-1: nobody): its kill_after_ops-th operation
+  /// throws TransportError(kPeerDead) instead of completing.
+  int kill_endpoint = -1;
+  std::uint64_t kill_after_ops = 0;
+};
+
+/// Injected-fault tallies, for asserting a schedule actually fired.
+struct FaultCounts {
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t delays = 0;
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(Transport& inner, const FaultPlan& plan);
+
+  [[nodiscard]] int num_endpoints() const noexcept override {
+    return inner_.num_endpoints();
+  }
+  [[nodiscard]] SendStatus try_send(Frame& frame) override;
+  [[nodiscard]] bool try_recv(int self, Frame& out) override;
+  void finish_phase(int self) override;
+  [[nodiscard]] bool phase_done(int self) override;
+  void poison(ErrorKind kind, const std::string& reason) override {
+    inner_.poison(kind, reason);
+  }
+  [[nodiscard]] TransportStats stats() const override {
+    return inner_.stats();
+  }
+
+  /// Sum of injected faults across endpoints. Only meaningful once the
+  /// run is over (per-endpoint tallies are thread-confined).
+  [[nodiscard]] FaultCounts fault_counts() const;
+
+ private:
+  /// A frame held back until its sender has performed `release_at` ops.
+  struct Delayed {
+    Frame frame;
+    std::uint64_t release_at = 0;
+  };
+
+  /// Thread-confined to the endpoint's own shard thread — try_send
+  /// touches state[frame.src], everything else state[self] — so no
+  /// locking is needed and schedules stay deterministic per endpoint.
+  struct EndpointState {
+    std::uint64_t rng = 0;
+    std::uint64_t ops = 0;
+    bool finishing = false;
+    bool arrived = false;
+    std::deque<Delayed> pending;
+    FaultCounts counts;
+  };
+
+  /// Count one operation by `endpoint`; fires the kill schedule.
+  void note_op(int endpoint);
+  /// Release due pending frames in order; stops at backpressure.
+  void drive(int endpoint);
+  [[nodiscard]] bool roll(EndpointState& es, double rate);
+
+  Transport& inner_;
+  const FaultPlan plan_;
+  std::vector<EndpointState> states_;
+};
+
+}  // namespace aecnc::net

@@ -1,0 +1,180 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aecnc::net {
+
+namespace {
+
+// FNV-1a over the payload bytes: cheap, endian-stable, and enough to
+// catch framing desynchronization — TCP already guards bit integrity.
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+bool message_type_valid(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(shard::MessageType::kMirror);
+}
+
+void put_message(std::vector<std::uint8_t>& out, const shard::Message& m) {
+  out.push_back(static_cast<std::uint8_t>(m.type));
+  put_u32(out, m.u);
+  put_u32(out, m.v);
+  put_u64(out, m.slot);
+  put_u64(out, m.value);
+}
+
+shard::Message get_message(const std::uint8_t* p) noexcept {
+  shard::Message m;
+  m.type = static_cast<shard::MessageType>(p[0]);
+  m.u = get_u32(p + 1);
+  m.v = get_u32(p + 5);
+  m.slot = get_u64(p + 9);
+  m.value = get_u64(p + 17);
+  return m;
+}
+
+}  // namespace
+
+bool frame_type_valid(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(FrameType::kDone);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::size_t encoded_size(const Frame& f) noexcept {
+  const std::size_t body = f.type == FrameType::kData
+                               ? f.messages.size() * kMessageWireBytes
+                               : f.payload.size();
+  return kFrameHeaderBytes + body;
+}
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  const std::size_t body_bytes = encoded_size(f) - kFrameHeaderBytes;
+  if (body_bytes > kMaxFramePayload) {
+    throw std::length_error("net frame payload exceeds kMaxFramePayload");
+  }
+  const std::size_t header_at = out.size();
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.push_back(f.src);
+  out.push_back(f.dst);
+  put_u64(out, f.seq);
+  put_u32(out, static_cast<std::uint32_t>(body_bytes));
+  put_u32(out, 0);  // checksum backpatched below
+
+  const std::size_t body_at = out.size();
+  if (f.type == FrameType::kData) {
+    for (const shard::Message& m : f.messages) put_message(out, m);
+  } else {
+    out.insert(out.end(), f.payload.begin(), f.payload.end());
+  }
+  const std::uint32_t checksum = fnv1a(out.data() + body_at, body_bytes);
+  std::uint8_t sum_le[4];
+  for (int i = 0; i < 4; ++i) {
+    sum_le[i] = static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+  std::memcpy(out.data() + header_at + 20, sum_le, 4);
+}
+
+FrameDecoder::Status FrameDecoder::fail(const char* why) {
+  failed_ = true;
+  error_ = why;
+  buf_.clear();
+  pos_ = 0;
+  return Status::kError;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_) return;
+  // Reclaim the consumed prefix before growing: the buffer never holds
+  // more than one partial frame plus whatever the caller just fed.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= kMaxFramePayload)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (failed_) return Status::kError;
+  if (buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (get_u32(h) != kFrameMagic) return fail("bad frame magic");
+  if (h[4] != kFrameVersion) return fail("unsupported frame version");
+  if (!frame_type_valid(h[5])) return fail("unknown frame type");
+  const std::uint32_t body_bytes = get_u32(h + 16);
+  // Validate the length prefix BEFORE waiting for (or allocating) the
+  // body: a hostile length can neither over-read nor over-allocate.
+  if (body_bytes > kMaxFramePayload) return fail("oversized frame payload");
+  const auto type = static_cast<FrameType>(h[5]);
+  if (type == FrameType::kData && body_bytes % kMessageWireBytes != 0) {
+    return fail("data frame payload is not a whole message batch");
+  }
+  if (buffered() < kFrameHeaderBytes + body_bytes) return Status::kNeedMore;
+
+  const std::uint8_t* body = h + kFrameHeaderBytes;
+  if (fnv1a(body, body_bytes) != get_u32(h + 20)) {
+    return fail("frame checksum mismatch");
+  }
+  out.type = type;
+  out.src = h[6];
+  out.dst = h[7];
+  out.seq = get_u64(h + 8);
+  out.messages.clear();
+  out.payload.clear();
+  if (type == FrameType::kData) {
+    const std::size_t n = body_bytes / kMessageWireBytes;
+    out.messages.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t* rec = body + i * kMessageWireBytes;
+      if (!message_type_valid(rec[0])) return fail("invalid message type");
+      out.messages.push_back(get_message(rec));
+    }
+  } else {
+    out.payload.assign(body, body + body_bytes);
+  }
+  pos_ += kFrameHeaderBytes + body_bytes;
+  return Status::kFrame;
+}
+
+}  // namespace aecnc::net

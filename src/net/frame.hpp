@@ -1,0 +1,112 @@
+// Wire framing for the shard transport (docs/sharding.md §7).
+//
+// Every byte that crosses a process boundary is a length-prefixed frame:
+// a fixed 24-byte little-endian header followed by a checksummed payload.
+// Data frames carry serialized shard::Message batches (each field encoded
+// explicitly, so the wire format is independent of struct padding and
+// host layout); control frames carry small opaque payloads for the
+// multi-process wire-up (src/net/process.cpp).
+//
+// The decoder is incremental — feed() raw stream bytes, next() yields
+// complete frames — and hardened against untrusted input: a bad magic,
+// version, type, oversized length prefix, checksum mismatch, or invalid
+// message byte turns the stream into a terminal typed error instead of
+// an over-read or an unbounded allocation. tests/fuzz/fuzz_frame.cpp
+// drives exactly this surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/message.hpp"
+
+namespace aecnc::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0xAEC1F7A3u;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Hard bound on a single frame's payload. A length prefix above this is
+/// a protocol error, never an allocation: the decoder validates the
+/// header before reserving a single payload byte.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Serialized size of one shard::Message: u8 type + u32 u + u32 v +
+/// u64 slot + u64 value, written field by field.
+inline constexpr std::size_t kMessageWireBytes = 25;
+
+/// Endpoint id the coordinating parent uses in control frames; shard
+/// ranks are always < this.
+inline constexpr std::uint8_t kParentRank = 0xFF;
+
+enum class FrameType : std::uint8_t {
+  kData = 0,      // a shard::Message batch; seq = per-link sequence number
+  kPhaseEnd = 1,  // BSP phase marker; seq = phase generation
+  kHello = 2,     // worker -> parent / peer: u32 shard [+ u32 data_port]
+  kPorts = 3,     // parent -> worker: u32 p, p x u32 data ports
+  kStart = 4,     // parent -> worker: u32 p, (p+1) x u32 partition bounds
+  kResult = 5,    // worker -> parent: u32 shard, u64 slot_base, u32 n, n x u32
+  kError = 6,     // worker -> parent: u32 shard, utf-8 message
+  kDone = 7,      // worker -> parent: u32 shard, end of results
+};
+
+[[nodiscard]] bool frame_type_valid(std::uint8_t raw) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint64_t seq = 0;
+  std::vector<shard::Message> messages;  // kData payload
+  std::vector<std::uint8_t> payload;     // control payload (everything else)
+};
+
+// Little-endian scalar helpers for control payloads.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+[[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) noexcept;
+
+/// Append the encoded frame (header + payload) to `out`. Throws
+/// std::length_error if the payload would exceed kMaxFramePayload —
+/// senders chunk at the call site, so hitting this is a logic bug.
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out);
+
+/// Bytes encode_frame would append for `f`.
+[[nodiscard]] std::size_t encoded_size(const Frame& f) noexcept;
+
+class FrameDecoder {
+ public:
+  enum class Status : std::uint8_t {
+    kFrame,     // `out` holds the next complete frame
+    kNeedMore,  // stream exhausted mid-frame; feed() more bytes
+    kError,     // terminal: stream violated the protocol, see error()
+  };
+
+  /// Append raw stream bytes. Safe to call after an error (ignored).
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete frame into `out`.
+  [[nodiscard]] Status next(Frame& out);
+
+  /// Diagnostic for the kError state; empty otherwise.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  Status fail(const char* why);
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace aecnc::net

@@ -1,0 +1,57 @@
+#include "net/inproc.hpp"
+
+#include <utility>
+
+namespace aecnc::net {
+
+InprocTransport::InprocTransport(int num_endpoints, std::size_t inbox_capacity)
+    : num_endpoints_(num_endpoints),
+      inbox_capacity_(inbox_capacity == 0 ? 1 : inbox_capacity),
+      inboxes_(static_cast<std::size_t>(num_endpoints)),
+      barrier_(num_endpoints),
+      pending_gen_(static_cast<std::size_t>(num_endpoints), 0) {}
+
+SendStatus InprocTransport::try_send(Frame& frame) {
+  check_poisoned();
+  const std::uint64_t n = frame.messages.size();
+  Inbox& in = inboxes_[frame.dst];
+  util::MutexLock lock(&in.mutex_);
+  if (in.queue_.size() >= inbox_capacity_) return SendStatus::kBackpressure;
+  in.queue_.push_back(std::move(frame));
+  in.messages_in_ += n;
+  in.batches_in_ += 1;
+  return SendStatus::kDelivered;
+}
+
+bool InprocTransport::try_recv(int self, Frame& out) {
+  check_poisoned();
+  Inbox& in = inboxes_[static_cast<std::size_t>(self)];
+  util::MutexLock lock(&in.mutex_);
+  if (in.queue_.empty()) return false;
+  out = std::move(in.queue_.front());
+  in.queue_.pop_front();
+  return true;
+}
+
+void InprocTransport::finish_phase(int self) {
+  check_poisoned();
+  pending_gen_[static_cast<std::size_t>(self)] = barrier_.arrive();
+}
+
+bool InprocTransport::phase_done(int self) {
+  check_poisoned();
+  return barrier_.passed(pending_gen_[static_cast<std::size_t>(self)]);
+}
+
+TransportStats InprocTransport::stats() const {
+  TransportStats s;
+  for (const Inbox& in : inboxes_) {
+    util::MutexLock lock(&in.mutex_);
+    s.messages += in.messages_in_;
+    s.batches += in.batches_in_;
+  }
+  s.bytes = s.messages * sizeof(shard::Message);
+  return s;
+}
+
+}  // namespace aecnc::net

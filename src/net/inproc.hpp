@@ -1,0 +1,91 @@
+// In-process Transport: bounded per-endpoint frame mailboxes plus a
+// generation barrier for phase agreement (docs/sharding.md §7).
+//
+// This is the refactored home of the original MessageAggregator inbox
+// and the engine's PhaseBarrier: delivery is a deque push under a short
+// leaf lock, so the p=1 single-shard path stays zero-cost relative to
+// the pre-transport engine (bench_shard's p1-within-10% gate holds).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/annotations.hpp"
+
+namespace aecnc::net {
+
+/// Reusable generation barrier for the BSP supersteps. arrive() returns
+/// the generation the caller must wait for; waiters poll passed() so
+/// they can keep draining their inbox between checks instead of
+/// sleeping (blocking here could deadlock against a full inbox).
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int parties) : parties_(parties) {}
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  [[nodiscard]] std::uint64_t arrive() {
+    util::MutexLock lock(&mutex_);
+    const std::uint64_t target =
+        generation_.load(std::memory_order_relaxed) + 1;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      generation_.store(target, std::memory_order_release);
+    }
+    return target;
+  }
+
+  [[nodiscard]] bool passed(std::uint64_t target) const noexcept {
+    return generation_.load(std::memory_order_acquire) >= target;
+  }
+
+ private:
+  const int parties_;
+  // aecnc: lock-leaf(guards only the arrival count; the generation
+  // publish is an atomic store made under it)
+  util::Mutex mutex_;
+  int waiting_ AECNC_GUARDED_BY(mutex_) = 0;
+  // aecnc: atomic-ok(monotonic generation; the last arriver's release
+  // store under mutex_ pairs with waiters' acquire loads in passed())
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+class InprocTransport final : public TransportBase {
+ public:
+  /// `inbox_capacity`: max pending frames per endpoint before try_send
+  /// reports backpressure. Clamped to >= 1.
+  InprocTransport(int num_endpoints, std::size_t inbox_capacity);
+
+  [[nodiscard]] int num_endpoints() const noexcept override {
+    return num_endpoints_;
+  }
+  [[nodiscard]] SendStatus try_send(Frame& frame) override;
+  [[nodiscard]] bool try_recv(int self, Frame& out) override;
+  void finish_phase(int self) override;
+  [[nodiscard]] bool phase_done(int self) override;
+  [[nodiscard]] TransportStats stats() const override;
+
+ private:
+  /// One bounded mailbox per destination endpoint. The mutex is
+  /// innermost by construction: nothing is acquired while holding it.
+  struct Inbox {
+    // aecnc: lock-leaf(guards only this deque and its tallies; no other
+    // lock is ever taken under it)
+    mutable util::Mutex mutex_;
+    std::deque<Frame> queue_ AECNC_GUARDED_BY(mutex_);
+    std::uint64_t messages_in_ AECNC_GUARDED_BY(mutex_) = 0;
+    std::uint64_t batches_in_ AECNC_GUARDED_BY(mutex_) = 0;
+  };
+
+  const int num_endpoints_;
+  const std::size_t inbox_capacity_;
+  std::vector<Inbox> inboxes_;  // one per destination endpoint
+  PhaseBarrier barrier_;
+  std::vector<std::uint64_t> pending_gen_;  // per endpoint, thread-confined
+};
+
+}  // namespace aecnc::net

@@ -1,0 +1,515 @@
+#include "net/process.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "graph/io.hpp"
+#include "net/socket.hpp"
+#include "shard/partition.hpp"
+
+namespace aecnc::net {
+
+namespace {
+
+/// Counts per kResult frame: 4 + 8 + 4 + 65536*4 bytes stays well under
+/// kMaxFramePayload.
+constexpr std::uint32_t kResultChunk = 65536;
+
+void close_quiet(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Kernel-level send/recv deadlines on a blocking control socket: if
+/// the peer process is gone, blocked calls return EAGAIN and the
+/// deadline logic in the blocking helpers turns that into kTimeout
+/// instead of an indefinite hang.
+void set_io_deadline(int fd, std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Read exactly `n` bytes with a deadline. Used where a fixed-size
+/// frame must be consumed without over-reading the stream (the mesh
+/// hello: bytes after it belong to the data transport's decoder).
+void read_exact(int fd, std::uint8_t* buf, std::size_t n,
+                std::uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, buf + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      throw TransportError(ErrorKind::kPeerDead, "peer closed during hello");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        throw TransportError(ErrorKind::kTimeout, "hello deadline exceeded");
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      (void)::poll(&pfd, 1, static_cast<int>(left.count()));
+      continue;
+    }
+    throw TransportError(ErrorKind::kSystem,
+                         std::string("recv(hello): ") + std::strerror(errno));
+  }
+}
+
+/// The 28-byte mesh hello: header + u32 shard id.
+constexpr std::size_t kHelloIdBytes = kFrameHeaderBytes + 4;
+
+Frame make_hello(int shard, std::uint32_t data_port) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.src = static_cast<std::uint8_t>(shard);
+  f.dst = kParentRank;
+  put_u32(f.payload, static_cast<std::uint32_t>(shard));
+  put_u32(f.payload, data_port);
+  return f;
+}
+
+[[nodiscard]] int decode_hello_id(const std::uint8_t* buf, std::size_t n,
+                                  int num_shards) {
+  FrameDecoder decoder;
+  decoder.feed(buf, n);
+  Frame f;
+  if (decoder.next(f) != FrameDecoder::Status::kFrame ||
+      f.type != FrameType::kHello || f.payload.size() < 4) {
+    throw TransportError(ErrorKind::kProtocol, "malformed mesh hello");
+  }
+  const std::uint32_t id = get_u32(f.payload.data());
+  if (id >= static_cast<std::uint32_t>(num_shards)) {
+    throw TransportError(ErrorKind::kProtocol, "mesh hello shard out of range");
+  }
+  return static_cast<int>(id);
+}
+
+graph::Csr load_worker_graph(const std::string& path) {
+  const bool is_csr = path.size() >= 4 &&
+                      path.compare(path.size() - 4, 4, ".csr") == 0;
+  if (is_csr) return graph::load_csr_binary(path);
+  return graph::Csr::from_edge_list(graph::load_edge_list_text(path));
+}
+
+}  // namespace
+
+int run_shard_worker(const WorkerOptions& options) {
+  const int s = options.shard;
+  const int p = options.num_shards;
+  int ctrl = -1;
+  try {
+    // Data listener first: its port rides in the hello to the parent.
+    std::uint16_t data_port = 0;
+    const int data_listener = listen_on_loopback(data_port);
+
+    std::uint64_t reconnects = 0;
+    ctrl = connect_loopback(options.parent_port, options.net, &reconnects);
+    set_io_deadline(ctrl, options.net.io_timeout_ms);
+    send_frame_blocking(ctrl, make_hello(s, data_port),
+                        options.net.io_timeout_ms);
+
+    const graph::Csr g = load_worker_graph(options.graph_path);
+
+    // kPorts then kStart, in order, on the control stream.
+    FrameDecoder ctrl_decoder;
+    Frame ports_frame;
+    if (!recv_frame_blocking(ctrl, ctrl_decoder, ports_frame,
+                             options.net.io_timeout_ms) ||
+        ports_frame.type != FrameType::kPorts ||
+        ports_frame.payload.size() < 4) {
+      throw TransportError(ErrorKind::kProtocol, "expected kPorts");
+    }
+    if (get_u32(ports_frame.payload.data()) !=
+            static_cast<std::uint32_t>(p) ||
+        ports_frame.payload.size() !=
+            4 + static_cast<std::size_t>(p) * 4) {
+      throw TransportError(ErrorKind::kProtocol, "kPorts shape mismatch");
+    }
+    std::vector<std::uint16_t> ports(static_cast<std::size_t>(p), 0);
+    for (int t = 0; t < p; ++t) {
+      ports[static_cast<std::size_t>(t)] = static_cast<std::uint16_t>(
+          get_u32(ports_frame.payload.data() + 4 + 4 * t));
+    }
+    Frame start_frame;
+    if (!recv_frame_blocking(ctrl, ctrl_decoder, start_frame,
+                             options.net.io_timeout_ms) ||
+        start_frame.type != FrameType::kStart ||
+        start_frame.payload.size() !=
+            4 + static_cast<std::size_t>(p + 1) * 4) {
+      throw TransportError(ErrorKind::kProtocol, "expected kStart");
+    }
+
+    // Mesh up: dial lower-ranked peers (announcing ourselves with a
+    // fixed-size hello), accept higher-ranked ones.
+    std::vector<std::vector<int>> fds(
+        static_cast<std::size_t>(p),
+        std::vector<int>(static_cast<std::size_t>(p), -1));
+    auto& row = fds[static_cast<std::size_t>(s)];
+    for (int t = 0; t < s; ++t) {
+      const int fd =
+          connect_loopback(ports[static_cast<std::size_t>(t)], options.net,
+                           &reconnects);
+      // Exactly kHelloIdBytes on the wire: the acceptor reads that many
+      // and no more, so the stream hands over to the transport cleanly.
+      Frame hello;
+      hello.type = FrameType::kHello;
+      hello.src = static_cast<std::uint8_t>(s);
+      hello.dst = static_cast<std::uint8_t>(t);
+      put_u32(hello.payload, static_cast<std::uint32_t>(s));
+      send_frame_blocking(fd, hello, options.net.io_timeout_ms);
+      row[static_cast<std::size_t>(t)] = fd;
+    }
+    for (int t = s + 1; t < p; ++t) {
+      const int fd =
+          accept_with_timeout(data_listener, options.net.connect_timeout_ms);
+      std::uint8_t hello[kHelloIdBytes];
+      read_exact(fd, hello, sizeof(hello), options.net.io_timeout_ms);
+      const int peer = decode_hello_id(hello, sizeof(hello), p);
+      if (row[static_cast<std::size_t>(peer)] != -1) {
+        throw TransportError(ErrorKind::kProtocol, "duplicate mesh hello");
+      }
+      row[static_cast<std::size_t>(peer)] = fd;
+    }
+    close_quiet(data_listener);
+
+    SocketTransport::Tuning tuning;
+    tuning.die_at_phase = options.fault_abort_phase;
+    SocketTransport transport(std::move(fds), options.net, tuning);
+
+    shard::ShardConfig cfg = options.engine;
+    cfg.num_shards = p;
+    shard::ShardedEngine engine(g, cfg, transport);
+
+    // The partition is rebuilt deterministically from the same graph;
+    // verify against the parent's boundaries so a version or input
+    // mismatch fails fast instead of mis-slotting counts.
+    const std::vector<VertexId>& bounds = engine.partition().boundaries();
+    for (int i = 0; i <= p; ++i) {
+      if (get_u32(start_frame.payload.data() + 4 + 4 * i) !=
+          bounds[static_cast<std::size_t>(i)]) {
+        throw TransportError(ErrorKind::kProtocol,
+                             "partition boundary mismatch with parent");
+      }
+    }
+
+    const core::CountArray cnt = engine.run_shard(s);
+
+    // Stream the owned slice back in bounded chunks, then kDone.
+    const std::uint64_t slot_base = engine.partition().shard(s).slot_base;
+    std::uint64_t off = 0;
+    while (off < cnt.size()) {
+      const std::uint32_t n = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kResultChunk, cnt.size() - off));
+      Frame chunk;
+      chunk.type = FrameType::kResult;
+      chunk.src = static_cast<std::uint8_t>(s);
+      chunk.dst = kParentRank;
+      put_u32(chunk.payload, static_cast<std::uint32_t>(s));
+      put_u64(chunk.payload, slot_base + off);
+      put_u32(chunk.payload, n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        put_u32(chunk.payload, cnt[off + i]);
+      }
+      send_frame_blocking(ctrl, chunk, options.net.io_timeout_ms);
+      off += n;
+    }
+    Frame done;
+    done.type = FrameType::kDone;
+    done.src = static_cast<std::uint8_t>(s);
+    done.dst = kParentRank;
+    put_u32(done.payload, static_cast<std::uint32_t>(s));
+    send_frame_blocking(ctrl, done, options.net.io_timeout_ms);
+    close_quiet(ctrl);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (ctrl >= 0) {
+      try {
+        Frame err;
+        err.type = FrameType::kError;
+        err.src = static_cast<std::uint8_t>(s);
+        err.dst = kParentRank;
+        put_u32(err.payload, static_cast<std::uint32_t>(s));
+        const char* what = e.what();
+        err.payload.insert(err.payload.end(), what, what + std::strlen(what));
+        send_frame_blocking(ctrl, err, 1000);
+      } catch (...) {
+        // Best effort only: the parent also watches for EOF and exit codes.
+      }
+      close_quiet(ctrl);
+    }
+    return 1;
+  }
+}
+
+namespace {
+
+/// Parent-side bookkeeping for one worker process.
+struct Child {
+  pid_t pid = -1;
+  int ctrl = -1;
+  FrameDecoder decoder;
+  bool done = false;
+  bool reaped = false;
+};
+
+void kill_and_reap(std::vector<Child>& children) {
+  for (Child& c : children) {
+    if (c.pid > 0 && !c.reaped) (void)::kill(c.pid, SIGKILL);
+  }
+  for (Child& c : children) {
+    if (c.pid > 0 && !c.reaped) {
+      (void)::waitpid(c.pid, nullptr, 0);
+      c.reaped = true;
+    }
+    close_quiet(c.ctrl);
+    c.ctrl = -1;
+  }
+}
+
+pid_t spawn_worker(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw TransportError(ErrorKind::kSystem,
+                         std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    // Exec failure in the child: nothing sane to clean up.
+    std::fprintf(stderr, "error: system: execv %s: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+core::CountArray count_multiprocess(const graph::Csr& g,
+                                    const MultiProcessOptions& options) {
+  const shard::Partition2D part(g, options.num_shards);
+  const int p = part.num_shards();
+  const std::uint64_t total = part.num_directed_edges();
+
+  std::uint16_t ctrl_port = 0;
+  const int listener = listen_on_loopback(ctrl_port);
+  std::vector<Child> children(static_cast<std::size_t>(p));
+  try {
+    for (int s = 0; s < p; ++s) {
+      std::vector<std::string> args = {
+          options.exe_path,
+          "shard-worker",
+          "--in=" + options.graph_path,
+          "--shard=" + std::to_string(s),
+          "--shards=" + std::to_string(p),
+          "--parent-port=" + std::to_string(ctrl_port),
+          "--io-timeout-ms=" + std::to_string(options.net.io_timeout_ms),
+      };
+      for (const std::string& a : options.worker_args) args.push_back(a);
+      if (s == options.fault_abort_shard && options.fault_abort_phase >= 0) {
+        args.push_back("--fault-abort-phase=" +
+                       std::to_string(options.fault_abort_phase));
+      }
+      children[static_cast<std::size_t>(s)].pid = spawn_worker(args);
+    }
+
+    // Collect hellos (any order), learn each worker's data port.
+    std::vector<std::uint32_t> data_ports(static_cast<std::size_t>(p), 0);
+    for (int i = 0; i < p; ++i) {
+      const int fd =
+          accept_with_timeout(listener, options.net.connect_timeout_ms);
+      set_io_deadline(fd, options.net.io_timeout_ms);
+      FrameDecoder hello_decoder;
+      Frame hello;
+      if (!recv_frame_blocking(fd, hello_decoder, hello,
+                               options.net.io_timeout_ms) ||
+          hello.type != FrameType::kHello || hello.payload.size() < 8) {
+        close_quiet(fd);
+        throw TransportError(ErrorKind::kProtocol, "malformed worker hello");
+      }
+      const std::uint32_t shard = get_u32(hello.payload.data());
+      if (shard >= static_cast<std::uint32_t>(p) ||
+          children[shard].ctrl != -1) {
+        close_quiet(fd);
+        throw TransportError(ErrorKind::kProtocol,
+                             "duplicate or out-of-range worker hello");
+      }
+      children[shard].ctrl = fd;
+      data_ports[shard] = get_u32(hello.payload.data() + 4);
+    }
+
+    // Everyone checked in: publish the mesh ports and the partition.
+    Frame ports;
+    ports.type = FrameType::kPorts;
+    ports.src = kParentRank;
+    put_u32(ports.payload, static_cast<std::uint32_t>(p));
+    for (int t = 0; t < p; ++t) {
+      put_u32(ports.payload, data_ports[static_cast<std::size_t>(t)]);
+    }
+    Frame start;
+    start.type = FrameType::kStart;
+    start.src = kParentRank;
+    put_u32(start.payload, static_cast<std::uint32_t>(p));
+    for (const VertexId b : part.boundaries()) put_u32(start.payload, b);
+    for (int s = 0; s < p; ++s) {
+      Frame ports_copy = ports;
+      Frame start_copy = start;
+      ports_copy.dst = static_cast<std::uint8_t>(s);
+      start_copy.dst = static_cast<std::uint8_t>(s);
+      send_frame_blocking(children[static_cast<std::size_t>(s)].ctrl,
+                          ports_copy, options.net.io_timeout_ms);
+      send_frame_blocking(children[static_cast<std::size_t>(s)].ctrl,
+                          start_copy, options.net.io_timeout_ms);
+    }
+
+    // Fold result slices until every worker reports kDone. Liveness is
+    // watched three ways: control-stream progress, child exit status,
+    // and the io timeout.
+    core::CountArray cnt(static_cast<std::size_t>(total), 0);
+    std::uint64_t received = 0;
+    int done_count = 0;
+    auto last_progress = std::chrono::steady_clock::now();
+    while (done_count < p) {
+      std::vector<pollfd> pfds;
+      std::vector<std::size_t> owner;
+      for (std::size_t s = 0; s < children.size(); ++s) {
+        if (children[s].done || children[s].ctrl < 0) continue;
+        pfds.push_back(pollfd{children[s].ctrl, POLLIN, 0});
+        owner.push_back(s);
+      }
+      const int r = ::poll(pfds.data(), pfds.size(), 200);
+      if (r < 0 && errno != EINTR) {
+        throw TransportError(ErrorKind::kSystem,
+                             std::string("poll: ") + std::strerror(errno));
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Child& c = children[owner[i]];
+        Frame f;
+        if (!recv_frame_blocking(c.ctrl, c.decoder, f,
+                                 options.net.io_timeout_ms)) {
+          throw TransportError(ErrorKind::kPeerDead,
+                               "worker " + std::to_string(owner[i]) +
+                                   " exited before reporting results");
+        }
+        last_progress = std::chrono::steady_clock::now();
+        // One readable event may have completed several frames; drain
+        // the decoder fully before returning to poll.
+        for (;;) {
+          if (f.type == FrameType::kResult) {
+            if (f.payload.size() < 16) {
+              throw TransportError(ErrorKind::kProtocol,
+                                   "short kResult payload");
+            }
+            const std::uint64_t base = get_u64(f.payload.data() + 4);
+            const std::uint32_t n = get_u32(f.payload.data() + 12);
+            if (f.payload.size() != 16 + static_cast<std::size_t>(n) * 4 ||
+                base + n > total) {
+              throw TransportError(ErrorKind::kProtocol,
+                                   "kResult slice out of range");
+            }
+            for (std::uint32_t k = 0; k < n; ++k) {
+              cnt[base + k] = get_u32(f.payload.data() + 16 + 4 * k);
+            }
+            received += n;
+          } else if (f.type == FrameType::kDone) {
+            c.done = true;
+            ++done_count;
+          } else if (f.type == FrameType::kError) {
+            const std::string msg(
+                f.payload.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        std::min<std::size_t>(4, f.payload.size())),
+                f.payload.end());
+            throw TransportError(ErrorKind::kAborted,
+                                 "worker " + std::to_string(owner[i]) +
+                                     " failed: " + msg);
+          } else {
+            throw TransportError(ErrorKind::kProtocol,
+                                 "unexpected control frame from worker");
+          }
+          const FrameDecoder::Status st = c.decoder.next(f);
+          if (st == FrameDecoder::Status::kNeedMore) break;
+          if (st == FrameDecoder::Status::kError) {
+            throw TransportError(ErrorKind::kBadFrame, c.decoder.error());
+          }
+        }
+      }
+
+      // A worker dying without a word (SIGKILL, _Exit fault hook) shows
+      // up as an exit before kDone.
+      for (std::size_t s = 0; s < children.size(); ++s) {
+        Child& c = children[s];
+        if (c.reaped || c.pid <= 0) continue;
+        int status = 0;
+        const pid_t w = ::waitpid(c.pid, &status, WNOHANG);
+        if (w != c.pid) continue;
+        c.reaped = true;
+        if (!c.done) {
+          throw TransportError(
+              ErrorKind::kPeerDead,
+              "worker " + std::to_string(s) + " died mid-run (status " +
+                  std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                   : -WTERMSIG(status)) +
+                  ")");
+        }
+      }
+      const auto idle = std::chrono::steady_clock::now() - last_progress;
+      if (idle > std::chrono::milliseconds(options.net.io_timeout_ms)) {
+        throw TransportError(ErrorKind::kTimeout,
+                             "no worker progress within the io timeout");
+      }
+    }
+
+    if (received != total) {
+      throw TransportError(ErrorKind::kProtocol,
+                           "workers reported " + std::to_string(received) +
+                               " of " + std::to_string(total) + " slots");
+    }
+    for (Child& c : children) {
+      close_quiet(c.ctrl);
+      c.ctrl = -1;
+      if (c.pid > 0 && !c.reaped) {
+        int status = 0;
+        (void)::waitpid(c.pid, &status, 0);
+        c.reaped = true;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          throw TransportError(ErrorKind::kSystem,
+                               "worker exited with a failure status");
+        }
+      }
+    }
+    close_quiet(listener);
+    return cnt;
+  } catch (...) {
+    kill_and_reap(children);
+    close_quiet(listener);
+    throw;
+  }
+}
+
+}  // namespace aecnc::net

@@ -1,0 +1,69 @@
+// Multi-process sharded counting: one OS process per shard over the
+// socket transport, coordinated by a parent (docs/sharding.md §7).
+//
+// The parent builds the Partition2D, fork+execs p `shard-worker` CLI
+// processes, hands each the mesh ports and partition boundaries over a
+// loopback control connection, and folds the kResult slices the workers
+// stream back. Any worker error — or a worker dying mid-protocol — is
+// surfaced as a typed TransportError after every child has been killed
+// and reaped: the parent never hangs past the io timeout and never
+// returns partial counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "net/transport.hpp"
+#include "shard/engine.hpp"
+
+namespace aecnc::net {
+
+/// Everything a `shard-worker` process needs; parsed from its CLI flags
+/// (tools/aecnc_cli.cpp) and mirrored from the parent's options.
+struct WorkerOptions {
+  std::string graph_path;
+  int shard = 0;
+  int num_shards = 1;
+  std::uint16_t parent_port = 0;
+  shard::ShardConfig engine;
+  NetConfig net;
+  /// Fault hook: hard-exit at the end of this phase generation
+  /// (SocketTransport::Tuning::die_at_phase); -1 disables.
+  int fault_abort_phase = -1;
+};
+
+/// The worker body: connect to the parent, mesh up with peers, run one
+/// shard, stream results back. Returns the process exit code; failures
+/// are reported to the parent as a kError frame (best effort) and to
+/// stderr as `error: <kind>: ...`.
+[[nodiscard]] int run_shard_worker(const WorkerOptions& options);
+
+struct MultiProcessOptions {
+  /// Path of the CLI binary to re-exec as `shard-worker` (argv[0] as
+  /// resolved by the caller, e.g. /proc/self/exe).
+  std::string exe_path;
+  /// Graph file each worker loads independently — the parent's in-memory
+  /// graph is never shipped over the wire.
+  std::string graph_path;
+  int num_shards = 1;
+  NetConfig net;
+  /// Extra CLI flags forwarded verbatim to every worker (algorithm,
+  /// kernel, flush/inbox knobs) so option parsing stays in one place.
+  std::vector<std::string> worker_args;
+  /// Fault hooks for the peer-kill smoke: worker `fault_abort_shard`
+  /// gets --fault-abort-phase=fault_abort_phase; -1 disables.
+  int fault_abort_shard = -1;
+  int fault_abort_phase = -1;
+};
+
+/// Run the full sharded count with one process per shard. `g` is only
+/// used for partition boundaries and result sizing; workers re-load the
+/// graph from options.graph_path. Throws TransportError on any worker
+/// failure, death, or protocol violation.
+[[nodiscard]] core::CountArray count_multiprocess(
+    const graph::Csr& g, const MultiProcessOptions& options);
+
+}  // namespace aecnc::net

@@ -1,0 +1,491 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/catalog.hpp"
+
+namespace aecnc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(ErrorKind kind, const char* what) {
+  throw TransportError(kind,
+                       std::string(what) + ": " + std::strerror(errno));
+}
+
+void close_quiet(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+std::uint32_t remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() <= 0 ? 0 : static_cast<std::uint32_t>(left.count());
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno(ErrorKind::kSystem, "fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Frames are latency-critical barrier traffic; never Nagle them.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int listen_on_loopback(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno(ErrorKind::kSystem, "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close_quiet(fd);
+    throw_errno(ErrorKind::kSystem, "bind");
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    close_quiet(fd);
+    throw_errno(ErrorKind::kSystem, "listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    close_quiet(fd);
+    throw_errno(ErrorKind::kSystem, "getsockname");
+  }
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+int connect_loopback(std::uint16_t port, const NetConfig& config,
+                     std::uint64_t* reconnects) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config.connect_timeout_ms);
+  std::uint32_t backoff_us = config.retry.backoff_init_us;
+  bool first = true;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno(ErrorKind::kSystem, "socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    close_quiet(fd);
+    if (!first && reconnects != nullptr) ++*reconnects;
+    first = false;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportError(ErrorKind::kSystem,
+                           "connect to loopback peer timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, config.retry.backoff_max_us);
+  }
+}
+
+int accept_with_timeout(int listen_fd, std::uint32_t timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (r < 0) throw_errno(ErrorKind::kSystem, "poll(accept)");
+  if (r == 0) {
+    throw TransportError(ErrorKind::kTimeout, "accept timed out");
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) throw_errno(ErrorKind::kSystem, "accept");
+  set_nodelay(fd);
+  return fd;
+}
+
+void send_frame_blocking(int fd, const Frame& frame,
+                         std::uint32_t timeout_ms) {
+  std::vector<std::uint8_t> buf;
+  encode_frame(frame, buf);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const std::uint32_t left = remaining_ms(deadline);
+      if (left == 0 || ::poll(&pfd, 1, static_cast<int>(left)) == 0) {
+        throw TransportError(ErrorKind::kTimeout, "send deadline exceeded");
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw TransportError(ErrorKind::kPeerDead, "peer closed during send");
+    }
+    throw_errno(ErrorKind::kSystem, "send");
+  }
+}
+
+bool recv_frame_blocking(int fd, FrameDecoder& decoder, Frame& out,
+                         std::uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    switch (decoder.next(out)) {
+      case FrameDecoder::Status::kFrame:
+        return true;
+      case FrameDecoder::Status::kError:
+        throw TransportError(ErrorKind::kBadFrame, decoder.error());
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (decoder.buffered() != 0) {
+        throw TransportError(ErrorKind::kPeerDead,
+                             "peer closed mid-frame");
+      }
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLIN, 0};
+      const std::uint32_t left = remaining_ms(deadline);
+      if (left == 0 || ::poll(&pfd, 1, static_cast<int>(left)) == 0) {
+        throw TransportError(ErrorKind::kTimeout, "recv deadline exceeded");
+      }
+      continue;
+    }
+    if (errno == ECONNRESET) {
+      throw TransportError(ErrorKind::kPeerDead, "peer reset during recv");
+    }
+    throw_errno(ErrorKind::kSystem, "recv");
+  }
+}
+
+// --- SocketTransport -------------------------------------------------------
+
+SocketTransport::SocketTransport(std::vector<std::vector<int>> fds,
+                                 const NetConfig& config,
+                                 const Tuning& tuning)
+    : config_(config),
+      tuning_(tuning),
+      num_endpoints_(static_cast<int>(fds.size())),
+      endpoints_(fds.size()) {
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t e = 0; e < fds.size(); ++e) {
+    Endpoint& ep = endpoints_[e];
+    ep.conns.resize(fds.size());
+    ep.last_progress = now;
+    bool hosted = true;
+    for (std::size_t t = 0; t < fds.size(); ++t) {
+      ep.conns[t].fd = fds[e][t];
+      if (t == e) continue;
+      if (fds[e][t] < 0) {
+        hosted = false;
+      } else {
+        set_nonblocking(fds[e][t]);
+      }
+    }
+    ep.hosted = hosted;
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (Endpoint& ep : endpoints_) {
+    for (Conn& c : ep.conns) close_quiet(c.fd);
+  }
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::connect_local_mesh(
+    int p, const NetConfig& config, const Tuning& tuning) {
+  std::vector<std::vector<int>> fds(
+      static_cast<std::size_t>(p),
+      std::vector<int>(static_cast<std::size_t>(p), -1));
+  if (p > 1) {
+    std::uint16_t port = 0;
+    const int listener = listen_on_loopback(port);
+    try {
+      // One real TCP connection per unordered pair: the connecting side
+      // becomes s's descriptor for t, the accepted side t's for s.
+      // Loopback connects are sequential, so pairing is deterministic.
+      for (int s = 0; s < p; ++s) {
+        for (int t = s + 1; t < p; ++t) {
+          fds[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] =
+              connect_loopback(port, config);
+          fds[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] =
+              accept_with_timeout(listener, config.connect_timeout_ms);
+        }
+      }
+    } catch (...) {
+      for (auto& row : fds) {
+        for (int fd : row) close_quiet(fd);
+      }
+      close_quiet(listener);
+      throw;
+    }
+    close_quiet(listener);
+  }
+  return std::make_unique<SocketTransport>(std::move(fds), config, tuning);
+}
+
+void SocketTransport::note_progress(Endpoint& ep) {
+  ep.last_progress = std::chrono::steady_clock::now();
+}
+
+void SocketTransport::throw_io(ErrorKind kind, const char* what) {
+  if (kind == ErrorKind::kTimeout) {
+    util::SpinLockHolder hold(&stats_mutex_);
+    ++stats_.timeouts;
+  }
+  throw TransportError(kind, what);
+}
+
+bool SocketTransport::flush_out(Endpoint& ep, Conn& c) {
+  while (c.out_pos < c.out.size()) {
+    const std::size_t want =
+        std::min(c.out.size() - c.out_pos, tuning_.max_write_bytes);
+    const ssize_t n =
+        ::send(c.fd, c.out.data() + c.out_pos, want, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      note_progress(ep);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw_io(ErrorKind::kPeerDead, "peer closed while flushing");
+    }
+    throw_io(ErrorKind::kSystem, "send on shard link failed");
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  return true;
+}
+
+SendStatus SocketTransport::try_send(Frame& frame) {
+  check_poisoned();
+  Endpoint& ep = endpoints_[frame.src];
+  Conn& c = ep.conns[frame.dst];
+  if (c.fd < 0) {
+    // The link was retired by a clean peer close; new traffic for that
+    // peer means it left before we were done with it.
+    throw_io(ErrorKind::kPeerDead, "peer closed its shard link");
+  }
+  // At most one data frame is buffered per connection: finish flushing
+  // the previous one first, and report backpressure while it lingers —
+  // the engine's drain loop is the flow control.
+  if (!flush_out(ep, c)) return SendStatus::kBackpressure;
+  const std::size_t wire = encoded_size(frame);
+  encode_frame(frame, c.out);
+  if (obs::enabled()) [[unlikely]] {
+    const obs::NetMetrics& m = obs::NetMetrics::get();
+    m.frames_sent.add();
+    m.bytes_sent.add(wire);
+  }
+  frame.messages.clear();
+  frame.payload.clear();
+  (void)flush_out(ep, c);  // best effort; the rest drains on later calls
+  return SendStatus::kDelivered;
+}
+
+bool SocketTransport::poll_io(Endpoint& ep) {
+  bool moved = false;
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> peer_of;
+  pfds.reserve(ep.conns.size());
+  for (std::size_t t = 0; t < ep.conns.size(); ++t) {
+    Conn& c = ep.conns[t];
+    if (c.fd < 0) continue;
+    short events = POLLIN;
+    if (c.out_pos < c.out.size()) events |= POLLOUT;
+    pfds.push_back(pollfd{c.fd, events, 0});
+    peer_of.push_back(t);
+  }
+  if (pfds.empty()) return false;
+  const int r = ::poll(pfds.data(), pfds.size(), 0);
+  if (r < 0 && errno != EINTR) {
+    throw_io(ErrorKind::kSystem, "poll on shard links failed");
+  }
+  if (r <= 0) return false;
+
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    Conn& c = ep.conns[peer_of[i]];
+    if ((pfds[i].revents & POLLOUT) != 0) {
+      const std::size_t before = c.out_pos;
+      (void)flush_out(ep, c);
+      moved = moved || c.out_pos != before || c.out.empty();
+    }
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    bool eof = false;
+    for (;;) {
+      std::uint8_t buf[65536];
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        moved = true;
+        note_progress(ep);
+        c.decoder.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        // Decode what arrived before deciding: a finished peer's final
+        // phase marker may be sitting in the same read burst as the EOF.
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == ECONNRESET) {
+        throw_io(ErrorKind::kPeerDead, "peer reset its shard link");
+      }
+      throw_io(ErrorKind::kSystem, "recv on shard link failed");
+    }
+    // Drain every complete frame the bytes above finished.
+    for (;;) {
+      Frame f;
+      const FrameDecoder::Status st = c.decoder.next(f);
+      if (st == FrameDecoder::Status::kNeedMore) break;
+      if (st == FrameDecoder::Status::kError) {
+        throw_io(ErrorKind::kBadFrame, c.decoder.error().c_str());
+      }
+      if (f.type == FrameType::kPhaseEnd) {
+        c.marker_gen = std::max(c.marker_gen, f.seq);
+      } else if (f.type == FrameType::kData) {
+        {
+          util::SpinLockHolder hold(&stats_mutex_);
+          stats_.messages += f.messages.size();
+          stats_.batches += 1;
+          stats_.bytes += kFrameHeaderBytes +
+                          f.messages.size() * kMessageWireBytes;
+        }
+        if (obs::enabled()) [[unlikely]] {
+          const obs::NetMetrics& m = obs::NetMetrics::get();
+          m.frames_recv.add();
+          m.bytes_recv.add(kFrameHeaderBytes +
+                           f.messages.size() * kMessageWireBytes);
+        }
+        ep.ready.push_back(std::move(f));
+      } else {
+        throw_io(ErrorKind::kProtocol,
+                 "unexpected control frame on a data link");
+      }
+    }
+    if (eof) {
+      // A peer that finished its run closes its end: benign iff the
+      // stream ended at a frame boundary, we owe it nothing, and its
+      // marker for the current generation already landed (the marker
+      // fence means everything it sent us arrived first). Anything
+      // else is a mid-protocol death.
+      if (c.decoder.buffered() != 0 || c.out_pos != c.out.size() ||
+          c.marker_gen < ep.phase_gen) {
+        throw_io(ErrorKind::kPeerDead, "peer closed its shard link");
+      }
+      ::close(c.fd);
+      c.fd = -1;
+      moved = true;
+      note_progress(ep);
+    }
+  }
+  return moved;
+}
+
+bool SocketTransport::try_recv(int self, Frame& out) {
+  check_poisoned();
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(self)];
+  if (ep.ready.empty()) (void)poll_io(ep);
+  if (ep.ready.empty()) return false;
+  out = std::move(ep.ready.front());
+  ep.ready.pop_front();
+  return true;
+}
+
+void SocketTransport::finish_phase(int self) {
+  check_poisoned();
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(self)];
+  ++ep.phase_gen;
+  if (tuning_.die_at_phase >= 0 &&
+      ep.phase_gen == static_cast<std::uint64_t>(tuning_.die_at_phase)) {
+    // Simulated crash for the peer-kill smoke: no teardown, no flush —
+    // peers must detect the dead link, not a polite shutdown.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): process is dying by design
+    std::_Exit(9);
+  }
+  // The marker is queued after all buffered data on every link, so its
+  // arrival at the peer proves everything we sent this phase arrived.
+  for (std::size_t t = 0; t < ep.conns.size(); ++t) {
+    Conn& c = ep.conns[t];
+    if (c.fd < 0) continue;
+    Frame marker;
+    marker.type = FrameType::kPhaseEnd;
+    marker.src = static_cast<std::uint8_t>(self);
+    marker.dst = static_cast<std::uint8_t>(t);
+    marker.seq = ep.phase_gen;
+    encode_frame(marker, c.out);
+  }
+  note_progress(ep);
+}
+
+bool SocketTransport::phase_done(int self) {
+  check_poisoned();
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(self)];
+  bool flushed = true;
+  for (Conn& c : ep.conns) {
+    if (c.fd < 0) continue;
+    flushed = flush_out(ep, c) && flushed;
+  }
+  const bool moved = poll_io(ep);
+  bool markers = true;
+  for (std::size_t t = 0; t < ep.conns.size(); ++t) {
+    if (ep.conns[t].fd < 0) continue;
+    markers = markers && ep.conns[t].marker_gen >= ep.phase_gen;
+  }
+  if (flushed && markers) {
+    note_progress(ep);
+    return true;
+  }
+  if (!moved) {
+    const auto idle = std::chrono::steady_clock::now() - ep.last_progress;
+    if (idle > std::chrono::milliseconds(config_.io_timeout_ms)) {
+      throw_io(ErrorKind::kTimeout,
+               "no transport progress within the io timeout");
+    }
+  }
+  return false;
+}
+
+TransportStats SocketTransport::stats() const {
+  util::SpinLockHolder hold(&stats_mutex_);
+  return stats_;
+}
+
+}  // namespace aecnc::net

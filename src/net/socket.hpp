@@ -1,0 +1,144 @@
+// TCP socket Transport: a nonblocking loopback mesh moving
+// length-prefixed frames between shard endpoints (docs/sharding.md §7).
+//
+// Every pair of shards shares one TCP connection. Sends are
+// store-and-forward per connection — at most one encoded frame (plus
+// phase markers) is pending per peer, and a frame is only accepted once
+// the previous one is fully on the wire, which is how socket
+// backpressure surfaces through the same SendStatus::kBackpressure
+// path the in-process transport uses. Phase agreement replaces the
+// in-process barrier with kPhaseEnd marker frames: finish_phase queues
+// a marker after all data on every connection (per-link FIFO makes the
+// marker a delivery fence), and phase_done polls until every peer's
+// marker for the current generation has arrived. A phase_done window
+// with no forward progress for NetConfig::io_timeout_ms throws
+// TransportError(kTimeout); a peer closing mid-protocol throws
+// kPeerDead; a stream the decoder rejects throws kBadFrame.
+//
+// The same file exposes the small blocking helpers the multi-process
+// wire-up (src/net/process.cpp) uses for its control channel: loopback
+// listen/connect/accept with deadlines, and blocking whole-frame
+// send/recv.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "util/annotations.hpp"
+
+namespace aecnc::net {
+
+/// Deterministic failure hooks for the harness and the CI smoke legs.
+/// (Namespace scope: a nested class's member initializers are parsed
+/// too late to default-construct `= {}` arguments.)
+struct SocketTuning {
+  /// Cap on bytes per write() call — forces short writes so the
+  /// partial-flush path is exercised deterministically.
+  std::size_t max_write_bytes = SIZE_MAX;
+  /// When >= 0: the hosted endpoint hard-exits (std::_Exit) at the
+  /// end of this phase generation, simulating a worker crash
+  /// mid-protocol. Peers must surface kPeerDead/kTimeout, never hang.
+  int die_at_phase = -1;
+};
+
+class SocketTransport final : public TransportBase {
+ public:
+  using Tuning = SocketTuning;
+
+  /// Wrap an established p×p mesh. fds[e][t] is endpoint e's connection
+  /// to peer t (-1 when absent); the transport owns and closes them.
+  /// Endpoint e is "hosted" — callable from this process — iff every
+  /// fds[e][t] (t != e) is a live descriptor. All descriptors are
+  /// switched to nonblocking mode here.
+  SocketTransport(std::vector<std::vector<int>> fds, const NetConfig& config,
+                  const Tuning& tuning = {});
+  ~SocketTransport() override;
+
+  /// Build an in-process loopback mesh hosting all p endpoints — the
+  /// single-machine configuration tests and bench_shard use to put the
+  /// full socket stack under the unchanged engine.
+  [[nodiscard]] static std::unique_ptr<SocketTransport> connect_local_mesh(
+      int p, const NetConfig& config, const Tuning& tuning = {});
+
+  [[nodiscard]] int num_endpoints() const noexcept override {
+    return num_endpoints_;
+  }
+  [[nodiscard]] SendStatus try_send(Frame& frame) override;
+  [[nodiscard]] bool try_recv(int self, Frame& out) override;
+  void finish_phase(int self) override;
+  [[nodiscard]] bool phase_done(int self) override;
+  [[nodiscard]] TransportStats stats() const override;
+
+ private:
+  /// One connection to a peer. Owned by the hosting endpoint's thread.
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> out;  // encoded bytes awaiting the wire
+    std::size_t out_pos = 0;        // flushed prefix of out
+    FrameDecoder decoder;
+    std::uint64_t marker_gen = 0;  // highest kPhaseEnd seq seen from peer
+  };
+
+  /// Per-endpoint state, thread-confined to that endpoint's shard
+  /// thread (try_send routes by frame.src; the rest by `self`).
+  struct Endpoint {
+    bool hosted = false;
+    std::vector<Conn> conns;  // by peer id; conns[self].fd == -1
+    std::deque<Frame> ready;  // decoded data frames awaiting try_recv
+    std::uint64_t phase_gen = 0;
+    std::chrono::steady_clock::time_point last_progress;
+  };
+
+  /// Write pending bytes; true when the conn's buffer drained fully.
+  bool flush_out(Endpoint& ep, Conn& c);
+  /// Nonblocking read/write sweep over the endpoint's connections;
+  /// decodes arrived frames into ready/marker state. Returns true when
+  /// any bytes moved.
+  bool poll_io(Endpoint& ep);
+  void note_progress(Endpoint& ep);
+  [[noreturn]] void throw_io(ErrorKind kind, const char* what);
+
+  const NetConfig config_;
+  const Tuning tuning_;
+  int num_endpoints_ = 0;
+  std::vector<Endpoint> endpoints_;
+
+  // aecnc: lock-leaf(guards only the traffic counters; no other lock is
+  // ever taken under it)
+  mutable util::SpinLock stats_mutex_;
+  TransportStats stats_ AECNC_GUARDED_BY(stats_mutex_);
+};
+
+// --- blocking helpers for the multi-process control channel ---------------
+
+/// Listen on 127.0.0.1 with an ephemeral port; returns the fd and writes
+/// the bound port. Throws TransportError(kSystem) on failure.
+[[nodiscard]] int listen_on_loopback(std::uint16_t& port_out);
+
+/// Connect to 127.0.0.1:port, retrying with the policy's backoff until
+/// connect_timeout_ms elapses. Attempts beyond the first are counted
+/// into `reconnects` when non-null. Throws kSystem on exhaustion.
+[[nodiscard]] int connect_loopback(std::uint16_t port, const NetConfig& config,
+                                   std::uint64_t* reconnects = nullptr);
+
+/// Accept one connection within timeout_ms; throws kTimeout / kSystem.
+[[nodiscard]] int accept_with_timeout(int listen_fd, std::uint32_t timeout_ms);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+/// Write one whole encoded frame within timeout_ms (blocking, with a
+/// poll deadline). Throws kTimeout / kPeerDead / kSystem.
+void send_frame_blocking(int fd, const Frame& frame, std::uint32_t timeout_ms);
+
+/// Read until the decoder yields one frame. Returns false on clean EOF
+/// at a frame boundary; throws kBadFrame / kTimeout / kSystem otherwise.
+[[nodiscard]] bool recv_frame_blocking(int fd, FrameDecoder& decoder,
+                                       Frame& out, std::uint32_t timeout_ms);
+
+}  // namespace aecnc::net

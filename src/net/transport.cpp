@@ -1,0 +1,27 @@
+#include "net/transport.hpp"
+
+namespace aecnc::net {
+
+const char* error_kind_name(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kTimeout:
+      return "timeout";
+    case ErrorKind::kPeerDead:
+      return "peer-dead";
+    case ErrorKind::kLostFrame:
+      return "lost-frame";
+    case ErrorKind::kBadFrame:
+      return "bad-frame";
+    case ErrorKind::kRetriesExhausted:
+      return "retries-exhausted";
+    case ErrorKind::kAborted:
+      return "aborted";
+    case ErrorKind::kProtocol:
+      return "protocol";
+    case ErrorKind::kSystem:
+      return "system";
+  }
+  return "unknown";
+}
+
+}  // namespace aecnc::net

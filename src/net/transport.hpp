@@ -1,0 +1,167 @@
+// Transport abstraction behind the MessageAggregator seam
+// (docs/sharding.md §7).
+//
+// A Transport moves whole Frames between `num_endpoints()` shard
+// endpoints. Every call is nonblocking: try_send reports delivery,
+// backpressure (caller drains its own inbox and retries), or a
+// transient fault (caller retries with backoff up to
+// RetryPolicy::max_attempts); phase completion is a two-call contract —
+// finish_phase(self) cheaply announces "no more sends this phase" and
+// phase_done(self) makes bounded progress toward agreement, so the
+// engine can keep draining its inbox between polls and the protocol
+// stays deadlock-free regardless of what the transport buffers.
+//
+// Implementations: InprocTransport (bounded in-memory mailboxes +
+// phase barrier; the p=1 zero-cost path), SocketTransport (nonblocking
+// TCP loopback mesh with length-prefixed frames), and FaultyTransport
+// (deterministic fault-injection decorator for the differential
+// harness).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.hpp"
+#include "util/annotations.hpp"
+
+namespace aecnc::net {
+
+/// Failure taxonomy. error_kind_name() strings are part of the CLI
+/// contract: the CI smoke legs grep stderr for them.
+enum class ErrorKind : std::uint8_t {
+  kTimeout,           // no progress within the io timeout budget
+  kPeerDead,          // peer closed, died, or was killed mid-phase
+  kLostFrame,         // sequence gap: a frame vanished past the retry layer
+  kBadFrame,          // frame decoder rejected the stream
+  kRetriesExhausted,  // transient faults outlasted RetryPolicy
+  kAborted,           // another shard failed; this one was torn down
+  kProtocol,          // peer violated the control protocol
+  kSystem,            // socket/fork/exec syscall failure
+};
+
+[[nodiscard]] const char* error_kind_name(ErrorKind kind) noexcept;
+
+/// The loud typed failure: no hang, no partial counts. Everything a
+/// transport surfaces (as opposed to absorbs) is thrown as this.
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(ErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(error_kind_name(kind)) + ": " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Cumulative transport counters, independent of the obs layer so
+/// benches can report the transport bill with metrics compiled out.
+/// `bytes` is wire bytes for the socket path and messages *
+/// sizeof(shard::Message) for the in-process path.
+struct TransportStats {
+  std::uint64_t messages = 0;      // messages delivered to inboxes
+  std::uint64_t batches = 0;       // frames delivered (each counted once)
+  std::uint64_t bytes = 0;         // payload volume moved
+  std::uint64_t retries = 0;       // transient-fault resends
+  std::uint64_t timeouts = 0;      // io deadlines hit
+  std::uint64_t reconnects = 0;    // connect() attempts beyond the first
+  std::uint64_t dups_dropped = 0;  // duplicate frames discarded by seq
+  std::uint64_t backpressure = 0;  // sends refused by a full inbox
+};
+
+/// Bounded retry with exponential backoff for transient send faults.
+struct RetryPolicy {
+  int max_attempts = 8;
+  std::uint32_t backoff_init_us = 50;
+  std::uint32_t backoff_max_us = 20000;
+};
+
+/// Knobs shared by the socket transport and the multi-process wire-up.
+struct NetConfig {
+  RetryPolicy retry;
+  std::uint32_t connect_timeout_ms = 5000;
+  std::uint32_t io_timeout_ms = 20000;
+};
+
+enum class SendStatus : std::uint8_t {
+  kDelivered,     // frame handed off; sender may reuse/refill it
+  kBackpressure,  // receiver full; frame untouched, drain and retry
+  kTransient,     // recoverable fault; frame untouched, back off and retry
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int num_endpoints() const noexcept = 0;
+
+  /// Attempt to deliver `frame` (routed by frame.dst). On anything but
+  /// kDelivered the frame is left intact for the caller to retry.
+  [[nodiscard]] virtual SendStatus try_send(Frame& frame) = 0;
+
+  /// Pop the next frame addressed to endpoint `self`, if any.
+  [[nodiscard]] virtual bool try_recv(int self, Frame& out) = 0;
+
+  /// Announce that `self` sends nothing more this phase. Cheap and
+  /// nonblocking; delivery of frames already accepted may still be in
+  /// flight until phase_done() reports agreement.
+  virtual void finish_phase(int self) = 0;
+
+  /// Make bounded nonblocking progress; true once every endpoint has
+  /// finished the phase and all accepted frames are delivered. The
+  /// caller must drain its own inbox between calls.
+  [[nodiscard]] virtual bool phase_done(int self) = 0;
+
+  /// Mark the transport failed so every endpoint's next call throws
+  /// TransportError(kind) instead of waiting on a peer that never comes.
+  virtual void poison(ErrorKind kind, const std::string& reason) = 0;
+
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+};
+
+/// Shared poison plumbing: a lock-free failed flag checked on every hot
+/// call, with the diagnostic behind a leaf spinlock off the hot path.
+class TransportBase : public Transport {
+ public:
+  void poison(ErrorKind kind, const std::string& reason) override {
+    {
+      util::SpinLockHolder hold(&poison_mutex_);
+      if (poison_reason_.empty()) {
+        poison_kind_ = kind;
+        poison_reason_ = reason;
+      }
+    }
+    // Release pairs with check_poisoned()'s acquire: a thread that sees
+    // the flag also sees the kind/reason written above.
+    poisoned_.store(true, std::memory_order_release);
+  }
+
+ protected:
+  /// Throw the stored poison error if any endpoint failed.
+  void check_poisoned() const {
+    if (poisoned_.load(std::memory_order_acquire)) [[unlikely]] {
+      ErrorKind kind = ErrorKind::kAborted;
+      std::string reason;
+      {
+        util::SpinLockHolder hold(&poison_mutex_);
+        kind = poison_kind_;
+        reason = poison_reason_;
+      }
+      throw TransportError(kind, reason);
+    }
+  }
+
+ private:
+  // aecnc: atomic-ok(set-once failure flag; release store in poison()
+  // pairs with acquire load in check_poisoned() to publish kind/reason)
+  std::atomic<bool> poisoned_{false};
+  // aecnc: lock-leaf(guards only the poison diagnostic fields; no other
+  // lock is ever taken under it)
+  mutable util::SpinLock poison_mutex_;
+  ErrorKind poison_kind_ AECNC_GUARDED_BY(poison_mutex_) = ErrorKind::kAborted;
+  std::string poison_reason_ AECNC_GUARDED_BY(poison_mutex_);
+};
+
+}  // namespace aecnc::net

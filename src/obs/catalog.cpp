@@ -105,12 +105,30 @@ const ShardMetrics& ShardMetrics::get() {
   return m;
 }
 
+const NetMetrics& NetMetrics::get() {
+  static const NetMetrics m = [] {
+    Registry& r = Registry::global();
+    return NetMetrics{
+        .frames_sent = r.counter("net.frames_sent"),
+        .frames_recv = r.counter("net.frames_recv"),
+        .bytes_sent = r.counter("net.bytes_sent"),
+        .bytes_recv = r.counter("net.bytes_recv"),
+        .retries = r.counter("net.retries"),
+        .timeouts = r.counter("net.timeouts"),
+        .reconnects = r.counter("net.reconnects"),
+        .dups_dropped = r.counter("net.dups_dropped"),
+    };
+  }();
+  return m;
+}
+
 void register_all() {
   (void)KernelMetrics::get();
   (void)CoreMetrics::get();
   (void)ServeMetrics::get();
   (void)UpdateMetrics::get();
   (void)ShardMetrics::get();
+  (void)NetMetrics::get();
 }
 
 }  // namespace aecnc::obs

@@ -108,6 +108,20 @@ struct ShardMetrics {
   [[nodiscard]] static const ShardMetrics& get();
 };
 
+/// net/: socket/in-process transport traffic behind the shard seam.
+struct NetMetrics {
+  Counter& frames_sent;        // net.frames_sent
+  Counter& frames_recv;        // net.frames_recv
+  Counter& bytes_sent;         // net.bytes_sent
+  Counter& bytes_recv;         // net.bytes_recv
+  Counter& retries;            // net.retries
+  Counter& timeouts;           // net.timeouts
+  Counter& reconnects;         // net.reconnects
+  Counter& dups_dropped;       // net.dups_dropped
+
+  [[nodiscard]] static const NetMetrics& get();
+};
+
 /// Force-register the whole catalog into Registry::global(). Dump-side
 /// callers (CLI stats, serve-session stats) use this so the dump shape
 /// does not depend on which kernels happened to execute.

@@ -1,20 +1,25 @@
 #include "shard/aggregator.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/catalog.hpp"
 
 namespace aecnc::shard {
 
-MessageAggregator::MessageAggregator(int num_shards,
+MessageAggregator::MessageAggregator(net::Transport& transport,
                                      std::size_t flush_messages,
-                                     std::size_t inbox_capacity)
-    : num_shards_(num_shards),
+                                     const net::RetryPolicy& retry)
+    : transport_(transport),
+      num_shards_(transport.num_endpoints()),
       flush_messages_(flush_messages == 0 ? 1 : flush_messages),
-      inbox_capacity_(inbox_capacity == 0 ? 1 : inbox_capacity),
-      outboxes_(static_cast<std::size_t>(num_shards) *
-                static_cast<std::size_t>(num_shards)),
-      inboxes_(static_cast<std::size_t>(num_shards)) {}
+      retry_(retry),
+      outboxes_(static_cast<std::size_t>(num_shards_) *
+                static_cast<std::size_t>(num_shards_)),
+      send_seq_(outboxes_.size(), 0),
+      recv_seq_(outboxes_.size(), 0) {}
 
 bool MessageAggregator::append(int src, int dst, const Message& msg) {
   Batch& box = outbox(src, dst);
@@ -24,22 +29,83 @@ bool MessageAggregator::append(int src, int dst, const Message& msg) {
 
 bool MessageAggregator::try_flush(int src, int dst) {
   Batch& box = outbox(src, dst);
-  if (box.empty()) return true;
-  const std::uint64_t n = box.size();
-  Inbox& in = inboxes_[static_cast<std::size_t>(dst)];
-  {
-    util::MutexLock lock(&in.mutex_);
-    if (in.queue_.size() >= inbox_capacity_) return false;
-    in.queue_.push_back(std::move(box));
-    in.messages_in_ += n;
-    in.batches_in_ += 1;
-  }
-  box.clear();  // moved-from; make the outbox explicitly empty again
-  if (obs::enabled()) [[unlikely]] {
-    const obs::ShardMetrics& m = obs::ShardMetrics::get();
-    m.msgs_sent.add(n);
-    m.flushes.add();
-    m.bytes_moved.add(n * sizeof(Message));
+  const std::size_t lk = link(src, dst);
+  // A single data frame is capped at the wire payload bound
+  // (encode_frame throws past it — senders chunk at the call site). A
+  // box normally holds <= flush_messages_, but sustained backpressure
+  // re-queues batches while the producer keeps appending, so it can
+  // grow past the cap; such a box goes out as several frames, each
+  // advancing the per-link sequence on its own delivery.
+  constexpr std::size_t kMaxBatch =
+      net::kMaxFramePayload / net::kMessageWireBytes;
+  while (!box.empty()) {
+    net::Frame frame;
+    frame.type = net::FrameType::kData;
+    frame.src = static_cast<std::uint8_t>(src);
+    frame.dst = static_cast<std::uint8_t>(dst);
+    frame.seq = send_seq_[lk] + 1;
+    if (box.size() <= kMaxBatch) {
+      frame.messages = std::move(box);
+      box.clear();  // moved-from; make the outbox explicitly empty again
+    } else {
+      const auto split = box.begin() + static_cast<std::ptrdiff_t>(kMaxBatch);
+      frame.messages.assign(box.begin(), split);
+      box.erase(box.begin(), split);
+    }
+    const std::uint64_t n = frame.messages.size();
+
+    int attempt = 0;
+    std::uint32_t backoff_us = retry_.backoff_init_us;
+    bool delivered = false;
+    while (!delivered) {
+      switch (transport_.try_send(frame)) {
+        case net::SendStatus::kDelivered:
+          // The batch is counted exactly once, on the delivery that
+          // advanced the sequence — not per attempt, and not again when
+          // a backpressured batch is re-queued and flushed later.
+          send_seq_[lk] = frame.seq;
+          if (obs::enabled()) [[unlikely]] {
+            const obs::ShardMetrics& m = obs::ShardMetrics::get();
+            m.msgs_sent.add(n);
+            m.flushes.add();
+            m.bytes_moved.add(n * sizeof(Message));
+          }
+          delivered = true;
+          break;
+        case net::SendStatus::kBackpressure:
+          // Receiver full: put the chunk back at the FRONT of the box
+          // (same seq next time, and it stays ahead of anything the
+          // producer appends meanwhile) and let the caller run its
+          // drain loop.
+          if (box.empty()) {
+            box = std::move(frame.messages);
+          } else {
+            box.insert(box.begin(), frame.messages.begin(),
+                       frame.messages.end());
+          }
+          {
+            util::SpinLockHolder hold(&stats_mutex_);
+            ++backpressure_;
+          }
+          return false;
+        case net::SendStatus::kTransient:
+          {
+            util::SpinLockHolder hold(&stats_mutex_);
+            ++retries_;
+          }
+          if (obs::enabled()) [[unlikely]] {
+            obs::NetMetrics::get().retries.add();
+          }
+          if (++attempt >= retry_.max_attempts) {
+            throw net::TransportError(
+                net::ErrorKind::kRetriesExhausted,
+                "send retry budget exhausted on shard link");
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = std::min(backoff_us * 2, retry_.backoff_max_us);
+          break;
+      }
+    }
   }
   return true;
 }
@@ -54,12 +120,31 @@ bool MessageAggregator::flush_all(int src) {
 }
 
 bool MessageAggregator::try_pop(int dst, Batch& out) {
-  Inbox& in = inboxes_[static_cast<std::size_t>(dst)];
-  util::MutexLock lock(&in.mutex_);
-  if (in.queue_.empty()) return false;
-  out = std::move(in.queue_.front());
-  in.queue_.pop_front();
-  return true;
+  net::Frame frame;
+  while (transport_.try_recv(dst, frame)) {
+    const std::size_t lk = link(frame.src, dst);
+    const std::uint64_t expect = recv_seq_[lk] + 1;
+    if (frame.seq < expect) {
+      // A retry of a frame that already arrived (drop absorbed on a
+      // later attempt, or an injected duplicate): discard the echo.
+      {
+        util::SpinLockHolder hold(&stats_mutex_);
+        ++dups_dropped_;
+      }
+      if (obs::enabled()) [[unlikely]] {
+        obs::NetMetrics::get().dups_dropped.add();
+      }
+      continue;
+    }
+    if (frame.seq > expect) {
+      throw net::TransportError(net::ErrorKind::kLostFrame,
+                                "sequence gap on shard link");
+    }
+    recv_seq_[lk] = expect;
+    out = std::move(frame.messages);
+    return true;
+  }
+  return false;
 }
 
 bool MessageAggregator::outboxes_empty(int src) const noexcept {
@@ -71,14 +156,12 @@ bool MessageAggregator::outboxes_empty(int src) const noexcept {
   return true;
 }
 
-AggregatorStats MessageAggregator::stats() const {
-  AggregatorStats s;
-  for (const Inbox& in : inboxes_) {
-    util::MutexLock lock(&in.mutex_);
-    s.messages += in.messages_in_;
-    s.flushes += in.batches_in_;
-  }
-  s.bytes = s.messages * sizeof(Message);
+net::TransportStats MessageAggregator::stats() const {
+  net::TransportStats s = transport_.stats();
+  util::SpinLockHolder hold(&stats_mutex_);
+  s.retries += retries_;
+  s.dups_dropped += dups_dropped_;
+  s.backpressure += backpressure_;
   return s;
 }
 

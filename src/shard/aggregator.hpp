@@ -4,42 +4,38 @@
 // exchanges (arXiv 2302.11443): fine-grained per-edge messages are
 // appended to per-(src, dst) outboxes — thread-confined to the sending
 // shard, so appends are lock-free — and move between shards only as
-// whole batches, pushed into the destination's bounded inbox under a
-// short leaf lock. The inbox bound is the backpressure signal: a full
-// inbox makes try_flush fail and the engine's sender drains its own
-// inbox while it waits (engine.cpp), which is what keeps the protocol
-// deadlock-free without unbounded buffering.
+// whole Frames through a net::Transport. The transport's backpressure
+// signal is preserved: a refused send makes try_flush fail and the
+// engine's sender drains its own inbox while it waits (engine.cpp),
+// which is what keeps the protocol deadlock-free without unbounded
+// buffering.
 //
-// This queue layer is the transport-swap seam: replacing Batch handoff
-// with a socket/RDMA write leaves every caller unchanged.
+// The aggregator is also the reliability layer over the transport: it
+// stamps a per-(src, dst) sequence number on every delivered frame,
+// retries transient send faults with bounded exponential backoff, and
+// on receive discards duplicate frames (seq below expected) and turns
+// sequence gaps into a typed kLostFrame error — so a FaultyTransport's
+// absorbed faults never change the counted result, and unabsorbable
+// ones fail loudly.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "net/transport.hpp"
 #include "shard/message.hpp"
 #include "util/annotations.hpp"
 
 namespace aecnc::shard {
-
-/// Cumulative transport counters, independent of the obs layer so
-/// benches can report bytes-moved with metrics compiled out.
-struct AggregatorStats {
-  std::uint64_t messages = 0;  // messages delivered into inboxes
-  std::uint64_t flushes = 0;   // batches moved
-  std::uint64_t bytes = 0;     // messages * sizeof(Message)
-};
 
 class MessageAggregator {
  public:
   using Batch = std::vector<Message>;
 
   /// `flush_messages`: outbox size at which append() asks the caller to
-  /// flush. `inbox_capacity`: max pending batches per inbox before
-  /// try_flush reports backpressure.
-  MessageAggregator(int num_shards, std::size_t flush_messages,
-                    std::size_t inbox_capacity);
+  /// flush. Shard count and inbox bounds come from the transport.
+  MessageAggregator(net::Transport& transport, std::size_t flush_messages,
+                    const net::RetryPolicy& retry = {});
 
   MessageAggregator(const MessageAggregator&) = delete;
   MessageAggregator& operator=(const MessageAggregator&) = delete;
@@ -55,49 +51,65 @@ class MessageAggregator {
   /// it can run its backpressure drain loop at a safe depth.
   bool append(int src, int dst, const Message& msg);
 
-  /// Move the (src, dst) outbox into dst's inbox as one batch. Returns
-  /// false (leaving the outbox intact) when the inbox is at capacity;
-  /// true when the outbox was empty or the batch was delivered.
+  /// Send the (src, dst) outbox through the transport as one sequenced
+  /// frame. Returns false (leaving the outbox intact) on backpressure;
+  /// true when the outbox was empty or the frame was delivered — each
+  /// delivered batch is counted exactly once, however many transient
+  /// retries or backpressure round-trips it took. Throws
+  /// TransportError(kRetriesExhausted) when transient faults outlast
+  /// the retry budget.
   [[nodiscard]] bool try_flush(int src, int dst);
 
   /// try_flush toward every destination. Returns true when every outbox
   /// of src is now empty.
   [[nodiscard]] bool flush_all(int src);
 
-  /// Pop one pending batch from dst's inbox. Only shard dst's thread
-  /// consumes its inbox, but producers push concurrently.
+  /// Pop the next in-sequence batch addressed to dst. Only shard dst's
+  /// thread consumes its inbox. Duplicate frames are discarded here;
+  /// a sequence gap throws TransportError(kLostFrame).
   [[nodiscard]] bool try_pop(int dst, Batch& out);
 
   /// True when every outbox of src has been flushed.
   [[nodiscard]] bool outboxes_empty(int src) const noexcept;
 
-  /// Snapshot of the cumulative transport counters (sums the per-inbox
-  /// tallies under their leaf locks).
-  [[nodiscard]] AggregatorStats stats() const;
+  /// Announce shard src sends nothing more this phase (cheap,
+  /// nonblocking). Pair with phase_done() polling.
+  void finish_phase(int src) { transport_.finish_phase(src); }
+
+  /// True once all shards finished the phase and every accepted frame
+  /// is delivered. Callers drain their inbox between polls.
+  [[nodiscard]] bool phase_done(int s) { return transport_.phase_done(s); }
+
+  /// Snapshot of the cumulative transport counters: the transport's own
+  /// tallies plus the aggregator-side retry/dedup/backpressure counts.
+  [[nodiscard]] net::TransportStats stats() const;
 
  private:
-  /// One bounded mailbox per destination shard. The mutex is innermost
-  /// by construction: nothing is acquired while holding it.
-  struct Inbox {
-    // aecnc: lock-leaf(guards only this deque and its tallies; no other
-    // lock is ever taken under it)
-    mutable util::Mutex mutex_;
-    std::deque<Batch> queue_ AECNC_GUARDED_BY(mutex_);
-    std::uint64_t messages_in_ AECNC_GUARDED_BY(mutex_) = 0;
-    std::uint64_t batches_in_ AECNC_GUARDED_BY(mutex_) = 0;
-  };
-
   [[nodiscard]] Batch& outbox(int src, int dst) noexcept {
-    return outboxes_[static_cast<std::size_t>(src) *
-                         static_cast<std::size_t>(num_shards_) +
-                     static_cast<std::size_t>(dst)];
+    return outboxes_[link(src, dst)];
+  }
+  [[nodiscard]] std::size_t link(int src, int dst) const noexcept {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(num_shards_) +
+           static_cast<std::size_t>(dst);
   }
 
+  net::Transport& transport_;
   const int num_shards_;
   const std::size_t flush_messages_;
-  const std::size_t inbox_capacity_;
-  std::vector<Batch> outboxes_;        // p×p, row-major by src
-  std::vector<Inbox> inboxes_;         // one per destination shard
+  const net::RetryPolicy retry_;
+  std::vector<Batch> outboxes_;  // p×p, row-major by src
+  // Per-link sequence numbers. send_seq_ row s is thread-confined to
+  // shard s (try_flush); recv_seq_ column d to shard d (try_pop).
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<std::uint64_t> recv_seq_;
+
+  // aecnc: lock-leaf(guards only the aggregator-side counters below;
+  // no other lock is ever taken under it)
+  mutable util::SpinLock stats_mutex_;
+  std::uint64_t retries_ AECNC_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t dups_dropped_ AECNC_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t backpressure_ AECNC_GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace aecnc::shard

@@ -1,6 +1,7 @@
 #include "shard/engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "intersect/counters.hpp"
 #include "intersect/dispatch.hpp"
 #include "intersect/merge.hpp"
+#include "net/inproc.hpp"
 #include "obs/catalog.hpp"
 
 namespace aecnc::shard {
@@ -35,9 +37,23 @@ struct ShardedEngine::ShardState {
 ShardedEngine::ShardedEngine(const graph::Csr& g, const ShardConfig& config)
     : config_(config),
       partition_(g, config.num_shards),
-      aggregator_(partition_.num_shards(), config.flush_messages,
-                  config.inbox_capacity),
-      barrier_(partition_.num_shards()) {}
+      owned_transport_(std::make_unique<net::InprocTransport>(
+          partition_.num_shards(), config.inbox_capacity)),
+      transport_(owned_transport_.get()),
+      aggregator_(*transport_, config.flush_messages) {}
+
+ShardedEngine::ShardedEngine(const graph::Csr& g, const ShardConfig& config,
+                             net::Transport& transport)
+    : config_(config),
+      partition_(g, config.num_shards),
+      owned_transport_(nullptr),
+      transport_(&transport),
+      aggregator_(*transport_, config.flush_messages) {
+  if (transport.num_endpoints() != partition_.num_shards()) {
+    throw std::invalid_argument(
+        "transport endpoint count does not match shard count");
+  }
+}
 
 void ShardedEngine::apply(int s, const Message& msg, ShardState& st) {
   const ShardBlock& blk = partition_.shard(s);
@@ -99,11 +115,12 @@ void ShardedEngine::flush_all_blocking(int s, ShardState& st) {
   }
 }
 
-void ShardedEngine::barrier_wait(int s, ShardState& st) {
-  const std::uint64_t gen = barrier_.arrive();
-  while (!barrier_.passed(gen)) {
+void ShardedEngine::phase_wait(int s, ShardState& st) {
+  flush_all_blocking(s, st);
+  aggregator_.finish_phase(s);
+  while (!aggregator_.phase_done(s)) {
     // Drain while waiting: a peer may be blocked flushing into us, and
-    // sleeping here would deadlock barrier against backpressure.
+    // sleeping here would deadlock the phase wait against backpressure.
     drain_and_process(s, st);
     std::this_thread::yield();
   }
@@ -177,19 +194,18 @@ void ShardedEngine::shard_main(int s, ShardState& st) {
     }
     if (built) st.bitmap.clear_all(nbrs);
   }
-  flush_all_blocking(s, st);
-  barrier_wait(s, st);
+  phase_wait(s, st);
 
   // Phase B: every request addressed to us was delivered before the
-  // barrier passed, so one drain-to-empty serves them all. Opportunistic
-  // flushes keep reply batches flowing at the configured size.
+  // phase wait passed, so one drain-to-empty serves them all.
+  // Opportunistic flushes keep reply batches flowing at the configured
+  // size.
   while (aggregator_.try_pop(s, st.batch)) {
     for (const Message& msg : st.batch) apply(s, msg, st);
     st.batch.clear();
     (void)aggregator_.flush_all(s);
   }
-  flush_all_blocking(s, st);
-  barrier_wait(s, st);
+  phase_wait(s, st);
 
   // Phase C: all replies are in; fold any still queued, then ship each
   // cross edge's final count to its mirror slot's owner.
@@ -203,8 +219,7 @@ void ShardedEngine::shard_main(int s, ShardState& st) {
                  st.cnt[ce.local]},
          st, /*may_flush=*/true);
   }
-  flush_all_blocking(s, st);
-  barrier_wait(s, st);
+  phase_wait(s, st);
 
   // Phase D: apply the mirrors; nothing sends after this point.
   while (aggregator_.try_pop(s, st.batch)) {
@@ -213,6 +228,29 @@ void ShardedEngine::shard_main(int s, ShardState& st) {
   }
 }
 
+namespace {
+
+/// Choose the error to surface from a failed run: prefer the root cause
+/// (any error that is not the kAborted echo of another shard's poison).
+std::exception_ptr pick_root_error(
+    const std::vector<std::exception_ptr>& errors) {
+  std::exception_ptr first;
+  for (const std::exception_ptr& err : errors) {
+    if (!err) continue;
+    if (!first) first = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const net::TransportError& e) {
+      if (e.kind() != net::ErrorKind::kAborted) return err;
+    } catch (...) {
+      return err;  // non-transport failures are root causes
+    }
+  }
+  return first;
+}
+
+}  // namespace
+
 core::CountArray ShardedEngine::run() {
   util::MutexLock lock(&run_mutex_);
   const obs::ShardMetrics& metrics = obs::ShardMetrics::get();
@@ -220,14 +258,33 @@ core::CountArray ShardedEngine::run() {
 
   const int p = partition_.num_shards();
   std::vector<ShardState> states(static_cast<std::size_t>(p));
+  // One slot per shard, each written only by that shard's thread.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  auto guarded_main = [this, &states, &errors](int s) {
+    try {
+      shard_main(s, states[static_cast<std::size_t>(s)]);
+    } catch (const std::exception& e) {
+      errors[static_cast<std::size_t>(s)] = std::current_exception();
+      // Wake every peer out of its phase/backpressure polling with a
+      // typed error instead of leaving it waiting on us forever.
+      transport_->poison(net::ErrorKind::kAborted, e.what());
+    } catch (...) {
+      errors[static_cast<std::size_t>(s)] = std::current_exception();
+      transport_->poison(net::ErrorKind::kAborted, "shard worker failed");
+    }
+  };
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(p) - 1);
   for (int s = 1; s < p; ++s) {
-    workers.emplace_back(
-        [this, s, &states] { shard_main(s, states[static_cast<std::size_t>(s)]); });
+    workers.emplace_back([&guarded_main, s] { guarded_main(s); });
   }
-  shard_main(0, states[0]);
+  guarded_main(0);
   for (std::thread& t : workers) t.join();
+
+  if (std::exception_ptr err = pick_root_error(errors)) {
+    std::rethrow_exception(err);
+  }
 
   if (obs::enabled()) [[unlikely]] {
     std::uint64_t waits = 0;
@@ -245,6 +302,14 @@ core::CountArray ShardedEngine::run() {
               cnt.begin() + static_cast<std::ptrdiff_t>(blk.slot_base));
   }
   return cnt;
+}
+
+core::CountArray ShardedEngine::run_shard(int s) {
+  util::MutexLock lock(&run_mutex_);
+  if (obs::enabled()) [[unlikely]] obs::ShardMetrics::get().runs.add();
+  ShardState st;
+  shard_main(s, st);
+  return std::move(st.cnt);
 }
 
 core::CountArray count_sharded(const graph::Csr& g, const ShardConfig& config) {

@@ -8,60 +8,32 @@
 // sequential oracle for every kernel and shard count.
 //
 // The run is a four-phase BSP schedule with drain-while-waiting barriers
-// (a shard blocked on a full inbox or at a barrier keeps applying its
+// (a shard blocked on a full inbox or at a phase wait keeps applying its
 // own inbox, which makes backpressure deadlock-free):
 //   A: local counts + own-column partials, CountRequests out
 //   B: serve CountRequests from the column store, CountReplies out
 //   C: fold replies, Mirror messages out for cross-owner mirror slots
 //   D: apply mirrors
+//
+// All message movement goes through a net::Transport behind the
+// MessageAggregator: by default an owned InprocTransport (the p=1
+// zero-cost path), or an externally provided transport — sockets for
+// per-shard processes (run_shard), FaultyTransport for the
+// fault-injection harness.
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <memory>
 #include <vector>
 
 #include "core/options.hpp"
+#include "net/transport.hpp"
 #include "shard/aggregator.hpp"
 #include "shard/partition.hpp"
 #include "util/annotations.hpp"
 
 namespace aecnc::shard {
-
-/// Reusable generation barrier for the BSP supersteps. arrive() returns
-/// the generation the caller must wait for; waiters poll passed() so
-/// they can keep draining their inbox between checks instead of
-/// sleeping (blocking here could deadlock against a full inbox).
-class PhaseBarrier {
- public:
-  explicit PhaseBarrier(int parties) : parties_(parties) {}
-
-  PhaseBarrier(const PhaseBarrier&) = delete;
-  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
-
-  [[nodiscard]] std::uint64_t arrive() {
-    util::MutexLock lock(&mutex_);
-    const std::uint64_t target =
-        generation_.load(std::memory_order_relaxed) + 1;
-    if (++waiting_ == parties_) {
-      waiting_ = 0;
-      generation_.store(target, std::memory_order_release);
-    }
-    return target;
-  }
-
-  [[nodiscard]] bool passed(std::uint64_t target) const noexcept {
-    return generation_.load(std::memory_order_acquire) >= target;
-  }
-
- private:
-  const int parties_;
-  // aecnc: lock-leaf(guards only the arrival count; the generation
-  // publish is an atomic store made under it)
-  util::Mutex mutex_;
-  int waiting_ AECNC_GUARDED_BY(mutex_) = 0;
-  // aecnc: atomic-ok(monotonic generation; the last arriver's release
-  // store under mutex_ pairs with waiters' acquire loads in passed())
-  std::atomic<std::uint64_t> generation_{0};
-};
 
 struct ShardConfig {
   /// Number of shard workers p (the partition is p×p). Clamped to >= 1.
@@ -80,16 +52,32 @@ struct ShardConfig {
 class ShardedEngine {
  public:
   /// Builds the partition up front; run() is then repeatable (the bench
-  /// times run() alone, like the other drivers).
+  /// times run() alone, like the other drivers). Messages move over an
+  /// owned in-process transport.
   ShardedEngine(const graph::Csr& g, const ShardConfig& config);
+
+  /// Same, but over a caller-provided transport whose endpoint count
+  /// must match the partition's shard count. The engine poisons the
+  /// transport when a shard fails, so every endpoint unwinds with a
+  /// typed error instead of waiting on a peer that never comes.
+  ShardedEngine(const graph::Csr& g, const ShardConfig& config,
+                net::Transport& transport);
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   /// One full sharded count: spawns p-1 workers, runs shard 0 inline,
   /// returns counts in global directed-slot order. Thread-safe;
-  /// concurrent calls serialize on run_mutex_.
+  /// concurrent calls serialize on run_mutex_. If any shard throws, the
+  /// transport is poisoned, every worker unwinds, and the first
+  /// root-cause error is rethrown — never a hang, never partial counts.
   [[nodiscard]] core::CountArray run();
+
+  /// Run exactly one shard on the calling thread — the per-process
+  /// worker entry (src/net/process.cpp), where each of the p processes
+  /// owns one endpoint of a socket mesh. Returns the shard's owned slot
+  /// range (slot_base-relative).
+  [[nodiscard]] core::CountArray run_shard(int s);
 
   [[nodiscard]] const Partition2D& partition() const noexcept {
     return partition_;
@@ -97,7 +85,7 @@ class ShardedEngine {
   [[nodiscard]] const ShardConfig& config() const noexcept { return config_; }
 
   /// Cumulative transport traffic across all run() calls so far.
-  [[nodiscard]] AggregatorStats transport_stats() const {
+  [[nodiscard]] net::TransportStats transport_stats() const {
     return aggregator_.stats();
   }
 
@@ -109,19 +97,25 @@ class ShardedEngine {
   void send(int s, int dst, const Message& msg, ShardState& st,
             bool may_flush);
   void flush_all_blocking(int s, ShardState& st);
-  void barrier_wait(int s, ShardState& st);
+  /// End-of-phase wait: flush everything, announce the phase end, and
+  /// poll completion while draining our own inbox.
+  void phase_wait(int s, ShardState& st);
+
   void apply(int s, const Message& msg, ShardState& st);
 
   const ShardConfig config_;
   const Partition2D partition_;
+  std::unique_ptr<net::Transport> owned_transport_;  // null when external
+  net::Transport* transport_;
   MessageAggregator aggregator_;
-  PhaseBarrier barrier_;
   // Serializes run(): per-run shard state and the aggregator's outboxes
   // assume one driver at a time. Shard 0 executes on the calling thread
-  // under this lock, so the queue/barrier leaf locks and the first obs
-  // registration nest inside it.
-  // aecnc: acquired-before(MessageAggregator::Inbox::mutex_,
-  //   PhaseBarrier::mutex_, Registry::mutex_)
+  // under this lock, so the transport/barrier leaf locks and the first
+  // obs registration nest inside it.
+  // aecnc: acquired-before(InprocTransport::Inbox::mutex_,
+  //   net::PhaseBarrier::mutex_, TransportBase::poison_mutex_,
+  //   SocketTransport::stats_mutex_, MessageAggregator::stats_mutex_,
+  //   Registry::mutex_)
   util::Mutex run_mutex_;
 };
 

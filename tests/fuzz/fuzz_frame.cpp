@@ -1,0 +1,50 @@
+// libFuzzer harness for the frame decoder (src/net/frame.cpp) — the one
+// component that parses bytes straight off a socket from another
+// process. The decoder's contract under arbitrary input: yield frames,
+// ask for more, or fail with a terminal typed error — never read out of
+// bounds, never allocate proportionally to an attacker-chosen length
+// prefix, never loop forever.
+//
+// Input shape: byte 0 picks the feed chunking (1, 3, 7, or all-at-once;
+// re-chunking the same stream must not change the decode), the rest is
+// the raw stream. The CI smoke run seeds the corpus with valid encoded
+// frames so mutations start from the accepting path and walk outward.
+//
+// Build: -DAECNC_FUZZ=ON (Clang only), typically with
+// -DAECNC_SANITIZE=address:
+//   ./fuzz_frame -max_total_time=30 corpus/
+#include <cstddef>
+#include <cstdint>
+
+#include "net/frame.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  static constexpr std::size_t kChunks[] = {1, 3, 7, ~std::size_t{0}};
+  const std::size_t chunk = kChunks[data[0] & 3];
+  ++data;
+  --size;
+
+  aecnc::net::FrameDecoder decoder;
+  aecnc::net::Frame frame;
+  std::size_t off = 0;
+  while (off < size) {
+    const std::size_t n = size - off < chunk ? size - off : chunk;
+    decoder.feed(data + off, n);
+    off += n;
+    for (;;) {
+      const auto st = decoder.next(frame);
+      if (st == aecnc::net::FrameDecoder::Status::kFrame) continue;
+      if (st == aecnc::net::FrameDecoder::Status::kError) {
+        // Terminal: the error must stick and the buffer must be gone.
+        if (decoder.error().empty() || decoder.buffered() != 0) {
+          __builtin_trap();
+        }
+        return 0;
+      }
+      break;  // kNeedMore: feed the next chunk
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,487 @@
+// Tests for the transport layer (src/net/): frame codec round-trips and
+// corruption handling, the in-process transport's bounded mailboxes and
+// phase contract, the fault-injection decorator's absorbed/surfaced
+// semantics, and the aggregator's reliability layer — including a
+// regression pinning TransportStats totals against a hand-computed
+// schedule (delivered batches are counted exactly once, however many
+// backpressure round-trips they take).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/faulty.hpp"
+#include "net/frame.hpp"
+#include "net/inproc.hpp"
+#include "net/transport.hpp"
+#include "shard/aggregator.hpp"
+#include "shard/message.hpp"
+#include "test_seed.hpp"
+
+namespace aecnc {
+namespace {
+
+shard::Message make_message(std::uint32_t u, std::uint32_t v,
+                            std::uint64_t slot, std::uint64_t value) {
+  shard::Message m;
+  m.type = shard::MessageType::kCountReply;
+  m.u = u;
+  m.v = v;
+  m.slot = slot;
+  m.value = value;
+  return m;
+}
+
+net::Frame make_data_frame(int src, int dst, std::uint64_t seq,
+                           std::size_t n) {
+  net::Frame f;
+  f.type = net::FrameType::kData;
+  f.src = static_cast<std::uint8_t>(src);
+  f.dst = static_cast<std::uint8_t>(dst);
+  f.seq = seq;
+  for (std::size_t i = 0; i < n; ++i) {
+    f.messages.push_back(make_message(static_cast<std::uint32_t>(i), 7,
+                                      100 + i, 3 * i));
+  }
+  return f;
+}
+
+TEST(FrameCodec, DataFrameRoundTrip) {
+  const net::Frame in = make_data_frame(1, 2, 42, 5);
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(in, wire);
+  EXPECT_EQ(wire.size(), net::encoded_size(in));
+  EXPECT_EQ(wire.size(),
+            net::kFrameHeaderBytes + 5 * net::kMessageWireBytes);
+
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.type, net::FrameType::kData);
+  EXPECT_EQ(out.src, 1);
+  EXPECT_EQ(out.dst, 2);
+  EXPECT_EQ(out.seq, 42u);
+  ASSERT_EQ(out.messages.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out.messages[i].type, shard::MessageType::kCountReply);
+    EXPECT_EQ(out.messages[i].u, i);
+    EXPECT_EQ(out.messages[i].v, 7u);
+    EXPECT_EQ(out.messages[i].slot, 100 + i);
+    EXPECT_EQ(out.messages[i].value, 3 * i);
+  }
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, ControlFrameRoundTripAndBytewiseFeed) {
+  net::Frame in;
+  in.type = net::FrameType::kResult;
+  in.src = 3;
+  in.dst = net::kParentRank;
+  in.seq = 9;
+  net::put_u32(in.payload, 3);
+  net::put_u64(in.payload, 0x1122334455667788ull);
+  net::put_u16(in.payload, 0xBEEF);
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(in, wire);
+
+  // One byte at a time: the decoder must report kNeedMore until the
+  // final byte lands, then yield the identical frame.
+  net::FrameDecoder dec;
+  net::Frame out;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.feed(&wire[i], 1);
+    ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore)
+        << "byte " << i;
+  }
+  dec.feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.type, net::FrameType::kResult);
+  EXPECT_EQ(out.dst, net::kParentRank);
+  ASSERT_EQ(out.payload.size(), in.payload.size());
+  EXPECT_EQ(net::get_u32(out.payload.data()), 3u);
+  EXPECT_EQ(net::get_u64(out.payload.data() + 4), 0x1122334455667788ull);
+  EXPECT_EQ(net::get_u16(out.payload.data() + 12), 0xBEEF);
+}
+
+TEST(FrameCodec, TwoFramesInOneFeed) {
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(make_data_frame(0, 1, 1, 2), wire);
+  net::encode_frame(make_data_frame(0, 1, 2, 3), wire);
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  net::Frame out;
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.seq, 1u);
+  ASSERT_EQ(dec.next(out), net::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.seq, 2u);
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kNeedMore);
+}
+
+// Each corruption must turn the stream into a terminal typed error —
+// never an over-read, an allocation, or a silently skipped frame.
+TEST(FrameCodec, CorruptionIsTerminal) {
+  std::vector<std::uint8_t> clean;
+  net::encode_frame(make_data_frame(0, 1, 5, 3), clean);
+
+  struct Case {
+    const char* name;
+    std::size_t offset;  // byte to clobber
+  };
+  // magic[0..3] ver[4] type[5] src[6] dst[7] seq[8..15] len[16..19]
+  // checksum[20..23]
+  const Case cases[] = {
+      {"magic", 0},
+      {"version", 4},
+      {"type", 5},
+      {"checksum", 20},
+      {"payload", net::kFrameHeaderBytes + 3},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> wire = clean;
+    wire[c.offset] ^= 0x5A;
+    net::FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    net::Frame out;
+    EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kError) << c.name;
+    EXPECT_FALSE(dec.error().empty()) << c.name;
+    // Terminal: further feeds are ignored, the error sticks.
+    dec.feed(clean.data(), clean.size());
+    EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kError) << c.name;
+    EXPECT_EQ(dec.buffered(), 0u) << c.name;
+  }
+}
+
+TEST(FrameCodec, OversizedLengthPrefixRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(make_data_frame(0, 1, 1, 1), wire);
+  // Clobber the length prefix with 256 MiB; the decoder must error out
+  // on the header alone instead of reserving the claimed payload.
+  const std::uint32_t huge = 256u << 20;
+  std::memcpy(wire.data() + 16, &huge, sizeof(huge));
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), net::kFrameHeaderBytes);
+  net::Frame out;
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kError);
+}
+
+TEST(FrameCodec, DataBodyMustBeWholeMessages) {
+  net::Frame f = make_data_frame(0, 1, 1, 2);
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(f, wire);
+  // A data payload that is not a multiple of the message wire size is a
+  // protocol error even if its checksum were fixed up.
+  wire[16] = static_cast<std::uint8_t>(net::kMessageWireBytes + 1);
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  net::Frame out;
+  EXPECT_EQ(dec.next(out), net::FrameDecoder::Status::kError);
+}
+
+TEST(FrameCodec, EncodeRejectsOverlongPayload) {
+  net::Frame f;
+  f.type = net::FrameType::kError;
+  f.payload.assign(net::kMaxFramePayload + 1, 0);
+  std::vector<std::uint8_t> wire;
+  EXPECT_THROW(net::encode_frame(f, wire), std::length_error);
+}
+
+TEST(ErrorKinds, NamesArePinned) {
+  // The CI smoke legs grep stderr for these exact strings.
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kTimeout), "timeout");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kPeerDead), "peer-dead");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kLostFrame),
+               "lost-frame");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kBadFrame), "bad-frame");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kRetriesExhausted),
+               "retries-exhausted");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kAborted), "aborted");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kProtocol), "protocol");
+  EXPECT_STREQ(net::error_kind_name(net::ErrorKind::kSystem), "system");
+  const net::TransportError err(net::ErrorKind::kPeerDead, "gone");
+  EXPECT_EQ(err.kind(), net::ErrorKind::kPeerDead);
+  EXPECT_STREQ(err.what(), "peer-dead: gone");
+}
+
+TEST(InprocTransport, DeliveryBackpressureAndPhase) {
+  net::InprocTransport t(2, /*inbox_capacity=*/1);
+  EXPECT_EQ(t.num_endpoints(), 2);
+
+  net::Frame f = make_data_frame(0, 1, 1, 4);
+  ASSERT_EQ(t.try_send(f), net::SendStatus::kDelivered);
+  net::Frame g = make_data_frame(0, 1, 2, 1);
+  // Inbox full: the frame must be left intact for the retry.
+  ASSERT_EQ(t.try_send(g), net::SendStatus::kBackpressure);
+  EXPECT_EQ(g.messages.size(), 1u);
+
+  net::Frame got;
+  ASSERT_TRUE(t.try_recv(1, got));
+  EXPECT_EQ(got.seq, 1u);
+  EXPECT_EQ(got.messages.size(), 4u);
+  ASSERT_EQ(t.try_send(g), net::SendStatus::kDelivered);
+  ASSERT_TRUE(t.try_recv(1, got));
+  EXPECT_EQ(got.seq, 2u);
+  EXPECT_FALSE(t.try_recv(1, got));
+  EXPECT_FALSE(t.try_recv(0, got));
+
+  // Two-call phase contract: not done until every endpoint arrives.
+  t.finish_phase(0);
+  EXPECT_FALSE(t.phase_done(0));
+  t.finish_phase(1);
+  EXPECT_TRUE(t.phase_done(0));
+  EXPECT_TRUE(t.phase_done(1));
+
+  const net::TransportStats stats = t.stats();
+  EXPECT_EQ(stats.messages, 5u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.bytes, 5 * sizeof(shard::Message));
+}
+
+TEST(InprocTransport, PoisonThrowsTypedErrorEverywhere) {
+  net::InprocTransport t(2, 4);
+  t.poison(net::ErrorKind::kPeerDead, "shard 1 died");
+  net::Frame f = make_data_frame(0, 1, 1, 1);
+  try {
+    (void)t.try_send(f);
+    FAIL() << "poisoned try_send did not throw";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::ErrorKind::kPeerDead);
+    EXPECT_STREQ(e.what(), "peer-dead: shard 1 died");
+  }
+  net::Frame out;
+  EXPECT_THROW((void)t.try_recv(0, out), net::TransportError);
+  EXPECT_THROW((void)t.phase_done(0), net::TransportError);
+  // First poison wins: a later kAborted cascade keeps the root cause.
+  t.poison(net::ErrorKind::kAborted, "cascade");
+  try {
+    (void)t.try_recv(1, out);
+    FAIL() << "poisoned try_recv did not throw";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::ErrorKind::kPeerDead);
+  }
+}
+
+TEST(FaultyTransport, DropSurfacesAsTransient) {
+  net::InprocTransport inner(2, 8);
+  net::FaultPlan plan;
+  plan.seed = testsupport::mix_seed(0xD09);
+  plan.drop_rate = 1.0;  // every send drops
+  net::FaultyTransport t(inner, plan);
+  net::Frame f = make_data_frame(0, 1, 1, 1);
+  EXPECT_EQ(t.try_send(f), net::SendStatus::kTransient);
+  // The frame is untouched, exactly as the retry contract requires.
+  EXPECT_EQ(f.messages.size(), 1u);
+  EXPECT_EQ(t.fault_counts().drops, 1u);
+  net::Frame out;
+  EXPECT_FALSE(t.try_recv(1, out));
+}
+
+TEST(FaultyTransport, DuplicateDeliversSameSequenceTwice) {
+  net::InprocTransport inner(2, 8);
+  net::FaultPlan plan;
+  plan.seed = testsupport::mix_seed(0xD0B);
+  plan.dup_rate = 1.0;
+  net::FaultyTransport t(inner, plan);
+  net::Frame f = make_data_frame(0, 1, 7, 2);
+  ASSERT_EQ(t.try_send(f), net::SendStatus::kDelivered);
+  net::Frame a, b, c;
+  ASSERT_TRUE(t.try_recv(1, a));
+  ASSERT_TRUE(t.try_recv(1, b));
+  EXPECT_EQ(a.seq, 7u);
+  EXPECT_EQ(b.seq, 7u);
+  EXPECT_EQ(a.messages.size(), b.messages.size());
+  EXPECT_FALSE(t.try_recv(1, c));
+  EXPECT_EQ(t.fault_counts().dups, 1u);
+}
+
+TEST(FaultyTransport, DelayPreservesPerLinkOrder) {
+  net::InprocTransport inner(2, 64);
+  net::FaultPlan plan;
+  plan.seed = testsupport::mix_seed(0xDE1);
+  plan.delay_rate = 1.0;  // first send is held; later sends queue behind
+  plan.delay_max_ops = 3;
+  net::FaultyTransport t(inner, plan);
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    net::Frame f = make_data_frame(0, 1, seq, 1);
+    ASSERT_EQ(t.try_send(f), net::SendStatus::kDelivered) << seq;
+  }
+  t.finish_phase(0);
+  t.finish_phase(1);
+  // Poll both endpoints the way the engine does: the sender's polls
+  // drive its held frames out before it arrives at the inner barrier.
+  bool d0 = false;
+  bool d1 = false;
+  while (!d0 || !d1) {
+    if (!d0) d0 = t.phase_done(0);
+    if (!d1) d1 = t.phase_done(1);
+  }
+  // Everything released by the phase end, still in sequence order.
+  net::Frame out;
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(t.try_recv(1, out)) << seq;
+    EXPECT_EQ(out.seq, seq);
+  }
+  EXPECT_FALSE(t.try_recv(1, out));
+  EXPECT_GT(t.fault_counts().delays, 0u);
+}
+
+TEST(FaultyTransport, KillThrowsPeerDeadAtScheduledOp) {
+  net::InprocTransport inner(2, 8);
+  net::FaultPlan plan;
+  plan.seed = testsupport::mix_seed(0x1C0);
+  plan.kill_endpoint = 0;
+  plan.kill_after_ops = 3;
+  net::FaultyTransport t(inner, plan);
+  net::Frame f = make_data_frame(0, 1, 1, 1);
+  ASSERT_EQ(t.try_send(f), net::SendStatus::kDelivered);
+  f = make_data_frame(0, 1, 2, 1);
+  ASSERT_EQ(t.try_send(f), net::SendStatus::kDelivered);
+  f = make_data_frame(0, 1, 3, 1);
+  try {
+    (void)t.try_send(f);
+    FAIL() << "kill schedule did not fire";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::ErrorKind::kPeerDead);
+  }
+}
+
+// The satellite regression: TransportStats totals pinned against a
+// hand-computed schedule. Tiny inbox (capacity 1) forces backpressure;
+// the delivered-batch count must not double-count the re-queued batch.
+TEST(Aggregator, StatsMatchHandComputedSchedule) {
+  net::InprocTransport t(2, /*inbox_capacity=*/1);
+  shard::MessageAggregator agg(t, /*flush_messages=*/2);
+
+  // Batch 1: two messages 0 -> 1, flushed and delivered.
+  EXPECT_FALSE(agg.append(0, 1, make_message(1, 2, 10, 1)));
+  EXPECT_TRUE(agg.append(0, 1, make_message(3, 4, 11, 1)));  // threshold
+  ASSERT_TRUE(agg.try_flush(0, 1));
+
+  // Batch 2: inbox still holds batch 1 -> backpressure, twice. The
+  // outbox must stay intact, and nothing may be counted as delivered.
+  EXPECT_FALSE(agg.append(0, 1, make_message(5, 6, 12, 2)));
+  EXPECT_TRUE(agg.append(0, 1, make_message(7, 8, 13, 2)));
+  ASSERT_FALSE(agg.try_flush(0, 1));
+  ASSERT_FALSE(agg.try_flush(0, 1));
+
+  // Receiver drains batch 1; the retried flush then delivers batch 2.
+  shard::MessageAggregator::Batch got;
+  ASSERT_TRUE(agg.try_pop(1, got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].slot, 10u);
+  ASSERT_TRUE(agg.try_flush(0, 1));
+  ASSERT_TRUE(agg.try_pop(1, got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].slot, 13u);
+
+  // Empty flushes are free: no batch, no backpressure.
+  ASSERT_TRUE(agg.try_flush(0, 1));
+  ASSERT_TRUE(agg.outboxes_empty(0));
+
+  const net::TransportStats stats = agg.stats();
+  EXPECT_EQ(stats.messages, 4u);      // 4 messages total
+  EXPECT_EQ(stats.batches, 2u);       // 2 delivered batches, counted ONCE
+  EXPECT_EQ(stats.backpressure, 2u);  // the two refused flushes
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.dups_dropped, 0u);
+  EXPECT_EQ(stats.bytes, 4 * sizeof(shard::Message));
+}
+
+TEST(Aggregator, OversizedBoxIsChunkedAtTheWireBound) {
+  // Sustained backpressure can grow a box past what one frame may carry
+  // (encode_frame throws at kMaxFramePayload); the flush must split it
+  // into several in-order frames, each with its own sequence number,
+  // instead of tripping the wire-bound guard.
+  constexpr std::size_t kMaxBatch =
+      net::kMaxFramePayload / net::kMessageWireBytes;
+  const std::size_t total = kMaxBatch + 7;
+  net::InprocTransport t(2, /*inbox_capacity=*/8);
+  shard::MessageAggregator agg(t, /*flush_messages=*/total + 1);
+  for (std::size_t i = 0; i < total; ++i) {
+    agg.append(0, 1, make_message(static_cast<std::uint32_t>(i), 0, i, 1));
+  }
+  ASSERT_TRUE(agg.try_flush(0, 1));
+  ASSERT_TRUE(agg.outboxes_empty(0));
+
+  shard::MessageAggregator::Batch all, batch;
+  std::size_t frames = 0;
+  while (agg.try_pop(1, batch)) {
+    ++frames;
+    EXPECT_LE(batch.size(), kMaxBatch);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(frames, 2u);
+  ASSERT_EQ(all.size(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(all[i].slot, i) << "message order broken at " << i;
+  }
+  EXPECT_EQ(agg.stats().batches, 2u);
+}
+
+TEST(Aggregator, TransientFaultsRetriedThenExhausted) {
+  net::InprocTransport inner(2, 8);
+  net::FaultPlan plan;
+  plan.seed = testsupport::mix_seed(0x757);
+  plan.drop_rate = 1.0;  // every send drops: retries must exhaust
+  net::FaultyTransport t(inner, plan);
+  net::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_init_us = 1;
+  retry.backoff_max_us = 2;
+  shard::MessageAggregator agg(t, /*flush_messages=*/1, retry);
+  ASSERT_TRUE(agg.append(0, 1, make_message(1, 2, 3, 4)));
+  try {
+    (void)agg.try_flush(0, 1);
+    FAIL() << "retry budget did not exhaust";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::ErrorKind::kRetriesExhausted);
+  }
+  const net::TransportStats stats = agg.stats();
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.batches, 0u);  // never delivered, never counted
+}
+
+TEST(Aggregator, DuplicatesDroppedBySequence) {
+  net::InprocTransport inner(2, 16);
+  net::FaultPlan plan;
+  plan.seed = testsupport::mix_seed(0xDD);
+  plan.dup_rate = 1.0;  // every frame arrives twice
+  net::FaultyTransport t(inner, plan);
+  shard::MessageAggregator agg(t, /*flush_messages=*/1);
+  ASSERT_TRUE(agg.append(0, 1, make_message(1, 1, 1, 1)));
+  ASSERT_TRUE(agg.try_flush(0, 1));
+  ASSERT_TRUE(agg.append(0, 1, make_message(2, 2, 2, 2)));
+  ASSERT_TRUE(agg.try_flush(0, 1));
+
+  shard::MessageAggregator::Batch got;
+  ASSERT_TRUE(agg.try_pop(1, got));
+  EXPECT_EQ(got[0].slot, 1u);
+  ASSERT_TRUE(agg.try_pop(1, got));
+  EXPECT_EQ(got[0].slot, 2u);
+  EXPECT_FALSE(agg.try_pop(1, got));  // both echoes were discarded
+  EXPECT_EQ(agg.stats().dups_dropped, 2u);
+  // The transport counts every delivered frame, echoes included; the
+  // dedup happens above it.
+  EXPECT_EQ(agg.stats().messages, 4u);
+}
+
+TEST(Aggregator, SequenceGapThrowsLostFrame) {
+  net::InprocTransport t(2, 16);
+  shard::MessageAggregator agg(t, /*flush_messages=*/1);
+  // A frame that skips ahead of the expected per-link sequence — as if
+  // the frame before it vanished past the retry layer.
+  net::Frame rogue = make_data_frame(0, 1, /*seq=*/5, 1);
+  ASSERT_EQ(t.try_send(rogue), net::SendStatus::kDelivered);
+  shard::MessageAggregator::Batch got;
+  try {
+    (void)agg.try_pop(1, got);
+    FAIL() << "sequence gap was not detected";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::ErrorKind::kLostFrame);
+  }
+}
+
+}  // namespace
+}  // namespace aecnc

@@ -143,13 +143,14 @@ TEST(ShardEngine, TinyQueueBoundsForceBackpressure) {
   cfg.inbox_capacity = 1;  // one pending batch per inbox
   shard::ShardedEngine engine(g, cfg);
   EXPECT_EQ(engine.run(), oracle);
-  const shard::AggregatorStats stats = engine.transport_stats();
+  const net::TransportStats stats = engine.transport_stats();
   EXPECT_GT(stats.messages, 0u);
   // Threshold 1 forces a flush attempt per send, but replies appended
   // inside backpressure drains still coalesce, so batches may exceed 1.
-  EXPECT_GT(stats.flushes, 0u);
-  EXPECT_LE(stats.flushes, stats.messages);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_LE(stats.batches, stats.messages);
   EXPECT_EQ(stats.bytes, stats.messages * sizeof(shard::Message));
+  EXPECT_GT(stats.backpressure, 0u);  // the tiny bounds actually bit
 }
 
 TEST(ShardEngine, RepeatedRunsAreStable) {

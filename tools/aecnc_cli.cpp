@@ -10,6 +10,8 @@
 //   aecnc_cli count     --in=... --out=counts.txt
 //                       [--algo=mps|bmp|m] [--rf] [--kernel=...]
 //                       [--threads=0] [--seq] [--shards=p]
+//                       [--processes=p] [--io-timeout-ms=20000]
+//                       [--fault-worker=S:P]
 //                       [--relabel] [--packed] [--pack-threshold=32768]
 //   aecnc_cli triangles --in=...  [--algo=merge|hash|all-edge]
 //   aecnc_cli scan      --in=... --eps=0.5 --mu=3 [--out=clusters.txt]
@@ -25,6 +27,22 @@
 //                       [--batch=1024] [--recount-advantage=4.0]
 //                       [--min-recount-batch=16] [--max-vertices=0]
 //                       [--seq] [--verify] [--relabel]
+//   aecnc_cli shard-worker --in=... --shard=s --shards=p --parent-port=N
+//                       [--algo=... --rf --kernel=...]
+//                       [--flush-messages=1024] [--inbox-capacity=64]
+//                       [--io-timeout-ms=20000] [--fault-abort-phase=-1]
+//
+// count --processes=p runs the sharded count with one OS process per
+// shard over the TCP socket transport (docs/sharding.md §7): the parent
+// re-execs itself as `shard-worker` p times, wires the loopback mesh,
+// and folds the streamed results — bit-identical to the in-process
+// paths. --fault-worker=S:P makes worker S hard-exit at the end of
+// phase P (CI's peer-kill smoke): the run must fail with a typed
+// transport error, never hang or write --out. `shard-worker` is that
+// internal re-exec entry point, not meant for direct use.
+//
+// serve --shards=p routes wholesale recounts during publish through the
+// sharded engine (the live-update pipeline's from-scratch path).
 //
 // --relabel (count/serve/update) switches the engine to the hub-first
 // internal ID space behind graph::IdMap: counts, session replies, and
@@ -62,7 +80,10 @@
 //
 // Inputs ending in ".csr" are read as the binary format, anything else
 // as a SNAP-style text edge list.
+#include <unistd.h>
+
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -80,6 +101,7 @@
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
+#include "net/process.hpp"
 #include "obs/catalog.hpp"
 #include "scan/scan.hpp"
 #include "serve/service.hpp"
@@ -100,7 +122,7 @@ using namespace aecnc;
   std::fputs(
       "usage: aecnc_cli "
       "<generate|convert|stats|count|triangles|scan|verify|query|serve"
-      "|update> [--key=value ...]\n"
+      "|update|shard-worker> [--key=value ...]\n"
       "see the header of tools/aecnc_cli.cpp for the full option list\n",
       stderr);
   // Usage errors abort in main() before any thread spawns.
@@ -249,10 +271,49 @@ int cmd_stats(const util::CliArgs& args) {
   return 0;
 }
 
+/// Assemble the parent-side options for `count --processes=p`: re-exec
+/// this binary as `shard-worker`, forwarding the algorithm flags
+/// verbatim so option parsing stays in one place (parse_algo_options in
+/// the worker). --fault-worker=S:P arms the peer-kill smoke.
+net::MultiProcessOptions parse_multiprocess_options(const util::CliArgs& args,
+                                                    int num_shards) {
+  net::MultiProcessOptions mp;
+  char exe[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) usage("cannot resolve /proc/self/exe for --processes");
+  mp.exe_path.assign(exe, static_cast<std::size_t>(n));
+  mp.graph_path = args.get("in", "");
+  if (mp.graph_path.empty()) usage("--in=<path> is required");
+  mp.num_shards = num_shards;
+  mp.net.io_timeout_ms = static_cast<std::uint32_t>(args.get_int(
+      "io-timeout-ms", static_cast<std::int64_t>(mp.net.io_timeout_ms)));
+  for (const char* key : {"algo", "rf", "kernel"}) {
+    if (args.has(key)) {
+      mp.worker_args.push_back(std::string("--") + key + "=" +
+                               args.get(key, ""));
+    }
+  }
+  mp.worker_args.push_back("--io-timeout-ms=" +
+                           std::to_string(mp.net.io_timeout_ms));
+  const std::string fault = args.get("fault-worker", "");
+  if (!fault.empty()) {
+    int s = -1;
+    int p = -1;
+    if (std::sscanf(fault.c_str(), "%d:%d", &s, &p) != 2 || s < 0 ||
+        s >= num_shards || p < 0) {
+      usage("--fault-worker expects 'shard:phase'");
+    }
+    mp.fault_abort_shard = s;
+    mp.fault_abort_phase = p;
+  }
+  return mp;
+}
+
 int cmd_count(const util::CliArgs& args) {
   require_known(args,
                 {"in", "out", "algo", "rf", "kernel", "threads", "seq",
-                 "shards", "relabel", "packed", "pack-threshold"});
+                 "shards", "processes", "io-timeout-ms", "fault-worker",
+                 "relabel", "packed", "pack-threshold"});
   const graph::Csr g = load_graph(args);
   core::Options opt = parse_algo_options(args);
   const std::string algo = args.get("algo", "mps");
@@ -267,11 +328,28 @@ int cmd_count(const util::CliArgs& args) {
   if (opt.pack_threshold == 0 || opt.pack_threshold > 65536) {
     usage("--pack-threshold must be in (0, 65536]");
   }
+  const int processes = static_cast<int>(args.get_int("processes", 0));
+  if (processes < 0) usage("--processes must be >= 0");
+  if (processes > 0) {
+    if (opt.num_shards == 0) opt.num_shards = processes;
+    if (opt.num_shards != processes) usage("--processes must equal --shards");
+    if (opt.relabel || opt.bmp_packed) {
+      usage("--processes does not combine with --relabel/--packed");
+    }
+  } else if (args.has("fault-worker")) {
+    usage("--fault-worker requires --processes");
+  }
 
   util::WallTimer timer;
-  const auto counts = opt.algorithm == core::Algorithm::kBmp
-                          ? core::count_with_reorder(g, opt)
-                          : core::count_common_neighbors(g, opt);
+  // A failed multi-process run throws out of here before the --out file
+  // below is even opened: a fault never leaves partial counts on disk.
+  const auto counts =
+      processes > 0
+          ? net::count_multiprocess(g, parse_multiprocess_options(
+                                           args, opt.num_shards))
+          : (opt.algorithm == core::Algorithm::kBmp
+                 ? core::count_with_reorder(g, opt)
+                 : core::count_common_neighbors(g, opt));
   std::printf("counted %llu slots in %s (%s)\n",
               static_cast<unsigned long long>(counts.size()),
               util::format_seconds(timer.seconds()).c_str(), algo.c_str());
@@ -497,7 +575,7 @@ int cmd_query(const util::CliArgs& args) {
 int cmd_serve(const util::CliArgs& args) {
   require_known(args, {"in", "script", "out", "algo", "rf", "kernel", "index",
                        "workers", "cache", "task-size", "obs-clock", "relabel",
-                       "slo-p99-ns", "slo-min-samples", "slo-stale"});
+                       "shards", "slo-p99-ns", "slo-min-samples", "slo-stale"});
   graph::Csr g = load_graph(args);
 
   // Scripted sessions always serve with observability on: the metric
@@ -526,6 +604,14 @@ int cmd_serve(const util::CliArgs& args) {
   // session mutating vertex ids the graph never had is a client bug, and
   // the pinned universe turns it into a deterministic error reply.
   cfg.update.max_vertices = g.num_vertices();
+  // --shards=p routes wholesale recounts during publish through the
+  // sharded engine; 0 (default) keeps the direct sequential/parallel
+  // paths. Replies are bit-identical either way.
+  cfg.update.recount_options.num_shards =
+      static_cast<int>(args.get_int("shards", 0));
+  if (cfg.update.recount_options.num_shards < 0) {
+    usage("--shards must be >= 0");
+  }
   // SLO admission control (docs/serving.md): a per-client p99 compute
   // budget in ns; 0 (default) leaves it off. Under --obs-clock=fake
   // every compute records as a fixed 4096ns sample, so golden sessions
@@ -560,6 +646,42 @@ int cmd_serve(const util::CliArgs& args) {
   // The interpreter lives in the library (src/serve/session.cpp) so the
   // fuzz harness drives the same parser; the CLI only wires the streams.
   return serve::run_session(svc, *in, *out) ? 0 : 1;
+}
+
+/// Internal: the `count --processes=p` re-exec entry point. Parses the
+/// mirrored engine flags and hands off to net::run_shard_worker, which
+/// owns the whole worker protocol (hello, mesh, run, results).
+int cmd_shard_worker(const util::CliArgs& args) {
+  require_known(args, {"in", "shard", "shards", "parent-port", "algo", "rf",
+                       "kernel", "flush-messages", "inbox-capacity",
+                       "io-timeout-ms", "fault-abort-phase"});
+  net::WorkerOptions opt;
+  opt.graph_path = args.get("in", "");
+  if (opt.graph_path.empty()) usage("--in=<path> is required");
+  opt.shard = static_cast<int>(args.get_int("shard", -1));
+  opt.num_shards = static_cast<int>(args.get_int("shards", 0));
+  if (opt.num_shards < 1 || opt.shard < 0 || opt.shard >= opt.num_shards) {
+    usage("--shard must be in [0, --shards)");
+  }
+  opt.parent_port =
+      static_cast<std::uint16_t>(args.get_int("parent-port", 0));
+  if (opt.parent_port == 0) usage("--parent-port=<port> is required");
+  // Same Options -> ShardConfig mapping as the in-process --shards path
+  // (core count_in_place), so the two transports count the same plan.
+  const core::Options algo = parse_algo_options(args);
+  opt.engine.num_shards = opt.num_shards;
+  opt.engine.algorithm = algo.algorithm;
+  opt.engine.mps = algo.mps;
+  opt.engine.prefetch = algo.prefetch;
+  opt.engine.flush_messages = static_cast<std::size_t>(args.get_int(
+      "flush-messages", static_cast<std::int64_t>(opt.engine.flush_messages)));
+  opt.engine.inbox_capacity = static_cast<std::size_t>(args.get_int(
+      "inbox-capacity", static_cast<std::int64_t>(opt.engine.inbox_capacity)));
+  opt.net.io_timeout_ms = static_cast<std::uint32_t>(args.get_int(
+      "io-timeout-ms", static_cast<std::int64_t>(opt.net.io_timeout_ms)));
+  opt.fault_abort_phase =
+      static_cast<int>(args.get_int("fault-abort-phase", -1));
+  return net::run_shard_worker(opt);
 }
 
 int cmd_update(const util::CliArgs& args) {
@@ -635,6 +757,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "update") return cmd_update(args);
+    if (command == "shard-worker") return cmd_shard_worker(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

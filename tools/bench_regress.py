@@ -137,6 +137,17 @@ REQUIRED_KEYS = {
         "flush_sweep.f256_ms",
         "flush_sweep.f1024_ms",
         "flush_sweep.f8192_ms",
+        # Transport bill (docs/sharding.md §7): socket numbers are
+        # reported, not gated — the p1_vs_seq_speedup gate stays on the
+        # in-process path, and socket_p1_overhead makes the seam's cost
+        # visible in every bench report.
+        "transport.inproc_p1_ms",
+        "transport.socket_p1_ms",
+        "transport.socket_p2_ms",
+        "transport.socket_p4_ms",
+        "transport.socket_p1_overhead",
+        "transport.socket_p2_wire_bytes",
+        "transport.socket_p4_wire_bytes",
     ],
 }
 
